@@ -1,0 +1,86 @@
+// Ablation for the paper's §VI multi-device outlook: split one 2-opt pass
+// over 1..8 simulated GPUs via round-robin tile ownership.
+//
+// Reports per-device work shares, the modeled per-pass time of the
+// slowest device (the pass finishes when the last device does), and the
+// modeled scaling efficiency — plus verification that every
+// configuration returns the identical best move.
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "benchsup/table.hpp"
+#include "common/env.hpp"
+#include "common/rng.hpp"
+#include "simt/perf_model.hpp"
+#include "solver/twoopt_multi.hpp"
+#include "tsp/catalog.hpp"
+#include "tsp/point.hpp"
+
+int main() {
+  using namespace tspopt;
+  using namespace tspopt::benchsup;
+
+  const auto n = static_cast<std::int32_t>(
+      env_long_or("REPRO_MULTI_N", full_scale() ? 33810 : 15000));
+  Instance inst = make_catalog_instance(
+      {"multi-standin", n, PointFamily::kUniform, -1, -1});
+  Pcg32 rng(7);
+  Tour tour = Tour::random(n, rng);
+
+  std::cout << "=== Ablation: multi-device division of one 2-opt pass "
+               "(GTX 680 x D, n = " << n << ") ===\n\n";
+
+  simt::PerfModel model(simt::gtx680_cuda());
+  Table table({"Devices", "Launches (max)", "Slowest dev checks",
+               "Modeled pass", "Speedup", "Efficiency", "Best delta"});
+
+  double single_us = 0.0;
+  BestMove reference;
+  for (std::size_t d : {1u, 2u, 4u, 8u}) {
+    std::vector<std::unique_ptr<simt::Device>> owned;
+    std::vector<simt::Device*> devices;
+    for (std::size_t i = 0; i < d; ++i) {
+      owned.push_back(std::make_unique<simt::Device>(simt::gtx680_cuda()));
+      devices.push_back(owned.back().get());
+    }
+    TwoOptMultiDevice engine(devices);
+    SearchResult r = engine.search(inst, tour);
+    if (d == 1) {
+      reference = r.best;
+    } else if (r.best.index != reference.index) {
+      std::cerr << "multi-device result diverged at D=" << d << "\n";
+      return 1;
+    }
+
+    // The pass completes when the slowest device finishes.
+    double slowest_us = 0.0;
+    std::uint64_t slowest_checks = 0;
+    std::uint64_t max_launches = 0;
+    for (const auto& dev : owned) {
+      auto work = dev->counters().snapshot();
+      double us = model.price(work).total_us();
+      if (us > slowest_us) {
+        slowest_us = us;
+        slowest_checks = work.checks;
+      }
+      max_launches = std::max(max_launches, work.kernel_launches);
+    }
+    if (d == 1) single_us = slowest_us;
+    double speedup = single_us / slowest_us;
+    table.add_row({std::to_string(d), std::to_string(max_launches),
+                   fmt_count(static_cast<double>(slowest_checks), 1),
+                   fmt_us(slowest_us), fmt_fixed(speedup, 2) + "x",
+                   fmt_fixed(100.0 * speedup / static_cast<double>(d), 0) +
+                       "%",
+                   std::to_string(r.best.delta)});
+  }
+  table.print(std::cout);
+  std::cout << "\nRound-robin tile ownership scales until tile granularity "
+               "bites: with ~(n/3064)^2/2 tiles to deal, few-device counts "
+               "divide evenly while large counts leave some devices one "
+               "oversized diagonal tile — shrink the tile (or the paper's "
+               "launch-level split) to push efficiency back up. This is "
+               "the strong-scaling direction §VI anticipates.\n";
+  return 0;
+}

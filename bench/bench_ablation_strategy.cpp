@@ -1,0 +1,79 @@
+// Ablation: best-improvement full scan (the paper's GPU-friendly strategy)
+// vs classic CPU first-improvement with neighbor lists and don't-look
+// bits.
+//
+// The paper's §VI admits "the fastest sequential algorithms use complex
+// pruning schemes and specialized data structures which we did not use" —
+// this bench quantifies exactly that gap on the host CPU, and shows why
+// the brute-force strategy is still the right shape for a 10k-thread
+// device (it is a single regular data-parallel sweep).
+#include <iostream>
+#include <vector>
+
+#include "benchsup/table.hpp"
+#include "common/env.hpp"
+#include "common/rng.hpp"
+#include "solver/first_improvement.hpp"
+#include "solver/local_search.hpp"
+#include "solver/twoopt_sequential.hpp"
+#include "tsp/catalog.hpp"
+
+int main() {
+  using namespace tspopt;
+  using namespace tspopt::benchsup;
+
+  std::cout << "=== Ablation: descent strategy — best-improvement full "
+               "scans vs first-improvement + neighbor lists + don't-look "
+               "bits ===\nStart: random tour; both descend to their local "
+               "minimum.\n\n";
+
+  Table table({"Problem", "n", "Strategy", "Final len", "Moves", "Checks",
+               "Checks/move", "Wall"});
+
+  std::vector<const char*> names{"kroE100", "pr439", "vm1084"};
+  if (full_scale()) names.push_back("pr2392");  // ~6.9G checks when cold
+  for (const char* name : names) {
+    auto entry = *find_catalog_entry(name);
+    Instance inst = make_catalog_instance(entry);
+    Pcg32 rng(11);
+    Tour initial = Tour::random(inst.n(), rng);
+
+    {
+      Tour tour = initial;
+      TwoOptSequential engine;
+      LocalSearchStats s = local_search(engine, inst, tour);
+      table.add_row({entry.name, std::to_string(entry.n), "best-improve",
+                     std::to_string(tour.length(inst)),
+                     std::to_string(s.moves_applied),
+                     fmt_count(static_cast<double>(s.checks), 1),
+                     fmt_count(s.moves_applied > 0
+                                   ? static_cast<double>(s.checks) /
+                                         static_cast<double>(s.moves_applied)
+                                   : 0.0,
+                               1),
+                     fmt_us(s.wall_seconds * 1e6)});
+    }
+    {
+      Tour tour = initial;
+      NeighborLists nl(inst, 10);
+      FirstImprovementStats s = first_improvement_descent(inst, tour, nl);
+      table.add_row({entry.name, std::to_string(entry.n), "first+DLB",
+                     std::to_string(tour.length(inst)),
+                     std::to_string(s.moves_applied),
+                     fmt_count(static_cast<double>(s.checks), 1),
+                     fmt_count(s.moves_applied > 0
+                                   ? static_cast<double>(s.checks) /
+                                         static_cast<double>(s.moves_applied)
+                                   : 0.0,
+                               1),
+                     fmt_us(s.wall_seconds * 1e6)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nFirst-improvement spends orders of magnitude fewer checks "
+               "per move but its moves are irregular and serial; the "
+               "full-scan needs ~n^2/2 checks per move yet maps perfectly "
+               "onto thousands of lightweight threads — the trade at the "
+               "heart of the paper's design.\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Ablation for the division scheme (paper §IV-B, Figs. 7/8): tile-size
+// sweep for the two-range tiled kernel.
+//
+// Smaller tiles mean more tiles and therefore more kernel launches and
+// more redundant coordinate staging; the paper's choice is the largest
+// tile that fits two ranges in 48 kB (~3072). The bench sweeps tile sizes
+// on a fixed instance and reports launches, staged-coordinate traffic,
+// modeled GTX 680 time and measured simulator wall time — and verifies
+// every tile size returns the identical best move.
+#include <iostream>
+
+#include "benchsup/table.hpp"
+#include "common/env.hpp"
+#include "common/rng.hpp"
+#include "simt/device.hpp"
+#include "simt/perf_model.hpp"
+#include "solver/twoopt_tiled.hpp"
+#include "tsp/catalog.hpp"
+
+int main() {
+  using namespace tspopt;
+  using namespace tspopt::benchsup;
+
+  const auto n = static_cast<std::int32_t>(
+      env_long_or("REPRO_TILING_N", full_scale() ? 33810 : 12000));
+  Instance inst = make_catalog_instance(
+      {"pla-standin", n, PointFamily::kClustered, -1, -1});
+  Pcg32 rng(5);
+  Tour tour = Tour::random(n, rng);
+
+  simt::Device probe(simt::gtx680_cuda());
+  std::cout << "=== Ablation: division-scheme tile size (n = " << n
+            << ") ===\n"
+            << "Two coordinate ranges of (tile+1) float2 per block; 48 kB "
+               "caps the tile at "
+            << TwoOptGpuTiled::max_tile(probe) << ".\n\n";
+
+  Table table({"Tile", "Ranges", "Tiles", "Launches", "Staged coords",
+               "Stage overhead", "Modeled kernel", "Sim wall"});
+  simt::PerfModel model(simt::gtx680_cuda());
+
+  BestMove reference;
+  bool have_reference = false;
+  for (std::int32_t tile : {256, 512, 1024, 2048, 3064}) {
+    simt::Device device(simt::gtx680_cuda());
+    TwoOptGpuTiled engine(device, tile);
+    SearchResult r = engine.search(inst, tour);
+    if (!have_reference) {
+      reference = r.best;
+      have_reference = true;
+    } else if (r.best.index != reference.index ||
+               r.best.delta != reference.delta) {
+      std::cerr << "tile sweep diverged at tile " << tile << "\n";
+      return 1;
+    }
+    auto work = device.counters().snapshot();
+    auto ranges = static_cast<std::int64_t>((n + tile - 1) / tile);
+    std::int64_t tiles = ranges * (ranges + 1) / 2;
+    // Staging overhead: staged coordinate loads relative to the n the
+    // whole pass fundamentally needs once.
+    double overhead = static_cast<double>(work.global_reads) /
+                      static_cast<double>(n);
+    double kernel_us = model.kernel_time_us(work.checks, work.kernel_launches);
+    table.add_row({std::to_string(tile), std::to_string(ranges),
+                   std::to_string(tiles),
+                   std::to_string(work.kernel_launches),
+                   fmt_count(static_cast<double>(work.global_reads), 1),
+                   fmt_fixed(overhead, 1) + "x", fmt_us(kernel_us),
+                   fmt_us(r.wall_seconds * 1e6)});
+  }
+  table.print(std::cout);
+  std::cout << "\nAll tile sizes returned the identical best move. Larger "
+               "tiles amortize launches and staging quadratically (tiles ~ "
+               "(n/tile)^2) — why the paper packs two 3072-coordinate "
+               "ranges into the 48 kB of shared memory.\n";
+  return 0;
+}

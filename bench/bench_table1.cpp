@@ -1,0 +1,55 @@
+// Reproduces Table I: "2-opt single run — memory needed".
+//
+// For each of the paper's 13 Table I instances, the O(n^2) distance LUT
+// footprint (the approach §II-B rules out on GPUs) versus the O(n)
+// coordinate array the kernels actually use. The paper prints MB for the
+// LUT and kB for coordinates; we print both plus the exact byte counts,
+// and verify the small LUTs by building them.
+#include <cstdio>
+#include <iostream>
+
+#include "benchsup/table.hpp"
+#include "tsp/catalog.hpp"
+#include "tsp/distance_matrix.hpp"
+
+int main() {
+  using namespace tspopt;
+  using namespace tspopt::benchsup;
+
+  std::cout << "=== Table I: 2-opt single run - memory needed ===\n"
+            << "LUT = n^2 int32 distance look-up table; coords = n float2\n"
+            << "(paper: Table I, same instances and formulas)\n\n";
+
+  Table table({"Problem", "Cities", "LUT (MB)", "Coords (kB)", "LUT bytes",
+               "Coord bytes", "Ratio"});
+  for (const CatalogEntry& e : table1_catalog()) {
+    std::size_t lut = DistanceMatrix::lut_bytes(e.n);
+    std::size_t coords = DistanceMatrix::coordinate_bytes(e.n);
+    table.add_row({e.name, std::to_string(e.n),
+                   fmt_fixed(static_cast<double>(lut) / 1e6, 2),
+                   fmt_fixed(static_cast<double>(coords) / 1e3, 2),
+                   std::to_string(lut), std::to_string(coords),
+                   fmt_fixed(static_cast<double>(lut) /
+                                 static_cast<double>(coords),
+                             0)});
+    // Sanity: the formula matches a really-built LUT for small n.
+    if (e.n <= 1500) {
+      Instance inst = make_catalog_instance(e);
+      DistanceMatrix built(inst);
+      if (built.memory_bytes() != lut) {
+        std::cerr << "LUT accounting mismatch for " << e.name << "\n";
+        return 1;
+      }
+    }
+  }
+  table.print(std::cout);
+  maybe_export_csv(table, "table1");
+
+  std::cout << "\nA modern-for-2013 GPU has 1-3 GB of global memory and "
+               "48 kB of shared memory per SM:\n"
+               "the LUT for fnl4461 (76 MB) cannot be staged on-chip, while "
+               "its 35 kB of coordinates fit\n"
+               "entirely in one SM's shared memory — the paper's case for "
+               "recomputing distances (Opt. 1).\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Device exploration: run the same 2-opt pass on several simulated
+// devices and compare — functionally identical results, different
+// constraints (shared-memory capacity changes the kernel/tile choice) and
+// different modeled cost. Demonstrates the simt:: substrate as a
+// library-level API, independent of the benches.
+//
+//   $ ./examples/device_compare [n]    # default 4000
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "simt/device.hpp"
+#include "simt/perf_model.hpp"
+#include "solver/twoopt_gpu.hpp"
+#include "solver/twoopt_tiled.hpp"
+#include "tsp/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tspopt;
+
+  std::int32_t n = argc > 1 ? std::atoi(argv[1]) : 4000;
+  if (n < 3) {
+    std::cerr << "usage: device_compare [n>=3]\n";
+    return 2;
+  }
+  Instance instance = generate_uniform("compare", n, 9);
+  Pcg32 rng(3);
+  Tour tour = Tour::random(n, rng);
+
+  std::cout << "one full 2-opt pass over " << pair_count(n)
+            << " pairs, n = " << n << "\n\n";
+  std::cout << std::left << std::setw(38) << "device" << std::setw(10)
+            << "kernel" << std::setw(10) << "shared" << std::setw(10)
+            << "tile" << std::setw(14) << "best delta" << std::setw(14)
+            << "modeled total\n";
+
+  for (const simt::DeviceSpec& spec : simt::fig9_devices()) {
+    simt::Device device(spec);
+    std::unique_ptr<TwoOptEngine> engine;
+    std::string kernel_kind, tile = "-";
+    if (n <= TwoOptGpuSmall::max_cities(device)) {
+      engine = std::make_unique<TwoOptGpuSmall>(device);
+      kernel_kind = "single";
+    } else {
+      auto tiled = std::make_unique<TwoOptGpuTiled>(device);
+      tile = std::to_string(tiled->tile());
+      kernel_kind = "tiled";
+      engine = std::move(tiled);
+    }
+    SearchResult r = engine->search(instance, tour);
+    simt::PerfModel model(spec);
+    double total_us = model.price(device.counters().snapshot()).total_us();
+    std::cout << std::left << std::setw(38) << (spec.name + " " + spec.api)
+              << std::setw(10) << kernel_kind << std::setw(10)
+              << (std::to_string(spec.shared_mem_bytes / 1024) + " kB")
+              << std::setw(10) << tile << std::setw(14) << r.best.delta
+              << std::setw(14)
+              << (std::to_string(static_cast<long>(total_us)) + " us")
+              << "\n";
+  }
+  std::cout << "\nEvery device found the identical best move; only the "
+               "constraints and the modeled cost differ.\n"
+            << "Note the Radeons' 64 kB LDS fits the single-range kernel up "
+               "to ~8k cities where the 48 kB devices already tile.\n";
+  return 0;
+}

@@ -1,0 +1,141 @@
+#include "benchsup/table.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace tspopt::benchsup {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  TSPOPT_CHECK(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  TSPOPT_CHECK_MSG(cells.size() == headers_.size(),
+                   "row has " << cells.size() << " cells, expected "
+                              << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << "  ";
+      out << (c == 0 ? std::left : std::right)
+          << std::setw(static_cast<int>(widths[c])) << row[c];
+    }
+    out << '\n';
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  out << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+namespace {
+void write_csv_cell(std::ostream& out, const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) {
+    out << cell;
+    return;
+  }
+  out << '"';
+  for (char ch : cell) {
+    if (ch == '"') out << '"';
+    out << ch;
+  }
+  out << '"';
+}
+}  // namespace
+
+void Table::write_csv(std::ostream& out) const {
+  auto write_row = [&out](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << ',';
+      write_csv_cell(out, row[c]);
+    }
+    out << '\n';
+  };
+  write_row(headers_);
+  for (const auto& row : rows_) write_row(row);
+}
+
+std::string maybe_export_csv(const Table& table, const std::string& name) {
+  const char* dir = std::getenv("REPRO_ARTIFACTS");
+  if (dir == nullptr || *dir == '\0') return {};
+  std::string path = std::string(dir) + "/" + name + ".csv";
+  std::ofstream out(path);
+  TSPOPT_CHECK_MSG(out.good(), "cannot write CSV artifact: " << path);
+  table.write_csv(out);
+  return path;
+}
+
+std::string fmt_us(double us) {
+  std::ostringstream os;
+  os << std::fixed;
+  if (us < 1000.0) {
+    os << std::setprecision(us < 100.0 ? 1 : 0) << us << " us";
+  } else if (us < 1e6) {
+    os << std::setprecision(2) << us / 1e3 << " ms";
+  } else if (us < 60e6) {
+    os << std::setprecision(2) << us / 1e6 << " s";
+  } else if (us < 3600e6) {
+    os << std::setprecision(1) << us / 60e6 << " m";
+  } else {
+    os << std::setprecision(1) << us / 3600e6 << " h";
+  }
+  return os.str();
+}
+
+std::string fmt_count(double v, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits);
+  if (v < 1e3) {
+    os << v;
+  } else if (v < 1e6) {
+    os << v / 1e3 << " k";
+  } else if (v < 1e9) {
+    os << v / 1e6 << " M";
+  } else {
+    os << v / 1e9 << " G";
+  }
+  return os.str();
+}
+
+std::string fmt_fixed(double v, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << v;
+  return os.str();
+}
+
+std::string fmt_bytes(std::size_t bytes) {
+  std::ostringstream os;
+  os << std::fixed;
+  auto b = static_cast<double>(bytes);
+  if (b < 1024.0) {
+    os << bytes << " B";
+  } else if (b < 1024.0 * 1024.0) {
+    os << std::setprecision(1) << b / 1024.0 << " kB";
+  } else if (b < 1024.0 * 1024.0 * 1024.0) {
+    os << std::setprecision(1) << b / (1024.0 * 1024.0) << " MB";
+  } else {
+    os << std::setprecision(2) << b / (1024.0 * 1024.0 * 1024.0) << " GB";
+  }
+  return os.str();
+}
+
+}  // namespace tspopt::benchsup

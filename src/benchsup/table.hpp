@@ -1,0 +1,43 @@
+// Fixed-width console table formatting shared by the bench binaries, so
+// every reproduced table/figure prints in a consistent, diff-friendly
+// layout (and mirrors the paper's row structure).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tspopt::benchsup {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Append one row; cell count must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  void print(std::ostream& out) const;
+
+  // RFC-4180-style CSV (quotes cells containing commas/quotes/newlines).
+  void write_csv(std::ostream& out) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Number formatting helpers for table cells.
+std::string fmt_us(double microseconds);      // adaptive us/ms/s
+std::string fmt_count(double v, int digits = 1);  // 12.3 M style
+std::string fmt_fixed(double v, int digits);
+std::string fmt_bytes(std::size_t bytes);     // adaptive kB/MB/GB
+
+// If the REPRO_ARTIFACTS environment variable names a directory, write the
+// table there as <name>.csv and return the path; otherwise do nothing.
+// Lets every bench run double as a plot-ready data export.
+std::string maybe_export_csv(const Table& table, const std::string& name);
+
+}  // namespace tspopt::benchsup

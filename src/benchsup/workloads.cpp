@@ -1,0 +1,23 @@
+#include "benchsup/workloads.hpp"
+
+#include "common/env.hpp"
+
+namespace tspopt::benchsup {
+
+std::int32_t executed_size_cap() {
+  if (full_scale()) return 1 << 30;
+  return static_cast<std::int32_t>(env_long_or("REPRO_SIZE_CAP", 25000));
+}
+
+std::vector<CatalogEntry> executed_entries() {
+  std::vector<CatalogEntry> out;
+  std::int32_t cap = executed_size_cap();
+  for (const CatalogEntry& e : paper_catalog()) {
+    if (e.n <= cap) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<CatalogEntry> sweep_entries() { return executed_entries(); }
+
+}  // namespace tspopt::benchsup

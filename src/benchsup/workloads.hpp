@@ -1,0 +1,26 @@
+// Shared bench workload selection.
+//
+// The paper's evaluation spans 52 to 744,710 cities; a full-scale rerun of
+// its largest rows takes hours even on the 2013 GPU. By default the bench
+// binaries run every catalog instance up to a size cap that keeps each
+// binary to a couple of minutes, and *model* (not execute) the larger
+// rows. REPRO_SCALE=full lifts the cap.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tsp/catalog.hpp"
+
+namespace tspopt::benchsup {
+
+// Default executable-size cap for the CI scale (see env.hpp).
+std::int32_t executed_size_cap();
+
+// Catalog entries whose instances the benches actually run.
+std::vector<CatalogEntry> executed_entries();
+
+// The Fig 9 / Fig 10 problem-size sweep (catalog sizes up to the cap).
+std::vector<CatalogEntry> sweep_entries();
+
+}  // namespace tspopt::benchsup

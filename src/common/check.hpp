@@ -1,0 +1,55 @@
+// Lightweight runtime checking macros used across the library.
+//
+// TSPOPT_CHECK is always on (it guards API contracts and file parsing);
+// TSPOPT_DCHECK compiles away in release builds and guards hot-path
+// invariants that are exercised by the test suite.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tspopt {
+
+// Thrown when a TSPOPT_CHECK fails. Deriving from std::runtime_error keeps
+// the checks testable (EXPECT_THROW) instead of aborting the process.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace tspopt
+
+#define TSPOPT_CHECK(expr)                                              \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::tspopt::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define TSPOPT_CHECK_MSG(expr, msg)                                     \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      std::ostringstream tspopt_os_;                                    \
+      tspopt_os_ << msg;                                                \
+      ::tspopt::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                     tspopt_os_.str());                 \
+    }                                                                   \
+  } while (0)
+
+#ifndef NDEBUG
+#define TSPOPT_DCHECK(expr) TSPOPT_CHECK(expr)
+#else
+#define TSPOPT_DCHECK(expr) \
+  do {                      \
+  } while (0)
+#endif

@@ -1,0 +1,161 @@
+// A tiny declarative command-line parser for the example programs.
+//
+// Supports `--flag value`, `--flag=value`, boolean `--flag`, and
+// positional arguments; generates a usage string. Deliberately minimal —
+// the examples need readable argument handling, not a framework.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace tspopt {
+
+class CliParser {
+ public:
+  explicit CliParser(std::string program, std::string description = "")
+      : program_(std::move(program)), description_(std::move(description)) {}
+
+  // Declare options before parse(). `fallback` renders in the usage text.
+  void add_flag(const std::string& name, const std::string& help) {
+    options_[name] = {help, "", true};
+  }
+  void add_option(const std::string& name, const std::string& help,
+                  const std::string& fallback = "") {
+    options_[name] = {help, fallback, false};
+  }
+  void add_positional(const std::string& name, const std::string& help) {
+    positionals_.push_back({name, help});
+  }
+
+  // Returns false (and fills error()) on unknown options or a missing
+  // value; callers print usage() and exit.
+  bool parse(int argc, const char* const* argv) {
+    for (int a = 1; a < argc; ++a) {
+      std::string arg = argv[a];
+      if (arg.rfind("--", 0) == 0) {
+        std::string name = arg.substr(2);
+        std::string value;
+        bool has_value = false;
+        auto eq = name.find('=');
+        if (eq != std::string::npos) {
+          value = name.substr(eq + 1);
+          name = name.substr(0, eq);
+          has_value = true;
+        }
+        auto it = options_.find(name);
+        if (it == options_.end()) {
+          error_ = "unknown option --" + name;
+          return false;
+        }
+        if (it->second.is_flag) {
+          if (has_value) {
+            error_ = "--" + name + " takes no value";
+            return false;
+          }
+          values_[name] = "true";
+        } else {
+          if (!has_value) {
+            if (a + 1 >= argc) {
+              error_ = "--" + name + " needs a value";
+              return false;
+            }
+            value = argv[++a];
+          }
+          values_[name] = value;
+        }
+      } else {
+        positional_values_.push_back(arg);
+      }
+    }
+    if (positional_values_.size() > positionals_.size()) {
+      error_ = "too many positional arguments";
+      return false;
+    }
+    return true;
+  }
+
+  bool has(const std::string& name) const { return values_.count(name) > 0; }
+
+  std::string get(const std::string& name,
+                  const std::string& fallback = "") const {
+    auto it = values_.find(name);
+    if (it != values_.end()) return it->second;
+    auto opt = options_.find(name);
+    if (opt != options_.end() && !opt->second.fallback.empty()) {
+      return opt->second.fallback;
+    }
+    return fallback;
+  }
+
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    try {
+      return std::stoll(it->second);
+    } catch (...) {
+      return fallback;
+    }
+  }
+
+  double get_double(const std::string& name, double fallback) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    try {
+      return std::stod(it->second);
+    } catch (...) {
+      return fallback;
+    }
+  }
+
+  std::optional<std::string> positional(std::size_t index) const {
+    if (index < positional_values_.size()) return positional_values_[index];
+    return std::nullopt;
+  }
+
+  const std::string& error() const { return error_; }
+
+  std::string usage() const {
+    std::ostringstream os;
+    os << "usage: " << program_;
+    for (const auto& p : positionals_) os << " [" << p.name << "]";
+    if (!options_.empty()) os << " [options]";
+    os << "\n";
+    if (!description_.empty()) os << description_ << "\n";
+    for (const auto& p : positionals_) {
+      os << "  " << p.name << "  " << p.help << "\n";
+    }
+    for (const auto& [name, opt] : options_) {
+      os << "  --" << name << (opt.is_flag ? "" : " <v>") << "  " << opt.help;
+      if (!opt.fallback.empty()) os << " (default: " << opt.fallback << ")";
+      os << "\n";
+    }
+    return os.str();
+  }
+
+ private:
+  struct Option {
+    std::string help;
+    std::string fallback;
+    bool is_flag = false;
+  };
+  struct Positional {
+    std::string name;
+    std::string help;
+  };
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<Positional> positionals_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_values_;
+  std::string error_;
+};
+
+}  // namespace tspopt

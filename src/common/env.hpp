@@ -1,0 +1,28 @@
+// Environment-variable knobs shared by benches and examples.
+//
+// REPRO_SCALE=full lifts the default instance-size caps (the paper's largest
+// runs take hours; the default "ci" scale keeps every bench binary under a
+// few minutes on a laptop-class CPU).
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+namespace tspopt {
+
+inline std::string env_or(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::string(v) : fallback;
+}
+
+inline bool full_scale() { return env_or("REPRO_SCALE", "ci") == "full"; }
+
+inline long env_long_or(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  long parsed = std::strtol(v, &end, 10);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+}  // namespace tspopt

@@ -1,0 +1,100 @@
+// Deterministic, seedable random number generation.
+//
+// The library never uses std::rand or unseeded std::random_device: every
+// stochastic component (instance generators, perturbations, ILS) takes an
+// explicit 64-bit seed so experiments are reproducible run-to-run.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace tspopt {
+
+// SplitMix64 — used to expand a single user seed into independent streams.
+// Reference: Steele, Lea, Flood. "Fast splittable pseudorandom number
+// generators", OOPSLA 2014.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// PCG32 (pcg_xsh_rr_64_32) — the main generator. Small state, good
+// statistical quality, trivially seedable with independent streams.
+class Pcg32 {
+ public:
+  using result_type = std::uint32_t;
+
+  explicit Pcg32(std::uint64_t seed, std::uint64_t stream = 0xDA3E39CB94B95BDBULL)
+      : state_(0), inc_((stream << 1u) | 1u) {
+    next();
+    state_ += seed;
+    next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return next(); }
+
+  result_type next() {
+    std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    auto xorshifted =
+        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  std::uint64_t next_u64() {
+    return (static_cast<std::uint64_t>(next()) << 32) | next();
+  }
+
+  // Unbiased integer in [0, bound) via Lemire's multiply-shift rejection.
+  std::uint32_t next_below(std::uint32_t bound) {
+    if (bound <= 1) return 0;
+    std::uint64_t m = static_cast<std::uint64_t>(next()) * bound;
+    auto lo = static_cast<std::uint32_t>(m);
+    if (lo < bound) {
+      std::uint32_t threshold = (0u - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<std::uint64_t>(next()) * bound;
+        lo = static_cast<std::uint32_t>(m);
+      }
+    }
+    return static_cast<std::uint32_t>(m >> 32);
+  }
+
+  // Integer in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint32_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform float in [lo, hi).
+  float next_float(float lo, float hi) {
+    return lo + static_cast<float>(next_double()) * (hi - lo);
+  }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+}  // namespace tspopt

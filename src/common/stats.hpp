@@ -1,0 +1,62 @@
+// Streaming statistics (Welford) and small-sample summaries used by the
+// benchmark harnesses to report repeated-measurement noise.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace tspopt {
+
+// Numerically stable running mean/variance over a stream of doubles.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Percentile of a sample using linear interpolation between order
+// statistics. `q` in [0, 1]. The input is copied; callers keep their data.
+inline double percentile(std::vector<double> xs, double q) {
+  TSPOPT_CHECK(!xs.empty());
+  TSPOPT_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs.front();
+  double pos = q * static_cast<double>(xs.size() - 1);
+  auto lo = static_cast<std::size_t>(pos);
+  std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return xs[lo] + (xs[hi] - xs[lo]) * frac;
+}
+
+inline double median(std::vector<double> xs) {
+  return percentile(std::move(xs), 0.5);
+}
+
+}  // namespace tspopt

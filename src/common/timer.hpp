@@ -1,0 +1,33 @@
+// Wall-clock timing helpers for benchmarks and experiment harnesses.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace tspopt {
+
+// Monotonic stopwatch. Construct (or reset()) to start, query elapsed time
+// at any point without stopping.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double millis() const { return seconds() * 1e3; }
+  double micros() const { return seconds() * 1e6; }
+  std::int64_t nanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tspopt

@@ -1,0 +1,66 @@
+// Blocking data-parallel loops over integer ranges on a ThreadPool.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+#include "common/check.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace tspopt {
+
+// Static partition: range [begin, end) is cut into one contiguous chunk per
+// worker. Right for regular per-element cost (the 2-opt pair space).
+// fn(chunk_begin, chunk_end, worker_index) is called once per worker.
+inline void parallel_for_chunks(
+    ThreadPool& pool, std::int64_t begin, std::int64_t end,
+    const std::function<void(std::int64_t, std::int64_t, std::size_t)>& fn) {
+  TSPOPT_CHECK(begin <= end);
+  const std::int64_t total = end - begin;
+  if (total == 0) return;
+  const auto workers = static_cast<std::int64_t>(pool.size());
+  const std::int64_t chunks = std::min<std::int64_t>(workers, total);
+  const std::int64_t base = total / chunks;
+  const std::int64_t rem = total % chunks;
+  pool.run_on_all([&](std::size_t w) {
+    auto c = static_cast<std::int64_t>(w);
+    if (c >= chunks) return;
+    // Chunks 0..rem-1 get one extra element.
+    std::int64_t lo = begin + c * base + std::min(c, rem);
+    std::int64_t hi = lo + base + (c < rem ? 1 : 0);
+    fn(lo, hi, w);
+  });
+}
+
+// Dynamic partition: workers grab fixed-size chunks from a shared counter.
+// Right for irregular per-element cost (e.g. greedy edge construction).
+inline void parallel_for_dynamic(
+    ThreadPool& pool, std::int64_t begin, std::int64_t end,
+    std::int64_t chunk,
+    const std::function<void(std::int64_t, std::int64_t, std::size_t)>& fn) {
+  TSPOPT_CHECK(begin <= end);
+  TSPOPT_CHECK(chunk > 0);
+  if (begin == end) return;
+  std::atomic<std::int64_t> next{begin};
+  pool.run_on_all([&](std::size_t w) {
+    for (;;) {
+      std::int64_t lo = next.fetch_add(chunk, std::memory_order_relaxed);
+      if (lo >= end) return;
+      fn(lo, std::min(lo + chunk, end), w);
+    }
+  });
+}
+
+// Element-wise convenience wrapper over the static partition.
+inline void parallel_for_each(ThreadPool& pool, std::int64_t begin,
+                              std::int64_t end,
+                              const std::function<void(std::int64_t)>& fn) {
+  parallel_for_chunks(pool, begin, end,
+                      [&fn](std::int64_t lo, std::int64_t hi, std::size_t) {
+                        for (std::int64_t i = lo; i < hi; ++i) fn(i);
+                      });
+}
+
+}  // namespace tspopt

@@ -1,0 +1,58 @@
+// Device-resident buffers with explicit, metered host<->device copies.
+//
+// Mirrors cudaMalloc/cudaMemcpy: host code cannot hand a kernel host
+// pointers; it must copy into a Buffer first, and every crossing of the
+// boundary is counted so the performance model can price the PCIe traffic
+// (Table II's "Host to device copy" and "Device to host copy" columns).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+#include "simt/device.hpp"
+
+namespace tspopt::simt {
+
+template <typename T>
+class Buffer {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "device buffers hold trivially copyable data");
+
+ public:
+  Buffer(Device& device, std::size_t count)
+      : device_(&device), data_(count) {}
+
+  std::size_t size() const { return data_.size(); }
+
+  void copy_from_host(std::span<const T> src) {
+    TSPOPT_CHECK_MSG(src.size() <= data_.size(),
+                     "H2D copy larger than buffer");
+    std::memcpy(data_.data(), src.data(), src.size_bytes());
+    auto& c = device_->counters();
+    c.h2d_transfers.fetch_add(1, std::memory_order_relaxed);
+    c.h2d_bytes.fetch_add(src.size_bytes(), std::memory_order_relaxed);
+  }
+
+  void copy_to_host(std::span<T> dst) const {
+    TSPOPT_CHECK_MSG(dst.size() <= data_.size(),
+                     "D2H copy larger than buffer");
+    std::memcpy(dst.data(), data_.data(), dst.size_bytes());
+    auto& c = device_->counters();
+    c.d2h_transfers.fetch_add(1, std::memory_order_relaxed);
+    c.d2h_bytes.fetch_add(dst.size_bytes(), std::memory_order_relaxed);
+  }
+
+  // Device-side views, for kernels only (by convention — the simulator
+  // shares one address space, the paper's GPUs do not).
+  std::span<const T> device_view() const { return data_; }
+  std::span<T> device_view_mutable() { return data_; }
+
+ private:
+  Device* device_;
+  std::vector<T> data_;
+};
+
+}  // namespace tspopt::simt

@@ -1,0 +1,55 @@
+// Work counters accumulated by the SIMT simulator.
+//
+// Kernels report what they did (checks evaluated, bytes staged/transferred,
+// launches); the performance model converts these counts into modeled
+// device times, and benches report them directly (e.g. Table II's
+// "2-opt checks/s" column).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace tspopt::simt {
+
+struct PerfCounters {
+  std::atomic<std::uint64_t> kernel_launches{0};
+  std::atomic<std::uint64_t> checks{0};            // 2-opt pair evaluations
+  std::atomic<std::uint64_t> h2d_transfers{0};
+  std::atomic<std::uint64_t> h2d_bytes{0};
+  std::atomic<std::uint64_t> d2h_transfers{0};
+  std::atomic<std::uint64_t> d2h_bytes{0};
+  std::atomic<std::uint64_t> shared_bytes_allocated{0};  // peak per launch sum
+  std::atomic<std::uint64_t> global_reads{0};      // device-memory loads
+
+  void reset() {
+    kernel_launches = 0;
+    checks = 0;
+    h2d_transfers = 0;
+    h2d_bytes = 0;
+    d2h_transfers = 0;
+    d2h_bytes = 0;
+    shared_bytes_allocated = 0;
+    global_reads = 0;
+  }
+
+  // Snapshot for arithmetic without atomics.
+  struct Snapshot {
+    std::uint64_t kernel_launches;
+    std::uint64_t checks;
+    std::uint64_t h2d_transfers;
+    std::uint64_t h2d_bytes;
+    std::uint64_t d2h_transfers;
+    std::uint64_t d2h_bytes;
+    std::uint64_t shared_bytes_allocated;
+    std::uint64_t global_reads;
+  };
+
+  Snapshot snapshot() const {
+    return {kernel_launches.load(), checks.load(),
+            h2d_transfers.load(),   h2d_bytes.load(),
+            d2h_transfers.load(),   d2h_bytes.load(),
+            shared_bytes_allocated.load(), global_reads.load()};
+  }
+};
+
+}  // namespace tspopt::simt

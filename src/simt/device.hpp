@@ -1,0 +1,114 @@
+// A simulated compute device: spec + work counters + a block scheduler.
+//
+// The functional contract mirrors CUDA/OpenCL: host code allocates device
+// buffers, copies data across an explicit (metered) boundary, launches
+// phase-structured block kernels, and reads results back. Blocks execute
+// concurrently on the process thread pool; threads within a block execute
+// in tid order between barriers (the phase boundaries), which is exactly
+// the ordering the paper's kernels rely on.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.hpp"
+#include "parallel/thread_pool.hpp"
+#include "simt/counters.hpp"
+#include "simt/device_spec.hpp"
+#include "simt/shared_memory.hpp"
+#include "simt/types.hpp"
+
+namespace tspopt::simt {
+
+class Device;
+
+// Everything a kernel phase can see about its block. Mirrors the CUDA
+// built-ins (blockIdx/blockDim/gridDim) plus the dynamic shared memory
+// arena and the device work counters.
+struct BlockCtx {
+  std::uint32_t block_idx = 0;
+  LaunchConfig cfg;
+  SharedMemory* shared = nullptr;
+  PerfCounters* counters = nullptr;
+  const DeviceSpec* spec = nullptr;
+
+  // Kernel-managed pointer into the shared arena, set in block_begin so the
+  // later phases can find the block's staged data (the moral equivalent of
+  // named __shared__ variables).
+  void* state = nullptr;
+
+  std::uint64_t global_thread(std::uint32_t tid) const {
+    return static_cast<std::uint64_t>(block_idx) * cfg.block_dim + tid;
+  }
+};
+
+// A kernel is phase-structured: block_begin (cooperative load, runs once
+// per block), thread (per-thread body, called for each tid), block_end
+// (reduction + global writeback). The barriers a CUDA kernel would place
+// between these phases are implicit. Kernel methods are const: mutable
+// state lives in shared or device memory, as on real hardware.
+template <typename K>
+concept BlockKernel = requires(const K k, BlockCtx& ctx, std::uint32_t tid) {
+  k.block_begin(ctx);
+  k.thread(ctx, tid);
+  k.block_end(ctx);
+};
+
+class Device {
+ public:
+  explicit Device(DeviceSpec spec, ThreadPool* pool = nullptr)
+      : spec_(std::move(spec)),
+        pool_(pool != nullptr ? pool : &ThreadPool::shared()) {}
+
+  const DeviceSpec& spec() const { return spec_; }
+  PerfCounters& counters() { return counters_; }
+  const PerfCounters& counters() const { return counters_; }
+  ThreadPool& pool() { return *pool_; }
+
+  // Default launch geometry: the paper's gridDim = SM count, 1024 threads.
+  LaunchConfig default_config(std::uint32_t shared_bytes = 0) const {
+    LaunchConfig cfg;
+    cfg.grid_dim = spec_.preferred_grid_dim;
+    cfg.block_dim = spec_.max_block_dim;
+    cfg.shared_bytes = shared_bytes;
+    return cfg;
+  }
+
+  template <BlockKernel K>
+  void launch(const LaunchConfig& cfg, const K& kernel) {
+    TSPOPT_CHECK_MSG(cfg.block_dim >= 1 && cfg.block_dim <= spec_.max_block_dim,
+                     "block_dim " << cfg.block_dim << " exceeds device limit "
+                                  << spec_.max_block_dim);
+    TSPOPT_CHECK(cfg.grid_dim >= 1);
+    TSPOPT_CHECK_MSG(cfg.shared_bytes <= spec_.shared_mem_bytes,
+                     "requested " << cfg.shared_bytes
+                                  << " B shared memory, device has "
+                                  << spec_.shared_mem_bytes);
+    counters_.kernel_launches.fetch_add(1, std::memory_order_relaxed);
+
+    std::atomic<std::uint32_t> next_block{0};
+    pool_->run_on_all([&](std::size_t) {
+      // One shared-memory arena per worker, reused across its blocks.
+      SharedMemory shared(spec_.shared_mem_bytes);
+      for (;;) {
+        std::uint32_t b = next_block.fetch_add(1, std::memory_order_relaxed);
+        if (b >= cfg.grid_dim) return;
+        shared.reset();
+        BlockCtx ctx{b, cfg, &shared, &counters_, &spec_};
+        kernel.block_begin(ctx);
+        for (std::uint32_t tid = 0; tid < cfg.block_dim; ++tid) {
+          kernel.thread(ctx, tid);
+        }
+        kernel.block_end(ctx);
+        counters_.shared_bytes_allocated.fetch_add(
+            shared.used(), std::memory_order_relaxed);
+      }
+    });
+  }
+
+ private:
+  DeviceSpec spec_;
+  ThreadPool* pool_;
+  PerfCounters counters_;
+};
+
+}  // namespace tspopt::simt

@@ -1,0 +1,61 @@
+// Device descriptions for the SIMT simulator and its performance model.
+//
+// Functional limits (shared-memory capacity, max threads/block) constrain
+// what kernels may do, exactly as on the paper's hardware. The throughput
+// numbers feed the analytic timing model (perf_model.hpp) and are
+// calibrated so the model reproduces the paper's Table II / Fig 9 / Fig 10
+// shapes; see each preset's comment for the calibration source.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tspopt::simt {
+
+struct DeviceSpec {
+  std::string name;
+  std::string api;  // "CUDA" or "OpenCL"
+  bool is_gpu = true;
+
+  // Functional limits enforced by the simulator.
+  std::uint32_t shared_mem_bytes = 48 * 1024;  // per block
+  std::uint32_t max_block_dim = 1024;
+  std::uint32_t preferred_grid_dim = 28;  // SM/CU count (blocks per launch)
+
+  // Performance-model parameters.
+  double peak_checks_per_sec = 0.0;  // sustained 2-opt checks/s at saturation
+  double half_occupancy_checks = 0.0;  // checks at which half of peak is hit
+  double kernel_launch_us = 0.0;       // fixed per-launch overhead
+  double h2d_latency_us = 0.0;         // host->device copy setup cost
+  double h2d_gbytes_per_sec = 0.0;     // effective host->device bandwidth
+  double d2h_latency_us = 0.0;         // device->host result readback
+  double d2h_gbytes_per_sec = 0.0;
+
+  // FLOPs the paper's Listing-1 check performs (4 rounded Euclidean
+  // distances + compare); used to convert checks/s into Fig 9's GFLOP/s.
+  static constexpr double kFlopsPerCheck = 35.0;
+
+  double peak_gflops() const { return peak_checks_per_sec * kFlopsPerCheck / 1e9; }
+};
+
+// Every device that appears in the paper's evaluation (Figs 9 and 10,
+// Table II). The first entry is the Table II device (GTX 680, CUDA).
+const DeviceSpec& gtx680_cuda();
+const DeviceSpec& gtx680_opencl();
+const DeviceSpec& radeon7970();
+const DeviceSpec& radeon7970_ghz();
+const DeviceSpec& radeon6990();
+const DeviceSpec& radeon5970();
+const DeviceSpec& xeon_e5_2667_x2();   // 16-core parallel CPU baseline (Fig 10)
+const DeviceSpec& opteron_x2();        // 32-core AMD OpenCL CPU
+const DeviceSpec& corei7_3960x();      // the "6 cores" CPU of the abstract
+
+// The Fig 9 device roster, in the figure's legend order.
+const std::vector<DeviceSpec>& fig9_devices();
+
+// A spec describing the *host this code runs on* (no timing model; used
+// when the simulator reports measured wall-clock rather than modeled time).
+DeviceSpec host_device(std::uint32_t threads);
+
+}  // namespace tspopt::simt

@@ -1,0 +1,70 @@
+#include "simt/perf_model.hpp"
+
+#include "common/check.hpp"
+
+namespace tspopt::simt {
+
+double PerfModel::kernel_time_us(std::uint64_t checks,
+                                 std::uint64_t launches) const {
+  TSPOPT_CHECK(spec_.peak_checks_per_sec > 0.0);
+  if (checks == 0 && launches == 0) return 0.0;
+  // Peak-rate compute time plus a bounded occupancy penalty per launch:
+  // the penalty ramps in with the per-launch work (tiny kernels are pure
+  // launch overhead, as Table II's berlin52 row shows) and saturates at
+  // half_occupancy/peak once the device is full. See device_spec.cpp for
+  // the fit against Table II.
+  double peak_us =
+      static_cast<double>(checks) / spec_.peak_checks_per_sec * 1e6;
+  double per_launch =
+      launches > 0
+          ? static_cast<double>(checks) / static_cast<double>(launches)
+          : static_cast<double>(checks);
+  double ramp = per_launch / (per_launch + spec_.half_occupancy_checks);
+  double penalty_us = static_cast<double>(launches) *
+                      spec_.half_occupancy_checks /
+                      spec_.peak_checks_per_sec * 1e6 * ramp;
+  return static_cast<double>(launches) * spec_.kernel_launch_us + peak_us +
+         penalty_us;
+}
+
+double PerfModel::h2d_time_us(std::uint64_t bytes,
+                              std::uint64_t transfers) const {
+  if (transfers == 0) return 0.0;
+  double bw_us = spec_.h2d_gbytes_per_sec > 0.0
+                     ? static_cast<double>(bytes) /
+                           (spec_.h2d_gbytes_per_sec * 1e3)
+                     : 0.0;  // CPU "device": no PCIe
+  return static_cast<double>(transfers) * spec_.h2d_latency_us + bw_us;
+}
+
+double PerfModel::d2h_time_us(std::uint64_t bytes,
+                              std::uint64_t transfers) const {
+  if (transfers == 0) return 0.0;
+  double bw_us = spec_.d2h_gbytes_per_sec > 0.0
+                     ? static_cast<double>(bytes) /
+                           (spec_.d2h_gbytes_per_sec * 1e3)
+                     : 0.0;
+  return static_cast<double>(transfers) * spec_.d2h_latency_us + bw_us;
+}
+
+TimingBreakdown PerfModel::price(const PerfCounters::Snapshot& work) const {
+  TimingBreakdown t;
+  t.kernel_us = kernel_time_us(work.checks, work.kernel_launches);
+  t.h2d_us = h2d_time_us(work.h2d_bytes, work.h2d_transfers);
+  t.d2h_us = d2h_time_us(work.d2h_bytes, work.d2h_transfers);
+  return t;
+}
+
+double PerfModel::achieved_gflops(std::uint64_t checks) const {
+  double us = kernel_time_us(checks, 1);
+  if (us <= 0.0) return 0.0;
+  return static_cast<double>(checks) * DeviceSpec::kFlopsPerCheck / us / 1e3;
+}
+
+double PerfModel::checks_per_second(std::uint64_t checks) const {
+  double us = kernel_time_us(checks, 1);
+  if (us <= 0.0) return 0.0;
+  return static_cast<double>(checks) / us * 1e6;
+}
+
+}  // namespace tspopt::simt

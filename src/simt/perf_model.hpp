@@ -1,0 +1,58 @@
+// Analytic device timing model.
+//
+// Converts counted work (2-opt checks, launches, transferred bytes — see
+// counters.hpp) into modeled wall times for any DeviceSpec. This is how the
+// repository reproduces the paper's Table II timing columns and the Fig 9 /
+// Fig 10 curves without the 2013 hardware: the model has exactly the
+// first-order terms the paper discusses — per-launch overhead, an occupancy
+// ramp (small problems cannot fill the device), a sustained check rate, and
+// PCIe latency + bandwidth for the copies.
+//
+//   kernel_us   = launches * launch_us + (checks + launches * half_occ) / rate
+//   h2d_us      = transfers * latency + bytes / bandwidth
+//   d2h_us      = transfers * latency + bytes / bandwidth
+//
+// The (checks + half_occ) numerator is the closed form of a saturating
+// occupancy curve rate_eff = rate * checks / (checks + half_occ); see
+// device_spec.cpp for the per-device calibration against Table II.
+#pragma once
+
+#include "simt/counters.hpp"
+#include "simt/device_spec.hpp"
+
+namespace tspopt::simt {
+
+struct TimingBreakdown {
+  double kernel_us = 0.0;
+  double h2d_us = 0.0;
+  double d2h_us = 0.0;
+
+  double total_us() const { return kernel_us + h2d_us + d2h_us; }
+};
+
+class PerfModel {
+ public:
+  explicit PerfModel(DeviceSpec spec) : spec_(std::move(spec)) {}
+
+  const DeviceSpec& spec() const { return spec_; }
+
+  double kernel_time_us(std::uint64_t checks, std::uint64_t launches = 1) const;
+  double h2d_time_us(std::uint64_t bytes, std::uint64_t transfers = 1) const;
+  double d2h_time_us(std::uint64_t bytes, std::uint64_t transfers = 1) const;
+
+  // Price a full counter snapshot (typically the delta across one 2-opt
+  // pass or one full local search).
+  TimingBreakdown price(const PerfCounters::Snapshot& work) const;
+
+  // Fig 9's y-axis: achieved GFLOP/s of the distance calculation for a
+  // single pass of `checks` pair evaluations.
+  double achieved_gflops(std::uint64_t checks) const;
+
+  // Effective checks/s for a single pass (Table II's "2-opt checks/s").
+  double checks_per_second(std::uint64_t checks) const;
+
+ private:
+  DeviceSpec spec_;
+};
+
+}  // namespace tspopt::simt

@@ -1,0 +1,54 @@
+// Per-block shared-memory arena.
+//
+// A bump allocator over a fixed-size byte buffer whose capacity is the
+// device's shared-memory-per-block limit. This is what enforces the
+// paper's constraints in the simulator: a single coordinate range tops out
+// at 6144 cities in 48 kB, and the two-range tiled kernel at 3072 cities
+// per range (paper §IV-A/B).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace tspopt::simt {
+
+class SharedMemory {
+ public:
+  explicit SharedMemory(std::uint32_t capacity_bytes)
+      : storage_(capacity_bytes) {}
+
+  std::uint32_t capacity() const {
+    return static_cast<std::uint32_t>(storage_.size());
+  }
+  std::uint32_t used() const { return used_; }
+
+  // Allocate `count` elements of T, aligned to alignof(T). Throws
+  // CheckError when the block's shared memory is exhausted — the same
+  // failure a CUDA kernel launch would report.
+  template <typename T>
+  std::span<T> alloc(std::size_t count) {
+    auto align = static_cast<std::uint32_t>(alignof(T));
+    std::uint32_t offset = (used_ + align - 1) / align * align;
+    auto bytes = static_cast<std::uint64_t>(count) * sizeof(T);
+    TSPOPT_CHECK_MSG(
+        offset + bytes <= storage_.size(),
+        "shared memory exhausted: need " << bytes << " B at offset " << offset
+                                         << ", capacity " << storage_.size());
+    used_ = offset + static_cast<std::uint32_t>(bytes);
+    // storage_ is char-backed and we only ever hand out trivial types.
+    return {reinterpret_cast<T*>(storage_.data() + offset), count};
+  }
+
+  // Release everything (between kernel phases of different launches).
+  void reset() { used_ = 0; }
+
+ private:
+  std::vector<char> storage_;
+  std::uint32_t used_ = 0;
+};
+
+}  // namespace tspopt::simt

@@ -1,0 +1,28 @@
+// Launch-geometry types for the SIMT simulator (CUDA-like).
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.hpp"
+
+namespace tspopt::simt {
+
+// Only 1-D grids/blocks are needed by the paper's kernels (the pair matrix
+// is linearized before launch), so launch geometry is two scalars.
+// Zero dimensions mean "unset": engines substitute the device default
+// (Device::default_config) and Device::launch rejects them outright.
+struct LaunchConfig {
+  std::uint32_t grid_dim = 0;    // number of blocks
+  std::uint32_t block_dim = 0;   // threads per block
+  std::uint32_t shared_bytes = 0;  // dynamic shared memory per block
+
+  std::uint64_t total_threads() const {
+    return static_cast<std::uint64_t>(grid_dim) * block_dim;
+  }
+};
+
+// The paper's configuration: "28 x 1024 (CUDA blocks x threads)".
+inline constexpr std::uint32_t kPaperGridDim = 28;
+inline constexpr std::uint32_t kPaperBlockDim = 1024;
+
+}  // namespace tspopt::simt

@@ -1,0 +1,168 @@
+#include "solver/constructive.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "common/check.hpp"
+#include "tsp/neighbor_lists.hpp"
+
+namespace tspopt {
+
+Tour nearest_neighbor(const Instance& instance, std::int32_t start) {
+  const std::int32_t n = instance.n();
+  TSPOPT_CHECK(start >= 0 && start < n);
+  std::vector<bool> visited(static_cast<std::size_t>(n), false);
+  std::vector<std::int32_t> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::int32_t current = start;
+  visited[static_cast<std::size_t>(current)] = true;
+  order.push_back(current);
+  for (std::int32_t step = 1; step < n; ++step) {
+    std::int32_t best = -1;
+    std::int64_t best_d = std::numeric_limits<std::int64_t>::max();
+    for (std::int32_t c = 0; c < n; ++c) {
+      if (visited[static_cast<std::size_t>(c)]) continue;
+      std::int64_t d = instance.dist(current, c);
+      if (d < best_d) {
+        best_d = d;
+        best = c;
+      }
+    }
+    visited[static_cast<std::size_t>(best)] = true;
+    order.push_back(best);
+    current = best;
+  }
+  return Tour(std::move(order));
+}
+
+namespace {
+
+// Union-find over cities, used to reject premature cycles.
+class DisjointSets {
+ public:
+  explicit DisjointSets(std::int32_t n) : parent_(static_cast<std::size_t>(n)) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::int32_t find(std::int32_t x) {
+    while (parent_[static_cast<std::size_t>(x)] != x) {
+      parent_[static_cast<std::size_t>(x)] =
+          parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(x)])];
+      x = parent_[static_cast<std::size_t>(x)];
+    }
+    return x;
+  }
+  void unite(std::int32_t a, std::int32_t b) {
+    parent_[static_cast<std::size_t>(find(a))] = find(b);
+  }
+
+ private:
+  std::vector<std::int32_t> parent_;
+};
+
+struct CandidateEdge {
+  std::int32_t d;
+  std::int32_t a;
+  std::int32_t b;
+};
+
+}  // namespace
+
+Tour multiple_fragment(const Instance& instance, std::int32_t k) {
+  const std::int32_t n = instance.n();
+  TSPOPT_CHECK(k >= 1);
+
+  // Candidate edges: each city to its k nearest neighbors (deduplicated by
+  // keeping a < b), sorted by length.
+  NeighborLists nl(instance, std::min(k, n - 1));
+  std::vector<CandidateEdge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(nl.k()));
+  for (std::int32_t a = 0; a < n; ++a) {
+    for (std::int32_t b : nl.neighbors(a)) {
+      if (a < b) edges.push_back({instance.dist(a, b), a, b});
+    }
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const CandidateEdge& x, const CandidateEdge& y) {
+              if (x.d != y.d) return x.d < y.d;
+              if (x.a != y.a) return x.a < y.a;
+              return x.b < y.b;
+            });
+
+  std::vector<std::int32_t> degree(static_cast<std::size_t>(n), 0);
+  std::vector<std::array<std::int32_t, 2>> adj(
+      static_cast<std::size_t>(n), {-1, -1});
+  DisjointSets sets(n);
+  auto link = [&](std::int32_t a, std::int32_t b) {
+    adj[static_cast<std::size_t>(a)][static_cast<std::size_t>(
+        degree[static_cast<std::size_t>(a)]++)] = b;
+    adj[static_cast<std::size_t>(b)][static_cast<std::size_t>(
+        degree[static_cast<std::size_t>(b)]++)] = a;
+    sets.unite(a, b);
+  };
+
+  std::int32_t links = 0;
+  for (const CandidateEdge& e : edges) {
+    if (links == n - 1) break;
+    if (degree[static_cast<std::size_t>(e.a)] >= 2 ||
+        degree[static_cast<std::size_t>(e.b)] >= 2) {
+      continue;
+    }
+    if (sets.find(e.a) == sets.find(e.b)) continue;
+    link(e.a, e.b);
+    ++links;
+  }
+
+  // Stitch remaining fragments: greedily connect the closest pair of
+  // endpoints from different fragments until one Hamiltonian path remains.
+  while (links < n - 1) {
+    std::vector<std::int32_t> endpoints;
+    for (std::int32_t c = 0; c < n; ++c) {
+      if (degree[static_cast<std::size_t>(c)] < 2) endpoints.push_back(c);
+    }
+    std::int64_t best_d = std::numeric_limits<std::int64_t>::max();
+    std::int32_t best_a = -1, best_b = -1;
+    for (std::size_t x = 0; x < endpoints.size(); ++x) {
+      for (std::size_t y = x + 1; y < endpoints.size(); ++y) {
+        std::int32_t a = endpoints[x], b = endpoints[y];
+        if (sets.find(a) == sets.find(b)) continue;
+        std::int64_t d = instance.dist(a, b);
+        if (d < best_d) {
+          best_d = d;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    TSPOPT_CHECK_MSG(best_a >= 0, "fragment stitching found no joinable pair");
+    link(best_a, best_b);
+    ++links;
+  }
+
+  // Walk the path into a tour order. The two remaining degree-1 cities are
+  // the path ends; the closing edge is implicit in the cyclic tour.
+  std::int32_t start = 0;
+  for (std::int32_t c = 0; c < n; ++c) {
+    if (degree[static_cast<std::size_t>(c)] == 1) {
+      start = c;
+      break;
+    }
+  }
+  std::vector<std::int32_t> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::int32_t prev = -1;
+  std::int32_t current = start;
+  for (std::int32_t step = 0; step < n; ++step) {
+    order.push_back(current);
+    const auto& nbrs = adj[static_cast<std::size_t>(current)];
+    std::int32_t next = (nbrs[0] != prev) ? nbrs[0] : nbrs[1];
+    prev = current;
+    current = next;
+  }
+  Tour tour(std::move(order));
+  TSPOPT_CHECK_MSG(tour.is_valid(), "multiple fragment produced invalid tour");
+  return tour;
+}
+
+}  // namespace tspopt

@@ -1,0 +1,26 @@
+// Constructive tour heuristics.
+//
+// Multiple Fragment (greedy edge matching, Bentley 1990 — the paper's
+// reference [18]) produces the "Initial Length (MF)" starting tours of
+// Table II; nearest-neighbor is the classic cheaper alternative and a test
+// baseline.
+#pragma once
+
+#include <cstdint>
+
+#include "tsp/instance.hpp"
+#include "tsp/tour.hpp"
+
+namespace tspopt {
+
+// Greedy nearest-neighbor chain from `start`. O(n^2) scan; fine for the
+// instance sizes the benches run at.
+Tour nearest_neighbor(const Instance& instance, std::int32_t start = 0);
+
+// Multiple Fragment: consider short candidate edges (k nearest neighbors
+// per city) in increasing length order, accept an edge when both endpoints
+// have degree < 2 and it closes no premature cycle, then stitch any
+// remaining fragments greedily. Returns a valid closed tour.
+Tour multiple_fragment(const Instance& instance, std::int32_t k = 12);
+
+}  // namespace tspopt

@@ -1,0 +1,45 @@
+// 2-opt move gain evaluation on route-ordered coordinates.
+//
+// `ordered[p]` is the coordinate of the city at tour position p (the
+// paper's Optimization 2: the host permutes coordinates into route order so
+// kernels index positions directly, Fig. 6). The move (i, j) removes tour
+// edges (i, i+1) and (j, j+1 mod n) and adds (i, j), (i+1, j+1 mod n);
+// delta < 0 means the tour shortens by -delta. Degenerate pairs (adjacent
+// edges, or {0, n-1} which shares city 0) evaluate to exactly 0 under this
+// formula, so the brute-force kernels need no special-casing — the same
+// property the paper's kernel relies on.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/check.hpp"
+#include "tsp/metric.hpp"
+#include "tsp/point.hpp"
+
+namespace tspopt {
+
+inline std::int32_t two_opt_delta(std::span<const Point> ordered,
+                                  std::int32_t i, std::int32_t j) {
+  auto n = static_cast<std::int32_t>(ordered.size());
+  TSPOPT_DCHECK(0 <= i && i < j && j < n);
+  const Point& pi = ordered[static_cast<std::size_t>(i)];
+  const Point& pi1 = ordered[static_cast<std::size_t>(i + 1)];
+  const Point& pj = ordered[static_cast<std::size_t>(j)];
+  const Point& pj1 = ordered[static_cast<std::size_t>((j + 1) % n)];
+  return (dist_euc2d(pi, pj) + dist_euc2d(pi1, pj1)) -
+         (dist_euc2d(pi, pi1) + dist_euc2d(pj, pj1));
+}
+
+// Listing 2's "extended" variant for the tiled kernel: the two positions
+// live in different staged coordinate ranges, and each range also holds the
+// successor coordinate (so range A supplies positions i and i+1, range B
+// supplies j and j+1).
+inline std::int32_t two_opt_delta_two_ranges(const Point& pi, const Point& pi1,
+                                             const Point& pj,
+                                             const Point& pj1) {
+  return (dist_euc2d(pi, pj) + dist_euc2d(pi1, pj1)) -
+         (dist_euc2d(pi, pi1) + dist_euc2d(pj, pj1));
+}
+
+}  // namespace tspopt

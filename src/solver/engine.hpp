@@ -1,0 +1,71 @@
+// The 2-opt search engine interface.
+//
+// An engine performs one *full 2-opt search pass* (the paper's "single
+// run"): evaluate every candidate pair of the current tour and return the
+// best move found. The local-search driver (local_search.hpp) applies the
+// move and repeats until a local minimum; the ILS driver perturbs and
+// restarts. Engines are interchangeable and must agree bit-for-bit on the
+// best delta (the equivalence property tests enforce this).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "solver/pair_index.hpp"
+#include "tsp/instance.hpp"
+#include "tsp/tour.hpp"
+
+namespace tspopt {
+
+// The winning move of a pass. Ties on delta are broken toward the smaller
+// pair index so every engine is deterministic and mutually consistent.
+struct BestMove {
+  std::int32_t delta = 0;    // length change; negative improves the tour
+  std::int64_t index = -1;   // linearized pair index; -1 = no pair examined
+  std::int32_t i = -1;
+  std::int32_t j = -1;
+
+  bool improves() const { return delta < 0; }
+
+  // "Better" for reductions: smaller delta, then smaller index. An unset
+  // move (index == -1) behaves as {delta = 0, index = +inf}: any recorded
+  // non-worsening move beats it.
+  bool better_than(const BestMove& other) const {
+    if (index < 0) return false;
+    if (other.index < 0) return delta <= 0;
+    if (delta != other.delta) return delta < other.delta;
+    return index < other.index;
+  }
+};
+
+// Canonical candidate update used by every engine: keep the lexicographic
+// minimum of (delta, pair index) over all non-worsening pairs. Using one
+// shared rule is what makes the engines agree bit-for-bit in the
+// equivalence tests regardless of evaluation order.
+inline void consider_move(BestMove& best, std::int32_t delta, std::int64_t k,
+                          std::int32_t i, std::int32_t j) {
+  if (delta > best.delta) return;
+  if (delta == best.delta && best.index >= 0 && k >= best.index) return;
+  best = {delta, k, i, j};
+}
+
+struct SearchResult {
+  BestMove best;
+  std::uint64_t checks = 0;     // pairs evaluated in this pass
+  double wall_seconds = 0.0;    // measured host wall-clock for the pass
+};
+
+class TwoOptEngine {
+ public:
+  virtual ~TwoOptEngine() = default;
+
+  virtual std::string name() const = 0;
+
+  // One full pass over the candidate pairs of `tour`. Engines that stage
+  // route-ordered coordinates rebuild the staging from the tour each call
+  // (as the paper's host code does before every kernel launch).
+  virtual SearchResult search(const Instance& instance, const Tour& tour) = 0;
+};
+
+}  // namespace tspopt

@@ -1,0 +1,76 @@
+#include "solver/engine_factory.hpp"
+
+#include "solver/twoopt_generic.hpp"
+#include "solver/twoopt_gpu.hpp"
+#include "solver/twoopt_lut.hpp"
+#include "solver/twoopt_multi.hpp"
+#include "solver/twoopt_parallel.hpp"
+#include "solver/twoopt_pruned.hpp"
+#include "solver/twoopt_sequential.hpp"
+#include "solver/twoopt_tiled.hpp"
+
+namespace tspopt {
+
+EngineFactory::EngineFactory(const Instance* instance, std::int32_t k)
+    : instance_(instance),
+      k_(k),
+      device_(simt::gtx680_cuda()),
+      second_device_(simt::gtx680_cuda()) {}
+
+const std::vector<std::string>& EngineFactory::available() {
+  static const std::vector<std::string> names = {
+      "cpu-sequential", "cpu-sequential-indirect",
+      "cpu-generic",    "cpu-parallel",
+      "cpu-lut",        "cpu-pruned",
+      "gpu-small",      "gpu-small-indirect",
+      "gpu-tiled",      "gpu-multi",
+  };
+  return names;
+}
+
+std::unique_ptr<TwoOptEngine> EngineFactory::create(const std::string& name) {
+  if (name == "cpu-sequential") {
+    return std::make_unique<TwoOptSequential>(true);
+  }
+  if (name == "cpu-sequential-indirect") {
+    return std::make_unique<TwoOptSequential>(false);
+  }
+  if (name == "cpu-generic") {
+    return std::make_unique<TwoOptGeneric>();
+  }
+  if (name == "cpu-parallel") {
+    return std::make_unique<TwoOptCpuParallel>();
+  }
+  if (name == "cpu-lut") {
+    TSPOPT_CHECK_MSG(instance_ != nullptr,
+                     "cpu-lut needs the factory's instance");
+    if (!lut_) lut_ = std::make_unique<DistanceMatrix>(*instance_);
+    return std::make_unique<TwoOptLut>(*lut_);
+  }
+  if (name == "cpu-pruned") {
+    TSPOPT_CHECK_MSG(instance_ != nullptr,
+                     "cpu-pruned needs the factory's instance");
+    if (!neighbors_) {
+      neighbors_ = std::make_unique<NeighborLists>(*instance_, k_);
+    }
+    return std::make_unique<TwoOptPruned>(*neighbors_);
+  }
+  if (name == "gpu-small") {
+    return std::make_unique<TwoOptGpuSmall>(device_);
+  }
+  if (name == "gpu-small-indirect") {
+    return std::make_unique<TwoOptGpuSmall>(device_, simt::LaunchConfig{},
+                                            false);
+  }
+  if (name == "gpu-tiled") {
+    return std::make_unique<TwoOptGpuTiled>(device_);
+  }
+  if (name == "gpu-multi") {
+    return std::make_unique<TwoOptMultiDevice>(
+        std::vector<simt::Device*>{&device_, &second_device_});
+  }
+  TSPOPT_CHECK_MSG(false, "unknown engine: " << name);
+  return nullptr;  // unreachable
+}
+
+}  // namespace tspopt

@@ -1,0 +1,51 @@
+// Creation of 2-opt engines by name.
+//
+// Examples and tools select engines from the command line; the factory
+// owns the resources the engines borrow (simulated devices, distance LUT,
+// neighbor lists) so callers manage one object. Engines remain valid as
+// long as the factory lives.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "simt/device.hpp"
+#include "solver/engine.hpp"
+#include "tsp/distance_matrix.hpp"
+#include "tsp/instance.hpp"
+#include "tsp/neighbor_lists.hpp"
+
+namespace tspopt {
+
+class EngineFactory {
+ public:
+  // `instance` is needed only for the instance-bound engines (cpu-lut,
+  // cpu-pruned); pass nullptr when those are not used. `k` sizes the
+  // pruned engine's neighbor lists.
+  explicit EngineFactory(const Instance* instance = nullptr,
+                         std::int32_t k = 10);
+
+  // Known names, in the order they print in help text:
+  //   cpu-sequential, cpu-sequential-indirect, cpu-generic, cpu-parallel,
+  //   cpu-lut, cpu-pruned, gpu-small, gpu-small-indirect, gpu-tiled,
+  //   gpu-multi
+  static const std::vector<std::string>& available();
+
+  // Throws CheckError for unknown names or when a required resource is
+  // missing (e.g. cpu-lut without an instance).
+  std::unique_ptr<TwoOptEngine> create(const std::string& name);
+
+  // The simulated device behind the gpu-* engines (for counters/models).
+  simt::Device& device() { return device_; }
+
+ private:
+  const Instance* instance_;
+  std::int32_t k_;
+  simt::Device device_;
+  simt::Device second_device_;  // gpu-multi's second GPU
+  std::unique_ptr<DistanceMatrix> lut_;
+  std::unique_ptr<NeighborLists> neighbors_;
+};
+
+}  // namespace tspopt

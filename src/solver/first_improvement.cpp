@@ -1,0 +1,150 @@
+#include "solver/first_improvement.hpp"
+
+#include <deque>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/timer.hpp"
+
+namespace tspopt {
+
+namespace {
+
+// Working state for one descent: the tour order plus a city->position
+// index maintained across applied moves.
+class DescentState {
+ public:
+  DescentState(const Instance& instance, Tour& tour)
+      : instance_(instance), tour_(tour), positions_(tour.positions()) {}
+
+  std::int32_t n() const { return tour_.n(); }
+  std::int32_t pos(std::int32_t city) const {
+    return positions_[static_cast<std::size_t>(city)];
+  }
+  std::int32_t city(std::int32_t p) const { return tour_.city_at(p); }
+  std::int32_t succ_pos(std::int32_t p) const {
+    return p + 1 == n() ? 0 : p + 1;
+  }
+  std::int32_t pred_pos(std::int32_t p) const {
+    return p == 0 ? n() - 1 : p - 1;
+  }
+  std::int32_t dist(std::int32_t a, std::int32_t b) const {
+    return instance_.dist(a, b);
+  }
+
+  // Apply the 2-opt move on positions (i, j), i < j, and refresh the
+  // position index (the reversal touches min(j-i, n-(j-i)) entries; a full
+  // rebuild keeps the code simple and is O(n) like the reversal itself).
+  void apply(std::int32_t i, std::int32_t j) {
+    tour_.apply_two_opt(i, j);
+    positions_ = tour_.positions();
+  }
+
+ private:
+  const Instance& instance_;
+  Tour& tour_;
+  std::vector<std::int32_t> positions_;
+};
+
+}  // namespace
+
+FirstImprovementStats first_improvement_descent(
+    const Instance& instance, Tour& tour, const NeighborLists& neighbors,
+    const FirstImprovementOptions& options) {
+  TSPOPT_CHECK(instance.n() == tour.n());
+  TSPOPT_CHECK(neighbors.n() == tour.n());
+  WallTimer timer;
+  FirstImprovementStats stats;
+  const std::int32_t n = tour.n();
+  DescentState state(instance, tour);
+
+  // Active-city queue with don't-look bits: a city is re-examined only
+  // after one of its tour edges changed.
+  std::vector<bool> queued(static_cast<std::size_t>(n), true);
+  std::deque<std::int32_t> queue;
+  for (std::int32_t c = 0; c < n; ++c) queue.push_back(c);
+
+  auto push = [&](std::int32_t c) {
+    if (!queued[static_cast<std::size_t>(c)]) {
+      queued[static_cast<std::size_t>(c)] = true;
+      queue.push_back(c);
+    }
+  };
+
+  while (!queue.empty()) {
+    if (options.max_moves >= 0 && stats.moves_applied >= options.max_moves) {
+      stats.wall_seconds = timer.seconds();
+      return stats;
+    }
+    if (options.time_limit_seconds >= 0.0 &&
+        timer.seconds() >= options.time_limit_seconds) {
+      stats.wall_seconds = timer.seconds();
+      return stats;
+    }
+
+    std::int32_t t1 = queue.front();
+    queue.pop_front();
+    queued[static_cast<std::size_t>(t1)] = false;
+
+    bool improved = false;
+    // Both tour directions: break the edge (t1, succ) or (pred, t1).
+    for (int dir = 0; dir < 2 && !improved; ++dir) {
+      std::int32_t p1 = state.pos(t1);
+      // Normalize to the canonical move form: remove (city(i), city(i+1))
+      // and (city(j), city(j+1)); for the predecessor direction the broken
+      // edge is (pred, t1), i.e. i = pos(t1)-1.
+      std::int32_t i = dir == 0 ? p1 : state.pred_pos(p1);
+      std::int32_t d_t1_t2 =
+          state.dist(state.city(i), state.city(state.succ_pos(i)));
+
+      for (std::int32_t t3 : neighbors.neighbors(t1)) {
+        ++stats.checks;
+        // Candidate new edge (t1, t3): sorted lists allow pruning — once
+        // d(t1,t3) >= d(broken edge) no later candidate can pay for it.
+        std::int32_t d_new1 = state.dist(t1, t3);
+        if (d_new1 >= d_t1_t2) break;
+
+        // The second removed edge leaves t3 in the matching direction:
+        // dir 0 removes (t3, succ(t3)) -> move (i=pos(t1), j=pos(t3));
+        // dir 1 removes (pred(t3), t3) -> move with i=pos(t1)-1 etc.
+        std::int32_t j = dir == 0 ? state.pos(t3)
+                                  : state.pred_pos(state.pos(t3));
+        if (i == j) continue;
+        std::int32_t lo = std::min(i, j);
+        std::int32_t hi = std::max(i, j);
+        std::int32_t ci = state.city(lo);
+        std::int32_t ci1 = state.city(state.succ_pos(lo));
+        std::int32_t cj = state.city(hi);
+        std::int32_t cj1 = state.city(state.succ_pos(hi));
+        std::int64_t delta =
+            (static_cast<std::int64_t>(state.dist(ci, cj)) +
+             state.dist(ci1, cj1)) -
+            (static_cast<std::int64_t>(state.dist(ci, ci1)) +
+             state.dist(cj, cj1));
+        if (delta < 0) {
+          state.apply(lo, hi);
+          stats.improvement += -delta;
+          ++stats.moves_applied;
+          // Wake every endpoint whose tour edges changed.
+          push(ci);
+          push(ci1);
+          push(cj);
+          push(cj1);
+          push(t1);
+          improved = true;
+          break;
+        }
+      }
+    }
+    if (improved && !options.dont_look_bits) {
+      // Without DLB, re-examine everything (textbook first-improvement):
+      for (std::int32_t c = 0; c < n; ++c) push(c);
+    }
+  }
+
+  stats.reached_local_minimum = true;
+  stats.wall_seconds = timer.seconds();
+  return stats;
+}
+
+}  // namespace tspopt

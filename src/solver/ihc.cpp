@@ -1,0 +1,56 @@
+#include "solver/ihc.hpp"
+
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+
+namespace tspopt {
+
+IhcResult random_restart_hill_climbing(TwoOptEngine& engine,
+                                       const Instance& instance,
+                                       const IhcOptions& options) {
+  WallTimer timer;
+  Pcg32 rng(options.seed);
+  const std::int32_t n = instance.n();
+
+  IhcResult result{Tour::identity(n), 0, 0, 0, 0, 0.0, {}};
+  std::uint64_t cumulative_checks = 0;
+  std::int64_t cumulative_passes = 0;
+  bool have_best = false;
+
+  while ((options.max_restarts < 0 || result.restarts < options.max_restarts) &&
+         (options.time_limit_seconds < 0.0 ||
+          timer.seconds() < options.time_limit_seconds)) {
+    Tour tour = Tour::random(n, rng);
+
+    LocalSearchOptions round = options.local_search;
+    if (options.time_limit_seconds >= 0.0) {
+      double remaining = options.time_limit_seconds - timer.seconds();
+      if (remaining <= 0.0) break;
+      if (round.time_limit_seconds < 0.0 ||
+          round.time_limit_seconds > remaining) {
+        round.time_limit_seconds = remaining;
+      }
+    }
+    LocalSearchStats stats = local_search(engine, instance, tour, round);
+    cumulative_checks += stats.checks;
+    cumulative_passes += stats.passes;
+    result.checks = cumulative_checks;
+    ++result.restarts;
+
+    std::int64_t length = tour.length(instance);
+    if (!have_best || length < result.best_length) {
+      result.best = std::move(tour);
+      result.best_length = length;
+      have_best = true;
+      ++result.improvements;
+      result.trace.push_back({timer.seconds(), result.best_length,
+                              result.restarts, cumulative_checks,
+                              cumulative_passes});
+    }
+  }
+
+  result.wall_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace tspopt

@@ -1,0 +1,42 @@
+// Iterative hill climbing with random restarts (IHC) — the baseline the
+// paper argues against in §III: O'Neil, Tamir & Burtscher's parallel GPU
+// TSP solver restarts 2-opt from fresh random tours, whereas the paper
+// (and our ILS) perturbs the incumbent. Implementing the baseline lets
+// bench_baseline_ihc reproduce that comparison: with the same 2-opt
+// engine and time budget, ILS reaches better tours because each descent
+// starts near a good solution instead of from scratch.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "solver/engine.hpp"
+#include "solver/ils.hpp"  // reuses IlsTracePoint for comparable traces
+#include "solver/local_search.hpp"
+#include "tsp/instance.hpp"
+#include "tsp/tour.hpp"
+
+namespace tspopt {
+
+struct IhcOptions {
+  double time_limit_seconds = 1.0;
+  std::int64_t max_restarts = -1;  // -1 = until the time budget
+  std::uint64_t seed = 1;
+  LocalSearchOptions local_search;  // per-descent budget
+};
+
+struct IhcResult {
+  Tour best;
+  std::int64_t best_length = 0;
+  std::int64_t restarts = 0;        // descents completed
+  std::int64_t improvements = 0;    // restarts that improved the best
+  std::uint64_t checks = 0;
+  double wall_seconds = 0.0;
+  std::vector<IlsTracePoint> trace;  // (seconds, best length, restart#)
+};
+
+IhcResult random_restart_hill_climbing(TwoOptEngine& engine,
+                                       const Instance& instance,
+                                       const IhcOptions& options);
+
+}  // namespace tspopt

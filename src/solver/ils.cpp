@@ -1,0 +1,89 @@
+#include "solver/ils.hpp"
+
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+
+namespace tspopt {
+
+namespace {
+
+bool accept(IlsAcceptance criterion, double epsilon, std::int64_t candidate,
+            std::int64_t incumbent) {
+  switch (criterion) {
+    case IlsAcceptance::kBetter:
+      return candidate < incumbent;
+    case IlsAcceptance::kEpsilonWorse:
+      return static_cast<double>(candidate) <
+             static_cast<double>(incumbent) * (1.0 + epsilon);
+    case IlsAcceptance::kRandomWalk:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+IlsResult iterated_local_search(TwoOptEngine& engine, const Instance& instance,
+                                const Tour& initial,
+                                const IlsOptions& options) {
+  WallTimer timer;
+  Pcg32 rng(options.seed);
+
+  IlsResult result{initial, 0, 0, 0, 0, 0.0, {}};
+
+  // Initial descent (Algorithm 1 line 3).
+  Tour incumbent = initial;
+  LocalSearchOptions ls = options.local_search;
+  if (options.time_limit_seconds >= 0.0 && ls.time_limit_seconds < 0.0) {
+    ls.time_limit_seconds = options.time_limit_seconds;
+  }
+  LocalSearchStats descent = local_search(engine, instance, incumbent, ls);
+  result.checks += descent.checks;
+  std::int64_t passes = descent.passes;
+  std::int64_t incumbent_len = incumbent.length(instance);
+  result.best = incumbent;
+  result.best_length = incumbent_len;
+  result.trace.push_back(
+      {timer.seconds(), result.best_length, 0, result.checks, passes});
+
+  while ((options.max_iterations < 0 ||
+          result.iterations < options.max_iterations) &&
+         (options.time_limit_seconds < 0.0 ||
+          timer.seconds() < options.time_limit_seconds)) {
+    // Perturbation (line 5): double bridge on a copy of the incumbent.
+    Tour candidate = incumbent;
+    candidate.double_bridge(rng);
+
+    // Local search (line 6), clipped to the remaining time budget.
+    LocalSearchOptions round = options.local_search;
+    if (options.time_limit_seconds >= 0.0) {
+      double remaining = options.time_limit_seconds - timer.seconds();
+      if (remaining <= 0.0) break;
+      if (round.time_limit_seconds < 0.0 || round.time_limit_seconds > remaining)
+        round.time_limit_seconds = remaining;
+    }
+    LocalSearchStats stats = local_search(engine, instance, candidate, round);
+    result.checks += stats.checks;
+    passes += stats.passes;
+    ++result.iterations;
+
+    // Acceptance criterion (line 7).
+    std::int64_t length = candidate.length(instance);
+    if (length < result.best_length) {
+      result.best = candidate;
+      result.best_length = length;
+      ++result.improvements;
+      result.trace.push_back({timer.seconds(), result.best_length,
+                              result.iterations, result.checks, passes});
+    }
+    if (accept(options.acceptance, options.epsilon, length, incumbent_len)) {
+      incumbent = std::move(candidate);
+      incumbent_len = length;
+    }
+  }
+
+  result.wall_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace tspopt

@@ -1,0 +1,65 @@
+// Iterated Local Search (the paper's Algorithm 1).
+//
+//   s* <- 2optLocalSearch(s0)
+//   while not done: s' <- Perturbation(s*); s' <- 2optLocalSearch(s');
+//                   s* <- AcceptanceCriterion(s*, s')
+//
+// The perturbation is the paper's double-bridge move; the acceptance
+// criterion keeps the better tour. The convergence trace (best length vs
+// wall time) is what Fig. 11 plots.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "solver/engine.hpp"
+#include "solver/local_search.hpp"
+#include "tsp/instance.hpp"
+#include "tsp/tour.hpp"
+
+namespace tspopt {
+
+// Algorithm 1's AcceptanceCriterion(s*, s') is a pluggable component; the
+// classic choices are provided. kBetter is what the paper's evaluation
+// uses; kEpsilonWorse (accept small regressions) and kRandomWalk (always
+// accept) trade intensification for diversification.
+enum class IlsAcceptance {
+  kBetter,        // accept only strict improvements
+  kEpsilonWorse,  // accept if within (1 + epsilon) of the incumbent
+  kRandomWalk,    // always accept the new local minimum
+};
+
+struct IlsOptions {
+  double time_limit_seconds = 1.0;
+  std::int64_t max_iterations = -1;  // perturbation rounds; -1 = unlimited
+  std::uint64_t seed = 1;
+  LocalSearchOptions local_search;  // per-descent budget (defaults: none)
+  IlsAcceptance acceptance = IlsAcceptance::kBetter;
+  double epsilon = 0.02;  // kEpsilonWorse tolerance
+};
+
+struct IlsTracePoint {
+  double seconds = 0.0;       // wall time at which this best was found
+  std::int64_t length = 0;    // best tour length so far
+  std::int64_t iteration = 0; // 0 = initial descent
+  // Cumulative work when this best was found — lets a device performance
+  // model re-time the (deterministic) trajectory for any hardware, which
+  // is how bench_fig11 draws the paper's GPU-vs-CPU convergence curves.
+  std::uint64_t checks = 0;   // pair evaluations so far
+  std::int64_t passes = 0;    // full 2-opt passes (= kernel launches) so far
+};
+
+struct IlsResult {
+  Tour best;
+  std::int64_t best_length = 0;
+  std::int64_t iterations = 0;      // perturbation rounds completed
+  std::int64_t improvements = 0;    // accepted (better) rounds
+  std::uint64_t checks = 0;         // total pair evaluations
+  double wall_seconds = 0.0;
+  std::vector<IlsTracePoint> trace;
+};
+
+IlsResult iterated_local_search(TwoOptEngine& engine, const Instance& instance,
+                                const Tour& initial, const IlsOptions& options);
+
+}  // namespace tspopt

@@ -1,0 +1,35 @@
+#include "solver/local_search.hpp"
+
+#include "common/timer.hpp"
+
+namespace tspopt {
+
+LocalSearchStats local_search(TwoOptEngine& engine, const Instance& instance,
+                              Tour& tour, const LocalSearchOptions& options,
+                              const LocalSearchObserver& observer) {
+  WallTimer timer;
+  LocalSearchStats stats;
+  for (;;) {
+    if (options.max_passes >= 0 && stats.passes >= options.max_passes) break;
+    if (options.time_limit_seconds >= 0.0 &&
+        timer.seconds() >= options.time_limit_seconds) {
+      break;
+    }
+    SearchResult pass = engine.search(instance, tour);
+    ++stats.passes;
+    stats.checks += pass.checks;
+    if (!pass.best.improves()) {
+      stats.reached_local_minimum = true;
+      break;
+    }
+    tour.apply_two_opt(pass.best.i, pass.best.j);
+    ++stats.moves_applied;
+    stats.improvement += -static_cast<std::int64_t>(pass.best.delta);
+    stats.wall_seconds = timer.seconds();
+    if (observer && !observer(stats)) break;
+  }
+  stats.wall_seconds = timer.seconds();
+  return stats;
+}
+
+}  // namespace tspopt

@@ -1,0 +1,88 @@
+#include "solver/or_opt.hpp"
+
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace tspopt {
+
+namespace {
+
+// Gain of moving segment [p, p+len) to sit after position q (current
+// order); positive gain shortens the tour. Non-wrapping segments only —
+// every segment wraps for some rotation, so nothing is structurally
+// unreachable, and the sweep revisits positions after each applied move.
+std::int64_t relocation_gain(const Instance& instance, const Tour& tour,
+                             std::int32_t p, std::int32_t len,
+                             std::int32_t q) {
+  const std::int32_t n = tour.n();
+  std::int32_t a = tour.city_at(p == 0 ? n - 1 : p - 1);
+  std::int32_t b = tour.city_at(p);
+  std::int32_t c = tour.city_at(p + len - 1);
+  std::int32_t d = tour.city_at((p + len) % n);
+  std::int32_t e = tour.city_at(q);
+  std::int32_t f = tour.city_at((q + 1) % n);
+  std::int64_t removed = static_cast<std::int64_t>(instance.dist(a, b)) +
+                         instance.dist(c, d) + instance.dist(e, f);
+  std::int64_t added = static_cast<std::int64_t>(instance.dist(a, d)) +
+                       instance.dist(e, b) + instance.dist(c, f);
+  return removed - added;
+}
+
+}  // namespace
+
+OrOptStats or_opt_pass(const Instance& instance, Tour& tour,
+                       const NeighborLists& neighbors,
+                       std::int32_t max_segment) {
+  TSPOPT_CHECK(max_segment >= 1);
+  const std::int32_t n = tour.n();
+  OrOptStats stats;
+  std::vector<std::int32_t> positions = tour.positions();
+
+  for (std::int32_t p = 0; p < n; ++p) {
+    for (std::int32_t len = 1; len <= max_segment; ++len) {
+      if (p + len > n) break;  // non-wrapping segments only
+      std::int32_t b = tour.city_at(p);
+      std::int32_t c = tour.city_at(p + len - 1);
+      bool applied = false;
+      // Candidate predecessors: cities near either segment endpoint.
+      for (std::int32_t endpoint : {b, c}) {
+        for (std::int32_t nb : neighbors.neighbors(endpoint)) {
+          std::int32_t q = positions[static_cast<std::size_t>(nb)];
+          // q must be outside the segment and not the no-op predecessor.
+          if (q >= p - 1 && q < p + len) continue;
+          if (q == n - 1 && p == 0) continue;  // same edge as q == p-1
+          ++stats.checks;
+          std::int64_t gain = relocation_gain(instance, tour, p, len, q);
+          if (gain > 0) {
+            tour.or_opt_move(p, len, q);
+            stats.improvement += gain;
+            ++stats.moves_applied;
+            positions = tour.positions();
+            applied = true;
+            break;
+          }
+        }
+        if (applied) break;
+      }
+      if (applied) break;  // positions shifted; restart segment lengths
+    }
+  }
+  return stats;
+}
+
+OrOptStats or_opt_descend(const Instance& instance, Tour& tour,
+                          const NeighborLists& neighbors,
+                          std::int32_t max_segment, std::int64_t max_passes) {
+  OrOptStats total;
+  for (std::int64_t pass = 0; pass < max_passes; ++pass) {
+    OrOptStats s = or_opt_pass(instance, tour, neighbors, max_segment);
+    total.moves_applied += s.moves_applied;
+    total.improvement += s.improvement;
+    total.checks += s.checks;
+    if (s.moves_applied == 0) break;
+  }
+  return total;
+}
+
+}  // namespace tspopt

@@ -1,0 +1,36 @@
+// Or-opt ("2.5-opt") segment relocation — one of the "more complex local
+// search algorithms" the paper's §VII names as the next step beyond 2-opt.
+//
+// Relocates segments of 1..max_segment consecutive cities between two other
+// cities, with candidate insertion points drawn from neighbor lists. Used
+// after a 2-opt descent to escape some of its local minima cheaply.
+#pragma once
+
+#include <cstdint>
+
+#include "tsp/instance.hpp"
+#include "tsp/neighbor_lists.hpp"
+#include "tsp/tour.hpp"
+
+namespace tspopt {
+
+struct OrOptStats {
+  std::int64_t moves_applied = 0;
+  std::int64_t improvement = 0;   // total length reduction (>= 0)
+  std::uint64_t checks = 0;
+};
+
+// One first-improvement sweep over segment starts; returns the improvement
+// found. Call repeatedly (or use or_opt_descend) to reach an Or-opt local
+// minimum. The tour stays valid at every return.
+OrOptStats or_opt_pass(const Instance& instance, Tour& tour,
+                       const NeighborLists& neighbors,
+                       std::int32_t max_segment = 3);
+
+// Repeat passes until none improves (or max_passes).
+OrOptStats or_opt_descend(const Instance& instance, Tour& tour,
+                          const NeighborLists& neighbors,
+                          std::int32_t max_segment = 3,
+                          std::int64_t max_passes = 64);
+
+}  // namespace tspopt

@@ -1,0 +1,213 @@
+#include "solver/three_opt.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/timer.hpp"
+
+namespace tspopt {
+
+namespace {
+
+// The six cities incident to the three removed edges.
+struct Endpoints {
+  std::int32_t A, B, C, D, E, F;
+};
+
+Endpoints endpoints(const Tour& tour, std::int32_t a, std::int32_t b,
+                    std::int32_t c) {
+  const std::int32_t n = tour.n();
+  return {tour.city_at(a),           tour.city_at(a + 1),
+          tour.city_at(b),           tour.city_at(b + 1),
+          tour.city_at(c),           tour.city_at((c + 1) % n)};
+}
+
+void check_triple(const Tour& tour, std::int32_t a, std::int32_t b,
+                  std::int32_t c) {
+  TSPOPT_CHECK_MSG(0 <= a && a < b && b < c && c <= tour.n() - 1,
+                   "3-opt needs positions 0 <= a < b < c <= n-1, got ("
+                       << a << ", " << b << ", " << c << ")");
+}
+
+}  // namespace
+
+std::int64_t three_opt_delta(const Instance& instance, const Tour& tour,
+                             std::int32_t a, std::int32_t b, std::int32_t c,
+                             ThreeOptCase reconnection) {
+  check_triple(tour, a, b, c);
+  auto [A, B, C, D, E, F] = endpoints(tour, a, b, c);
+  auto d = [&](std::int32_t x, std::int32_t y) {
+    return static_cast<std::int64_t>(instance.dist(x, y));
+  };
+  std::int64_t removed = d(A, B) + d(C, D) + d(E, F);
+  std::int64_t added = 0;
+  switch (reconnection) {
+    case ThreeOptCase::kRevS1:        // A-C rev(S1) B-D S2 E-F
+      added = d(A, C) + d(B, D) + d(E, F);
+      break;
+    case ThreeOptCase::kRevS2:        // A-B S1 C-E rev(S2) D-F
+      added = d(A, B) + d(C, E) + d(D, F);
+      break;
+    case ThreeOptCase::kRevBoth:      // A-C rev(S1) B-E rev(S2) D-F
+      added = d(A, C) + d(B, E) + d(D, F);
+      break;
+    case ThreeOptCase::kSwap:         // A-D S2 E-B S1 C-F
+      added = d(A, D) + d(E, B) + d(C, F);
+      break;
+    case ThreeOptCase::kSwapRevS1:    // A-D S2 E-C rev(S1) B-F
+      added = d(A, D) + d(E, C) + d(B, F);
+      break;
+    case ThreeOptCase::kSwapRevS2:    // A-E rev(S2) D-B S1 C-F
+      added = d(A, E) + d(D, B) + d(C, F);
+      break;
+    case ThreeOptCase::kSwapRevBoth:  // A-E rev(S2) D-C rev(S1) B-F
+      added = d(A, E) + d(D, C) + d(B, F);
+      break;
+  }
+  return added - removed;
+}
+
+void apply_three_opt(Tour& tour, std::int32_t a, std::int32_t b,
+                     std::int32_t c, ThreeOptCase reconnection) {
+  check_triple(tour, a, b, c);
+  const std::int32_t n = tour.n();
+  std::span<const std::int32_t> order = tour.order();
+
+  std::vector<std::int32_t> next;
+  next.reserve(static_cast<std::size_t>(n));
+  auto fwd = [&](std::int32_t lo, std::int32_t hi) {  // inclusive
+    for (std::int32_t p = lo; p <= hi; ++p) {
+      next.push_back(order[static_cast<std::size_t>(p)]);
+    }
+  };
+  auto rev = [&](std::int32_t lo, std::int32_t hi) {
+    for (std::int32_t p = hi; p >= lo; --p) {
+      next.push_back(order[static_cast<std::size_t>(p)]);
+    }
+  };
+
+  fwd(0, a);  // prefix up to the first cut (part of R)
+  switch (reconnection) {
+    case ThreeOptCase::kRevS1:
+      rev(a + 1, b);
+      fwd(b + 1, c);
+      break;
+    case ThreeOptCase::kRevS2:
+      fwd(a + 1, b);
+      rev(b + 1, c);
+      break;
+    case ThreeOptCase::kRevBoth:
+      rev(a + 1, b);
+      rev(b + 1, c);
+      break;
+    case ThreeOptCase::kSwap:
+      fwd(b + 1, c);
+      fwd(a + 1, b);
+      break;
+    case ThreeOptCase::kSwapRevS1:
+      fwd(b + 1, c);
+      rev(a + 1, b);
+      break;
+    case ThreeOptCase::kSwapRevS2:
+      rev(b + 1, c);
+      fwd(a + 1, b);
+      break;
+    case ThreeOptCase::kSwapRevBoth:
+      rev(b + 1, c);
+      rev(a + 1, b);
+      break;
+  }
+  if (c + 1 <= n - 1) fwd(c + 1, n - 1);  // rest of R
+
+  tour = Tour(std::move(next));
+}
+
+ThreeOptMove best_three_opt_move(const Instance& instance, const Tour& tour) {
+  const std::int32_t n = tour.n();
+  ThreeOptMove best;
+  for (std::int32_t a = 0; a + 2 <= n - 1; ++a) {
+    for (std::int32_t b = a + 1; b + 1 <= n - 1; ++b) {
+      for (std::int32_t c = b + 1; c <= n - 1; ++c) {
+        for (ThreeOptCase reconnection : kAllThreeOptCases) {
+          std::int64_t delta =
+              three_opt_delta(instance, tour, a, b, c, reconnection);
+          if (delta < best.delta) {
+            best = {a, b, c, reconnection, delta};
+          }
+        }
+      }
+    }
+  }
+  return best;
+}
+
+ThreeOptStats three_opt_descend(const Instance& instance, Tour& tour,
+                                const NeighborLists& neighbors,
+                                const ThreeOptOptions& options) {
+  TSPOPT_CHECK(instance.n() == tour.n());
+  TSPOPT_CHECK(neighbors.n() == tour.n());
+  WallTimer timer;
+  ThreeOptStats stats;
+  const std::int32_t n = tour.n();
+
+  bool improved_this_sweep = true;
+  while (improved_this_sweep) {
+    improved_this_sweep = false;
+    std::vector<std::int32_t> positions = tour.positions();
+    for (std::int32_t a = 0; a + 2 <= n - 1; ++a) {
+      if (options.max_moves >= 0 && stats.moves_applied >= options.max_moves) {
+        stats.wall_seconds = timer.seconds();
+        return stats;
+      }
+      if (options.time_limit_seconds >= 0.0 &&
+          timer.seconds() >= options.time_limit_seconds) {
+        stats.wall_seconds = timer.seconds();
+        return stats;
+      }
+
+      // Candidate b: positions whose city neighbors B = city(a+1) — short
+      // candidate edges touching the first cut.
+      std::int32_t B = tour.city_at(a + 1);
+      bool applied = false;
+      for (std::int32_t nb : neighbors.neighbors(B)) {
+        std::int32_t b = positions[static_cast<std::size_t>(nb)];
+        if (b <= a || b >= n - 1) continue;
+        // Candidate c: positions whose city neighbors D = city(b+1).
+        std::int32_t D = tour.city_at(b + 1);
+        for (std::int32_t nc : neighbors.neighbors(D)) {
+          std::int32_t c = positions[static_cast<std::size_t>(nc)];
+          if (c <= b) continue;
+          for (ThreeOptCase reconnection : kAllThreeOptCases) {
+            ++stats.checks;
+            std::int64_t delta =
+                three_opt_delta(instance, tour, a, b, c, reconnection);
+            if (delta < 0) {
+              apply_three_opt(tour, a, b, c, reconnection);
+              stats.improvement += -delta;
+              ++stats.moves_applied;
+              if (reconnection == ThreeOptCase::kRevBoth ||
+                  reconnection == ThreeOptCase::kSwap ||
+                  reconnection == ThreeOptCase::kSwapRevS1 ||
+                  reconnection == ThreeOptCase::kSwapRevS2) {
+                ++stats.pure_three_opt_moves;
+              }
+              positions = tour.positions();
+              applied = true;
+              improved_this_sweep = true;
+              break;
+            }
+          }
+          if (applied) break;
+        }
+        if (applied) break;
+      }
+    }
+  }
+
+  stats.reached_local_minimum = true;
+  stats.wall_seconds = timer.seconds();
+  return stats;
+}
+
+}  // namespace tspopt

@@ -1,0 +1,93 @@
+// 3-opt local search — the first of the "more complex local search
+// algorithms such as 2.5-opt, 3-opt and Lin-Kernighan" the paper's §VII
+// names as future work.
+//
+// A 3-opt move removes three tour edges (a,a+1), (b,b+1), (c,c+1) with
+// positions a < b < c, splitting the tour into segments
+//   R = [c+1..a],  S1 = [a+1..b],  S2 = [b+1..c],
+// and reconnects them one of seven non-identity ways. Cases 1, 2 and 7
+// are plain 2-opt submoves; cases 3-6 are the pure 3-opt reconnections a
+// 2-opt search cannot reach. Exposed pieces:
+//
+//  * three_opt_delta / apply_three_opt — exact move algebra, shared by
+//    both engines and verified exhaustively against tour-length
+//    recomputation in the tests;
+//  * ThreeOptReference — exhaustive O(n^3 * 7) best-improvement scan
+//    (reference implementation, small n only);
+//  * three_opt_descend — practical first-improvement descent whose
+//    candidate triples come from k-nearest-neighbor lists.
+#pragma once
+
+#include <cstdint>
+
+#include "tsp/instance.hpp"
+#include "tsp/neighbor_lists.hpp"
+#include "tsp/tour.hpp"
+
+namespace tspopt {
+
+// The seven reconnections. S1/S2 order and orientation relative to the
+// fixed segment R (which always starts right after position c).
+enum class ThreeOptCase : std::int8_t {
+  kRevS1 = 1,      // rev(S1)  S2        == 2-opt (a, b)
+  kRevS2 = 2,      // S1       rev(S2)   == 2-opt (b, c)
+  kRevBoth = 3,    // rev(S1)  rev(S2)
+  kSwap = 4,       // S2       S1
+  kSwapRevS1 = 5,  // S2       rev(S1)
+  kSwapRevS2 = 6,  // rev(S2)  S1
+  kSwapRevBoth = 7 // rev(S2)  rev(S1)   == 2-opt (a, c)
+};
+
+inline constexpr ThreeOptCase kAllThreeOptCases[] = {
+    ThreeOptCase::kRevS1,     ThreeOptCase::kRevS2,
+    ThreeOptCase::kRevBoth,   ThreeOptCase::kSwap,
+    ThreeOptCase::kSwapRevS1, ThreeOptCase::kSwapRevS2,
+    ThreeOptCase::kSwapRevBoth};
+
+struct ThreeOptMove {
+  std::int32_t a = -1;
+  std::int32_t b = -1;
+  std::int32_t c = -1;
+  ThreeOptCase reconnection = ThreeOptCase::kRevS1;
+  std::int64_t delta = 0;  // negative improves
+
+  bool improves() const { return a >= 0 && delta < 0; }
+};
+
+// Length change of the move; requires 0 <= a < b < c <= n-1.
+std::int64_t three_opt_delta(const Instance& instance, const Tour& tour,
+                             std::int32_t a, std::int32_t b, std::int32_t c,
+                             ThreeOptCase reconnection);
+
+// Apply the move (O(n) rebuild). The tour remains a valid permutation.
+void apply_three_opt(Tour& tour, std::int32_t a, std::int32_t b,
+                     std::int32_t c, ThreeOptCase reconnection);
+
+// Exhaustive best-improvement scan. O(n^3); intended for n <= ~200 as the
+// correctness reference and for small-instance polishing.
+ThreeOptMove best_three_opt_move(const Instance& instance, const Tour& tour);
+
+struct ThreeOptStats {
+  std::int64_t moves_applied = 0;
+  std::int64_t pure_three_opt_moves = 0;  // cases 3-6
+  std::uint64_t checks = 0;               // (triple, case) evaluations
+  std::int64_t improvement = 0;
+  double wall_seconds = 0.0;
+  bool reached_local_minimum = false;
+};
+
+struct ThreeOptOptions {
+  std::int64_t max_moves = -1;
+  double time_limit_seconds = -1.0;
+};
+
+// First-improvement descent over neighbor-list candidate triples:
+// b candidates pair city(a+1) with its k nearest, c candidates pair
+// city(b+1) with its k nearest (short-new-edge heuristic). Not exhaustive
+// — the local minimum is with respect to this candidate neighborhood —
+// but it strictly never worsens the tour and escapes many 2-opt minima.
+ThreeOptStats three_opt_descend(const Instance& instance, Tour& tour,
+                                const NeighborLists& neighbors,
+                                const ThreeOptOptions& options = {});
+
+}  // namespace tspopt

@@ -1,0 +1,37 @@
+#include "solver/twoopt_generic.hpp"
+
+#include <span>
+
+#include "common/timer.hpp"
+
+namespace tspopt {
+
+SearchResult TwoOptGeneric::search(const Instance& instance,
+                                   const Tour& tour) {
+  WallTimer timer;
+  TSPOPT_CHECK(instance.n() == tour.n());
+  const std::int32_t n = tour.n();
+  std::span<const std::int32_t> route = tour.order();
+
+  BestMove best;
+  for (std::int32_t j = 1; j < n; ++j) {
+    std::int32_t cj = route[static_cast<std::size_t>(j)];
+    std::int32_t cj1 = route[static_cast<std::size_t>((j + 1) % n)];
+    std::int32_t d_j = instance.dist(cj, cj1);
+    for (std::int32_t i = 0; i < j; ++i) {
+      std::int32_t ci = route[static_cast<std::size_t>(i)];
+      std::int32_t ci1 = route[static_cast<std::size_t>(i + 1)];
+      std::int32_t delta = (instance.dist(ci, cj) + instance.dist(ci1, cj1)) -
+                           (instance.dist(ci, ci1) + d_j);
+      consider_move(best, delta, pair_index(i, j), i, j);
+    }
+  }
+
+  SearchResult result;
+  result.best = best;
+  result.checks = static_cast<std::uint64_t>(pair_count(n));
+  result.wall_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace tspopt

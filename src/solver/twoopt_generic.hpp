@@ -1,0 +1,23 @@
+// Metric-generic sequential 2-opt pass.
+//
+// The GPU-style engines are specialized for the paper's rounded-Euclidean
+// coordinates (they recompute distances from float2 on chip). This engine
+// instead asks the Instance for distances, so it works for *every* TSPLIB
+// edge-weight type — GEO, ATT, CEIL_2D, and EXPLICIT matrices — making
+// the library a complete TSPLIB solver rather than an EUC_2D-only one.
+// On EUC_2D instances it is bit-equivalent to the coordinate engines
+// (the equivalence tests enforce it).
+#pragma once
+
+#include "solver/engine.hpp"
+
+namespace tspopt {
+
+class TwoOptGeneric : public TwoOptEngine {
+ public:
+  std::string name() const override { return "cpu-generic"; }
+
+  SearchResult search(const Instance& instance, const Tour& tour) override;
+};
+
+}  // namespace tspopt

@@ -1,0 +1,186 @@
+#include "solver/twoopt_gpu.hpp"
+
+#include <atomic>
+#include <cstring>
+
+#include "common/timer.hpp"
+#include "solver/delta.hpp"
+#include "solver/ordering.hpp"
+
+namespace tspopt {
+
+namespace {
+
+// Per-block state living in the shared-memory arena.
+struct BlockState {
+  std::span<Point> coords;           // staged coordinates
+  std::span<std::int32_t> route;     // staged route (indirect variant only)
+  BestMove block_best;               // shared-memory reduction slot
+  std::uint64_t block_checks;        // pairs evaluated by this block
+};
+
+// The small-instance kernel (Algorithm 2 steps 3-5). With Preorder the
+// staged coordinates are already in route order (Optimization 2, Fig. 6);
+// without it the kernel stages route + city-indexed coordinates and
+// dereferences route[p] per read (Fig. 5).
+template <bool Preorder>
+class SmallKernel {
+ public:
+  SmallKernel(std::span<const Point> global_coords,
+              std::span<const std::int32_t> global_route,
+              std::int64_t total_pairs, std::span<BestMove> results)
+      : global_coords_(global_coords),
+        global_route_(global_route),
+        total_pairs_(total_pairs),
+        results_(results) {}
+
+  void block_begin(simt::BlockCtx& ctx) const {
+    auto* state = ctx.shared->alloc<BlockState>(1).data();
+    state->coords = ctx.shared->alloc<Point>(global_coords_.size());
+    state->block_best = BestMove{};
+    state->block_checks = 0;
+    // Cooperative load: one pass over global memory per block (the paper's
+    // point — the O(n^2) pair loop then never touches global memory).
+    std::memcpy(state->coords.data(), global_coords_.data(),
+                global_coords_.size_bytes());
+    std::uint64_t loaded = global_coords_.size();
+    if constexpr (!Preorder) {
+      state->route = ctx.shared->alloc<std::int32_t>(global_route_.size());
+      std::memcpy(state->route.data(), global_route_.data(),
+                  global_route_.size_bytes());
+      loaded += global_route_.size();
+    }
+    ctx.counters->global_reads.fetch_add(loaded, std::memory_order_relaxed);
+    ctx.state = state;
+  }
+
+  void thread(simt::BlockCtx& ctx, std::uint32_t tid) const {
+    auto* state = static_cast<BlockState*>(ctx.state);
+    std::span<const Point> coords = state->coords;
+    std::span<const std::int32_t> route = state->route;
+    const std::uint64_t stride = ctx.cfg.total_threads();
+    BestMove local;
+    std::uint64_t evaluated = 0;
+    // Grid-stride walk over the linearized triangle, exactly the paper's
+    // access pattern: "each thread checks assigned cell number and then
+    // jumps blocks*threads distance iter times". The (i, j) coordinates
+    // are advanced incrementally instead of re-running the triangular
+    // root at every jump.
+    std::uint64_t first = ctx.global_thread(tid);
+    if (first < static_cast<std::uint64_t>(total_pairs_)) {
+      PairIJ p = pair_from_index(static_cast<std::int64_t>(first));
+      for (std::uint64_t k = first;;) {
+        std::int32_t d;
+        if constexpr (Preorder) {
+          d = two_opt_delta(coords, p.i, p.j);
+        } else {
+          // Fig. 5: every coordinate read goes through the route array.
+          const auto n = static_cast<std::int32_t>(route.size());
+          auto at = [&](std::int32_t pos) -> const Point& {
+            return coords[static_cast<std::size_t>(
+                route[static_cast<std::size_t>(pos)])];
+          };
+          d = two_opt_delta_two_ranges(at(p.i), at(p.i + 1), at(p.j),
+                                       at((p.j + 1) % n));
+        }
+        consider_move(local, d, static_cast<std::int64_t>(k), p.i, p.j);
+        ++evaluated;
+        k += stride;
+        if (k >= static_cast<std::uint64_t>(total_pairs_)) break;
+        pair_advance(p, static_cast<std::int64_t>(stride));
+      }
+    }
+    state->block_checks += evaluated;
+    // Block-level reduction slot (a shared-memory atomicMin on hardware;
+    // tids within a block are serialized here, so a plain update is the
+    // same operation).
+    if (local.better_than(state->block_best)) state->block_best = local;
+  }
+
+  void block_end(simt::BlockCtx& ctx) const {
+    auto* state = static_cast<BlockState*>(ctx.state);
+    results_[ctx.block_idx] = state->block_best;
+    ctx.counters->checks.fetch_add(state->block_checks,
+                                   std::memory_order_relaxed);
+  }
+
+ private:
+  std::span<const Point> global_coords_;
+  std::span<const std::int32_t> global_route_;
+  std::int64_t total_pairs_;
+  std::span<BestMove> results_;
+};
+
+}  // namespace
+
+TwoOptGpuSmall::TwoOptGpuSmall(simt::Device& device, simt::LaunchConfig config,
+                               bool preorder_coordinates)
+    : device_(device), config_(config), preorder_(preorder_coordinates) {
+  if (config_.grid_dim == 0 || config_.block_dim == 0) {
+    config_ = device_.default_config();
+  }
+}
+
+std::int32_t TwoOptGpuSmall::max_cities(const simt::Device& device,
+                                        bool preorder_coordinates) {
+  auto capacity = static_cast<std::int64_t>(device.spec().shared_mem_bytes);
+  std::int64_t overhead = static_cast<std::int64_t>(sizeof(BlockState)) +
+                          2 * static_cast<std::int64_t>(alignof(BlockState));
+  std::int64_t per_city = static_cast<std::int64_t>(sizeof(Point)) +
+                          (preorder_coordinates
+                               ? 0
+                               : static_cast<std::int64_t>(sizeof(std::int32_t)));
+  return static_cast<std::int32_t>((capacity - overhead) / per_city);
+}
+
+SearchResult TwoOptGpuSmall::search(const Instance& instance,
+                                    const Tour& tour) {
+  WallTimer timer;
+  const std::int32_t n = tour.n();
+  TSPOPT_CHECK_MSG(n <= max_cities(device_, preorder_),
+                   "instance too large for the single-range kernel ("
+                       << n << " > " << max_cities(device_, preorder_)
+                       << " cities); use TwoOptGpuTiled");
+  TSPOPT_CHECK_MSG(instance.has_coordinates() && instance.n() == n,
+                   "coordinate instance of matching size required");
+
+  const std::int64_t total = pair_count(n);
+  simt::Buffer<BestMove> results(device_, config_.grid_dim);
+
+  if (preorder_) {
+    // Host: Optimization 2, then the explicit H2D copy (Alg. 2 step 1).
+    // Benefit #2 of the pre-ordering: no route array ships to the device.
+    order_coordinates(instance, tour, ordered_);
+    simt::Buffer<Point> coords(device_, ordered_.size());
+    coords.copy_from_host(ordered_);
+    SmallKernel<true> kernel(coords.device_view(), {}, total,
+                             results.device_view_mutable());
+    device_.launch(config_, kernel);
+  } else {
+    // No pre-ordering: ship the city-indexed coordinates plus the route.
+    simt::Buffer<std::int32_t> route(device_, static_cast<std::size_t>(n));
+    route.copy_from_host(tour.order());
+    simt::Buffer<Point> coords(device_, instance.points().size());
+    coords.copy_from_host(instance.points());
+    SmallKernel<false> kernel(coords.device_view(), route.device_view(),
+                              total, results.device_view_mutable());
+    device_.launch(config_, kernel);
+  }
+
+  // Host: read back the per-block records and finish the reduction
+  // (Algorithm 2 step 6).
+  host_results_.resize(config_.grid_dim);
+  results.copy_to_host(host_results_);
+  BestMove best;
+  for (const BestMove& b : host_results_) {
+    if (b.better_than(best)) best = b;
+  }
+
+  SearchResult result;
+  result.best = best;
+  result.checks = static_cast<std::uint64_t>(total);
+  result.wall_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace tspopt

@@ -1,0 +1,61 @@
+// GPU-style 2-opt pass for small instances (paper §IV-A, Algorithm 2).
+//
+// Host side: pre-order the coordinates into route order (Optimization 2)
+// and copy them to the device once per pass. Device side: every block
+// cooperatively stages the whole coordinate array in its shared memory
+// (Optimization 1), then its threads walk the linearized pair triangle
+// with a grid stride — "each thread checks assigned cell number and then
+// jumps blocks*threads distance iter times" — keeping a running best that
+// is reduced per block and finally on the host.
+//
+// The shared-memory capacity bounds the instance size exactly as on the
+// paper's GTX 680: 48 kB holds ~6140 float2 coordinates plus the block
+// reduction record (the paper quotes 6144 ignoring the reduction storage).
+// Larger instances must use TwoOptGpuTiled.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "simt/buffer.hpp"
+#include "simt/device.hpp"
+#include "solver/engine.hpp"
+#include "tsp/point.hpp"
+
+namespace tspopt {
+
+class TwoOptGpuSmall : public TwoOptEngine {
+ public:
+  // `config`: launch geometry override; zero grid/block dims mean "use the
+  // device default" (the paper's SM-count x 1024).
+  //
+  // `preorder_coordinates` toggles Optimization 2. With it OFF the kernel
+  // is the paper's Fig. 5 variant: it stages BOTH the route array and the
+  // city-indexed coordinate array in shared memory and dereferences
+  // route[p] on every read — 12 bytes/city instead of 8, which lowers the
+  // shared-memory city limit from ~6140 to ~4090 and adds the extra
+  // indirection the paper's four Opt.-2 benefits eliminate. Results are
+  // identical either way.
+  explicit TwoOptGpuSmall(simt::Device& device, simt::LaunchConfig config = {},
+                          bool preorder_coordinates = true);
+
+  std::string name() const override {
+    return preorder_ ? "gpu-small" : "gpu-small-indirect";
+  }
+
+  SearchResult search(const Instance& instance, const Tour& tour) override;
+
+  // Largest instance this kernel accepts on `device` (shared-memory
+  // bound); the indirect (non-preordered) variant fits fewer cities.
+  static std::int32_t max_cities(const simt::Device& device,
+                                 bool preorder_coordinates = true);
+
+ private:
+  simt::Device& device_;
+  simt::LaunchConfig config_;
+  bool preorder_;
+  std::vector<Point> ordered_;
+  std::vector<BestMove> host_results_;
+};
+
+}  // namespace tspopt

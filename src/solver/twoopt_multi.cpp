@@ -1,0 +1,64 @@
+#include "solver/twoopt_multi.hpp"
+
+#include <exception>
+#include <thread>
+
+#include "common/check.hpp"
+#include "common/timer.hpp"
+
+namespace tspopt {
+
+TwoOptMultiDevice::TwoOptMultiDevice(std::vector<simt::Device*> devices,
+                                     std::int32_t tile) {
+  TSPOPT_CHECK_MSG(!devices.empty(), "need at least one device");
+  auto parts = static_cast<std::uint32_t>(devices.size());
+  for (std::uint32_t part = 0; part < parts; ++part) {
+    TSPOPT_CHECK(devices[part] != nullptr);
+    // Every partition must use the SAME tile grid or the round-robin deal
+    // would disagree; with tile==0 use the smallest device maximum.
+    std::int32_t common_tile = tile;
+    if (common_tile == 0) {
+      common_tile = TwoOptGpuTiled::max_tile(*devices[0]);
+      for (simt::Device* d : devices) {
+        common_tile = std::min(common_tile, TwoOptGpuTiled::max_tile(*d));
+      }
+    }
+    engines_.push_back(std::make_unique<TwoOptGpuTiled>(
+        *devices[part], common_tile, simt::LaunchConfig{}, part, parts));
+  }
+}
+
+SearchResult TwoOptMultiDevice::search(const Instance& instance,
+                                       const Tour& tour) {
+  WallTimer timer;
+  std::vector<SearchResult> partial(engines_.size());
+  std::vector<std::exception_ptr> errors(engines_.size());
+
+  // One host driver thread per device, as real multi-GPU host code would
+  // use (each device's launches are independent, paper §IV-B).
+  std::vector<std::thread> drivers;
+  drivers.reserve(engines_.size());
+  for (std::size_t d = 0; d < engines_.size(); ++d) {
+    drivers.emplace_back([&, d] {
+      try {
+        partial[d] = engines_[d]->search(instance, tour);
+      } catch (...) {
+        errors[d] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : drivers) t.join();
+  for (const auto& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
+
+  SearchResult result;
+  for (const SearchResult& p : partial) {
+    if (p.best.better_than(result.best)) result.best = p.best;
+    result.checks += p.checks;
+  }
+  result.wall_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace tspopt

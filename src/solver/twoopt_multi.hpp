@@ -1,0 +1,41 @@
+// Multi-device 2-opt pass — the paper's §VI outlook implemented:
+// "we will try to parallelize it even further by using more CPUs and GPUs
+// and possibly dividing the 2-opt task between multiple devices".
+//
+// The ordered-coordinate tiling makes this trivial, exactly as the paper
+// argues ("since the problem is divided into several kernel launches,
+// they can be executed independently in a parallel manner"): tiles are
+// dealt round-robin to the devices, each device runs its tile subset with
+// its own TwoOptGpuTiled engine on a dedicated host driver thread, and
+// the per-device bests merge with the canonical (delta, index) order —
+// so the result is bit-identical to a single-device pass.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "simt/device.hpp"
+#include "solver/engine.hpp"
+#include "solver/twoopt_tiled.hpp"
+
+namespace tspopt {
+
+class TwoOptMultiDevice : public TwoOptEngine {
+ public:
+  // `devices` must stay alive for the engine's lifetime. `tile == 0` uses
+  // each device's shared-memory maximum (devices may differ: a Radeon's
+  // 64 kB LDS takes larger tiles than a GeForce's 48 kB).
+  explicit TwoOptMultiDevice(std::vector<simt::Device*> devices,
+                             std::int32_t tile = 0);
+
+  std::string name() const override { return "gpu-multi"; }
+
+  std::size_t device_count() const { return engines_.size(); }
+
+  SearchResult search(const Instance& instance, const Tour& tour) override;
+
+ private:
+  std::vector<std::unique_ptr<TwoOptGpuTiled>> engines_;
+};
+
+}  // namespace tspopt

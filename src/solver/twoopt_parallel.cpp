@@ -1,0 +1,51 @@
+#include "solver/twoopt_parallel.hpp"
+
+#include "common/timer.hpp"
+#include "parallel/parallel_for.hpp"
+#include "solver/delta.hpp"
+#include "solver/ordering.hpp"
+
+namespace tspopt {
+
+SearchResult TwoOptCpuParallel::search(const Instance& instance,
+                                       const Tour& tour) {
+  WallTimer timer;
+  order_coordinates(instance, tour, ordered_);
+  std::span<const Point> ordered = ordered_;
+  const std::int32_t n = tour.n();
+  const std::int64_t total = pair_count(n);
+
+  std::vector<BestMove> partial(pool_->size());
+  parallel_for_chunks(
+      *pool_, 0, total,
+      [&](std::int64_t lo, std::int64_t hi, std::size_t worker) {
+        BestMove best;
+        // Walk (i, j) incrementally instead of inverting every index: the
+        // pair order is row-major in j, so within a chunk only the first
+        // pair needs the triangular root.
+        PairIJ p = pair_from_index(lo);
+        std::int32_t i = p.i;
+        std::int32_t j = p.j;
+        for (std::int64_t k = lo; k < hi; ++k) {
+          consider_move(best, two_opt_delta(ordered, i, j), k, i, j);
+          if (++i == j) {
+            i = 0;
+            ++j;
+          }
+        }
+        partial[worker] = best;
+      });
+
+  BestMove best;
+  for (const BestMove& b : partial) {
+    if (b.better_than(best)) best = b;
+  }
+
+  SearchResult result;
+  result.best = best;
+  result.checks = static_cast<std::uint64_t>(total);
+  result.wall_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace tspopt

@@ -1,0 +1,33 @@
+// Multi-threaded CPU 2-opt pass — the paper's parallel CPU baseline (the
+// OpenCL CPU implementation of the abstract's "6 cores" comparison).
+//
+// The linearized pair space [0, n(n-1)/2) is statically partitioned across
+// the pool workers; each worker keeps a private best and the results are
+// merged with the canonical (delta, index) order, so the outcome is
+// identical to the sequential engine regardless of thread count.
+#pragma once
+
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "solver/engine.hpp"
+#include "tsp/point.hpp"
+
+namespace tspopt {
+
+class TwoOptCpuParallel : public TwoOptEngine {
+ public:
+  // `pool == nullptr` uses the process-wide shared pool.
+  explicit TwoOptCpuParallel(ThreadPool* pool = nullptr)
+      : pool_(pool != nullptr ? pool : &ThreadPool::shared()) {}
+
+  std::string name() const override { return "cpu-parallel"; }
+
+  SearchResult search(const Instance& instance, const Tour& tour) override;
+
+ private:
+  ThreadPool* pool_;
+  std::vector<Point> ordered_;
+};
+
+}  // namespace tspopt

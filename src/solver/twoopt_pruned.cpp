@@ -1,0 +1,48 @@
+#include "solver/twoopt_pruned.hpp"
+
+#include "common/timer.hpp"
+#include "solver/delta.hpp"
+#include "solver/ordering.hpp"
+
+namespace tspopt {
+
+SearchResult TwoOptPruned::search(const Instance& instance, const Tour& tour) {
+  WallTimer timer;
+  TSPOPT_CHECK(neighbors_.n() == tour.n());
+  order_coordinates(instance, tour, ordered_);
+  std::span<const Point> ordered = ordered_;
+  const std::int32_t n = tour.n();
+
+  // positions_[city] = tour position, to turn a (city, neighbor-city)
+  // candidate into a (position i, position j) pair.
+  positions_.assign(static_cast<std::size_t>(n), 0);
+  std::span<const std::int32_t> route = tour.order();
+  for (std::int32_t p = 0; p < n; ++p) {
+    positions_[static_cast<std::size_t>(route[static_cast<std::size_t>(p)])] = p;
+  }
+
+  BestMove best;
+  std::uint64_t checks = 0;
+  for (std::int32_t p = 0; p < n; ++p) {
+    std::int32_t city = route[static_cast<std::size_t>(p)];
+    for (std::int32_t nb : neighbors_.neighbors(city)) {
+      std::int32_t q = positions_[static_cast<std::size_t>(nb)];
+      // Candidate new edge (city, nb) corresponds to the 2-opt pair
+      // (min(p,q), max(p,q)); degenerate pairs evaluate to 0 like
+      // everywhere else.
+      std::int32_t i = p < q ? p : q;
+      std::int32_t j = p < q ? q : p;
+      if (i == j) continue;
+      consider_move(best, two_opt_delta(ordered, i, j), pair_index(i, j), i, j);
+      ++checks;
+    }
+  }
+
+  SearchResult result;
+  result.best = best;
+  result.checks = checks;
+  result.wall_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace tspopt

@@ -1,0 +1,36 @@
+// Neighbor-list-pruned 2-opt — the paper's §VII future-work item
+// ("limiting the neighborhood would bring an improvement in efficiency at
+// the cost of the quality of the solution").
+//
+// Instead of all n(n-1)/2 pairs, only pairs whose *new* edge (city_i,
+// city_j) connects k-nearest neighbors are evaluated: O(n*k) checks per
+// pass. The returned move is the best within that candidate set, so it can
+// be weaker than the full engines' move — the ablation bench quantifies
+// the trade (checks saved vs. final tour quality).
+#pragma once
+
+#include <vector>
+
+#include "solver/engine.hpp"
+#include "tsp/neighbor_lists.hpp"
+#include "tsp/point.hpp"
+
+namespace tspopt {
+
+class TwoOptPruned : public TwoOptEngine {
+ public:
+  // `neighbors` must outlive the engine and match the instances searched.
+  explicit TwoOptPruned(const NeighborLists& neighbors)
+      : neighbors_(neighbors) {}
+
+  std::string name() const override { return "cpu-pruned"; }
+
+  SearchResult search(const Instance& instance, const Tour& tour) override;
+
+ private:
+  const NeighborLists& neighbors_;
+  std::vector<Point> ordered_;
+  std::vector<std::int32_t> positions_;
+};
+
+}  // namespace tspopt

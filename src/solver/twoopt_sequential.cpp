@@ -1,0 +1,51 @@
+#include "solver/twoopt_sequential.hpp"
+
+#include "common/timer.hpp"
+#include "solver/delta.hpp"
+#include "solver/ordering.hpp"
+
+namespace tspopt {
+
+SearchResult TwoOptSequential::search(const Instance& instance,
+                                      const Tour& tour) {
+  WallTimer timer;
+  SearchResult result;
+  const std::int32_t n = tour.n();
+
+  BestMove best;
+  if (preorder_) {
+    order_coordinates(instance, tour, ordered_);
+    std::span<const Point> ordered = ordered_;
+    for (std::int32_t j = 1; j < n; ++j) {
+      for (std::int32_t i = 0; i < j; ++i) {
+        consider_move(best, two_opt_delta(ordered, i, j), pair_index(i, j),
+                      i, j);
+      }
+    }
+  } else {
+    // Optimization-2 ablation: read coordinates through the route array on
+    // every access, as the pre-ordering-free kernel would (Fig. 5).
+    std::span<const Point> pts = instance.points();
+    std::span<const std::int32_t> route = tour.order();
+    auto coord = [&](std::int32_t pos) -> const Point& {
+      return pts[static_cast<std::size_t>(
+          route[static_cast<std::size_t>(pos)])];
+    };
+    for (std::int32_t j = 1; j < n; ++j) {
+      const Point& pj = coord(j);
+      const Point& pj1 = coord((j + 1) % n);
+      for (std::int32_t i = 0; i < j; ++i) {
+        consider_move(best,
+                      two_opt_delta_two_ranges(coord(i), coord(i + 1), pj, pj1),
+                      pair_index(i, j), i, j);
+      }
+    }
+  }
+
+  result.best = best;
+  result.checks = static_cast<std::uint64_t>(pair_count(n));
+  result.wall_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace tspopt

@@ -1,0 +1,37 @@
+// Sequential CPU 2-opt pass — the paper's baseline double loop (§IV):
+//
+//   for (int i = 1; i < n-2; i++)
+//     for (int j = i+1; j < n-1; j++) ...
+//
+// generalized to the full position triangle 0 <= i < j <= n-1 (degenerate
+// pairs evaluate to delta 0; see delta.hpp). This is the reference
+// implementation every parallel engine is tested against.
+#pragma once
+
+#include <vector>
+
+#include "solver/engine.hpp"
+#include "tsp/point.hpp"
+
+namespace tspopt {
+
+class TwoOptSequential : public TwoOptEngine {
+ public:
+  // `preorder_coordinates` toggles Optimization 2 (route-ordered coordinate
+  // array vs. route[] indirection on every read) — both compute identical
+  // results; the flag exists for the ordering ablation bench.
+  explicit TwoOptSequential(bool preorder_coordinates = true)
+      : preorder_(preorder_coordinates) {}
+
+  std::string name() const override {
+    return preorder_ ? "cpu-sequential" : "cpu-sequential-indirect";
+  }
+
+  SearchResult search(const Instance& instance, const Tour& tour) override;
+
+ private:
+  bool preorder_;
+  std::vector<Point> ordered_;  // staging reused across passes
+};
+
+}  // namespace tspopt

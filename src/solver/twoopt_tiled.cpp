@@ -1,0 +1,227 @@
+#include "solver/twoopt_tiled.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/timer.hpp"
+#include "solver/delta.hpp"
+#include "solver/ordering.hpp"
+
+namespace tspopt {
+
+namespace {
+
+// One tile of the pair triangle: i in [a_start, a_start+a_len),
+// j in [b_start, b_start+b_len), with the extra constraint i < j when the
+// tile sits on the diagonal (a_start == b_start).
+struct TileDesc {
+  std::int32_t a_start = 0;
+  std::int32_t a_len = 0;
+  std::int32_t b_start = 0;
+  std::int32_t b_len = 0;
+
+  bool diagonal() const { return a_start == b_start; }
+  std::int64_t local_pairs() const {
+    return diagonal() ? static_cast<std::int64_t>(a_len) * (a_len - 1) / 2
+                      : static_cast<std::int64_t>(a_len) * b_len;
+  }
+};
+
+struct BlockState {
+  std::span<Point> range_a;  // a_len + 1 coords (successor included)
+  std::span<Point> range_b;  // b_len + 1 coords
+  TileDesc tile;
+  BestMove block_best;
+  std::uint64_t block_checks;
+  bool active;
+};
+
+// The two-range tiled kernel. Block b of a launch handles tile
+// `first_tile + b` of the tile list; surplus blocks idle (Fig. 8: "run as
+// few blocks as possible / skip unnecessary computation").
+class TiledKernel {
+ public:
+  TiledKernel(std::span<const Point> global_coords,
+              std::span<const TileDesc> tiles, std::uint32_t first_tile,
+              std::span<BestMove> results)
+      : global_coords_(global_coords),
+        tiles_(tiles),
+        first_tile_(first_tile),
+        results_(results) {}
+
+  void block_begin(simt::BlockCtx& ctx) const {
+    auto* state = ctx.shared->alloc<BlockState>(1).data();
+    ctx.state = state;
+    std::uint64_t t = first_tile_ + ctx.block_idx;
+    state->active = t < tiles_.size();
+    state->block_best = BestMove{};
+    state->block_checks = 0;
+    if (!state->active) return;
+    state->tile = tiles_[t];
+    const auto n = static_cast<std::int32_t>(global_coords_.size());
+    auto stage = [&](std::int32_t start, std::int32_t len) {
+      auto span = ctx.shared->alloc<Point>(static_cast<std::size_t>(len) + 1);
+      for (std::int32_t p = 0; p <= len; ++p) {
+        // The +1 successor entry wraps to position 0 at the tour end.
+        span[static_cast<std::size_t>(p)] =
+            global_coords_[static_cast<std::size_t>((start + p) % n)];
+      }
+      ctx.counters->global_reads.fetch_add(static_cast<std::uint64_t>(len) + 1,
+                                           std::memory_order_relaxed);
+      return span;
+    };
+    state->range_a = stage(state->tile.a_start, state->tile.a_len);
+    state->range_b = state->tile.diagonal()
+                         ? state->range_a
+                         : stage(state->tile.b_start, state->tile.b_len);
+  }
+
+  void thread(simt::BlockCtx& ctx, std::uint32_t tid) const {
+    auto* state = static_cast<BlockState*>(ctx.state);
+    if (!state->active) return;
+    const TileDesc& tile = state->tile;
+    const std::int64_t local_total = tile.local_pairs();
+    const auto stride = static_cast<std::int64_t>(ctx.cfg.block_dim);
+    std::span<const Point> a = state->range_a;
+    std::span<const Point> b = state->range_b;
+    BestMove local;
+    std::uint64_t evaluated = 0;
+    PairIJ diag{-1, -1};
+    if (tile.diagonal() && tid < local_total) {
+      diag = pair_from_index(tid);
+    }
+    for (std::int64_t t = tid; t < local_total; t += stride) {
+      std::int32_t ii, jj;
+      if (tile.diagonal()) {
+        ii = diag.i;
+        jj = diag.j;
+        if (t + stride < local_total) pair_advance(diag, stride);
+      } else {
+        ii = static_cast<std::int32_t>(t % tile.a_len);
+        jj = static_cast<std::int32_t>(t / tile.a_len);
+      }
+      std::int32_t d = two_opt_delta_two_ranges(
+          a[static_cast<std::size_t>(ii)], a[static_cast<std::size_t>(ii + 1)],
+          b[static_cast<std::size_t>(jj)], b[static_cast<std::size_t>(jj + 1)]);
+      std::int32_t i = tile.a_start + ii;
+      std::int32_t j = tile.b_start + jj;
+      consider_move(local, d, pair_index(i, j), i, j);
+      ++evaluated;
+    }
+    state->block_checks += evaluated;
+    if (local.better_than(state->block_best)) state->block_best = local;
+  }
+
+  void block_end(simt::BlockCtx& ctx) const {
+    auto* state = static_cast<BlockState*>(ctx.state);
+    results_[ctx.block_idx] = state->block_best;
+    if (state->active) {
+      ctx.counters->checks.fetch_add(state->block_checks,
+                                     std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  std::span<const Point> global_coords_;
+  std::span<const TileDesc> tiles_;
+  std::uint32_t first_tile_;
+  std::span<BestMove> results_;
+};
+
+std::vector<TileDesc> make_tiles(std::int32_t n, std::int32_t tile) {
+  std::vector<TileDesc> tiles;
+  auto ranges = static_cast<std::int32_t>((n + tile - 1) / tile);
+  for (std::int32_t a = 0; a < ranges; ++a) {
+    std::int32_t a_start = a * tile;
+    std::int32_t a_len = std::min(tile, n - a_start);
+    for (std::int32_t b = a; b < ranges; ++b) {
+      std::int32_t b_start = b * tile;
+      std::int32_t b_len = std::min(tile, n - b_start);
+      tiles.push_back({a_start, a_len, b_start, b_len});
+    }
+  }
+  return tiles;
+}
+
+}  // namespace
+
+TwoOptGpuTiled::TwoOptGpuTiled(simt::Device& device, std::int32_t tile,
+                               simt::LaunchConfig config, std::uint32_t part,
+                               std::uint32_t parts)
+    : device_(device), tile_(tile), config_(config), part_(part),
+      parts_(parts) {
+  TSPOPT_CHECK(parts_ >= 1 && part_ < parts_);
+  if (config_.grid_dim == 0 || config_.block_dim == 0) {
+    config_ = device_.default_config();
+  }
+  std::int32_t cap = max_tile(device_);
+  if (tile_ <= 0) tile_ = cap;
+  TSPOPT_CHECK_MSG(tile_ <= cap, "tile " << tile_ << " exceeds shared-memory"
+                                         << " capacity (max " << cap << ")");
+  TSPOPT_CHECK(tile_ >= 2);
+}
+
+std::int32_t TwoOptGpuTiled::max_tile(const simt::Device& device) {
+  // Two ranges of (tile + 1) Points plus the block state must fit.
+  auto capacity = static_cast<std::int64_t>(device.spec().shared_mem_bytes);
+  std::int64_t overhead = static_cast<std::int64_t>(sizeof(BlockState)) +
+                          3 * static_cast<std::int64_t>(alignof(BlockState));
+  return static_cast<std::int32_t>((capacity - overhead) / 2 /
+                                       static_cast<std::int64_t>(sizeof(Point)) -
+                                   1);
+}
+
+std::uint64_t TwoOptGpuTiled::launches_for(std::int32_t n) const {
+  auto ranges = static_cast<std::uint64_t>((n + tile_ - 1) / tile_);
+  std::uint64_t tiles = ranges * (ranges + 1) / 2;
+  return (tiles + config_.grid_dim - 1) / config_.grid_dim;
+}
+
+SearchResult TwoOptGpuTiled::search(const Instance& instance,
+                                    const Tour& tour) {
+  WallTimer timer;
+  const std::int32_t n = tour.n();
+
+  order_coordinates(instance, tour, ordered_);
+  simt::Buffer<Point> coords(device_, ordered_.size());
+  coords.copy_from_host(ordered_);
+
+  std::vector<TileDesc> tiles = make_tiles(n, tile_);
+  if (parts_ > 1) {
+    // Round-robin tile ownership across devices: contiguous tiles differ
+    // wildly in size (diagonal triangles vs full rectangles), so striding
+    // balances the per-device work without a scheduler.
+    std::vector<TileDesc> mine;
+    for (std::size_t t = part_; t < tiles.size(); t += parts_) {
+      mine.push_back(tiles[t]);
+    }
+    tiles = std::move(mine);
+  }
+  simt::Buffer<BestMove> results(device_, config_.grid_dim);
+
+  BestMove best;
+  for (std::uint32_t first = 0; first < tiles.size();
+       first += config_.grid_dim) {
+    TiledKernel kernel(coords.device_view(), tiles, first,
+                       results.device_view_mutable());
+    device_.launch(config_, kernel);
+    host_results_.resize(config_.grid_dim);
+    results.copy_to_host(host_results_);
+    auto batch = std::min<std::size_t>(config_.grid_dim, tiles.size() - first);
+    for (std::size_t b = 0; b < batch; ++b) {
+      if (host_results_[b].better_than(best)) best = host_results_[b];
+    }
+  }
+
+  SearchResult result;
+  result.best = best;
+  std::uint64_t covered = 0;
+  for (const TileDesc& t : tiles) {
+    covered += static_cast<std::uint64_t>(t.local_pairs());
+  }
+  result.checks = covered;  // == pair_count(n) when parts == 1
+  result.wall_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace tspopt

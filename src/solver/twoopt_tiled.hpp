@@ -1,0 +1,62 @@
+// GPU-style 2-opt pass for arbitrary instance sizes (paper §IV-B, Fig. 7/8)
+// — the paper's main contribution: the problem-division scheme.
+//
+// Route-ordered positions are split into ranges of `tile` cities. A pair
+// (i, j) belongs to exactly one range pair (A, B) = (range(i), range(j)),
+// so the pair triangle decomposes into R(R+1)/2 tiles. Each block stages
+// TWO coordinate ranges in shared memory (Listing 2's two-array distance
+// function) — each range also carries its successor coordinate, with
+// wraparound at the tour end — and evaluates every pair crossing them.
+// One launch covers up to grid_dim tiles (block b <-> tile b of the batch),
+// so "big problems involve multiple kernel launches" exactly as in Fig. 8,
+// and the launches are independent.
+//
+// At 48 kB shared memory the two staged ranges bound the tile height at
+// 3064 cities (the paper quotes 3072, ignoring the +1 successor entries
+// and the reduction record).
+#pragma once
+
+#include <vector>
+
+#include "simt/buffer.hpp"
+#include "simt/device.hpp"
+#include "solver/engine.hpp"
+#include "tsp/point.hpp"
+
+namespace tspopt {
+
+class TwoOptGpuTiled : public TwoOptEngine {
+ public:
+  // `tile == 0` uses the largest tile the device's shared memory allows.
+  // (`part`, `parts`) restrict the engine to tiles t with t % parts ==
+  // part — the unit of work distribution for TwoOptMultiDevice (the
+  // paper's §VI multi-GPU direction). The default (0, 1) covers the whole
+  // pair triangle.
+  explicit TwoOptGpuTiled(simt::Device& device, std::int32_t tile = 0,
+                          simt::LaunchConfig config = {},
+                          std::uint32_t part = 0, std::uint32_t parts = 1);
+
+  std::string name() const override { return "gpu-tiled"; }
+
+  SearchResult search(const Instance& instance, const Tour& tour) override;
+
+  // Largest tile height the device's shared memory supports.
+  static std::int32_t max_tile(const simt::Device& device);
+
+  std::int32_t tile() const { return tile_; }
+
+  // Number of kernel launches a pass over n cities needs with this
+  // configuration (for bench reporting).
+  std::uint64_t launches_for(std::int32_t n) const;
+
+ private:
+  simt::Device& device_;
+  std::int32_t tile_;
+  simt::LaunchConfig config_;
+  std::uint32_t part_;
+  std::uint32_t parts_;
+  std::vector<Point> ordered_;
+  std::vector<BestMove> host_results_;
+};
+
+}  // namespace tspopt

@@ -1,0 +1,52 @@
+// Catalog of the benchmark instances used in the paper's Tables I and II.
+//
+// berlin52 ships with its real (public, 52-point) TSPLIB coordinates; every
+// other instance is synthesized at the paper's exact size by a deterministic
+// generator whose family matches the TSPLIB family's geometry (see
+// DESIGN.md §2 for why this substitution preserves the relevant behaviour).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tsp/instance.hpp"
+
+namespace tspopt {
+
+enum class PointFamily {
+  kReal,       // embedded genuine TSPLIB data
+  kUniform,    // uniform random points (kro*, ch*, ts*, vm*, usa*, ...)
+  kClustered,  // clustered points (pcb*, fl*, pla*, circuit-board style)
+  kGrid,       // jittered grid (rat*, d*, fnl*, national drilling style)
+};
+
+struct CatalogEntry {
+  std::string name;
+  std::int32_t n = 0;
+  PointFamily family = PointFamily::kUniform;
+  // Paper Table II reference values (GTX 680 / CUDA), where legible in the
+  // source text; micro-seconds. Negative means not recorded.
+  double paper_kernel_us = -1.0;
+  double paper_total_us = -1.0;
+};
+
+// All 27 Table II instances, ordered by size (berlin52 ... lrb744710).
+const std::vector<CatalogEntry>& paper_catalog();
+
+// The 13-instance subset used in Table I (memory accounting).
+const std::vector<CatalogEntry>& table1_catalog();
+
+// Look up a catalog entry by instance name; nullopt if absent.
+std::optional<CatalogEntry> find_catalog_entry(const std::string& name);
+
+// Materialize an entry: real data for berlin52, seeded synthetic points
+// (seed derived from the name, so repeated calls agree) otherwise.
+Instance make_catalog_instance(const CatalogEntry& entry);
+
+// The genuine TSPLIB berlin52 instance (optimal tour length 7542).
+Instance berlin52();
+constexpr std::int64_t kBerlin52Optimum = 7542;
+
+}  // namespace tspopt

@@ -1,0 +1,84 @@
+#include "tsp/generator.hpp"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace tspopt {
+
+Instance generate_uniform(std::string name, std::int32_t n, std::uint64_t seed,
+                          float extent) {
+  TSPOPT_CHECK(n >= 3);
+  Pcg32 rng(seed);
+  std::vector<Point> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (std::int32_t i = 0; i < n; ++i) {
+    pts.push_back({rng.next_float(0.0f, extent), rng.next_float(0.0f, extent)});
+  }
+  return Instance(std::move(name), Metric::kEuc2D, std::move(pts));
+}
+
+Instance generate_clustered(std::string name, std::int32_t n,
+                            std::int32_t clusters, std::uint64_t seed,
+                            float extent, float sigma) {
+  TSPOPT_CHECK(n >= 3);
+  TSPOPT_CHECK(clusters >= 1);
+  Pcg32 rng(seed);
+  std::vector<Point> centers;
+  centers.reserve(static_cast<std::size_t>(clusters));
+  for (std::int32_t c = 0; c < clusters; ++c) {
+    centers.push_back(
+        {rng.next_float(0.0f, extent), rng.next_float(0.0f, extent)});
+  }
+  // Box–Muller for the Gaussian offsets; deterministic given the seed.
+  auto gaussian = [&rng]() {
+    double u1 = rng.next_double();
+    double u2 = rng.next_double();
+    if (u1 < 1e-12) u1 = 1e-12;
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * 3.14159265358979323846 * u2);
+  };
+  std::vector<Point> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (std::int32_t i = 0; i < n; ++i) {
+    const Point& c = centers[rng.next_below(static_cast<std::uint32_t>(clusters))];
+    pts.push_back({c.x + static_cast<float>(gaussian()) * sigma,
+                   c.y + static_cast<float>(gaussian()) * sigma});
+  }
+  return Instance(std::move(name), Metric::kEuc2D, std::move(pts));
+}
+
+Instance generate_grid(std::string name, std::int32_t n, std::uint64_t seed,
+                       float spacing, float jitter) {
+  TSPOPT_CHECK(n >= 3);
+  Pcg32 rng(seed);
+  auto side = static_cast<std::int32_t>(
+      std::ceil(std::sqrt(static_cast<double>(n))));
+  std::vector<Point> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (std::int32_t i = 0; i < n; ++i) {
+    auto row = static_cast<float>(i / side);
+    auto col = static_cast<float>(i % side);
+    pts.push_back({col * spacing + rng.next_float(-jitter, jitter),
+                   row * spacing + rng.next_float(-jitter, jitter)});
+  }
+  return Instance(std::move(name), Metric::kEuc2D, std::move(pts));
+}
+
+Instance generate_circle(std::string name, std::int32_t n, float radius) {
+  TSPOPT_CHECK(n >= 3);
+  std::vector<Point> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (std::int32_t i = 0; i < n; ++i) {
+    double theta =
+        2.0 * 3.14159265358979323846 * static_cast<double>(i) / n;
+    pts.push_back({radius * static_cast<float>(std::cos(theta)) + radius,
+                   radius * static_cast<float>(std::sin(theta)) + radius});
+  }
+  return Instance(std::move(name), Metric::kEuc2D, std::move(pts));
+}
+
+}  // namespace tspopt

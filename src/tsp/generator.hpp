@@ -1,0 +1,36 @@
+// Deterministic synthetic instance generators.
+//
+// These stand in for the TSPLIB files the paper benchmarks on (see
+// DESIGN.md §2): the engines consume only (n, coordinates, metric), so
+// same-size synthetic point sets exercise identical code paths and costs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "tsp/instance.hpp"
+
+namespace tspopt {
+
+// n points uniform in [0, extent) x [0, extent).
+Instance generate_uniform(std::string name, std::int32_t n, std::uint64_t seed,
+                          float extent = 10000.0f);
+
+// n points in `clusters` Gaussian blobs with the given standard deviation,
+// cluster centers uniform in the extent box. Mimics the clustered TSPLIB
+// families (pcb*, fl*, pla*).
+Instance generate_clustered(std::string name, std::int32_t n,
+                            std::int32_t clusters, std::uint64_t seed,
+                            float extent = 10000.0f, float sigma = 300.0f);
+
+// n points on a jittered sqrt(n) x sqrt(n) grid (drilling-style instances
+// such as the TSPLIB d* and rat* families).
+Instance generate_grid(std::string name, std::int32_t n, std::uint64_t seed,
+                       float spacing = 100.0f, float jitter = 10.0f);
+
+// n points on a circle — the optimal tour is the convex hull order, which
+// gives tests a known global optimum.
+Instance generate_circle(std::string name, std::int32_t n,
+                         float radius = 1000.0f);
+
+}  // namespace tspopt

@@ -1,0 +1,20 @@
+#include "tsp/instance.hpp"
+
+#include <algorithm>
+
+namespace tspopt {
+
+std::pair<Point, Point> Instance::bounding_box() const {
+  TSPOPT_CHECK(has_coordinates());
+  Point lo = points_.front();
+  Point hi = points_.front();
+  for (const Point& p : points_) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+  }
+  return {lo, hi};
+}
+
+}  // namespace tspopt

@@ -1,0 +1,83 @@
+// A TSP problem instance: a set of cities and an edge-weight function.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "tsp/metric.hpp"
+#include "tsp/point.hpp"
+
+namespace tspopt {
+
+class Instance {
+ public:
+  Instance() = default;
+
+  // Coordinate-based instance (EUC_2D, CEIL_2D, ATT, GEO, ...).
+  Instance(std::string name, Metric metric, std::vector<Point> points)
+      : name_(std::move(name)), metric_(metric), points_(std::move(points)) {
+    TSPOPT_CHECK_MSG(metric_ != Metric::kExplicit,
+                     "use the matrix constructor for EXPLICIT instances");
+    TSPOPT_CHECK(points_.size() >= 3);
+  }
+
+  // EXPLICIT instance: full n*n matrix, row-major. Points are optional
+  // display coordinates.
+  Instance(std::string name, std::vector<std::int32_t> matrix, std::size_t n,
+           std::vector<Point> display_points = {})
+      : name_(std::move(name)),
+        metric_(Metric::kExplicit),
+        points_(std::move(display_points)),
+        matrix_(std::move(matrix)),
+        n_explicit_(n) {
+    TSPOPT_CHECK(n >= 3);
+    TSPOPT_CHECK(matrix_.size() == n * n);
+    TSPOPT_CHECK(points_.empty() || points_.size() == n);
+  }
+
+  const std::string& name() const { return name_; }
+  Metric metric() const { return metric_; }
+
+  std::int32_t n() const {
+    return static_cast<std::int32_t>(
+        metric_ == Metric::kExplicit ? n_explicit_ : points_.size());
+  }
+
+  bool has_coordinates() const { return !points_.empty(); }
+  std::span<const Point> points() const { return points_; }
+  const Point& point(std::int32_t i) const {
+    TSPOPT_DCHECK(i >= 0 && i < n());
+    return points_[static_cast<std::size_t>(i)];
+  }
+
+  std::int32_t dist(std::int32_t a, std::int32_t b) const {
+    TSPOPT_DCHECK(a >= 0 && a < n() && b >= 0 && b < n());
+    if (metric_ == Metric::kExplicit) {
+      return matrix_[static_cast<std::size_t>(a) *
+                         static_cast<std::size_t>(n_explicit_) +
+                     static_cast<std::size_t>(b)];
+    }
+    return tspopt::dist(metric_, points_[static_cast<std::size_t>(a)],
+                        points_[static_cast<std::size_t>(b)]);
+  }
+
+  // True when the GPU-style engines (which read coordinates only and use
+  // the paper's rounded-Euclidean kernel) apply to this instance.
+  bool euclidean_like() const { return metric_ == Metric::kEuc2D; }
+
+  // Bounding box of the coordinates (for generators/diagnostics).
+  std::pair<Point, Point> bounding_box() const;
+
+ private:
+  std::string name_;
+  Metric metric_ = Metric::kEuc2D;
+  std::vector<Point> points_;
+  std::vector<std::int32_t> matrix_;  // EXPLICIT only
+  std::size_t n_explicit_ = 0;
+};
+
+}  // namespace tspopt

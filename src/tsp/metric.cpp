@@ -1,0 +1,78 @@
+#include "tsp/metric.hpp"
+
+namespace tspopt {
+
+std::string to_string(Metric m) {
+  switch (m) {
+    case Metric::kEuc2D:
+      return "EUC_2D";
+    case Metric::kCeil2D:
+      return "CEIL_2D";
+    case Metric::kMan2D:
+      return "MAN_2D";
+    case Metric::kMax2D:
+      return "MAX_2D";
+    case Metric::kAtt:
+      return "ATT";
+    case Metric::kGeo:
+      return "GEO";
+    case Metric::kExplicit:
+      return "EXPLICIT";
+  }
+  return "UNKNOWN";
+}
+
+Metric metric_from_string(const std::string& s) {
+  if (s == "EUC_2D") return Metric::kEuc2D;
+  if (s == "CEIL_2D") return Metric::kCeil2D;
+  if (s == "MAN_2D") return Metric::kMan2D;
+  if (s == "MAX_2D") return Metric::kMax2D;
+  if (s == "ATT") return Metric::kAtt;
+  if (s == "GEO") return Metric::kGeo;
+  if (s == "EXPLICIT") return Metric::kExplicit;
+  TSPOPT_CHECK_MSG(false, "unsupported EDGE_WEIGHT_TYPE: " << s);
+  return Metric::kEuc2D;  // unreachable
+}
+
+namespace {
+// TSPLIB GEO conversion: input coordinate DDD.MM -> radians.
+double geo_radians(float coord) {
+  constexpr double kPi = 3.141592;  // value mandated by the TSPLIB spec
+  auto deg = static_cast<double>(static_cast<std::int32_t>(coord));
+  double min = static_cast<double>(coord) - deg;
+  return kPi * (deg + 5.0 * min / 3.0) / 180.0;
+}
+}  // namespace
+
+std::int32_t dist_geo(const Point& a, const Point& b) {
+  constexpr double kRrr = 6378.388;  // idealized Earth radius, TSPLIB spec
+  double lat_a = geo_radians(a.x), lon_a = geo_radians(a.y);
+  double lat_b = geo_radians(b.x), lon_b = geo_radians(b.y);
+  double q1 = std::cos(lon_a - lon_b);
+  double q2 = std::cos(lat_a - lat_b);
+  double q3 = std::cos(lat_a + lat_b);
+  return static_cast<std::int32_t>(
+      kRrr * std::acos(0.5 * ((1.0 + q1) * q2 - (1.0 - q1) * q3)) + 1.0);
+}
+
+std::int32_t dist(Metric m, const Point& a, const Point& b) {
+  switch (m) {
+    case Metric::kEuc2D:
+      return dist_euc2d(a, b);
+    case Metric::kCeil2D:
+      return dist_ceil2d(a, b);
+    case Metric::kMan2D:
+      return dist_man2d(a, b);
+    case Metric::kMax2D:
+      return dist_max2d(a, b);
+    case Metric::kAtt:
+      return dist_att(a, b);
+    case Metric::kGeo:
+      return dist_geo(a, b);
+    case Metric::kExplicit:
+      TSPOPT_CHECK_MSG(false, "EXPLICIT metric needs the instance matrix");
+  }
+  return 0;  // unreachable
+}
+
+}  // namespace tspopt

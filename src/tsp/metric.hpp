@@ -1,0 +1,74 @@
+// TSPLIB edge-weight functions.
+//
+// EUC_2D is the paper's metric (Listing 1: `(int)(sqrtf(dx*dx+dy*dy)+0.5f)`)
+// and the one the GPU-style engines are specialized for. The remaining
+// metrics make the library a complete TSPLIB consumer.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "common/check.hpp"
+#include "tsp/point.hpp"
+
+namespace tspopt {
+
+enum class Metric {
+  kEuc2D,     // rounded Euclidean (paper / most TSPLIB instances)
+  kCeil2D,    // ceiling of Euclidean
+  kMan2D,     // rounded Manhattan
+  kMax2D,     // rounded Chebyshev
+  kAtt,       // pseudo-Euclidean (att48, att532)
+  kGeo,       // geographical distance on the sphere
+  kExplicit,  // distances given as a matrix in the file
+};
+
+std::string to_string(Metric m);
+Metric metric_from_string(const std::string& s);
+
+// The paper's distance function (Listing 1), kept in float to mirror the
+// kernel arithmetic exactly.
+inline std::int32_t dist_euc2d(const Point& a, const Point& b) {
+  float dx = a.x - b.x;
+  float dy = a.y - b.y;
+  return static_cast<std::int32_t>(std::sqrt(dx * dx + dy * dy) + 0.5f);
+}
+
+inline std::int32_t dist_ceil2d(const Point& a, const Point& b) {
+  float dx = a.x - b.x;
+  float dy = a.y - b.y;
+  return static_cast<std::int32_t>(
+      std::ceil(std::sqrt(static_cast<double>(dx) * dx +
+                          static_cast<double>(dy) * dy)));
+}
+
+inline std::int32_t dist_man2d(const Point& a, const Point& b) {
+  double d = std::abs(static_cast<double>(a.x) - b.x) +
+             std::abs(static_cast<double>(a.y) - b.y);
+  return static_cast<std::int32_t>(d + 0.5);
+}
+
+inline std::int32_t dist_max2d(const Point& a, const Point& b) {
+  double dx = std::abs(static_cast<double>(a.x) - b.x);
+  double dy = std::abs(static_cast<double>(a.y) - b.y);
+  return static_cast<std::int32_t>(std::max(dx, dy) + 0.5);
+}
+
+// ATT pseudo-Euclidean, per the TSPLIB specification.
+inline std::int32_t dist_att(const Point& a, const Point& b) {
+  double dx = static_cast<double>(a.x) - b.x;
+  double dy = static_cast<double>(a.y) - b.y;
+  double rij = std::sqrt((dx * dx + dy * dy) / 10.0);
+  auto tij = static_cast<std::int32_t>(rij + 0.5);  // nint
+  return (tij < rij) ? tij + 1 : tij;
+}
+
+// GEO: coordinates are DDD.MM (degrees.minutes); great-circle distance on an
+// idealized sphere, per the TSPLIB specification.
+std::int32_t dist_geo(const Point& a, const Point& b);
+
+// Dispatch on metric for coordinate-based instances (not kExplicit).
+std::int32_t dist(Metric m, const Point& a, const Point& b);
+
+}  // namespace tspopt

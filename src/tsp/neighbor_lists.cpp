@@ -1,0 +1,118 @@
+#include "tsp/neighbor_lists.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace tspopt {
+
+namespace {
+
+// Uniform bucket grid over the bounding box.
+struct Grid {
+  std::int32_t cells_x = 1;
+  std::int32_t cells_y = 1;
+  float cell = 1.0f;
+  Point lo;
+  std::vector<std::vector<std::int32_t>> buckets;
+
+  std::int32_t clamp_x(std::int32_t cx) const {
+    return std::clamp(cx, 0, cells_x - 1);
+  }
+  std::int32_t clamp_y(std::int32_t cy) const {
+    return std::clamp(cy, 0, cells_y - 1);
+  }
+  std::int32_t cell_of_x(float x) const {
+    return clamp_x(static_cast<std::int32_t>((x - lo.x) / cell));
+  }
+  std::int32_t cell_of_y(float y) const {
+    return clamp_y(static_cast<std::int32_t>((y - lo.y) / cell));
+  }
+  std::vector<std::int32_t>& bucket(std::int32_t cx, std::int32_t cy) {
+    return buckets[static_cast<std::size_t>(cy) *
+                       static_cast<std::size_t>(cells_x) +
+                   static_cast<std::size_t>(cx)];
+  }
+};
+
+Grid build_grid(const Instance& instance) {
+  Grid g;
+  auto [lo, hi] = instance.bounding_box();
+  g.lo = lo;
+  float w = std::max(hi.x - lo.x, 1.0f);
+  float h = std::max(hi.y - lo.y, 1.0f);
+  // Aim for ~1-2 points per cell.
+  auto target = static_cast<float>(
+      std::sqrt(static_cast<double>(instance.n())));
+  g.cell = std::max(w, h) / std::max(1.0f, target);
+  g.cells_x = std::max(1, static_cast<std::int32_t>(w / g.cell) + 1);
+  g.cells_y = std::max(1, static_cast<std::int32_t>(h / g.cell) + 1);
+  g.buckets.resize(static_cast<std::size_t>(g.cells_x) *
+                   static_cast<std::size_t>(g.cells_y));
+  for (std::int32_t i = 0; i < instance.n(); ++i) {
+    const Point& p = instance.point(i);
+    g.bucket(g.cell_of_x(p.x), g.cell_of_y(p.y)).push_back(i);
+  }
+  return g;
+}
+
+}  // namespace
+
+NeighborLists::NeighborLists(const Instance& instance, std::int32_t k)
+    : n_(instance.n()), k_(std::min(k, instance.n() - 1)) {
+  TSPOPT_CHECK(k >= 1);
+  TSPOPT_CHECK_MSG(instance.has_coordinates(),
+                   "NeighborLists requires coordinates");
+  Grid grid = build_grid(instance);
+  flat_.resize(static_cast<std::size_t>(n_) * static_cast<std::size_t>(k_));
+
+  std::vector<std::pair<std::int64_t, std::int32_t>> candidates;
+  for (std::int32_t city = 0; city < n_; ++city) {
+    const Point& p = instance.point(city);
+    std::int32_t cx = grid.cell_of_x(p.x);
+    std::int32_t cy = grid.cell_of_y(p.y);
+    candidates.clear();
+    // Expand the search ring until we have enough candidates AND the ring
+    // distance already exceeds the k-th best, guaranteeing correctness.
+    for (std::int32_t ring = 0;; ++ring) {
+      std::int32_t x0 = grid.clamp_x(cx - ring), x1 = grid.clamp_x(cx + ring);
+      std::int32_t y0 = grid.clamp_y(cy - ring), y1 = grid.clamp_y(cy + ring);
+      for (std::int32_t gy = y0; gy <= y1; ++gy) {
+        for (std::int32_t gx = x0; gx <= x1; ++gx) {
+          bool on_ring = (gx == cx - ring || gx == cx + ring ||
+                          gy == cy - ring || gy == cy + ring);
+          if (ring > 0 && !on_ring) continue;  // interior already visited
+          for (std::int32_t other : grid.bucket(gx, gy)) {
+            if (other == city) continue;
+            candidates.emplace_back(instance.dist(city, other), other);
+          }
+        }
+      }
+      bool covers_whole_grid =
+          x0 == 0 && y0 == 0 && x1 == grid.cells_x - 1 && y1 == grid.cells_y - 1;
+      if (static_cast<std::int32_t>(candidates.size()) >= k_) {
+        // Points further than `ring * cell` from the query cannot beat the
+        // current k-th candidate once the ring radius passes it.
+        std::nth_element(candidates.begin(),
+                         candidates.begin() + (k_ - 1), candidates.end());
+        double kth = static_cast<double>(candidates[static_cast<std::size_t>(k_ - 1)].first);
+        double ring_guarantee = static_cast<double>(ring) * grid.cell;
+        if (ring_guarantee >= kth || covers_whole_grid) break;
+      } else if (covers_whole_grid) {
+        break;
+      }
+    }
+    TSPOPT_CHECK(static_cast<std::int32_t>(candidates.size()) >= k_);
+    std::partial_sort(candidates.begin(), candidates.begin() + k_,
+                      candidates.end());
+    for (std::int32_t j = 0; j < k_; ++j) {
+      flat_[static_cast<std::size_t>(city) * static_cast<std::size_t>(k_) +
+            static_cast<std::size_t>(j)] =
+          candidates[static_cast<std::size_t>(j)].second;
+    }
+  }
+}
+
+}  // namespace tspopt

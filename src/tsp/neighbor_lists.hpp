@@ -1,0 +1,41 @@
+// k-nearest-neighbor lists over the city coordinates.
+//
+// This backs the neighborhood-pruning extension the paper lists as future
+// work (§VII): restricting 2-opt candidates to each city's k nearest
+// neighbors trades a little tour quality for a large reduction in checks.
+// Built with a uniform spatial grid, so construction is O(n * k) expected
+// for non-degenerate point sets rather than O(n^2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tsp/instance.hpp"
+
+namespace tspopt {
+
+class NeighborLists {
+ public:
+  // Builds lists of the k nearest cities (by the instance metric distance;
+  // requires coordinates) for every city. k is clamped to n-1.
+  NeighborLists(const Instance& instance, std::int32_t k);
+
+  std::int32_t k() const { return k_; }
+  std::int32_t n() const { return n_; }
+
+  // The k neighbors of `city`, sorted by increasing distance.
+  std::span<const std::int32_t> neighbors(std::int32_t city) const {
+    TSPOPT_DCHECK(city >= 0 && city < n_);
+    return {flat_.data() + static_cast<std::size_t>(city) *
+                               static_cast<std::size_t>(k_),
+            static_cast<std::size_t>(k_)};
+  }
+
+ private:
+  std::int32_t n_;
+  std::int32_t k_;
+  std::vector<std::int32_t> flat_;  // n * k, row per city
+};
+
+}  // namespace tspopt

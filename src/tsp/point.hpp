@@ -1,0 +1,19 @@
+// 2-D city coordinates.
+//
+// Coordinates are single-precision floats, matching the paper's kernels
+// (Listing 1 stores `float2` in shared memory); TSPLIB files carry at most
+// ~7 significant digits so nothing is lost.
+#pragma once
+
+namespace tspopt {
+
+struct Point {
+  float x = 0.0f;
+  float y = 0.0f;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+}  // namespace tspopt

@@ -1,0 +1,68 @@
+#include "tsp/svg.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace tspopt {
+
+void write_svg(std::ostream& out, const Instance& instance, const Tour* tour,
+               const SvgStyle& style) {
+  TSPOPT_CHECK_MSG(instance.has_coordinates(), "SVG needs coordinates");
+  if (tour != nullptr) {
+    TSPOPT_CHECK(tour->n() == instance.n());
+    TSPOPT_CHECK_MSG(tour->is_valid(), "refusing to render an invalid tour");
+  }
+  TSPOPT_CHECK(style.width > 2 * style.margin);
+
+  auto [lo, hi] = instance.bounding_box();
+  double span_x = std::max(1.0, static_cast<double>(hi.x) - lo.x);
+  double span_y = std::max(1.0, static_cast<double>(hi.y) - lo.y);
+  double drawable = style.width - 2 * style.margin;
+  double scale = drawable / span_x;
+  double height = span_y * scale + 2 * style.margin;
+
+  auto px = [&](const Point& p) {
+    return style.margin + (static_cast<double>(p.x) - lo.x) * scale;
+  };
+  auto py = [&](const Point& p) {
+    // Flip y: SVG grows downward, map coordinates grow upward.
+    return height - style.margin - (static_cast<double>(p.y) - lo.y) * scale;
+  };
+
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << style.width
+      << "\" height=\"" << height << "\" viewBox=\"0 0 " << style.width << ' '
+      << height << "\">\n";
+
+  if (tour != nullptr) {
+    out << "  <path fill=\"none\" stroke=\"" << style.edge_color
+        << "\" stroke-width=\"" << style.edge_width << "\" d=\"";
+    for (std::int32_t p = 0; p < tour->n(); ++p) {
+      const Point& pt = instance.point(tour->city_at(p));
+      out << (p == 0 ? 'M' : 'L') << px(pt) << ' ' << py(pt) << ' ';
+    }
+    if (style.close_tour) out << 'Z';
+    out << "\"/>\n";
+  }
+
+  if (style.point_radius > 0.0) {
+    for (std::int32_t c = 0; c < instance.n(); ++c) {
+      const Point& pt = instance.point(c);
+      out << "  <circle cx=\"" << px(pt) << "\" cy=\"" << py(pt)
+          << "\" r=\"" << style.point_radius << "\" fill=\""
+          << style.point_color << "\"/>\n";
+    }
+  }
+  out << "</svg>\n";
+}
+
+void save_svg(const std::string& path, const Instance& instance,
+              const Tour* tour, const SvgStyle& style) {
+  std::ofstream out(path);
+  TSPOPT_CHECK_MSG(out.good(), "cannot write SVG file: " << path);
+  write_svg(out, instance, tour, style);
+}
+
+}  // namespace tspopt

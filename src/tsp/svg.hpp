@@ -1,0 +1,35 @@
+// SVG rendering of instances and tours.
+//
+// Small, dependency-free visual output so examples and debugging sessions
+// can *see* tours (crossing edges are how 2-opt improvements look). The
+// y-axis is flipped so the plot matches the usual mathematical
+// orientation of TSPLIB coordinates.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tsp/instance.hpp"
+#include "tsp/tour.hpp"
+
+namespace tspopt {
+
+struct SvgStyle {
+  double width = 800.0;       // pixel width; height follows the aspect ratio
+  double margin = 20.0;       // pixel margin around the drawing
+  double point_radius = 2.0;  // 0 disables city dots
+  std::string edge_color = "#1f77b4";
+  std::string point_color = "#d62728";
+  double edge_width = 1.0;
+  bool close_tour = true;  // draw the wrap-around edge
+};
+
+// Render the instance's cities and (optionally) a tour through them.
+// `tour == nullptr` plots cities only. Requires coordinates.
+void write_svg(std::ostream& out, const Instance& instance,
+               const Tour* tour = nullptr, const SvgStyle& style = {});
+
+void save_svg(const std::string& path, const Instance& instance,
+              const Tour* tour = nullptr, const SvgStyle& style = {});
+
+}  // namespace tspopt

@@ -1,0 +1,130 @@
+#include "tsp/tour.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+namespace tspopt {
+
+Tour::Tour(std::vector<std::int32_t> order) : order_(std::move(order)) {
+  TSPOPT_CHECK_MSG(order_.size() >= 3, "a tour needs at least 3 cities");
+}
+
+Tour Tour::identity(std::int32_t n) {
+  TSPOPT_CHECK(n >= 3);
+  std::vector<std::int32_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  return Tour(std::move(order));
+}
+
+Tour Tour::random(std::int32_t n, Pcg32& rng) {
+  Tour t = identity(n);
+  // Fisher–Yates with our deterministic generator.
+  for (std::int32_t i = n - 1; i > 0; --i) {
+    auto j = static_cast<std::int32_t>(
+        rng.next_below(static_cast<std::uint32_t>(i + 1)));
+    std::swap(t.order_[static_cast<std::size_t>(i)],
+              t.order_[static_cast<std::size_t>(j)]);
+  }
+  return t;
+}
+
+bool Tour::is_valid() const {
+  std::vector<bool> seen(order_.size(), false);
+  for (std::int32_t c : order_) {
+    if (c < 0 || c >= n()) return false;
+    if (seen[static_cast<std::size_t>(c)]) return false;
+    seen[static_cast<std::size_t>(c)] = true;
+  }
+  return true;
+}
+
+std::int64_t Tour::length(const Instance& instance) const {
+  TSPOPT_CHECK(instance.n() == n());
+  std::int64_t total = 0;
+  for (std::size_t p = 0; p + 1 < order_.size(); ++p) {
+    total += instance.dist(order_[p], order_[p + 1]);
+  }
+  total += instance.dist(order_.back(), order_.front());
+  return total;
+}
+
+void Tour::reverse_inner(std::int32_t first, std::int32_t last) {
+  std::reverse(order_.begin() + first, order_.begin() + last + 1);
+}
+
+void Tour::reverse_wrapped(std::int32_t first, std::int32_t last,
+                           std::int32_t count) {
+  // Reverse the cyclic segment first..last (wrapping past n-1) by swapping
+  // from both ends, moving the indices modularly.
+  std::int32_t a = first;
+  std::int32_t b = last;
+  for (std::int32_t s = 0; s < count / 2; ++s) {
+    std::swap(order_[static_cast<std::size_t>(a)],
+              order_[static_cast<std::size_t>(b)]);
+    a = (a + 1 == n()) ? 0 : a + 1;
+    b = (b == 0) ? n() - 1 : b - 1;
+  }
+}
+
+void Tour::apply_two_opt(std::int32_t i, std::int32_t j) {
+  TSPOPT_CHECK(0 <= i && i < j && j <= n() - 1);
+  // Inner arc: positions i+1..j (length j-i). Outer arc: positions
+  // (j+1)%n .. i wrapping (length n-(j-i)). Reversing either applies the
+  // same 2-opt move; pick the shorter to bound the apply cost by n/2.
+  std::int32_t inner_len = j - i;
+  std::int32_t outer_len = n() - inner_len;
+  if (inner_len <= outer_len) {
+    reverse_inner(i + 1, j);
+  } else {
+    reverse_wrapped((j + 1) % n(), i, outer_len);
+  }
+}
+
+void Tour::double_bridge(Pcg32& rng) {
+  TSPOPT_CHECK_MSG(n() >= 8, "double bridge needs n >= 8");
+  // Choose three distinct interior cut points 0 < p1 < p2 < p3 < n, giving
+  // segments A=[0,p1), B=[p1,p2), C=[p2,p3), D=[p3,n).
+  std::int32_t p1 = 1 + static_cast<std::int32_t>(
+                            rng.next_below(static_cast<std::uint32_t>(n() - 3)));
+  std::int32_t p2 =
+      p1 + 1 + static_cast<std::int32_t>(
+                   rng.next_below(static_cast<std::uint32_t>(n() - p1 - 2)));
+  std::int32_t p3 =
+      p2 + 1 + static_cast<std::int32_t>(
+                   rng.next_below(static_cast<std::uint32_t>(n() - p2 - 1)));
+  std::vector<std::int32_t> next;
+  next.reserve(order_.size());
+  auto append = [&](std::int32_t lo, std::int32_t hi) {
+    next.insert(next.end(), order_.begin() + lo, order_.begin() + hi);
+  };
+  append(0, p1);    // A
+  append(p2, p3);   // C
+  append(p1, p2);   // B
+  append(p3, n());  // D
+  order_ = std::move(next);
+}
+
+void Tour::or_opt_move(std::int32_t from, std::int32_t len, std::int32_t to) {
+  TSPOPT_CHECK(len >= 1 && len < n());
+  TSPOPT_CHECK(from >= 0 && from + len <= n());
+  TSPOPT_CHECK(to < from || to >= from + len);
+  TSPOPT_CHECK(to >= -1 && to < n());
+  std::vector<std::int32_t> segment(order_.begin() + from,
+                                    order_.begin() + from + len);
+  order_.erase(order_.begin() + from, order_.begin() + from + len);
+  // After erasing, positions beyond the segment shift left by `len`.
+  std::int32_t insert_after = (to >= from + len) ? to - len : to;
+  order_.insert(order_.begin() + insert_after + 1, segment.begin(),
+                segment.end());
+}
+
+std::vector<std::int32_t> Tour::positions() const {
+  std::vector<std::int32_t> pos(order_.size());
+  for (std::size_t p = 0; p < order_.size(); ++p) {
+    pos[static_cast<std::size_t>(order_[p])] = static_cast<std::int32_t>(p);
+  }
+  return pos;
+}
+
+}  // namespace tspopt

@@ -1,0 +1,72 @@
+// A closed TSP tour: a permutation of the city indices 0..n-1.
+//
+// Positions are indices into the permutation; the tour implicitly closes
+// with the edge (order[n-1], order[0]). The 2-opt move (i, j) with
+// 0 <= i < j <= n-1 removes edges (order[i], order[i+1]) and
+// (order[j], order[(j+1) % n]) and reconnects by reversing a segment.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tsp/instance.hpp"
+
+namespace tspopt {
+
+class Tour {
+ public:
+  explicit Tour(std::vector<std::int32_t> order);
+
+  // The identity tour 0, 1, ..., n-1.
+  static Tour identity(std::int32_t n);
+  // A uniformly random tour (Fisher–Yates).
+  static Tour random(std::int32_t n, Pcg32& rng);
+
+  std::int32_t n() const { return static_cast<std::int32_t>(order_.size()); }
+  std::span<const std::int32_t> order() const { return order_; }
+  std::int32_t city_at(std::int32_t pos) const {
+    TSPOPT_DCHECK(pos >= 0 && pos < n());
+    return order_[static_cast<std::size_t>(pos)];
+  }
+
+  // True iff the order is a permutation of 0..n-1.
+  bool is_valid() const;
+
+  // Total closed-tour length under the instance's metric.
+  std::int64_t length(const Instance& instance) const;
+
+  // Apply the 2-opt move (i, j): reverse whichever of the two arcs between
+  // the removed edges is shorter (both reconnections yield the same tour up
+  // to orientation, so the symmetric length is identical either way).
+  // Requires 0 <= i < j <= n-1.
+  void apply_two_opt(std::int32_t i, std::int32_t j);
+
+  // The classic ILS double-bridge perturbation: cut the tour into four
+  // non-empty segments A B C D at random points and reconnect as A C B D.
+  // Requires n >= 8 so all segments can be non-empty and non-trivial.
+  void double_bridge(Pcg32& rng);
+
+  // Or-opt move: relocate the segment of `len` cities starting at position
+  // `from` so that it follows position `to` (positions in the current
+  // order; `to` must lie outside the moved segment). Used by the 2.5-opt
+  // extension.
+  void or_opt_move(std::int32_t from, std::int32_t len, std::int32_t to);
+
+  // positions()[city] == position of `city` in the order.
+  std::vector<std::int32_t> positions() const;
+
+  friend bool operator==(const Tour& a, const Tour& b) {
+    return a.order_ == b.order_;
+  }
+
+ private:
+  void reverse_inner(std::int32_t first, std::int32_t last);
+  void reverse_wrapped(std::int32_t first, std::int32_t last,
+                       std::int32_t count);
+
+  std::vector<std::int32_t> order_;
+};
+
+}  // namespace tspopt

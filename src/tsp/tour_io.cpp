@@ -1,0 +1,110 @@
+#include "tsp/tour_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace tspopt {
+
+namespace {
+std::string trim(const std::string& s) {
+  auto is_space = [](unsigned char c) { return std::isspace(c) != 0; };
+  auto begin = std::find_if_not(s.begin(), s.end(), is_space);
+  auto end = std::find_if_not(s.rbegin(), s.rend(), is_space).base();
+  return (begin < end) ? std::string(begin, end) : std::string();
+}
+}  // namespace
+
+Tour parse_tsplib_tour(std::istream& in, std::int32_t expected_n) {
+  std::int64_t dimension = -1;
+  std::string line;
+  bool in_section = false;
+  std::vector<std::int32_t> order;
+
+  while (std::getline(in, line)) {
+    line = trim(line);
+    if (line.empty()) continue;
+    if (!in_section) {
+      auto colon = line.find(':');
+      std::string key = trim(colon == std::string::npos
+                                 ? line
+                                 : line.substr(0, colon));
+      std::string value =
+          colon == std::string::npos ? "" : trim(line.substr(colon + 1));
+      if (key == "DIMENSION") {
+        dimension = std::stoll(value);
+      } else if (key == "TYPE") {
+        TSPOPT_CHECK_MSG(value == "TOUR", "expected TYPE TOUR, got " << value);
+      } else if (key == "TOUR_SECTION") {
+        in_section = true;
+      } else if (key == "EOF") {
+        break;
+      }
+      // NAME/COMMENT and unknown keywords are ignored.
+      continue;
+    }
+    // Inside TOUR_SECTION: whitespace-separated 1-based ids, -1 ends.
+    std::istringstream nums(line);
+    std::int64_t v = 0;
+    while (nums >> v) {
+      if (v == -1) {
+        in_section = false;
+        break;
+      }
+      TSPOPT_CHECK_MSG(v >= 1, "tour ids are 1-based, got " << v);
+      order.push_back(static_cast<std::int32_t>(v - 1));
+    }
+  }
+
+  TSPOPT_CHECK_MSG(!order.empty(), "tour file has no TOUR_SECTION entries");
+  if (dimension >= 0) {
+    TSPOPT_CHECK_MSG(static_cast<std::int64_t>(order.size()) == dimension,
+                     "TOUR_SECTION has " << order.size()
+                                         << " cities, DIMENSION says "
+                                         << dimension);
+  }
+  if (expected_n >= 0) {
+    TSPOPT_CHECK_MSG(static_cast<std::int32_t>(order.size()) == expected_n,
+                     "tour has " << order.size() << " cities, expected "
+                                 << expected_n);
+  }
+  Tour tour(std::move(order));
+  TSPOPT_CHECK_MSG(tour.is_valid(), "tour file is not a permutation");
+  return tour;
+}
+
+Tour load_tsplib_tour(const std::string& path, std::int32_t expected_n) {
+  std::ifstream in(path);
+  TSPOPT_CHECK_MSG(in.good(), "cannot open tour file: " << path);
+  return parse_tsplib_tour(in, expected_n);
+}
+
+void write_tsplib_tour(std::ostream& out, const Tour& tour,
+                       const std::string& name, std::int64_t length_comment) {
+  TSPOPT_CHECK_MSG(tour.is_valid(), "refusing to write an invalid tour");
+  out << "NAME : " << name << "\n"
+      << "TYPE : TOUR\n";
+  if (length_comment >= 0) {
+    out << "COMMENT : length " << length_comment << "\n";
+  }
+  out << "DIMENSION : " << tour.n() << "\n"
+      << "TOUR_SECTION\n";
+  for (std::int32_t p = 0; p < tour.n(); ++p) {
+    out << (tour.city_at(p) + 1) << "\n";
+  }
+  out << "-1\nEOF\n";
+}
+
+void save_tsplib_tour(const std::string& path, const Tour& tour,
+                      const std::string& name, std::int64_t length_comment) {
+  std::ofstream out(path);
+  TSPOPT_CHECK_MSG(out.good(), "cannot write tour file: " << path);
+  write_tsplib_tour(out, tour, name, length_comment);
+}
+
+}  // namespace tspopt

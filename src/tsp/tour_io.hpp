@@ -1,0 +1,30 @@
+// TSPLIB tour-file (.tour / TYPE TOUR) reader and writer.
+//
+// TSPLIB distributes optimal tours in this format (NAME/TYPE/DIMENSION
+// header, TOUR_SECTION with 1-based city ids, -1 terminator); supporting
+// it lets results interchange with standard TSP tooling and lets tests
+// persist and reload solver output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tsp/tour.hpp"
+
+namespace tspopt {
+
+// Parse a TSPLIB tour file. `expected_n >= 0` additionally validates the
+// dimension. Throws CheckError on malformed input.
+Tour parse_tsplib_tour(std::istream& in, std::int32_t expected_n = -1);
+Tour load_tsplib_tour(const std::string& path, std::int32_t expected_n = -1);
+
+// Write `tour` in TSPLIB TOUR format. `name` goes into the NAME field;
+// `length_comment >= 0` is recorded as a COMMENT line.
+void write_tsplib_tour(std::ostream& out, const Tour& tour,
+                       const std::string& name,
+                       std::int64_t length_comment = -1);
+void save_tsplib_tour(const std::string& path, const Tour& tour,
+                      const std::string& name,
+                      std::int64_t length_comment = -1);
+
+}  // namespace tspopt

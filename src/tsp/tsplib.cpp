@@ -1,0 +1,218 @@
+#include "tsp/tsplib.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace tspopt {
+namespace {
+
+std::string trim(const std::string& s) {
+  auto is_space = [](unsigned char c) { return std::isspace(c) != 0; };
+  auto begin = std::find_if_not(s.begin(), s.end(), is_space);
+  auto end = std::find_if_not(s.rbegin(), s.rend(), is_space).base();
+  return (begin < end) ? std::string(begin, end) : std::string();
+}
+
+// Split "KEYWORD : value" / "KEYWORD: value" / bare "SECTION_NAME".
+bool split_keyword(const std::string& line, std::string& key,
+                   std::string& value) {
+  auto colon = line.find(':');
+  if (colon == std::string::npos) {
+    key = trim(line);
+    value.clear();
+    return !key.empty();
+  }
+  key = trim(line.substr(0, colon));
+  value = trim(line.substr(colon + 1));
+  return !key.empty();
+}
+
+struct Header {
+  std::string name = "unnamed";
+  std::string type = "TSP";
+  std::string edge_weight_type;
+  std::string edge_weight_format;
+  std::int64_t dimension = 0;
+};
+
+// Read `count` whitespace-separated integers that may span multiple lines.
+std::vector<std::int32_t> read_ints(std::istream& in, std::size_t count) {
+  std::vector<std::int32_t> out;
+  out.reserve(count);
+  std::int64_t v = 0;
+  while (out.size() < count && (in >> v)) {
+    out.push_back(static_cast<std::int32_t>(v));
+  }
+  TSPOPT_CHECK_MSG(out.size() == count,
+                   "EDGE_WEIGHT_SECTION truncated: expected "
+                       << count << " values, got " << out.size());
+  return out;
+}
+
+std::vector<std::int32_t> expand_matrix(const std::string& format,
+                                        const std::vector<std::int32_t>& raw,
+                                        std::size_t n) {
+  std::vector<std::int32_t> m(n * n, 0);
+  auto at = [&](std::size_t r, std::size_t c) -> std::int32_t& {
+    return m[r * n + c];
+  };
+  std::size_t idx = 0;
+  if (format == "FULL_MATRIX") {
+    TSPOPT_CHECK(raw.size() == n * n);
+    m = raw;
+  } else if (format == "UPPER_ROW") {
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = r + 1; c < n; ++c) at(r, c) = at(c, r) = raw[idx++];
+  } else if (format == "LOWER_ROW") {
+    for (std::size_t r = 1; r < n; ++r)
+      for (std::size_t c = 0; c < r; ++c) at(r, c) = at(c, r) = raw[idx++];
+  } else if (format == "UPPER_DIAG_ROW") {
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = r; c < n; ++c) at(r, c) = at(c, r) = raw[idx++];
+  } else if (format == "LOWER_DIAG_ROW") {
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = 0; c <= r; ++c) at(r, c) = at(c, r) = raw[idx++];
+  } else {
+    TSPOPT_CHECK_MSG(false, "unsupported EDGE_WEIGHT_FORMAT: " << format);
+  }
+  return m;
+}
+
+std::size_t triangle_count(const std::string& format, std::size_t n) {
+  if (format == "FULL_MATRIX") return n * n;
+  if (format == "UPPER_ROW" || format == "LOWER_ROW") return n * (n - 1) / 2;
+  if (format == "UPPER_DIAG_ROW" || format == "LOWER_DIAG_ROW")
+    return n * (n + 1) / 2;
+  TSPOPT_CHECK_MSG(false, "unsupported EDGE_WEIGHT_FORMAT: " << format);
+  return 0;
+}
+
+}  // namespace
+
+Instance parse_tsplib(std::istream& in) {
+  Header header;
+  std::vector<Point> points;
+  std::vector<Point> display_points;
+  std::vector<std::int32_t> matrix;
+  bool saw_coords = false;
+  bool saw_matrix = false;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    line = trim(line);
+    if (line.empty()) continue;
+    std::string key, value;
+    if (!split_keyword(line, key, value)) continue;
+
+    if (key == "NAME") {
+      header.name = value;
+    } else if (key == "TYPE") {
+      header.type = value;
+      TSPOPT_CHECK_MSG(value == "TSP" || value == "tsp",
+                       "unsupported TYPE: " << value
+                                            << " (only symmetric TSP)");
+    } else if (key == "COMMENT" || key == "NODE_COORD_TYPE" ||
+               key == "DISPLAY_DATA_TYPE") {
+      // informational only
+    } else if (key == "DIMENSION") {
+      header.dimension = std::stoll(value);
+      TSPOPT_CHECK_MSG(header.dimension >= 3,
+                       "DIMENSION must be >= 3, got " << header.dimension);
+    } else if (key == "EDGE_WEIGHT_TYPE") {
+      header.edge_weight_type = value;
+    } else if (key == "EDGE_WEIGHT_FORMAT") {
+      header.edge_weight_format = value;
+    } else if (key == "NODE_COORD_SECTION" || key == "DISPLAY_DATA_SECTION") {
+      TSPOPT_CHECK_MSG(header.dimension > 0,
+                       "DIMENSION must precede " << key);
+      auto n = static_cast<std::size_t>(header.dimension);
+      std::vector<Point> pts(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        std::int64_t index = 0;
+        double x = 0, y = 0;
+        TSPOPT_CHECK_MSG(in >> index >> x >> y,
+                         key << " truncated at entry " << i);
+        TSPOPT_CHECK_MSG(index >= 1 && index <= header.dimension,
+                         "node index " << index << " out of range");
+        pts[static_cast<std::size_t>(index - 1)] = {static_cast<float>(x),
+                                                    static_cast<float>(y)};
+      }
+      if (key == "NODE_COORD_SECTION") {
+        points = std::move(pts);
+        saw_coords = true;
+      } else {
+        display_points = std::move(pts);
+      }
+    } else if (key == "EDGE_WEIGHT_SECTION") {
+      TSPOPT_CHECK_MSG(header.dimension > 0,
+                       "DIMENSION must precede EDGE_WEIGHT_SECTION");
+      TSPOPT_CHECK_MSG(!header.edge_weight_format.empty(),
+                       "EDGE_WEIGHT_FORMAT must precede EDGE_WEIGHT_SECTION");
+      auto n = static_cast<std::size_t>(header.dimension);
+      auto raw = read_ints(in, triangle_count(header.edge_weight_format, n));
+      matrix = expand_matrix(header.edge_weight_format, raw, n);
+      saw_matrix = true;
+    } else if (key == "EOF") {
+      break;
+    } else if (key == "FIXED_EDGES_SECTION" || key == "TOUR_SECTION") {
+      TSPOPT_CHECK_MSG(false, "unsupported section: " << key);
+    }
+    // Unknown keywords with values are ignored (TSPLIB extensions).
+  }
+
+  if (saw_matrix) {
+    TSPOPT_CHECK_MSG(header.edge_weight_type == "EXPLICIT",
+                     "EDGE_WEIGHT_SECTION requires EDGE_WEIGHT_TYPE EXPLICIT");
+    auto n = static_cast<std::size_t>(header.dimension);
+    return Instance(header.name, std::move(matrix), n,
+                    std::move(display_points));
+  }
+  TSPOPT_CHECK_MSG(saw_coords, "no NODE_COORD_SECTION or EDGE_WEIGHT_SECTION");
+  TSPOPT_CHECK_MSG(!header.edge_weight_type.empty(),
+                   "missing EDGE_WEIGHT_TYPE");
+  TSPOPT_CHECK_MSG(
+      points.size() == static_cast<std::size_t>(header.dimension),
+      "coordinate count does not match DIMENSION");
+  return Instance(header.name, metric_from_string(header.edge_weight_type),
+                  std::move(points));
+}
+
+Instance load_tsplib(const std::string& path) {
+  std::ifstream in(path);
+  TSPOPT_CHECK_MSG(in.good(), "cannot open TSPLIB file: " << path);
+  return parse_tsplib(in);
+}
+
+void write_tsplib(std::ostream& out, const Instance& instance) {
+  TSPOPT_CHECK_MSG(instance.metric() != Metric::kExplicit,
+                   "writer supports coordinate-based instances only");
+  out << "NAME : " << instance.name() << "\n"
+      << "TYPE : TSP\n"
+      << "DIMENSION : " << instance.n() << "\n"
+      << "EDGE_WEIGHT_TYPE : " << to_string(instance.metric()) << "\n"
+      << "NODE_COORD_SECTION\n";
+  // max_digits10 guarantees the parsed floats are bit-identical to the
+  // written ones (rounded metrics are sensitive to the last ulp).
+  out << std::setprecision(std::numeric_limits<float>::max_digits10);
+  for (std::int32_t i = 0; i < instance.n(); ++i) {
+    const Point& p = instance.point(i);
+    out << (i + 1) << ' ' << p.x << ' ' << p.y << "\n";
+  }
+  out << "EOF\n";
+}
+
+void save_tsplib(const std::string& path, const Instance& instance) {
+  std::ofstream out(path);
+  TSPOPT_CHECK_MSG(out.good(), "cannot write TSPLIB file: " << path);
+  write_tsplib(out, instance);
+}
+
+}  // namespace tspopt

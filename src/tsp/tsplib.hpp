@@ -1,0 +1,26 @@
+// TSPLIB file format reader/writer.
+//
+// Supports symmetric TSP instances: TYPE TSP, NODE_COORD_SECTION with any of
+// the coordinate metrics, and EXPLICIT instances with FULL_MATRIX,
+// UPPER_ROW, LOWER_ROW, UPPER_DIAG_ROW or LOWER_DIAG_ROW weight sections.
+// Reference: Reinelt, "TSPLIB — A Traveling Salesman Problem Library",
+// ORSA Journal on Computing 3(4), 1991 (the paper's instance source, [9]).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tsp/instance.hpp"
+
+namespace tspopt {
+
+// Parse a TSPLIB-format stream/file. Throws CheckError with a descriptive
+// message on malformed input or unsupported features (e.g. TYPE ATSP).
+Instance parse_tsplib(std::istream& in);
+Instance load_tsplib(const std::string& path);
+
+// Write a coordinate-based instance in TSPLIB format (NODE_COORD_SECTION).
+void write_tsplib(std::ostream& out, const Instance& instance);
+void save_tsplib(const std::string& path, const Instance& instance);
+
+}  // namespace tspopt

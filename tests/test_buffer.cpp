@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "simt/buffer.hpp"
+#include "simt/device.hpp"
+#include "tsp/point.hpp"
+
+namespace tspopt {
+namespace {
+
+using simt::Buffer;
+using simt::Device;
+
+TEST(Buffer, RoundTripsData) {
+  Device device(simt::gtx680_cuda());
+  std::vector<std::int32_t> src(100);
+  std::iota(src.begin(), src.end(), 0);
+  Buffer<std::int32_t> buf(device, src.size());
+  buf.copy_from_host(src);
+  std::vector<std::int32_t> dst(100, -1);
+  buf.copy_to_host(dst);
+  EXPECT_EQ(src, dst);
+}
+
+TEST(Buffer, MetersTransfers) {
+  Device device(simt::gtx680_cuda());
+  Buffer<Point> buf(device, 64);
+  std::vector<Point> pts(64);
+  buf.copy_from_host(pts);
+  buf.copy_from_host(pts);
+  std::vector<Point> out(32);
+  buf.copy_to_host(out);
+
+  auto snap = device.counters().snapshot();
+  EXPECT_EQ(snap.h2d_transfers, 2u);
+  EXPECT_EQ(snap.h2d_bytes, 2u * 64u * sizeof(Point));
+  EXPECT_EQ(snap.d2h_transfers, 1u);
+  EXPECT_EQ(snap.d2h_bytes, 32u * sizeof(Point));
+}
+
+TEST(Buffer, PartialCopiesAllowed) {
+  Device device(simt::gtx680_cuda());
+  Buffer<std::int32_t> buf(device, 10);
+  std::vector<std::int32_t> small{1, 2, 3};
+  buf.copy_from_host(small);
+  std::vector<std::int32_t> out(3, 0);
+  buf.copy_to_host(out);
+  EXPECT_EQ(out, small);
+}
+
+TEST(Buffer, OversizedCopiesRejected) {
+  Device device(simt::gtx680_cuda());
+  Buffer<std::int32_t> buf(device, 4);
+  std::vector<std::int32_t> big(5, 0);
+  EXPECT_THROW(buf.copy_from_host(big), CheckError);
+  EXPECT_THROW(buf.copy_to_host(big), CheckError);
+}
+
+TEST(Buffer, DeviceViewSeesCopiedData) {
+  Device device(simt::gtx680_cuda());
+  Buffer<std::int32_t> buf(device, 3);
+  std::vector<std::int32_t> src{7, 8, 9};
+  buf.copy_from_host(src);
+  auto view = buf.device_view();
+  EXPECT_EQ(view[0], 7);
+  EXPECT_EQ(view[2], 9);
+  buf.device_view_mutable()[1] = 42;
+  std::vector<std::int32_t> out(3);
+  buf.copy_to_host(out);
+  EXPECT_EQ(out[1], 42);
+}
+
+TEST(Buffer, CountersResetClearsMeters) {
+  Device device(simt::gtx680_cuda());
+  Buffer<std::int32_t> buf(device, 4);
+  std::vector<std::int32_t> v(4, 0);
+  buf.copy_from_host(v);
+  device.counters().reset();
+  auto snap = device.counters().snapshot();
+  EXPECT_EQ(snap.h2d_transfers, 0u);
+  EXPECT_EQ(snap.h2d_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace tspopt

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tsp/catalog.hpp"
+
+namespace tspopt {
+namespace {
+
+TEST(Catalog, HasAll27TableIIInstances) {
+  EXPECT_EQ(paper_catalog().size(), 27u);
+  EXPECT_EQ(paper_catalog().front().name, "berlin52");
+  EXPECT_EQ(paper_catalog().back().name, "lrb744710");
+}
+
+TEST(Catalog, SizesAreMonotonicallyIncreasing) {
+  std::int32_t prev = 0;
+  for (const CatalogEntry& e : paper_catalog()) {
+    EXPECT_GT(e.n, prev) << e.name;
+    prev = e.n;
+  }
+}
+
+TEST(Catalog, NamesEncodeTheirSizes) {
+  // TSPLIB convention: the trailing digits of the name are the city count.
+  for (const CatalogEntry& e : paper_catalog()) {
+    std::string digits;
+    for (char c : e.name) {
+      if (c >= '0' && c <= '9') {
+        digits += c;
+      } else {
+        digits.clear();
+      }
+    }
+    ASSERT_FALSE(digits.empty()) << e.name;
+    EXPECT_EQ(std::stoi(digits), e.n) << e.name;
+  }
+}
+
+TEST(Catalog, Table1SubsetMatchesPaper) {
+  const auto& t1 = table1_catalog();
+  EXPECT_EQ(t1.size(), 13u);
+  EXPECT_EQ(t1.front().name, "kroE100");
+  EXPECT_EQ(t1.back().name, "fnl4461");
+}
+
+TEST(Catalog, FindByName) {
+  auto e = find_catalog_entry("pr2392");
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->n, 2392);
+  EXPECT_FALSE(find_catalog_entry("nonexistent999").has_value());
+}
+
+TEST(Catalog, MaterializationIsDeterministic) {
+  auto e = *find_catalog_entry("kroE100");
+  Instance a = make_catalog_instance(e);
+  Instance b = make_catalog_instance(e);
+  ASSERT_EQ(a.n(), 100);
+  for (std::int32_t i = 0; i < 100; ++i) ASSERT_EQ(a.point(i), b.point(i));
+}
+
+TEST(Catalog, MaterializedSizesMatchEntries) {
+  for (const CatalogEntry& e : paper_catalog()) {
+    if (e.n > 20000) continue;  // keep the test fast
+    Instance inst = make_catalog_instance(e);
+    EXPECT_EQ(inst.n(), e.n) << e.name;
+    EXPECT_EQ(inst.name(), e.name);
+    EXPECT_TRUE(inst.euclidean_like());
+  }
+}
+
+TEST(Catalog, Berlin52IsTheRealInstance) {
+  Instance inst = berlin52();
+  EXPECT_EQ(inst.n(), 52);
+  // Spot-check the genuine TSPLIB coordinates.
+  EXPECT_EQ(inst.point(0).x, 565.0f);
+  EXPECT_EQ(inst.point(0).y, 575.0f);
+  EXPECT_EQ(inst.point(51).x, 1740.0f);
+  EXPECT_EQ(inst.point(51).y, 245.0f);
+  EXPECT_EQ(inst.dist(0, 21), 46);  // (565,575)-(520,585)
+}
+
+TEST(Catalog, PaperTimingsPresentForLegibleRows) {
+  auto e = *find_catalog_entry("berlin52");
+  EXPECT_DOUBLE_EQ(e.paper_kernel_us, 20.0);
+  EXPECT_DOUBLE_EQ(e.paper_total_us, 81.0);
+  auto big = *find_catalog_entry("lrb744710");
+  EXPECT_LT(big.paper_total_us, 0.0);  // not legible in the source text
+}
+
+TEST(Catalog, FamiliesCoverAllKinds) {
+  std::set<PointFamily> seen;
+  for (const CatalogEntry& e : paper_catalog()) seen.insert(e.family);
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+}  // namespace
+}  // namespace tspopt

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/check.hpp"
+#include "common/env.hpp"
+
+namespace tspopt {
+namespace {
+
+TEST(Check, PassingCheckDoesNothing) {
+  EXPECT_NO_THROW(TSPOPT_CHECK(1 + 1 == 2));
+}
+
+TEST(Check, FailingCheckThrowsCheckError) {
+  EXPECT_THROW(TSPOPT_CHECK(false), CheckError);
+}
+
+TEST(Check, MessageIncludesExpressionAndLocation) {
+  try {
+    TSPOPT_CHECK(2 > 3);
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("2 > 3"), std::string::npos);
+    EXPECT_NE(what.find("test_check.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, CheckMsgStreamsArbitraryValues) {
+  try {
+    TSPOPT_CHECK_MSG(false, "value was " << 42 << "/" << "x");
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("value was 42/x"), std::string::npos);
+  }
+}
+
+TEST(Check, CheckErrorIsARuntimeError) {
+  EXPECT_THROW(TSPOPT_CHECK(false), std::runtime_error);
+}
+
+TEST(Env, EnvOrReturnsFallbackWhenUnset) {
+  EXPECT_EQ(env_or("TSPOPT_DEFINITELY_UNSET_VAR", "fb"), "fb");
+}
+
+TEST(Env, EnvOrReadsSetVariable) {
+  ::setenv("TSPOPT_TEST_VAR", "hello", 1);
+  EXPECT_EQ(env_or("TSPOPT_TEST_VAR", "fb"), "hello");
+  ::unsetenv("TSPOPT_TEST_VAR");
+}
+
+TEST(Env, EnvLongParsesIntegers) {
+  ::setenv("TSPOPT_TEST_NUM", "1234", 1);
+  EXPECT_EQ(env_long_or("TSPOPT_TEST_NUM", 7), 1234);
+  ::setenv("TSPOPT_TEST_NUM", "not-a-number", 1);
+  EXPECT_EQ(env_long_or("TSPOPT_TEST_NUM", 7), 7);
+  ::unsetenv("TSPOPT_TEST_NUM");
+  EXPECT_EQ(env_long_or("TSPOPT_TEST_NUM", 7), 7);
+}
+
+TEST(Env, FullScaleRespectsReproScale) {
+  ::setenv("REPRO_SCALE", "full", 1);
+  EXPECT_TRUE(full_scale());
+  ::setenv("REPRO_SCALE", "ci", 1);
+  EXPECT_FALSE(full_scale());
+  ::unsetenv("REPRO_SCALE");
+  EXPECT_FALSE(full_scale());
+}
+
+}  // namespace
+}  // namespace tspopt

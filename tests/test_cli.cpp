@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/cli.hpp"
+
+namespace tspopt {
+namespace {
+
+CliParser make_parser() {
+  CliParser p("demo", "a demo tool");
+  p.add_option("n", "city count", "1000");
+  p.add_option("seconds", "time budget");
+  p.add_flag("verbose", "chatty output");
+  p.add_positional("input", "instance file");
+  return p;
+}
+
+bool parse(CliParser& p, std::vector<const char*> args) {
+  args.insert(args.begin(), "demo");
+  return p.parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(Cli, ParsesSeparateValueForm) {
+  CliParser p = make_parser();
+  ASSERT_TRUE(parse(p, {"--n", "500"}));
+  EXPECT_EQ(p.get_int("n", 0), 500);
+}
+
+TEST(Cli, ParsesEqualsForm) {
+  CliParser p = make_parser();
+  ASSERT_TRUE(parse(p, {"--n=250", "--seconds=1.5"}));
+  EXPECT_EQ(p.get_int("n", 0), 250);
+  EXPECT_DOUBLE_EQ(p.get_double("seconds", 0.0), 1.5);
+}
+
+TEST(Cli, FlagsNeedNoValue) {
+  CliParser p = make_parser();
+  ASSERT_TRUE(parse(p, {"--verbose"}));
+  EXPECT_TRUE(p.has("verbose"));
+  EXPECT_FALSE(p.has("n"));
+}
+
+TEST(Cli, FlagWithValueIsAnError) {
+  CliParser p = make_parser();
+  EXPECT_FALSE(parse(p, {"--verbose=yes"}));
+  EXPECT_NE(p.error().find("--verbose"), std::string::npos);
+}
+
+TEST(Cli, PositionalsCollected) {
+  CliParser p = make_parser();
+  ASSERT_TRUE(parse(p, {"file.tsp", "--n", "3"}));
+  ASSERT_TRUE(p.positional(0).has_value());
+  EXPECT_EQ(*p.positional(0), "file.tsp");
+  EXPECT_FALSE(p.positional(1).has_value());
+}
+
+TEST(Cli, TooManyPositionalsRejected) {
+  CliParser p = make_parser();
+  EXPECT_FALSE(parse(p, {"a", "b"}));
+}
+
+TEST(Cli, UnknownOptionRejected) {
+  CliParser p = make_parser();
+  EXPECT_FALSE(parse(p, {"--bogus", "1"}));
+  EXPECT_NE(p.error().find("bogus"), std::string::npos);
+}
+
+TEST(Cli, MissingValueRejected) {
+  CliParser p = make_parser();
+  EXPECT_FALSE(parse(p, {"--n"}));
+}
+
+TEST(Cli, DefaultsApply) {
+  CliParser p = make_parser();
+  ASSERT_TRUE(parse(p, {}));
+  EXPECT_EQ(p.get("n"), "1000");           // declared fallback
+  EXPECT_EQ(p.get_int("n", 7), 7);         // get_int fallback when unset
+  EXPECT_EQ(p.get("seconds", "9"), "9");   // call-site fallback
+}
+
+TEST(Cli, MalformedNumbersFallBack) {
+  CliParser p = make_parser();
+  ASSERT_TRUE(parse(p, {"--n", "abc"}));
+  EXPECT_EQ(p.get_int("n", 42), 42);
+  EXPECT_DOUBLE_EQ(p.get_double("n", 1.5), 1.5);
+}
+
+TEST(Cli, UsageMentionsEverything) {
+  CliParser p = make_parser();
+  std::string u = p.usage();
+  EXPECT_NE(u.find("demo"), std::string::npos);
+  EXPECT_NE(u.find("--n"), std::string::npos);
+  EXPECT_NE(u.find("--verbose"), std::string::npos);
+  EXPECT_NE(u.find("input"), std::string::npos);
+  EXPECT_NE(u.find("default: 1000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tspopt

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "solver/constructive.hpp"
+#include "tsp/catalog.hpp"
+#include "tsp/generator.hpp"
+
+namespace tspopt {
+namespace {
+
+TEST(NearestNeighbor, ProducesValidTourStartingWhereAsked) {
+  Instance inst = berlin52();
+  for (std::int32_t start : {0, 13, 51}) {
+    Tour t = nearest_neighbor(inst, start);
+    EXPECT_TRUE(t.is_valid());
+    EXPECT_EQ(t.city_at(0), start);
+  }
+  EXPECT_THROW(nearest_neighbor(inst, 52), CheckError);
+  EXPECT_THROW(nearest_neighbor(inst, -1), CheckError);
+}
+
+TEST(NearestNeighbor, BeatsRandomOnAverage) {
+  Instance inst = generate_uniform("u300", 300, 17);
+  Tour nn = nearest_neighbor(inst);
+  Pcg32 rng(18);
+  std::int64_t random_total = 0;
+  for (int i = 0; i < 5; ++i) {
+    random_total += Tour::random(300, rng).length(inst);
+  }
+  EXPECT_LT(nn.length(inst), random_total / 5);
+}
+
+TEST(NearestNeighbor, GreedyStepInvariant) {
+  // Each step goes to the closest unvisited city: verify for a few steps.
+  Instance inst = generate_uniform("u50", 50, 4);
+  Tour t = nearest_neighbor(inst, 0);
+  std::vector<bool> visited(50, false);
+  visited[0] = true;
+  for (std::int32_t p = 0; p + 1 < 10; ++p) {
+    std::int32_t cur = t.city_at(p);
+    std::int32_t next = t.city_at(p + 1);
+    for (std::int32_t c = 0; c < 50; ++c) {
+      if (!visited[static_cast<std::size_t>(c)] && c != next) {
+        EXPECT_GE(inst.dist(cur, c), inst.dist(cur, next));
+      }
+    }
+    visited[static_cast<std::size_t>(next)] = true;
+  }
+}
+
+TEST(MultipleFragment, ProducesValidTours) {
+  for (std::int32_t n : {5, 10, 52, 250, 1000}) {
+    Instance inst = generate_uniform("u", n, static_cast<std::uint64_t>(n) * 7);
+    Tour t = multiple_fragment(inst);
+    ASSERT_TRUE(t.is_valid()) << "n=" << n;
+  }
+}
+
+TEST(MultipleFragment, SurvivesTinyCandidateLists) {
+  // k=1 leaves many fragments; the stitching phase must still complete.
+  Instance inst = generate_clustered("c200", 200, 10, 3);
+  Tour t = multiple_fragment(inst, 1);
+  EXPECT_TRUE(t.is_valid());
+}
+
+TEST(MultipleFragment, SurvivesCoincidentPoints) {
+  std::vector<Point> pts(30, Point{1.0f, 1.0f});
+  for (int i = 0; i < 10; ++i) {
+    pts.push_back({static_cast<float>(10 * i), 50.0f});
+  }
+  Instance inst("dups", Metric::kEuc2D, std::move(pts));
+  Tour t = multiple_fragment(inst);
+  EXPECT_TRUE(t.is_valid());
+}
+
+TEST(MultipleFragment, BeatsNearestNeighborUsually) {
+  // MF is the stronger constructive heuristic (it is the paper's choice
+  // for the Table II initial tours). Compare on several instances.
+  int wins = 0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Instance inst = generate_uniform("u400", 400, seed);
+    if (multiple_fragment(inst).length(inst) <=
+        nearest_neighbor(inst).length(inst)) {
+      ++wins;
+    }
+  }
+  EXPECT_GE(wins, 3);
+}
+
+TEST(MultipleFragment, NearOptimalOnBerlin52) {
+  Instance inst = berlin52();
+  Tour t = multiple_fragment(inst);
+  // Greedy-edge tours are typically within ~15-25% of optimal.
+  EXPECT_GE(t.length(inst), kBerlin52Optimum);
+  EXPECT_LE(t.length(inst), kBerlin52Optimum * 135 / 100);
+}
+
+TEST(MultipleFragment, CircleIsSolvedExactly) {
+  // On a circle every greedy edge follows the perimeter.
+  Instance inst = generate_circle("circle", 40);
+  Tour mf = multiple_fragment(inst);
+  EXPECT_EQ(mf.length(inst), Tour::identity(40).length(inst));
+}
+
+TEST(MultipleFragment, IsDeterministic) {
+  Instance inst = generate_uniform("u200", 200, 5);
+  Tour a = multiple_fragment(inst);
+  Tour b = multiple_fragment(inst);
+  EXPECT_TRUE(a == b);
+}
+
+}  // namespace
+}  // namespace tspopt

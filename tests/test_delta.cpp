@@ -1,0 +1,98 @@
+// Properties of the 2-opt delta evaluation (delta.hpp).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "solver/delta.hpp"
+#include "solver/ordering.hpp"
+#include "tsp/generator.hpp"
+#include "tsp/tour.hpp"
+
+namespace tspopt {
+namespace {
+
+TEST(Delta, MatchesExplicitLengthDifference) {
+  // For every pair (i, j), delta must equal length(after) - length(before).
+  Instance inst = generate_uniform("u40", 40, 21);
+  Pcg32 rng(1);
+  Tour tour = Tour::random(40, rng);
+  std::vector<Point> ordered = order_coordinates(inst, tour);
+  std::int64_t before = tour.length(inst);
+  for (std::int32_t j = 1; j < 40; ++j) {
+    for (std::int32_t i = 0; i < j; ++i) {
+      Tour moved = tour;
+      moved.apply_two_opt(i, j);
+      ASSERT_EQ(moved.length(inst) - before, two_opt_delta(ordered, i, j))
+          << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST(Delta, DegeneratePairsAreExactlyZero) {
+  // Adjacent edges (j == i+1) and the wrap pair {0, n-1} share a city;
+  // both must evaluate to exactly 0 so the brute-force kernels need no
+  // special-casing (see delta.hpp).
+  Pcg32 rng(2);
+  for (std::int32_t n : {3, 4, 5, 16, 100}) {
+    Instance inst = generate_uniform("u", n, static_cast<std::uint64_t>(n));
+    Tour tour = Tour::random(n, rng);
+    std::vector<Point> ordered = order_coordinates(inst, tour);
+    for (std::int32_t i = 0; i + 1 < n; ++i) {
+      ASSERT_EQ(two_opt_delta(ordered, i, i + 1), 0) << "adjacent at " << i;
+    }
+    ASSERT_EQ(two_opt_delta(ordered, 0, n - 1), 0) << "wrap pair, n=" << n;
+  }
+}
+
+TEST(Delta, TwoRangeVariantAgreesWithSingleRange) {
+  Instance inst = generate_uniform("u60", 60, 3);
+  Pcg32 rng(4);
+  Tour tour = Tour::random(60, rng);
+  std::vector<Point> ordered = order_coordinates(inst, tour);
+  for (std::int32_t j = 1; j < 60; ++j) {
+    for (std::int32_t i = 0; i < j; ++i) {
+      std::int32_t single = two_opt_delta(ordered, i, j);
+      std::int32_t split = two_opt_delta_two_ranges(
+          ordered[static_cast<std::size_t>(i)],
+          ordered[static_cast<std::size_t>(i + 1)],
+          ordered[static_cast<std::size_t>(j)],
+          ordered[static_cast<std::size_t>((j + 1) % 60)]);
+      ASSERT_EQ(single, split);
+    }
+  }
+}
+
+TEST(Delta, CrossingEdgesImprove) {
+  // A tour with two crossing edges: 2-opt must find a negative delta.
+  Instance inst("sq", Metric::kEuc2D, {{0, 0}, {10, 0}, {10, 10}, {0, 10}});
+  Tour crossing({0, 2, 1, 3});  // both diagonals used
+  std::vector<Point> ordered = order_coordinates(inst, crossing);
+  bool any_negative = false;
+  for (std::int32_t j = 1; j < 4; ++j) {
+    for (std::int32_t i = 0; i < j; ++i) {
+      if (two_opt_delta(ordered, i, j) < 0) any_negative = true;
+    }
+  }
+  EXPECT_TRUE(any_negative);
+}
+
+TEST(Delta, OrderingMatchesInstanceThroughRoute) {
+  Instance inst = generate_uniform("u25", 25, 8);
+  Pcg32 rng(9);
+  Tour tour = Tour::random(25, rng);
+  std::vector<Point> ordered = order_coordinates(inst, tour);
+  for (std::int32_t p = 0; p < 25; ++p) {
+    ASSERT_EQ(ordered[static_cast<std::size_t>(p)], inst.point(tour.city_at(p)));
+  }
+}
+
+TEST(Delta, OrderingRejectsMismatchedSizes) {
+  Instance inst = generate_uniform("u10", 10, 1);
+  Tour tour = Tour::identity(12);
+  std::vector<Point> out;
+  EXPECT_THROW(order_coordinates(inst, tour, out), CheckError);
+}
+
+}  // namespace
+}  // namespace tspopt

@@ -1,0 +1,163 @@
+// Tests of the SIMT block executor: geometry, phases, counters, limits.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "simt/buffer.hpp"
+#include "simt/device.hpp"
+
+namespace tspopt {
+namespace {
+
+using simt::BlockCtx;
+using simt::Device;
+using simt::LaunchConfig;
+
+// Records which (block, tid) pairs ran, via a device buffer.
+class CoverageKernel {
+ public:
+  explicit CoverageKernel(std::span<std::uint32_t> out) : out_(out) {}
+  void block_begin(BlockCtx&) const {}
+  void thread(BlockCtx& ctx, std::uint32_t tid) const {
+    std::uint64_t g = ctx.global_thread(tid);
+    // Each global thread id is visited exactly once per launch.
+    reinterpret_cast<std::atomic<std::uint32_t>&>(out_[g]).fetch_add(1);
+  }
+  void block_end(BlockCtx&) const {}
+
+ private:
+  std::span<std::uint32_t> out_;
+};
+
+TEST(Device, EveryThreadOfEveryBlockRunsOnce) {
+  Device device(simt::gtx680_cuda());
+  LaunchConfig cfg{7, 33, 0};
+  std::vector<std::uint32_t> hits(7 * 33, 0);
+  CoverageKernel kernel(hits);
+  device.launch(cfg, kernel);
+  for (std::uint32_t h : hits) EXPECT_EQ(h, 1u);
+  EXPECT_EQ(device.counters().kernel_launches.load(), 1u);
+}
+
+TEST(Device, RepeatedLaunchesAccumulateCounters) {
+  Device device(simt::gtx680_cuda());
+  LaunchConfig cfg{2, 4, 0};
+  std::vector<std::uint32_t> hits(8, 0);
+  CoverageKernel kernel(hits);
+  device.launch(cfg, kernel);
+  device.launch(cfg, kernel);
+  device.launch(cfg, kernel);
+  EXPECT_EQ(device.counters().kernel_launches.load(), 3u);
+  for (std::uint32_t h : hits) EXPECT_EQ(h, 3u);
+}
+
+// Phase ordering: block_begin must complete before any thread, block_end
+// after all threads — per block.
+class PhaseOrderKernel {
+ public:
+  explicit PhaseOrderKernel(std::span<std::int32_t> status) : status_(status) {}
+  void block_begin(BlockCtx& ctx) const {
+    auto state = ctx.shared->alloc<std::int32_t>(1);
+    state[0] = 0;
+    ctx.state = state.data();
+    status_[ctx.block_idx] = 1;  // begin ran
+  }
+  void thread(BlockCtx& ctx, std::uint32_t) const {
+    auto* counter = static_cast<std::int32_t*>(ctx.state);
+    ++*counter;
+  }
+  void block_end(BlockCtx& ctx) const {
+    auto* counter = static_cast<std::int32_t*>(ctx.state);
+    if (*counter == static_cast<std::int32_t>(ctx.cfg.block_dim) &&
+        status_[ctx.block_idx] == 1) {
+      status_[ctx.block_idx] = 2;  // all threads ran between the phases
+    }
+  }
+
+ private:
+  std::span<std::int32_t> status_;
+};
+
+TEST(Device, PhasesRunInOrderWithSharedStateVisible) {
+  Device device(simt::gtx680_cuda());
+  LaunchConfig cfg{5, 17, 0};
+  std::vector<std::int32_t> status(5, 0);
+  PhaseOrderKernel kernel(status);
+  device.launch(cfg, kernel);
+  for (std::int32_t s : status) EXPECT_EQ(s, 2);
+}
+
+TEST(Device, SharedMemoryIsPerBlock) {
+  // Blocks run concurrently on different workers; shared allocations must
+  // not alias across blocks. Each block writes its id everywhere and
+  // verifies nothing was overwritten.
+  Device device(simt::gtx680_cuda());
+  struct Kernel {
+    std::span<std::int32_t> ok;
+    void block_begin(BlockCtx& ctx) const {
+      auto span = ctx.shared->alloc<std::uint32_t>(512);
+      for (auto& v : span) v = ctx.block_idx;
+      ctx.state = span.data();
+    }
+    void thread(BlockCtx& ctx, std::uint32_t tid) const {
+      auto* data = static_cast<std::uint32_t*>(ctx.state);
+      if (data[tid % 512] != ctx.block_idx) ok[ctx.block_idx] = 0;
+    }
+    void block_end(BlockCtx&) const {}
+  };
+  std::vector<std::int32_t> ok(16, 1);
+  Kernel kernel{ok};
+  device.launch({16, 256, 0}, kernel);
+  for (std::int32_t v : ok) EXPECT_EQ(v, 1);
+}
+
+TEST(Device, RejectsOversizedBlockDim) {
+  Device device(simt::gtx680_cuda());
+  std::vector<std::uint32_t> hits(1, 0);
+  CoverageKernel kernel(hits);
+  EXPECT_THROW(device.launch({1, 2048, 0}, kernel), CheckError);
+  EXPECT_THROW(device.launch({0, 1, 0}, kernel), CheckError);
+}
+
+TEST(Device, RejectsOversizedSharedRequest) {
+  Device device(simt::gtx680_cuda());
+  std::vector<std::uint32_t> hits(1, 0);
+  CoverageKernel kernel(hits);
+  EXPECT_THROW(device.launch({1, 1, 64 * 1024}, kernel), CheckError);
+}
+
+TEST(Device, SharedMemoryOverflowInsideKernelPropagates) {
+  Device device(simt::gtx680_cuda());
+  struct Greedy {
+    void block_begin(BlockCtx& ctx) const {
+      ctx.shared->alloc<char>(ctx.spec->shared_mem_bytes + 1);
+    }
+    void thread(BlockCtx&, std::uint32_t) const {}
+    void block_end(BlockCtx&) const {}
+  };
+  Greedy kernel;
+  EXPECT_THROW(device.launch({2, 2, 0}, kernel), CheckError);
+}
+
+TEST(Device, DefaultConfigMatchesSpec) {
+  Device device(simt::gtx680_cuda());
+  LaunchConfig cfg = device.default_config();
+  EXPECT_EQ(cfg.grid_dim, 28u);   // the paper's 28 blocks
+  EXPECT_EQ(cfg.block_dim, 1024u);  // x 1024 threads
+  EXPECT_EQ(cfg.total_threads(), 28u * 1024u);
+}
+
+TEST(Device, CustomPoolIsUsed) {
+  ThreadPool pool(2);
+  Device device(simt::gtx680_cuda(), &pool);
+  EXPECT_EQ(&device.pool(), &pool);
+  std::vector<std::uint32_t> hits(4 * 8, 0);
+  CoverageKernel kernel(hits);
+  device.launch({4, 8, 0}, kernel);
+  for (std::uint32_t h : hits) EXPECT_EQ(h, 1u);
+}
+
+}  // namespace
+}  // namespace tspopt

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "simt/device_spec.hpp"
+
+namespace tspopt {
+namespace {
+
+TEST(DeviceSpec, PaperDeviceRosterIsComplete) {
+  // Fig 9 plots 8 device configurations.
+  const auto& devices = simt::fig9_devices();
+  EXPECT_EQ(devices.size(), 8u);
+  std::set<std::string> labels;
+  for (const auto& d : devices) labels.insert(d.name + "/" + d.api);
+  EXPECT_EQ(labels.size(), 8u);  // all distinct
+}
+
+TEST(DeviceSpec, Gtx680MatchesPaperConstraints) {
+  const auto& d = simt::gtx680_cuda();
+  EXPECT_EQ(d.shared_mem_bytes, 48u * 1024u);  // "48kB of shared memory"
+  EXPECT_EQ(d.max_block_dim, 1024u);
+  EXPECT_EQ(d.preferred_grid_dim, 28u);  // "28 x 1024 configuration"
+  EXPECT_TRUE(d.is_gpu);
+  EXPECT_EQ(d.api, "CUDA");
+}
+
+TEST(DeviceSpec, GpusHaveTransferCostsCpusDoNot) {
+  for (const auto& d : simt::fig9_devices()) {
+    if (d.is_gpu) {
+      EXPECT_GT(d.h2d_latency_us, 0.0) << d.name;
+      EXPECT_GT(d.h2d_gbytes_per_sec, 0.0) << d.name;
+    } else {
+      EXPECT_EQ(d.h2d_latency_us, 0.0) << d.name;
+    }
+  }
+}
+
+TEST(DeviceSpec, PeakGflopsDerivation) {
+  const auto& d = simt::gtx680_cuda();
+  EXPECT_NEAR(d.peak_gflops(), 19.4 * 35.0, 1.0);  // checks/s x FLOP/check
+}
+
+TEST(DeviceSpec, SixCoreCpuIsTheSlowestDevice) {
+  double i7 = simt::corei7_3960x().peak_checks_per_sec;
+  for (const auto& d : simt::fig9_devices()) {
+    EXPECT_GE(d.peak_checks_per_sec, i7) << d.name;
+  }
+}
+
+TEST(DeviceSpec, HostDeviceReflectsThreadCount) {
+  auto d = simt::host_device(12);
+  EXPECT_EQ(d.preferred_grid_dim, 12u);
+  EXPECT_FALSE(d.is_gpu);
+  EXPECT_EQ(d.shared_mem_bytes, 48u * 1024u);  // mirrors the GPU constraint
+  auto auto_sized = simt::host_device(0);
+  EXPECT_GE(auto_sized.preferred_grid_dim, 1u);
+}
+
+TEST(DeviceSpec, RadeonSharedMemoryIs64kB) {
+  EXPECT_EQ(simt::radeon7970().shared_mem_bytes, 64u * 1024u);
+  EXPECT_EQ(simt::radeon7970_ghz().shared_mem_bytes, 64u * 1024u);
+}
+
+}  // namespace
+}  // namespace tspopt

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "tsp/catalog.hpp"
+#include "tsp/distance_matrix.hpp"
+#include "tsp/generator.hpp"
+
+namespace tspopt {
+namespace {
+
+TEST(DistanceMatrix, MatchesInstanceDistances) {
+  Instance inst = berlin52();
+  DistanceMatrix lut(inst);
+  for (std::int32_t a = 0; a < inst.n(); ++a) {
+    for (std::int32_t b = 0; b < inst.n(); ++b) {
+      ASSERT_EQ(lut.dist(a, b), inst.dist(a, b));
+    }
+  }
+}
+
+TEST(DistanceMatrix, IsSymmetricWithZeroDiagonal) {
+  Instance inst = generate_uniform("u", 64, 4);
+  DistanceMatrix lut(inst);
+  for (std::int32_t a = 0; a < 64; ++a) {
+    ASSERT_EQ(lut.dist(a, a), 0);
+    for (std::int32_t b = a + 1; b < 64; ++b) {
+      ASSERT_EQ(lut.dist(a, b), lut.dist(b, a));
+    }
+  }
+}
+
+TEST(DistanceMatrix, WorksForExplicitInstances) {
+  std::vector<std::int32_t> m = {0, 1, 2, 1, 0, 3, 2, 3, 0};
+  Instance inst("tri", m, 3);
+  DistanceMatrix lut(inst);
+  EXPECT_EQ(lut.dist(0, 2), 2);
+}
+
+TEST(DistanceMatrix, MemoryAccountingMatchesTable1Formulas) {
+  // Table I: LUT needs O(n^2) (4-byte entries), coordinates O(n) float2.
+  EXPECT_EQ(DistanceMatrix::lut_bytes(100), 100u * 100u * 4u);
+  EXPECT_EQ(DistanceMatrix::coordinate_bytes(100), 100u * 8u);
+  // Paper's Table I headline rows (values in the paper are MB / kB):
+  // kroE100 -> LUT ~0.04 MB; fnl4461 -> LUT ~76 MB vs 35 kB of coords.
+  EXPECT_NEAR(static_cast<double>(DistanceMatrix::lut_bytes(4461)) / 1e6,
+              79.6, 1.0);
+  EXPECT_NEAR(static_cast<double>(DistanceMatrix::coordinate_bytes(4461)) /
+                  1e3,
+              35.7, 0.5);
+}
+
+TEST(DistanceMatrix, InstanceMemoryMatchesStaticFormula) {
+  Instance inst = generate_uniform("u", 200, 1);
+  DistanceMatrix lut(inst);
+  EXPECT_EQ(lut.memory_bytes(), DistanceMatrix::lut_bytes(200));
+}
+
+TEST(DistanceMatrix, RefusesHugeAllocations) {
+  Instance inst = generate_uniform("u", 20001, 1);
+  EXPECT_THROW(DistanceMatrix big(inst), CheckError);
+}
+
+}  // namespace
+}  // namespace tspopt

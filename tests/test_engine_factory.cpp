@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "solver/engine_factory.hpp"
+#include "solver/twoopt_gpu.hpp"
+#include "tsp/generator.hpp"
+
+namespace tspopt {
+namespace {
+
+TEST(EngineFactory, EveryAdvertisedEngineAgreesOnTheBestMove) {
+  Instance inst = generate_uniform("u220", 220, 1);
+  Pcg32 rng(2);
+  Tour tour = Tour::random(220, rng);
+
+  EngineFactory factory(&inst);
+  SearchResult reference;
+  bool first = true;
+  for (const std::string& name : EngineFactory::available()) {
+    auto engine = factory.create(name);
+    ASSERT_NE(engine, nullptr) << name;
+    EXPECT_EQ(engine->name(), name);
+    SearchResult r = engine->search(inst, tour);
+    if (name == "cpu-pruned") {
+      // Subset engine: only weaker-or-equal guarantees.
+      EXPECT_GE(r.best.delta, reference.best.delta);
+      continue;
+    }
+    if (first) {
+      reference = r;
+      first = false;
+    } else {
+      EXPECT_EQ(r.best.delta, reference.best.delta) << name;
+      EXPECT_EQ(r.best.index, reference.best.index) << name;
+    }
+  }
+}
+
+TEST(EngineFactory, UnknownNameThrows) {
+  EngineFactory factory;
+  EXPECT_THROW(factory.create("warp-drive"), CheckError);
+}
+
+TEST(EngineFactory, InstanceBoundEnginesNeedAnInstance) {
+  EngineFactory factory;  // no instance
+  EXPECT_THROW(factory.create("cpu-lut"), CheckError);
+  EXPECT_THROW(factory.create("cpu-pruned"), CheckError);
+  EXPECT_NO_THROW(factory.create("cpu-sequential"));
+  EXPECT_NO_THROW(factory.create("gpu-tiled"));
+}
+
+TEST(EngineFactory, GpuEnginesShareTheFactoryDevice) {
+  Instance inst = generate_uniform("u100", 100, 3);
+  Pcg32 rng(4);
+  Tour tour = Tour::random(100, rng);
+  EngineFactory factory(&inst);
+  auto engine = factory.create("gpu-small");
+  engine->search(inst, tour);
+  EXPECT_GT(factory.device().counters().kernel_launches.load(), 0u);
+}
+
+TEST(EngineFactory, IndirectGpuVariantHasLowerCapacity) {
+  EngineFactory factory;
+  simt::Device& d = factory.device();
+  std::int32_t ordered_cap = TwoOptGpuSmall::max_cities(d, true);
+  std::int32_t indirect_cap = TwoOptGpuSmall::max_cities(d, false);
+  // Paper Opt.-2 benefit #2: 8 B/city vs 12 B/city in shared memory.
+  EXPECT_GT(ordered_cap, 6000);
+  EXPECT_LT(indirect_cap, ordered_cap);
+  EXPECT_NEAR(static_cast<double>(ordered_cap) / indirect_cap, 1.5, 0.01);
+}
+
+TEST(EngineFactory, IndirectGpuVariantStagesMoreAndShipsMore) {
+  Instance inst = generate_uniform("u1000", 1000, 5);
+  Pcg32 rng(6);
+  Tour tour = Tour::random(1000, rng);
+
+  simt::Device ordered_dev(simt::gtx680_cuda());
+  simt::Device indirect_dev(simt::gtx680_cuda());
+  TwoOptGpuSmall ordered(ordered_dev);
+  TwoOptGpuSmall indirect(indirect_dev, simt::LaunchConfig{}, false);
+  SearchResult a = ordered.search(inst, tour);
+  SearchResult b = indirect.search(inst, tour);
+  EXPECT_EQ(a.best.index, b.best.index);
+  EXPECT_EQ(a.best.delta, b.best.delta);
+
+  auto aw = ordered_dev.counters().snapshot();
+  auto bw = indirect_dev.counters().snapshot();
+  // Indirect ships route + coords and stages both per block.
+  EXPECT_GT(bw.h2d_bytes, aw.h2d_bytes);
+  EXPECT_GT(bw.global_reads, aw.global_reads);
+  EXPECT_EQ(bw.h2d_bytes - aw.h2d_bytes, 1000u * sizeof(std::int32_t));
+}
+
+}  // namespace
+}  // namespace tspopt

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "solver/first_improvement.hpp"
+#include "solver/local_search.hpp"
+#include "solver/twoopt_sequential.hpp"
+#include "tsp/catalog.hpp"
+#include "tsp/generator.hpp"
+
+namespace tspopt {
+namespace {
+
+TEST(FirstImprovement, DescendsAndAccountsExactly) {
+  Instance inst = generate_uniform("u300", 300, 1);
+  NeighborLists nl(inst, 10);
+  Pcg32 rng(2);
+  Tour tour = Tour::random(300, rng);
+  std::int64_t before = tour.length(inst);
+  FirstImprovementStats stats = first_improvement_descent(inst, tour, nl);
+  EXPECT_TRUE(stats.reached_local_minimum);
+  EXPECT_TRUE(tour.is_valid());
+  EXPECT_EQ(before - tour.length(inst), stats.improvement);
+  EXPECT_GT(stats.moves_applied, 0);
+}
+
+TEST(FirstImprovement, LocalMinimumIsStableUnderRerun) {
+  Instance inst = generate_clustered("c200", 200, 5, 3);
+  NeighborLists nl(inst, 12);
+  Pcg32 rng(4);
+  Tour tour = Tour::random(200, rng);
+  first_improvement_descent(inst, tour, nl);
+  // A second descent from the local minimum finds nothing.
+  FirstImprovementStats again = first_improvement_descent(inst, tour, nl);
+  EXPECT_EQ(again.moves_applied, 0);
+  EXPECT_TRUE(again.reached_local_minimum);
+}
+
+TEST(FirstImprovement, UsesFarFewerChecksThanFullScans) {
+  Instance inst = generate_uniform("u800", 800, 5);
+  NeighborLists nl(inst, 10);
+  Pcg32 rng(6);
+  Tour fi_tour = Tour::random(800, rng);
+  Tour bi_tour = fi_tour;
+
+  FirstImprovementStats fi = first_improvement_descent(inst, fi_tour, nl);
+
+  TwoOptSequential engine;
+  LocalSearchStats bi = local_search(engine, inst, bi_tour);
+
+  EXPECT_LT(fi.checks * 10, bi.checks);  // orders of magnitude cheaper
+  // ... at a modest quality cost (neighbor-list minima are weaker).
+  EXPECT_LE(fi_tour.length(inst),
+            bi_tour.length(inst) * 112 / 100);
+}
+
+TEST(FirstImprovement, QualityWithinFewPercentOfExhaustive2opt) {
+  Instance inst = berlin52();
+  NeighborLists nl(inst, 16);
+  Pcg32 rng(7);
+  Tour tour = Tour::random(inst.n(), rng);
+  first_improvement_descent(inst, tour, nl);
+  EXPECT_GE(tour.length(inst), kBerlin52Optimum);
+  EXPECT_LE(tour.length(inst), kBerlin52Optimum * 115 / 100);
+}
+
+TEST(FirstImprovement, DontLookBitsPreserveTheFixpointProperty) {
+  // With and without DLB the descent must end 2-opt-quiescent w.r.t. the
+  // candidate neighborhood (the minima may differ; both must be minima).
+  Instance inst = generate_grid("g150", 150, 8);
+  NeighborLists nl(inst, 10);
+  Pcg32 rng(9);
+  for (bool dlb : {true, false}) {
+    Tour tour = Tour::random(150, rng);
+    FirstImprovementOptions opts;
+    opts.dont_look_bits = dlb;
+    first_improvement_descent(inst, tour, nl, opts);
+    FirstImprovementOptions recheck;  // DLB on: cheapest full re-scan
+    FirstImprovementStats again =
+        first_improvement_descent(inst, tour, nl, recheck);
+    EXPECT_EQ(again.moves_applied, 0) << "dlb=" << dlb;
+  }
+}
+
+TEST(FirstImprovement, MoveBudgetHonored) {
+  Instance inst = generate_uniform("u400", 400, 10);
+  NeighborLists nl(inst, 8);
+  Pcg32 rng(11);
+  Tour tour = Tour::random(400, rng);
+  FirstImprovementOptions opts;
+  opts.max_moves = 5;
+  FirstImprovementStats stats = first_improvement_descent(inst, tour, nl, opts);
+  EXPECT_EQ(stats.moves_applied, 5);
+  EXPECT_FALSE(stats.reached_local_minimum);
+}
+
+TEST(FirstImprovement, RejectsMismatchedInputs) {
+  Instance a = generate_uniform("a", 100, 1);
+  Instance b = generate_uniform("b", 60, 2);
+  NeighborLists nl(a, 5);
+  Tour tour = Tour::identity(60);
+  EXPECT_THROW(first_improvement_descent(b, tour, nl), CheckError);
+}
+
+}  // namespace
+}  // namespace tspopt

@@ -1,0 +1,177 @@
+// Randomized cross-checks ("fuzz" properties): many random instances,
+// tours, launch geometries and tile sizes, verified against reference
+// implementations. These complement the deterministic unit tests with
+// breadth — every run draws fresh cases from a fixed master seed so
+// failures are reproducible.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "simt/device.hpp"
+#include "solver/delta.hpp"
+#include "solver/ordering.hpp"
+#include "solver/twoopt_gpu.hpp"
+#include "solver/twoopt_multi.hpp"
+#include "solver/twoopt_parallel.hpp"
+#include "solver/twoopt_sequential.hpp"
+#include "solver/twoopt_tiled.hpp"
+#include "tsp/generator.hpp"
+
+namespace tspopt {
+namespace {
+
+Instance random_instance(Pcg32& rng, std::int32_t n) {
+  switch (rng.next_below(3)) {
+    case 0:
+      return generate_uniform("fz", n, rng.next_u64());
+    case 1:
+      return generate_clustered(
+          "fz", n, 1 + static_cast<std::int32_t>(rng.next_below(6)),
+          rng.next_u64());
+    default:
+      return generate_grid("fz", n, rng.next_u64());
+  }
+}
+
+TEST(Fuzz, EnginesAgreeOnRandomCasesWithRandomGeometries) {
+  Pcg32 rng(20260707);
+  for (int trial = 0; trial < 25; ++trial) {
+    auto n = static_cast<std::int32_t>(3 + rng.next_below(598));
+    Instance inst = random_instance(rng, n);
+    Tour tour = Tour::random(n, rng);
+
+    TwoOptSequential reference;
+    SearchResult expect = reference.search(inst, tour);
+
+    // Random launch geometry for the small kernel.
+    simt::Device device(simt::gtx680_cuda());
+    simt::LaunchConfig cfg{1 + rng.next_below(40), 1 + rng.next_below(1024),
+                           0};
+    TwoOptGpuSmall small(device, cfg);
+    SearchResult got_small = small.search(inst, tour);
+    ASSERT_EQ(got_small.best.delta, expect.best.delta)
+        << "n=" << n << " grid=" << cfg.grid_dim << " block=" << cfg.block_dim;
+    ASSERT_EQ(got_small.best.index, expect.best.index);
+
+    // Random tile size for the tiled kernel.
+    auto tile = static_cast<std::int32_t>(2 + rng.next_below(3062));
+    TwoOptGpuTiled tiled(device, tile);
+    SearchResult got_tiled = tiled.search(inst, tour);
+    ASSERT_EQ(got_tiled.best.delta, expect.best.delta)
+        << "n=" << n << " tile=" << tile;
+    ASSERT_EQ(got_tiled.best.index, expect.best.index);
+  }
+}
+
+TEST(Fuzz, MultiDeviceAgreesAtRandomDeviceCountsAndTiles) {
+  Pcg32 rng(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto n = static_cast<std::int32_t>(50 + rng.next_below(950));
+    Instance inst = random_instance(rng, n);
+    Tour tour = Tour::random(n, rng);
+    TwoOptSequential reference;
+    SearchResult expect = reference.search(inst, tour);
+
+    auto device_count = 1 + rng.next_below(5);
+    std::vector<std::unique_ptr<simt::Device>> owned;
+    std::vector<simt::Device*> devices;
+    for (std::uint32_t d = 0; d < device_count; ++d) {
+      owned.push_back(std::make_unique<simt::Device>(simt::gtx680_cuda()));
+      devices.push_back(owned.back().get());
+    }
+    auto tile = static_cast<std::int32_t>(2 + rng.next_below(500));
+    TwoOptMultiDevice engine(devices, tile);
+    SearchResult got = engine.search(inst, tour);
+    ASSERT_EQ(got.best.delta, expect.best.delta)
+        << "n=" << n << " devices=" << device_count << " tile=" << tile;
+    ASSERT_EQ(got.best.index, expect.best.index);
+    ASSERT_EQ(got.checks, expect.checks);
+  }
+}
+
+TEST(Fuzz, ApplyTwoOptAlwaysMatchesDelta) {
+  Pcg32 rng(99);
+  for (int trial = 0; trial < 60; ++trial) {
+    auto n = static_cast<std::int32_t>(3 + rng.next_below(300));
+    Instance inst = random_instance(rng, n);
+    Tour tour = Tour::random(n, rng);
+    std::vector<Point> ordered = order_coordinates(inst, tour);
+    std::int64_t before = tour.length(inst);
+    auto i = static_cast<std::int32_t>(rng.next_below(
+        static_cast<std::uint32_t>(n - 1)));
+    auto j = static_cast<std::int32_t>(
+        i + 1 + rng.next_below(static_cast<std::uint32_t>(n - 1 - i)));
+    std::int32_t delta = two_opt_delta(ordered, i, j);
+    tour.apply_two_opt(i, j);
+    ASSERT_TRUE(tour.is_valid());
+    ASSERT_EQ(tour.length(inst) - before, delta)
+        << "n=" << n << " i=" << i << " j=" << j;
+  }
+}
+
+TEST(Fuzz, RandomMoveSequencesPreserveValidity) {
+  // Long random walks through the move space: 2-opt, double-bridge and
+  // or-opt interleaved must never corrupt the permutation, and the length
+  // bookkeeping must stay consistent with recomputation.
+  Pcg32 rng(123);
+  for (int trial = 0; trial < 8; ++trial) {
+    auto n = static_cast<std::int32_t>(16 + rng.next_below(200));
+    Instance inst = random_instance(rng, n);
+    Tour tour = Tour::random(n, rng);
+    for (int step = 0; step < 100; ++step) {
+      switch (rng.next_below(3)) {
+        case 0: {
+          auto i = static_cast<std::int32_t>(
+              rng.next_below(static_cast<std::uint32_t>(n - 1)));
+          auto j = static_cast<std::int32_t>(
+              i + 1 + rng.next_below(static_cast<std::uint32_t>(n - 1 - i)));
+          tour.apply_two_opt(i, j);
+          break;
+        }
+        case 1:
+          tour.double_bridge(rng);
+          break;
+        default: {
+          auto len = static_cast<std::int32_t>(1 + rng.next_below(3));
+          auto from = static_cast<std::int32_t>(
+              rng.next_below(static_cast<std::uint32_t>(n - len)));
+          // any insertion point outside [from-1, from+len)
+          std::int32_t to;
+          do {
+            to = static_cast<std::int32_t>(
+                rng.next_below(static_cast<std::uint32_t>(n)));
+          } while (to >= from - 1 && to < from + len);
+          tour.or_opt_move(from, len, to);
+          break;
+        }
+      }
+      ASSERT_TRUE(tour.is_valid()) << "trial " << trial << " step " << step;
+    }
+    // Positions index stays the exact inverse after the walk.
+    std::vector<std::int32_t> pos = tour.positions();
+    for (std::int32_t p = 0; p < n; ++p) {
+      ASSERT_EQ(pos[static_cast<std::size_t>(tour.city_at(p))], p);
+    }
+  }
+}
+
+TEST(Fuzz, ParallelEngineStableAcrossPoolSizes) {
+  Instance inst = generate_uniform("fz400", 400, 5);
+  Pcg32 rng(6);
+  Tour tour = Tour::random(400, rng);
+  TwoOptSequential reference;
+  SearchResult expect = reference.search(inst, tour);
+  for (std::size_t workers : {1u, 2u, 3u, 7u, 16u}) {
+    ThreadPool pool(workers);
+    TwoOptCpuParallel engine(&pool);
+    SearchResult got = engine.search(inst, tour);
+    ASSERT_EQ(got.best.delta, expect.best.delta) << workers << " workers";
+    ASSERT_EQ(got.best.index, expect.best.index) << workers << " workers";
+  }
+}
+
+}  // namespace
+}  // namespace tspopt

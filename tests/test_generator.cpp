@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tsp/generator.hpp"
+#include "tsp/tour.hpp"
+
+namespace tspopt {
+namespace {
+
+TEST(Generator, UniformIsDeterministicPerSeed) {
+  Instance a = generate_uniform("a", 100, 42);
+  Instance b = generate_uniform("b", 100, 42);
+  Instance c = generate_uniform("c", 100, 43);
+  for (std::int32_t i = 0; i < 100; ++i) {
+    ASSERT_EQ(a.point(i), b.point(i));
+  }
+  bool any_diff = false;
+  for (std::int32_t i = 0; i < 100; ++i) {
+    if (!(a.point(i) == c.point(i))) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Generator, UniformStaysInExtent) {
+  Instance inst = generate_uniform("u", 500, 7, 1000.0f);
+  auto [lo, hi] = inst.bounding_box();
+  EXPECT_GE(lo.x, 0.0f);
+  EXPECT_GE(lo.y, 0.0f);
+  EXPECT_LT(hi.x, 1000.0f);
+  EXPECT_LT(hi.y, 1000.0f);
+}
+
+TEST(Generator, UniformFillsTheExtent) {
+  Instance inst = generate_uniform("u", 2000, 9, 1000.0f);
+  auto [lo, hi] = inst.bounding_box();
+  EXPECT_LT(lo.x, 100.0f);
+  EXPECT_GT(hi.x, 900.0f);
+}
+
+TEST(Generator, ClusteredFormsTightGroups) {
+  // With tiny sigma relative to the extent, nearest-neighbor distances are
+  // much smaller than in a uniform set of the same size.
+  Instance clustered =
+      generate_clustered("c", 400, 4, 11, 10000.0f, 50.0f);
+  Instance uniform = generate_uniform("u", 400, 11, 10000.0f);
+  auto mean_nn = [](const Instance& inst) {
+    double total = 0;
+    for (std::int32_t i = 0; i < inst.n(); ++i) {
+      std::int64_t best = 1 << 30;
+      for (std::int32_t j = 0; j < inst.n(); ++j) {
+        if (i != j) best = std::min<std::int64_t>(best, inst.dist(i, j));
+      }
+      total += static_cast<double>(best);
+    }
+    return total / inst.n();
+  };
+  EXPECT_LT(mean_nn(clustered) * 3.0, mean_nn(uniform));
+}
+
+TEST(Generator, ClusteredValidatesArguments) {
+  EXPECT_THROW(generate_clustered("c", 10, 0, 1), CheckError);
+  EXPECT_THROW(generate_clustered("c", 2, 1, 1), CheckError);
+}
+
+TEST(Generator, GridPointsNearLatticeSites) {
+  Instance inst = generate_grid("g", 100, 3, 100.0f, 5.0f);
+  for (std::int32_t i = 0; i < 100; ++i) {
+    const Point& p = inst.point(i);
+    float col = std::round(p.x / 100.0f) * 100.0f;
+    float row = std::round(p.y / 100.0f) * 100.0f;
+    EXPECT_LE(std::abs(p.x - col), 5.0f);
+    EXPECT_LE(std::abs(p.y - row), 5.0f);
+  }
+}
+
+TEST(Generator, CircleOptimumIsTheHullOrder) {
+  // On a circle the perimeter order is the global optimum, so any other
+  // permutation must be at least as long.
+  Instance inst = generate_circle("circle", 24, 500.0f);
+  Tour hull = Tour::identity(24);
+  std::int64_t hull_len = hull.length(inst);
+  Pcg32 rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    Tour t = Tour::random(24, rng);
+    ASSERT_GE(t.length(inst), hull_len);
+  }
+}
+
+TEST(Generator, NamePropagates) {
+  EXPECT_EQ(generate_uniform("hello", 10, 1).name(), "hello");
+  EXPECT_EQ(generate_grid("grid", 10, 1).name(), "grid");
+  EXPECT_EQ(generate_circle("c", 10).name(), "c");
+}
+
+TEST(Generator, AllGeneratorsProduceRequestedSize) {
+  EXPECT_EQ(generate_uniform("u", 123, 1).n(), 123);
+  EXPECT_EQ(generate_clustered("c", 123, 5, 1).n(), 123);
+  EXPECT_EQ(generate_grid("g", 123, 1).n(), 123);
+  EXPECT_EQ(generate_circle("o", 123).n(), 123);
+}
+
+}  // namespace
+}  // namespace tspopt

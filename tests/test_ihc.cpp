@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "solver/constructive.hpp"
+#include "solver/ihc.hpp"
+#include "solver/ils.hpp"
+#include "solver/twoopt_sequential.hpp"
+#include "tsp/catalog.hpp"
+#include "tsp/generator.hpp"
+
+namespace tspopt {
+namespace {
+
+TEST(Ihc, FindsAValidLocalMinimumPerRestart) {
+  Instance inst = berlin52();
+  TwoOptSequential engine;
+  IhcOptions opts;
+  opts.max_restarts = 5;
+  opts.time_limit_seconds = 30.0;
+  opts.seed = 1;
+  IhcResult r = random_restart_hill_climbing(engine, inst, opts);
+  EXPECT_EQ(r.restarts, 5);
+  EXPECT_TRUE(r.best.is_valid());
+  EXPECT_EQ(r.best_length, r.best.length(inst));
+  // Every kept tour is a full 2-opt local minimum of its restart.
+  SearchResult extra = engine.search(inst, r.best);
+  EXPECT_FALSE(extra.best.improves());
+}
+
+TEST(Ihc, TraceIsMonotone) {
+  Instance inst = generate_uniform("u100", 100, 2);
+  TwoOptSequential engine;
+  IhcOptions opts;
+  opts.max_restarts = 20;
+  opts.time_limit_seconds = 30.0;
+  IhcResult r = random_restart_hill_climbing(engine, inst, opts);
+  ASSERT_FALSE(r.trace.empty());
+  for (std::size_t i = 1; i < r.trace.size(); ++i) {
+    EXPECT_LT(r.trace[i].length, r.trace[i - 1].length);
+    EXPECT_GT(r.trace[i].checks, r.trace[i - 1].checks);
+  }
+  EXPECT_EQ(r.trace.back().length, r.best_length);
+}
+
+TEST(Ihc, DeterministicPerSeed) {
+  Instance inst = generate_uniform("u80", 80, 3);
+  TwoOptSequential engine;
+  IhcOptions opts;
+  opts.max_restarts = 8;
+  opts.time_limit_seconds = -1.0;
+  opts.seed = 99;
+  IhcResult a = random_restart_hill_climbing(engine, inst, opts);
+  IhcResult b = random_restart_hill_climbing(engine, inst, opts);
+  EXPECT_EQ(a.best_length, b.best_length);
+  EXPECT_TRUE(a.best == b.best);
+}
+
+TEST(Ihc, IlsBeatsIhcAtEqualWork) {
+  // The paper's §III position: iterative refinement (ILS) beats restart
+  // search. Give both the same engine and the same number of descents on
+  // a mid-size instance; ILS's perturb-the-incumbent descents must win
+  // (its descents start near a good tour).
+  Instance inst = generate_clustered("c400", 400, 6, 4);
+  TwoOptSequential engine;
+
+  IhcOptions ihc_opts;
+  ihc_opts.max_restarts = 10;
+  ihc_opts.time_limit_seconds = -1.0;
+  ihc_opts.seed = 5;
+  IhcResult ihc = random_restart_hill_climbing(engine, inst, ihc_opts);
+
+  // ILS descents are far cheaper (a double-bridged near-optimum needs a
+  // handful of passes vs ~n passes from a random tour), so at comparable
+  // total work ILS fits an order of magnitude more refinement rounds.
+  IlsOptions ils_opts;
+  ils_opts.max_iterations = 400;
+  ils_opts.time_limit_seconds = -1.0;
+  ils_opts.seed = 5;
+  IlsResult ils = iterated_local_search(engine, inst,
+                                        multiple_fragment(inst), ils_opts);
+
+  EXPECT_LE(ils.checks, ihc.checks);  // no more work than 10 cold restarts
+  EXPECT_LT(ils.best_length, ihc.best_length);  // strictly better tour
+}
+
+TEST(Ihc, TimeBudgetStopsRestarting) {
+  Instance inst = generate_uniform("u300", 300, 6);
+  TwoOptSequential engine;
+  IhcOptions opts;
+  opts.time_limit_seconds = 0.3;
+  opts.max_restarts = -1;
+  IhcResult r = random_restart_hill_climbing(engine, inst, opts);
+  EXPECT_GT(r.restarts, 0);
+  EXPECT_LT(r.wall_seconds, 10.0);  // generous slack
+}
+
+}  // namespace
+}  // namespace tspopt

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "simt/device.hpp"
+#include "solver/constructive.hpp"
+#include "solver/ils.hpp"
+#include "solver/twoopt_gpu.hpp"
+#include "solver/twoopt_sequential.hpp"
+#include "tsp/catalog.hpp"
+#include "tsp/generator.hpp"
+
+namespace tspopt {
+namespace {
+
+TEST(Ils, ImprovesOnTheInitialDescentResult) {
+  Instance inst = berlin52();
+  Pcg32 rng(1);
+  Tour initial = Tour::random(inst.n(), rng);
+
+  TwoOptSequential engine;
+  Tour descent_only = initial;
+  local_search(engine, inst, descent_only);
+
+  IlsOptions opts;
+  opts.max_iterations = 200;
+  opts.time_limit_seconds = 10.0;
+  opts.seed = 7;
+  IlsResult result = iterated_local_search(engine, inst, initial, opts);
+
+  EXPECT_TRUE(result.best.is_valid());
+  EXPECT_LE(result.best_length, descent_only.length(inst));
+  EXPECT_EQ(result.best_length, result.best.length(inst));
+}
+
+TEST(Ils, Berlin52ReachesWithinTwoPercentOfOptimum) {
+  Instance inst = berlin52();
+  Pcg32 rng(2);
+  TwoOptSequential engine;
+  IlsOptions opts;
+  opts.max_iterations = 500;
+  opts.time_limit_seconds = 20.0;
+  opts.seed = 3;
+  IlsResult r =
+      iterated_local_search(engine, inst, Tour::random(inst.n(), rng), opts);
+  EXPECT_GE(r.best_length, kBerlin52Optimum);
+  EXPECT_LE(r.best_length, kBerlin52Optimum * 102 / 100);
+}
+
+TEST(Ils, TraceIsMonotonicallyImproving) {
+  Instance inst = generate_uniform("u120", 120, 4);
+  Pcg32 rng(5);
+  TwoOptSequential engine;
+  IlsOptions opts;
+  opts.max_iterations = 100;
+  opts.time_limit_seconds = 10.0;
+  IlsResult r =
+      iterated_local_search(engine, inst, Tour::random(120, rng), opts);
+  ASSERT_FALSE(r.trace.empty());
+  EXPECT_EQ(r.trace.front().iteration, 0);  // initial descent recorded
+  for (std::size_t i = 1; i < r.trace.size(); ++i) {
+    EXPECT_LT(r.trace[i].length, r.trace[i - 1].length);
+    EXPECT_GE(r.trace[i].seconds, r.trace[i - 1].seconds);
+    EXPECT_GT(r.trace[i].iteration, r.trace[i - 1].iteration);
+  }
+  EXPECT_EQ(r.trace.back().length, r.best_length);
+}
+
+TEST(Ils, RespectsIterationBudget) {
+  Instance inst = generate_uniform("u80", 80, 6);
+  Pcg32 rng(7);
+  TwoOptSequential engine;
+  IlsOptions opts;
+  opts.max_iterations = 12;
+  opts.time_limit_seconds = -1.0;
+  IlsResult r = iterated_local_search(engine, inst, Tour::random(80, rng), opts);
+  EXPECT_EQ(r.iterations, 12);
+}
+
+TEST(Ils, RespectsTimeBudget) {
+  Instance inst = generate_uniform("u200", 200, 8);
+  Pcg32 rng(9);
+  TwoOptSequential engine;
+  IlsOptions opts;
+  opts.time_limit_seconds = 1.0;
+  opts.max_iterations = -1;
+  IlsResult r =
+      iterated_local_search(engine, inst, Tour::random(200, rng), opts);
+  // The loop stops at the first boundary after the budget expires; allow
+  // generous slack for loaded machines but catch runaway loops.
+  EXPECT_LT(r.wall_seconds, 10.0);
+  EXPECT_GT(r.iterations, 0);  // small instance: many rounds fit in 1 s
+}
+
+TEST(Ils, IsDeterministicGivenSeed) {
+  Instance inst = generate_uniform("u90", 90, 10);
+  Pcg32 rng(11);
+  Tour initial = Tour::random(90, rng);
+  TwoOptSequential engine;
+  IlsOptions opts;
+  opts.max_iterations = 30;
+  opts.time_limit_seconds = -1.0;
+  opts.seed = 42;
+  IlsResult a = iterated_local_search(engine, inst, initial, opts);
+  IlsResult b = iterated_local_search(engine, inst, initial, opts);
+  EXPECT_EQ(a.best_length, b.best_length);
+  EXPECT_TRUE(a.best == b.best);
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+TEST(Ils, WorksWithTheGpuEngine) {
+  // Algorithm 1 with the CUDA-style kernel as its 2-opt step.
+  Instance inst = generate_uniform("u200", 200, 12);
+  Pcg32 rng(13);
+  simt::Device device(simt::gtx680_cuda());
+  TwoOptGpuSmall engine(device);
+  IlsOptions opts;
+  opts.max_iterations = 20;
+  opts.time_limit_seconds = 30.0;
+  IlsResult r =
+      iterated_local_search(engine, inst, Tour::random(200, rng), opts);
+  EXPECT_TRUE(r.best.is_valid());
+  EXPECT_GT(r.checks, 0u);
+  EXPECT_GT(device.counters().kernel_launches.load(), 0u);
+}
+
+TEST(Ils, AcceptanceCriteriaBehaveAsSpecified) {
+  Instance inst = generate_clustered("c150", 150, 4, 20);
+  Pcg32 rng(21);
+  Tour initial = Tour::random(150, rng);
+  TwoOptSequential engine;
+
+  auto run = [&](IlsAcceptance acceptance) {
+    IlsOptions opts;
+    opts.max_iterations = 60;
+    opts.time_limit_seconds = -1.0;
+    opts.seed = 9;
+    opts.acceptance = acceptance;
+    return iterated_local_search(engine, inst, initial, opts);
+  };
+
+  IlsResult better = run(IlsAcceptance::kBetter);
+  IlsResult eps = run(IlsAcceptance::kEpsilonWorse);
+  IlsResult walk = run(IlsAcceptance::kRandomWalk);
+
+  // Whatever the criterion, the returned best is valid and its recorded
+  // length is truthful.
+  for (const IlsResult* r : {&better, &eps, &walk}) {
+    EXPECT_TRUE(r->best.is_valid());
+    EXPECT_EQ(r->best_length, r->best.length(inst));
+    EXPECT_EQ(r->trace.back().length, r->best_length);
+  }
+  // All criteria explored the same number of rounds.
+  EXPECT_EQ(better.iterations, 60);
+  EXPECT_EQ(eps.iterations, 60);
+  EXPECT_EQ(walk.iterations, 60);
+}
+
+TEST(Ils, RandomWalkAcceptanceStillTracksTheBestEverSeen) {
+  // Even when every candidate is accepted as the new incumbent, `best`
+  // must never regress.
+  Instance inst = generate_uniform("u100", 100, 22);
+  Pcg32 rng(23);
+  TwoOptSequential engine;
+  IlsOptions opts;
+  opts.max_iterations = 40;
+  opts.time_limit_seconds = -1.0;
+  opts.acceptance = IlsAcceptance::kRandomWalk;
+  IlsResult r =
+      iterated_local_search(engine, inst, Tour::random(100, rng), opts);
+  for (std::size_t i = 1; i < r.trace.size(); ++i) {
+    EXPECT_LT(r.trace[i].length, r.trace[i - 1].length);
+  }
+}
+
+TEST(Ils, StartingFromMultipleFragmentMatchesTableIISetup) {
+  Instance inst = berlin52();
+  Tour mf = multiple_fragment(inst);
+  std::int64_t initial_len = mf.length(inst);
+  TwoOptSequential engine;
+  IlsOptions opts;
+  opts.max_iterations = 0;  // just the descent: Table II's "Optimized" col
+  opts.time_limit_seconds = -1.0;
+  IlsResult r = iterated_local_search(engine, inst, mf, opts);
+  EXPECT_LE(r.best_length, initial_len);
+}
+
+}  // namespace
+}  // namespace tspopt

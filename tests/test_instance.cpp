@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tsp/instance.hpp"
+
+namespace tspopt {
+namespace {
+
+Instance square() {
+  return Instance("square", Metric::kEuc2D,
+                  {{0, 0}, {10, 0}, {10, 10}, {0, 10}});
+}
+
+TEST(Instance, BasicAccessors) {
+  Instance inst = square();
+  EXPECT_EQ(inst.name(), "square");
+  EXPECT_EQ(inst.n(), 4);
+  EXPECT_EQ(inst.metric(), Metric::kEuc2D);
+  EXPECT_TRUE(inst.has_coordinates());
+  EXPECT_TRUE(inst.euclidean_like());
+  EXPECT_EQ(inst.point(2).x, 10.0f);
+}
+
+TEST(Instance, DistanceUsesMetric) {
+  Instance inst = square();
+  EXPECT_EQ(inst.dist(0, 1), 10);
+  EXPECT_EQ(inst.dist(0, 2), 14);  // sqrt(200) = 14.14 -> 14
+  EXPECT_EQ(inst.dist(3, 3), 0);
+}
+
+TEST(Instance, RejectsTooFewCities) {
+  EXPECT_THROW(Instance("tiny", Metric::kEuc2D, {{0, 0}, {1, 1}}),
+               CheckError);
+}
+
+TEST(Instance, ExplicitMatrix) {
+  std::vector<std::int32_t> m = {0, 1, 2,   //
+                                 1, 0, 3,   //
+                                 2, 3, 0};
+  Instance inst("triangle", m, 3);
+  EXPECT_EQ(inst.n(), 3);
+  EXPECT_EQ(inst.metric(), Metric::kExplicit);
+  EXPECT_FALSE(inst.has_coordinates());
+  EXPECT_FALSE(inst.euclidean_like());
+  EXPECT_EQ(inst.dist(0, 2), 2);
+  EXPECT_EQ(inst.dist(2, 1), 3);
+}
+
+TEST(Instance, ExplicitMatrixSizeValidated) {
+  std::vector<std::int32_t> wrong(8, 0);
+  EXPECT_THROW(Instance("bad", wrong, 3), CheckError);
+}
+
+TEST(Instance, ExplicitWithDisplayCoordinates) {
+  std::vector<std::int32_t> m(9, 1);
+  Instance inst("disp", m, 3, {{0, 0}, {1, 0}, {0, 1}});
+  EXPECT_TRUE(inst.has_coordinates());
+  EXPECT_EQ(inst.dist(0, 1), 1);  // matrix wins over coordinates
+}
+
+TEST(Instance, BoundingBox) {
+  Instance inst("bb", Metric::kEuc2D, {{-1, 5}, {3, -2}, {0, 0}});
+  auto [lo, hi] = inst.bounding_box();
+  EXPECT_EQ(lo.x, -1.0f);
+  EXPECT_EQ(lo.y, -2.0f);
+  EXPECT_EQ(hi.x, 3.0f);
+  EXPECT_EQ(hi.y, 5.0f);
+}
+
+TEST(Instance, NonEuclideanMetricIsNotKernelEligible) {
+  Instance geo("geo", Metric::kGeo, {{0, 0}, {1, 1}, {2, 2}});
+  EXPECT_FALSE(geo.euclidean_like());
+  EXPECT_TRUE(geo.has_coordinates());
+}
+
+}  // namespace
+}  // namespace tspopt

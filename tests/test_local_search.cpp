@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "simt/device.hpp"
+#include "solver/local_search.hpp"
+#include "solver/twoopt_gpu.hpp"
+#include "solver/twoopt_parallel.hpp"
+#include "solver/twoopt_sequential.hpp"
+#include "solver/twoopt_tiled.hpp"
+#include "tsp/catalog.hpp"
+#include "tsp/generator.hpp"
+
+namespace tspopt {
+namespace {
+
+TEST(LocalSearch, ReachesLocalMinimumAndNeverWorsens) {
+  Instance inst = berlin52();
+  Pcg32 rng(1);
+  Tour tour = Tour::random(inst.n(), rng);
+  std::int64_t initial = tour.length(inst);
+  TwoOptSequential engine;
+  LocalSearchStats stats = local_search(engine, inst, tour);
+  EXPECT_TRUE(stats.reached_local_minimum);
+  EXPECT_TRUE(tour.is_valid());
+  std::int64_t final_len = tour.length(inst);
+  EXPECT_LT(final_len, initial);
+  EXPECT_EQ(initial - final_len, stats.improvement);
+  // At the local minimum one more pass must find nothing.
+  SearchResult extra = engine.search(inst, tour);
+  EXPECT_FALSE(extra.best.improves());
+}
+
+TEST(LocalSearch, Berlin52FromRandomGetsNearOptimal) {
+  // 2-opt local minima on berlin52 are typically within ~8% of 7542.
+  Instance inst = berlin52();
+  Pcg32 rng(77);
+  Tour tour = Tour::random(inst.n(), rng);
+  TwoOptSequential engine;
+  local_search(engine, inst, tour);
+  std::int64_t len = tour.length(inst);
+  EXPECT_GE(len, kBerlin52Optimum);
+  EXPECT_LE(len, kBerlin52Optimum * 115 / 100);
+}
+
+TEST(LocalSearch, AllEnginesReachTheSameLocalMinimum) {
+  // Best-improvement with deterministic tie-breaking makes the whole
+  // descent deterministic, so every engine must produce an identical tour.
+  Instance inst = generate_uniform("u150", 150, 9);
+  Pcg32 rng(4);
+  Tour initial = Tour::random(150, rng);
+
+  Tour seq_tour = initial;
+  TwoOptSequential seq;
+  local_search(seq, inst, seq_tour);
+
+  simt::Device device(simt::gtx680_cuda());
+  for (int variant = 0; variant < 3; ++variant) {
+    Tour t = initial;
+    if (variant == 0) {
+      TwoOptCpuParallel e;
+      local_search(e, inst, t);
+    } else if (variant == 1) {
+      TwoOptGpuSmall e(device);
+      local_search(e, inst, t);
+    } else {
+      TwoOptGpuTiled e(device, 64);
+      local_search(e, inst, t);
+    }
+    EXPECT_TRUE(t == seq_tour) << "variant " << variant;
+  }
+}
+
+TEST(LocalSearch, PassBudgetIsHonored) {
+  Instance inst = generate_uniform("u200", 200, 5);
+  Pcg32 rng(6);
+  Tour tour = Tour::random(200, rng);
+  TwoOptSequential engine;
+  LocalSearchOptions opts;
+  opts.max_passes = 3;
+  LocalSearchStats stats = local_search(engine, inst, tour, opts);
+  EXPECT_EQ(stats.passes, 3);
+  EXPECT_FALSE(stats.reached_local_minimum);
+  EXPECT_EQ(stats.checks, 3u * static_cast<std::uint64_t>(pair_count(200)));
+}
+
+TEST(LocalSearch, ZeroPassBudgetDoesNothing) {
+  Instance inst = berlin52();
+  Tour tour = Tour::identity(inst.n());
+  Tour before = tour;
+  TwoOptSequential engine;
+  LocalSearchOptions opts;
+  opts.max_passes = 0;
+  LocalSearchStats stats = local_search(engine, inst, tour, opts);
+  EXPECT_EQ(stats.passes, 0);
+  EXPECT_TRUE(tour == before);
+}
+
+TEST(LocalSearch, TimeLimitStopsTheDescent) {
+  Instance inst = generate_uniform("u1500", 1500, 7);
+  Pcg32 rng(8);
+  Tour tour = Tour::random(1500, rng);
+  TwoOptSequential engine;
+  LocalSearchOptions opts;
+  opts.time_limit_seconds = 0.05;
+  LocalSearchStats stats = local_search(engine, inst, tour, opts);
+  EXPECT_FALSE(stats.reached_local_minimum);
+  EXPECT_LT(stats.wall_seconds, 2.0);  // generous slack for slow machines
+}
+
+TEST(LocalSearch, ObserverSeesEveryMoveAndCanStop) {
+  Instance inst = berlin52();
+  Pcg32 rng(10);
+  Tour tour = Tour::random(inst.n(), rng);
+  TwoOptSequential engine;
+  std::int64_t observed = 0;
+  local_search(engine, inst, tour, {},
+               [&](const LocalSearchStats& s) {
+                 observed = s.moves_applied;
+                 return s.moves_applied < 5;  // stop after 5 moves
+               });
+  EXPECT_EQ(observed, 5);
+}
+
+TEST(LocalSearch, MovesNeverIncreaseLength) {
+  Instance inst = generate_clustered("c120", 120, 4, 3);
+  Pcg32 rng(11);
+  Tour tour = Tour::random(120, rng);
+  TwoOptSequential engine;
+  std::int64_t last = tour.length(inst);
+  // Observe lengths move by move.
+  local_search(engine, inst, tour, {}, [&](const LocalSearchStats&) {
+    std::int64_t now = tour.length(inst);
+    EXPECT_LT(now, last);
+    last = now;
+    return true;
+  });
+}
+
+}  // namespace
+}  // namespace tspopt

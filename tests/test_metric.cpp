@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "tsp/metric.hpp"
+
+namespace tspopt {
+namespace {
+
+TEST(Metric, Euc2DMatchesPaperListing1) {
+  // Listing 1: (int)(sqrtf(dx*dx + dy*dy) + 0.5f)
+  EXPECT_EQ(dist_euc2d({0, 0}, {3, 4}), 5);
+  EXPECT_EQ(dist_euc2d({0, 0}, {1, 1}), 1);   // 1.414 -> 1
+  EXPECT_EQ(dist_euc2d({0, 0}, {1, 2}), 2);   // 2.236 -> 2
+  EXPECT_EQ(dist_euc2d({0, 0}, {0, 0}), 0);
+  EXPECT_EQ(dist_euc2d({0, 0}, {0.5f, 0}), 1);  // 0.5 rounds up
+}
+
+TEST(Metric, Euc2DIsSymmetric) {
+  Pcg32 rng(1);
+  for (int t = 0; t < 1000; ++t) {
+    Point a{rng.next_float(-1e4f, 1e4f), rng.next_float(-1e4f, 1e4f)};
+    Point b{rng.next_float(-1e4f, 1e4f), rng.next_float(-1e4f, 1e4f)};
+    ASSERT_EQ(dist_euc2d(a, b), dist_euc2d(b, a));
+  }
+}
+
+TEST(Metric, Euc2DTriangleInequalityWithRoundingSlack) {
+  // Rounded metrics satisfy the triangle inequality up to +-1 of rounding.
+  Pcg32 rng(2);
+  for (int t = 0; t < 1000; ++t) {
+    Point a{rng.next_float(0, 1e3f), rng.next_float(0, 1e3f)};
+    Point b{rng.next_float(0, 1e3f), rng.next_float(0, 1e3f)};
+    Point c{rng.next_float(0, 1e3f), rng.next_float(0, 1e3f)};
+    ASSERT_LE(dist_euc2d(a, c), dist_euc2d(a, b) + dist_euc2d(b, c) + 1);
+  }
+}
+
+TEST(Metric, Ceil2DRoundsUp) {
+  EXPECT_EQ(dist_ceil2d({0, 0}, {1, 1}), 2);  // ceil(1.414)
+  EXPECT_EQ(dist_ceil2d({0, 0}, {3, 4}), 5);  // exact stays
+  EXPECT_EQ(dist_ceil2d({0, 0}, {0, 0}), 0);
+}
+
+TEST(Metric, Manhattan) {
+  EXPECT_EQ(dist_man2d({0, 0}, {3, 4}), 7);
+  EXPECT_EQ(dist_man2d({1, 1}, {-1, -1}), 4);
+}
+
+TEST(Metric, Chebyshev) {
+  EXPECT_EQ(dist_max2d({0, 0}, {3, 4}), 4);
+  EXPECT_EQ(dist_max2d({0, 0}, {-5, 2}), 5);
+}
+
+TEST(Metric, AttPseudoEuclidean) {
+  // ATT: tij = nint(sqrt((dx^2+dy^2)/10)); if tij < rij then tij+1.
+  // dx=3, dy=4 -> rij = sqrt(25/10) = 1.5811 -> tij = 2 (nint), 2 >= rij.
+  EXPECT_EQ(dist_att({0, 0}, {3, 4}), 2);
+  // dx=10 -> rij = sqrt(10) = 3.1623 -> nint 3 < rij -> 4.
+  EXPECT_EQ(dist_att({0, 0}, {10, 0}), 4);
+}
+
+TEST(Metric, GeoKnownDistance) {
+  // Two points one degree of latitude apart on the TSPLIB sphere:
+  // ~ pi * RRR / 180 ~ 111.3 km, plus the spec's +1.0 truncation bias.
+  std::int32_t d = dist_geo({0.0f, 0.0f}, {1.0f, 0.0f});
+  EXPECT_GE(d, 111);
+  EXPECT_LE(d, 112);
+  // The literal TSPLIB formula truncates RRR*acos(...)+1.0, so even the
+  // self-distance is 1 — a documented quirk of the spec (self-distances
+  // never appear in a tour length).
+  EXPECT_EQ(dist_geo({10.30f, 20.30f}, {10.30f, 20.30f}), 1);
+}
+
+TEST(Metric, GeoParsesDegreesMinutes) {
+  // x = 10.30 means 10 degrees 30 minutes = 10.5 degrees. Moving 30
+  // minutes of latitude is half the distance of a full degree.
+  std::int32_t half = dist_geo({0.0f, 0.0f}, {0.30f, 0.0f});
+  std::int32_t full = dist_geo({0.0f, 0.0f}, {1.0f, 0.0f});
+  EXPECT_NEAR(static_cast<double>(half), full / 2.0, 1.5);
+}
+
+TEST(Metric, StringRoundTrip) {
+  for (Metric m : {Metric::kEuc2D, Metric::kCeil2D, Metric::kMan2D,
+                   Metric::kMax2D, Metric::kAtt, Metric::kGeo,
+                   Metric::kExplicit}) {
+    EXPECT_EQ(metric_from_string(to_string(m)), m);
+  }
+  EXPECT_THROW(metric_from_string("EUC_3D"), CheckError);
+}
+
+TEST(Metric, DispatchAgreesWithDirectFunctions) {
+  Point a{1, 2}, b{4, 6};
+  EXPECT_EQ(dist(Metric::kEuc2D, a, b), dist_euc2d(a, b));
+  EXPECT_EQ(dist(Metric::kCeil2D, a, b), dist_ceil2d(a, b));
+  EXPECT_EQ(dist(Metric::kMan2D, a, b), dist_man2d(a, b));
+  EXPECT_EQ(dist(Metric::kMax2D, a, b), dist_max2d(a, b));
+  EXPECT_EQ(dist(Metric::kAtt, a, b), dist_att(a, b));
+  EXPECT_THROW(dist(Metric::kExplicit, a, b), CheckError);
+}
+
+}  // namespace
+}  // namespace tspopt

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "simt/device.hpp"
+#include "solver/local_search.hpp"
+#include "solver/twoopt_multi.hpp"
+#include "solver/twoopt_sequential.hpp"
+#include "tsp/generator.hpp"
+
+namespace tspopt {
+namespace {
+
+TEST(MultiDevice, MatchesSingleDeviceBitForBit) {
+  Instance inst = generate_uniform("u900", 900, 1);
+  Pcg32 rng(2);
+  TwoOptSequential reference;
+  for (std::size_t device_count : {1u, 2u, 3u, 5u}) {
+    std::vector<std::unique_ptr<simt::Device>> owned;
+    std::vector<simt::Device*> devices;
+    for (std::size_t d = 0; d < device_count; ++d) {
+      owned.push_back(std::make_unique<simt::Device>(simt::gtx680_cuda()));
+      devices.push_back(owned.back().get());
+    }
+    TwoOptMultiDevice engine(devices, 128);
+    for (int trial = 0; trial < 3; ++trial) {
+      Pcg32 tour_rng(static_cast<std::uint64_t>(trial) + 7);
+      Tour tour = Tour::random(900, tour_rng);
+      SearchResult multi = engine.search(inst, tour);
+      SearchResult ref = reference.search(inst, tour);
+      ASSERT_EQ(multi.best.delta, ref.best.delta)
+          << device_count << " devices";
+      ASSERT_EQ(multi.best.index, ref.best.index);
+      // Round-robin tiles partition the triangle exactly.
+      ASSERT_EQ(multi.checks, ref.checks);
+    }
+  }
+}
+
+TEST(MultiDevice, HeterogeneousDevicesUseACommonTileGrid) {
+  // GeForce (48 kB) + Radeon (64 kB): the engine must pick one common
+  // tile so the partition is consistent, and still match the reference.
+  Instance inst = generate_uniform("u7000", 7000, 3);
+  simt::Device gtx(simt::gtx680_cuda());
+  simt::Device radeon(simt::radeon7970());
+  TwoOptMultiDevice engine({&gtx, &radeon});
+  Pcg32 rng(4);
+  Tour tour = Tour::random(7000, rng);
+  SearchResult multi = engine.search(inst, tour);
+
+  TwoOptSequential reference;
+  SearchResult ref = reference.search(inst, tour);
+  EXPECT_EQ(multi.best.delta, ref.best.delta);
+  EXPECT_EQ(multi.best.index, ref.best.index);
+  EXPECT_EQ(multi.checks, ref.checks);
+  // Both devices actually worked.
+  EXPECT_GT(gtx.counters().checks.load(), 0u);
+  EXPECT_GT(radeon.counters().checks.load(), 0u);
+  EXPECT_EQ(gtx.counters().checks.load() + radeon.counters().checks.load(),
+            ref.checks);
+}
+
+TEST(MultiDevice, WorkSplitsRoughlyEvenly) {
+  Instance inst = generate_uniform("u4000", 4000, 5);
+  std::vector<std::unique_ptr<simt::Device>> owned;
+  std::vector<simt::Device*> devices;
+  for (int d = 0; d < 4; ++d) {
+    owned.push_back(std::make_unique<simt::Device>(simt::gtx680_cuda()));
+    devices.push_back(owned.back().get());
+  }
+  TwoOptMultiDevice engine(devices, 256);
+  Pcg32 rng(6);
+  Tour tour = Tour::random(4000, rng);
+  SearchResult r = engine.search(inst, tour);
+  std::uint64_t total = r.checks;
+  for (const auto& d : owned) {
+    double share = static_cast<double>(d->counters().checks.load()) /
+                   static_cast<double>(total);
+    EXPECT_GT(share, 0.15);  // round-robin keeps shares near 1/4
+    EXPECT_LT(share, 0.35);
+  }
+}
+
+TEST(MultiDevice, DrivesAFullDescentIdenticallyToOneDevice) {
+  Instance inst = generate_uniform("u250", 250, 7);
+  Pcg32 rng(8);
+  Tour initial = Tour::random(250, rng);
+
+  Tour multi_tour = initial;
+  simt::Device a(simt::gtx680_cuda());
+  simt::Device b(simt::radeon6990());
+  TwoOptMultiDevice multi({&a, &b}, 64);
+  local_search(multi, inst, multi_tour);
+
+  Tour ref_tour = initial;
+  TwoOptSequential reference;
+  local_search(reference, inst, ref_tour);
+
+  EXPECT_TRUE(multi_tour == ref_tour);
+}
+
+TEST(MultiDevice, RejectsEmptyOrNullDeviceLists) {
+  EXPECT_THROW(TwoOptMultiDevice engine({}), CheckError);
+  std::vector<simt::Device*> with_null{nullptr};
+  EXPECT_THROW(TwoOptMultiDevice engine(with_null), CheckError);
+}
+
+}  // namespace
+}  // namespace tspopt

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "tsp/catalog.hpp"
+#include "tsp/generator.hpp"
+#include "tsp/neighbor_lists.hpp"
+
+namespace tspopt {
+namespace {
+
+// Brute-force reference: the k nearest cities by (distance, index).
+std::vector<std::int32_t> brute_knn(const Instance& inst, std::int32_t city,
+                                    std::int32_t k) {
+  std::vector<std::pair<std::int64_t, std::int32_t>> all;
+  for (std::int32_t c = 0; c < inst.n(); ++c) {
+    if (c != city) all.emplace_back(inst.dist(city, c), c);
+  }
+  std::sort(all.begin(), all.end());
+  std::vector<std::int32_t> out;
+  for (std::int32_t i = 0; i < k; ++i) out.push_back(all[static_cast<std::size_t>(i)].second);
+  return out;
+}
+
+class NeighborListsParam
+    : public ::testing::TestWithParam<std::tuple<std::int32_t, std::int32_t>> {
+};
+
+TEST_P(NeighborListsParam, DistancesMatchBruteForce) {
+  auto [n, k] = GetParam();
+  Instance inst = generate_uniform("u", n, static_cast<std::uint64_t>(n * 31 + k));
+  NeighborLists nl(inst, k);
+  ASSERT_EQ(nl.k(), std::min(k, n - 1));
+  for (std::int32_t city = 0; city < n; city += std::max(1, n / 40)) {
+    auto expect = brute_knn(inst, city, nl.k());
+    auto got = nl.neighbors(city);
+    ASSERT_EQ(static_cast<std::int32_t>(got.size()), nl.k());
+    // Distances must match exactly (ties may order differently).
+    for (std::int32_t idx = 0; idx < nl.k(); ++idx) {
+      ASSERT_EQ(inst.dist(city, got[static_cast<std::size_t>(idx)]),
+                inst.dist(city, expect[static_cast<std::size_t>(idx)]))
+          << "city " << city << " rank " << idx;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, NeighborListsParam,
+    ::testing::Values(std::make_tuple(10, 3), std::make_tuple(50, 5),
+                      std::make_tuple(100, 10), std::make_tuple(500, 8),
+                      std::make_tuple(500, 499), std::make_tuple(1000, 16),
+                      std::make_tuple(37, 36)));
+
+TEST(NeighborLists, SortedByIncreasingDistance) {
+  Instance inst = generate_clustered("c", 300, 5, 9);
+  NeighborLists nl(inst, 12);
+  for (std::int32_t city = 0; city < 300; ++city) {
+    auto nbrs = nl.neighbors(city);
+    for (std::size_t idx = 1; idx < nbrs.size(); ++idx) {
+      ASSERT_LE(inst.dist(city, nbrs[idx - 1]), inst.dist(city, nbrs[idx]));
+    }
+  }
+}
+
+TEST(NeighborLists, NoSelfNoDuplicates) {
+  Instance inst = generate_grid("g", 256, 2);
+  NeighborLists nl(inst, 8);
+  for (std::int32_t city = 0; city < 256; ++city) {
+    std::set<std::int32_t> seen;
+    for (std::int32_t nb : nl.neighbors(city)) {
+      ASSERT_NE(nb, city);
+      ASSERT_TRUE(seen.insert(nb).second);
+    }
+  }
+}
+
+TEST(NeighborLists, KClampedToNMinus1) {
+  Instance inst = generate_uniform("u", 10, 1);
+  NeighborLists nl(inst, 50);
+  EXPECT_EQ(nl.k(), 9);
+}
+
+TEST(NeighborLists, HandlesDegenerateCollinearPoints) {
+  std::vector<Point> pts;
+  for (int i = 0; i < 20; ++i) pts.push_back({static_cast<float>(i), 0.0f});
+  Instance inst("line", Metric::kEuc2D, std::move(pts));
+  NeighborLists nl(inst, 4);
+  auto nbrs = nl.neighbors(10);
+  // Immediate lattice neighbors must appear first.
+  EXPECT_EQ(inst.dist(10, nbrs[0]), 1);
+  EXPECT_EQ(inst.dist(10, nbrs[1]), 1);
+}
+
+TEST(NeighborLists, HandlesCoincidentPoints) {
+  std::vector<Point> pts(16, Point{5.0f, 5.0f});
+  pts.push_back({100.0f, 100.0f});
+  Instance inst("dup", Metric::kEuc2D, std::move(pts));
+  NeighborLists nl(inst, 3);
+  for (std::int32_t nb : nl.neighbors(0)) {
+    EXPECT_EQ(inst.dist(0, nb), 0);
+  }
+}
+
+TEST(NeighborLists, RequiresCoordinates) {
+  std::vector<std::int32_t> m(9, 1);
+  Instance inst("x", m, 3);
+  EXPECT_THROW(NeighborLists nl(inst, 2), CheckError);
+}
+
+}  // namespace
+}  // namespace tspopt

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "solver/local_search.hpp"
+#include "solver/or_opt.hpp"
+#include "solver/twoopt_sequential.hpp"
+#include "tsp/catalog.hpp"
+#include "tsp/generator.hpp"
+
+namespace tspopt {
+namespace {
+
+TEST(OrOpt, PassKeepsTourValidAndAccountsImprovement) {
+  Instance inst = generate_uniform("u150", 150, 1);
+  NeighborLists nl(inst, 8);
+  Pcg32 rng(2);
+  Tour tour = Tour::random(150, rng);
+  std::int64_t before = tour.length(inst);
+  OrOptStats stats = or_opt_pass(inst, tour, nl);
+  EXPECT_TRUE(tour.is_valid());
+  EXPECT_EQ(before - tour.length(inst), stats.improvement);
+  EXPECT_GE(stats.improvement, 0);
+}
+
+TEST(OrOpt, DescendTerminatesAtALocalMinimum) {
+  Instance inst = generate_clustered("c200", 200, 5, 3);
+  NeighborLists nl(inst, 10);
+  Pcg32 rng(4);
+  Tour tour = Tour::random(200, rng);
+  std::int64_t before = tour.length(inst);
+  OrOptStats stats = or_opt_descend(inst, tour, nl);
+  EXPECT_TRUE(tour.is_valid());
+  EXPECT_LT(tour.length(inst), before);
+  EXPECT_EQ(before - tour.length(inst), stats.improvement);
+  // One more pass finds nothing.
+  OrOptStats extra = or_opt_pass(inst, tour, nl);
+  EXPECT_EQ(extra.moves_applied, 0);
+}
+
+TEST(OrOpt, EscapesSomeTwoOptLocalMinima) {
+  // The point of 2.5-opt (paper §VII): segment relocation can improve
+  // tours 2-opt cannot. Verify it helps on at least one of several
+  // 2-opt-optimal tours.
+  TwoOptSequential two_opt;
+  bool improved_any = false;
+  for (std::uint64_t seed = 1; seed <= 6 && !improved_any; ++seed) {
+    Instance inst = generate_clustered("c120", 120, 4, seed);
+    NeighborLists nl(inst, 10);
+    Pcg32 rng(seed);
+    Tour tour = Tour::random(120, rng);
+    local_search(two_opt, inst, tour);
+    std::int64_t at_2opt_min = tour.length(inst);
+    or_opt_descend(inst, tour, nl);
+    if (tour.length(inst) < at_2opt_min) improved_any = true;
+  }
+  EXPECT_TRUE(improved_any);
+}
+
+TEST(OrOpt, HonorsMaxSegmentLength) {
+  Instance inst = generate_uniform("u100", 100, 5);
+  NeighborLists nl(inst, 6);
+  Pcg32 rng(6);
+  Tour tour = Tour::random(100, rng);
+  EXPECT_NO_THROW(or_opt_pass(inst, tour, nl, 1));
+  EXPECT_TRUE(tour.is_valid());
+  EXPECT_THROW(or_opt_pass(inst, tour, nl, 0), CheckError);
+}
+
+TEST(OrOpt, SingleCityRelocationNeverBreaksBerlin52) {
+  Instance inst = berlin52();
+  NeighborLists nl(inst, 8);
+  Pcg32 rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    Tour tour = Tour::random(inst.n(), rng);
+    std::int64_t before = tour.length(inst);
+    OrOptStats s = or_opt_descend(inst, tour, nl, 1);
+    ASSERT_TRUE(tour.is_valid());
+    ASSERT_EQ(before - tour.length(inst), s.improvement);
+  }
+}
+
+}  // namespace
+}  // namespace tspopt

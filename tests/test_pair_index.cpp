@@ -1,0 +1,127 @@
+// Property tests for the pair-triangle linearization (paper Fig. 3).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "solver/pair_index.hpp"
+
+namespace tspopt {
+namespace {
+
+TEST(PairIndex, CountMatchesPaperExamples) {
+  // The paper quotes 4851 = C(99,2) swaps for kroE100 while its Fig. 3
+  // enumerates the full position triangle C(N,2); we use the full triangle
+  // (C(100,2) = 4950), whose 99 extra pairs are degenerate and evaluate to
+  // delta 0 (see delta.hpp), so the search outcome is identical.
+  EXPECT_EQ(pair_count(100), 4950);
+  EXPECT_EQ(pair_count(100) - 99, 4851);
+  // The Fig. 3 example: N = 10 gives indices 0..45 -> 45 pairs... the
+  // figure labels the last cell (8,9) with 45, i.e. 45 = C(10,2) - 1 + 1
+  // cells starting at 0; total count is 45.
+  EXPECT_EQ(pair_count(10), 45);
+  EXPECT_EQ(pair_count(2), 1);
+  EXPECT_EQ(pair_count(3), 3);
+}
+
+TEST(PairIndex, MatchesPaperEnumerationOrder) {
+  // Fig. 3: (0,1)->0, (0,2)->1, (1,2)->2, (0,3)->3, (1,3)->4, (2,3)->5, ...
+  EXPECT_EQ(pair_index(0, 1), 0);
+  EXPECT_EQ(pair_index(0, 2), 1);
+  EXPECT_EQ(pair_index(1, 2), 2);
+  EXPECT_EQ(pair_index(0, 3), 3);
+  EXPECT_EQ(pair_index(1, 3), 4);
+  EXPECT_EQ(pair_index(2, 3), 5);
+  EXPECT_EQ(pair_index(8, 9), 44);
+  EXPECT_EQ(pair_index(0, 9), 36);
+}
+
+TEST(PairIndex, RoundTripExhaustiveSmall) {
+  for (std::int64_t n : {2, 3, 4, 5, 10, 37, 100, 257}) {
+    std::int64_t k = 0;
+    for (std::int32_t j = 1; j < n; ++j) {
+      for (std::int32_t i = 0; i < j; ++i) {
+        ASSERT_EQ(pair_index(i, j), k);
+        PairIJ p = pair_from_index(k);
+        ASSERT_EQ(p.i, i);
+        ASSERT_EQ(p.j, j);
+        ++k;
+      }
+    }
+    ASSERT_EQ(k, pair_count(n));
+  }
+}
+
+TEST(PairIndex, RoundTripRandomLargeIndices) {
+  // Up to lrb744710-scale indices (~2.77e11): the float estimate plus the
+  // integer correction must stay exact.
+  Pcg32 rng(42);
+  const std::int64_t max_k = pair_count(744710);
+  for (int trial = 0; trial < 200000; ++trial) {
+    std::int64_t k = static_cast<std::int64_t>(rng.next_u64() %
+                                               static_cast<std::uint64_t>(max_k));
+    PairIJ p = pair_from_index(k);
+    ASSERT_LT(p.i, p.j);
+    ASSERT_GE(p.i, 0);
+    ASSERT_EQ(pair_index(p.i, p.j), k);
+  }
+}
+
+TEST(PairIndex, RoundTripTriangularBoundaries) {
+  // Indices adjacent to every row boundary j(j-1)/2 up to j ~ 1e6 —
+  // exactly where a naive sqrt inversion goes wrong.
+  for (std::int64_t j = 2; j <= 1000000; j = j * 3 / 2 + 1) {
+    std::int64_t base = j * (j - 1) / 2;
+    for (std::int64_t k : {base - 1, base, base + 1}) {
+      PairIJ p = pair_from_index(k);
+      ASSERT_EQ(pair_index(p.i, p.j), k) << "k=" << k;
+    }
+  }
+}
+
+TEST(PairIndex, AdvanceMatchesDirectInversion) {
+  // pair_advance is the grid-stride fast path; it must agree with
+  // pair_from_index for any start and stride.
+  Pcg32 rng(9);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::int64_t k = static_cast<std::int64_t>(rng.next_below(2000000));
+    std::int64_t steps = static_cast<std::int64_t>(rng.next_below(100000));
+    PairIJ p = pair_from_index(k);
+    pair_advance(p, steps);
+    PairIJ q = pair_from_index(k + steps);
+    ASSERT_EQ(p.i, q.i) << "k=" << k << " steps=" << steps;
+    ASSERT_EQ(p.j, q.j);
+  }
+}
+
+TEST(PairIndex, AdvanceByZeroIsIdentity) {
+  PairIJ p = pair_from_index(12345);
+  PairIJ q = p;
+  pair_advance(q, 0);
+  EXPECT_EQ(p.i, q.i);
+  EXPECT_EQ(p.j, q.j);
+}
+
+TEST(PairIndex, AdvanceWalksTheWholeTriangleInOrder) {
+  PairIJ p{0, 1};
+  std::int64_t k = 0;
+  for (std::int64_t n = 64; k + 1 < pair_count(n); ++k) {
+    PairIJ q = p;
+    pair_advance(q, 1);
+    PairIJ expect = pair_from_index(k + 1);
+    ASSERT_EQ(q.i, expect.i);
+    ASSERT_EQ(q.j, expect.j);
+    p = q;
+  }
+}
+
+TEST(PairIndex, LastIndexOfLargestPaperInstance) {
+  std::int64_t n = 744710;
+  std::int64_t last = pair_count(n) - 1;
+  PairIJ p = pair_from_index(last);
+  EXPECT_EQ(p.i, n - 2);
+  EXPECT_EQ(p.j, n - 1);
+}
+
+}  // namespace
+}  // namespace tspopt

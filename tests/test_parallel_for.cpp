@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+
+namespace tspopt {
+namespace {
+
+TEST(ParallelForChunks, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  for (std::int64_t total : {0, 1, 3, 4, 5, 100, 1001}) {
+    std::vector<std::atomic<int>> hits(static_cast<std::size_t>(total));
+    parallel_for_chunks(pool, 0, total,
+                        [&](std::int64_t lo, std::int64_t hi, std::size_t) {
+                          for (std::int64_t i = lo; i < hi; ++i) {
+                            hits[static_cast<std::size_t>(i)].fetch_add(1);
+                          }
+                        });
+    for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelForChunks, NonZeroBegin) {
+  ThreadPool pool(3);
+  std::atomic<std::int64_t> sum{0};
+  parallel_for_chunks(pool, 10, 20,
+                      [&](std::int64_t lo, std::int64_t hi, std::size_t) {
+                        for (std::int64_t i = lo; i < hi; ++i) sum += i;
+                      });
+  EXPECT_EQ(sum.load(), 145);  // 10+...+19
+}
+
+TEST(ParallelForChunks, ChunksAreBalanced) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::vector<std::int64_t> sizes;
+  parallel_for_chunks(pool, 0, 10,
+                      [&](std::int64_t lo, std::int64_t hi, std::size_t) {
+                        std::lock_guard<std::mutex> lock(mu);
+                        sizes.push_back(hi - lo);
+                      });
+  ASSERT_EQ(sizes.size(), 4u);
+  for (std::int64_t s : sizes) {
+    EXPECT_GE(s, 2);
+    EXPECT_LE(s, 3);
+  }
+}
+
+TEST(ParallelForChunks, FewerElementsThanWorkers) {
+  ThreadPool pool(8);
+  std::atomic<int> calls{0};
+  parallel_for_chunks(pool, 0, 3,
+                      [&](std::int64_t lo, std::int64_t hi, std::size_t) {
+                        EXPECT_EQ(hi - lo, 1);
+                        calls.fetch_add(1);
+                      });
+  EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(ParallelForChunks, RejectsInvertedRange) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      parallel_for_chunks(pool, 5, 4,
+                          [](std::int64_t, std::int64_t, std::size_t) {}),
+      CheckError);
+}
+
+TEST(ParallelForDynamic, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(997);
+  parallel_for_dynamic(pool, 0, 997, 13,
+                       [&](std::int64_t lo, std::int64_t hi, std::size_t) {
+                         for (std::int64_t i = lo; i < hi; ++i) {
+                           hits[static_cast<std::size_t>(i)].fetch_add(1);
+                         }
+                       });
+  for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForDynamic, LastChunkClipped) {
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::int64_t max_hi = 0;
+  parallel_for_dynamic(pool, 0, 10, 4,
+                       [&](std::int64_t, std::int64_t hi, std::size_t) {
+                         std::lock_guard<std::mutex> lock(mu);
+                         max_hi = std::max(max_hi, hi);
+                       });
+  EXPECT_EQ(max_hi, 10);
+}
+
+TEST(ParallelForDynamic, RejectsBadChunk) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      parallel_for_dynamic(pool, 0, 10, 0,
+                           [](std::int64_t, std::int64_t, std::size_t) {}),
+      CheckError);
+}
+
+TEST(ParallelForEach, VisitsEachElement) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  parallel_for_each(pool, 0, 100, [&](std::int64_t i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForEach, EmptyRangeIsFine) {
+  ThreadPool pool(2);
+  parallel_for_each(pool, 5, 5, [](std::int64_t) { FAIL(); });
+}
+
+}  // namespace
+}  // namespace tspopt

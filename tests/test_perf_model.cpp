@@ -1,0 +1,152 @@
+// The analytic timing model must reproduce the paper's Table II shape for
+// the calibrated device (GTX 680 / CUDA) — these tests pin the model to the
+// paper's legible rows within tolerances, so recalibration regressions are
+// caught.
+#include <gtest/gtest.h>
+
+#include "simt/perf_model.hpp"
+#include "solver/pair_index.hpp"
+#include "tsp/catalog.hpp"
+
+namespace tspopt {
+namespace {
+
+using simt::PerfModel;
+
+std::uint64_t checks(std::int64_t n) {
+  return static_cast<std::uint64_t>(pair_count(n));
+}
+
+TEST(PerfModel, TinyInstanceIsLaunchOverheadDominated) {
+  PerfModel m(simt::gtx680_cuda());
+  // berlin52: Table II reports a 20 us kernel.
+  double us = m.kernel_time_us(checks(52));
+  EXPECT_NEAR(us, 20.0, 2.0);
+}
+
+TEST(PerfModel, MidSizeMatchesTableII) {
+  PerfModel m(simt::gtx680_cuda());
+  // pr2392 kernel: 299 us in Table II.
+  EXPECT_NEAR(m.kernel_time_us(checks(2392)), 299.0, 60.0);
+  // usa13509 kernel: 4728 us.
+  EXPECT_NEAR(m.kernel_time_us(checks(13509)), 4728.0, 500.0);
+  // d18512 kernel: 8928 us.
+  EXPECT_NEAR(m.kernel_time_us(checks(18512)), 8928.0, 900.0);
+}
+
+TEST(PerfModel, LargestInstanceLandsInTableIIBand) {
+  PerfModel m(simt::gtx680_cuda());
+  // lrb744710 needs ~2.77e11 checks; Table II shows a kernel in the
+  // tens-of-seconds band (total marked in hours is the full 2-opt descent,
+  // not one pass).
+  double seconds = m.kernel_time_us(checks(744710)) / 1e6;
+  EXPECT_GT(seconds, 10.0);
+  EXPECT_LT(seconds, 25.0);
+}
+
+TEST(PerfModel, CopyModelMatchesTableII) {
+  PerfModel m(simt::gtx680_cuda());
+  // H2D: 50 us at berlin52 (latency dominated) ...
+  EXPECT_NEAR(m.h2d_time_us(52 * 8, 1), 50.0, 3.0);
+  // ... rising to ~2833 us at lrb744710 (5.96 MB of float2).
+  EXPECT_NEAR(m.h2d_time_us(744710ull * 8, 1), 2833.0, 300.0);
+  // D2H of the small result record: the constant 11 us column.
+  EXPECT_NEAR(m.d2h_time_us(32, 1), 11.0, 1.0);
+}
+
+TEST(PerfModel, AchievedGflopsSaturatesAtFig9Plateau) {
+  PerfModel m(simt::gtx680_cuda());
+  // The paper reports a 680 GFLOP/s peak for GTX 680 CUDA (Fig 9).
+  double plateau = m.achieved_gflops(checks(100000));
+  EXPECT_NEAR(plateau, 680.0, 40.0);
+  // Small problems achieve far less (occupancy + launch overhead).
+  EXPECT_LT(m.achieved_gflops(checks(100)), 15.0);
+  // Monotone non-decreasing in problem size.
+  double prev = 0.0;
+  for (std::int64_t n : {100, 500, 1000, 5000, 20000, 100000}) {
+    double g = m.achieved_gflops(checks(n));
+    EXPECT_GE(g, prev);
+    prev = g;
+  }
+}
+
+TEST(PerfModel, RadeonBeatsGeForceBeatsCpusAtSaturation) {
+  // Fig 9's device ordering at large n.
+  auto plateau = [](const simt::DeviceSpec& spec) {
+    return PerfModel(spec).achieved_gflops(checks(200000));
+  };
+  double r7970ghz = plateau(simt::radeon7970_ghz());
+  double r7970 = plateau(simt::radeon7970());
+  double gtx = plateau(simt::gtx680_cuda());
+  double xeon = plateau(simt::xeon_e5_2667_x2());
+  double i7 = plateau(simt::corei7_3960x());
+  EXPECT_GT(r7970ghz, r7970);
+  EXPECT_GT(r7970, gtx);
+  EXPECT_GT(gtx, xeon);
+  EXPECT_GT(xeon, i7);
+  // Radeon 7970 plateau ~830 GFLOP/s (abstract).
+  EXPECT_NEAR(r7970, 830.0, 50.0);
+}
+
+TEST(PerfModel, SpeedupVsSixCoreCpuSpansTheAbstractsBand) {
+  // "decreased approximately 5 to 45 times compared to a corresponding
+  // parallel CPU code implementation using 6 cores".
+  PerfModel cpu(simt::corei7_3960x());
+  PerfModel best_gpu(simt::radeon7970_ghz());
+  PerfModel gtx(simt::gtx680_cuda());
+
+  auto total_us = [](const PerfModel& m, std::int64_t n) {
+    double t = m.kernel_time_us(checks(n));
+    t += m.h2d_time_us(static_cast<std::uint64_t>(n) * 8, 1);
+    t += m.d2h_time_us(32, 1);
+    return t;
+  };
+
+  double max_speedup = total_us(cpu, 100000) / total_us(best_gpu, 100000);
+  EXPECT_GT(max_speedup, 38.0);
+  EXPECT_LT(max_speedup, 52.0);
+
+  double small_speedup = total_us(cpu, 300) / total_us(gtx, 300);
+  EXPECT_GT(small_speedup, 0.2);
+  EXPECT_LT(small_speedup, 6.0);  // overheads dominate small instances
+}
+
+TEST(PerfModel, CpuDevicesHaveNoTransferCost) {
+  PerfModel m(simt::xeon_e5_2667_x2());
+  EXPECT_EQ(m.h2d_time_us(1 << 20, 1), 0.0);
+  EXPECT_EQ(m.d2h_time_us(1 << 20, 1), 0.0);
+}
+
+TEST(PerfModel, PriceAggregatesAllComponents) {
+  PerfModel m(simt::gtx680_cuda());
+  simt::PerfCounters::Snapshot work{};
+  work.kernel_launches = 2;
+  work.checks = 1000000;
+  work.h2d_transfers = 1;
+  work.h2d_bytes = 8000;
+  work.d2h_transfers = 2;
+  work.d2h_bytes = 64;
+  auto t = m.price(work);
+  EXPECT_DOUBLE_EQ(t.kernel_us, m.kernel_time_us(1000000, 2));
+  EXPECT_DOUBLE_EQ(t.h2d_us, m.h2d_time_us(8000, 1));
+  EXPECT_DOUBLE_EQ(t.d2h_us, m.d2h_time_us(64, 2));
+  EXPECT_DOUBLE_EQ(t.total_us(), t.kernel_us + t.h2d_us + t.d2h_us);
+}
+
+TEST(PerfModel, ZeroWorkCostsNothing) {
+  PerfModel m(simt::gtx680_cuda());
+  EXPECT_EQ(m.kernel_time_us(0, 0), 0.0);
+  EXPECT_EQ(m.h2d_time_us(0, 0), 0.0);
+  EXPECT_EQ(m.achieved_gflops(0), 0.0);
+  EXPECT_EQ(m.checks_per_second(0), 0.0);
+}
+
+TEST(PerfModel, ChecksPerSecondApproachesPeak) {
+  PerfModel m(simt::gtx680_cuda());
+  double rate = m.checks_per_second(checks(500000));
+  EXPECT_GT(rate, 0.9 * simt::gtx680_cuda().peak_checks_per_sec);
+  EXPECT_LE(rate, simt::gtx680_cuda().peak_checks_per_sec);
+}
+
+}  // namespace
+}  // namespace tspopt

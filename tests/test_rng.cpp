@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace tspopt {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Pcg32, IsDeterministic) {
+  Pcg32 a(42), b(42);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Pcg32, StreamsAreIndependent) {
+  Pcg32 a(42, 1), b(42, 2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Pcg32, NextBelowStaysInRange) {
+  Pcg32 rng(7);
+  for (std::uint32_t bound : {1u, 2u, 3u, 10u, 1000u, 1u << 31}) {
+    for (int i = 0; i < 2000; ++i) {
+      ASSERT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Pcg32, NextBelowOneIsAlwaysZero) {
+  Pcg32 rng(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Pcg32, NextBelowIsRoughlyUniform) {
+  Pcg32 rng(11);
+  constexpr std::uint32_t kBuckets = 10;
+  constexpr int kSamples = 100000;
+  std::array<int, kBuckets> counts{};
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.next_below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_GT(c, kSamples / kBuckets * 0.9);
+    EXPECT_LT(c, kSamples / kBuckets * 1.1);
+  }
+}
+
+TEST(Pcg32, NextInCoversInclusiveRange) {
+  Pcg32 rng(13);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    std::int64_t v = rng.next_in(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Pcg32, NextDoubleInUnitInterval) {
+  Pcg32 rng(17);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    double v = rng.next_double();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Pcg32, NextFloatRespectsBounds) {
+  Pcg32 rng(19);
+  for (int i = 0; i < 10000; ++i) {
+    float v = rng.next_float(-2.5f, 7.5f);
+    ASSERT_GE(v, -2.5f);
+    ASSERT_LT(v, 7.5f);
+  }
+}
+
+TEST(Pcg32, NextU64UsesBothHalves) {
+  Pcg32 rng(23);
+  bool high_seen = false, low_seen = false;
+  for (int i = 0; i < 100; ++i) {
+    std::uint64_t v = rng.next_u64();
+    if (v >> 32) high_seen = true;
+    if (v & 0xFFFFFFFFu) low_seen = true;
+  }
+  EXPECT_TRUE(high_seen);
+  EXPECT_TRUE(low_seen);
+}
+
+}  // namespace
+}  // namespace tspopt

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "simt/shared_memory.hpp"
+#include "tsp/point.hpp"
+
+namespace tspopt {
+namespace {
+
+using simt::SharedMemory;
+
+TEST(SharedMemory, AllocatesWithinCapacity) {
+  SharedMemory shm(1024);
+  auto a = shm.alloc<std::int32_t>(100);
+  EXPECT_EQ(a.size(), 100u);
+  EXPECT_EQ(shm.used(), 400u);
+  auto b = shm.alloc<std::int32_t>(156);
+  EXPECT_EQ(b.size(), 156u);
+  EXPECT_EQ(shm.used(), 1024u);
+}
+
+TEST(SharedMemory, ThrowsWhenExhausted) {
+  SharedMemory shm(64);
+  shm.alloc<std::int64_t>(8);
+  EXPECT_THROW(shm.alloc<char>(1), CheckError);
+}
+
+TEST(SharedMemory, AllocationsAreDisjointAndWritable) {
+  SharedMemory shm(1024);
+  auto a = shm.alloc<std::int32_t>(4);
+  auto b = shm.alloc<std::int32_t>(4);
+  for (int i = 0; i < 4; ++i) {
+    a[static_cast<std::size_t>(i)] = i;
+    b[static_cast<std::size_t>(i)] = 100 + i;
+  }
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(a[static_cast<std::size_t>(i)], i);
+    EXPECT_EQ(b[static_cast<std::size_t>(i)], 100 + i);
+  }
+}
+
+TEST(SharedMemory, RespectsAlignment) {
+  SharedMemory shm(256);
+  shm.alloc<char>(3);
+  auto d = shm.alloc<double>(1);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d.data()) % alignof(double), 0u);
+}
+
+TEST(SharedMemory, ResetReleasesEverything) {
+  SharedMemory shm(128);
+  shm.alloc<std::int64_t>(16);
+  EXPECT_EQ(shm.used(), 128u);
+  shm.reset();
+  EXPECT_EQ(shm.used(), 0u);
+  EXPECT_NO_THROW(shm.alloc<std::int64_t>(16));
+}
+
+TEST(SharedMemory, PaperCoordinateCapacity) {
+  // 48 kB of float2 coordinates: the paper's 6144-city bound for the
+  // single-range kernel.
+  SharedMemory shm(48 * 1024);
+  EXPECT_NO_THROW(shm.alloc<Point>(6144));
+  EXPECT_THROW(shm.alloc<Point>(1), CheckError);
+}
+
+TEST(SharedMemory, ZeroCapacityRejectsAnyAllocation) {
+  SharedMemory shm(0);
+  EXPECT_EQ(shm.capacity(), 0u);
+  EXPECT_THROW(shm.alloc<char>(1), CheckError);
+}
+
+}  // namespace
+}  // namespace tspopt

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+#include "common/timer.hpp"
+
+namespace tspopt {
+namespace {
+
+TEST(RunningStats, EmptyState) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 4.0);
+  EXPECT_EQ(s.min(), 4.0);
+  EXPECT_EQ(s.max(), 4.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, KnownSample) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, NegativeValuesTrackMinMax) {
+  RunningStats s;
+  s.add(-5.0);
+  s.add(3.0);
+  s.add(-10.0);
+  EXPECT_EQ(s.min(), -10.0);
+  EXPECT_EQ(s.max(), 3.0);
+}
+
+TEST(RunningStats, StableForLargeOffsets) {
+  // Welford should not catastrophically cancel with a big common offset.
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) s.add(1e9 + (i % 2));
+  EXPECT_NEAR(s.variance(), 0.25, 0.01);
+}
+
+TEST(Percentile, MedianOfOddSample) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+}
+
+TEST(Percentile, MedianOfEvenSampleInterpolates) {
+  EXPECT_DOUBLE_EQ(median({1.0, 2.0, 3.0, 4.0}), 2.5);
+}
+
+TEST(Percentile, Extremes) {
+  std::vector<double> xs{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 5.0);
+}
+
+TEST(Percentile, SingleElement) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0.25), 7.0);
+}
+
+TEST(Percentile, RejectsEmptyAndBadQ) {
+  EXPECT_THROW(percentile({}, 0.5), CheckError);
+  EXPECT_THROW(percentile({1.0}, 1.5), CheckError);
+  EXPECT_THROW(percentile({1.0}, -0.1), CheckError);
+}
+
+TEST(WallTimer, MeasuresElapsedTimeMonotonically) {
+  WallTimer t;
+  double a = t.seconds();
+  double b = t.seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+  EXPECT_GE(t.nanos(), 0);
+}
+
+TEST(WallTimer, ResetRestartsTheClock) {
+  WallTimer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + static_cast<double>(i);
+  double before = t.seconds();
+  t.reset();
+  EXPECT_LE(t.seconds(), before + 1.0);
+  EXPECT_GT(static_cast<double>(sink), 0.0);
+}
+
+}  // namespace
+}  // namespace tspopt

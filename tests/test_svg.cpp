@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "tsp/catalog.hpp"
+#include "tsp/svg.hpp"
+
+namespace tspopt {
+namespace {
+
+std::string render(const Instance& inst, const Tour* tour,
+                   SvgStyle style = {}) {
+  std::ostringstream out;
+  write_svg(out, inst, tour, style);
+  return out.str();
+}
+
+TEST(Svg, WellFormedDocument) {
+  Instance inst = berlin52();
+  std::string svg = render(inst, nullptr);
+  EXPECT_EQ(svg.rfind("<svg ", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("xmlns"), std::string::npos);
+}
+
+TEST(Svg, OneCirclePerCity) {
+  Instance inst = berlin52();
+  std::string svg = render(inst, nullptr);
+  std::size_t circles = 0;
+  for (std::size_t pos = svg.find("<circle"); pos != std::string::npos;
+       pos = svg.find("<circle", pos + 1)) {
+    ++circles;
+  }
+  EXPECT_EQ(circles, 52u);
+  EXPECT_EQ(svg.find("<path"), std::string::npos);  // no tour requested
+}
+
+TEST(Svg, TourRendersAsClosedPath) {
+  Instance inst = berlin52();
+  Tour tour = Tour::identity(inst.n());
+  std::string svg = render(inst, &tour);
+  auto path_pos = svg.find("<path");
+  ASSERT_NE(path_pos, std::string::npos);
+  EXPECT_NE(svg.find('M', path_pos), std::string::npos);
+  EXPECT_NE(svg.find('Z', path_pos), std::string::npos);
+}
+
+TEST(Svg, OpenTourOmitsClosure) {
+  Instance inst = berlin52();
+  Tour tour = Tour::identity(inst.n());
+  SvgStyle style;
+  style.close_tour = false;
+  std::string svg = render(inst, &tour, style);
+  auto path_start = svg.find("d=\"");
+  auto path_end = svg.find('"', path_start + 3);
+  EXPECT_EQ(svg.substr(path_start, path_end - path_start).find('Z'),
+            std::string::npos);
+}
+
+TEST(Svg, StyleIsApplied) {
+  Instance inst = berlin52();
+  Tour tour = Tour::identity(inst.n());
+  SvgStyle style;
+  style.edge_color = "#00ff00";
+  style.point_color = "#112233";
+  style.point_radius = 5.5;
+  std::string svg = render(inst, &tour, style);
+  EXPECT_NE(svg.find("#00ff00"), std::string::npos);
+  EXPECT_NE(svg.find("#112233"), std::string::npos);
+  EXPECT_NE(svg.find("r=\"5.5\""), std::string::npos);
+}
+
+TEST(Svg, ZeroRadiusSkipsCityDots) {
+  Instance inst = berlin52();
+  Tour tour = Tour::identity(inst.n());
+  SvgStyle style;
+  style.point_radius = 0.0;
+  std::string svg = render(inst, &tour, style);
+  EXPECT_EQ(svg.find("<circle"), std::string::npos);
+  EXPECT_NE(svg.find("<path"), std::string::npos);
+}
+
+TEST(Svg, CoordinatesStayInsideViewBox) {
+  Instance inst("neg", Metric::kEuc2D, {{-50, -10}, {30, 40}, {0, 0}});
+  std::string svg = render(inst, nullptr);
+  // All emitted cx/cy must be non-negative (margin keeps them inside).
+  for (std::size_t pos = svg.find("cx=\"-"); pos != std::string::npos;
+       pos = svg.find("cx=\"-", pos + 1)) {
+    FAIL() << "negative x pixel coordinate emitted";
+  }
+  EXPECT_EQ(svg.find("cy=\"-"), std::string::npos);
+}
+
+TEST(Svg, ValidatesInputs) {
+  Instance inst = berlin52();
+  Tour wrong_size = Tour::identity(10);
+  std::ostringstream out;
+  EXPECT_THROW(write_svg(out, inst, &wrong_size), CheckError);
+  std::vector<std::int32_t> m(9, 1);
+  Instance matrix_only("m", m, 3);
+  EXPECT_THROW(write_svg(out, matrix_only, nullptr), CheckError);
+  Tour invalid({0, 0, 1});
+  EXPECT_THROW(write_svg(out, inst, &invalid), CheckError);
+}
+
+TEST(Svg, SavesToFile) {
+  Instance inst = berlin52();
+  Tour tour = Tour::identity(inst.n());
+  std::string path = ::testing::TempDir() + "/berlin52.svg";
+  save_svg(path, inst, &tour);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string first;
+  std::getline(in, first);
+  EXPECT_EQ(first.rfind("<svg", 0), 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tspopt

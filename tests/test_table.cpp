@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "benchsup/table.hpp"
+#include "benchsup/workloads.hpp"
+
+namespace tspopt {
+namespace {
+
+using benchsup::Table;
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"Name", "Value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer-name", "22"});
+  std::ostringstream os;
+  t.print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("Name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  // Four lines: header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, RejectsMismatchedRows) {
+  Table t({"A", "B"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+  EXPECT_THROW(Table empty({}), CheckError);
+}
+
+TEST(Table, CountsRows) {
+  Table t({"A"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"x"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, CsvExportIsRfc4180ish) {
+  Table t({"Name", "Value"});
+  t.add_row({"plain", "1"});
+  t.add_row({"with,comma", "2"});
+  t.add_row({"with\"quote", "3"});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(),
+            "Name,Value\n"
+            "plain,1\n"
+            "\"with,comma\",2\n"
+            "\"with\"\"quote\",3\n");
+}
+
+TEST(Table, MaybeExportCsvIsANoOpWithoutTheEnvVar) {
+  ::unsetenv("REPRO_ARTIFACTS");
+  Table t({"A"});
+  t.add_row({"x"});
+  EXPECT_EQ(benchsup::maybe_export_csv(t, "nothing"), "");
+}
+
+TEST(Table, MaybeExportCsvWritesIntoTheArtifactDir) {
+  std::string dir = ::testing::TempDir();
+  ::setenv("REPRO_ARTIFACTS", dir.c_str(), 1);
+  Table t({"A", "B"});
+  t.add_row({"1", "2"});
+  std::string path = benchsup::maybe_export_csv(t, "unit");
+  ::unsetenv("REPRO_ARTIFACTS");
+  ASSERT_FALSE(path.empty());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "A,B");
+  std::remove(path.c_str());
+}
+
+TEST(Format, MicrosecondsAdaptUnits) {
+  using benchsup::fmt_us;
+  EXPECT_EQ(fmt_us(20.0), "20.0 us");
+  EXPECT_EQ(fmt_us(81.0), "81.0 us");
+  EXPECT_EQ(fmt_us(363.0), "363 us");
+  EXPECT_EQ(fmt_us(4805.0), "4.80 ms");  // 4.805 rounds to even
+  EXPECT_EQ(fmt_us(1.4e6), "1.40 s");
+  EXPECT_EQ(fmt_us(120e6), "2.0 m");
+  EXPECT_EQ(fmt_us(7200e6), "2.0 h");
+}
+
+TEST(Format, CountsAdaptUnits) {
+  using benchsup::fmt_count;
+  EXPECT_EQ(fmt_count(950.0), "950.0");
+  EXPECT_EQ(fmt_count(1326.0), "1.3 k");
+  EXPECT_EQ(fmt_count(4.66e8, 1), "466.0 M");
+  EXPECT_EQ(fmt_count(19.4e9, 1), "19.4 G");
+}
+
+TEST(Format, Bytes) {
+  using benchsup::fmt_bytes;
+  EXPECT_EQ(fmt_bytes(512), "512 B");
+  EXPECT_EQ(fmt_bytes(40000), "39.1 kB");
+  EXPECT_EQ(fmt_bytes(79600000), "75.9 MB");
+  EXPECT_EQ(fmt_bytes(2ull << 30), "2.00 GB");
+}
+
+TEST(Format, Fixed) {
+  EXPECT_EQ(benchsup::fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(benchsup::fmt_fixed(-1.5, 0), "-2");  // round-half-even via printf
+}
+
+TEST(Workloads, DefaultCapKeepsBenchesFast) {
+  ::unsetenv("REPRO_SCALE");
+  ::unsetenv("REPRO_SIZE_CAP");
+  auto entries = benchsup::executed_entries();
+  ASSERT_FALSE(entries.empty());
+  for (const auto& e : entries) EXPECT_LE(e.n, 25000);
+  // The default cap still covers Table II through sw24978.
+  EXPECT_EQ(entries.back().name, "sw24978");
+}
+
+TEST(Workloads, SizeCapOverride) {
+  ::setenv("REPRO_SIZE_CAP", "500", 1);
+  auto entries = benchsup::executed_entries();
+  for (const auto& e : entries) EXPECT_LE(e.n, 500);
+  EXPECT_EQ(entries.back().name, "pr439");
+  ::unsetenv("REPRO_SIZE_CAP");
+}
+
+TEST(Workloads, FullScaleLiftsTheCap) {
+  ::setenv("REPRO_SCALE", "full", 1);
+  auto entries = benchsup::executed_entries();
+  EXPECT_EQ(entries.size(), paper_catalog().size());
+  ::unsetenv("REPRO_SCALE");
+}
+
+}  // namespace
+}  // namespace tspopt

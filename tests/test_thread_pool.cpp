@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+#include "parallel/thread_pool.hpp"
+
+namespace tspopt {
+namespace {
+
+TEST(ThreadPool, DefaultSizeIsHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_EQ(pool.size(),
+            std::max(1u, std::thread::hardware_concurrency()));
+}
+
+TEST(ThreadPool, ExplicitSize) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, SubmitRunsTask) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  auto f = pool.submit([&] { counter.fetch_add(1); });
+  f.get();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, ManyTasksAllRun) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 500; ++i) {
+    futures.push_back(pool.submit([&] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFutures) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, RunOnAllVisitsEveryWorkerIndex) {
+  ThreadPool pool(5);
+  std::mutex mu;
+  std::set<std::size_t> seen;
+  pool.run_on_all([&](std::size_t w) {
+    std::lock_guard<std::mutex> lock(mu);
+    seen.insert(w);
+  });
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_TRUE(seen.count(0));
+  EXPECT_TRUE(seen.count(4));
+}
+
+TEST(ThreadPool, RunOnAllPropagatesFirstException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.run_on_all([](std::size_t w) {
+    if (w == 1) throw std::runtime_error("worker 1 failed");
+  }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, RunOnAllRunsConcurrently) {
+  // All workers must be in flight at once: each waits for the others.
+  ThreadPool pool(4);
+  std::atomic<int> arrived{0};
+  pool.run_on_all([&](std::size_t) {
+    arrived.fetch_add(1);
+    // Spin until everyone arrives (bounded by the test timeout).
+    while (arrived.load() < 4) std::this_thread::yield();
+  });
+  EXPECT_EQ(arrived.load(), 4);
+}
+
+TEST(ThreadPool, SharedPoolIsASingleton) {
+  EXPECT_EQ(&ThreadPool::shared(), &ThreadPool::shared());
+  EXPECT_GE(ThreadPool::shared().size(), 1u);
+}
+
+TEST(ThreadPool, DestructionDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&] { counter.fetch_add(1); });
+    }
+  }  // destructor joins
+  EXPECT_EQ(counter.load(), 100);
+}
+
+}  // namespace
+}  // namespace tspopt

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "solver/local_search.hpp"
+#include "solver/three_opt.hpp"
+#include "solver/twoopt_sequential.hpp"
+#include "tsp/catalog.hpp"
+#include "tsp/generator.hpp"
+
+namespace tspopt {
+namespace {
+
+TEST(ThreeOpt, DeltaMatchesLengthDifferenceExhaustively) {
+  // Every (a, b, c, case) on a small instance: the algebraic delta must
+  // equal the recomputed length change after apply_three_opt.
+  Instance inst = generate_uniform("u14", 14, 1);
+  Pcg32 rng(2);
+  Tour tour = Tour::random(14, rng);
+  std::int64_t before = tour.length(inst);
+  for (std::int32_t a = 0; a + 2 <= 13; ++a) {
+    for (std::int32_t b = a + 1; b + 1 <= 13; ++b) {
+      for (std::int32_t c = b + 1; c <= 13; ++c) {
+        for (ThreeOptCase reconnection : kAllThreeOptCases) {
+          Tour moved = tour;
+          apply_three_opt(moved, a, b, c, reconnection);
+          ASSERT_TRUE(moved.is_valid());
+          ASSERT_EQ(moved.length(inst) - before,
+                    three_opt_delta(inst, tour, a, b, c, reconnection))
+              << "a=" << a << " b=" << b << " c=" << c << " case="
+              << static_cast<int>(reconnection);
+        }
+      }
+    }
+  }
+}
+
+TEST(ThreeOpt, TwoOptSubmovesMatchTwoOptDeltas) {
+  // Cases 1, 2, 7 are 2-opt moves (a,b), (b,c), (a,c) respectively.
+  Instance inst = generate_uniform("u20", 20, 3);
+  Pcg32 rng(4);
+  Tour tour = Tour::random(20, rng);
+  for (std::int32_t a = 0; a + 2 <= 19; ++a) {
+    for (std::int32_t b = a + 1; b + 1 <= 19; ++b) {
+      for (std::int32_t c = b + 1; c <= 19; ++c) {
+        auto two_opt_delta_of = [&](std::int32_t i, std::int32_t j) {
+          Tour moved = tour;
+          moved.apply_two_opt(i, j);
+          return moved.length(inst) - tour.length(inst);
+        };
+        ASSERT_EQ(three_opt_delta(inst, tour, a, b, c, ThreeOptCase::kRevS1),
+                  two_opt_delta_of(a, b));
+        ASSERT_EQ(three_opt_delta(inst, tour, a, b, c, ThreeOptCase::kRevS2),
+                  two_opt_delta_of(b, c));
+        ASSERT_EQ(
+            three_opt_delta(inst, tour, a, b, c, ThreeOptCase::kSwapRevBoth),
+            two_opt_delta_of(a, c));
+      }
+    }
+  }
+}
+
+TEST(ThreeOpt, ReferenceBestMoveIsAtLeastAsGoodAsBest2opt) {
+  Instance inst = generate_uniform("u60", 60, 5);
+  Pcg32 rng(6);
+  TwoOptSequential two_opt;
+  for (int trial = 0; trial < 5; ++trial) {
+    Tour tour = Tour::random(60, rng);
+    ThreeOptMove m3 = best_three_opt_move(inst, tour);
+    SearchResult m2 = two_opt.search(inst, tour);
+    ASSERT_LE(m3.delta, static_cast<std::int64_t>(m2.best.delta));
+  }
+}
+
+TEST(ThreeOpt, ApplyingTheReferenceBestImprovesByExactlyDelta) {
+  Instance inst = generate_clustered("c50", 50, 4, 7);
+  Pcg32 rng(8);
+  Tour tour = Tour::random(50, rng);
+  for (int step = 0; step < 10; ++step) {
+    ThreeOptMove m = best_three_opt_move(inst, tour);
+    if (!m.improves()) break;
+    std::int64_t before = tour.length(inst);
+    apply_three_opt(tour, m.a, m.b, m.c, m.reconnection);
+    ASSERT_TRUE(tour.is_valid());
+    ASSERT_EQ(tour.length(inst) - before, m.delta);
+  }
+}
+
+TEST(ThreeOpt, DescendReachesACandidateLocalMinimum) {
+  Instance inst = generate_uniform("u200", 200, 9);
+  NeighborLists nl(inst, 8);
+  Pcg32 rng(10);
+  Tour tour = Tour::random(200, rng);
+  std::int64_t before = tour.length(inst);
+  ThreeOptStats stats = three_opt_descend(inst, tour, nl);
+  EXPECT_TRUE(stats.reached_local_minimum);
+  EXPECT_TRUE(tour.is_valid());
+  EXPECT_EQ(before - tour.length(inst), stats.improvement);
+  EXPECT_GT(stats.moves_applied, 0);
+  // Re-running from the minimum finds nothing.
+  ThreeOptStats again = three_opt_descend(inst, tour, nl);
+  EXPECT_EQ(again.moves_applied, 0);
+}
+
+TEST(ThreeOpt, EscapesTwoOptLocalMinima) {
+  // The point of the §VII extension: find an instance where the full
+  // 2-opt minimum still admits a 3-opt improvement.
+  TwoOptSequential two_opt;
+  bool escaped = false;
+  for (std::uint64_t seed = 1; seed <= 8 && !escaped; ++seed) {
+    Instance inst = generate_clustered("c90", 90, 4, seed);
+    NeighborLists nl(inst, 10);
+    Pcg32 rng(seed);
+    Tour tour = Tour::random(90, rng);
+    local_search(two_opt, inst, tour);
+    std::int64_t at_2opt = tour.length(inst);
+    three_opt_descend(inst, tour, nl);
+    if (tour.length(inst) < at_2opt) escaped = true;
+  }
+  EXPECT_TRUE(escaped);
+}
+
+TEST(ThreeOpt, PureMovesAreCounted) {
+  Instance inst = generate_clustered("c150", 150, 5, 11);
+  NeighborLists nl(inst, 10);
+  Pcg32 rng(12);
+  Tour tour = Tour::random(150, rng);
+  ThreeOptStats stats = three_opt_descend(inst, tour, nl);
+  EXPECT_LE(stats.pure_three_opt_moves, stats.moves_applied);
+  EXPECT_GT(stats.moves_applied, 0);
+}
+
+TEST(ThreeOpt, MoveBudgetHonored) {
+  Instance inst = generate_uniform("u120", 120, 13);
+  NeighborLists nl(inst, 8);
+  Pcg32 rng(14);
+  Tour tour = Tour::random(120, rng);
+  ThreeOptOptions opts;
+  opts.max_moves = 3;
+  ThreeOptStats stats = three_opt_descend(inst, tour, nl, opts);
+  EXPECT_EQ(stats.moves_applied, 3);
+  EXPECT_FALSE(stats.reached_local_minimum);
+}
+
+TEST(ThreeOpt, ValidatesTriples) {
+  Instance inst = berlin52();
+  Tour tour = Tour::identity(inst.n());
+  EXPECT_THROW(three_opt_delta(inst, tour, 3, 3, 5, ThreeOptCase::kSwap),
+               CheckError);
+  EXPECT_THROW(three_opt_delta(inst, tour, 3, 5, 52, ThreeOptCase::kSwap),
+               CheckError);
+  EXPECT_THROW(apply_three_opt(tour, -1, 2, 5, ThreeOptCase::kSwap),
+               CheckError);
+}
+
+TEST(ThreeOpt, Berlin52PolishGetsCloserToOptimal) {
+  Instance inst = berlin52();
+  NeighborLists nl(inst, 12);
+  Pcg32 rng(15);
+  Tour tour = Tour::random(inst.n(), rng);
+  TwoOptSequential two_opt;
+  local_search(two_opt, inst, tour);
+  three_opt_descend(inst, tour, nl);
+  EXPECT_GE(tour.length(inst), kBerlin52Optimum);
+  EXPECT_LE(tour.length(inst), kBerlin52Optimum * 107 / 100);
+}
+
+}  // namespace
+}  // namespace tspopt

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "tsp/catalog.hpp"
+#include "tsp/tour_io.hpp"
+
+namespace tspopt {
+namespace {
+
+TEST(TourIo, WriteThenParseRoundTrips) {
+  Pcg32 rng(1);
+  for (std::int32_t n : {3, 10, 52, 500}) {
+    Tour original = Tour::random(n, rng);
+    std::ostringstream out;
+    write_tsplib_tour(out, original, "t" + std::to_string(n), 12345);
+    std::istringstream in(out.str());
+    Tour parsed = parse_tsplib_tour(in, n);
+    ASSERT_TRUE(parsed == original) << "n=" << n;
+  }
+}
+
+TEST(TourIo, ParsesCanonicalTsplibLayout) {
+  std::istringstream in(
+      "NAME : demo.opt.tour\n"
+      "COMMENT : optimal tour\n"
+      "TYPE : TOUR\n"
+      "DIMENSION : 5\n"
+      "TOUR_SECTION\n"
+      "1\n3\n5\n4\n2\n-1\nEOF\n");
+  Tour t = parse_tsplib_tour(in);
+  EXPECT_EQ(t.n(), 5);
+  EXPECT_EQ(t.city_at(0), 0);
+  EXPECT_EQ(t.city_at(1), 2);
+  EXPECT_EQ(t.city_at(4), 1);
+}
+
+TEST(TourIo, ParsesIdsOnOneLine) {
+  std::istringstream in("DIMENSION : 4\nTOUR_SECTION\n2 1 4 3 -1\nEOF\n");
+  Tour t = parse_tsplib_tour(in);
+  EXPECT_EQ(t.n(), 4);
+  EXPECT_EQ(t.city_at(0), 1);
+}
+
+TEST(TourIo, RejectsWrongType) {
+  std::istringstream in("TYPE : TSP\nTOUR_SECTION\n1 2 3 -1\n");
+  EXPECT_THROW(parse_tsplib_tour(in), CheckError);
+}
+
+TEST(TourIo, RejectsDimensionMismatch) {
+  std::istringstream in("DIMENSION : 5\nTOUR_SECTION\n1 2 3 -1\nEOF\n");
+  EXPECT_THROW(parse_tsplib_tour(in), CheckError);
+}
+
+TEST(TourIo, RejectsExpectedSizeMismatch) {
+  std::istringstream in("TOUR_SECTION\n1 2 3 -1\nEOF\n");
+  EXPECT_THROW(parse_tsplib_tour(in, 4), CheckError);
+}
+
+TEST(TourIo, RejectsNonPermutations) {
+  std::istringstream dup("TOUR_SECTION\n1 2 2 -1\nEOF\n");
+  EXPECT_THROW(parse_tsplib_tour(dup), CheckError);
+  std::istringstream zero("TOUR_SECTION\n0 1 2 -1\nEOF\n");
+  EXPECT_THROW(parse_tsplib_tour(zero), CheckError);
+  std::istringstream empty("TOUR_SECTION\n-1\nEOF\n");
+  EXPECT_THROW(parse_tsplib_tour(empty), CheckError);
+}
+
+TEST(TourIo, CommentCarriesLength) {
+  Tour t = Tour::identity(4);
+  std::ostringstream out;
+  write_tsplib_tour(out, t, "x", 777);
+  EXPECT_NE(out.str().find("COMMENT : length 777"), std::string::npos);
+  std::ostringstream no_comment;
+  write_tsplib_tour(no_comment, t, "x");
+  EXPECT_EQ(no_comment.str().find("COMMENT"), std::string::npos);
+}
+
+TEST(TourIo, FileRoundTrip) {
+  Instance inst = berlin52();
+  Pcg32 rng(2);
+  Tour t = Tour::random(inst.n(), rng);
+  std::string path = ::testing::TempDir() + "/berlin52_t.tour";
+  save_tsplib_tour(path, t, "berlin52", t.length(inst));
+  Tour back = load_tsplib_tour(path, inst.n());
+  EXPECT_TRUE(back == t);
+  EXPECT_EQ(back.length(inst), t.length(inst));
+  std::remove(path.c_str());
+  EXPECT_THROW(load_tsplib_tour("/no/such/file.tour"), CheckError);
+}
+
+}  // namespace
+}  // namespace tspopt

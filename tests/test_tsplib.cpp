@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "tsp/catalog.hpp"
+#include "tsp/generator.hpp"
+#include "tsp/tsplib.hpp"
+
+namespace tspopt {
+namespace {
+
+Instance parse(const std::string& text) {
+  std::istringstream in(text);
+  return parse_tsplib(in);
+}
+
+TEST(TsplibParser, MinimalEuc2D) {
+  Instance inst = parse(
+      "NAME : demo\n"
+      "TYPE : TSP\n"
+      "DIMENSION : 3\n"
+      "EDGE_WEIGHT_TYPE : EUC_2D\n"
+      "NODE_COORD_SECTION\n"
+      "1 0 0\n"
+      "2 3 0\n"
+      "3 0 4\n"
+      "EOF\n");
+  EXPECT_EQ(inst.name(), "demo");
+  EXPECT_EQ(inst.n(), 3);
+  EXPECT_EQ(inst.metric(), Metric::kEuc2D);
+  EXPECT_EQ(inst.dist(0, 1), 3);
+  EXPECT_EQ(inst.dist(1, 2), 5);
+}
+
+TEST(TsplibParser, HandlesKeywordsWithoutSpaces) {
+  Instance inst = parse(
+      "NAME:demo2\n"
+      "TYPE:TSP\n"
+      "DIMENSION:3\n"
+      "EDGE_WEIGHT_TYPE:CEIL_2D\n"
+      "NODE_COORD_SECTION\n"
+      "1 0 0\n2 1 1\n3 2 2\n"
+      "EOF\n");
+  EXPECT_EQ(inst.name(), "demo2");
+  EXPECT_EQ(inst.metric(), Metric::kCeil2D);
+  EXPECT_EQ(inst.dist(0, 1), 2);
+}
+
+TEST(TsplibParser, OutOfOrderNodeIndices) {
+  Instance inst = parse(
+      "DIMENSION : 3\nEDGE_WEIGHT_TYPE : EUC_2D\nNODE_COORD_SECTION\n"
+      "3 0 4\n1 0 0\n2 3 0\nEOF\n");
+  EXPECT_EQ(inst.point(0).x, 0.0f);
+  EXPECT_EQ(inst.point(2).y, 4.0f);
+}
+
+TEST(TsplibParser, CommentsAndBlankLinesIgnored) {
+  Instance inst = parse(
+      "NAME : c\nCOMMENT : a comment : with colons\n\n"
+      "TYPE : TSP\nDIMENSION : 3\nEDGE_WEIGHT_TYPE : EUC_2D\n\n"
+      "NODE_COORD_SECTION\n1 0 0\n2 1 0\n3 0 1\nEOF\n");
+  EXPECT_EQ(inst.n(), 3);
+}
+
+TEST(TsplibParser, ScientificAndDecimalCoordinates) {
+  Instance inst = parse(
+      "DIMENSION : 3\nEDGE_WEIGHT_TYPE : EUC_2D\nNODE_COORD_SECTION\n"
+      "1 1.5e2 0.0\n2 -2.25 10\n3 3 4.5\nEOF\n");
+  EXPECT_FLOAT_EQ(inst.point(0).x, 150.0f);
+  EXPECT_FLOAT_EQ(inst.point(1).x, -2.25f);
+}
+
+TEST(TsplibParser, ExplicitFullMatrix) {
+  Instance inst = parse(
+      "DIMENSION : 3\nEDGE_WEIGHT_TYPE : EXPLICIT\n"
+      "EDGE_WEIGHT_FORMAT : FULL_MATRIX\nEDGE_WEIGHT_SECTION\n"
+      "0 1 2\n1 0 3\n2 3 0\nEOF\n");
+  EXPECT_EQ(inst.metric(), Metric::kExplicit);
+  EXPECT_EQ(inst.dist(0, 2), 2);
+  EXPECT_EQ(inst.dist(1, 2), 3);
+}
+
+TEST(TsplibParser, ExplicitUpperRow) {
+  Instance inst = parse(
+      "DIMENSION : 4\nEDGE_WEIGHT_TYPE : EXPLICIT\n"
+      "EDGE_WEIGHT_FORMAT : UPPER_ROW\nEDGE_WEIGHT_SECTION\n"
+      "1 2 3\n4 5\n6\nEOF\n");
+  EXPECT_EQ(inst.dist(0, 1), 1);
+  EXPECT_EQ(inst.dist(0, 3), 3);
+  EXPECT_EQ(inst.dist(1, 2), 4);
+  EXPECT_EQ(inst.dist(2, 3), 6);
+  EXPECT_EQ(inst.dist(3, 2), 6);  // symmetric expansion
+  EXPECT_EQ(inst.dist(2, 2), 0);
+}
+
+TEST(TsplibParser, ExplicitLowerDiagRow) {
+  Instance inst = parse(
+      "DIMENSION : 3\nEDGE_WEIGHT_TYPE : EXPLICIT\n"
+      "EDGE_WEIGHT_FORMAT : LOWER_DIAG_ROW\nEDGE_WEIGHT_SECTION\n"
+      "0\n7 0\n8 9 0\nEOF\n");
+  EXPECT_EQ(inst.dist(1, 0), 7);
+  EXPECT_EQ(inst.dist(0, 2), 8);
+  EXPECT_EQ(inst.dist(2, 1), 9);
+}
+
+TEST(TsplibParser, ExplicitUpperDiagRow) {
+  Instance inst = parse(
+      "DIMENSION : 3\nEDGE_WEIGHT_TYPE : EXPLICIT\n"
+      "EDGE_WEIGHT_FORMAT : UPPER_DIAG_ROW\nEDGE_WEIGHT_SECTION\n"
+      "0 5 6\n0 7\n0\nEOF\n");
+  EXPECT_EQ(inst.dist(0, 1), 5);
+  EXPECT_EQ(inst.dist(0, 2), 6);
+  EXPECT_EQ(inst.dist(1, 2), 7);
+}
+
+TEST(TsplibParser, ExplicitLowerRow) {
+  Instance inst = parse(
+      "DIMENSION : 3\nEDGE_WEIGHT_TYPE : EXPLICIT\n"
+      "EDGE_WEIGHT_FORMAT : LOWER_ROW\nEDGE_WEIGHT_SECTION\n"
+      "4\n5 6\nEOF\n");
+  EXPECT_EQ(inst.dist(1, 0), 4);
+  EXPECT_EQ(inst.dist(2, 0), 5);
+  EXPECT_EQ(inst.dist(2, 1), 6);
+}
+
+TEST(TsplibParser, RejectsAsymmetricType) {
+  EXPECT_THROW(parse("TYPE : ATSP\nDIMENSION : 3\n"), CheckError);
+}
+
+TEST(TsplibParser, RejectsTruncatedCoordinates) {
+  EXPECT_THROW(parse("DIMENSION : 3\nEDGE_WEIGHT_TYPE : EUC_2D\n"
+                     "NODE_COORD_SECTION\n1 0 0\n2 1 1\nEOF\n"),
+               CheckError);
+}
+
+TEST(TsplibParser, RejectsTruncatedMatrix) {
+  EXPECT_THROW(parse("DIMENSION : 3\nEDGE_WEIGHT_TYPE : EXPLICIT\n"
+                     "EDGE_WEIGHT_FORMAT : FULL_MATRIX\n"
+                     "EDGE_WEIGHT_SECTION\n0 1 2 1 0\nEOF\n"),
+               CheckError);
+}
+
+TEST(TsplibParser, RejectsMissingDimension) {
+  EXPECT_THROW(parse("EDGE_WEIGHT_TYPE : EUC_2D\nNODE_COORD_SECTION\n"),
+               CheckError);
+}
+
+TEST(TsplibParser, RejectsOutOfRangeNodeIndex) {
+  EXPECT_THROW(parse("DIMENSION : 3\nEDGE_WEIGHT_TYPE : EUC_2D\n"
+                     "NODE_COORD_SECTION\n1 0 0\n2 1 1\n7 2 2\nEOF\n"),
+               CheckError);
+}
+
+TEST(TsplibParser, RejectsUnsupportedSections) {
+  EXPECT_THROW(parse("DIMENSION : 3\nTOUR_SECTION\n"), CheckError);
+}
+
+TEST(TsplibWriter, RoundTripsThroughParser) {
+  Instance original = generate_uniform("round", 40, 77);
+  std::ostringstream out;
+  write_tsplib(out, original);
+  std::istringstream in(out.str());
+  Instance reparsed = parse_tsplib(in);
+  ASSERT_EQ(reparsed.n(), original.n());
+  EXPECT_EQ(reparsed.name(), "round");
+  EXPECT_EQ(reparsed.metric(), Metric::kEuc2D);
+  for (std::int32_t a = 0; a < original.n(); ++a) {
+    for (std::int32_t b = a + 1; b < original.n(); ++b) {
+      ASSERT_EQ(reparsed.dist(a, b), original.dist(a, b));
+    }
+  }
+}
+
+TEST(TsplibWriter, RefusesExplicitInstances) {
+  std::vector<std::int32_t> m(9, 1);
+  Instance inst("x", m, 3);
+  std::ostringstream out;
+  EXPECT_THROW(write_tsplib(out, inst), CheckError);
+}
+
+TEST(TsplibFiles, SaveAndLoad) {
+  Instance original = berlin52();
+  std::string path = ::testing::TempDir() + "/berlin52_test.tsp";
+  save_tsplib(path, original);
+  Instance loaded = load_tsplib(path);
+  EXPECT_EQ(loaded.n(), 52);
+  EXPECT_EQ(loaded.dist(0, 1), original.dist(0, 1));
+  std::remove(path.c_str());
+}
+
+TEST(TsplibFiles, LoadMissingFileThrows) {
+  EXPECT_THROW(load_tsplib("/nonexistent/nope.tsp"), CheckError);
+}
+
+}  // namespace
+}  // namespace tspopt

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "solver/local_search.hpp"
+#include "solver/twoopt_generic.hpp"
+#include "solver/twoopt_sequential.hpp"
+#include "tsp/catalog.hpp"
+#include "tsp/generator.hpp"
+
+namespace tspopt {
+namespace {
+
+TEST(Generic, BitEquivalentToCoordinateEngineOnEuc2D) {
+  Pcg32 rng(1);
+  for (std::int32_t n : {5, 50, 300}) {
+    Instance inst = generate_uniform("u", n, static_cast<std::uint64_t>(n));
+    TwoOptGeneric generic;
+    TwoOptSequential reference;
+    for (int trial = 0; trial < 5; ++trial) {
+      Tour tour = Tour::random(n, rng);
+      SearchResult g = generic.search(inst, tour);
+      SearchResult r = reference.search(inst, tour);
+      ASSERT_EQ(g.best.delta, r.best.delta);
+      ASSERT_EQ(g.best.index, r.best.index);
+      ASSERT_EQ(g.checks, r.checks);
+    }
+  }
+}
+
+TEST(Generic, DeltaMatchesLengthDifferenceOnGeoInstances) {
+  // GEO metric: the coordinate kernels don't apply, the generic engine
+  // must still return a move whose delta equals the real length change.
+  std::vector<Point> pts;
+  Pcg32 rng(2);
+  for (int i = 0; i < 40; ++i) {
+    pts.push_back({rng.next_float(-40.0f, 60.0f), rng.next_float(-30.0f, 30.0f)});
+  }
+  Instance inst("geo40", Metric::kGeo, std::move(pts));
+  TwoOptGeneric engine;
+  for (int trial = 0; trial < 10; ++trial) {
+    Tour tour = Tour::random(40, rng);
+    SearchResult r = engine.search(inst, tour);
+    if (!r.best.improves()) continue;
+    std::int64_t before = tour.length(inst);
+    tour.apply_two_opt(r.best.i, r.best.j);
+    ASSERT_EQ(tour.length(inst) - before, r.best.delta);
+  }
+}
+
+TEST(Generic, SolvesExplicitMatrixInstances) {
+  // A 5-city EXPLICIT instance with a known unique optimum: cities on a
+  // line, distance = |i-j| (optimal tour 0-1-2-3-4, length 8).
+  std::vector<std::int32_t> m(25);
+  for (std::int32_t a = 0; a < 5; ++a) {
+    for (std::int32_t b = 0; b < 5; ++b) {
+      m[static_cast<std::size_t>(a * 5 + b)] = std::abs(a - b);
+    }
+  }
+  Instance inst("line5", m, 5);
+  Tour tour({0, 2, 4, 1, 3});  // scrambled
+  TwoOptGeneric engine;
+  LocalSearchStats stats = local_search(engine, inst, tour);
+  EXPECT_TRUE(stats.reached_local_minimum);
+  EXPECT_EQ(tour.length(inst), 8);
+}
+
+TEST(Generic, AttMetricDescends) {
+  std::vector<Point> pts;
+  Pcg32 rng(3);
+  for (int i = 0; i < 60; ++i) {
+    pts.push_back({rng.next_float(0, 1000), rng.next_float(0, 1000)});
+  }
+  Instance inst("att60", Metric::kAtt, std::move(pts));
+  Tour tour = Tour::random(60, rng);
+  std::int64_t before = tour.length(inst);
+  TwoOptGeneric engine;
+  LocalSearchStats stats = local_search(engine, inst, tour);
+  EXPECT_TRUE(stats.reached_local_minimum);
+  EXPECT_LT(tour.length(inst), before);
+  EXPECT_EQ(before - tour.length(inst), stats.improvement);
+}
+
+TEST(Generic, RejectsMismatchedTour) {
+  Instance inst = berlin52();
+  TwoOptGeneric engine;
+  Tour tour = Tour::identity(10);
+  EXPECT_THROW(engine.search(inst, tour), CheckError);
+}
+
+}  // namespace
+}  // namespace tspopt

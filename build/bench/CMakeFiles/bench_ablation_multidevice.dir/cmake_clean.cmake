@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multidevice.dir/bench_ablation_multidevice.cpp.o"
+  "CMakeFiles/bench_ablation_multidevice.dir/bench_ablation_multidevice.cpp.o.d"
+  "bench_ablation_multidevice"
+  "bench_ablation_multidevice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multidevice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

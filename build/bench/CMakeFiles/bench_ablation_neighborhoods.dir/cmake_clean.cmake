@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_neighborhoods.dir/bench_ablation_neighborhoods.cpp.o"
+  "CMakeFiles/bench_ablation_neighborhoods.dir/bench_ablation_neighborhoods.cpp.o.d"
+  "bench_ablation_neighborhoods"
+  "bench_ablation_neighborhoods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_neighborhoods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

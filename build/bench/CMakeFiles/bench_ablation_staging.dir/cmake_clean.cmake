@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_staging.dir/bench_ablation_staging.cpp.o"
+  "CMakeFiles/bench_ablation_staging.dir/bench_ablation_staging.cpp.o.d"
+  "bench_ablation_staging"
+  "bench_ablation_staging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_staging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

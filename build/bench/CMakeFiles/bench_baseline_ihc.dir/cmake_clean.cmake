@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_ihc.dir/bench_baseline_ihc.cpp.o"
+  "CMakeFiles/bench_baseline_ihc.dir/bench_baseline_ihc.cpp.o.d"
+  "bench_baseline_ihc"
+  "bench_baseline_ihc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_ihc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ils_solver.dir/ils_solver.cpp.o"
+  "CMakeFiles/ils_solver.dir/ils_solver.cpp.o.d"
+  "ils_solver"
+  "ils_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ils_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

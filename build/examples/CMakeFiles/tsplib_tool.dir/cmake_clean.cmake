@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsplib_tool.dir/tsplib_tool.cpp.o"
+  "CMakeFiles/tsplib_tool.dir/tsplib_tool.cpp.o.d"
+  "tsplib_tool"
+  "tsplib_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsplib_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

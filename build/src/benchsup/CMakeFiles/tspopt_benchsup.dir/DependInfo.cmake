@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchsup/table.cpp" "src/benchsup/CMakeFiles/tspopt_benchsup.dir/table.cpp.o" "gcc" "src/benchsup/CMakeFiles/tspopt_benchsup.dir/table.cpp.o.d"
+  "/root/repo/src/benchsup/workloads.cpp" "src/benchsup/CMakeFiles/tspopt_benchsup.dir/workloads.cpp.o" "gcc" "src/benchsup/CMakeFiles/tspopt_benchsup.dir/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tsp/CMakeFiles/tspopt_tsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

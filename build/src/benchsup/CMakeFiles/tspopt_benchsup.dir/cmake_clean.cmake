@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tspopt_benchsup.dir/table.cpp.o"
+  "CMakeFiles/tspopt_benchsup.dir/table.cpp.o.d"
+  "CMakeFiles/tspopt_benchsup.dir/workloads.cpp.o"
+  "CMakeFiles/tspopt_benchsup.dir/workloads.cpp.o.d"
+  "libtspopt_benchsup.a"
+  "libtspopt_benchsup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tspopt_benchsup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tspopt_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/tspopt_parallel.dir/thread_pool.cpp.o.d"
+  "libtspopt_parallel.a"
+  "libtspopt_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tspopt_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

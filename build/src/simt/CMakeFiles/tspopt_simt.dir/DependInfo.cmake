@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simt/device_spec.cpp" "src/simt/CMakeFiles/tspopt_simt.dir/device_spec.cpp.o" "gcc" "src/simt/CMakeFiles/tspopt_simt.dir/device_spec.cpp.o.d"
+  "/root/repo/src/simt/perf_model.cpp" "src/simt/CMakeFiles/tspopt_simt.dir/perf_model.cpp.o" "gcc" "src/simt/CMakeFiles/tspopt_simt.dir/perf_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parallel/CMakeFiles/tspopt_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tspopt_simt.dir/device_spec.cpp.o"
+  "CMakeFiles/tspopt_simt.dir/device_spec.cpp.o.d"
+  "CMakeFiles/tspopt_simt.dir/perf_model.cpp.o"
+  "CMakeFiles/tspopt_simt.dir/perf_model.cpp.o.d"
+  "libtspopt_simt.a"
+  "libtspopt_simt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tspopt_simt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/constructive.cpp" "src/solver/CMakeFiles/tspopt_solver.dir/constructive.cpp.o" "gcc" "src/solver/CMakeFiles/tspopt_solver.dir/constructive.cpp.o.d"
+  "/root/repo/src/solver/engine_factory.cpp" "src/solver/CMakeFiles/tspopt_solver.dir/engine_factory.cpp.o" "gcc" "src/solver/CMakeFiles/tspopt_solver.dir/engine_factory.cpp.o.d"
+  "/root/repo/src/solver/first_improvement.cpp" "src/solver/CMakeFiles/tspopt_solver.dir/first_improvement.cpp.o" "gcc" "src/solver/CMakeFiles/tspopt_solver.dir/first_improvement.cpp.o.d"
+  "/root/repo/src/solver/ihc.cpp" "src/solver/CMakeFiles/tspopt_solver.dir/ihc.cpp.o" "gcc" "src/solver/CMakeFiles/tspopt_solver.dir/ihc.cpp.o.d"
+  "/root/repo/src/solver/ils.cpp" "src/solver/CMakeFiles/tspopt_solver.dir/ils.cpp.o" "gcc" "src/solver/CMakeFiles/tspopt_solver.dir/ils.cpp.o.d"
+  "/root/repo/src/solver/local_search.cpp" "src/solver/CMakeFiles/tspopt_solver.dir/local_search.cpp.o" "gcc" "src/solver/CMakeFiles/tspopt_solver.dir/local_search.cpp.o.d"
+  "/root/repo/src/solver/or_opt.cpp" "src/solver/CMakeFiles/tspopt_solver.dir/or_opt.cpp.o" "gcc" "src/solver/CMakeFiles/tspopt_solver.dir/or_opt.cpp.o.d"
+  "/root/repo/src/solver/three_opt.cpp" "src/solver/CMakeFiles/tspopt_solver.dir/three_opt.cpp.o" "gcc" "src/solver/CMakeFiles/tspopt_solver.dir/three_opt.cpp.o.d"
+  "/root/repo/src/solver/twoopt_generic.cpp" "src/solver/CMakeFiles/tspopt_solver.dir/twoopt_generic.cpp.o" "gcc" "src/solver/CMakeFiles/tspopt_solver.dir/twoopt_generic.cpp.o.d"
+  "/root/repo/src/solver/twoopt_gpu.cpp" "src/solver/CMakeFiles/tspopt_solver.dir/twoopt_gpu.cpp.o" "gcc" "src/solver/CMakeFiles/tspopt_solver.dir/twoopt_gpu.cpp.o.d"
+  "/root/repo/src/solver/twoopt_lut.cpp" "src/solver/CMakeFiles/tspopt_solver.dir/twoopt_lut.cpp.o" "gcc" "src/solver/CMakeFiles/tspopt_solver.dir/twoopt_lut.cpp.o.d"
+  "/root/repo/src/solver/twoopt_multi.cpp" "src/solver/CMakeFiles/tspopt_solver.dir/twoopt_multi.cpp.o" "gcc" "src/solver/CMakeFiles/tspopt_solver.dir/twoopt_multi.cpp.o.d"
+  "/root/repo/src/solver/twoopt_parallel.cpp" "src/solver/CMakeFiles/tspopt_solver.dir/twoopt_parallel.cpp.o" "gcc" "src/solver/CMakeFiles/tspopt_solver.dir/twoopt_parallel.cpp.o.d"
+  "/root/repo/src/solver/twoopt_pruned.cpp" "src/solver/CMakeFiles/tspopt_solver.dir/twoopt_pruned.cpp.o" "gcc" "src/solver/CMakeFiles/tspopt_solver.dir/twoopt_pruned.cpp.o.d"
+  "/root/repo/src/solver/twoopt_sequential.cpp" "src/solver/CMakeFiles/tspopt_solver.dir/twoopt_sequential.cpp.o" "gcc" "src/solver/CMakeFiles/tspopt_solver.dir/twoopt_sequential.cpp.o.d"
+  "/root/repo/src/solver/twoopt_tiled.cpp" "src/solver/CMakeFiles/tspopt_solver.dir/twoopt_tiled.cpp.o" "gcc" "src/solver/CMakeFiles/tspopt_solver.dir/twoopt_tiled.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tsp/CMakeFiles/tspopt_tsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/tspopt_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/tspopt_simt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tsp/catalog.cpp" "src/tsp/CMakeFiles/tspopt_tsp.dir/catalog.cpp.o" "gcc" "src/tsp/CMakeFiles/tspopt_tsp.dir/catalog.cpp.o.d"
+  "/root/repo/src/tsp/distance_matrix.cpp" "src/tsp/CMakeFiles/tspopt_tsp.dir/distance_matrix.cpp.o" "gcc" "src/tsp/CMakeFiles/tspopt_tsp.dir/distance_matrix.cpp.o.d"
+  "/root/repo/src/tsp/generator.cpp" "src/tsp/CMakeFiles/tspopt_tsp.dir/generator.cpp.o" "gcc" "src/tsp/CMakeFiles/tspopt_tsp.dir/generator.cpp.o.d"
+  "/root/repo/src/tsp/instance.cpp" "src/tsp/CMakeFiles/tspopt_tsp.dir/instance.cpp.o" "gcc" "src/tsp/CMakeFiles/tspopt_tsp.dir/instance.cpp.o.d"
+  "/root/repo/src/tsp/metric.cpp" "src/tsp/CMakeFiles/tspopt_tsp.dir/metric.cpp.o" "gcc" "src/tsp/CMakeFiles/tspopt_tsp.dir/metric.cpp.o.d"
+  "/root/repo/src/tsp/neighbor_lists.cpp" "src/tsp/CMakeFiles/tspopt_tsp.dir/neighbor_lists.cpp.o" "gcc" "src/tsp/CMakeFiles/tspopt_tsp.dir/neighbor_lists.cpp.o.d"
+  "/root/repo/src/tsp/svg.cpp" "src/tsp/CMakeFiles/tspopt_tsp.dir/svg.cpp.o" "gcc" "src/tsp/CMakeFiles/tspopt_tsp.dir/svg.cpp.o.d"
+  "/root/repo/src/tsp/tour.cpp" "src/tsp/CMakeFiles/tspopt_tsp.dir/tour.cpp.o" "gcc" "src/tsp/CMakeFiles/tspopt_tsp.dir/tour.cpp.o.d"
+  "/root/repo/src/tsp/tour_io.cpp" "src/tsp/CMakeFiles/tspopt_tsp.dir/tour_io.cpp.o" "gcc" "src/tsp/CMakeFiles/tspopt_tsp.dir/tour_io.cpp.o.d"
+  "/root/repo/src/tsp/tsplib.cpp" "src/tsp/CMakeFiles/tspopt_tsp.dir/tsplib.cpp.o" "gcc" "src/tsp/CMakeFiles/tspopt_tsp.dir/tsplib.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tspopt_tsp.dir/catalog.cpp.o"
+  "CMakeFiles/tspopt_tsp.dir/catalog.cpp.o.d"
+  "CMakeFiles/tspopt_tsp.dir/distance_matrix.cpp.o"
+  "CMakeFiles/tspopt_tsp.dir/distance_matrix.cpp.o.d"
+  "CMakeFiles/tspopt_tsp.dir/generator.cpp.o"
+  "CMakeFiles/tspopt_tsp.dir/generator.cpp.o.d"
+  "CMakeFiles/tspopt_tsp.dir/instance.cpp.o"
+  "CMakeFiles/tspopt_tsp.dir/instance.cpp.o.d"
+  "CMakeFiles/tspopt_tsp.dir/metric.cpp.o"
+  "CMakeFiles/tspopt_tsp.dir/metric.cpp.o.d"
+  "CMakeFiles/tspopt_tsp.dir/neighbor_lists.cpp.o"
+  "CMakeFiles/tspopt_tsp.dir/neighbor_lists.cpp.o.d"
+  "CMakeFiles/tspopt_tsp.dir/svg.cpp.o"
+  "CMakeFiles/tspopt_tsp.dir/svg.cpp.o.d"
+  "CMakeFiles/tspopt_tsp.dir/tour.cpp.o"
+  "CMakeFiles/tspopt_tsp.dir/tour.cpp.o.d"
+  "CMakeFiles/tspopt_tsp.dir/tour_io.cpp.o"
+  "CMakeFiles/tspopt_tsp.dir/tour_io.cpp.o.d"
+  "CMakeFiles/tspopt_tsp.dir/tsplib.cpp.o"
+  "CMakeFiles/tspopt_tsp.dir/tsplib.cpp.o.d"
+  "libtspopt_tsp.a"
+  "libtspopt_tsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tspopt_tsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_constructive.dir/test_constructive.cpp.o"
+  "CMakeFiles/test_constructive.dir/test_constructive.cpp.o.d"
+  "test_constructive"
+  "test_constructive.pdb"
+  "test_constructive[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_constructive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_distance_matrix.dir/test_distance_matrix.cpp.o"
+  "CMakeFiles/test_distance_matrix.dir/test_distance_matrix.cpp.o.d"
+  "test_distance_matrix"
+  "test_distance_matrix.pdb"
+  "test_distance_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_distance_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_factory.dir/test_engine_factory.cpp.o"
+  "CMakeFiles/test_engine_factory.dir/test_engine_factory.cpp.o.d"
+  "test_engine_factory"
+  "test_engine_factory.pdb"
+  "test_engine_factory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_factory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_first_improvement.dir/test_first_improvement.cpp.o"
+  "CMakeFiles/test_first_improvement.dir/test_first_improvement.cpp.o.d"
+  "test_first_improvement"
+  "test_first_improvement.pdb"
+  "test_first_improvement[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_first_improvement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

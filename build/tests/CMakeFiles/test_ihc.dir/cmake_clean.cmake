@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ihc.dir/test_ihc.cpp.o"
+  "CMakeFiles/test_ihc.dir/test_ihc.cpp.o.d"
+  "test_ihc"
+  "test_ihc.pdb"
+  "test_ihc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ihc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

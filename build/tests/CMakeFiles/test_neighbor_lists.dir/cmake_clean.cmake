@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_neighbor_lists.dir/test_neighbor_lists.cpp.o"
+  "CMakeFiles/test_neighbor_lists.dir/test_neighbor_lists.cpp.o.d"
+  "test_neighbor_lists"
+  "test_neighbor_lists.pdb"
+  "test_neighbor_lists[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_neighbor_lists.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

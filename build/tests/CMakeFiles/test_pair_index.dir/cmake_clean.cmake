@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pair_index.dir/test_pair_index.cpp.o"
+  "CMakeFiles/test_pair_index.dir/test_pair_index.cpp.o.d"
+  "test_pair_index"
+  "test_pair_index.pdb"
+  "test_pair_index[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pair_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pruned.dir/test_pruned.cpp.o"
+  "CMakeFiles/test_pruned.dir/test_pruned.cpp.o.d"
+  "test_pruned"
+  "test_pruned.pdb"
+  "test_pruned[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pruned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

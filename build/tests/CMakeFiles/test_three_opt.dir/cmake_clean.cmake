@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_three_opt.dir/test_three_opt.cpp.o"
+  "CMakeFiles/test_three_opt.dir/test_three_opt.cpp.o.d"
+  "test_three_opt"
+  "test_three_opt.pdb"
+  "test_three_opt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_three_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

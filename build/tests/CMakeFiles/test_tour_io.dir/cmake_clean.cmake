@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tour_io.dir/test_tour_io.cpp.o"
+  "CMakeFiles/test_tour_io.dir/test_tour_io.cpp.o.d"
+  "test_tour_io"
+  "test_tour_io.pdb"
+  "test_tour_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tour_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

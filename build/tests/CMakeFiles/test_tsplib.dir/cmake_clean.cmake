@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tsplib.dir/test_tsplib.cpp.o"
+  "CMakeFiles/test_tsplib.dir/test_tsplib.cpp.o.d"
+  "test_tsplib"
+  "test_tsplib.pdb"
+  "test_tsplib[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tsplib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_twoopt_generic.dir/test_twoopt_generic.cpp.o"
+  "CMakeFiles/test_twoopt_generic.dir/test_twoopt_generic.cpp.o.d"
+  "test_twoopt_generic"
+  "test_twoopt_generic.pdb"
+  "test_twoopt_generic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_twoopt_generic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

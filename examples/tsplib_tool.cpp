@@ -52,7 +52,12 @@ int main(int argc, char** argv) {
     std::ifstream probe(target);
     if (probe.good()) {
       std::cout << "parsing TSPLIB file: " << target << "\n";
-      return load_tsplib(target);
+      try {
+        return load_tsplib(target);
+      } catch (const CheckError& e) {
+        std::cerr << "parse error in " << target << ": " << e.what() << "\n";
+        std::exit(2);
+      }
     }
     auto entry = find_catalog_entry(target);
     if (!entry) {

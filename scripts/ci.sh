@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Continuous-integration driver.
+#
+# Pass 1: Release build + full tier-1 test suite.
+# Pass 2: AddressSanitizer build of the fault-injection and checkpoint
+#         suites — the code paths that juggle threads, retries, partial
+#         results, and binary (de)serialization, where memory bugs hide.
+#
+# Usage: scripts/ci.sh [build-dir-prefix]   (default: build-ci)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+PREFIX="${1:-build-ci}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== Pass 1: Release build + full test suite =="
+cmake -B "${PREFIX}-release" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "${PREFIX}-release" -j "${JOBS}"
+ctest --test-dir "${PREFIX}-release" --output-on-failure -j "${JOBS}"
+
+echo
+echo "== Pass 2: AddressSanitizer build + fault/checkpoint/fuzz suites =="
+cmake -B "${PREFIX}-asan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DTSPOPT_SANITIZE=address >/dev/null
+cmake --build "${PREFIX}-asan" -j "${JOBS}" \
+      --target test_fault test_checkpoint test_fuzz
+ctest --test-dir "${PREFIX}-asan" --output-on-failure -j "${JOBS}" \
+      -R 'Fault|Checkpoint|Fuzz'
+
+echo
+echo "CI passed."

@@ -92,6 +92,19 @@ class Pcg32 {
     return lo + static_cast<float>(next_double()) * (hi - lo);
   }
 
+  // The complete generator state, for checkpoint/resume: a generator
+  // restored from a saved State continues the exact output stream.
+  struct State {
+    std::uint64_t state = 0;
+    std::uint64_t inc = 0;
+  };
+
+  State save() const { return {state_, inc_}; }
+  void restore(const State& s) {
+    state_ = s.state;
+    inc_ = s.inc;
+  }
+
  private:
   std::uint64_t state_;
   std::uint64_t inc_;

@@ -6,6 +6,7 @@
 // (Table II's "Host to device copy" and "Device to host copy" columns).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <span>
@@ -43,6 +44,17 @@ class Buffer {
     auto& c = device_->counters();
     c.d2h_transfers.fetch_add(1, std::memory_order_relaxed);
     c.d2h_bytes.fetch_add(dst.size_bytes(), std::memory_order_relaxed);
+    if (device_->take_readback_corruption()) {
+      // An armed corruption fault mangles the leading bytes of the
+      // readback: the first word's sign bit is set and the following two
+      // words are zeroed — a deterministic stand-in for a botched
+      // reduction writeback. The host cannot tell this apart from real
+      // data; only semantic validation (solver `validate` mode) can.
+      auto* bytes = reinterpret_cast<unsigned char*>(dst.data());
+      std::size_t n = std::min<std::size_t>(dst.size_bytes(), 16);
+      for (std::size_t k = 0; k < n; ++k) bytes[k] = (k == 3) ? 0x80 : 0x00;
+      c.corrupted_results.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 
   // Device-side views, for kernels only (by convention — the simulator

@@ -21,6 +21,13 @@ struct PerfCounters {
   std::atomic<std::uint64_t> shared_bytes_allocated{0};  // peak per launch sum
   std::atomic<std::uint64_t> global_reads{0};      // device-memory loads
 
+  // Device health (fault injection / fault tolerance). kernel_launches
+  // counts completed launches only; the failure counters record what the
+  // injector (or a real flaky device) did instead.
+  std::atomic<std::uint64_t> launch_failures{0};   // rejected launches
+  std::atomic<std::uint64_t> hangs{0};             // watchdog-killed launches
+  std::atomic<std::uint64_t> corrupted_results{0}; // mangled D2H readbacks
+
   void reset() {
     kernel_launches = 0;
     checks = 0;
@@ -30,6 +37,13 @@ struct PerfCounters {
     d2h_bytes = 0;
     shared_bytes_allocated = 0;
     global_reads = 0;
+    launch_failures = 0;
+    hangs = 0;
+    corrupted_results = 0;
+  }
+
+  std::uint64_t faults() const {
+    return launch_failures.load() + hangs.load() + corrupted_results.load();
   }
 
   // Snapshot for arithmetic without atomics.
@@ -42,13 +56,17 @@ struct PerfCounters {
     std::uint64_t d2h_bytes;
     std::uint64_t shared_bytes_allocated;
     std::uint64_t global_reads;
+    std::uint64_t launch_failures;
+    std::uint64_t hangs;
+    std::uint64_t corrupted_results;
   };
 
   Snapshot snapshot() const {
     return {kernel_launches.load(), checks.load(),
             h2d_transfers.load(),   h2d_bytes.load(),
             d2h_transfers.load(),   d2h_bytes.load(),
-            shared_bytes_allocated.load(), global_reads.load()};
+            shared_bytes_allocated.load(), global_reads.load(),
+            launch_failures.load(), hangs.load(), corrupted_results.load()};
   }
 };
 

@@ -8,12 +8,15 @@
 // the ordering the paper's kernels rely on.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "common/check.hpp"
 #include "parallel/thread_pool.hpp"
 #include "simt/counters.hpp"
 #include "simt/device_spec.hpp"
+#include "simt/fault.hpp"
 #include "simt/shared_memory.hpp"
 #include "simt/types.hpp"
 
@@ -56,13 +59,41 @@ concept BlockKernel = requires(const K k, BlockCtx& ctx, std::uint32_t tid) {
 class Device {
  public:
   explicit Device(DeviceSpec spec, ThreadPool* pool = nullptr)
-      : spec_(std::move(spec)),
+      : spec_(std::move(spec)), label_(spec_.name),
         pool_(pool != nullptr ? pool : &ThreadPool::shared()) {}
 
   const DeviceSpec& spec() const { return spec_; }
   PerfCounters& counters() { return counters_; }
   const PerfCounters& counters() const { return counters_; }
   ThreadPool& pool() { return *pool_; }
+
+  // A host-assigned identity for this device instance. Defaults to the
+  // spec name; set a unique label when several identical cards are present
+  // so fault plans and health reports can tell them apart.
+  const std::string& label() const { return label_; }
+  void set_label(std::string label) { label_ = std::move(label); }
+
+  // Fault injection (nullptr = healthy device). The injector is borrowed
+  // and may be shared between devices; it is consulted at every launch.
+  void set_fault_injector(const FaultInjector* injector) {
+    injector_ = injector;
+  }
+  const FaultInjector* fault_injector() const { return injector_; }
+
+  // Launch attempts so far (including failed ones) — the per-device
+  // ordinal that FaultPlan windows are expressed in.
+  std::uint64_t launches_attempted() const {
+    return launch_ordinal_.load(std::memory_order_relaxed);
+  }
+
+  // Corruption faults don't fail the launch; they mangle the next result
+  // readback. Buffer::copy_to_host consumes the armed flag.
+  void arm_readback_corruption() {
+    corrupt_next_readback_.store(true, std::memory_order_relaxed);
+  }
+  bool take_readback_corruption() {
+    return corrupt_next_readback_.exchange(false, std::memory_order_relaxed);
+  }
 
   // Default launch geometry: the paper's gridDim = SM count, 1024 threads.
   LaunchConfig default_config(std::uint32_t shared_bytes = 0) const {
@@ -83,6 +114,11 @@ class Device {
                      "requested " << cfg.shared_bytes
                                   << " B shared memory, device has "
                                   << spec_.shared_mem_bytes);
+    std::uint64_t ordinal =
+        launch_ordinal_.fetch_add(1, std::memory_order_relaxed);
+    if (injector_ != nullptr) {
+      injector_->before_launch(*this, ordinal);  // may throw DeviceError
+    }
     counters_.kernel_launches.fetch_add(1, std::memory_order_relaxed);
 
     std::atomic<std::uint32_t> next_block{0};
@@ -107,8 +143,12 @@ class Device {
 
  private:
   DeviceSpec spec_;
+  std::string label_;
   ThreadPool* pool_;
   PerfCounters counters_;
+  const FaultInjector* injector_ = nullptr;
+  std::atomic<std::uint64_t> launch_ordinal_{0};
+  std::atomic<bool> corrupt_next_readback_{false};
 };
 
 }  // namespace tspopt::simt

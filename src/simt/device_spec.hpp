@@ -23,6 +23,11 @@ struct DeviceSpec {
   std::uint32_t max_block_dim = 1024;
   std::uint32_t preferred_grid_dim = 28;  // SM/CU count (blocks per launch)
 
+  // Simulated driver watchdog: how long a hung kernel stalls its host
+  // driver thread before the launch is killed and reported as a
+  // DeviceError (fault injection only; healthy launches never wait).
+  double kernel_watchdog_ms = 2.0;
+
   // Performance-model parameters.
   double peak_checks_per_sec = 0.0;  // sustained 2-opt checks/s at saturation
   double half_occupancy_checks = 0.0;  // checks at which half of peak is hit

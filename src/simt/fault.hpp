@@ -1,0 +1,128 @@
+// Deterministic fault injection for the SIMT simulator.
+//
+// Real multi-GPU hosts running hour-long ILS jobs see transient kernel
+// launch failures, hung kernels killed by the driver watchdog, and (rarely)
+// corrupted readbacks. The simulator can reproduce all three on demand so
+// the solver's fault-tolerance paths are testable: a FaultPlan describes
+// *which* launches fail and *how* (scheduled windows or seeded
+// probabilistic faults — both deterministic for a given launch sequence),
+// and a FaultInjector attached to a Device applies the plan at every
+// launch. Faults surface as structured DeviceError exceptions (derived
+// from CheckError, so existing handlers keep working) or, for corruption,
+// as flipped bits in the next device-to-host readback.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace tspopt::simt {
+
+class Device;
+
+enum class FaultKind {
+  kNone = 0,
+  kLaunchFailure,  // the launch is rejected up front (cudaErrorLaunchFailure)
+  kHang,           // the kernel exceeds the device watchdog deadline
+  kCorruption,     // the launch "succeeds" but the next D2H readback is mangled
+};
+
+const char* to_string(FaultKind kind);
+
+// Structured device failure. Carries the fault kind, the device label and
+// the launch ordinal so fault-tolerance layers can attribute the failure
+// (retry accounting, quarantine decisions) without parsing what().
+class DeviceError : public CheckError {
+ public:
+  DeviceError(FaultKind kind, std::string device, std::uint64_t launch,
+              const std::string& what)
+      : CheckError(what), kind_(kind), device_(std::move(device)),
+        launch_(launch) {}
+
+  FaultKind kind() const { return kind_; }
+  const std::string& device() const { return device_; }
+  std::uint64_t launch_ordinal() const { return launch_; }
+
+ private:
+  FaultKind kind_;
+  std::string device_;
+  std::uint64_t launch_;
+};
+
+// One scheduled fault window: launches [first_launch, first_launch + count)
+// of every device whose label matches `device` ("*" matches all) receive
+// `kind`. Launch ordinals are per device and count every attempt, so a
+// retried launch advances past a finite window — which is exactly how a
+// transient fault clears.
+struct FaultSpec {
+  static constexpr std::uint64_t kForever =
+      std::numeric_limits<std::uint64_t>::max();
+
+  std::string device = "*";
+  FaultKind kind = FaultKind::kNone;
+  std::uint64_t first_launch = 0;
+  std::uint64_t count = 1;  // kForever = a hard (permanent) fault
+
+  bool matches(const std::string& label, std::uint64_t launch) const;
+};
+
+// A deterministic description of the faults to inject. Scheduled specs are
+// checked first (first match wins); the optional probabilistic layer draws
+// a per-(device, launch) decision from a stateless hash of the seed, so it
+// is reproducible and thread-safe without shared RNG state.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(std::uint64_t seed) : seed_(seed) {}
+
+  FaultPlan& inject(FaultSpec spec) {
+    TSPOPT_CHECK_MSG(spec.kind != FaultKind::kNone,
+                     "FaultSpec must name a fault kind");
+    specs_.push_back(std::move(spec));
+    return *this;
+  }
+
+  // Every launch of a matching device independently faults with
+  // `probability`, deterministically derived from the plan seed.
+  FaultPlan& inject_random(std::string device, FaultKind kind,
+                           double probability);
+
+  FaultKind decide(const std::string& device_label,
+                   std::uint64_t launch) const;
+
+  bool empty() const { return specs_.empty() && random_.empty(); }
+
+ private:
+  struct RandomSpec {
+    std::string device;
+    FaultKind kind;
+    double probability;
+  };
+
+  std::uint64_t seed_ = 0;
+  std::vector<FaultSpec> specs_;
+  std::vector<RandomSpec> random_;
+};
+
+// Applies a FaultPlan to the devices it is attached to
+// (Device::set_fault_injector). Stateless apart from the plan, so one
+// injector may safely serve many devices across many driver threads.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+  const FaultPlan& plan() const { return plan_; }
+
+  // Called by Device::launch with the device's per-launch ordinal. Throws
+  // DeviceError for launch/hang faults (after simulating the watchdog wait
+  // for hangs) and arms readback corruption for corruption faults.
+  void before_launch(Device& device, std::uint64_t launch) const;
+
+ private:
+  FaultPlan plan_;
+};
+
+}  // namespace tspopt::simt

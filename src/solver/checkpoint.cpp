@@ -1,0 +1,220 @@
+#include "solver/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <type_traits>
+
+#include "common/check.hpp"
+#include "tsp/tour.hpp"
+
+namespace tspopt {
+
+namespace {
+
+constexpr char kMagic[8] = {'T', 'S', 'P', 'C', 'K', 'P', 'T', '\0'};
+
+std::uint64_t fnv1a(const std::string& bytes) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+// Little-endian scalar serialization into/out of a byte string. The
+// library only targets little-endian hosts (as the paper's did); memcpy
+// keeps the round-trip exact, including double bit patterns.
+class Writer {
+ public:
+  template <typename T>
+  void put(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    char raw[sizeof(T)];
+    std::memcpy(raw, &v, sizeof(T));
+    bytes_.append(raw, sizeof(T));
+  }
+
+  void put_orders(const std::vector<std::int32_t>& order) {
+    put(static_cast<std::uint32_t>(order.size()));
+    for (std::int32_t c : order) put(c);
+  }
+
+  const std::string& bytes() const { return bytes_; }
+
+ private:
+  std::string bytes_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::string& bytes) : bytes_(bytes) {}
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    TSPOPT_CHECK_MSG(pos_ + sizeof(T) <= bytes_.size(),
+                     "checkpoint payload truncated at byte " << pos_);
+    T v;
+    std::memcpy(&v, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::vector<std::int32_t> get_orders() {
+    auto count = get<std::uint32_t>();
+    TSPOPT_CHECK_MSG(static_cast<std::size_t>(count) * sizeof(std::int32_t) <=
+                         bytes_.size() - pos_,
+                     "checkpoint tour length " << count
+                                               << " exceeds payload size");
+    std::vector<std::int32_t> order(count);
+    for (std::uint32_t i = 0; i < count; ++i) order[i] = get<std::int32_t>();
+    return order;
+  }
+
+  bool exhausted() const { return pos_ == bytes_.size(); }
+
+ private:
+  const std::string& bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+void save_ils_checkpoint(const std::string& path, const IlsCheckpoint& ck) {
+  Writer w;
+  w.put(ck.iterations);
+  w.put(ck.improvements);
+  w.put(ck.checks);
+  w.put(ck.passes);
+  w.put(ck.elapsed_seconds);
+  w.put_orders(ck.best_order);
+  w.put(ck.best_length);
+  w.put_orders(ck.incumbent_order);
+  w.put(ck.incumbent_length);
+  w.put(ck.rng.state);
+  w.put(ck.rng.inc);
+  w.put(static_cast<std::uint64_t>(ck.trace.size()));
+  for (const IlsTracePoint& p : ck.trace) {
+    w.put(p.seconds);
+    w.put(p.length);
+    w.put(p.iteration);
+    w.put(p.checks);
+    w.put(p.passes);
+  }
+
+  const std::string& payload = w.bytes();
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    TSPOPT_CHECK_MSG(out.good(), "cannot write checkpoint: " << tmp);
+    out.write(kMagic, sizeof(kMagic));
+    std::uint32_t version = IlsCheckpoint::kVersion;
+    out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+    auto size = static_cast<std::uint64_t>(payload.size());
+    out.write(reinterpret_cast<const char*>(&size), sizeof(size));
+    out.write(payload.data(),
+              static_cast<std::streamsize>(payload.size()));
+    std::uint64_t checksum = fnv1a(payload);
+    out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+    out.flush();
+    TSPOPT_CHECK_MSG(out.good(), "checkpoint write failed: " << tmp);
+  }
+  TSPOPT_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
+                   "cannot move checkpoint into place: " << path);
+}
+
+IlsCheckpoint load_ils_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  TSPOPT_CHECK_MSG(in.good(), "cannot open checkpoint: " << path);
+
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  TSPOPT_CHECK_MSG(in.gcount() == sizeof(magic) &&
+                       std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+                   "not a checkpoint file: " << path);
+  std::uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  TSPOPT_CHECK_MSG(in.gcount() == sizeof(version) &&
+                       version == IlsCheckpoint::kVersion,
+                   "unsupported checkpoint version " << version << " in "
+                                                     << path);
+  std::uint64_t size = 0;
+  in.read(reinterpret_cast<char*>(&size), sizeof(size));
+  TSPOPT_CHECK_MSG(in.gcount() == sizeof(size), "checkpoint header truncated");
+  // An absurd length means a corrupt header; don't let it drive a huge
+  // allocation.
+  TSPOPT_CHECK_MSG(size <= (1ULL << 32),
+                   "checkpoint payload length " << size << " is implausible");
+
+  std::string payload(size, '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(size));
+  TSPOPT_CHECK_MSG(static_cast<std::uint64_t>(in.gcount()) == size,
+                   "checkpoint payload truncated: expected "
+                       << size << " bytes, got " << in.gcount());
+  std::uint64_t checksum = 0;
+  in.read(reinterpret_cast<char*>(&checksum), sizeof(checksum));
+  TSPOPT_CHECK_MSG(in.gcount() == sizeof(checksum),
+                   "checkpoint checksum missing (truncated file)");
+  TSPOPT_CHECK_MSG(checksum == fnv1a(payload),
+                   "checkpoint checksum mismatch (corrupt file): " << path);
+
+  Reader r(payload);
+  IlsCheckpoint ck;
+  ck.iterations = r.get<std::int64_t>();
+  ck.improvements = r.get<std::int64_t>();
+  ck.checks = r.get<std::uint64_t>();
+  ck.passes = r.get<std::int64_t>();
+  ck.elapsed_seconds = r.get<double>();
+  ck.best_order = r.get_orders();
+  ck.best_length = r.get<std::int64_t>();
+  ck.incumbent_order = r.get_orders();
+  ck.incumbent_length = r.get<std::int64_t>();
+  ck.rng.state = r.get<std::uint64_t>();
+  ck.rng.inc = r.get<std::uint64_t>();
+  auto points = r.get<std::uint64_t>();
+  TSPOPT_CHECK_MSG(points <= size, "checkpoint trace count " << points
+                                                             << " implausible");
+  ck.trace.reserve(points);
+  for (std::uint64_t i = 0; i < points; ++i) {
+    IlsTracePoint p;
+    p.seconds = r.get<double>();
+    p.length = r.get<std::int64_t>();
+    p.iteration = r.get<std::int64_t>();
+    p.checks = r.get<std::uint64_t>();
+    p.passes = r.get<std::int64_t>();
+    ck.trace.push_back(p);
+  }
+  TSPOPT_CHECK_MSG(r.exhausted(),
+                   "checkpoint payload has trailing bytes (corrupt file)");
+  return ck;
+}
+
+void validate_ils_checkpoint(const IlsCheckpoint& ck,
+                             const Instance& instance) {
+  auto n = static_cast<std::size_t>(instance.n());
+  TSPOPT_CHECK_MSG(ck.best_order.size() == n && ck.incumbent_order.size() == n,
+                   "checkpoint tours have " << ck.best_order.size() << "/"
+                                            << ck.incumbent_order.size()
+                                            << " cities, instance has " << n);
+  Tour best(ck.best_order);
+  TSPOPT_CHECK_MSG(best.is_valid(), "checkpoint best tour is not a "
+                                    "permutation");
+  TSPOPT_CHECK_MSG(best.length(instance) == ck.best_length,
+                   "checkpoint best length " << ck.best_length
+                                             << " does not match tour ("
+                                             << best.length(instance) << ")");
+  Tour incumbent(ck.incumbent_order);
+  TSPOPT_CHECK_MSG(incumbent.is_valid(),
+                   "checkpoint incumbent tour is not a permutation");
+  TSPOPT_CHECK_MSG(incumbent.length(instance) == ck.incumbent_length,
+                   "checkpoint incumbent length "
+                       << ck.incumbent_length << " does not match tour ("
+                       << incumbent.length(instance) << ")");
+  TSPOPT_CHECK_MSG(ck.iterations >= 0 && ck.improvements >= 0 &&
+                       ck.passes >= 0,
+                   "checkpoint counters are negative");
+}
+
+}  // namespace tspopt

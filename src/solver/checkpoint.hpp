@@ -1,0 +1,69 @@
+// ILS checkpoint/resume.
+//
+// The paper's headline runs (744 710 cities, Fig. 11) take hours; a killed
+// process must not forfeit them. An IlsCheckpoint captures the complete
+// ILS loop state — best tour, incumbent tour, RNG state, iteration and
+// trace counters — so a resumed run continues *bit-identically*: the same
+// perturbation stream, the same accepted tours, the same final trace (up
+// to wall-clock stamps) as the run that was never interrupted.
+//
+// On-disk format (version 1): a little-endian binary file
+//
+//   bytes 0..7    magic "TSPCKPT\0"
+//   bytes 8..11   u32 format version (currently 1)
+//   bytes 12..19  u64 payload byte count P
+//   bytes 20..20+P the payload (fields in declaration order; each tour as
+//                  u32 count + i32 cities; the trace as u64 count +
+//                  per-point fields; doubles as IEEE-754 bit patterns)
+//   last 8 bytes  u64 FNV-1a checksum of the payload
+//
+// Writes go to `path + ".tmp"` and are renamed into place, so a crash
+// mid-write leaves the previous checkpoint intact. Loading verifies the
+// magic, version, length, and checksum and raises CheckError on any
+// mismatch — a truncated or bit-flipped file is reported, never trusted.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "solver/ils.hpp"
+#include "tsp/instance.hpp"
+
+namespace tspopt {
+
+struct IlsCheckpoint {
+  static constexpr std::uint32_t kVersion = 1;
+
+  // Loop position: the state after `iterations` completed perturbation
+  // rounds (0 = after the initial descent).
+  std::int64_t iterations = 0;
+  std::int64_t improvements = 0;
+  std::uint64_t checks = 0;
+  std::int64_t passes = 0;
+  double elapsed_seconds = 0.0;  // wall time consumed before the checkpoint
+
+  std::vector<std::int32_t> best_order;       // best tour found so far
+  std::int64_t best_length = 0;
+  std::vector<std::int32_t> incumbent_order;  // Algorithm 1's s*
+  std::int64_t incumbent_length = 0;
+
+  Pcg32::State rng;  // perturbation stream position
+
+  std::vector<IlsTracePoint> trace;
+};
+
+// Serialize atomically (tmp + rename). Throws CheckError on I/O failure.
+void save_ils_checkpoint(const std::string& path, const IlsCheckpoint& ck);
+
+// Parse and verify. Throws CheckError for unreadable, truncated, corrupt,
+// or wrong-version files.
+IlsCheckpoint load_ils_checkpoint(const std::string& path);
+
+// Consistency of a checkpoint against the instance it claims to describe:
+// both tours must be valid permutations of the instance's cities and the
+// stored lengths must match recomputation. Throws CheckError otherwise.
+void validate_ils_checkpoint(const IlsCheckpoint& ck,
+                             const Instance& instance);
+
+}  // namespace tspopt

@@ -1,7 +1,10 @@
 #include "solver/ils.hpp"
 
+#include <utility>
+
 #include "common/rng.hpp"
 #include "common/timer.hpp"
+#include "solver/checkpoint.hpp"
 
 namespace tspopt {
 
@@ -21,15 +24,104 @@ bool accept(IlsAcceptance criterion, double epsilon, std::int64_t candidate,
   return false;
 }
 
+// Everything the perturbation loop carries between iterations — and
+// therefore exactly what a checkpoint must capture for a resumed run to
+// continue bit-identically.
+struct LoopState {
+  Tour incumbent;
+  std::int64_t incumbent_len = 0;
+  Pcg32 rng;
+  IlsResult result;
+  std::int64_t passes = 0;
+  double base_seconds = 0.0;  // wall time consumed before the loop started
+
+  LoopState(Tour incumbent_tour, Pcg32 generator, IlsResult partial)
+      : incumbent(std::move(incumbent_tour)),
+        rng(generator),
+        result(std::move(partial)) {}
+};
+
+void write_checkpoint(const std::string& path, const LoopState& st,
+                      double now) {
+  IlsCheckpoint ck;
+  ck.iterations = st.result.iterations;
+  ck.improvements = st.result.improvements;
+  ck.checks = st.result.checks;
+  ck.passes = st.passes;
+  ck.elapsed_seconds = now;
+  ck.best_order.assign(st.result.best.order().begin(),
+                       st.result.best.order().end());
+  ck.best_length = st.result.best_length;
+  ck.incumbent_order.assign(st.incumbent.order().begin(),
+                            st.incumbent.order().end());
+  ck.incumbent_length = st.incumbent_len;
+  ck.rng = st.rng.save();
+  ck.trace = st.result.trace;
+  save_ils_checkpoint(path, ck);
+}
+
+// The perturbation loop (Algorithm 1 lines 4-8), shared by fresh and
+// resumed runs. `st.base_seconds` offsets all time accounting so a
+// resumed run's limits and trace stamps continue from where the
+// interrupted run stopped.
+IlsResult run_loop(TwoOptEngine& engine, const Instance& instance,
+                   const IlsOptions& options, LoopState st) {
+  WallTimer timer;
+  auto now = [&] { return st.base_seconds + timer.seconds(); };
+
+  while ((options.max_iterations < 0 ||
+          st.result.iterations < options.max_iterations) &&
+         (options.time_limit_seconds < 0.0 ||
+          now() < options.time_limit_seconds)) {
+    // Perturbation (line 5): double bridge on a copy of the incumbent.
+    Tour candidate = st.incumbent;
+    candidate.double_bridge(st.rng);
+
+    // Local search (line 6), clipped to the remaining time budget.
+    LocalSearchOptions round = options.local_search;
+    if (options.time_limit_seconds >= 0.0) {
+      double remaining = options.time_limit_seconds - now();
+      if (remaining <= 0.0) break;
+      if (round.time_limit_seconds < 0.0 || round.time_limit_seconds > remaining)
+        round.time_limit_seconds = remaining;
+    }
+    LocalSearchStats stats = local_search(engine, instance, candidate, round);
+    st.result.checks += stats.checks;
+    st.passes += stats.passes;
+    ++st.result.iterations;
+
+    // Acceptance criterion (line 7).
+    std::int64_t length = candidate.length(instance);
+    if (length < st.result.best_length) {
+      st.result.best = candidate;
+      st.result.best_length = length;
+      ++st.result.improvements;
+      st.result.trace.push_back({now(), st.result.best_length,
+                                 st.result.iterations, st.result.checks,
+                                 st.passes});
+    }
+    if (accept(options.acceptance, options.epsilon, length,
+               st.incumbent_len)) {
+      st.incumbent = std::move(candidate);
+      st.incumbent_len = length;
+    }
+
+    if (!options.checkpoint_path.empty() && options.checkpoint_every > 0 &&
+        st.result.iterations % options.checkpoint_every == 0) {
+      write_checkpoint(options.checkpoint_path, st, now());
+    }
+  }
+
+  st.result.wall_seconds = now();
+  return std::move(st.result);
+}
+
 }  // namespace
 
 IlsResult iterated_local_search(TwoOptEngine& engine, const Instance& instance,
                                 const Tour& initial,
                                 const IlsOptions& options) {
   WallTimer timer;
-  Pcg32 rng(options.seed);
-
-  IlsResult result{initial, 0, 0, 0, 0, 0.0, {}};
 
   // Initial descent (Algorithm 1 line 3).
   Tour incumbent = initial;
@@ -38,52 +130,43 @@ IlsResult iterated_local_search(TwoOptEngine& engine, const Instance& instance,
     ls.time_limit_seconds = options.time_limit_seconds;
   }
   LocalSearchStats descent = local_search(engine, instance, incumbent, ls);
-  result.checks += descent.checks;
-  std::int64_t passes = descent.passes;
-  std::int64_t incumbent_len = incumbent.length(instance);
-  result.best = incumbent;
-  result.best_length = incumbent_len;
-  result.trace.push_back(
-      {timer.seconds(), result.best_length, 0, result.checks, passes});
 
-  while ((options.max_iterations < 0 ||
-          result.iterations < options.max_iterations) &&
-         (options.time_limit_seconds < 0.0 ||
-          timer.seconds() < options.time_limit_seconds)) {
-    // Perturbation (line 5): double bridge on a copy of the incumbent.
-    Tour candidate = incumbent;
-    candidate.double_bridge(rng);
+  LoopState st(incumbent, Pcg32(options.seed),
+               IlsResult{incumbent, 0, 0, 0, 0, 0.0, {}});
+  st.result.checks = descent.checks;
+  st.passes = descent.passes;
+  st.incumbent_len = incumbent.length(instance);
+  st.result.best_length = st.incumbent_len;
+  st.result.trace.push_back(
+      {timer.seconds(), st.result.best_length, 0, st.result.checks,
+       st.passes});
 
-    // Local search (line 6), clipped to the remaining time budget.
-    LocalSearchOptions round = options.local_search;
-    if (options.time_limit_seconds >= 0.0) {
-      double remaining = options.time_limit_seconds - timer.seconds();
-      if (remaining <= 0.0) break;
-      if (round.time_limit_seconds < 0.0 || round.time_limit_seconds > remaining)
-        round.time_limit_seconds = remaining;
-    }
-    LocalSearchStats stats = local_search(engine, instance, candidate, round);
-    result.checks += stats.checks;
-    passes += stats.passes;
-    ++result.iterations;
-
-    // Acceptance criterion (line 7).
-    std::int64_t length = candidate.length(instance);
-    if (length < result.best_length) {
-      result.best = candidate;
-      result.best_length = length;
-      ++result.improvements;
-      result.trace.push_back({timer.seconds(), result.best_length,
-                              result.iterations, result.checks, passes});
-    }
-    if (accept(options.acceptance, options.epsilon, length, incumbent_len)) {
-      incumbent = std::move(candidate);
-      incumbent_len = length;
-    }
+  // A first checkpoint right after the descent: the expensive part of
+  // short runs is already safe before the first perturbation.
+  if (!options.checkpoint_path.empty()) {
+    write_checkpoint(options.checkpoint_path, st, timer.seconds());
   }
 
-  result.wall_seconds = timer.seconds();
-  return result;
+  st.base_seconds = timer.seconds();
+  return run_loop(engine, instance, options, std::move(st));
+}
+
+IlsResult iterated_local_search_resume(TwoOptEngine& engine,
+                                       const Instance& instance,
+                                       const IlsCheckpoint& checkpoint,
+                                       const IlsOptions& options) {
+  validate_ils_checkpoint(checkpoint, instance);
+
+  LoopState st(Tour(checkpoint.incumbent_order), Pcg32(options.seed),
+               IlsResult{Tour(checkpoint.best_order),
+                         checkpoint.best_length, checkpoint.iterations,
+                         checkpoint.improvements, checkpoint.checks, 0.0,
+                         checkpoint.trace});
+  st.rng.restore(checkpoint.rng);  // seed is irrelevant; position restored
+  st.incumbent_len = checkpoint.incumbent_length;
+  st.passes = checkpoint.passes;
+  st.base_seconds = checkpoint.elapsed_seconds;
+  return run_loop(engine, instance, options, std::move(st));
 }
 
 }  // namespace tspopt

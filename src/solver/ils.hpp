@@ -36,6 +36,13 @@ struct IlsOptions {
   LocalSearchOptions local_search;  // per-descent budget (defaults: none)
   IlsAcceptance acceptance = IlsAcceptance::kBetter;
   double epsilon = 0.02;  // kEpsilonWorse tolerance
+
+  // Periodic checkpointing: every `checkpoint_every` completed iterations
+  // (and once after the initial descent) the full loop state is written
+  // atomically to `checkpoint_path`, so a killed run can resume
+  // bit-identically via iterated_local_search_resume. Empty path = off.
+  std::string checkpoint_path;
+  std::int64_t checkpoint_every = 16;
 };
 
 struct IlsTracePoint {
@@ -61,5 +68,19 @@ struct IlsResult {
 
 IlsResult iterated_local_search(TwoOptEngine& engine, const Instance& instance,
                                 const Tour& initial, const IlsOptions& options);
+
+struct IlsCheckpoint;
+
+// Continue a checkpointed run. The checkpoint is validated against the
+// instance (CheckError on mismatch) and the loop resumes exactly where the
+// interrupted run stopped: same RNG stream, same incumbent, counters and
+// trace carried over — so, under iteration-bounded options, the result is
+// bit-identical to the run that was never killed. `options.seed` is
+// ignored (the RNG position comes from the checkpoint); the time limit, if
+// any, applies to total elapsed time including the checkpointed portion.
+IlsResult iterated_local_search_resume(TwoOptEngine& engine,
+                                       const Instance& instance,
+                                       const IlsCheckpoint& checkpoint,
+                                       const IlsOptions& options);
 
 }  // namespace tspopt

@@ -1,64 +1,221 @@
 #include "solver/twoopt_multi.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <exception>
+#include <sstream>
 #include <thread>
 
 #include "common/check.hpp"
 #include "common/timer.hpp"
+#include "solver/twoopt_sequential.hpp"
 
 namespace tspopt {
 
 TwoOptMultiDevice::TwoOptMultiDevice(std::vector<simt::Device*> devices,
-                                     std::int32_t tile) {
-  TSPOPT_CHECK_MSG(!devices.empty(), "need at least one device");
-  auto parts = static_cast<std::uint32_t>(devices.size());
+                                     std::int32_t tile,
+                                     MultiDeviceOptions options)
+    : devices_(std::move(devices)), options_(options) {
+  TSPOPT_CHECK_MSG(!devices_.empty(), "need at least one device");
+  TSPOPT_CHECK(options_.quarantine_after >= 1);
+  for (simt::Device* d : devices_) TSPOPT_CHECK(d != nullptr);
+
+  // Every partition must use the SAME tile grid or the round-robin deal
+  // would disagree; with tile==0 use the smallest device maximum. The grid
+  // is fixed at construction so re-deals after a quarantine still cover
+  // the identical tile set.
+  tile_ = tile;
+  if (tile_ == 0) {
+    tile_ = TwoOptGpuTiled::max_tile(*devices_[0]);
+    for (simt::Device* d : devices_) {
+      tile_ = std::min(tile_, TwoOptGpuTiled::max_tile(*d));
+    }
+  }
+
+  health_.resize(devices_.size());
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    health_[d].label = devices_[d]->label();
+  }
+
+  std::vector<std::size_t> all(devices_.size());
+  for (std::size_t d = 0; d < all.size(); ++d) all[d] = d;
+  rebuild_engines(all);
+}
+
+std::size_t TwoOptMultiDevice::active_device_count() const {
+  return active_devices().size();
+}
+
+std::vector<std::size_t> TwoOptMultiDevice::active_devices() const {
+  std::vector<std::size_t> active;
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    if (!health_[d].quarantined) active.push_back(d);
+  }
+  return active;
+}
+
+void TwoOptMultiDevice::rebuild_engines(
+    const std::vector<std::size_t>& active) {
+  engines_.clear();
+  auto parts = static_cast<std::uint32_t>(active.size());
   for (std::uint32_t part = 0; part < parts; ++part) {
-    TSPOPT_CHECK(devices[part] != nullptr);
-    // Every partition must use the SAME tile grid or the round-robin deal
-    // would disagree; with tile==0 use the smallest device maximum.
-    std::int32_t common_tile = tile;
-    if (common_tile == 0) {
-      common_tile = TwoOptGpuTiled::max_tile(*devices[0]);
-      for (simt::Device* d : devices) {
-        common_tile = std::min(common_tile, TwoOptGpuTiled::max_tile(*d));
+    engines_.push_back(std::make_unique<TwoOptGpuTiled>(
+        *devices_[active[part]], tile_, simt::LaunchConfig{}, part, parts));
+  }
+  engine_active_ = active;
+}
+
+void TwoOptMultiDevice::reset_health() {
+  for (DeviceHealth& h : health_) {
+    h.failures = 0;
+    h.retries = 0;
+    h.consecutive_failures = 0;
+    h.quarantined = false;
+  }
+}
+
+void TwoOptMultiDevice::validate_result(const SearchResult& result,
+                                        const Instance& instance,
+                                        const Tour& tour,
+                                        std::size_t device) const {
+  const BestMove& best = result.best;
+  if (best.index < 0) return;  // no candidate recorded: nothing to verify
+  const std::int32_t n = tour.n();
+  std::ostringstream why;
+  if (!(best.i >= 0 && best.i < best.j && best.j <= n - 1)) {
+    why << "move (" << best.i << ", " << best.j << ") out of range for n="
+        << n;
+  } else if (best.index != pair_index(best.i, best.j)) {
+    why << "pair index " << best.index << " does not match move ("
+        << best.i << ", " << best.j << ")";
+  } else {
+    Tour scratch = tour;
+    std::int64_t before = scratch.length(instance);
+    scratch.apply_two_opt(best.i, best.j);
+    std::int64_t actual = scratch.length(instance) - before;
+    if (actual != best.delta) {
+      why << "claimed delta " << best.delta << " but recomputation gives "
+          << actual << " for move (" << best.i << ", " << best.j << ")";
+    }
+  }
+  std::string reason = why.str();
+  if (reason.empty()) return;
+  simt::Device& dev = *devices_[device];
+  throw simt::DeviceError(
+      simt::FaultKind::kCorruption, dev.label(), dev.launches_attempted(),
+      "corrupted best-move reduction on " + dev.label() + ": " + reason);
+}
+
+void TwoOptMultiDevice::run_partition(std::size_t part, std::size_t device,
+                                      const Instance& instance,
+                                      const Tour& tour, SearchResult& out,
+                                      bool& ok, std::exception_ptr& fatal) {
+  DeviceHealth& health = health_[device];
+  double backoff_ms = options_.backoff_initial_ms;
+  try {
+    for (;;) {
+      try {
+        SearchResult attempt = engines_[part]->search(instance, tour);
+        if (options_.validate) {
+          validate_result(attempt, instance, tour, device);
+        }
+        health.consecutive_failures = 0;
+        out = attempt;
+        ok = true;
+        return;
+      } catch (const simt::DeviceError&) {
+        // Transient device fault: back off and retry this partition, up to
+        // the quarantine threshold. Anything else (contract violations,
+        // bad_alloc, ...) is not a device health matter and propagates.
+        ++health.failures;
+        if (++health.consecutive_failures >= options_.quarantine_after) {
+          health.quarantined = true;
+          ok = false;
+          return;
+        }
+        ++health.retries;
+        if (backoff_ms > 0.0) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(backoff_ms));
+        }
+        backoff_ms = std::min(backoff_ms * options_.backoff_multiplier,
+                              options_.backoff_max_ms);
       }
     }
-    engines_.push_back(std::make_unique<TwoOptGpuTiled>(
-        *devices[part], common_tile, simt::LaunchConfig{}, part, parts));
+  } catch (...) {
+    fatal = std::current_exception();
+    ok = false;
   }
 }
 
 SearchResult TwoOptMultiDevice::search(const Instance& instance,
                                        const Tour& tour) {
   WallTimer timer;
-  std::vector<SearchResult> partial(engines_.size());
-  std::vector<std::exception_ptr> errors(engines_.size());
+  for (;;) {
+    std::vector<std::size_t> active = active_devices();
 
-  // One host driver thread per device, as real multi-GPU host code would
-  // use (each device's launches are independent, paper §IV-B).
-  std::vector<std::thread> drivers;
-  drivers.reserve(engines_.size());
-  for (std::size_t d = 0; d < engines_.size(); ++d) {
-    drivers.emplace_back([&, d] {
-      try {
-        partial[d] = engines_[d]->search(instance, tour);
-      } catch (...) {
-        errors[d] = std::current_exception();
+    if (active.empty()) {
+      // Every device is quarantined: degrade to the host rather than fail
+      // the whole search. The fallback engine agrees bit-for-bit with the
+      // device engines (the equivalence property all engines share).
+      TSPOPT_CHECK_MSG(options_.host_fallback,
+                       "all " << devices_.size()
+                              << " devices quarantined and host fallback "
+                                 "is disabled");
+      if (!fallback_) fallback_ = std::make_unique<TwoOptSequential>();
+      used_host_fallback_ = true;
+      SearchResult result = fallback_->search(instance, tour);
+      result.wall_seconds = timer.seconds();
+      return result;
+    }
+
+    if (active != engine_active_) rebuild_engines(active);
+
+    const std::size_t parts = engines_.size();
+    std::vector<SearchResult> partial(parts);
+    // char, not bool: driver threads write distinct elements concurrently,
+    // and vector<bool>'s bit packing would make that a data race.
+    std::vector<char> ok(parts, 0);
+    std::vector<std::exception_ptr> fatal(parts);
+    {
+      // One host driver thread per device, as real multi-GPU host code
+      // would use (each device's launches are independent, paper §IV-B).
+      // std::jthread joins on destruction, so an exception thrown while
+      // spawning later drivers cannot leak running threads.
+      std::vector<std::jthread> drivers;
+      drivers.reserve(parts);
+      for (std::size_t p = 0; p < parts; ++p) {
+        drivers.emplace_back([this, p, &instance, &tour, &partial, &ok,
+                              &fatal, &active] {
+          bool part_ok = false;
+          run_partition(p, active[p], instance, tour, partial[p], part_ok,
+                        fatal[p]);
+          ok[p] = part_ok ? 1 : 0;
+        });
       }
-    });
-  }
-  for (auto& t : drivers) t.join();
-  for (const auto& err : errors) {
-    if (err) std::rethrow_exception(err);
-  }
+    }
 
-  SearchResult result;
-  for (const SearchResult& p : partial) {
-    if (p.best.better_than(result.best)) result.best = p.best;
-    result.checks += p.checks;
+    for (const std::exception_ptr& err : fatal) {
+      if (err) std::rethrow_exception(err);
+    }
+
+    if (std::find(ok.begin(), ok.end(), 0) != ok.end()) {
+      // At least one device was quarantined mid-pass. Partial results from
+      // the survivors cover only their share of the triangle, so re-deal
+      // the full tile set across the remaining devices and rerun the pass
+      // (search is a pure function of (instance, tour), so this is safe).
+      ++redeals_;
+      continue;
+    }
+
+    SearchResult result;
+    for (const SearchResult& p : partial) {
+      if (p.best.better_than(result.best)) result.best = p.best;
+      result.checks += p.checks;
+    }
+    result.wall_seconds = timer.seconds();
+    return result;
   }
-  result.wall_seconds = timer.seconds();
-  return result;
 }
 
 }  // namespace tspopt

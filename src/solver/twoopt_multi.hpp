@@ -9,9 +9,26 @@
 // its own TwoOptGpuTiled engine on a dedicated host driver thread, and
 // the per-device bests merge with the canonical (delta, index) order —
 // so the result is bit-identical to a single-device pass.
+//
+// The engine is fault-tolerant, because month-long ILS runs on real
+// multi-GPU hosts are exactly where devices start failing:
+//   * a partition that fails with a DeviceError (launch failure, hang,
+//     detected corruption) is retried with bounded exponential backoff;
+//   * a device that fails `quarantine_after` times in a row is
+//     quarantined and the full tile triangle is re-dealt round-robin
+//     across the survivors — coverage is preserved, so the merged best
+//     move is still bit-identical to the fault-free pass;
+//   * when every device is quarantined the pass degrades to a host
+//     fallback engine rather than failing the search;
+//   * `validate` mode cross-checks every per-device best move against a
+//     Tour::length recomputation, converting silently corrupted
+//     reductions into DeviceErrors that feed the same retry/quarantine
+//     machinery.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "simt/device.hpp"
@@ -20,22 +37,77 @@
 
 namespace tspopt {
 
+// Fault-tolerance policy. The defaults retry transient faults almost
+// instantly (the simulator's faults clear in microseconds; real hosts
+// would raise the backoff) and quarantine a device on the third
+// consecutive failure.
+struct MultiDeviceOptions {
+  std::int32_t quarantine_after = 3;  // K consecutive failures -> quarantine
+  double backoff_initial_ms = 1.0;    // first retry delay
+  double backoff_multiplier = 2.0;    // growth per retry
+  double backoff_max_ms = 50.0;       // bound on the exponential backoff
+  bool validate = false;      // recompute every accepted move's delta
+  bool host_fallback = true;  // all-quarantined -> host engine, not an error
+};
+
+// Per-device health, exposed for tests and operational reporting. The
+// low-level fault counters (launch_failures/hangs/corrupted_results) live
+// in the device's PerfCounters; this tracks the solver-level policy state.
+struct DeviceHealth {
+  std::string label;
+  std::uint64_t failures = 0;  // DeviceErrors observed (incl. validation)
+  std::uint64_t retries = 0;   // backoff retries performed
+  std::int32_t consecutive_failures = 0;
+  bool quarantined = false;
+};
+
 class TwoOptMultiDevice : public TwoOptEngine {
  public:
   // `devices` must stay alive for the engine's lifetime. `tile == 0` uses
   // each device's shared-memory maximum (devices may differ: a Radeon's
   // 64 kB LDS takes larger tiles than a GeForce's 48 kB).
   explicit TwoOptMultiDevice(std::vector<simt::Device*> devices,
-                             std::int32_t tile = 0);
+                             std::int32_t tile = 0,
+                             MultiDeviceOptions options = {});
 
   std::string name() const override { return "gpu-multi"; }
 
-  std::size_t device_count() const { return engines_.size(); }
+  std::size_t device_count() const { return devices_.size(); }
+  std::size_t active_device_count() const;
 
   SearchResult search(const Instance& instance, const Tour& tour) override;
 
+  const MultiDeviceOptions& options() const { return options_; }
+  const DeviceHealth& health(std::size_t device) const {
+    return health_.at(device);
+  }
+  // Times the tile deal was recomputed because a device dropped out.
+  std::uint64_t redeals() const { return redeals_; }
+  // True once any pass had to run on the host fallback engine.
+  bool used_host_fallback() const { return used_host_fallback_; }
+
+  // Lift all quarantines and zero the failure counts (e.g. after the
+  // operator swapped the card or the driver was reset).
+  void reset_health();
+
  private:
+  std::vector<std::size_t> active_devices() const;
+  void rebuild_engines(const std::vector<std::size_t>& active);
+  void run_partition(std::size_t part, std::size_t device,
+                     const Instance& instance, const Tour& tour,
+                     SearchResult& out, bool& ok, std::exception_ptr& fatal);
+  void validate_result(const SearchResult& result, const Instance& instance,
+                       const Tour& tour, std::size_t device) const;
+
+  std::vector<simt::Device*> devices_;
+  std::int32_t tile_ = 0;  // common tile grid shared by every deal
+  MultiDeviceOptions options_;
+  std::vector<DeviceHealth> health_;
   std::vector<std::unique_ptr<TwoOptGpuTiled>> engines_;
+  std::vector<std::size_t> engine_active_;  // device set engines_ were built for
+  std::unique_ptr<TwoOptEngine> fallback_;
+  std::uint64_t redeals_ = 0;
+  bool used_host_fallback_ = false;
 };
 
 }  // namespace tspopt

@@ -1,0 +1,346 @@
+// Fault injection and fault-tolerant multi-device search.
+//
+// The invariant under test throughout: whatever the injected fault
+// pattern, a completed TwoOptMultiDevice::search returns the *same best
+// move* as the fault-free pass (retry → re-deal → host fallback, in that
+// order of escalation), because every escalation step re-covers the full
+// pair triangle.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "simt/buffer.hpp"
+#include "simt/device.hpp"
+#include "simt/fault.hpp"
+#include "solver/local_search.hpp"
+#include "solver/twoopt_multi.hpp"
+#include "solver/twoopt_sequential.hpp"
+#include "solver/twoopt_tiled.hpp"
+#include "tsp/generator.hpp"
+
+namespace tspopt {
+namespace {
+
+using simt::Device;
+using simt::DeviceError;
+using simt::FaultInjector;
+using simt::FaultKind;
+using simt::FaultPlan;
+using simt::FaultSpec;
+
+simt::DeviceSpec quick_watchdog_spec() {
+  simt::DeviceSpec spec = simt::gtx680_cuda();
+  spec.kernel_watchdog_ms = 0.5;  // keep simulated hangs fast in tests
+  return spec;
+}
+
+// A trivial kernel for exercising Device::launch directly.
+struct NoopKernel {
+  void block_begin(simt::BlockCtx&) const {}
+  void thread(simt::BlockCtx&, std::uint32_t) const {}
+  void block_end(simt::BlockCtx&) const {}
+};
+
+// An N-device fault-tolerant engine with distinct labels gpu0..gpuN-1.
+struct Rig {
+  std::vector<std::unique_ptr<Device>> owned;
+  std::vector<Device*> devices;
+  std::unique_ptr<FaultInjector> injector;
+  std::unique_ptr<TwoOptMultiDevice> engine;
+
+  Rig(std::size_t n, FaultPlan plan, std::int32_t tile,
+      MultiDeviceOptions options = {}) {
+    options.backoff_initial_ms = 0.0;  // don't slow the suite down
+    injector = std::make_unique<FaultInjector>(std::move(plan));
+    for (std::size_t d = 0; d < n; ++d) {
+      owned.push_back(std::make_unique<Device>(quick_watchdog_spec()));
+      owned.back()->set_label("gpu" + std::to_string(d));
+      owned.back()->set_fault_injector(injector.get());
+      devices.push_back(owned.back().get());
+    }
+    engine = std::make_unique<TwoOptMultiDevice>(devices, tile, options);
+  }
+};
+
+TEST(Fault, PlanWindowsAreExactAndPerDevice) {
+  FaultPlan plan;
+  plan.inject({"gpu1", FaultKind::kLaunchFailure, 2, 3});
+  EXPECT_EQ(plan.decide("gpu1", 1), FaultKind::kNone);
+  EXPECT_EQ(plan.decide("gpu1", 2), FaultKind::kLaunchFailure);
+  EXPECT_EQ(plan.decide("gpu1", 4), FaultKind::kLaunchFailure);
+  EXPECT_EQ(plan.decide("gpu1", 5), FaultKind::kNone);
+  EXPECT_EQ(plan.decide("gpu0", 3), FaultKind::kNone);  // other device clean
+
+  FaultPlan forever;
+  forever.inject({"*", FaultKind::kHang, 0, FaultSpec::kForever});
+  EXPECT_EQ(forever.decide("anything", 1u << 20), FaultKind::kHang);
+}
+
+TEST(Fault, RandomPlanIsDeterministicAndSeedSensitive) {
+  FaultPlan a(42), b(42), c(43);
+  for (FaultPlan* p : {&a, &b, &c}) {
+    p->inject_random("*", FaultKind::kLaunchFailure, 0.3);
+  }
+  int faults_a = 0, faults_c = 0;
+  for (std::uint64_t launch = 0; launch < 400; ++launch) {
+    FaultKind ka = a.decide("gpu0", launch);
+    EXPECT_EQ(ka, b.decide("gpu0", launch));  // same seed -> same decisions
+    faults_a += ka != FaultKind::kNone;
+    faults_c += c.decide("gpu0", launch) != FaultKind::kNone;
+  }
+  // The rate is roughly the requested probability, and a different seed
+  // gives a different (but similarly dense) pattern.
+  EXPECT_GT(faults_a, 60);
+  EXPECT_LT(faults_a, 180);
+  EXPECT_GT(faults_c, 60);
+  EXPECT_LT(faults_c, 180);
+}
+
+TEST(Fault, LaunchFailureSurfacesAsStructuredDeviceError) {
+  FaultPlan plan;
+  plan.inject({"sick", FaultKind::kLaunchFailure, 0, 1});
+  FaultInjector injector(plan);
+  Device device(quick_watchdog_spec());
+  device.set_label("sick");
+  device.set_fault_injector(&injector);
+
+  try {
+    device.launch(device.default_config(), NoopKernel{});
+    FAIL() << "launch should have thrown";
+  } catch (const DeviceError& e) {
+    EXPECT_EQ(e.kind(), FaultKind::kLaunchFailure);
+    EXPECT_EQ(e.device(), "sick");
+    EXPECT_EQ(e.launch_ordinal(), 0u);
+  }
+  EXPECT_EQ(device.counters().launch_failures.load(), 1u);
+  EXPECT_EQ(device.counters().kernel_launches.load(), 0u);
+
+  // The window has passed: the next launch attempt (ordinal 1) succeeds.
+  device.launch(device.default_config(), NoopKernel{});
+  EXPECT_EQ(device.counters().kernel_launches.load(), 1u);
+  // DeviceError is a CheckError, so existing handlers still catch it.
+  EXPECT_TRUE((std::is_base_of_v<CheckError, DeviceError>));
+}
+
+TEST(Fault, HangTripsTheWatchdogAndCountsAsHang) {
+  FaultPlan plan;
+  plan.inject({"*", FaultKind::kHang, 0, 1});
+  FaultInjector injector(plan);
+  Device device(quick_watchdog_spec());
+  device.set_fault_injector(&injector);
+
+  try {
+    device.launch(device.default_config(), NoopKernel{});
+    FAIL() << "launch should have hung";
+  } catch (const DeviceError& e) {
+    EXPECT_EQ(e.kind(), FaultKind::kHang);
+  }
+  EXPECT_EQ(device.counters().hangs.load(), 1u);
+}
+
+TEST(Fault, CorruptionMangledTheNextReadbackOnly) {
+  FaultPlan plan;
+  plan.inject({"*", FaultKind::kCorruption, 0, 1});
+  FaultInjector injector(plan);
+  Device device(quick_watchdog_spec());
+  device.set_fault_injector(&injector);
+
+  simt::Buffer<std::int32_t> buf(device, 8);
+  std::vector<std::int32_t> data(8, 7);
+  buf.copy_from_host(data);
+  device.launch(device.default_config(), NoopKernel{});  // arms corruption
+
+  std::vector<std::int32_t> readback(8, 0);
+  buf.copy_to_host(readback);
+  EXPECT_NE(readback, data);  // mangled
+  EXPECT_EQ(device.counters().corrupted_results.load(), 1u);
+
+  buf.copy_to_host(readback);  // the armed fault was consumed
+  EXPECT_EQ(readback, data);
+  EXPECT_EQ(device.counters().corrupted_results.load(), 1u);
+}
+
+TEST(Fault, TransientLaunchFailureIsRetriedAndMatchesFaultFreeRun) {
+  Instance inst = generate_uniform("u900", 900, 1);
+  Pcg32 rng(2);
+  Tour tour = Tour::random(900, rng);
+  TwoOptSequential reference;
+  SearchResult expect = reference.search(inst, tour);
+
+  // gpu1's first two launch attempts fail; the third succeeds.
+  FaultPlan plan;
+  plan.inject({"gpu1", FaultKind::kLaunchFailure, 0, 2});
+  Rig rig(3, plan, 128);
+
+  SearchResult got = rig.engine->search(inst, tour);
+  EXPECT_EQ(got.best.delta, expect.best.delta);
+  EXPECT_EQ(got.best.index, expect.best.index);
+  EXPECT_EQ(got.checks, expect.checks);
+
+  EXPECT_EQ(rig.engine->health(1).retries, 2u);
+  EXPECT_EQ(rig.engine->health(1).failures, 2u);
+  EXPECT_FALSE(rig.engine->health(1).quarantined);
+  EXPECT_EQ(rig.engine->redeals(), 0u);
+  EXPECT_EQ(rig.engine->active_device_count(), 3u);
+  EXPECT_EQ(rig.owned[1]->counters().launch_failures.load(), 2u);
+}
+
+TEST(Fault, DeviceKilledMidSearchIsQuarantinedAndResultIsIdentical) {
+  Instance inst = generate_uniform("u900", 900, 3);
+  Pcg32 rng(5);
+  Tour tour = Tour::random(900, rng);
+  TwoOptSequential reference;
+  SearchResult expect = reference.search(inst, tour);
+
+  // With tile 64 each of the 3 devices drives several launches per pass;
+  // gpu1 dies for good at its second launch — mid-search.
+  FaultPlan plan;
+  plan.inject({"gpu1", FaultKind::kLaunchFailure, 1, FaultSpec::kForever});
+  Rig rig(3, plan, 64);
+
+  SearchResult got = rig.engine->search(inst, tour);
+  EXPECT_EQ(got.best.delta, expect.best.delta);
+  EXPECT_EQ(got.best.index, expect.best.index);
+  // The re-dealt pass covers the full triangle exactly once.
+  EXPECT_EQ(got.checks, expect.checks);
+
+  EXPECT_TRUE(rig.engine->health(1).quarantined);
+  EXPECT_FALSE(rig.engine->health(0).quarantined);
+  EXPECT_FALSE(rig.engine->health(2).quarantined);
+  EXPECT_GE(rig.engine->redeals(), 1u);
+  EXPECT_EQ(rig.engine->active_device_count(), 2u);
+  EXPECT_FALSE(rig.engine->used_host_fallback());
+
+  // Later passes keep working on the survivors without re-probing gpu1.
+  std::uint64_t gpu1_failures = rig.engine->health(1).failures;
+  SearchResult again = rig.engine->search(inst, tour);
+  EXPECT_EQ(again.best.index, expect.best.index);
+  EXPECT_EQ(rig.engine->health(1).failures, gpu1_failures);
+}
+
+TEST(Fault, AllDevicesFailedFallsBackToHostEngine) {
+  Instance inst = generate_uniform("u500", 500, 4);
+  Pcg32 rng(6);
+  Tour tour = Tour::random(500, rng);
+  TwoOptSequential reference;
+  SearchResult expect = reference.search(inst, tour);
+
+  FaultPlan plan;
+  plan.inject({"*", FaultKind::kLaunchFailure, 0, FaultSpec::kForever});
+  Rig rig(3, plan, 128);
+
+  SearchResult got = rig.engine->search(inst, tour);
+  EXPECT_EQ(got.best.delta, expect.best.delta);
+  EXPECT_EQ(got.best.index, expect.best.index);
+  EXPECT_EQ(got.checks, expect.checks);
+  EXPECT_TRUE(rig.engine->used_host_fallback());
+  EXPECT_EQ(rig.engine->active_device_count(), 0u);
+
+  // reset_health clears the quarantines (e.g. after a driver reset).
+  rig.engine->reset_health();
+  EXPECT_EQ(rig.engine->active_device_count(), 3u);
+}
+
+TEST(Fault, AllDevicesFailedThrowsWhenFallbackDisabled) {
+  Instance inst = generate_uniform("u300", 300, 4);
+  Pcg32 rng(7);
+  Tour tour = Tour::random(300, rng);
+
+  FaultPlan plan;
+  plan.inject({"*", FaultKind::kHang, 0, FaultSpec::kForever});
+  MultiDeviceOptions options;
+  options.host_fallback = false;
+  Rig rig(2, plan, 128, options);
+
+  EXPECT_THROW(rig.engine->search(inst, tour), CheckError);
+}
+
+TEST(Fault, ValidateModeCatchesCorruptedReductionAndRetries) {
+  Instance inst = generate_uniform("u700", 700, 9);
+  Pcg32 rng(8);
+  Tour tour = Tour::random(700, rng);
+  TwoOptSequential reference;
+  SearchResult expect = reference.search(inst, tour);
+
+  // gpu0's first launch silently corrupts its readback. Without semantic
+  // validation this would merge a bogus best move; with it, the partition
+  // is retried and the final answer is exact.
+  FaultPlan plan;
+  plan.inject({"gpu0", FaultKind::kCorruption, 0, 1});
+  MultiDeviceOptions options;
+  options.validate = true;
+  Rig rig(2, plan, 128, options);
+
+  SearchResult got = rig.engine->search(inst, tour);
+  EXPECT_EQ(got.best.delta, expect.best.delta);
+  EXPECT_EQ(got.best.index, expect.best.index);
+  EXPECT_EQ(rig.owned[0]->counters().corrupted_results.load(), 1u);
+  EXPECT_EQ(rig.engine->health(0).failures, 1u);
+  EXPECT_FALSE(rig.engine->health(0).quarantined);
+}
+
+TEST(Fault, PersistentCorrupterIsQuarantinedUnderValidation) {
+  Instance inst = generate_uniform("u600", 600, 10);
+  Pcg32 rng(9);
+  Tour tour = Tour::random(600, rng);
+  TwoOptSequential reference;
+  SearchResult expect = reference.search(inst, tour);
+
+  FaultPlan plan;
+  plan.inject({"gpu1", FaultKind::kCorruption, 0, FaultSpec::kForever});
+  MultiDeviceOptions options;
+  options.validate = true;
+  Rig rig(3, plan, 96, options);
+
+  SearchResult got = rig.engine->search(inst, tour);
+  EXPECT_EQ(got.best.delta, expect.best.delta);
+  EXPECT_EQ(got.best.index, expect.best.index);
+  EXPECT_EQ(got.checks, expect.checks);
+  EXPECT_TRUE(rig.engine->health(1).quarantined);
+}
+
+TEST(Fault, SeededRandomFaultsStillDriveDescentToTheSameMinimum) {
+  // The acceptance-criterion scenario end to end: a seeded plan randomly
+  // kills ~20% of launches across all devices, and a full 2-opt descent
+  // still lands on exactly the tour the fault-free engines produce.
+  Instance inst = generate_uniform("u400", 400, 11);
+  Pcg32 rng(10);
+  Tour initial = Tour::random(400, rng);
+
+  FaultPlan plan(1234);
+  plan.inject_random("*", FaultKind::kLaunchFailure, 0.2);
+  MultiDeviceOptions options;
+  options.quarantine_after = 8;  // transient noise, not dead hardware
+  Rig rig(2, plan, 64, options);
+
+  Tour faulty_tour = initial;
+  local_search(*rig.engine, inst, faulty_tour);
+
+  Tour ref_tour = initial;
+  TwoOptSequential reference;
+  local_search(reference, inst, ref_tour);
+
+  EXPECT_TRUE(faulty_tour == ref_tour);
+  EXPECT_GT(rig.owned[0]->counters().launch_failures.load() +
+                rig.owned[1]->counters().launch_failures.load(),
+            0u);
+}
+
+TEST(Fault, HealthCountersAppearInSnapshots) {
+  Device device(quick_watchdog_spec());
+  device.counters().launch_failures.fetch_add(2);
+  device.counters().hangs.fetch_add(1);
+  device.counters().corrupted_results.fetch_add(3);
+  auto snap = device.counters().snapshot();
+  EXPECT_EQ(snap.launch_failures, 2u);
+  EXPECT_EQ(snap.hangs, 1u);
+  EXPECT_EQ(snap.corrupted_results, 3u);
+  EXPECT_EQ(device.counters().faults(), 6u);
+  device.counters().reset();
+  EXPECT_EQ(device.counters().faults(), 0u);
+}
+
+}  // namespace
+}  // namespace tspopt

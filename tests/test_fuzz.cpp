@@ -7,6 +7,8 @@
 
 #include <algorithm>
 #include <memory>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -19,6 +21,7 @@
 #include "solver/twoopt_sequential.hpp"
 #include "solver/twoopt_tiled.hpp"
 #include "tsp/generator.hpp"
+#include "tsp/tsplib.hpp"
 
 namespace tspopt {
 namespace {
@@ -154,6 +157,133 @@ TEST(Fuzz, RandomMoveSequencesPreserveValidity) {
     std::vector<std::int32_t> pos = tour.positions();
     for (std::int32_t p = 0; p < n; ++p) {
       ASSERT_EQ(pos[static_cast<std::size_t>(tour.city_at(p))], p);
+    }
+  }
+}
+
+TEST(Fuzz, GarbledTsplibHeadersRaiseCheckError) {
+  // A corpus of truncated and garbled headers: every one must surface as a
+  // CheckError (with the offending line number where one exists) — never
+  // UB, a std:: exception, or a runaway allocation.
+  const std::vector<std::string> corpus = {
+      // truncated mid-header
+      "NAME : cut\nTYPE : TSP\nDIMENSION : 5\nEDGE_WEIGHT_TYPE : EUC_2D\n"
+      "NODE_COORD_SECTION\n1 0 0\n2 1 1\n",
+      // coordinate entry with missing fields at EOF
+      "DIMENSION : 3\nEDGE_WEIGHT_TYPE : EUC_2D\nNODE_COORD_SECTION\n"
+      "1 0 0\n2 1 1\n3 2\n",
+      // non-numeric DIMENSION
+      "DIMENSION : lots\nEDGE_WEIGHT_TYPE : EUC_2D\n",
+      // DIMENSION too small / absurd / overflowing int64
+      "DIMENSION : 2\n",
+      "DIMENSION : 999999999999\n",
+      "DIMENSION : 99999999999999999999999999\n",
+      // section before DIMENSION
+      "EDGE_WEIGHT_TYPE : EUC_2D\nNODE_COORD_SECTION\n1 0 0\n",
+      // node index out of range / duplicated / garbage
+      "DIMENSION : 3\nEDGE_WEIGHT_TYPE : EUC_2D\nNODE_COORD_SECTION\n"
+      "1 0 0\n2 1 1\n7 2 2\n",
+      "DIMENSION : 3\nEDGE_WEIGHT_TYPE : EUC_2D\nNODE_COORD_SECTION\n"
+      "1 0 0\n1 1 1\n3 2 2\n",
+      "DIMENSION : 3\nEDGE_WEIGHT_TYPE : EUC_2D\nNODE_COORD_SECTION\n"
+      "one 0 0\n2 1 1\n3 2 2\n",
+      // non-finite / non-numeric coordinates
+      "DIMENSION : 3\nEDGE_WEIGHT_TYPE : EUC_2D\nNODE_COORD_SECTION\n"
+      "1 nan 0\n2 1 1\n3 2 2\n",
+      "DIMENSION : 3\nEDGE_WEIGHT_TYPE : EUC_2D\nNODE_COORD_SECTION\n"
+      "1 0 zero\n2 1 1\n3 2 2\n",
+      // unknown EDGE_WEIGHT_TYPE reaching the metric factory
+      "DIMENSION : 3\nEDGE_WEIGHT_TYPE : WARP_5D\nNODE_COORD_SECTION\n"
+      "1 0 0\n2 1 1\n3 2 2\n",
+      // asymmetric / unsupported TYPE
+      "TYPE : ATSP\nDIMENSION : 3\n",
+      // matrix sections with missing prerequisites or truncated data
+      "DIMENSION : 3\nEDGE_WEIGHT_TYPE : EXPLICIT\nEDGE_WEIGHT_SECTION\n"
+      "1 2 3\n",
+      "DIMENSION : 3\nEDGE_WEIGHT_TYPE : EXPLICIT\n"
+      "EDGE_WEIGHT_FORMAT : FULL_MATRIX\nEDGE_WEIGHT_SECTION\n0 1 2 1 0\n",
+      "DIMENSION : 3\nEDGE_WEIGHT_TYPE : EXPLICIT\n"
+      "EDGE_WEIGHT_FORMAT : MAGIC\nEDGE_WEIGHT_SECTION\n0 1 2\n",
+      // edge weight outside 32-bit range
+      "DIMENSION : 3\nEDGE_WEIGHT_TYPE : EXPLICIT\n"
+      "EDGE_WEIGHT_FORMAT : UPPER_ROW\nEDGE_WEIGHT_SECTION\n"
+      "1 99999999999 3\n",
+      // unsupported sections
+      "DIMENSION : 3\nEDGE_WEIGHT_TYPE : EUC_2D\nTOUR_SECTION\n1 2 3\n",
+      // no payload at all
+      "",
+      "NAME : empty\nEOF\n",
+  };
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    std::istringstream in(corpus[i]);
+    EXPECT_THROW(parse_tsplib(in), CheckError) << "corpus entry " << i;
+  }
+
+  // Spot-check that the diagnostics point at the offending line.
+  std::istringstream bad(
+      "DIMENSION : 3\nEDGE_WEIGHT_TYPE : EUC_2D\nNODE_COORD_SECTION\n"
+      "1 0 0\n2 1 1\n7 2 2\n");
+  try {
+    parse_tsplib(bad);
+    FAIL() << "out-of-range node index parsed successfully";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 6"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Fuzz, TruncatedTsplibFilesNeverParseSilently) {
+  // Serialize a valid instance, then feed the parser every strict prefix:
+  // each one must either parse (a shorter but complete file) or raise
+  // CheckError — nothing else.
+  Instance inst = generate_uniform("trunc", 40, 21);
+  std::ostringstream full;
+  write_tsplib(full, inst);
+  const std::string bytes = full.str();
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    std::istringstream in(bytes.substr(0, len));
+    try {
+      Instance parsed = parse_tsplib(in);
+      EXPECT_EQ(parsed.n(), inst.n());  // only a complete file parses
+    } catch (const CheckError&) {
+      // expected for most prefixes
+    }
+  }
+}
+
+TEST(Fuzz, MutatedTsplibFilesEitherParseOrRaiseCheckError) {
+  Instance inst = generate_clustered("mut", 30, 3, 22);
+  std::ostringstream full;
+  write_tsplib(full, inst);
+  const std::string bytes = full.str();
+
+  Pcg32 rng(20260806);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string damaged = bytes;
+    // 1-4 random byte edits: overwrite, delete, or insert printable junk.
+    int edits = 1 + static_cast<int>(rng.next_below(4));
+    for (int e = 0; e < edits && !damaged.empty(); ++e) {
+      auto at = static_cast<std::size_t>(
+          rng.next_below(static_cast<std::uint32_t>(damaged.size())));
+      switch (rng.next_below(3)) {
+        case 0:
+          damaged[at] = static_cast<char>(32 + rng.next_below(95));
+          break;
+        case 1:
+          damaged.erase(at, 1);
+          break;
+        default:
+          damaged.insert(at, 1,
+                         static_cast<char>(32 + rng.next_below(95)));
+          break;
+      }
+    }
+    std::istringstream in(damaged);
+    try {
+      parse_tsplib(in);  // surviving a mutation is fine...
+    } catch (const CheckError&) {
+      // ...and so is a structured parse error; anything else fails the
+      // test by escaping the harness.
     }
   }
 }

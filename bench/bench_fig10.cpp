@@ -14,6 +14,8 @@
 #include "benchsup/table.hpp"
 #include "benchsup/workloads.hpp"
 #include "common/rng.hpp"
+#include "obs/registry.hpp"
+#include "obs/report.hpp"
 #include "simt/perf_model.hpp"
 #include "solver/twoopt_parallel.hpp"
 #include "solver/twoopt_sequential.hpp"
@@ -81,6 +83,11 @@ int main() {
                "(real wall clock, "
             << std::thread::hardware_concurrency()
             << " hardware threads available) ---\n";
+  obs::RunReport report;
+  report.set_config("bench", "fig10");
+  report.set_config("baseline", "Xeon E5-2667 x2 (OpenCL)");
+  report.set_summary("band_min_vs_i7_6core", band_min);
+  report.set_summary("band_max_vs_i7_6core", band_max);
   Table measured({"Problem", "n", "seq wall", "par wall", "speedup"});
   TwoOptSequential seq;
   TwoOptCpuParallel par;
@@ -95,8 +102,15 @@ int main() {
                       fmt_us(s.wall_seconds * 1e6),
                       fmt_us(p.wall_seconds * 1e6),
                       fmt_fixed(s.wall_seconds / p.wall_seconds, 2) + "x"});
+    report.set_summary("measured_speedup." + e.name,
+                       s.wall_seconds / p.wall_seconds);
   }
   measured.print(std::cout);
   maybe_export_csv(measured, "fig10_measured");
+  report.set_metrics(obs::Registry::global());
+  std::string report_path = report.write_if_requested();
+  if (!report_path.empty()) {
+    std::cout << "\nwrote run report to " << report_path << "\n";
+  }
   return 0;
 }

@@ -27,10 +27,13 @@
 #include "benchsup/workloads.hpp"
 #include "common/env.hpp"
 #include "common/timer.hpp"
+#include "obs/registry.hpp"
+#include "obs/report.hpp"
 #include "simt/device.hpp"
 #include "simt/perf_model.hpp"
 #include "solver/constructive.hpp"
 #include "solver/local_search.hpp"
+#include "solver/obs_adapters.hpp"
 #include "solver/twoopt_gpu.hpp"
 #include "solver/twoopt_tiled.hpp"
 #include "tsp/catalog.hpp"
@@ -53,6 +56,14 @@ int main() {
 
   simt::PerfModel model(simt::gtx680_cuda());
 
+  // Optional machine-readable run report (TSPOPT_REPORT=<file>): one
+  // device section per executed row, labeled by instance.
+  obs::RunReport report;
+  report.set_engine("gpu-small/gpu-tiled");
+  report.set_config("bench", "table2");
+  report.set_config("exec_cap", std::to_string(exec_cap));
+  report.set_config("descent_cap", std::to_string(descent_cap));
+
   Table table({"Problem", "Kernel", "H2D", "D2H", "GPU total", "Checks/s",
                "Paper kern", "Paper total", "t 1st min", "Initial(MF)",
                "Opt. 2-opt", "Sim wall"});
@@ -66,6 +77,7 @@ int main() {
     if (e.n <= exec_cap) {
       Instance inst = make_catalog_instance(e);
       simt::Device device(simt::gtx680_cuda());
+      device.set_label("gtx680/" + e.name);
       // The paper's single-range kernel where the instance fits in shared
       // memory, the tiled division scheme beyond (its §IV-B contribution).
       std::unique_ptr<TwoOptEngine> engine;
@@ -93,12 +105,15 @@ int main() {
                          1) +
                "/s";
       wall_s = fmt_us(pass.wall_seconds * 1e6);
+      describe_device_interval(report, device, work, pass.wall_seconds);
 
-      // (4) full descent for the smaller rows.
+      // (4) full descent for the smaller rows. The descent's work is the
+      // counter delta across the local search (Snapshot subtraction), so
+      // the single-pass counts above stay untouched.
       if (e.n <= descent_cap) {
-        device.counters().reset();
+        auto before = device.counters().snapshot();
         local_search(*engine, inst, tour);
-        auto descent_work = device.counters().snapshot();
+        auto descent_work = device.counters().snapshot() - before;
         first_min_s = fmt_us(model.price(descent_work).total_us());
         optimized_s = std::to_string(tour.length(inst));
       }
@@ -129,6 +144,11 @@ int main() {
 
   table.print(std::cout);
   maybe_export_csv(table, "table2");
+  report.set_metrics(obs::Registry::global());
+  std::string report_path = report.write_if_requested();
+  if (!report_path.empty()) {
+    std::cout << "\nwrote run report to " << report_path << "\n";
+  }
   std::cout << "\n'*' = model-only row (instance above the execution cap; "
                "set REPRO_SCALE=full to execute).\n"
             << "'Sim wall' is the measured wall time of the SIMT simulator "

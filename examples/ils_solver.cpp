@@ -6,10 +6,18 @@
 //   $ ./examples/ils_solver [n] [seconds] [seed]
 //
 // Defaults: n=2000 clustered cities, 10 s budget, seed 1.
+//
+// Observability: set TSPOPT_TRACE=<file> for a Chrome/Perfetto trace of
+// the run and TSPOPT_REPORT=<file> for a machine-readable run report
+// (summary, convergence curve, metrics snapshot). See README
+// "Observability".
 #include <cstdlib>
 #include <iostream>
 
+#include "obs/registry.hpp"
+#include "obs/report.hpp"
 #include "simt/device.hpp"
+#include "solver/obs_adapters.hpp"
 #include "solver/constructive.hpp"
 #include "solver/ils.hpp"
 #include "solver/or_opt.hpp"
@@ -65,6 +73,25 @@ int main(int argc, char** argv) {
   std::cout << "after Or-opt finishing: " << best.length(instance) << "  (-"
             << or_stats.improvement << " from " << or_stats.moves_applied
             << " relocations)\n";
+
+  // Machine-readable run report when TSPOPT_REPORT is set.
+  obs::RunReport report;
+  report.set_instance(instance.name(), n, "EUC_2D");
+  report.set_engine(engine.name());
+  report.set_config("seed", std::to_string(seed));
+  report.set_config("time_limit_seconds", std::to_string(seconds));
+  report_ils(report, result);
+  report.set_summary("initial_length",
+                     static_cast<double>(initial.length(instance)));
+  report.set_summary("or_opt_length",
+                     static_cast<double>(best.length(instance)));
+  report.set_summary("or_opt_moves",
+                     static_cast<double>(or_stats.moves_applied));
+  report.set_metrics(obs::Registry::global());
+  std::string report_path = report.write_if_requested();
+  if (!report_path.empty()) {
+    std::cout << "wrote run report to " << report_path << "\n";
+  }
 
   // Persist the result in standard TSPLIB tour format plus a picture.
   std::string stem = "/tmp/" + instance.name();

@@ -14,6 +14,9 @@
 #include <string>
 
 #include "common/cli.hpp"
+#include "common/timer.hpp"
+#include "obs/registry.hpp"
+#include "obs/report.hpp"
 #include "solver/constructive.hpp"
 #include "solver/engine_factory.hpp"
 #include "solver/local_search.hpp"
@@ -33,6 +36,7 @@ int main(int argc, char** argv) {
   cli.add_option("seconds", "solve time budget", "30");
   cli.add_option("svg", "write the tour as SVG to this path");
   cli.add_option("tour", "write the tour in TSPLIB format to this path");
+  cli.add_option("report", "write a machine-readable run report (JSON)");
   cli.add_flag("engines", "list available engines and exit");
   if (!cli.parse(argc, argv)) {
     std::cerr << cli.error() << "\n" << cli.usage();
@@ -48,6 +52,7 @@ int main(int argc, char** argv) {
   std::string target = cli.positional(0).value_or("berlin52");
   bool solve = cli.has("solve") || !cli.positional(0).has_value();
 
+  WallTimer parse_timer;
   Instance instance = [&]() {
     std::ifstream probe(target);
     if (probe.good()) {
@@ -73,10 +78,12 @@ int main(int argc, char** argv) {
               << "\n";
     return make_catalog_instance(*entry);
   }();
+  double parse_seconds = parse_timer.seconds();
 
   std::cout << "name:      " << instance.name() << "\n"
             << "cities:    " << instance.n() << "\n"
-            << "metric:    " << to_string(instance.metric()) << "\n";
+            << "metric:    " << to_string(instance.metric()) << "\n"
+            << "parsed in: " << parse_seconds * 1e3 << " ms\n";
   if (instance.has_coordinates()) {
     auto [lo, hi] = instance.bounding_box();
     std::cout << "bounds:    [" << lo.x << ", " << lo.y << "] .. [" << hi.x
@@ -84,10 +91,18 @@ int main(int argc, char** argv) {
   }
   std::cout << "2-opt pairs per pass: " << pair_count(instance.n()) << "\n";
 
+  obs::RunReport report;
+  report.set_instance(instance.name(), instance.n(),
+                      to_string(instance.metric()));
+  report.set_config("source", target);
+  report.set_summary("parse_seconds", parse_seconds);
+
   Tour tour = instance.metric() == Metric::kExplicit
                   ? nearest_neighbor(instance)
                   : multiple_fragment(instance);
   std::cout << "constructive tour: " << tour.length(instance) << "\n";
+  report.set_summary("constructive_length",
+                     static_cast<double>(tour.length(instance)));
 
   if (solve) {
     EngineFactory factory(&instance);
@@ -107,6 +122,17 @@ int main(int argc, char** argv) {
               << ": " << tour.length(instance) << "  in "
               << stats.wall_seconds << " s, " << stats.moves_applied
               << " moves, " << stats.checks << " checks\n";
+    report.set_engine(engine->name());
+    report.set_summary("optimized_length",
+                       static_cast<double>(tour.length(instance)));
+    report.set_summary("solve_seconds", stats.wall_seconds);
+    report.set_summary("moves_applied",
+                       static_cast<double>(stats.moves_applied));
+    report.set_summary("checks", static_cast<double>(stats.checks));
+    if (stats.wall_seconds > 0.0) {
+      report.set_summary("checks_per_sec", static_cast<double>(stats.checks) /
+                                               stats.wall_seconds);
+    }
   }
 
   if (cli.has("tour")) {
@@ -124,6 +150,19 @@ int main(int argc, char** argv) {
     std::string out_path = "/tmp/" + instance.name() + "_roundtrip.tsp";
     save_tsplib(out_path, instance);
     std::cout << "wrote TSPLIB copy to " << out_path << "\n";
+  }
+
+  // --report <file> writes the run report explicitly; TSPOPT_REPORT still
+  // works as the env-driven fallback.
+  report.set_metrics(obs::Registry::global());
+  if (cli.has("report")) {
+    report.write(cli.get("report"));
+    std::cout << "wrote run report to " << cli.get("report") << "\n";
+  } else {
+    std::string report_path = report.write_if_requested();
+    if (!report_path.empty()) {
+      std::cout << "wrote run report to " << report_path << "\n";
+    }
   }
   return 0;
 }

@@ -5,6 +5,9 @@
 # Pass 2: AddressSanitizer build of the fault-injection and checkpoint
 #         suites — the code paths that juggle threads, retries, partial
 #         results, and binary (de)serialization, where memory bugs hide.
+# Pass 3: Observability smoke — run a small traced ILS with
+#         TSPOPT_TRACE/TSPOPT_REPORT set and validate that both emitted
+#         files are well-formed JSON.
 #
 # Usage: scripts/ci.sh [build-dir-prefix]   (default: build-ci)
 set -euo pipefail
@@ -26,6 +29,18 @@ cmake --build "${PREFIX}-asan" -j "${JOBS}" \
       --target test_fault test_checkpoint test_fuzz
 ctest --test-dir "${PREFIX}-asan" --output-on-failure -j "${JOBS}" \
       -R 'Fault|Checkpoint|Fuzz'
+
+echo
+echo "== Pass 3: Observability smoke (trace + run report) =="
+OBS_TMP="$(mktemp -d)"
+trap 'rm -rf "${OBS_TMP}"' EXIT
+TSPOPT_TRACE="${OBS_TMP}/trace.json" TSPOPT_REPORT="${OBS_TMP}/report.json" \
+    "${PREFIX}-release/examples/ils_solver" 200 0.2 1 >/dev/null
+for f in trace report; do
+  python3 -m json.tool "${OBS_TMP}/${f}.json" >/dev/null \
+      || { echo "invalid ${f} JSON"; exit 1; }
+done
+echo "trace + report JSON valid."
 
 echo
 echo "CI passed."

@@ -1,0 +1,112 @@
+// Metric instruments: counter, gauge, fixed-bucket histogram.
+//
+// These are the building blocks of obs::Registry, but they are also usable
+// standalone: simt::PerfCounters embeds obs::Counter directly (it is a thin
+// façade over these instruments), so the SIMT kernels keep their
+// atomic-style increments while the observability layer reads the same
+// cells. All operations are thread-safe and use relaxed atomics — the
+// instruments count, they do not synchronize.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace tspopt::obs {
+
+// Monotonically increasing 64-bit counter. The fetch_add/load/store subset
+// of std::atomic is provided so code written against the former
+// std::atomic<std::uint64_t> fields of simt::PerfCounters compiles
+// unchanged against the façade.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+  // std::atomic-compatible surface (existing call sites).
+  std::uint64_t fetch_add(std::uint64_t n,
+                          std::memory_order = std::memory_order_relaxed) {
+    return v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t load(std::memory_order = std::memory_order_relaxed) const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void store(std::uint64_t v,
+             std::memory_order = std::memory_order_relaxed) {
+    v_.store(v, std::memory_order_relaxed);
+  }
+  Counter& operator=(std::uint64_t v) {
+    store(v);
+    return *this;
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+// Last-value-wins gauge (e.g. current best tour length).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+// Fixed-bucket histogram: `bounds` are inclusive upper bounds in ascending
+// order; one implicit overflow bucket catches everything above the last
+// bound. Bucket layout is fixed at construction so observe() is a single
+// scan + relaxed add (no locking, no allocation).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+    TSPOPT_CHECK_MSG(!bounds_.empty(), "histogram needs at least one bound");
+    for (std::size_t i = 1; i < bounds_.size(); ++i) {
+      TSPOPT_CHECK_MSG(bounds_[i - 1] < bounds_[i],
+                       "histogram bounds must be strictly ascending");
+    }
+    buckets_ =
+        std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+  }
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void observe(double v) {
+    std::size_t b = 0;
+    while (b < bounds_.size() && v > bounds_[b]) ++b;
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  // Bucket i counts observations in (bounds[i-1], bounds[i]]; index
+  // bounds().size() is the overflow bucket.
+  std::uint64_t bucket_count(std::size_t i) const {
+    TSPOPT_CHECK(i <= bounds_.size());
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+}  // namespace tspopt::obs

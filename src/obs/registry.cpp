@@ -1,0 +1,137 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+
+#include "obs/json.hpp"
+
+namespace tspopt::obs {
+
+namespace {
+
+const char* kind_name(Registry::Kind kind) {
+  switch (kind) {
+    case Registry::Kind::kCounter: return "counter";
+    case Registry::Kind::kGauge: return "gauge";
+    case Registry::Kind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+std::string instrument_key(std::string_view name, const LabelSet& labels) {
+  std::string key(name);
+  for (const auto& [k, v] : labels) {
+    key += '\x1f';  // unit separator: cannot appear in sane label text
+    key += k;
+    key += '\x1e';
+    key += v;
+  }
+  return key;
+}
+
+}  // namespace
+
+Registry::Instrument& Registry::find_or_create(std::string_view name,
+                                               LabelSet labels, Kind kind,
+                                               std::vector<double> bounds) {
+  std::sort(labels.begin(), labels.end());
+  std::string key = instrument_key(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = instruments_.find(key);
+  if (it != instruments_.end()) {
+    TSPOPT_CHECK_MSG(it->second.kind == kind,
+                     "instrument \"" << name << "\" already registered as a "
+                                     << kind_name(it->second.kind)
+                                     << ", requested as a "
+                                     << kind_name(kind));
+    return it->second;
+  }
+  Instrument inst;
+  inst.name = std::string(name);
+  inst.labels = std::move(labels);
+  inst.kind = kind;
+  switch (kind) {
+    case Kind::kCounter: inst.c = std::make_unique<Counter>(); break;
+    case Kind::kGauge: inst.g = std::make_unique<Gauge>(); break;
+    case Kind::kHistogram:
+      inst.h = std::make_unique<Histogram>(std::move(bounds));
+      break;
+  }
+  return instruments_.emplace(std::move(key), std::move(inst)).first->second;
+}
+
+Counter& Registry::counter(std::string_view name, LabelSet labels) {
+  return *find_or_create(name, std::move(labels), Kind::kCounter, {}).c;
+}
+
+Gauge& Registry::gauge(std::string_view name, LabelSet labels) {
+  return *find_or_create(name, std::move(labels), Kind::kGauge, {}).g;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<double> bounds, LabelSet labels) {
+  return *find_or_create(name, std::move(labels), Kind::kHistogram,
+                         std::move(bounds))
+              .h;
+}
+
+std::vector<Registry::Entry> Registry::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Entry> out;
+  out.reserve(instruments_.size());
+  // std::map iteration order over the serialized (name, labels) key IS the
+  // stable (name, labels) order.
+  for (const auto& [key, inst] : instruments_) {
+    out.push_back({inst.name, inst.labels, inst.kind, inst.c.get(),
+                   inst.g.get(), inst.h.get()});
+  }
+  return out;
+}
+
+void Registry::write_json(JsonWriter& w) const {
+  w.begin_array();
+  for (const Entry& e : entries()) {
+    w.begin_object();
+    w.key("name").value(e.name);
+    w.key("kind").value(kind_name(e.kind));
+    w.key("labels").begin_object();
+    for (const auto& [k, v] : e.labels) w.key(k).value(v);
+    w.end_object();
+    switch (e.kind) {
+      case Kind::kCounter:
+        w.key("value").value(e.c->value());
+        break;
+      case Kind::kGauge:
+        w.key("value").value(e.g->value());
+        break;
+      case Kind::kHistogram: {
+        w.key("count").value(e.h->count());
+        w.key("sum").value(e.h->sum());
+        w.key("bounds").begin_array();
+        for (double b : e.h->bounds()) w.value(b);
+        w.end_array();
+        w.key("buckets").begin_array();
+        for (std::size_t i = 0; i <= e.h->bounds().size(); ++i) {
+          w.value(e.h->bucket_count(i));
+        }
+        w.end_array();
+        break;
+      }
+    }
+    w.end_object();
+  }
+  w.end_array();
+}
+
+void Registry::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  instruments_.clear();
+}
+
+Registry& Registry::global() {
+  // Leaked on purpose: instrumented code may touch the registry from
+  // atexit-ordered destructors (e.g. the trace flush).
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+}  // namespace tspopt::obs

@@ -1,0 +1,82 @@
+// Metrics registry: named, labeled instruments with stable identity.
+//
+// The registry is the aggregation point the ISSUE's run reports read from:
+// code anywhere in the stack asks for `registry.counter("multi.retries",
+// {{"device", label}})` and gets the same instrument every time, so
+// increments from driver threads, kernels and the ILS loop all land in one
+// place. Instrument creation takes a lock; the returned references are
+// stable for the registry's lifetime and operate lock-free (see
+// metrics.hpp), so hot paths hold instrument references, not names.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace tspopt::obs {
+
+class JsonWriter;
+
+// Label set: (key, value) pairs. Order-insensitive — labels are sorted on
+// registration, so {{"a","1"},{"b","2"}} and {{"b","2"},{"a","1"}} name
+// the same instrument.
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+class Registry {
+ public:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  Counter& counter(std::string_view name, LabelSet labels = {});
+  Gauge& gauge(std::string_view name, LabelSet labels = {});
+  // Re-requesting an existing histogram returns it as-is; `bounds` only
+  // applies on first registration.
+  Histogram& histogram(std::string_view name, std::vector<double> bounds,
+                       LabelSet labels = {});
+
+  // Read-only view of one registered instrument (exactly one of c/g/h is
+  // non-null, matching `kind`).
+  struct Entry {
+    std::string name;
+    LabelSet labels;
+    Kind kind = Kind::kCounter;
+    const Counter* c = nullptr;
+    const Gauge* g = nullptr;
+    const Histogram* h = nullptr;
+  };
+
+  // Snapshot of every instrument, sorted by (name, labels) for stable
+  // report output.
+  std::vector<Entry> entries() const;
+
+  // Emit the instrument snapshot as a JSON array (the "metrics" section of
+  // the run report).
+  void write_json(JsonWriter& w) const;
+
+  // Drop every instrument. For tests; references obtained earlier dangle.
+  void clear();
+
+  // The process-wide registry the instrumented library code publishes to.
+  static Registry& global();
+
+ private:
+  struct Instrument {
+    std::string name;
+    LabelSet labels;
+    Kind kind;
+    std::unique_ptr<Counter> c;
+    std::unique_ptr<Gauge> g;
+    std::unique_ptr<Histogram> h;
+  };
+
+  Instrument& find_or_create(std::string_view name, LabelSet labels,
+                             Kind kind, std::vector<double> bounds);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Instrument> instruments_;
+};
+
+}  // namespace tspopt::obs

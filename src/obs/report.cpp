@@ -1,0 +1,128 @@
+#include "obs/report.hpp"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "common/check.hpp"
+#include "obs/json.hpp"
+#include "obs/registry.hpp"
+
+namespace tspopt::obs {
+
+void RunReport::set_instance(std::string name, std::int64_t n,
+                             std::string metric) {
+  has_instance_ = true;
+  instance_name_ = std::move(name);
+  instance_n_ = n;
+  instance_metric_ = std::move(metric);
+}
+
+void RunReport::set_engine(std::string name) { engine_name_ = std::move(name); }
+
+void RunReport::set_config(std::string key, std::string value) {
+  config_.emplace_back(std::move(key), std::move(value));
+}
+
+void RunReport::set_summary(std::string key, double value) {
+  summary_.emplace_back(std::move(key), value);
+}
+
+RunReport::DeviceSection& RunReport::add_device(std::string label,
+                                                std::string spec) {
+  devices_.push_back({std::move(label), std::move(spec), {}, {}});
+  return devices_.back();
+}
+
+void RunReport::add_convergence_point(const ConvergencePoint& point) {
+  convergence_.push_back(point);
+}
+
+void RunReport::set_metrics(const Registry& registry) {
+  JsonWriter w;
+  registry.write_json(w);
+  metrics_json_ = w.str();
+  has_metrics_ = true;
+}
+
+std::string RunReport::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("tspopt.run_report");
+  w.key("schema_version").value(std::int64_t{kRunReportSchemaVersion});
+  if (has_instance_) {
+    w.key("instance").begin_object();
+    w.key("name").value(instance_name_);
+    w.key("n").value(instance_n_);
+    w.key("metric").value(instance_metric_);
+    w.end_object();
+  }
+  if (!engine_name_.empty()) {
+    w.key("engine").begin_object();
+    w.key("name").value(engine_name_);
+    w.end_object();
+  }
+  if (!config_.empty()) {
+    w.key("config").begin_object();
+    for (const auto& [k, v] : config_) w.key(k).value(v);
+    w.end_object();
+  }
+  if (!summary_.empty()) {
+    w.key("summary").begin_object();
+    for (const auto& [k, v] : summary_) w.key(k).value(v);
+    w.end_object();
+  }
+  if (!devices_.empty()) {
+    w.key("devices").begin_array();
+    for (const DeviceSection& d : devices_) {
+      w.begin_object();
+      w.key("label").value(d.label);
+      w.key("spec").value(d.spec);
+      w.key("counters").begin_object();
+      for (const auto& [k, v] : d.counters) w.key(k).value(v);
+      w.end_object();
+      w.key("derived").begin_object();
+      for (const auto& [k, v] : d.derived) w.key(k).value(v);
+      w.end_object();
+      w.end_object();
+    }
+    w.end_array();
+  }
+  if (!convergence_.empty()) {
+    w.key("convergence").begin_array();
+    for (const ConvergencePoint& p : convergence_) {
+      w.begin_object();
+      w.key("seconds").value(p.seconds);
+      w.key("length").value(p.length);
+      w.key("iteration").value(p.iteration);
+      w.key("checks").value(p.checks);
+      w.key("passes").value(p.passes);
+      w.end_object();
+    }
+    w.end_array();
+  }
+  if (has_metrics_) {
+    w.key("metrics").raw_value(metrics_json_);
+  }
+  w.end_object();
+  return w.str();
+}
+
+void RunReport::write(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  TSPOPT_CHECK_MSG(out.good(), "cannot open report output " << path);
+  out << to_json() << '\n';
+  TSPOPT_CHECK_MSG(out.good(), "failed writing report to " << path);
+}
+
+std::string RunReport::path_from_env() {
+  const char* path = std::getenv("TSPOPT_REPORT");
+  return (path != nullptr) ? std::string(path) : std::string();
+}
+
+std::string RunReport::write_if_requested() const {
+  std::string path = path_from_env();
+  if (!path.empty()) write(path);
+  return path;
+}
+
+}  // namespace tspopt::obs

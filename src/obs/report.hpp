@@ -1,0 +1,92 @@
+// Machine-readable run reports.
+//
+// A RunReport serializes one whole run — instance metadata, engine/device
+// configuration, metrics snapshot, per-device counters with derived
+// series, and the ILS convergence curve — to a stable, versioned JSON
+// schema (see README "Observability" for the field map). The report layer
+// is deliberately generic (strings and numbers only): the simt/solver
+// adapters in solver/obs_adapters.hpp populate it, which keeps obs below
+// every other layer in the dependency order.
+//
+// Schema v1, top level (sections appear only when populated):
+//   { "schema": "tspopt.run_report", "schema_version": 1,
+//     "instance": {"name", "n", "metric"},
+//     "engine": {"name"},
+//     "config": { "<key>": "<value>", ... },
+//     "summary": { "<key>": <number>, ... },
+//     "devices": [ {"label", "spec", "counters": {...},
+//                   "derived": {...}} ],
+//     "convergence": [ {"seconds","length","iteration","checks","passes"} ],
+//     "metrics": [ <registry instrument objects> ] }
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tspopt::obs {
+
+class Registry;
+
+inline constexpr int kRunReportSchemaVersion = 1;
+
+class RunReport {
+ public:
+  void set_instance(std::string name, std::int64_t n, std::string metric);
+  void set_engine(std::string name);
+
+  // Free-form configuration key/values (engine options, env knobs).
+  void set_config(std::string key, std::string value);
+
+  // Numeric result summary (iterations, best length, wall seconds, ...).
+  void set_summary(std::string key, double value);
+
+  // One device's worth of counters and derived series. `counters` holds
+  // the raw monotonic counts; `derived` holds rates/ratios computed by the
+  // caller (checks/s, effective bandwidths).
+  struct DeviceSection {
+    std::string label;
+    std::string spec;
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> derived;
+  };
+  DeviceSection& add_device(std::string label, std::string spec);
+
+  struct ConvergencePoint {
+    double seconds = 0.0;
+    std::int64_t length = 0;
+    std::int64_t iteration = 0;
+    std::uint64_t checks = 0;
+    std::int64_t passes = 0;
+  };
+  void add_convergence_point(const ConvergencePoint& point);
+
+  // Attach a snapshot of `registry` (defaults used by callers: the global
+  // registry) as the "metrics" section.
+  void set_metrics(const Registry& registry);
+
+  std::string to_json() const;
+  void write(const std::string& path) const;
+
+  // TSPOPT_REPORT env var, or "" when unset.
+  static std::string path_from_env();
+  // Write to TSPOPT_REPORT when it is set; returns the path written, or
+  // "" when reporting is not requested.
+  std::string write_if_requested() const;
+
+ private:
+  bool has_instance_ = false;
+  std::string instance_name_;
+  std::int64_t instance_n_ = 0;
+  std::string instance_metric_;
+  std::string engine_name_;
+  std::vector<std::pair<std::string, std::string>> config_;
+  std::vector<std::pair<std::string, double>> summary_;
+  std::vector<DeviceSection> devices_;
+  std::vector<ConvergencePoint> convergence_;
+  bool has_metrics_ = false;
+  std::string metrics_json_;  // pre-rendered registry snapshot
+};
+
+}  // namespace tspopt::obs

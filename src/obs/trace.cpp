@@ -1,0 +1,197 @@
+#include "obs/trace.hpp"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "common/check.hpp"
+#include "obs/json.hpp"
+
+namespace tspopt::obs {
+
+namespace {
+
+// Per-thread span nesting depth. Thread-local and process-global rather
+// than per-tracer: a thread is inside one span stack regardless of which
+// tracer records it, and the common case is the single global tracer.
+thread_local std::int32_t t_depth = 0;
+
+std::string quoted(std::string_view v) {
+  std::string out;
+  out.reserve(v.size() + 2);
+  out += '"';
+  out += json_escape(v);
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::uint32_t current_thread_ordinal() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local std::uint32_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+Span::Span(Tracer* tracer, const char* name, const char* category)
+    : tracer_(tracer) {
+  event_.name = name;
+  event_.category = category;
+  event_.tid = current_thread_ordinal();
+  event_.depth = t_depth++;
+  event_.start_ns = tracer_->now_ns();
+}
+
+void Span::arg(const char* key, std::string_view value) {
+  if (tracer_ == nullptr) return;
+  event_.args.emplace_back(key, quoted(value));
+}
+
+void Span::arg(const char* key, const char* value) {
+  arg(key, std::string_view(value));
+}
+
+void Span::arg(const char* key, std::int64_t value) {
+  if (tracer_ == nullptr) return;
+  event_.args.emplace_back(key, std::to_string(value));
+}
+
+void Span::arg(const char* key, std::uint64_t value) {
+  if (tracer_ == nullptr) return;
+  event_.args.emplace_back(key, std::to_string(value));
+}
+
+void Span::arg(const char* key, double value) {
+  if (tracer_ == nullptr) return;
+  JsonWriter w;
+  w.value(value);
+  event_.args.emplace_back(key, w.str());
+}
+
+void Span::arg(const char* key, bool value) {
+  if (tracer_ == nullptr) return;
+  event_.args.emplace_back(key, value ? "true" : "false");
+}
+
+void Span::finish() {
+  if (tracer_ == nullptr) return;
+  event_.duration_ns = tracer_->now_ns() - event_.start_ns;
+  --t_depth;
+  Tracer* tracer = tracer_;
+  tracer_ = nullptr;
+  tracer->record(std::move(event_));
+}
+
+void Tracer::enable(bool on) {
+  enabled_.store(on, std::memory_order_relaxed);
+}
+
+void Tracer::instant(
+    const char* name, const char* category,
+    std::initializer_list<std::pair<const char*, std::string>> args) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.tid = current_thread_ordinal();
+  event.depth = t_depth;
+  event.start_ns = now_ns();
+  event.duration_ns = -1;
+  for (const auto& [key, value] : args) {
+    event.args.emplace_back(key, quoted(value));
+  }
+  record(std::move(event));
+}
+
+void Tracer::record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+std::int64_t Tracer::now_ns() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+std::string Tracer::chrome_trace_json() const {
+  std::vector<TraceEvent> snapshot = events();
+  JsonWriter w;
+  w.begin_object();
+  w.key("displayTimeUnit").value("ns");
+  w.key("traceEvents").begin_array();
+  for (const TraceEvent& e : snapshot) {
+    w.begin_object();
+    w.key("name").value(e.name);
+    w.key("cat").value(e.category);
+    if (e.duration_ns < 0) {
+      w.key("ph").value("i");
+      w.key("s").value("t");
+    } else {
+      w.key("ph").value("X");
+      w.key("dur").value(static_cast<double>(e.duration_ns) / 1e3);
+    }
+    w.key("ts").value(static_cast<double>(e.start_ns) / 1e3);
+    w.key("pid").value(std::int64_t{1});
+    w.key("tid").value(e.tid);
+    if (!e.args.empty()) {
+      w.key("args").begin_object();
+      for (const auto& [key, rendered] : e.args) {
+        w.key(key).raw_value(rendered);
+      }
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+void Tracer::write_chrome_trace(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  TSPOPT_CHECK_MSG(out.good(), "cannot open trace output " << path);
+  out << chrome_trace_json() << '\n';
+  TSPOPT_CHECK_MSG(out.good(), "failed writing trace to " << path);
+}
+
+void Tracer::set_flush_path(std::string path) {
+  flush_path_ = std::move(path);
+}
+
+void Tracer::flush() const {
+  if (!flush_path_.empty()) write_chrome_trace(flush_path_);
+}
+
+Tracer& Tracer::global() {
+  // Leaked on purpose so the atexit flush below can never race static
+  // destruction.
+  static Tracer* tracer = [] {
+    auto* t = new Tracer();
+    const char* path = std::getenv("TSPOPT_TRACE");
+    if (path != nullptr && *path != '\0') {
+      t->set_flush_path(path);
+      t->enable(true);
+      std::atexit([] { Tracer::global().flush(); });
+    }
+    return t;
+  }();
+  return *tracer;
+}
+
+}  // namespace tspopt::obs

@@ -1,0 +1,155 @@
+// Low-overhead span tracer with Chrome trace-event / Perfetto export.
+//
+// Instrumented code opens RAII spans:
+//
+//   obs::Span span = obs::Tracer::global().span("engine.pass", "engine");
+//   if (span) span.arg("n", n);
+//
+// When the tracer is disabled (the default) span() is a single relaxed
+// atomic load and the returned Span is inert — the ISSUE's "no measurable
+// overhead" guard. When enabled, each finished span records a named,
+// nested (depth-tracked), thread-attributed event with steady-clock
+// timestamps and key/value arguments; the whole buffer exports as Chrome
+// `chrome://tracing` / Perfetto trace-event JSON ("X" complete events, so
+// nesting renders from ts/dur containment per thread track).
+//
+// The global tracer reads TSPOPT_TRACE at first use: when set to a path,
+// tracing is enabled and the trace is written there at process exit. Tests
+// drive private Tracer instances (or enable/flush the global one)
+// explicitly.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tspopt::obs {
+
+// Process-unique small integer for the calling thread (assigned on first
+// use, in first-use order). This is the "tid" of exported trace events.
+std::uint32_t current_thread_ordinal();
+
+struct TraceEvent {
+  // Name/category point at string literals (the only call-site idiom);
+  // they are not copied.
+  const char* name = "";
+  const char* category = "";
+  std::int64_t start_ns = 0;
+  std::int64_t duration_ns = 0;  // -1 = instant event
+  std::uint32_t tid = 0;
+  std::int32_t depth = 0;  // span nesting depth on its thread (0 = root)
+  // Values are pre-rendered JSON fragments (quoted strings or bare
+  // numbers), so export never re-inspects types.
+  std::vector<std::pair<const char*, std::string>> args;
+};
+
+class Tracer;
+
+// RAII span guard. Move-only; records its event when destroyed (or
+// finish()ed early). A default-constructed or disabled Span is inert and
+// converts to false.
+class Span {
+ public:
+  Span() = default;
+  Span(Span&& o) noexcept
+      : tracer_(o.tracer_), event_(std::move(o.event_)) {
+    o.tracer_ = nullptr;
+  }
+  Span& operator=(Span&& o) noexcept {
+    if (this != &o) {
+      finish();
+      tracer_ = o.tracer_;
+      event_ = std::move(o.event_);
+      o.tracer_ = nullptr;
+    }
+    return *this;
+  }
+  ~Span() { finish(); }
+
+  explicit operator bool() const { return tracer_ != nullptr; }
+
+  // Attach a key/value attribute. Keys must be string literals.
+  void arg(const char* key, std::string_view value);
+  void arg(const char* key, const char* value);
+  void arg(const char* key, std::int64_t value);
+  void arg(const char* key, std::uint64_t value);
+  void arg(const char* key, std::int32_t value) {
+    arg(key, static_cast<std::int64_t>(value));
+  }
+  void arg(const char* key, std::uint32_t value) {
+    arg(key, static_cast<std::uint64_t>(value));
+  }
+  void arg(const char* key, double value);
+  void arg(const char* key, bool value);
+
+  // Record the event now instead of at destruction.
+  void finish();
+
+ private:
+  friend class Tracer;
+  Span(Tracer* tracer, const char* name, const char* category);
+
+  Tracer* tracer_ = nullptr;
+  TraceEvent event_;
+};
+
+class Tracer {
+ public:
+  Tracer() = default;
+
+  void enable(bool on);
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Open a span. Inert (no allocation, no clock read) when disabled.
+  Span span(const char* name, const char* category = "app") {
+    return enabled() ? Span(this, name, category) : Span();
+  }
+
+  // Record a zero-duration instant event (retry decisions, fault hits).
+  // All argument values are recorded as strings. No-op when disabled.
+  void instant(
+      const char* name, const char* category,
+      std::initializer_list<std::pair<const char*, std::string>> args = {});
+
+  void record(TraceEvent event);
+
+  std::vector<TraceEvent> events() const;
+  std::size_t event_count() const;
+  void clear();
+
+  // Chrome trace-event JSON ({"traceEvents": [...]}), loadable by
+  // chrome://tracing and ui.perfetto.dev.
+  std::string chrome_trace_json() const;
+  void write_chrome_trace(const std::string& path) const;
+
+  // Where flush() writes; the global tracer sets this from TSPOPT_TRACE.
+  void set_flush_path(std::string path);
+  const std::string& flush_path() const { return flush_path_; }
+  // Write the Chrome trace to flush_path(); no-op when the path is empty.
+  void flush() const;
+
+  // Nanoseconds since this tracer was constructed (its trace epoch).
+  std::int64_t now_ns() const;
+
+  // The process-wide tracer. First use reads TSPOPT_TRACE: a non-empty
+  // value enables tracing and registers an atexit flush to that path.
+  static Tracer& global();
+
+ private:
+  friend class Span;
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::string flush_path_;
+  std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+};
+
+}  // namespace tspopt::obs

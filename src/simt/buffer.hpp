@@ -31,6 +31,11 @@ class Buffer {
   void copy_from_host(std::span<const T> src) {
     TSPOPT_CHECK_MSG(src.size() <= data_.size(),
                      "H2D copy larger than buffer");
+    obs::Span span = obs::Tracer::global().span("simt.h2d", "simt");
+    if (span) {
+      span.arg("device", device_->label());
+      span.arg("bytes", static_cast<std::uint64_t>(src.size_bytes()));
+    }
     std::memcpy(data_.data(), src.data(), src.size_bytes());
     auto& c = device_->counters();
     c.h2d_transfers.fetch_add(1, std::memory_order_relaxed);
@@ -40,6 +45,11 @@ class Buffer {
   void copy_to_host(std::span<T> dst) const {
     TSPOPT_CHECK_MSG(dst.size() <= data_.size(),
                      "D2H copy larger than buffer");
+    obs::Span span = obs::Tracer::global().span("simt.d2h", "simt");
+    if (span) {
+      span.arg("device", device_->label());
+      span.arg("bytes", static_cast<std::uint64_t>(dst.size_bytes()));
+    }
     std::memcpy(dst.data(), data_.data(), dst.size_bytes());
     auto& c = device_->counters();
     c.d2h_transfers.fetch_add(1, std::memory_order_relaxed);

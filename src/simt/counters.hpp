@@ -4,42 +4,48 @@
 // launches); the performance model converts these counts into modeled
 // device times, and benches report them directly (e.g. Table II's
 // "2-opt checks/s" column).
+//
+// PerfCounters is a thin façade over obs::Counter instruments: the fields
+// keep their std::atomic-style API (fetch_add/load) for kernel code, while
+// the observability layer absorbs the same cells into the metrics registry
+// with per-device labels (obs_adapters.hpp) for run reports.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
+
+#include "obs/metrics.hpp"
 
 namespace tspopt::simt {
 
 struct PerfCounters {
-  std::atomic<std::uint64_t> kernel_launches{0};
-  std::atomic<std::uint64_t> checks{0};            // 2-opt pair evaluations
-  std::atomic<std::uint64_t> h2d_transfers{0};
-  std::atomic<std::uint64_t> h2d_bytes{0};
-  std::atomic<std::uint64_t> d2h_transfers{0};
-  std::atomic<std::uint64_t> d2h_bytes{0};
-  std::atomic<std::uint64_t> shared_bytes_allocated{0};  // peak per launch sum
-  std::atomic<std::uint64_t> global_reads{0};      // device-memory loads
+  obs::Counter kernel_launches;
+  obs::Counter checks;            // 2-opt pair evaluations
+  obs::Counter h2d_transfers;
+  obs::Counter h2d_bytes;
+  obs::Counter d2h_transfers;
+  obs::Counter d2h_bytes;
+  obs::Counter shared_bytes_allocated;  // peak per launch sum
+  obs::Counter global_reads;      // device-memory loads
 
   // Device health (fault injection / fault tolerance). kernel_launches
   // counts completed launches only; the failure counters record what the
   // injector (or a real flaky device) did instead.
-  std::atomic<std::uint64_t> launch_failures{0};   // rejected launches
-  std::atomic<std::uint64_t> hangs{0};             // watchdog-killed launches
-  std::atomic<std::uint64_t> corrupted_results{0}; // mangled D2H readbacks
+  obs::Counter launch_failures;   // rejected launches
+  obs::Counter hangs;             // watchdog-killed launches
+  obs::Counter corrupted_results; // mangled D2H readbacks
 
   void reset() {
-    kernel_launches = 0;
-    checks = 0;
-    h2d_transfers = 0;
-    h2d_bytes = 0;
-    d2h_transfers = 0;
-    d2h_bytes = 0;
-    shared_bytes_allocated = 0;
-    global_reads = 0;
-    launch_failures = 0;
-    hangs = 0;
-    corrupted_results = 0;
+    kernel_launches.store(0);
+    checks.store(0);
+    h2d_transfers.store(0);
+    h2d_bytes.store(0);
+    d2h_transfers.store(0);
+    d2h_bytes.store(0);
+    shared_bytes_allocated.store(0);
+    global_reads.store(0);
+    launch_failures.store(0);
+    hangs.store(0);
+    corrupted_results.store(0);
   }
 
   std::uint64_t faults() const {
@@ -59,6 +65,23 @@ struct PerfCounters {
     std::uint64_t launch_failures;
     std::uint64_t hangs;
     std::uint64_t corrupted_results;
+
+    // Interval delta: `after - before` is the work done between the two
+    // snapshots (callers must pass the later snapshot on the left — the
+    // counters are monotonic, so fields never wrap for ordered pairs).
+    Snapshot operator-(const Snapshot& earlier) const {
+      return {kernel_launches - earlier.kernel_launches,
+              checks - earlier.checks,
+              h2d_transfers - earlier.h2d_transfers,
+              h2d_bytes - earlier.h2d_bytes,
+              d2h_transfers - earlier.d2h_transfers,
+              d2h_bytes - earlier.d2h_bytes,
+              shared_bytes_allocated - earlier.shared_bytes_allocated,
+              global_reads - earlier.global_reads,
+              launch_failures - earlier.launch_failures,
+              hangs - earlier.hangs,
+              corrupted_results - earlier.corrupted_results};
+    }
   };
 
   Snapshot snapshot() const {

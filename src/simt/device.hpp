@@ -13,6 +13,9 @@
 #include <string>
 
 #include "common/check.hpp"
+#include "common/timer.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "simt/counters.hpp"
 #include "simt/device_spec.hpp"
@@ -71,7 +74,24 @@ class Device {
   // spec name; set a unique label when several identical cards are present
   // so fault plans and health reports can tell them apart.
   const std::string& label() const { return label_; }
-  void set_label(std::string label) { label_ = std::move(label); }
+  void set_label(std::string label) {
+    label_ = std::move(label);
+    launch_latency_ = nullptr;  // re-resolve under the new label
+  }
+
+  // Per-device launch latency histogram, registered lazily in the global
+  // metrics registry as simt.launch_us{device=<label>}. The pointer is
+  // cached so the per-launch cost is one steady-clock pair + one atomic
+  // bucket increment.
+  obs::Histogram& launch_latency() {
+    if (launch_latency_ == nullptr) {
+      launch_latency_ = &obs::Registry::global().histogram(
+          "simt.launch_us", {50, 100, 250, 500, 1000, 2500, 5000, 10000,
+                             25000, 50000, 100000, 500000},
+          {{"device", label_}});
+    }
+    return *launch_latency_;
+  }
 
   // Fault injection (nullptr = healthy device). The injector is borrowed
   // and may be shared between devices; it is consulted at every launch.
@@ -116,8 +136,24 @@ class Device {
                                   << spec_.shared_mem_bytes);
     std::uint64_t ordinal =
         launch_ordinal_.fetch_add(1, std::memory_order_relaxed);
+    obs::Span span = obs::Tracer::global().span("simt.launch", "simt");
+    if (span) {
+      span.arg("device", label_);
+      span.arg("launch", ordinal);
+      span.arg("grid_dim", cfg.grid_dim);
+      span.arg("block_dim", cfg.block_dim);
+    }
+    WallTimer launch_timer;
     if (injector_ != nullptr) {
-      injector_->before_launch(*this, ordinal);  // may throw DeviceError
+      try {
+        injector_->before_launch(*this, ordinal);  // may throw DeviceError
+      } catch (const DeviceError& e) {
+        obs::Tracer::global().instant(
+            "simt.fault", "simt",
+            {{"device", label_}, {"kind", to_string(e.kind())},
+             {"launch", std::to_string(ordinal)}});
+        throw;
+      }
     }
     counters_.kernel_launches.fetch_add(1, std::memory_order_relaxed);
 
@@ -139,6 +175,7 @@ class Device {
             shared.used(), std::memory_order_relaxed);
       }
     });
+    launch_latency().observe(launch_timer.micros());
   }
 
  private:
@@ -147,6 +184,7 @@ class Device {
   ThreadPool* pool_;
   PerfCounters counters_;
   const FaultInjector* injector_ = nullptr;
+  obs::Histogram* launch_latency_ = nullptr;  // cached registry instrument
   std::atomic<std::uint64_t> launch_ordinal_{0};
   std::atomic<bool> corrupt_next_readback_{false};
 };

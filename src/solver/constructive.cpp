@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "obs/trace.hpp"
 #include "tsp/neighbor_lists.hpp"
 
 namespace tspopt {
@@ -13,6 +14,9 @@ namespace tspopt {
 Tour nearest_neighbor(const Instance& instance, std::int32_t start) {
   const std::int32_t n = instance.n();
   TSPOPT_CHECK(start >= 0 && start < n);
+  obs::Span span =
+      obs::Tracer::global().span("construct.nearest_neighbor", "solver");
+  if (span) span.arg("n", n);
   std::vector<bool> visited(static_cast<std::size_t>(n), false);
   std::vector<std::int32_t> order;
   order.reserve(static_cast<std::size_t>(n));
@@ -72,6 +76,9 @@ struct CandidateEdge {
 Tour multiple_fragment(const Instance& instance, std::int32_t k) {
   const std::int32_t n = instance.n();
   TSPOPT_CHECK(k >= 1);
+  obs::Span span =
+      obs::Tracer::global().span("construct.multiple_fragment", "solver");
+  if (span) span.arg("n", n);
 
   // Candidate edges: each city to its k nearest neighbors (deduplicated by
   // keeping a < b), sorted by length.

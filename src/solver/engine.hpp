@@ -12,6 +12,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/trace.hpp"
 #include "solver/pair_index.hpp"
 #include "tsp/instance.hpp"
 #include "tsp/tour.hpp"
@@ -67,5 +68,16 @@ class TwoOptEngine {
   // (as the paper's host code does before every kernel launch).
   virtual SearchResult search(const Instance& instance, const Tour& tour) = 0;
 };
+
+// The shared "engine.pass" span every engine opens at the top of search().
+// Inert (one relaxed load) when the global tracer is disabled.
+inline obs::Span pass_span(const TwoOptEngine& engine, const Tour& tour) {
+  obs::Span span = obs::Tracer::global().span("engine.pass", "engine");
+  if (span) {
+    span.arg("engine", engine.name());
+    span.arg("n", tour.n());
+  }
+  return span;
+}
 
 }  // namespace tspopt

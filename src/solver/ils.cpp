@@ -4,6 +4,8 @@
 
 #include "common/rng.hpp"
 #include "common/timer.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "solver/checkpoint.hpp"
 
 namespace tspopt {
@@ -43,6 +45,8 @@ struct LoopState {
 
 void write_checkpoint(const std::string& path, const LoopState& st,
                       double now) {
+  obs::Span span = obs::Tracer::global().span("ils.checkpoint", "ils");
+  if (span) span.arg("iteration", st.result.iterations);
   IlsCheckpoint ck;
   ck.iterations = st.result.iterations;
   ck.improvements = st.result.improvements;
@@ -69,13 +73,31 @@ IlsResult run_loop(TwoOptEngine& engine, const Instance& instance,
   WallTimer timer;
   auto now = [&] { return st.base_seconds + timer.seconds(); };
 
+  // Per-iteration telemetry. Instrument references are resolved once per
+  // run; the loop body pays only lock-free atomic updates.
+  obs::Registry& registry = obs::Registry::global();
+  obs::Counter& m_iterations = registry.counter("ils.iterations");
+  obs::Counter& m_accepted = registry.counter("ils.accepted");
+  obs::Counter& m_improvements = registry.counter("ils.improvements");
+  obs::Counter& m_perturbations = registry.counter("ils.perturbations");
+  obs::Gauge& m_best = registry.gauge("ils.best_length");
+  obs::Histogram& m_iteration_us = registry.histogram(
+      "ils.iteration_us",
+      {100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000, 250000,
+       500000, 1000000, 5000000});
+  m_best.set(static_cast<double>(st.result.best_length));
+
   while ((options.max_iterations < 0 ||
           st.result.iterations < options.max_iterations) &&
          (options.time_limit_seconds < 0.0 ||
           now() < options.time_limit_seconds)) {
+    obs::Span iter_span = obs::Tracer::global().span("ils.iteration", "ils");
+    WallTimer iter_timer;
+
     // Perturbation (line 5): double bridge on a copy of the incumbent.
     Tour candidate = st.incumbent;
     candidate.double_bridge(st.rng);
+    m_perturbations.add();
 
     // Local search (line 6), clipped to the remaining time budget.
     LocalSearchOptions round = options.local_search;
@@ -89,22 +111,36 @@ IlsResult run_loop(TwoOptEngine& engine, const Instance& instance,
     st.result.checks += stats.checks;
     st.passes += stats.passes;
     ++st.result.iterations;
+    m_iterations.add();
 
     // Acceptance criterion (line 7).
     std::int64_t length = candidate.length(instance);
-    if (length < st.result.best_length) {
+    bool improved = length < st.result.best_length;
+    if (improved) {
       st.result.best = candidate;
       st.result.best_length = length;
       ++st.result.improvements;
+      m_improvements.add();
+      m_best.set(static_cast<double>(st.result.best_length));
       st.result.trace.push_back({now(), st.result.best_length,
                                  st.result.iterations, st.result.checks,
                                  st.passes});
     }
-    if (accept(options.acceptance, options.epsilon, length,
-               st.incumbent_len)) {
+    bool accepted = accept(options.acceptance, options.epsilon, length,
+                           st.incumbent_len);
+    if (accepted) {
       st.incumbent = std::move(candidate);
       st.incumbent_len = length;
+      m_accepted.add();
     }
+    if (iter_span) {
+      iter_span.arg("iteration", st.result.iterations);
+      iter_span.arg("length", length);
+      iter_span.arg("best", st.result.best_length);
+      iter_span.arg("accepted", accepted);
+      iter_span.arg("improved", improved);
+    }
+    m_iteration_us.observe(iter_timer.micros());
 
     if (!options.checkpoint_path.empty() && options.checkpoint_every > 0 &&
         st.result.iterations % options.checkpoint_every == 0) {
@@ -129,7 +165,10 @@ IlsResult iterated_local_search(TwoOptEngine& engine, const Instance& instance,
   if (options.time_limit_seconds >= 0.0 && ls.time_limit_seconds < 0.0) {
     ls.time_limit_seconds = options.time_limit_seconds;
   }
+  obs::Span descent_span =
+      obs::Tracer::global().span("ils.initial_descent", "ils");
   LocalSearchStats descent = local_search(engine, instance, incumbent, ls);
+  descent_span.finish();
 
   LoopState st(incumbent, Pcg32(options.seed),
                IlsResult{incumbent, 0, 0, 0, 0, 0.0, {}});

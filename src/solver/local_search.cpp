@@ -15,6 +15,8 @@ LocalSearchStats local_search(TwoOptEngine& engine, const Instance& instance,
         timer.seconds() >= options.time_limit_seconds) {
       break;
     }
+    obs::Span span = obs::Tracer::global().span("ls.pass", "solver");
+    if (span) span.arg("pass", stats.passes);
     SearchResult pass = engine.search(instance, tour);
     ++stats.passes;
     stats.checks += pass.checks;

@@ -1,0 +1,94 @@
+#include "solver/obs_adapters.hpp"
+
+#include <string>
+
+namespace tspopt {
+
+namespace {
+
+obs::RunReport::DeviceSection& fill_device_section(
+    obs::RunReport& report, const simt::Device& device,
+    const simt::PerfCounters::Snapshot& s, double wall_seconds) {
+  const simt::DeviceSpec& spec = device.spec();
+  obs::RunReport::DeviceSection& section =
+      report.add_device(device.label(), spec.name + " (" + spec.api + ")");
+  section.counters = {
+      {"kernel_launches", s.kernel_launches},
+      {"checks", s.checks},
+      {"h2d_transfers", s.h2d_transfers},
+      {"h2d_bytes", s.h2d_bytes},
+      {"d2h_transfers", s.d2h_transfers},
+      {"d2h_bytes", s.d2h_bytes},
+      {"shared_bytes_allocated", s.shared_bytes_allocated},
+      {"global_reads", s.global_reads},
+      {"launch_failures", s.launch_failures},
+      {"hangs", s.hangs},
+      {"corrupted_results", s.corrupted_results},
+      {"launches_attempted", device.launches_attempted()},
+  };
+  if (wall_seconds > 0.0) {
+    section.derived = {
+        {"checks_per_sec", static_cast<double>(s.checks) / wall_seconds},
+        {"h2d_bytes_per_sec",
+         static_cast<double>(s.h2d_bytes) / wall_seconds},
+        {"d2h_bytes_per_sec",
+         static_cast<double>(s.d2h_bytes) / wall_seconds},
+        {"launches_per_sec",
+         static_cast<double>(s.kernel_launches) / wall_seconds},
+    };
+  }
+  return section;
+}
+
+}  // namespace
+
+obs::RunReport::DeviceSection& describe_device(obs::RunReport& report,
+                                               const simt::Device& device,
+                                               double wall_seconds) {
+  return fill_device_section(report, device, device.counters().snapshot(),
+                             wall_seconds);
+}
+
+obs::RunReport::DeviceSection& describe_device_interval(
+    obs::RunReport& report, const simt::Device& device,
+    const simt::PerfCounters::Snapshot& interval, double wall_seconds) {
+  return fill_device_section(report, device, interval, wall_seconds);
+}
+
+void report_ils(obs::RunReport& report, const IlsResult& result) {
+  report.set_summary("best_length", static_cast<double>(result.best_length));
+  report.set_summary("iterations", static_cast<double>(result.iterations));
+  report.set_summary("improvements",
+                     static_cast<double>(result.improvements));
+  report.set_summary("checks", static_cast<double>(result.checks));
+  report.set_summary("wall_seconds", result.wall_seconds);
+  if (result.wall_seconds > 0.0) {
+    report.set_summary("checks_per_sec", static_cast<double>(result.checks) /
+                                             result.wall_seconds);
+  }
+  for (const IlsTracePoint& p : result.trace) {
+    report.add_convergence_point(
+        {p.seconds, p.length, p.iteration, p.checks, p.passes});
+  }
+}
+
+void report_multi_device(obs::RunReport& report,
+                         const TwoOptMultiDevice& engine) {
+  report.set_summary("devices", static_cast<double>(engine.device_count()));
+  report.set_summary("devices_active",
+                     static_cast<double>(engine.active_device_count()));
+  report.set_summary("redeals", static_cast<double>(engine.redeals()));
+  report.set_summary("host_fallback",
+                     engine.used_host_fallback() ? 1.0 : 0.0);
+  for (std::size_t d = 0; d < engine.device_count(); ++d) {
+    const DeviceHealth& h = engine.health(d);
+    report.set_summary("device." + h.label + ".failures",
+                       static_cast<double>(h.failures));
+    report.set_summary("device." + h.label + ".retries",
+                       static_cast<double>(h.retries));
+    report.set_summary("device." + h.label + ".quarantined",
+                       h.quarantined ? 1.0 : 0.0);
+  }
+}
+
+}  // namespace tspopt

@@ -1,0 +1,44 @@
+// Populate obs::RunReport sections from simt/solver objects.
+//
+// The report layer (obs/report.hpp) is deliberately generic — strings and
+// numbers only — so it can sit below simt in the dependency order. These
+// adapters are the solver-side glue that knows what a Device, an
+// IlsResult, or a TwoOptMultiDevice looks like and turns each into report
+// sections: raw counters, derived rates (checks/s, effective PCIe
+// bandwidth), convergence curves, and fault-tolerance health.
+#pragma once
+
+#include "obs/report.hpp"
+#include "simt/device.hpp"
+#include "solver/ils.hpp"
+#include "solver/twoopt_multi.hpp"
+
+namespace tspopt {
+
+// Add one device section: the full PerfCounters snapshot as raw counters,
+// plus derived rates over `wall_seconds` (checks/s — Table II's headline
+// column — and effective H2D/D2H bytes/s). Pass `wall_seconds <= 0` to
+// skip the rates (counters only).
+obs::RunReport::DeviceSection& describe_device(obs::RunReport& report,
+                                               const simt::Device& device,
+                                               double wall_seconds);
+
+// As above, but for an explicit counter interval (e.g. a Snapshot
+// difference bracketing one descent) rather than the device's lifetime
+// totals.
+obs::RunReport::DeviceSection& describe_device_interval(
+    obs::RunReport& report, const simt::Device& device,
+    const simt::PerfCounters::Snapshot& interval, double wall_seconds);
+
+// Summarize an ILS run: iterations/improvements/checks/best length into
+// the summary section and the full convergence trace (Fig 10/11's curves)
+// into the convergence section.
+void report_ils(obs::RunReport& report, const IlsResult& result);
+
+// Record the fault-tolerance story of a multi-device engine: per-device
+// failures/retries/quarantine flags as summary keys, plus re-deal and
+// host-fallback totals.
+void report_multi_device(obs::RunReport& report,
+                         const TwoOptMultiDevice& engine);
+
+}  // namespace tspopt

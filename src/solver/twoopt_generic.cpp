@@ -9,6 +9,7 @@ namespace tspopt {
 SearchResult TwoOptGeneric::search(const Instance& instance,
                                    const Tour& tour) {
   WallTimer timer;
+  obs::Span span = pass_span(*this, tour);
   TSPOPT_CHECK(instance.n() == tour.n());
   const std::int32_t n = tour.n();
   std::span<const std::int32_t> route = tour.order();

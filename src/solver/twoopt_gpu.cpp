@@ -136,6 +136,7 @@ std::int32_t TwoOptGpuSmall::max_cities(const simt::Device& device,
 SearchResult TwoOptGpuSmall::search(const Instance& instance,
                                     const Tour& tour) {
   WallTimer timer;
+  obs::Span span = pass_span(*this, tour);
   const std::int32_t n = tour.n();
   TSPOPT_CHECK_MSG(n <= max_cities(device_, preorder_),
                    "instance too large for the single-range kernel ("

@@ -8,6 +8,7 @@
 
 #include "common/check.hpp"
 #include "common/timer.hpp"
+#include "obs/registry.hpp"
 #include "solver/twoopt_sequential.hpp"
 
 namespace tspopt {
@@ -111,9 +112,19 @@ void TwoOptMultiDevice::run_partition(std::size_t part, std::size_t device,
                                       const Tour& tour, SearchResult& out,
                                       bool& ok, std::exception_ptr& fatal) {
   DeviceHealth& health = health_[device];
+  const std::string& label = devices_[device]->label();
+  obs::Tracer& tracer = obs::Tracer::global();
   double backoff_ms = options_.backoff_initial_ms;
+  std::uint64_t attempt_no = 0;
   try {
     for (;;) {
+      obs::Span span = tracer.span("multi.partition", "multi");
+      if (span) {
+        span.arg("part", static_cast<std::uint64_t>(part));
+        span.arg("device", label);
+        span.arg("attempt", attempt_no);
+      }
+      ++attempt_no;
       try {
         SearchResult attempt = engines_[part]->search(instance, tour);
         if (options_.validate) {
@@ -127,13 +138,25 @@ void TwoOptMultiDevice::run_partition(std::size_t part, std::size_t device,
         // Transient device fault: back off and retry this partition, up to
         // the quarantine threshold. Anything else (contract violations,
         // bad_alloc, ...) is not a device health matter and propagates.
+        span.finish();
         ++health.failures;
+        obs::Registry::global()
+            .counter("multi.failures", {{"device", label}})
+            .add();
         if (++health.consecutive_failures >= options_.quarantine_after) {
           health.quarantined = true;
+          obs::Registry::global()
+              .counter("multi.quarantines", {{"device", label}})
+              .add();
+          tracer.instant("multi.quarantine", "multi", {{"device", label}});
           ok = false;
           return;
         }
         ++health.retries;
+        obs::Registry::global()
+            .counter("multi.retries", {{"device", label}})
+            .add();
+        tracer.instant("multi.retry", "multi", {{"device", label}});
         if (backoff_ms > 0.0) {
           std::this_thread::sleep_for(
               std::chrono::duration<double, std::milli>(backoff_ms));
@@ -151,6 +174,7 @@ void TwoOptMultiDevice::run_partition(std::size_t part, std::size_t device,
 SearchResult TwoOptMultiDevice::search(const Instance& instance,
                                        const Tour& tour) {
   WallTimer timer;
+  obs::Span span = pass_span(*this, tour);
   for (;;) {
     std::vector<std::size_t> active = active_devices();
 
@@ -164,6 +188,8 @@ SearchResult TwoOptMultiDevice::search(const Instance& instance,
                                  "is disabled");
       if (!fallback_) fallback_ = std::make_unique<TwoOptSequential>();
       used_host_fallback_ = true;
+      obs::Registry::global().counter("multi.host_fallback_passes").add();
+      obs::Tracer::global().instant("multi.host_fallback", "multi");
       SearchResult result = fallback_->search(instance, tour);
       result.wall_seconds = timer.seconds();
       return result;
@@ -205,6 +231,8 @@ SearchResult TwoOptMultiDevice::search(const Instance& instance,
       // the full tile set across the remaining devices and rerun the pass
       // (search is a pure function of (instance, tour), so this is safe).
       ++redeals_;
+      obs::Registry::global().counter("multi.redeals").add();
+      obs::Tracer::global().instant("multi.redeal", "multi");
       continue;
     }
 

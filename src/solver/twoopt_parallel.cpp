@@ -10,6 +10,7 @@ namespace tspopt {
 SearchResult TwoOptCpuParallel::search(const Instance& instance,
                                        const Tour& tour) {
   WallTimer timer;
+  obs::Span span = pass_span(*this, tour);
   order_coordinates(instance, tour, ordered_);
   std::span<const Point> ordered = ordered_;
   const std::int32_t n = tour.n();

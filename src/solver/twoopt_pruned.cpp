@@ -8,6 +8,7 @@ namespace tspopt {
 
 SearchResult TwoOptPruned::search(const Instance& instance, const Tour& tour) {
   WallTimer timer;
+  obs::Span span = pass_span(*this, tour);
   TSPOPT_CHECK(neighbors_.n() == tour.n());
   order_coordinates(instance, tour, ordered_);
   std::span<const Point> ordered = ordered_;

@@ -9,6 +9,7 @@ namespace tspopt {
 SearchResult TwoOptSequential::search(const Instance& instance,
                                       const Tour& tour) {
   WallTimer timer;
+  obs::Span span = pass_span(*this, tour);
   SearchResult result;
   const std::int32_t n = tour.n();
 

@@ -180,6 +180,7 @@ std::uint64_t TwoOptGpuTiled::launches_for(std::int32_t n) const {
 SearchResult TwoOptGpuTiled::search(const Instance& instance,
                                     const Tour& tour) {
   WallTimer timer;
+  obs::Span span = pass_span(*this, tour);
   const std::int32_t n = tour.n();
 
   order_coordinates(instance, tour, ordered_);

@@ -11,10 +11,12 @@
 #include "solver/constructive.hpp"
 #include "solver/delta.hpp"
 #include "solver/ordering.hpp"
+#include "solver/simd.hpp"
 #include "solver/twoopt_gpu.hpp"
 #include "solver/twoopt_parallel.hpp"
 #include "solver/twoopt_pruned.hpp"
 #include "solver/twoopt_sequential.hpp"
+#include "solver/twoopt_simd.hpp"
 #include "solver/twoopt_tiled.hpp"
 #include "tsp/generator.hpp"
 
@@ -50,6 +52,56 @@ void BM_SequentialPass(benchmark::State& state) {
   report_checks(state, n);
 }
 BENCHMARK(BM_SequentialPass)->Arg(100)->Arg(1000)->Arg(4000);
+
+// The ISSUE's headline comparison: the vectorized single-thread pass
+// (runtime dispatch, AVX2 on this host if available) against
+// BM_SequentialPass above. Acceptance: >= 2x at n >= 1000 on an AVX2 host.
+void BM_SimdPass(benchmark::State& state) {
+  std::int64_t n = state.range(0);
+  Instance inst = bench_instance(n);
+  Tour tour = bench_tour(n);
+  TwoOptSimd engine;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.search(inst, tour).best.delta);
+  }
+  report_checks(state, n);
+  state.SetLabel(engine.kernels().name);
+}
+BENCHMARK(BM_SimdPass)->Arg(100)->Arg(1000)->Arg(4000)->Arg(12000);
+
+// Same engine pinned to the scalar row kernel: isolates lane parallelism
+// from the row-restructuring (hoisted removed-edge term, SoA staging).
+void BM_SimdPassScalarKernel(benchmark::State& state) {
+  std::int64_t n = state.range(0);
+  Instance inst = bench_instance(n);
+  Tour tour = bench_tour(n);
+  TwoOptSimd engine(&simd::kernels(simd::Level::kScalar));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.search(inst, tour).best.delta);
+  }
+  report_checks(state, n);
+}
+BENCHMARK(BM_SimdPassScalarKernel)->Arg(1000)->Arg(4000);
+
+// One row through the dispatched kernel: the W-wide inner loop itself.
+void BM_SimdRowKernel(benchmark::State& state) {
+  std::int64_t len = state.range(0);
+  Instance inst = bench_instance(len + 2);
+  Tour tour = bench_tour(len + 2);
+  SoaCoords soa;
+  order_coordinates_soa(inst, tour, soa);
+  const simd::Kernels& k = simd::active();
+  auto j = static_cast<std::int32_t>(len + 1);
+  simd::RowArgs row{soa.xs(), soa.ys(), 0,          static_cast<std::int32_t>(len),
+                    soa.xs()[j], soa.ys()[j], soa.xs()[j + 1], soa.ys()[j + 1]};
+  for (auto _ : state) {
+    simd::RowBest rb = k.row(row);
+    benchmark::DoNotOptimize(rb);
+  }
+  state.SetItemsProcessed(state.iterations() * len);
+  state.SetLabel(k.name);
+}
+BENCHMARK(BM_SimdRowKernel)->Arg(64)->Arg(1000)->Arg(3063);
 
 void BM_ParallelPass(benchmark::State& state) {
   std::int64_t n = state.range(0);

@@ -8,6 +8,10 @@
 # Pass 3: Observability smoke — run a small traced ILS with
 #         TSPOPT_TRACE/TSPOPT_REPORT set and validate that both emitted
 #         files are well-formed JSON.
+# Pass 4: SIMD dispatch matrix — the engine-equivalence suite under
+#         TSPOPT_SIMD=scalar and TSPOPT_SIMD=avx2 (the AVX2 leg skips
+#         cleanly on hosts without the instructions), then a bench_engines
+#         smoke that emits a BENCH_engines.json artifact.
 #
 # Usage: scripts/ci.sh [build-dir-prefix]   (default: build-ci)
 set -euo pipefail
@@ -41,6 +45,34 @@ for f in trace report; do
       || { echo "invalid ${f} JSON"; exit 1; }
 done
 echo "trace + report JSON valid."
+
+echo
+echo "== Pass 4: SIMD dispatch matrix + bench artifact =="
+# Every dispatch level must produce bit-identical engine results. The
+# equivalence binaries re-run with the level pinned via TSPOPT_SIMD; an
+# override naming an unsupported level is a hard error by design, so the
+# avx2 leg only runs where the CPU reports the instructions.
+for level in scalar avx2; do
+  if [ "${level}" = avx2 ] && \
+     ! grep -q -w avx2 /proc/cpuinfo 2>/dev/null; then
+    echo "TSPOPT_SIMD=${level}: CPU lacks AVX2, skipping."
+    continue
+  fi
+  echo "TSPOPT_SIMD=${level}: equivalence suites"
+  TSPOPT_SIMD="${level}" "${PREFIX}-release/tests/test_simd" \
+      --gtest_brief=1
+  TSPOPT_SIMD="${level}" "${PREFIX}-release/tests/test_engines" \
+      --gtest_brief=1
+done
+
+BENCH_OUT="${PREFIX}-release/BENCH_engines.json"
+"${PREFIX}-release/bench/bench_engines" \
+    --benchmark_filter='BM_SequentialPass/1000|BM_SimdPass/1000' \
+    --benchmark_min_time=0.05 \
+    --benchmark_format=json --benchmark_out="${BENCH_OUT}" >/dev/null
+python3 -m json.tool "${BENCH_OUT}" >/dev/null \
+    || { echo "invalid bench JSON"; exit 1; }
+echo "bench artifact: ${BENCH_OUT}"
 
 echo
 echo "CI passed."

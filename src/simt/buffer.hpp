@@ -28,6 +28,13 @@ class Buffer {
 
   std::size_t size() const { return data_.size(); }
 
+  // Grow-only (re)allocation, the cudaMalloc-once idiom: engines that run
+  // a pass per ILS iteration keep their buffers across search() calls, so
+  // steady-state passes never reallocate device memory.
+  void ensure_size(std::size_t count) {
+    if (count > data_.size()) data_.resize(count);
+  }
+
   void copy_from_host(std::span<const T> src) {
     TSPOPT_CHECK_MSG(src.size() <= data_.size(),
                      "H2D copy larger than buffer");

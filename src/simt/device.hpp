@@ -159,8 +159,12 @@ class Device {
 
     std::atomic<std::uint32_t> next_block{0};
     pool_->run_on_all([&](std::size_t) {
-      // One shared-memory arena per worker, reused across its blocks.
-      SharedMemory shared(spec_.shared_mem_bytes);
+      // One shared-memory arena per worker *thread*, reused across blocks
+      // and across launches (grow-only): in the ILS steady state a launch
+      // allocates no arena storage.
+      thread_local SharedMemory shared(0);
+      shared.reset();
+      shared.set_capacity(spec_.shared_mem_bytes);
       for (;;) {
         std::uint32_t b = next_block.fetch_add(1, std::memory_order_relaxed);
         if (b >= cfg.grid_dim) return;

@@ -19,11 +19,9 @@ namespace tspopt::simt {
 class SharedMemory {
  public:
   explicit SharedMemory(std::uint32_t capacity_bytes)
-      : storage_(capacity_bytes) {}
+      : storage_(capacity_bytes), limit_(capacity_bytes) {}
 
-  std::uint32_t capacity() const {
-    return static_cast<std::uint32_t>(storage_.size());
-  }
+  std::uint32_t capacity() const { return limit_; }
   std::uint32_t used() const { return used_; }
 
   // Allocate `count` elements of T, aligned to alignof(T). Throws
@@ -35,9 +33,9 @@ class SharedMemory {
     std::uint32_t offset = (used_ + align - 1) / align * align;
     auto bytes = static_cast<std::uint64_t>(count) * sizeof(T);
     TSPOPT_CHECK_MSG(
-        offset + bytes <= storage_.size(),
+        offset + bytes <= limit_,
         "shared memory exhausted: need " << bytes << " B at offset " << offset
-                                         << ", capacity " << storage_.size());
+                                         << ", capacity " << limit_);
     used_ = offset + static_cast<std::uint32_t>(bytes);
     // storage_ is char-backed and we only ever hand out trivial types.
     return {reinterpret_cast<T*>(storage_.data() + offset), count};
@@ -46,8 +44,21 @@ class SharedMemory {
   // Release everything (between kernel phases of different launches).
   void reset() { used_ = 0; }
 
+  // Retarget the arena to a device's limit, for arenas reused across
+  // launches (possibly on devices with different shared-memory limits).
+  // The enforcement limit always becomes `capacity_bytes` exactly; the
+  // backing storage only ever grows, so steady-state launches allocate
+  // nothing. Resizing an in-use arena would invalidate outstanding
+  // alloc() spans, so this is only legal on a reset arena.
+  void set_capacity(std::uint32_t capacity_bytes) {
+    TSPOPT_CHECK(used_ == 0);
+    if (capacity_bytes > storage_.size()) storage_.resize(capacity_bytes);
+    limit_ = capacity_bytes;
+  }
+
  private:
   std::vector<char> storage_;
+  std::uint32_t limit_ = 0;  // enforced capacity; <= storage_.size()
   std::uint32_t used_ = 0;
 };
 

@@ -71,11 +71,15 @@ class TwoOptEngine {
 
 // The shared "engine.pass" span every engine opens at the top of search().
 // Inert (one relaxed load) when the global tracer is disabled.
-inline obs::Span pass_span(const TwoOptEngine& engine, const Tour& tour) {
+// `simd_width` is the engine's vector lane count for this pass (1 =
+// scalar), so traces show which dispatch level a pass ran at.
+inline obs::Span pass_span(const TwoOptEngine& engine, const Tour& tour,
+                           std::int32_t simd_width = 1) {
   obs::Span span = obs::Tracer::global().span("engine.pass", "engine");
   if (span) {
     span.arg("engine", engine.name());
     span.arg("n", tour.n());
+    span.arg("simd_width", static_cast<std::int64_t>(simd_width));
   }
   return span;
 }

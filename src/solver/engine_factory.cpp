@@ -7,6 +7,7 @@
 #include "solver/twoopt_parallel.hpp"
 #include "solver/twoopt_pruned.hpp"
 #include "solver/twoopt_sequential.hpp"
+#include "solver/twoopt_simd.hpp"
 #include "solver/twoopt_tiled.hpp"
 
 namespace tspopt {
@@ -20,10 +21,11 @@ EngineFactory::EngineFactory(const Instance* instance, std::int32_t k)
 const std::vector<std::string>& EngineFactory::available() {
   static const std::vector<std::string> names = {
       "cpu-sequential", "cpu-sequential-indirect",
-      "cpu-generic",    "cpu-parallel",
-      "cpu-lut",        "cpu-pruned",
-      "gpu-small",      "gpu-small-indirect",
-      "gpu-tiled",      "gpu-multi",
+      "cpu-generic",    "cpu-simd",
+      "cpu-parallel",   "cpu-lut",
+      "cpu-pruned",     "gpu-small",
+      "gpu-small-indirect", "gpu-tiled",
+      "gpu-multi",
   };
   return names;
 }
@@ -37,6 +39,9 @@ std::unique_ptr<TwoOptEngine> EngineFactory::create(const std::string& name) {
   }
   if (name == "cpu-generic") {
     return std::make_unique<TwoOptGeneric>();
+  }
+  if (name == "cpu-simd") {
+    return std::make_unique<TwoOptSimd>();
   }
   if (name == "cpu-parallel") {
     return std::make_unique<TwoOptCpuParallel>();

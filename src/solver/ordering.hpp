@@ -10,6 +10,7 @@
 
 #include "common/check.hpp"
 #include "tsp/instance.hpp"
+#include "tsp/soa.hpp"
 #include "tsp/tour.hpp"
 
 namespace tspopt {
@@ -32,6 +33,26 @@ inline std::vector<Point> order_coordinates(const Instance& instance,
   std::vector<Point> out;
   order_coordinates(instance, tour, out);
   return out;
+}
+
+// Same permutation, straight into the SoA split the vector kernels read
+// (one pass, no intermediate Point array). Reuses `out`'s capacity.
+inline void order_coordinates_soa(const Instance& instance, const Tour& tour,
+                                  SoaCoords& out) {
+  TSPOPT_CHECK(instance.n() == tour.n());
+  TSPOPT_CHECK_MSG(instance.has_coordinates(),
+                   "coordinate engines require a coordinate-based instance");
+  out.resize(tour.n());
+  std::span<const Point> pts = instance.points();
+  std::span<const std::int32_t> route = tour.order();
+  float* xs = out.xs();
+  float* ys = out.ys();
+  for (std::size_t p = 0; p < route.size(); ++p) {
+    const Point& pt = pts[static_cast<std::size_t>(route[p])];
+    xs[p] = pt.x;
+    ys[p] = pt.y;
+  }
+  out.close();
 }
 
 }  // namespace tspopt

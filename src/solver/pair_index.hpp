@@ -46,6 +46,35 @@ inline PairIJ pair_from_index(std::int64_t k) {
   return {static_cast<std::int32_t>(i), static_cast<std::int32_t>(j)};
 }
 
+// Decompose the linearized pair range [lo, hi) into row segments: maximal
+// runs of pairs sharing one j. Calls fn(i_begin, i_end, j, k_begin) per
+// segment, k_begin == pair_index(i_begin, j), segments in ascending k.
+// This is how the vectorized engines turn a flat chunk of the triangle
+// into row kernels, and everything stays 64-bit: at the paper's
+// n = 744710 the triangle has ~2.77e11 pairs, far past INT32_MAX (any
+// chunk with k >= 2^31 would corrupt a 32-bit walk — the regression tests
+// drive this at the boundary).
+template <typename Fn>
+inline void for_each_row_segment(std::int64_t lo, std::int64_t hi, Fn&& fn) {
+  TSPOPT_DCHECK(0 <= lo && lo <= hi);
+  if (lo == hi) return;
+  PairIJ p = pair_from_index(lo);
+  std::int64_t i = p.i;
+  std::int64_t j = p.j;
+  std::int64_t k = lo;
+  while (k < hi) {
+    // Row j spans k in [j(j-1)/2, j(j+1)/2).
+    std::int64_t row_end_k = j * (j + 1) / 2;
+    std::int64_t seg_end_k = row_end_k < hi ? row_end_k : hi;
+    std::int64_t i_end = i + (seg_end_k - k);
+    fn(static_cast<std::int32_t>(i), static_cast<std::int32_t>(i_end),
+       static_cast<std::int32_t>(j), k);
+    k = seg_end_k;
+    i = 0;
+    ++j;
+  }
+}
+
 // Advance a pair by `steps` positions in the linearized order without
 // re-running the triangular root — the cheap way to implement the paper's
 // grid-stride jumps ("jumps blocks*threads distance iter times"). Cost is

@@ -1,0 +1,192 @@
+#include "solver/simd.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/check.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define TSPOPT_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define TSPOPT_SIMD_X86 0
+#endif
+
+namespace tspopt::simd {
+
+namespace {
+
+// The paper's Listing-1 distance (see tsp/metric.hpp dist_euc2d), on bare
+// floats. Plain mul/add/sqrt/truncate: each step is a correctly-rounded
+// IEEE single operation, so the AVX2 kernel's lane arithmetic reproduces
+// it bit-for-bit. The build disables FP contraction globally so neither
+// path fuses the sum of squares into an FMA behind our back.
+inline std::int32_t dist_f(float ax, float ay, float bx, float by) {
+  float dx = ax - bx;
+  float dy = ay - by;
+  return static_cast<std::int32_t>(std::sqrt(dx * dx + dy * dy) + 0.5f);
+}
+
+RowBest row_scalar(const RowArgs& a) {
+  // The removed edge (j, j+1) is row-constant; hoist its length.
+  const std::int32_t djj1 = dist_f(a.xj, a.yj, a.xj1, a.yj1);
+  RowBest best;
+  for (std::int32_t i = a.i_begin; i < a.i_end; ++i) {
+    std::int32_t d =
+        (dist_f(a.xs[i], a.ys[i], a.xj, a.yj) +
+         dist_f(a.xs[i + 1], a.ys[i + 1], a.xj1, a.yj1)) -
+        (dist_f(a.xs[i], a.ys[i], a.xs[i + 1], a.ys[i + 1]) + djj1);
+    // Strict < keeps the earliest (smallest-i) move on delta ties, and the
+    // kNoMove sentinel (+1) admits every delta <= 0 exactly once.
+    if (d < best.delta) best = {d, i};
+  }
+  return best;
+}
+
+#if TSPOPT_SIMD_X86
+
+__attribute__((target("avx2,fma"))) inline __m256i dist_v(__m256 ax, __m256 ay,
+                                                          __m256 bx,
+                                                          __m256 by) {
+  __m256 dx = _mm256_sub_ps(ax, bx);
+  __m256 dy = _mm256_sub_ps(ay, by);
+  // Deliberately mul+add (not FMA): must match the scalar dist bit-exactly.
+  __m256 s = _mm256_add_ps(_mm256_mul_ps(dx, dx), _mm256_mul_ps(dy, dy));
+  __m256 r = _mm256_add_ps(_mm256_sqrt_ps(s), _mm256_set1_ps(0.5f));
+  return _mm256_cvttps_epi32(r);  // truncation, as static_cast<int32>
+}
+
+__attribute__((target("avx2,fma"))) RowBest row_avx2(const RowArgs& a) {
+  constexpr std::int32_t kW = 8;
+  const std::int32_t djj1 = dist_f(a.xj, a.yj, a.xj1, a.yj1);
+
+  const __m256 xj = _mm256_set1_ps(a.xj);
+  const __m256 yj = _mm256_set1_ps(a.yj);
+  const __m256 xj1 = _mm256_set1_ps(a.xj1);
+  const __m256 yj1 = _mm256_set1_ps(a.yj1);
+  const __m256i removed_jj1 = _mm256_set1_epi32(djj1);
+
+  __m256i best_d = _mm256_set1_epi32(RowBest::kNoMove);
+  __m256i best_i = _mm256_set1_epi32(-1);
+  __m256i iv = _mm256_add_epi32(_mm256_set1_epi32(a.i_begin),
+                                _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7));
+
+  std::int32_t i = a.i_begin;
+  for (; i + kW <= a.i_end; i += kW) {
+    // Coalesced SoA loads: positions i..i+7 and their +1 successors.
+    __m256 xi = _mm256_loadu_ps(a.xs + i);
+    __m256 yi = _mm256_loadu_ps(a.ys + i);
+    __m256 xi1 = _mm256_loadu_ps(a.xs + i + 1);
+    __m256 yi1 = _mm256_loadu_ps(a.ys + i + 1);
+
+    __m256i added = _mm256_add_epi32(dist_v(xi, yi, xj, yj),
+                                     dist_v(xi1, yi1, xj1, yj1));
+    __m256i removed =
+        _mm256_add_epi32(dist_v(xi, yi, xi1, yi1), removed_jj1);
+    __m256i d = _mm256_sub_epi32(added, removed);
+
+    // d < best_d per lane: strict, so the earliest i wins lane-local ties
+    // (i only grows within a lane).
+    __m256i take = _mm256_cmpgt_epi32(best_d, d);
+    best_d = _mm256_blendv_epi8(best_d, d, take);
+    best_i = _mm256_blendv_epi8(best_i, iv, take);
+    iv = _mm256_add_epi32(iv, _mm256_set1_epi32(kW));
+  }
+
+  // Horizontal reduction: lexicographic (delta, i) minimum across lanes.
+  // Lane order does not encode i order across steps, so compare stored i.
+  alignas(32) std::int32_t lane_d[kW];
+  alignas(32) std::int32_t lane_i[kW];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lane_d), best_d);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lane_i), best_i);
+  RowBest best;
+  for (std::int32_t l = 0; l < kW; ++l) {
+    if (lane_d[l] < best.delta ||
+        (lane_d[l] == best.delta && best.found() && lane_i[l] < best.i)) {
+      best = {lane_d[l], lane_i[l]};
+    }
+  }
+
+  // Scalar tail for the remaining len % W positions. Their i exceeds every
+  // vectorized i, so a tail move must be strictly better to win.
+  for (; i < a.i_end; ++i) {
+    std::int32_t d =
+        (dist_f(a.xs[i], a.ys[i], a.xj, a.yj) +
+         dist_f(a.xs[i + 1], a.ys[i + 1], a.xj1, a.yj1)) -
+        (dist_f(a.xs[i], a.ys[i], a.xs[i + 1], a.ys[i + 1]) + djj1);
+    if (d < best.delta) best = {d, i};
+  }
+  return best;
+}
+
+#endif  // TSPOPT_SIMD_X86
+
+const Kernels kScalarKernels{Level::kScalar, "scalar", 1, &row_scalar};
+#if TSPOPT_SIMD_X86
+const Kernels kAvx2Kernels{Level::kAvx2, "avx2", 8, &row_avx2};
+#endif
+
+}  // namespace
+
+std::string to_string(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool cpu_supports(Level level) {
+  if (level == Level::kScalar) return true;
+#if TSPOPT_SIMD_X86
+  if (level == Level::kAvx2) {
+    return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  }
+#endif
+  return false;
+}
+
+const Kernels& kernels(Level level) {
+  TSPOPT_CHECK_MSG(cpu_supports(level),
+                   "SIMD level " << to_string(level)
+                                 << " not supported by this CPU");
+  switch (level) {
+    case Level::kScalar:
+      return kScalarKernels;
+    case Level::kAvx2:
+#if TSPOPT_SIMD_X86
+      return kAvx2Kernels;
+#else
+      break;
+#endif
+  }
+  TSPOPT_CHECK_MSG(false, "unreachable SIMD level");
+  return kScalarKernels;
+}
+
+std::vector<Level> supported_levels() {
+  std::vector<Level> levels = {Level::kScalar};
+  if (cpu_supports(Level::kAvx2)) levels.push_back(Level::kAvx2);
+  return levels;
+}
+
+const Kernels& resolve(const char* override_value) {
+  if (override_value != nullptr && override_value[0] != '\0') {
+    std::string v = override_value;
+    TSPOPT_CHECK_MSG(v == "scalar" || v == "avx2",
+                     "TSPOPT_SIMD must be 'scalar' or 'avx2' (got '" << v
+                                                                     << "')");
+    return kernels(v == "avx2" ? Level::kAvx2 : Level::kScalar);
+  }
+  return cpu_supports(Level::kAvx2) ? kernels(Level::kAvx2)
+                                    : kScalarKernels;
+}
+
+const Kernels& active() {
+  static const Kernels& chosen = resolve(std::getenv("TSPOPT_SIMD"));
+  return chosen;
+}
+
+}  // namespace tspopt::simd

@@ -1,0 +1,104 @@
+// Vectorized 2-opt row kernels with runtime CPUID dispatch.
+//
+// The paper's kernels get their throughput from coalesced float2 loads out
+// of shared memory (Optimization 1) over route-ordered coordinates
+// (Optimization 2). The CPU analogue is SIMD over a structure-of-arrays
+// split of the same route-ordered data: W consecutive positions load as
+// two contiguous float vectors (xs[i..i+W), ys[i..i+W)), the W candidate
+// pairs of a row evaluate in lock-step lanes, and a lane-local best-move
+// record is reduced horizontally at the end of the row.
+//
+// The unit of dispatch is one *row* of the pair triangle: all pairs (i, j)
+// with i in [i_begin, i_end) against a fixed j — exactly Listing 2's
+// two-range kernel with range B pinned to the single position j. Every
+// 2-opt engine's pair space decomposes into such rows (the brute-force
+// triangle row-by-row, a tile rectangle row-by-row, a linearized chunk
+// into row segments), so one primitive serves them all.
+//
+// Implementations are selected at runtime (CPUID), so one binary runs
+// everywhere: the scalar kernel is the portable fallback, the AVX2/FMA
+// kernel is compiled with a function-level target attribute and only ever
+// called when the CPU reports support. TSPOPT_SIMD=scalar|avx2 overrides
+// the choice for A/B testing. All kernels compute bit-identical results:
+// the arithmetic is plain IEEE mul/add/sqrt/truncate in both paths (the
+// build globally disables FP contraction so no path fuses into FMA), and
+// the lane reduction preserves the engines' lowest-index tie-break.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tspopt::simd {
+
+enum class Level : std::int32_t {
+  kScalar = 0,  // portable, always available
+  kAvx2 = 1,    // 8-wide AVX2 (+FMA cpuid gate), x86-64 only
+};
+
+std::string to_string(Level level);
+
+// One row of candidate pairs: positions i in [i_begin, i_end) against the
+// fixed position j. `xs`/`ys` are position-indexed SoA coordinates;
+// xs[i + 1] must be readable for every evaluated i (the staged +1
+// successor entry, wrapping to position 0 at the tour end).
+struct RowArgs {
+  const float* xs = nullptr;
+  const float* ys = nullptr;
+  std::int32_t i_begin = 0;
+  std::int32_t i_end = 0;
+  float xj = 0.0f, yj = 0.0f;    // coordinate of position j
+  float xj1 = 0.0f, yj1 = 0.0f;  // successor of j (wraps at the tour end)
+};
+
+// Row result: the lexicographic minimum of (delta, i) over the row's
+// non-worsening pairs (delta <= 0), matching consider_move's tie-break.
+// kNoMove means no pair of the row had delta <= 0.
+struct RowBest {
+  static constexpr std::int32_t kNoMove = 1;
+  std::int32_t delta = kNoMove;
+  std::int32_t i = -1;
+
+  bool found() const { return delta <= 0; }
+};
+
+using RowKernelFn = RowBest (*)(const RowArgs&);
+
+// A resolved kernel set. `width` is the lane count W; rows shorter than W
+// (and the final len % W positions of longer rows) run in the scalar tail.
+struct Kernels {
+  Level level = Level::kScalar;
+  const char* name = "scalar";
+  std::int32_t width = 1;
+  RowKernelFn row = nullptr;
+
+  std::int64_t vector_pairs(std::int64_t row_len) const {
+    return row_len - row_len % width;
+  }
+  std::int64_t tail_pairs(std::int64_t row_len) const {
+    return row_len % width;
+  }
+};
+
+// True when the running CPU can execute `level` (kScalar is always true;
+// kAvx2 requires the AVX2 and FMA CPUID bits).
+bool cpu_supports(Level level);
+
+// Kernel set for an explicitly chosen level. CHECK-fails if the CPU does
+// not support it — callers probing optional levels use cpu_supports first.
+const Kernels& kernels(Level level);
+
+// Every level the running CPU supports, in ascending width order.
+std::vector<Level> supported_levels();
+
+// The process-wide kernel set: the widest supported level, unless the
+// TSPOPT_SIMD environment variable (scalar|avx2) overrides it. Resolved
+// once at first use; an override naming an unsupported or unknown level
+// CHECK-fails rather than silently falling back.
+const Kernels& active();
+
+// Resolution rule behind active(), exposed for tests: `override` mimics
+// the TSPOPT_SIMD value (nullptr = unset).
+const Kernels& resolve(const char* override_value);
+
+}  // namespace tspopt::simd

@@ -7,6 +7,11 @@
 // TWO coordinate ranges in shared memory (Listing 2's two-array distance
 // function) — each range also carries its successor coordinate, with
 // wraparound at the tour end — and evaluates every pair crossing them.
+// The staging is structure-of-arrays (xs[]/ys[] per range, tsp/soa.hpp's
+// layout): the simulator's analogue of the coalesced float2 shared-memory
+// loads, which lets each block thread sweep its rows of the tile with the
+// runtime-dispatched SIMD row kernels (solver/simd.hpp) — the Listing-2
+// two-range delta evaluated W pairs at a time.
 // One launch covers up to grid_dim tiles (block b <-> tile b of the batch),
 // so "big problems involve multiple kernel launches" exactly as in Fig. 8,
 // and the launches are independent.
@@ -14,16 +19,24 @@
 // At 48 kB shared memory the two staged ranges bound the tile height at
 // 3064 cities (the paper quotes 3072, ignoring the +1 successor entries
 // and the reduction record).
+//
+// Staging buffers, tile lists and host result arrays are engine members
+// whose capacity is reused across passes — repeated search() calls (the
+// ILS steady state) do not reallocate.
 #pragma once
 
 #include <vector>
 
+#include "obs/registry.hpp"
 #include "simt/buffer.hpp"
 #include "simt/device.hpp"
 #include "solver/engine.hpp"
+#include "solver/simd.hpp"
 #include "tsp/point.hpp"
 
 namespace tspopt {
+
+struct TileDesc;  // one tile of the pair triangle (twoopt_tiled.cpp)
 
 class TwoOptGpuTiled : public TwoOptEngine {
  public:
@@ -31,10 +44,13 @@ class TwoOptGpuTiled : public TwoOptEngine {
   // (`part`, `parts`) restrict the engine to tiles t with t % parts ==
   // part — the unit of work distribution for TwoOptMultiDevice (the
   // paper's §VI multi-GPU direction). The default (0, 1) covers the whole
-  // pair triangle.
+  // pair triangle. `kernels == nullptr` uses the process-wide SIMD
+  // dispatch (simd::active()).
   explicit TwoOptGpuTiled(simt::Device& device, std::int32_t tile = 0,
                           simt::LaunchConfig config = {},
-                          std::uint32_t part = 0, std::uint32_t parts = 1);
+                          std::uint32_t part = 0, std::uint32_t parts = 1,
+                          const simd::Kernels* kernels = nullptr);
+  ~TwoOptGpuTiled() override;  // defined where TileDesc is complete
 
   std::string name() const override { return "gpu-tiled"; }
 
@@ -55,8 +71,16 @@ class TwoOptGpuTiled : public TwoOptEngine {
   simt::LaunchConfig config_;
   std::uint32_t part_;
   std::uint32_t parts_;
+  const simd::Kernels& kernels_;
   std::vector<Point> ordered_;
   std::vector<BestMove> host_results_;
+  simt::Buffer<Point> coords_;
+  simt::Buffer<BestMove> results_;
+  std::vector<TileDesc> tiles_;
+  // Registry instruments for per-pass SIMD coverage, resolved lazily so
+  // steady-state passes are allocation-free.
+  obs::Counter* pairs_vectorized_ = nullptr;
+  obs::Counter* pairs_scalar_tail_ = nullptr;
 };
 
 }  // namespace tspopt

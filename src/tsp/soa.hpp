@@ -1,0 +1,63 @@
+// Structure-of-arrays coordinate view.
+//
+// The CPU analogue of the paper's coalesced float2 layout: the
+// route-ordered Point array splits into two contiguous float arrays so W
+// consecutive positions load as two vector registers. Each array carries
+// n + 1 entries — the extra entry duplicates position 0, the same +1
+// successor staging the tiled engine gives each range, so kernels read
+// xs[p + 1] for any position p without a wraparound branch.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+#include "tsp/point.hpp"
+
+namespace tspopt {
+
+class SoaCoords {
+ public:
+  // Rebuild from route-ordered points. Reuses capacity: steady-state
+  // re-staging (every 2-opt pass) does not allocate.
+  void assign_ordered(std::span<const Point> ordered) {
+    n_ = static_cast<std::int32_t>(ordered.size());
+    xs_.resize(ordered.size() + 1);
+    ys_.resize(ordered.size() + 1);
+    for (std::size_t p = 0; p < ordered.size(); ++p) {
+      xs_[p] = ordered[p].x;
+      ys_[p] = ordered[p].y;
+    }
+    close();
+  }
+
+  // Size without populating (callers that fill xs()/ys() directly, e.g.
+  // route-ordering straight from the instance). close() seals the wrap.
+  void resize(std::int32_t n) {
+    TSPOPT_CHECK(n >= 0);
+    n_ = n;
+    xs_.resize(static_cast<std::size_t>(n) + 1);
+    ys_.resize(static_cast<std::size_t>(n) + 1);
+  }
+
+  // Seal the +1 successor entry: position n wraps to position 0.
+  void close() {
+    TSPOPT_CHECK(n_ >= 1);
+    xs_[static_cast<std::size_t>(n_)] = xs_[0];
+    ys_[static_cast<std::size_t>(n_)] = ys_[0];
+  }
+
+  std::int32_t n() const { return n_; }
+  const float* xs() const { return xs_.data(); }
+  const float* ys() const { return ys_.data(); }
+  float* xs() { return xs_.data(); }
+  float* ys() { return ys_.data(); }
+
+ private:
+  std::int32_t n_ = 0;
+  std::vector<float> xs_;  // n + 1 entries, [n] == [0]
+  std::vector<float> ys_;
+};
+
+}  // namespace tspopt

@@ -1,0 +1,144 @@
+// Steady-state allocation discipline of the 2-opt engines: repeated
+// search() calls — the ILS inner loop — must reuse engine-owned capacity
+// (SoA staging, device buffers, tile lists, partial-result arrays) instead
+// of reallocating every pass.
+//
+// This TU replaces the global allocation functions with counting wrappers;
+// each test file links into its own executable, so the replacement is
+// local to this binary. The counter is thread_local: an assertion about
+// the calling thread is not perturbed by pool workers allocating their
+// own thread_local arenas on first use.
+//
+// The single-thread engines must allocate NOTHING once warmed. The
+// thread-pool-backed engines allocate a fixed per-launch amount inside
+// ThreadPool::run_on_all (one promise/future pair per worker per launch),
+// so for them the contract is: the steady-state count is *identical*
+// across passes — capacity growth would show up as pass-to-pass drift.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace {
+thread_local std::uint64_t t_news = 0;
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++t_news;
+  if (void* p = std::malloc(size != 0 ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  ++t_news;
+  auto a = static_cast<std::size_t>(align);
+  std::size_t rounded = (size + a - 1) / a * a;
+  if (void* p = std::aligned_alloc(a, rounded != 0 ? rounded : a)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+#include "common/rng.hpp"
+#include "simt/device.hpp"
+#include "solver/twoopt_parallel.hpp"
+#include "solver/twoopt_sequential.hpp"
+#include "solver/twoopt_simd.hpp"
+#include "solver/twoopt_tiled.hpp"
+#include "tsp/generator.hpp"
+
+namespace tspopt {
+namespace {
+
+template <typename Fn>
+std::uint64_t allocations_during(Fn&& fn) {
+  std::uint64_t before = t_news;
+  fn();
+  return t_news - before;
+}
+
+struct Fixture {
+  Instance inst;
+  Tour tour;
+  Fixture(std::int32_t n, std::uint64_t seed)
+      : inst(generate_uniform("alloc" + std::to_string(n), n, seed)),
+        tour(Tour::identity(n)) {
+    Pcg32 rng(seed);
+    tour = Tour::random(n, rng);
+  }
+};
+
+TEST(AllocReuse, SimdEngineSteadyStateAllocatesNothing) {
+  Fixture f(500, 1);
+  TwoOptSimd engine;
+  // Two warm-up passes: the first grows the SoA staging and resolves the
+  // lazy registry counters, the second proves the warm state is reached.
+  engine.search(f.inst, f.tour);
+  engine.search(f.inst, f.tour);
+  EXPECT_EQ(allocations_during([&] { engine.search(f.inst, f.tour); }), 0u);
+}
+
+TEST(AllocReuse, SequentialEngineSteadyStateAllocatesNothing) {
+  Fixture f(500, 2);
+  TwoOptSequential engine;
+  engine.search(f.inst, f.tour);
+  engine.search(f.inst, f.tour);
+  EXPECT_EQ(allocations_during([&] { engine.search(f.inst, f.tour); }), 0u);
+}
+
+TEST(AllocReuse, SimdEngineReusesCapacityAcrossShrinkingInstances) {
+  // A pass over a smaller instance after a larger one must fit entirely in
+  // the capacity the large pass left behind.
+  Fixture big(1000, 3);
+  Fixture small(200, 4);
+  TwoOptSimd engine;
+  engine.search(big.inst, big.tour);
+  EXPECT_EQ(allocations_during([&] { engine.search(small.inst, small.tour); }),
+            0u);
+}
+
+TEST(AllocReuse, TiledEngineSteadyStateCountIsStable) {
+  Fixture f(800, 5);
+  simt::Device device(simt::gtx680_cuda());
+  TwoOptGpuTiled engine(device, 128);
+  std::uint64_t first =
+      allocations_during([&] { engine.search(f.inst, f.tour); });
+  std::uint64_t second =
+      allocations_during([&] { engine.search(f.inst, f.tour); });
+  std::uint64_t third =
+      allocations_during([&] { engine.search(f.inst, f.tour); });
+  // The cold pass grows the ordered/coords/tiles/results staging; warm
+  // passes pay only the fixed ThreadPool launch overhead.
+  EXPECT_EQ(second, third);
+  EXPECT_LT(third, first);
+}
+
+TEST(AllocReuse, ParallelEngineSteadyStateCountIsStable) {
+  Fixture f(800, 6);
+  TwoOptCpuParallel engine;
+  std::uint64_t first =
+      allocations_during([&] { engine.search(f.inst, f.tour); });
+  std::uint64_t second =
+      allocations_during([&] { engine.search(f.inst, f.tour); });
+  std::uint64_t third =
+      allocations_during([&] { engine.search(f.inst, f.tour); });
+  EXPECT_EQ(second, third);
+  EXPECT_LE(third, first);
+}
+
+}  // namespace
+}  // namespace tspopt

@@ -14,6 +14,7 @@
 #include "solver/twoopt_lut.hpp"
 #include "solver/twoopt_parallel.hpp"
 #include "solver/twoopt_sequential.hpp"
+#include "solver/twoopt_simd.hpp"
 #include "solver/twoopt_tiled.hpp"
 #include "tsp/catalog.hpp"
 #include "tsp/distance_matrix.hpp"
@@ -72,6 +73,10 @@ TEST_P(EngineEquivalence, AllEnginesAgreeOnBestMove) {
 
   std::vector<std::unique_ptr<TwoOptEngine>> engines;
   engines.push_back(std::make_unique<TwoOptSequential>(false));
+  engines.push_back(std::make_unique<TwoOptSimd>());
+  for (simd::Level level : simd::supported_levels()) {
+    engines.push_back(std::make_unique<TwoOptSimd>(&simd::kernels(level)));
+  }
   engines.push_back(std::make_unique<TwoOptCpuParallel>());
 
   simt::Device device(simt::gtx680_cuda());

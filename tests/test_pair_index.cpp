@@ -123,5 +123,93 @@ TEST(PairIndex, LastIndexOfLargestPaperInstance) {
   EXPECT_EQ(p.j, n - 1);
 }
 
+TEST(PairIndex, CountsBeyondInt32StayExact) {
+  // n = 65537 is the first power-of-two-ish boundary where the triangle
+  // no longer fits in 32 bits: any intermediate truncated to int32 would
+  // corrupt the walk. The paper's lrb744710 is ~129x further out.
+  EXPECT_EQ(pair_count(65537), 2147516416LL);
+  EXPECT_GT(pair_count(65537), static_cast<std::int64_t>(INT32_MAX));
+  EXPECT_EQ(pair_count(744710), 277296119695LL);
+  for (std::int64_t n : {65536LL, 65537LL, 65538LL, 744710LL}) {
+    std::int64_t last = pair_count(n) - 1;
+    PairIJ p = pair_from_index(last);
+    EXPECT_EQ(p.i, n - 2) << n;
+    EXPECT_EQ(p.j, n - 1) << n;
+    EXPECT_EQ(pair_index(p.i, p.j), last) << n;
+  }
+}
+
+TEST(PairIndex, RoundTripAcrossTheInt32Boundary) {
+  // Every index in a window straddling 2^31: exactly where 32-bit pair
+  // arithmetic would wrap negative.
+  const std::int64_t boundary = static_cast<std::int64_t>(INT32_MAX) + 1;
+  for (std::int64_t k = boundary - 70000; k <= boundary + 70000; k += 997) {
+    PairIJ p = pair_from_index(k);
+    ASSERT_EQ(pair_index(p.i, p.j), k) << "k=" << k;
+  }
+}
+
+TEST(PairIndex, RowSegmentsCoverAnyChunkExactlyOnce) {
+  // for_each_row_segment is how the vectorized parallel engine turns a
+  // flat chunk [lo, hi) into row kernels: the segments must tile the chunk
+  // contiguously, each pinned to one j with k_begin == pair_index(i_begin, j).
+  Pcg32 rng(17);
+  const std::int64_t total = pair_count(300);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::int64_t lo = static_cast<std::int64_t>(
+        rng.next_below(static_cast<std::uint32_t>(total)));
+    std::int64_t hi =
+        lo + static_cast<std::int64_t>(rng.next_below(4000));
+    if (hi > total) hi = total;
+    std::int64_t expect_k = lo;
+    std::int32_t prev_j = -1;
+    for_each_row_segment(lo, hi,
+                         [&](std::int32_t i_begin, std::int32_t i_end,
+                             std::int32_t j, std::int64_t k_begin) {
+                           ASSERT_EQ(k_begin, expect_k);
+                           ASSERT_LT(i_begin, i_end);
+                           ASSERT_LE(i_end, j);
+                           ASSERT_GT(j, prev_j);
+                           ASSERT_EQ(pair_index(i_begin, j), k_begin);
+                           PairIJ first = pair_from_index(k_begin);
+                           ASSERT_EQ(first.i, i_begin);
+                           ASSERT_EQ(first.j, j);
+                           expect_k += i_end - i_begin;
+                           prev_j = j;
+                         });
+    ASSERT_EQ(expect_k, hi) << "lo=" << lo << " hi=" << hi;
+  }
+}
+
+TEST(PairIndex, RowSegmentsOfEmptyChunkEmitNothing) {
+  int calls = 0;
+  for_each_row_segment(123, 123, [&](std::int32_t, std::int32_t, std::int32_t,
+                                     std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(PairIndex, RowSegmentsSurviveTheInt32Boundary) {
+  // A chunk straddling 2^31 (reached inside a pass over n >= 65537): the
+  // walk and the per-segment k math must stay 64-bit. Regression for the
+  // overflow class the ISSUE targets at paper scale (n = 744710).
+  const std::int64_t boundary = static_cast<std::int64_t>(INT32_MAX) + 1;
+  for (std::int64_t lo :
+       {boundary - 3, boundary, boundary + 1, pair_count(744710) - 7}) {
+    std::int64_t hi = lo + 100000;
+    if (hi > pair_count(744710)) hi = pair_count(744710);
+    std::int64_t expect_k = lo;
+    for_each_row_segment(lo, hi,
+                         [&](std::int32_t i_begin, std::int32_t i_end,
+                             std::int32_t j, std::int64_t k_begin) {
+                           ASSERT_EQ(k_begin, expect_k);
+                           ASSERT_EQ(pair_index(i_begin, j), k_begin);
+                           ASSERT_LT(i_begin, i_end);
+                           ASSERT_LE(i_end, j);
+                           expect_k += i_end - i_begin;
+                         });
+    ASSERT_EQ(expect_k, hi) << "lo=" << lo;
+  }
+}
+
 }  // namespace
 }  // namespace tspopt

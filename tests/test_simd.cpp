@@ -1,0 +1,282 @@
+// Property tests for the SIMD row kernels and runtime dispatch
+// (solver/simd.hpp): every level the CPU supports must return *bit
+// identical* results to the scalar reference — same BestMove (delta,
+// index, i, j), same lowest-index tie-break — over randomized instances,
+// including the degenerate {0, n-1} wraparound and adjacent pairs (which
+// evaluate to exactly 0 and must be recorded), tie-heavy grid/clustered
+// layouts, and every remainder-tail shape (row_len % W != 0).
+#include <gtest/gtest.h>
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "obs/registry.hpp"
+#include "simt/device.hpp"
+#include "solver/delta.hpp"
+#include "solver/ordering.hpp"
+#include "solver/simd.hpp"
+#include "solver/twoopt_parallel.hpp"
+#include "solver/twoopt_sequential.hpp"
+#include "solver/twoopt_simd.hpp"
+#include "solver/twoopt_tiled.hpp"
+#include "tsp/generator.hpp"
+
+namespace tspopt {
+namespace {
+
+TEST(SimdDispatch, ScalarIsAlwaysSupported) {
+  EXPECT_TRUE(simd::cpu_supports(simd::Level::kScalar));
+  std::vector<simd::Level> levels = simd::supported_levels();
+  ASSERT_FALSE(levels.empty());
+  EXPECT_EQ(levels.front(), simd::Level::kScalar);
+  // Ascending width order, and every advertised level really resolves.
+  std::int32_t prev_width = 0;
+  for (simd::Level level : levels) {
+    const simd::Kernels& k = simd::kernels(level);
+    EXPECT_GT(k.width, prev_width) << simd::to_string(level);
+    EXPECT_NE(k.row, nullptr) << simd::to_string(level);
+    prev_width = k.width;
+  }
+}
+
+TEST(SimdDispatch, ResolveUnsetPicksWidestSupportedLevel) {
+  const simd::Kernels& unset = simd::resolve(nullptr);
+  EXPECT_EQ(unset.level, simd::supported_levels().back());
+  // Empty string behaves as unset (TSPOPT_SIMD= on the command line).
+  EXPECT_EQ(simd::resolve("").level, unset.level);
+  EXPECT_EQ(simd::active().level, simd::resolve(std::getenv("TSPOPT_SIMD")).level);
+}
+
+TEST(SimdDispatch, ResolvePinsExplicitLevels) {
+  EXPECT_EQ(simd::resolve("scalar").level, simd::Level::kScalar);
+  EXPECT_EQ(simd::resolve("scalar").width, 1);
+  if (simd::cpu_supports(simd::Level::kAvx2)) {
+    EXPECT_EQ(simd::resolve("avx2").level, simd::Level::kAvx2);
+    EXPECT_EQ(simd::resolve("avx2").width, 8);
+  } else {
+    // Overrides never silently fall back: naming an unsupported level is
+    // a hard error, not a quiet downgrade.
+    EXPECT_THROW(simd::resolve("avx2"), CheckError);
+  }
+}
+
+TEST(SimdDispatch, ResolveRejectsUnknownValue) {
+  EXPECT_THROW(simd::resolve("sse9"), CheckError);
+  EXPECT_THROW(simd::resolve("AVX2"), CheckError);  // case-sensitive
+}
+
+TEST(SimdDispatch, CoverageSplitArithmetic) {
+  for (simd::Level level : simd::supported_levels()) {
+    const simd::Kernels& k = simd::kernels(level);
+    for (std::int64_t len : {0, 1, 7, 8, 9, 64, 999, 3063}) {
+      EXPECT_EQ(k.vector_pairs(len) + k.tail_pairs(len), len);
+      EXPECT_EQ(k.vector_pairs(len) % k.width, 0);
+      EXPECT_LT(k.tail_pairs(len), static_cast<std::int64_t>(k.width));
+    }
+  }
+}
+
+// Assembles failure-message context without `const char* + string&&`
+// chains (GCC 12's -Wrestrict false positive, PR105651).
+std::string ctx(std::initializer_list<std::string> parts) {
+  std::string out;
+  for (const std::string& p : parts) out += p;
+  return out;
+}
+
+// Naive reference row: the published move semantics (delta.hpp's two-range
+// formula over Points, strict-< acceptance so the earliest i wins ties),
+// with no hoisting and no vectorization.
+simd::RowBest naive_row(const simd::RowArgs& a) {
+  simd::RowBest best;
+  Point pj{a.xj, a.yj};
+  Point pj1{a.xj1, a.yj1};
+  for (std::int32_t i = a.i_begin; i < a.i_end; ++i) {
+    Point pi{a.xs[i], a.ys[i]};
+    Point pi1{a.xs[i + 1], a.ys[i + 1]};
+    std::int32_t d = two_opt_delta_two_ranges(pi, pi1, pj, pj1);
+    if (d < best.delta) best = {d, i};
+  }
+  return best;
+}
+
+void expect_rows_equal(const simd::RowBest& got, const simd::RowBest& want,
+                       const std::string& what) {
+  EXPECT_EQ(got.delta, want.delta) << what;
+  EXPECT_EQ(got.i, want.i) << what;
+  EXPECT_EQ(got.found(), want.found()) << what;
+}
+
+TEST(SimdRowKernels, BitIdenticalToNaiveReferenceAcrossLevelsAndTails) {
+  Pcg32 rng(42);
+  // n spans every remainder class mod 8 plus sizes around the lane width,
+  // so rows of every tail shape (row_len % W in 0..W-1) occur, including
+  // rows shorter than one vector.
+  for (std::int32_t n : {3, 4, 5, 6, 7, 8, 9, 10, 15, 16, 17, 33, 64, 65}) {
+    Instance inst = generate_uniform(ctx({"s", std::to_string(n)}), n, 900 + n);
+    Tour tour = Tour::random(n, rng);
+    SoaCoords soa;
+    order_coordinates_soa(inst, tour, soa);
+    for (std::int32_t j = 1; j < n; ++j) {
+      // Sub-ranges exercise segment starts (the chunked parallel walk) as
+      // well as full rows; i_end == j includes the adjacent pair (j-1, j),
+      // and j == n-1 includes the {0, n-1} wraparound pair whose successor
+      // is the staged duplicate of position 0.
+      for (std::int32_t i_begin : {0, 1, j / 2}) {
+        for (std::int32_t i_end : {i_begin, (i_begin + j + 1) / 2, j}) {
+          if (i_begin > i_end || i_end > j) continue;
+          simd::RowArgs row{soa.xs(),     soa.ys(),     i_begin,
+                            i_end,        soa.xs()[j],  soa.ys()[j],
+                            soa.xs()[j + 1], soa.ys()[j + 1]};
+          simd::RowBest want = naive_row(row);
+          for (simd::Level level : simd::supported_levels()) {
+            expect_rows_equal(
+                simd::kernels(level).row(row), want,
+                ctx({simd::to_string(level), " n=", std::to_string(n), " j=",
+                     std::to_string(j), " [", std::to_string(i_begin), ",",
+                     std::to_string(i_end), ")"}));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdRowKernels, TieHeavyGridRowsPreserveLowestIndexWinner) {
+  // Integer grids make many pairs share the exact same delta (often 0),
+  // so any tie-break slip in the lane reduction shows up immediately.
+  Pcg32 rng(11);
+  Instance inst = generate_grid("g144", 144, 3);
+  Tour tour = Tour::random(144, rng);
+  SoaCoords soa;
+  order_coordinates_soa(inst, tour, soa);
+  for (std::int32_t j = 1; j < 144; ++j) {
+    simd::RowArgs row{soa.xs(),     soa.ys(),     0,
+                      j,            soa.xs()[j],  soa.ys()[j],
+                      soa.xs()[j + 1], soa.ys()[j + 1]};
+    simd::RowBest want = naive_row(row);
+    for (simd::Level level : simd::supported_levels()) {
+      expect_rows_equal(simd::kernels(level).row(row), want,
+                        ctx({simd::to_string(level), " j=", std::to_string(j)}));
+    }
+  }
+}
+
+TEST(SimdRowKernels, EmptyRowReportsNoMove) {
+  float xs[2] = {0.0f, 3.0f};
+  float ys[2] = {0.0f, 4.0f};
+  simd::RowArgs row{xs, ys, 0, 0, 1.0f, 1.0f, 2.0f, 2.0f};
+  for (simd::Level level : simd::supported_levels()) {
+    simd::RowBest rb = simd::kernels(level).row(row);
+    EXPECT_FALSE(rb.found()) << simd::to_string(level);
+    EXPECT_EQ(rb.delta, simd::RowBest::kNoMove);
+    EXPECT_EQ(rb.i, -1);
+  }
+}
+
+void expect_results_equal(const SearchResult& got, const SearchResult& want,
+                          const std::string& what) {
+  EXPECT_EQ(got.best.delta, want.best.delta) << what;
+  EXPECT_EQ(got.best.index, want.best.index) << what;
+  EXPECT_EQ(got.best.i, want.best.i) << what;
+  EXPECT_EQ(got.best.j, want.best.j) << what;
+  EXPECT_EQ(got.checks, want.checks) << what;
+}
+
+TEST(SimdEngines, EveryDispatchLevelMatchesSequentialReference) {
+  Pcg32 rng(7);
+  TwoOptSequential reference;
+  for (std::int32_t n : {3, 4, 5, 7, 8, 9, 15, 16, 17, 63, 64, 65, 100, 257,
+                         999, 1000}) {
+    Instance inst = generate_uniform(ctx({"e", std::to_string(n)}), n, 4000 + n);
+    Tour tour = Tour::random(n, rng);
+    SearchResult expected = reference.search(inst, tour);
+    for (simd::Level level : simd::supported_levels()) {
+      TwoOptSimd engine(&simd::kernels(level));
+      expect_results_equal(
+          engine.search(inst, tour), expected,
+          ctx({simd::to_string(level), " n=", std::to_string(n)}));
+    }
+  }
+}
+
+TEST(SimdEngines, TieHeavyInstancesMatchAtEveryLevel) {
+  Pcg32 rng(5);
+  TwoOptSequential reference;
+  Instance grid = generate_grid("g400", 400, 5);
+  Instance clustered = generate_clustered("c300", 300, 6, 77);
+  for (const Instance* inst : {&grid, &clustered}) {
+    Tour tour = Tour::random(inst->n(), rng);
+    SearchResult expected = reference.search(*inst, tour);
+    for (simd::Level level : simd::supported_levels()) {
+      TwoOptSimd engine(&simd::kernels(level));
+      expect_results_equal(engine.search(*inst, tour), expected,
+                           ctx({simd::to_string(level), " on ", inst->name()}));
+    }
+  }
+}
+
+TEST(SimdEngines, PinnedKernelsPropagateThroughParallelAndTiledEngines) {
+  Pcg32 rng(13);
+  Instance inst = generate_uniform("p500", 500, 17);
+  Tour tour = Tour::random(500, rng);
+  TwoOptSequential reference;
+  SearchResult expected = reference.search(inst, tour);
+  for (simd::Level level : simd::supported_levels()) {
+    const simd::Kernels& k = simd::kernels(level);
+    {
+      TwoOptCpuParallel engine(nullptr, &k);
+      expect_results_equal(engine.search(inst, tour), expected,
+                           ctx({"cpu-parallel @ ", simd::to_string(level)}));
+    }
+    {
+      simt::Device device(simt::gtx680_cuda());
+      // Tile 64 forces many tiles (diagonal triangles + rectangles) so the
+      // kernel sweeps rows of both shapes at this level.
+      TwoOptGpuTiled engine(device, 64, {}, 0, 1, &k);
+      expect_results_equal(engine.search(inst, tour), expected,
+                           ctx({"gpu-tiled @ ", simd::to_string(level)}));
+    }
+  }
+}
+
+TEST(SimdEngines, DefaultConstructionUsesProcessWideDispatch) {
+  TwoOptSimd engine;
+  EXPECT_EQ(&engine.kernels(), &simd::active());
+}
+
+TEST(SimdEngines, PassCoverageCountersSplitEveryPair) {
+  // One pass must account for every pair of the triangle exactly once,
+  // split between the vectorized lanes and the scalar tails.
+  const std::int32_t n = 203;  // odd, so most rows have a remainder tail
+  Instance inst = generate_uniform("cov203", n, 3);
+  Pcg32 rng(29);
+  Tour tour = Tour::random(n, rng);
+  for (simd::Level level : simd::supported_levels()) {
+    obs::Counter& vec =
+        obs::Registry::global().counter("twoopt.pairs_vectorized");
+    obs::Counter& tail =
+        obs::Registry::global().counter("twoopt.pairs_scalar_tail");
+    std::uint64_t vec0 = vec.value();
+    std::uint64_t tail0 = tail.value();
+    TwoOptSimd engine(&simd::kernels(level));
+    SearchResult r = engine.search(inst, tour);
+    std::uint64_t dv = vec.value() - vec0;
+    std::uint64_t dt = tail.value() - tail0;
+    EXPECT_EQ(dv + dt, static_cast<std::uint64_t>(pair_count(n)))
+        << simd::to_string(level);
+    EXPECT_EQ(r.checks, static_cast<std::uint64_t>(pair_count(n)));
+    if (simd::kernels(level).width == 1) {
+      EXPECT_EQ(dt, 0u) << "scalar kernels have no tail";
+    } else {
+      EXPECT_GT(dv, 0u);
+      EXPECT_GT(dt, 0u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tspopt

@@ -1,0 +1,231 @@
+// Benchmark-regression runner: executes a fixed engine/ILS matrix and
+// emits versioned BENCH_engines.json / BENCH_solver.json reports that
+// scripts/bench_compare.py can diff against committed baselines.
+//
+//   $ ./bench/bench_report --out-dir . [--smoke] [--reps 5]
+//
+// Two kinds of metric are emitted per benchmark:
+//   - exact: best_delta / best_length / iterations / improvements are
+//     bit-deterministic for a fixed (instance, seed, iteration bound), so
+//     the comparator requires them to match the baseline exactly — a
+//     mismatch means an algorithmic change, not noise.
+//   - throughput: *_per_sec metrics come from the best (minimum-time) of
+//     `--reps` repetitions of identical work, the most noise-resistant
+//     point estimator; the comparator gates them with a relative
+//     threshold.
+// Everything else (wall_seconds) is informational.
+//
+// The report's "run" section is the environment fingerprint (CPU model,
+// resolved SIMD level, thread count, git describe); the comparator
+// downgrades throughput failures to warnings when the fingerprint does
+// not match, since cross-machine numbers are not comparable.
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/cli.hpp"
+#include "common/timer.hpp"
+#include "obs/json.hpp"
+#include "obs/runinfo.hpp"
+#include "parallel/thread_pool.hpp"
+#include "solver/constructive.hpp"
+#include "solver/engine_factory.hpp"
+#include "solver/ils.hpp"
+#include "solver/simd.hpp"
+#include "tsp/generator.hpp"
+
+namespace {
+
+using namespace tspopt;
+
+struct Metric {
+  std::string name;
+  double value = 0.0;
+};
+
+struct BenchResult {
+  std::string name;
+  std::vector<Metric> metrics;
+};
+
+void write_report(const std::string& path, const std::string& kind,
+                  bool smoke, const std::vector<BenchResult>& results) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("tspopt.bench_report");
+  w.key("schema_version").value(std::int64_t{1});
+  w.key("kind").value(kind);
+  w.key("generated_utc").value(obs::rfc3339_utc_now_ms());
+  w.key("run").begin_object();
+  w.key("id").value(obs::run_id());
+  w.key("cpu").value(obs::cpu_model());
+  w.key("simd").value(simd::active().name);
+  w.key("simd_width").value(
+      static_cast<std::int64_t>(simd::active().width));
+  w.key("threads").value(
+      static_cast<std::uint64_t>(ThreadPool::shared().size()));
+  w.key("git").value(obs::git_describe());
+  w.key("smoke").value(smoke);
+  w.end_object();
+  w.key("benchmarks").begin_array();
+  for (const BenchResult& r : results) {
+    w.begin_object();
+    w.key("name").value(r.name);
+    w.key("metrics").begin_object();
+    for (const Metric& m : r.metrics) w.key(m.name).value(m.value);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  TSPOPT_CHECK_MSG(out.good(), "cannot open bench report " << path);
+  out << w.str() << '\n';
+  TSPOPT_CHECK_MSG(out.good(), "failed writing bench report " << path);
+  std::cout << "wrote " << path << " (" << results.size()
+            << " benchmarks)\n";
+}
+
+// One engine benchmark: `calls` full best-move searches over a fixed tour
+// per repetition; throughput from the fastest repetition, plus the
+// deterministic best-move answer as exact metrics.
+BenchResult bench_engine(EngineFactory& factory, const std::string& name,
+                         const Instance& instance, const Tour& tour, int reps,
+                         int calls) {
+  std::unique_ptr<TwoOptEngine> engine = factory.create(name);
+  BenchResult out;
+  out.name = "engine/" + name + "/n" + std::to_string(instance.n());
+  double best_seconds = -1.0;
+  std::uint64_t checks_per_call = 0;
+  SearchResult last;
+  for (int rep = 0; rep < reps; ++rep) {
+    WallTimer timer;
+    for (int c = 0; c < calls; ++c) {
+      last = engine->search(instance, tour);
+    }
+    double seconds = timer.seconds();
+    if (best_seconds < 0.0 || seconds < best_seconds) best_seconds = seconds;
+    checks_per_call = last.checks;
+  }
+  double total_checks =
+      static_cast<double>(checks_per_call) * static_cast<double>(calls);
+  out.metrics.push_back(
+      {"checks_per_sec",
+       best_seconds > 0.0 ? total_checks / best_seconds : 0.0});
+  out.metrics.push_back(
+      {"searches_per_sec",
+       best_seconds > 0.0 ? static_cast<double>(calls) / best_seconds : 0.0});
+  out.metrics.push_back({"best_delta", static_cast<double>(last.best.delta)});
+  out.metrics.push_back({"best_index", static_cast<double>(last.best.index)});
+  out.metrics.push_back({"wall_seconds", best_seconds});
+  std::cout << "  " << out.name << ": "
+            << out.metrics[0].value / 1e6 << " M checks/s  (best move delta "
+            << last.best.delta << ")\n";
+  return out;
+}
+
+// One ILS benchmark: seeded, iteration-bounded, so best_length and
+// improvements are exact; throughput from the fastest repetition.
+BenchResult bench_ils(const std::string& engine_name,
+                      const Instance& instance, const Tour& initial,
+                      std::int64_t iterations, std::uint64_t seed, int reps) {
+  BenchResult out;
+  out.name = "ils/" + engine_name + "/n" + std::to_string(instance.n()) +
+             "/iters" + std::to_string(iterations);
+  IlsResult best_run{initial, 0, 0, 0, 0, 0.0, {}};
+  double best_seconds = -1.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    EngineFactory factory(&instance);
+    std::unique_ptr<TwoOptEngine> engine = factory.create(engine_name);
+    IlsOptions opts;
+    opts.max_iterations = iterations;
+    opts.time_limit_seconds = -1.0;  // iteration-bounded: deterministic
+    opts.seed = seed;
+    IlsResult result = iterated_local_search(*engine, instance, initial, opts);
+    if (best_seconds < 0.0 || result.wall_seconds < best_seconds) {
+      best_seconds = result.wall_seconds;
+    }
+    best_run = std::move(result);
+  }
+  out.metrics.push_back(
+      {"checks_per_sec",
+       best_seconds > 0.0
+           ? static_cast<double>(best_run.checks) / best_seconds
+           : 0.0});
+  out.metrics.push_back(
+      {"iterations_per_sec",
+       best_seconds > 0.0
+           ? static_cast<double>(best_run.iterations) / best_seconds
+           : 0.0});
+  out.metrics.push_back(
+      {"best_length", static_cast<double>(best_run.best_length)});
+  out.metrics.push_back(
+      {"improvements", static_cast<double>(best_run.improvements)});
+  out.metrics.push_back({"wall_seconds", best_seconds});
+  std::cout << "  " << out.name << ": best " << best_run.best_length
+            << " in " << best_seconds << " s ("
+            << out.metrics[0].value / 1e6 << " M checks/s)\n";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_report",
+                "run the bench matrix and emit BENCH_*.json reports");
+  cli.add_option("out-dir", "directory for BENCH_*.json", ".");
+  cli.add_flag("smoke", "reduced matrix for CI smoke runs");
+  cli.add_option("reps", "repetitions per benchmark (best-of)", "");
+  if (!cli.parse(argc, argv)) {
+    std::cerr << cli.error() << "\n" << cli.usage();
+    return 2;
+  }
+  const bool smoke = cli.has("smoke");
+  const int reps = static_cast<int>(
+      cli.get_int("reps", smoke ? 3 : 5));
+  const std::string out_dir = cli.get("out-dir");
+
+  // Fixed workloads: same instance generator, seeds and bounds on every
+  // machine, so two reports with equal fingerprints ran identical work.
+  // Calls per repetition are sized so a repetition runs tens of
+  // milliseconds even on the fastest engine — short reps measure timer
+  // noise, not throughput.
+  const std::int32_t engine_n = smoke ? 300 : 1000;
+  const int engine_calls = smoke ? 60 : 100;
+  const std::int32_t ils_n = smoke ? 400 : 1200;
+  const std::int64_t ils_iters = smoke ? 24 : 60;
+
+  std::cout << "bench_report (" << (smoke ? "smoke" : "full") << ", reps="
+            << reps << ", simd=" << tspopt::simd::active().name << ")\n";
+
+  Instance engine_instance = generate_clustered(
+      "bench" + std::to_string(engine_n), engine_n,
+      std::max(4, engine_n / 250), 42);
+  Tour engine_tour = multiple_fragment(engine_instance);
+  EngineFactory factory(&engine_instance);
+  std::vector<BenchResult> engines;
+  for (const std::string& name : EngineFactory::available()) {
+    engines.push_back(bench_engine(factory, name, engine_instance,
+                                   engine_tour, reps, engine_calls));
+  }
+  write_report(out_dir + "/BENCH_engines.json", "engines", smoke, engines);
+
+  Instance ils_instance =
+      generate_clustered("bench_ils" + std::to_string(ils_n), ils_n,
+                         std::max(4, ils_n / 250), 7);
+  Tour ils_initial = multiple_fragment(ils_instance);
+  std::vector<BenchResult> solver;
+  solver.push_back(
+      bench_ils("cpu-parallel", ils_instance, ils_initial, ils_iters, 3,
+                reps));
+  solver.push_back(
+      bench_ils("cpu-pruned", ils_instance, ils_initial, ils_iters, 3,
+                reps));
+  write_report(out_dir + "/BENCH_solver.json", "solver", smoke, solver);
+  return 0;
+}

@@ -12,17 +12,28 @@
 //   $ ./examples/fault_tolerant_ils [n] [iterations] [seed]
 //
 // Defaults: n=1200 clustered cities, 24 perturbation rounds, seed 1.
+// Live telemetry (all env-driven): TSPOPT_LOG=<level>[,path] streams the
+// retry/quarantine/fault decisions as JSONL events, TSPOPT_SAMPLE_MS=<ms>
+// samples the metrics registry into the report's timeseries section, and
+// TSPOPT_PROM=<file>[,ms] keeps a Prometheus exposition file fresh.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <memory>
 
+#include "obs/log.hpp"
+#include "obs/prometheus.hpp"
+#include "obs/registry.hpp"
+#include "obs/report.hpp"
+#include "obs/runinfo.hpp"
+#include "obs/sampler.hpp"
 #include "simt/device.hpp"
 #include "simt/fault.hpp"
 #include "solver/checkpoint.hpp"
 #include "solver/constructive.hpp"
 #include "solver/ils.hpp"
+#include "solver/obs_adapters.hpp"
 #include "solver/twoopt_multi.hpp"
 #include "tsp/generator.hpp"
 
@@ -37,11 +48,16 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  obs::Log::global();
+  obs::Sampler* sampler = obs::Sampler::global_from_env();
+  obs::PromExporter::global_from_env();
+
   Instance instance = generate_clustered("flaky" + std::to_string(n), n,
                                          std::max(4, n / 250), seed);
   Tour initial = multiple_fragment(instance);
   std::cout << "solving " << instance.name() << " (" << n
-            << " cities) on 3 simulated GPUs, one flaky, one dying\n";
+            << " cities) on 3 simulated GPUs, one flaky, one dying  [run "
+            << obs::run_id() << "]\n";
 
   // A three-card host: gpu1 drops ~10% of launches (transient — retries
   // clear it), gpu2 fails permanently from its 6th launch onward.
@@ -126,6 +142,27 @@ int main(int argc, char** argv) {
   std::cout << "tile re-deals: " << engine.redeals()
             << ", host fallback used: "
             << (engine.used_host_fallback() ? "yes" : "no") << "\n";
+
+  // Machine-readable run report when TSPOPT_REPORT is set.
+  obs::RunReport report;
+  describe_environment(report);
+  report.set_instance(instance.name(), n, "EUC_2D");
+  report.set_engine(engine.name());
+  report.set_config("seed", std::to_string(seed));
+  report.set_config("max_iterations", std::to_string(iterations));
+  report_ils(report, resumed);
+  report_multi_device(report, engine);
+  for (simt::Device* d : devices) describe_device(report, *d, -1.0);
+  if (sampler != nullptr) {
+    sampler->stop();
+    sampler->sample_now();  // final state closes every series
+    report.set_timeseries(*sampler);
+  }
+  report.set_metrics(obs::Registry::global());
+  std::string report_path = report.write_if_requested();
+  if (!report_path.empty()) {
+    std::cout << "wrote run report to " << report_path << "\n";
+  }
 
   std::remove(ckpt.c_str());
   return 0;

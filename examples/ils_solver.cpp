@@ -8,14 +8,21 @@
 // Defaults: n=2000 clustered cities, 10 s budget, seed 1.
 //
 // Observability: set TSPOPT_TRACE=<file> for a Chrome/Perfetto trace of
-// the run and TSPOPT_REPORT=<file> for a machine-readable run report
-// (summary, convergence curve, metrics snapshot). See README
-// "Observability".
+// the run, TSPOPT_REPORT=<file> for a machine-readable run report
+// (summary, convergence curve, metrics snapshot, time series),
+// TSPOPT_LOG=<level>[,path] for the structured JSONL event log,
+// TSPOPT_SAMPLE_MS=<ms> for registry time-series sampling, and
+// TSPOPT_PROM=<file>[,ms] for a Prometheus exposition file (refreshed on
+// SIGUSR1 too). See README "Observability" and "Live telemetry".
 #include <cstdlib>
 #include <iostream>
 
+#include "obs/log.hpp"
+#include "obs/prometheus.hpp"
 #include "obs/registry.hpp"
 #include "obs/report.hpp"
+#include "obs/runinfo.hpp"
+#include "obs/sampler.hpp"
 #include "simt/device.hpp"
 #include "solver/obs_adapters.hpp"
 #include "solver/constructive.hpp"
@@ -38,11 +45,16 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Live telemetry, all env-driven (see header comment).
+  obs::Log::global();
+  obs::Sampler* sampler = obs::Sampler::global_from_env();
+  obs::PromExporter::global_from_env();
+
   Instance instance =
       generate_clustered("demo" + std::to_string(n), n,
                          std::max(4, n / 250), seed);
   std::cout << "solving " << instance.name() << " (" << n << " cities), "
-            << seconds << " s budget\n";
+            << seconds << " s budget  [run " << obs::run_id() << "]\n";
 
   Tour initial = multiple_fragment(instance);
   std::cout << "multiple-fragment start: " << initial.length(instance)
@@ -76,6 +88,7 @@ int main(int argc, char** argv) {
 
   // Machine-readable run report when TSPOPT_REPORT is set.
   obs::RunReport report;
+  describe_environment(report);
   report.set_instance(instance.name(), n, "EUC_2D");
   report.set_engine(engine.name());
   report.set_config("seed", std::to_string(seed));
@@ -87,6 +100,11 @@ int main(int argc, char** argv) {
                      static_cast<double>(best.length(instance)));
   report.set_summary("or_opt_moves",
                      static_cast<double>(or_stats.moves_applied));
+  if (sampler != nullptr) {
+    sampler->stop();
+    sampler->sample_now();  // final state closes every series
+    report.set_timeseries(*sampler);
+  }
   report.set_metrics(obs::Registry::global());
   std::string report_path = report.write_if_requested();
   if (!report_path.empty()) {

@@ -15,11 +15,17 @@
 
 #include "common/cli.hpp"
 #include "common/timer.hpp"
+#include "obs/log.hpp"
+#include "obs/prometheus.hpp"
 #include "obs/registry.hpp"
 #include "obs/report.hpp"
+#include "obs/runinfo.hpp"
+#include "obs/sampler.hpp"
 #include "solver/constructive.hpp"
 #include "solver/engine_factory.hpp"
 #include "solver/local_search.hpp"
+#include "solver/obs_adapters.hpp"
+#include "solver/simd.hpp"
 #include "solver/twoopt_generic.hpp"
 #include "tsp/catalog.hpp"
 #include "tsp/svg.hpp"
@@ -48,6 +54,13 @@ int main(int argc, char** argv) {
     }
     return 0;
   }
+
+  // Live telemetry, all env-driven: TSPOPT_LOG (JSONL event log),
+  // TSPOPT_SAMPLE_MS (registry time series), TSPOPT_PROM (Prometheus
+  // exposition file, also refreshed on SIGUSR1).
+  obs::Log::global();
+  obs::Sampler* sampler = obs::Sampler::global_from_env();
+  obs::PromExporter::global_from_env();
 
   std::string target = cli.positional(0).value_or("berlin52");
   bool solve = cli.has("solve") || !cli.positional(0).has_value();
@@ -89,9 +102,16 @@ int main(int argc, char** argv) {
     std::cout << "bounds:    [" << lo.x << ", " << lo.y << "] .. [" << hi.x
               << ", " << hi.y << "]\n";
   }
-  std::cout << "2-opt pairs per pass: " << pair_count(instance.n()) << "\n";
+  std::cout << "2-opt pairs per pass: " << pair_count(instance.n()) << "\n"
+            << "run id:    " << obs::run_id() << "\n"
+            << "started:   " << obs::rfc3339_utc_now_ms() << "\n"
+            << "simd:      " << simd::active().name << " (width "
+            << simd::active().width << ")\n"
+            << "threads:   " << ThreadPool::shared().size() << "\n"
+            << "git:       " << obs::git_describe() << "\n";
 
   obs::RunReport report;
+  describe_environment(report);
   report.set_instance(instance.name(), instance.n(),
                       to_string(instance.metric()));
   report.set_config("source", target);
@@ -154,6 +174,11 @@ int main(int argc, char** argv) {
 
   // --report <file> writes the run report explicitly; TSPOPT_REPORT still
   // works as the env-driven fallback.
+  if (sampler != nullptr) {
+    sampler->stop();
+    sampler->sample_now();  // final state closes every series
+    report.set_timeseries(*sampler);
+  }
   report.set_metrics(obs::Registry::global());
   if (cli.has("report")) {
     report.write(cli.get("report"));

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Diff two tspopt.bench_report files and fail on regressions.
+
+Usage:
+    bench_compare.py BASELINE.json CURRENT.json [--threshold 0.15]
+                     [--strict]
+
+Gate policy, per metric name:
+  - ``*_per_sec``  throughput: fail when current < baseline * (1 - threshold).
+    Improvements and small dips inside the threshold pass (they are noise).
+  - ``best_length`` / ``best_delta`` / ``best_index`` / ``improvements``:
+    exact. These are bit-deterministic for a fixed workload, so any
+    difference is an algorithmic change and always fails (even with a
+    mismatched fingerprint).
+  - everything else (``wall_seconds``, ...): informational only.
+
+Benchmarks are matched by name. A benchmark present in the baseline but
+missing from the current report fails; a new benchmark only warns (it has
+no baseline yet).
+
+The reports carry an environment fingerprint (cpu/simd/threads). When the
+fingerprints differ the throughput numbers are not comparable, so
+throughput failures downgrade to warnings unless --strict is given.
+
+Exit codes: 0 ok, 1 regression, 2 usage/parse error.
+"""
+
+import argparse
+import json
+import sys
+
+FINGERPRINT_KEYS = ("cpu", "simd", "threads")
+EXACT_METRICS = {"best_length", "best_delta", "best_index", "improvements"}
+
+
+def die(message):
+    print(f"bench_compare: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_report(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, ValueError) as e:
+        die(f"cannot read {path}: {e}")
+    if report.get("schema") != "tspopt.bench_report":
+        die(f"{path} is not a tspopt.bench_report")
+    version = report.get("schema_version")
+    if version != 1:
+        die(f"{path} has unsupported schema_version {version}")
+    return report
+
+
+def benchmarks_by_name(report):
+    return {b["name"]: b.get("metrics", {}) for b in report.get("benchmarks", [])}
+
+
+def fingerprint(report):
+    run = report.get("run", {})
+    return {k: str(run.get(k, "?")) for k in FINGERPRINT_KEYS}
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="diff two tspopt bench reports")
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="allowed relative throughput drop (default 0.15)")
+    parser.add_argument("--strict", action="store_true",
+                        help="gate throughput even across fingerprints")
+    args = parser.parse_args()
+    if not 0.0 <= args.threshold < 1.0:
+        die("--threshold must be in [0, 1)")
+
+    base = load_report(args.baseline)
+    curr = load_report(args.current)
+
+    base_fp, curr_fp = fingerprint(base), fingerprint(curr)
+    comparable = base_fp == curr_fp
+    if not comparable:
+        diffs = ", ".join(f"{k}: {base_fp[k]!r} -> {curr_fp[k]!r}"
+                          for k in FINGERPRINT_KEYS
+                          if base_fp[k] != curr_fp[k])
+        print(f"WARN fingerprint mismatch ({diffs}); throughput gates "
+              f"{'still enforced (--strict)' if args.strict else 'downgraded to warnings'}")
+    gate_throughput = comparable or args.strict
+
+    base_benchmarks = benchmarks_by_name(base)
+    curr_benchmarks = benchmarks_by_name(curr)
+
+    failures = 0
+    warnings = 0
+
+    for name in sorted(set(base_benchmarks) | set(curr_benchmarks)):
+        if name not in curr_benchmarks:
+            print(f"FAIL {name}: present in baseline, missing from current")
+            failures += 1
+            continue
+        if name not in base_benchmarks:
+            print(f"WARN {name}: new benchmark, no baseline")
+            warnings += 1
+            continue
+        base_metrics, curr_metrics = base_benchmarks[name], curr_benchmarks[name]
+        for metric in sorted(set(base_metrics) & set(curr_metrics)):
+            b, c = base_metrics[metric], curr_metrics[metric]
+            if metric in EXACT_METRICS:
+                if b != c:
+                    print(f"FAIL {name} {metric}: exact metric changed "
+                          f"{b} -> {c}")
+                    failures += 1
+                continue
+            if metric.endswith("_per_sec"):
+                if b <= 0:
+                    continue
+                ratio = c / b
+                if ratio < 1.0 - args.threshold:
+                    line = (f"{name} {metric}: {b:.3g} -> {c:.3g} "
+                            f"({(1.0 - ratio) * 100.0:.1f}% slower, "
+                            f"threshold {args.threshold * 100.0:.0f}%)")
+                    if gate_throughput:
+                        print(f"FAIL {line}")
+                        failures += 1
+                    else:
+                        print(f"WARN {line}")
+                        warnings += 1
+                elif ratio > 1.0 + args.threshold:
+                    print(f"INFO {name} {metric}: {b:.3g} -> {c:.3g} "
+                          f"({(ratio - 1.0) * 100.0:.1f}% faster)")
+
+    compared = len(set(base_benchmarks) & set(curr_benchmarks))
+    if compared == 0:
+        print("FAIL no common benchmarks between baseline and current")
+        failures += 1
+    summary = (f"bench_compare: {compared} benchmarks compared, "
+               f"{failures} failures, {warnings} warnings")
+    print(summary)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,11 @@
 #         TSPOPT_SIMD=scalar and TSPOPT_SIMD=avx2 (the AVX2 leg skips
 #         cleanly on hosts without the instructions), then a bench_engines
 #         smoke that emits a BENCH_engines.json artifact.
+# Pass 5: Benchmark-regression gate — bench_report smoke run diffed
+#         against the committed BENCH_*.json baselines (exact metrics
+#         gated hard; throughput gated at 15% unless the environment
+#         fingerprint differs), plus a self-test that a synthetic 20%
+#         throughput regression is caught.
 #
 # Usage: scripts/ci.sh [build-dir-prefix]   (default: build-ci)
 set -euo pipefail
@@ -73,6 +78,34 @@ BENCH_OUT="${PREFIX}-release/BENCH_engines.json"
 python3 -m json.tool "${BENCH_OUT}" >/dev/null \
     || { echo "invalid bench JSON"; exit 1; }
 echo "bench artifact: ${BENCH_OUT}"
+
+echo
+echo "== Pass 5: benchmark-regression gate =="
+BENCH_DIR="${OBS_TMP}/bench"
+mkdir -p "${BENCH_DIR}"
+"${PREFIX}-release/bench/bench_report" --smoke --out-dir "${BENCH_DIR}"
+for kind in solver engines; do
+  python3 scripts/bench_compare.py \
+      "BENCH_${kind}.json" "${BENCH_DIR}/BENCH_${kind}.json"
+done
+# The gate must actually gate: a synthetic 20% throughput regression of
+# the fresh report against itself has matching fingerprints and must fail.
+python3 - "${BENCH_DIR}" <<'EOF'
+import json, sys
+d = sys.argv[1]
+r = json.load(open(f"{d}/BENCH_solver.json"))
+for b in r["benchmarks"]:
+    for k in list(b["metrics"]):
+        if k.endswith("_per_sec"):
+            b["metrics"][k] *= 0.8
+json.dump(r, open(f"{d}/BENCH_solver_regressed.json", "w"))
+EOF
+if python3 scripts/bench_compare.py \
+    "${BENCH_DIR}/BENCH_solver.json" \
+    "${BENCH_DIR}/BENCH_solver_regressed.json" >/dev/null; then
+  echo "bench_compare failed to flag a 20% regression"; exit 1
+fi
+echo "regression gate: baselines comparable, synthetic regression caught."
 
 echo
 echo "CI passed."

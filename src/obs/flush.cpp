@@ -1,0 +1,59 @@
+#include "obs/flush.hpp"
+
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+
+#include "obs/log.hpp"
+#include "obs/prometheus.hpp"
+#include "obs/sampler.hpp"
+#include "obs/trace.hpp"
+
+namespace tspopt::obs {
+
+namespace {
+
+std::terminate_handler g_previous_terminate = nullptr;
+
+void flush_on_terminate() {
+  flush_all_telemetry();
+  if (g_previous_terminate != nullptr) g_previous_terminate();
+  std::abort();
+}
+
+}  // namespace
+
+void flush_all_telemetry() noexcept {
+  // Each sink flushes independently; a failure in one (e.g. an unwritable
+  // dump path) must not stop the others on the way out.
+  try {
+    Log::global().flush();
+  } catch (...) {}
+  try {
+    if (Sampler* sampler = Sampler::global_if_started()) {
+      sampler->sample_now();  // the final state makes it into the window
+      if (const char* dump = std::getenv("TSPOPT_SAMPLE_DUMP");
+          dump != nullptr && *dump != '\0') {
+        sampler->write_json_file(dump);
+      }
+    }
+  } catch (...) {}
+  try {
+    if (PromExporter* exporter = PromExporter::global_if_started()) {
+      exporter->write_now();
+    }
+  } catch (...) {}
+  try {
+    Tracer::global().flush();
+  } catch (...) {}
+}
+
+void install_flush_hooks() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    std::atexit([] { flush_all_telemetry(); });
+    g_previous_terminate = std::set_terminate(flush_on_terminate);
+  });
+}
+
+}  // namespace tspopt::obs

@@ -1,0 +1,29 @@
+// Exit/terminate flush guarantees for the live telemetry sinks.
+//
+// A run that ends early — std::terminate from an unhandled DeviceError,
+// exit() from a CHECK failure — should still leave parseable artifacts
+// behind: the JSONL log flushed, a final Prometheus exposition, the trace
+// file written, and (when TSPOPT_SAMPLE_DUMP is set) a standalone
+// timeseries dump. install_flush_hooks() registers one atexit handler and
+// chains one std::terminate handler that do exactly that; it is idempotent
+// and is called automatically by every env-driven sink, so any process
+// that turned telemetry on gets the guarantee for free.
+//
+// SIGKILL cannot be hooked; for that case the log writes and flushes per
+// line and the exposition file is replaced atomically, so artifacts stay
+// parseable up to the last completed write.
+#pragma once
+
+namespace tspopt::obs {
+
+// Flush every live sink that exists: log, env sampler (dump to
+// TSPOPT_SAMPLE_DUMP if set), env Prometheus exporter, tracer. Never
+// creates sinks and never throws; safe to call from exit and terminate
+// paths and from tests.
+void flush_all_telemetry() noexcept;
+
+// Register flush_all_telemetry with atexit and chain it in front of the
+// current std::terminate handler. Idempotent.
+void install_flush_hooks();
+
+}  // namespace tspopt::obs

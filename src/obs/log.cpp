@@ -1,0 +1,222 @@
+#include "obs/log.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "common/check.hpp"
+#include "obs/flush.hpp"
+#include "obs/runinfo.hpp"
+#include "obs/trace.hpp"
+
+namespace tspopt::obs {
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "trace";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+bool parse_log_level(std::string_view name, LogLevel* out) {
+  for (LogLevel l : {LogLevel::kTrace, LogLevel::kDebug, LogLevel::kInfo,
+                     LogLevel::kWarn, LogLevel::kError, LogLevel::kOff}) {
+    if (name == to_string(l)) {
+      *out = l;
+      return true;
+    }
+  }
+  return false;
+}
+
+// ------------------------------------------------------------- LogEvent --
+
+LogEvent::LogEvent(Log* log, LogLevel level, const char* name)
+    : log_(log), level_(level) {
+  w_.begin_object();
+  w_.key("ts").value(rfc3339_utc_now_ms());
+  w_.key("level").value(to_string(level));
+  w_.key("event").value(name);
+  w_.key("run").value(run_id());
+  w_.key("tid").value(current_thread_ordinal());
+  std::uint64_t span = current_span_id();
+  if (span != 0) w_.key("span").value(span);
+}
+
+LogEvent::LogEvent(LogEvent&& o) noexcept
+    : log_(o.log_), level_(o.level_), w_(std::move(o.w_)) {
+  o.log_ = nullptr;
+}
+
+LogEvent& LogEvent::operator=(LogEvent&& o) noexcept {
+  if (this != &o) {
+    emit();
+    log_ = o.log_;
+    level_ = o.level_;
+    w_ = std::move(o.w_);
+    o.log_ = nullptr;
+  }
+  return *this;
+}
+
+LogEvent::~LogEvent() { emit(); }
+
+LogEvent& LogEvent::arg(const char* key, std::string_view value) {
+  if (log_ != nullptr) w_.key(key).value(value);
+  return *this;
+}
+
+LogEvent& LogEvent::arg(const char* key, const char* value) {
+  return arg(key, std::string_view(value));
+}
+
+LogEvent& LogEvent::arg(const char* key, std::int64_t value) {
+  if (log_ != nullptr) w_.key(key).value(value);
+  return *this;
+}
+
+LogEvent& LogEvent::arg(const char* key, std::uint64_t value) {
+  if (log_ != nullptr) w_.key(key).value(value);
+  return *this;
+}
+
+LogEvent& LogEvent::arg(const char* key, double value) {
+  if (log_ != nullptr) w_.key(key).value(value);
+  return *this;
+}
+
+LogEvent& LogEvent::arg(const char* key, bool value) {
+  if (log_ != nullptr) w_.key(key).value(value);
+  return *this;
+}
+
+void LogEvent::emit() {
+  if (log_ == nullptr) return;
+  w_.end_object();
+  Log* log = log_;
+  log_ = nullptr;
+  log->emit_line(level_, w_.str());
+}
+
+// ------------------------------------------------------------------ Log --
+
+void Log::configure(const Options& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!options.path.empty()) {
+    auto file = std::make_unique<std::ofstream>(options.path,
+                                                std::ios::binary |
+                                                    std::ios::app);
+    TSPOPT_CHECK_MSG(file->good(), "cannot open log output " << options.path);
+    owned_sink_ = std::move(file);
+    sink_ = owned_sink_.get();
+  } else {
+    owned_sink_.reset();
+    sink_ = nullptr;  // stderr
+  }
+  path_ = options.path;
+  max_per_sec_ = options.max_events_per_sec;
+  tokens_ = max_per_sec_;  // full bucket: allow an initial burst
+  last_refill_ = std::chrono::steady_clock::now();
+  dropped_unreported_ = 0;
+  level_.store(static_cast<int>(options.level), std::memory_order_relaxed);
+}
+
+void Log::emit_line(LogLevel level, const std::string& line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Token bucket: refill continuously, spend one token per event. Warnings
+  // and errors always pass — the limiter exists to keep debug/trace floods
+  // from swamping the sink, not to hide failures.
+  if (max_per_sec_ > 0.0 && level < LogLevel::kWarn) {
+    auto now = std::chrono::steady_clock::now();
+    double elapsed =
+        std::chrono::duration<double>(now - last_refill_).count();
+    last_refill_ = now;
+    tokens_ = std::min(max_per_sec_,
+                       tokens_ + elapsed * max_per_sec_);
+    if (tokens_ < 1.0) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      ++dropped_unreported_;
+      return;
+    }
+    tokens_ -= 1.0;
+  }
+  auto write_line = [this](const std::string& text) {
+    if (sink_ != nullptr) {
+      *sink_ << text << '\n';
+      sink_->flush();  // per line: a killed process leaves parseable JSONL
+    } else {
+      std::fprintf(stderr, "%s\n", text.c_str());
+      std::fflush(stderr);
+    }
+  };
+  if (dropped_unreported_ > 0) {
+    JsonWriter note;
+    note.begin_object();
+    note.key("ts").value(rfc3339_utc_now_ms());
+    note.key("level").value("warn");
+    note.key("event").value("log.dropped");
+    note.key("run").value(run_id());
+    note.key("count").value(dropped_unreported_);
+    note.end_object();
+    write_line(note.str());
+    dropped_unreported_ = 0;
+  }
+  write_line(line);
+  emitted_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Log::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sink_ != nullptr) {
+    sink_->flush();
+  } else {
+    std::fflush(stderr);
+  }
+}
+
+bool Log::parse_spec(std::string_view spec, Options* out) {
+  std::string_view level_part = spec;
+  std::string path;
+  auto comma = spec.find(',');
+  if (comma != std::string_view::npos) {
+    level_part = spec.substr(0, comma);
+    path = std::string(spec.substr(comma + 1));
+  }
+  LogLevel level;
+  if (!parse_log_level(level_part, &level)) return false;
+  out->level = level;
+  out->path = std::move(path);
+  return true;
+}
+
+Log& Log::global() {
+  // Leaked on purpose so atexit-ordered flushes can never race static
+  // destruction (same idiom as Tracer::global()).
+  static Log* log = [] {
+    auto* l = new Log();
+    const char* spec = std::getenv("TSPOPT_LOG");
+    if (spec != nullptr && *spec != '\0') {
+      Options options;
+      if (Log::parse_spec(spec, &options)) {
+        l->configure(options);
+        install_flush_hooks();
+      } else {
+        std::fprintf(stderr,
+                     "TSPOPT_LOG: unknown level in \"%s\" "
+                     "(want trace|debug|info|warn|error[,path]); "
+                     "logging disabled\n",
+                     spec);
+      }
+    }
+    return l;
+  }();
+  return *log;
+}
+
+}  // namespace tspopt::obs

@@ -1,0 +1,158 @@
+// Structured JSONL event log.
+//
+// Decision points in the stack (fault injection, retry/quarantine/re-deal,
+// ILS milestones) emit machine-parseable events instead of ad-hoc stderr
+// text:
+//
+//   obs::Log& log = obs::Log::global();
+//   if (log.enabled(obs::LogLevel::kWarn)) {
+//     log.event(obs::LogLevel::kWarn, "multi.retry")
+//         .arg("device", label)
+//         .arg("attempt", attempt);
+//   }
+//
+// Each event is one JSON object per line with common fields stamped
+// automatically: "ts" (RFC 3339 UTC, ms), "level", "event", "run" (the
+// process run id), "tid" (trace thread ordinal) and "span" (the enclosing
+// trace span id, when any) — so log lines correlate to trace spans and to
+// the run report without parsing free text. Lines are flushed as they are
+// written, so a killed process leaves a valid (truncated-but-parseable)
+// JSONL prefix.
+//
+// The global log reads TSPOPT_LOG at first use: "<level>[,path]" with
+// level one of trace|debug|info|warn|error (path defaults to stderr).
+// Emission is rate-limited by a token bucket (warn and error bypass the
+// limiter); dropped events are counted and surfaced as a synthetic
+// "log.dropped" event when emission resumes.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "obs/json.hpp"
+
+namespace tspopt::obs {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+const char* to_string(LogLevel level);
+// Parse a level name; returns false (and leaves `out` alone) on an
+// unknown name.
+bool parse_log_level(std::string_view name, LogLevel* out);
+
+class Log;
+
+// One pending event. Move-only; the line is emitted when the builder is
+// destroyed. A default-constructed (filtered-out) builder is inert and
+// every arg() call on it is a no-op.
+class LogEvent {
+ public:
+  LogEvent() = default;
+  LogEvent(LogEvent&& o) noexcept;
+  LogEvent& operator=(LogEvent&& o) noexcept;
+  ~LogEvent();
+
+  explicit operator bool() const { return log_ != nullptr; }
+
+  LogEvent& arg(const char* key, std::string_view value);
+  LogEvent& arg(const char* key, const char* value);
+  LogEvent& arg(const char* key, std::int64_t value);
+  LogEvent& arg(const char* key, std::uint64_t value);
+  LogEvent& arg(const char* key, std::int32_t value) {
+    return arg(key, static_cast<std::int64_t>(value));
+  }
+  LogEvent& arg(const char* key, std::uint32_t value) {
+    return arg(key, static_cast<std::uint64_t>(value));
+  }
+  LogEvent& arg(const char* key, double value);
+  LogEvent& arg(const char* key, bool value);
+
+  // Emit now instead of at destruction.
+  void emit();
+
+ private:
+  friend class Log;
+  LogEvent(Log* log, LogLevel level, const char* name);
+
+  Log* log_ = nullptr;
+  LogLevel level_ = LogLevel::kOff;
+  JsonWriter w_;
+};
+
+class Log {
+ public:
+  struct Options {
+    LogLevel level = LogLevel::kOff;
+    std::string path;                    // empty = stderr
+    double max_events_per_sec = 1000.0;  // <= 0 disables the limiter
+  };
+
+  Log() = default;
+
+  // (Re)configure the sink. Opens `path` in append mode (the file may
+  // outlive several configure() calls in tests); CheckError if the file
+  // cannot be opened.
+  void configure(const Options& options);
+
+  LogLevel level() const {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
+  // One relaxed load — the guard instrumented code uses on hot paths.
+  bool enabled(LogLevel l) const {
+    return l >= level() && level() != LogLevel::kOff;
+  }
+
+  // Open an event builder; inert when `l` is below the configured level.
+  LogEvent event(LogLevel l, const char* name) {
+    return enabled(l) ? LogEvent(this, l, name) : LogEvent();
+  }
+
+  void flush();
+
+  std::uint64_t emitted() const {
+    return emitted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  const std::string& path() const { return path_; }
+
+  // Parse a "<level>[,path]" spec (the TSPOPT_LOG syntax). Returns false
+  // on an unknown level name.
+  static bool parse_spec(std::string_view spec, Options* out);
+
+  // The process-wide log. First use reads TSPOPT_LOG; a malformed value
+  // prints one warning to stderr and leaves logging off.
+  static Log& global();
+
+ private:
+  friend class LogEvent;
+  void emit_line(LogLevel level, const std::string& line);
+
+  std::atomic<int> level_{static_cast<int>(LogLevel::kOff)};
+  mutable std::mutex mu_;
+  std::unique_ptr<std::ostream> owned_sink_;  // file sink, when path set
+  std::ostream* sink_ = nullptr;              // nullptr = stderr
+  std::string path_;
+  double max_per_sec_ = 1000.0;
+  double tokens_ = 0.0;
+  std::chrono::steady_clock::time_point last_refill_{};
+  std::uint64_t dropped_unreported_ = 0;
+  std::atomic<std::uint64_t> emitted_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace tspopt::obs

@@ -8,6 +8,7 @@
 // instruments count, they do not synchronize.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -101,6 +102,33 @@ class Histogram {
   }
   std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
+  // Observations above the last bound (the implicit overflow bucket,
+  // exported as <name>_overflow in the Prometheus exposition).
+  std::uint64_t overflow_count() const { return bucket_count(bounds_.size()); }
+
+  // Estimated q-quantile (q in [0, 1]) with linear interpolation inside
+  // the containing bucket, assuming observations spread uniformly over
+  // (lower, upper]. The first bucket interpolates from min(0, bound), the
+  // overflow bucket clamps to the last bound (its width is unknown).
+  // Returns 0 when the histogram is empty.
+  double quantile(double q) const {
+    TSPOPT_CHECK_MSG(q >= 0.0 && q <= 1.0,
+                     "quantile " << q << " outside [0, 1]");
+    std::uint64_t total = count();
+    if (total == 0) return 0.0;
+    double target = q * static_cast<double>(total);
+    double cumulative = 0.0;
+    for (std::size_t b = 0; b < bounds_.size(); ++b) {
+      double in_bucket = static_cast<double>(bucket_count(b));
+      if (cumulative + in_bucket >= target && in_bucket > 0.0) {
+        double lower = b == 0 ? std::min(0.0, bounds_[0]) : bounds_[b - 1];
+        double fraction = (target - cumulative) / in_bucket;
+        return lower + fraction * (bounds_[b] - lower);
+      }
+      cumulative += in_bucket;
+    }
+    return bounds_.back();  // target falls in the unbounded overflow bucket
+  }
 
  private:
   std::vector<double> bounds_;

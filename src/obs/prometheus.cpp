@@ -1,0 +1,257 @@
+#include "obs/prometheus.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+
+#include "common/check.hpp"
+#include "obs/flush.hpp"
+#include "obs/registry.hpp"
+#include "obs/runinfo.hpp"
+
+namespace tspopt::obs {
+
+namespace {
+
+// Set by the SIGUSR1 handler; consumed by whichever exporter thread sees
+// it first (in practice there is one exporter per process).
+volatile std::sig_atomic_t g_usr1_pending = 0;
+
+extern "C" void usr1_handler(int) { g_usr1_pending = 1; }
+
+std::string sanitize_name(std::string_view name) {
+  std::string out = "tspopt_";
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+// Label-value escaping per the exposition format: backslash, double quote
+// and line feed.
+std::string escape_label(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void append_labels(std::string& out, const LabelSet& labels,
+                   const std::string& extra_key = {},
+                   const std::string& extra_value = {}) {
+  if (labels.empty() && extra_key.empty()) return;
+  out += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += sanitize_name(k).substr(7);  // labels get no tspopt_ prefix
+    out += "=\"";
+    out += escape_label(v);
+    out += '"';
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ',';
+    out += extra_key;
+    out += "=\"";
+    out += escape_label(extra_value);
+    out += '"';
+  }
+  out += '}';
+}
+
+std::string format_value(double v) {
+  if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+      v >= -9.007199254740992e15 && v <= 9.007199254740992e15) {
+    return std::to_string(static_cast<std::int64_t>(v));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string format_bound(double b) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", b);
+  return buf;
+}
+
+}  // namespace
+
+std::string prometheus_text(const Registry& registry) {
+  std::string out;
+  out += "# TYPE tspopt_run_info gauge\n";
+  out += "tspopt_run_info{id=\"" + escape_label(run_id()) + "\",git=\"" +
+         escape_label(git_describe()) + "\"} 1\n";
+
+  std::string last_typed;  // one TYPE line per metric name
+  for (const Registry::Entry& e : registry.entries()) {
+    std::string name = sanitize_name(e.name);
+    switch (e.kind) {
+      case Registry::Kind::kCounter: {
+        if (name != last_typed) {
+          out += "# TYPE " + name + " counter\n";
+          last_typed = name;
+        }
+        std::string line = name;
+        append_labels(line, e.labels);
+        out += line + ' ' + std::to_string(e.c->value()) + '\n';
+        break;
+      }
+      case Registry::Kind::kGauge: {
+        if (name != last_typed) {
+          out += "# TYPE " + name + " gauge\n";
+          last_typed = name;
+        }
+        std::string line = name;
+        append_labels(line, e.labels);
+        out += line + ' ' + format_value(e.g->value()) + '\n';
+        break;
+      }
+      case Registry::Kind::kHistogram: {
+        if (name != last_typed) {
+          out += "# TYPE " + name + " histogram\n";
+          last_typed = name;
+        }
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < e.h->bounds().size(); ++b) {
+          cumulative += e.h->bucket_count(b);
+          std::string line = name + "_bucket";
+          append_labels(line, e.labels, "le",
+                        format_bound(e.h->bounds()[b]));
+          out += line + ' ' + std::to_string(cumulative) + '\n';
+        }
+        std::string inf_line = name + "_bucket";
+        append_labels(inf_line, e.labels, "le", "+Inf");
+        out += inf_line + ' ' + std::to_string(e.h->count()) + '\n';
+        std::string sum_line = name + "_sum";
+        append_labels(sum_line, e.labels);
+        out += sum_line + ' ' + format_value(e.h->sum()) + '\n';
+        std::string count_line = name + "_count";
+        append_labels(count_line, e.labels);
+        out += count_line + ' ' + std::to_string(e.h->count()) + '\n';
+        // Non-standard: the implicit overflow bucket as its own counter —
+        // le="+Inf" minus the last finite bucket, pre-computed for
+        // scrapers (and the ISSUE's <name>_overflow requirement).
+        std::string overflow_line = name + "_overflow";
+        append_labels(overflow_line, e.labels);
+        out += overflow_line + ' ' +
+               std::to_string(e.h->overflow_count()) + '\n';
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void prometheus_write(const Registry& registry, const std::string& path) {
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    TSPOPT_CHECK_MSG(out.good(), "cannot open exposition output " << tmp);
+    out << prometheus_text(registry);
+    TSPOPT_CHECK_MSG(out.good(), "failed writing exposition to " << tmp);
+  }
+  TSPOPT_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
+                   "cannot rename " << tmp << " to " << path);
+}
+
+PromExporter::PromExporter(Registry& registry, Options options)
+    : registry_(registry), options_(std::move(options)) {
+  TSPOPT_CHECK_MSG(!options_.path.empty(), "exporter needs an output path");
+  TSPOPT_CHECK_MSG(options_.period_ms > 0.0,
+                   "exporter period must be positive");
+  std::signal(SIGUSR1, usr1_handler);
+  write_now();  // the file exists as soon as the exporter does
+  thread_ = std::jthread([this](std::stop_token st) {
+    std::mutex wait_mu;
+    std::condition_variable_any cv;
+    // Wake in short slices so a SIGUSR1 dump request is served promptly
+    // even under a long period.
+    auto slice = std::chrono::duration<double, std::milli>(
+        std::min(options_.period_ms, 100.0));
+    std::unique_lock<std::mutex> lock(wait_mu);
+    double since_write_ms = 0.0;
+    while (!st.stop_requested()) {
+      cv.wait_for(lock, st, slice, [] { return false; });
+      if (st.stop_requested()) break;
+      since_write_ms += slice.count();
+      bool on_signal = g_usr1_pending != 0;
+      if (on_signal) g_usr1_pending = 0;
+      if (on_signal || since_write_ms >= options_.period_ms) {
+        write_now();
+        since_write_ms = 0.0;
+      }
+    }
+  });
+}
+
+PromExporter::~PromExporter() {
+  stop();
+  write_now();  // final exposition reflects the finished run
+}
+
+void PromExporter::stop() {
+  if (thread_.joinable()) {
+    thread_.request_stop();
+    thread_.join();
+  }
+}
+
+void PromExporter::write_now() {
+  prometheus_write(registry_, options_.path);
+  writes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+namespace {
+// The env-driven exporter, observable without creating it (the exit-flush
+// hooks must not start threads at process teardown).
+PromExporter* g_env_exporter = nullptr;
+}  // namespace
+
+PromExporter* PromExporter::global_from_env() {
+  static PromExporter* exporter = []() -> PromExporter* {
+    const char* spec = std::getenv("TSPOPT_PROM");
+    if (spec == nullptr || *spec == '\0') return nullptr;
+    Options options;
+    options.path = spec;
+    auto comma = options.path.find(',');
+    if (comma != std::string::npos) {
+      std::string period = options.path.substr(comma + 1);
+      options.path = options.path.substr(0, comma);
+      char* end = nullptr;
+      double ms = std::strtod(period.c_str(), &end);
+      if (end != nullptr && *end == '\0' && ms > 0.0) {
+        options.period_ms = ms;
+      } else {
+        std::fprintf(stderr,
+                     "TSPOPT_PROM: ignoring bad period \"%s\" "
+                     "(using %g ms)\n",
+                     period.c_str(), options.period_ms);
+      }
+    }
+    // Leaked on purpose: must outlive atexit-ordered work.
+    g_env_exporter = new PromExporter(Registry::global(), options);
+    install_flush_hooks();
+    return g_env_exporter;
+  }();
+  return exporter;
+}
+
+PromExporter* PromExporter::global_if_started() { return g_env_exporter; }
+
+}  // namespace tspopt::obs

@@ -114,6 +114,7 @@ void Registry::write_json(JsonWriter& w) const {
           w.value(e.h->bucket_count(i));
         }
         w.end_array();
+        w.key("overflow").value(e.h->overflow_count());
         break;
       }
     }

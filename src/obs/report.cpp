@@ -6,8 +6,14 @@
 #include "common/check.hpp"
 #include "obs/json.hpp"
 #include "obs/registry.hpp"
+#include "obs/runinfo.hpp"
+#include "obs/sampler.hpp"
 
 namespace tspopt::obs {
+
+void RunReport::set_run(std::string key, std::string value) {
+  run_.emplace_back(std::move(key), std::move(value));
+}
 
 void RunReport::set_instance(std::string name, std::int64_t n,
                              std::string metric) {
@@ -44,11 +50,23 @@ void RunReport::set_metrics(const Registry& registry) {
   has_metrics_ = true;
 }
 
+void RunReport::set_timeseries(const Sampler& sampler) {
+  JsonWriter w;
+  sampler.write_json(w);
+  timeseries_json_ = w.str();
+  has_timeseries_ = true;
+}
+
 std::string RunReport::to_json() const {
   JsonWriter w;
   w.begin_object();
   w.key("schema").value("tspopt.run_report");
   w.key("schema_version").value(std::int64_t{kRunReportSchemaVersion});
+  w.key("run").begin_object();
+  w.key("id").value(run_id());
+  w.key("generated_utc").value(rfc3339_utc_now_ms());
+  for (const auto& [k, v] : run_) w.key(k).value(v);
+  w.end_object();
   if (has_instance_) {
     w.key("instance").begin_object();
     w.key("name").value(instance_name_);
@@ -99,6 +117,9 @@ std::string RunReport::to_json() const {
       w.end_object();
     }
     w.end_array();
+  }
+  if (has_timeseries_) {
+    w.key("timeseries").raw_value(timeseries_json_);
   }
   if (has_metrics_) {
     w.key("metrics").raw_value(metrics_json_);

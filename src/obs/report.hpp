@@ -8,8 +8,10 @@
 // adapters in solver/obs_adapters.hpp populate it, which keeps obs below
 // every other layer in the dependency order.
 //
-// Schema v1, top level (sections appear only when populated):
-//   { "schema": "tspopt.run_report", "schema_version": 1,
+// Schema v2, top level (sections appear only when populated; "run" is
+// always present):
+//   { "schema": "tspopt.run_report", "schema_version": 2,
+//     "run": {"id", "generated_utc", "<key>": "<value>", ...},
 //     "instance": {"name", "n", "metric"},
 //     "engine": {"name"},
 //     "config": { "<key>": "<value>", ... },
@@ -17,7 +19,13 @@
 //     "devices": [ {"label", "spec", "counters": {...},
 //                   "derived": {...}} ],
 //     "convergence": [ {"seconds","length","iteration","checks","passes"} ],
+//     "timeseries": { <Sampler::write_json section> },
 //     "metrics": [ <registry instrument objects> ] }
+//
+// v2 over v1: the "run" header (process run id for cross-correlation with
+// the JSONL log and Prometheus exposition, RFC 3339 UTC generation time,
+// free-form environment key/values) and the optional "timeseries" section
+// carrying the Sampler's retained window.
 #pragma once
 
 #include <cstdint>
@@ -28,11 +36,17 @@
 namespace tspopt::obs {
 
 class Registry;
+class Sampler;
 
-inline constexpr int kRunReportSchemaVersion = 1;
+inline constexpr int kRunReportSchemaVersion = 2;
 
 class RunReport {
  public:
+  // Extra key/values for the "run" header section (e.g. simd level, thread
+  // count, git describe, cpu model). The id and generation timestamp are
+  // stamped automatically at serialization time.
+  void set_run(std::string key, std::string value);
+
   void set_instance(std::string name, std::int64_t n, std::string metric);
   void set_engine(std::string name);
 
@@ -66,6 +80,9 @@ class RunReport {
   // registry) as the "metrics" section.
   void set_metrics(const Registry& registry);
 
+  // Attach the sampler's retained window as the "timeseries" section.
+  void set_timeseries(const Sampler& sampler);
+
   std::string to_json() const;
   void write(const std::string& path) const;
 
@@ -76,6 +93,7 @@ class RunReport {
   std::string write_if_requested() const;
 
  private:
+  std::vector<std::pair<std::string, std::string>> run_;
   bool has_instance_ = false;
   std::string instance_name_;
   std::int64_t instance_n_ = 0;
@@ -85,6 +103,8 @@ class RunReport {
   std::vector<std::pair<std::string, double>> summary_;
   std::vector<DeviceSection> devices_;
   std::vector<ConvergencePoint> convergence_;
+  bool has_timeseries_ = false;
+  std::string timeseries_json_;  // pre-rendered sampler window
   bool has_metrics_ = false;
   std::string metrics_json_;  // pre-rendered registry snapshot
 };

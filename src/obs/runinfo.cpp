@@ -1,0 +1,90 @@
+#include "obs/runinfo.hpp"
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+
+namespace tspopt::obs {
+
+namespace {
+
+// SplitMix64 finalizer: spreads the (time, pid) seed over all 64 bits so
+// two runs started in the same clock tick still get distinct ids.
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+const std::string& run_id() {
+  // Leaked on purpose: the exit-flush hooks render the id after static
+  // destruction has begun, so the string must never be destroyed.
+  static const std::string& id = *new std::string([] {
+    auto now = std::chrono::system_clock::now().time_since_epoch();
+    std::uint64_t ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now).count();
+    std::uint64_t mixed =
+        mix64(ns ^ (static_cast<std::uint64_t>(::getpid()) << 32));
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(mixed));
+    return std::string(buf);
+  }());
+  return id;
+}
+
+std::string rfc3339_utc_ms(std::chrono::system_clock::time_point when) {
+  auto since_epoch = when.time_since_epoch();
+  auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(since_epoch);
+  std::time_t secs = static_cast<std::time_t>(ms.count() / 1000);
+  int millis = static_cast<int>(ms.count() % 1000);
+  if (millis < 0) {  // pre-epoch times round toward zero
+    millis += 1000;
+    --secs;
+  }
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, millis);
+  return buf;
+}
+
+std::string rfc3339_utc_now_ms() {
+  return rfc3339_utc_ms(std::chrono::system_clock::now());
+}
+
+const char* git_describe() {
+#ifdef TSPOPT_GIT_DESCRIBE
+  return TSPOPT_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+const std::string& cpu_model() {
+  // Leaked for the same reason as run_id().
+  static const std::string& model = *new std::string([] {
+    std::ifstream cpuinfo("/proc/cpuinfo");
+    std::string line;
+    while (std::getline(cpuinfo, line)) {
+      if (line.rfind("model name", 0) != 0) continue;
+      auto colon = line.find(':');
+      if (colon == std::string::npos) break;
+      std::size_t start = line.find_first_not_of(" \t", colon + 1);
+      if (start == std::string::npos) break;
+      return line.substr(start);
+    }
+    return std::string("unknown");
+  }());
+  return model;
+}
+
+}  // namespace tspopt::obs

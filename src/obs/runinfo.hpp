@@ -1,0 +1,34 @@
+// Run identity and environment attribution for telemetry artifacts.
+//
+// Every telemetry artifact a process emits — the JSONL event log, the
+// RunReport, the Prometheus exposition, BENCH_* files — carries the same
+// process-unique run id, so a scraper (or a test) can cross-correlate the
+// three views of one solve. This header also centralizes the attribution
+// facts the ISSUE's bench artifacts need: RFC 3339 UTC timestamps with
+// millisecond precision, the build's `git describe` string, and the host
+// CPU model.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+namespace tspopt::obs {
+
+// Process-unique run identifier: 16 lowercase hex characters derived from
+// the wall clock and pid at first use. Stable for the process lifetime.
+const std::string& run_id();
+
+// RFC 3339 UTC with milliseconds: "2026-08-06T12:34:56.789Z".
+std::string rfc3339_utc_ms(std::chrono::system_clock::time_point when);
+std::string rfc3339_utc_now_ms();
+
+// The `git describe --always --dirty` string baked in at configure time
+// (TSPOPT_GIT_DESCRIBE compile definition), or "unknown" outside a git
+// checkout.
+const char* git_describe();
+
+// The host CPU model name from /proc/cpuinfo, or "unknown" when the file
+// is absent (non-Linux). Cached after the first read.
+const std::string& cpu_model();
+
+}  // namespace tspopt::obs

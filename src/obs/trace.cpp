@@ -15,6 +15,16 @@ namespace {
 // tracer records it, and the common case is the single global tracer.
 thread_local std::int32_t t_depth = 0;
 
+// The ids of the live spans enclosing the current point of execution,
+// innermost last. Log events and instants read the top to correlate with
+// the span they happened inside.
+thread_local std::vector<std::uint64_t> t_span_stack;
+
+std::uint64_t next_span_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
 std::string quoted(std::string_view v) {
   std::string out;
   out.reserve(v.size() + 2);
@@ -33,12 +43,18 @@ std::uint32_t current_thread_ordinal() {
   return ordinal;
 }
 
+std::uint64_t current_span_id() {
+  return t_span_stack.empty() ? 0 : t_span_stack.back();
+}
+
 Span::Span(Tracer* tracer, const char* name, const char* category)
     : tracer_(tracer) {
   event_.name = name;
   event_.category = category;
   event_.tid = current_thread_ordinal();
   event_.depth = t_depth++;
+  event_.id = next_span_id();
+  t_span_stack.push_back(event_.id);
   event_.start_ns = tracer_->now_ns();
 }
 
@@ -77,6 +93,16 @@ void Span::finish() {
   if (tracer_ == nullptr) return;
   event_.duration_ns = tracer_->now_ns() - event_.start_ns;
   --t_depth;
+  // Spans close LIFO on their thread in the instrumented code, so the top
+  // of the stack is this span; search backwards anyway in case a span was
+  // moved across threads or finished out of order.
+  for (std::size_t i = t_span_stack.size(); i-- > 0;) {
+    if (t_span_stack[i] == event_.id) {
+      t_span_stack.erase(t_span_stack.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
   Tracer* tracer = tracer_;
   tracer_ = nullptr;
   tracer->record(std::move(event_));
@@ -95,6 +121,7 @@ void Tracer::instant(
   event.category = category;
   event.tid = current_thread_ordinal();
   event.depth = t_depth;
+  event.id = current_span_id();  // the span this instant occurred inside
   event.start_ns = now_ns();
   event.duration_ns = -1;
   for (const auto& [key, value] : args) {
@@ -149,8 +176,9 @@ std::string Tracer::chrome_trace_json() const {
     w.key("ts").value(static_cast<double>(e.start_ns) / 1e3);
     w.key("pid").value(std::int64_t{1});
     w.key("tid").value(e.tid);
-    if (!e.args.empty()) {
+    if (e.id != 0 || !e.args.empty()) {
       w.key("args").begin_object();
+      if (e.id != 0) w.key("span_id").value(e.id);
       for (const auto& [key, rendered] : e.args) {
         w.key(key).raw_value(rendered);
       }

@@ -35,6 +35,11 @@ namespace tspopt::obs {
 // use, in first-use order). This is the "tid" of exported trace events.
 std::uint32_t current_thread_ordinal();
 
+// The id of the innermost live Span on the calling thread, or 0 when no
+// span is open (or tracing is disabled). Structured log events stamp this
+// so JSONL lines correlate to trace spans.
+std::uint64_t current_span_id();
+
 struct TraceEvent {
   // Name/category point at string literals (the only call-site idiom);
   // they are not copied.
@@ -42,6 +47,9 @@ struct TraceEvent {
   const char* category = "";
   std::int64_t start_ns = 0;
   std::int64_t duration_ns = 0;  // -1 = instant event
+  // Process-unique span id (1-based); instant events carry the id of the
+  // span they occurred inside (0 = none). Exported as args.span_id.
+  std::uint64_t id = 0;
   std::uint32_t tid = 0;
   std::int32_t depth = 0;  // span nesting depth on its thread (0 = root)
   // Values are pre-rendered JSON fragments (quoted strings or bare

@@ -14,6 +14,7 @@
 
 #include "common/check.hpp"
 #include "common/timer.hpp"
+#include "obs/log.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
@@ -152,6 +153,12 @@ class Device {
             "simt.fault", "simt",
             {{"device", label_}, {"kind", to_string(e.kind())},
              {"launch", std::to_string(ordinal)}});
+        obs::Log::global()
+            .event(obs::LogLevel::kWarn, "simt.fault")
+            .arg("device", label_)
+            .arg("kind", to_string(e.kind()))
+            .arg("launch", ordinal)
+            .arg("what", e.what());
         throw;
       }
     }

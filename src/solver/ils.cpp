@@ -4,6 +4,7 @@
 
 #include "common/rng.hpp"
 #include "common/timer.hpp"
+#include "obs/log.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "solver/checkpoint.hpp"
@@ -62,6 +63,12 @@ void write_checkpoint(const std::string& path, const LoopState& st,
   ck.rng = st.rng.save();
   ck.trace = st.result.trace;
   save_ils_checkpoint(path, ck);
+  obs::Log::global()
+      .event(obs::LogLevel::kDebug, "ils.checkpoint")
+      .arg("path", path)
+      .arg("iteration", st.result.iterations)
+      .arg("best", st.result.best_length)
+      .arg("seconds", now);
 }
 
 // The perturbation loop (Algorithm 1 lines 4-8), shared by fresh and
@@ -125,6 +132,11 @@ IlsResult run_loop(TwoOptEngine& engine, const Instance& instance,
       st.result.trace.push_back({now(), st.result.best_length,
                                  st.result.iterations, st.result.checks,
                                  st.passes});
+      obs::Log::global()
+          .event(obs::LogLevel::kInfo, "ils.improvement")
+          .arg("iteration", st.result.iterations)
+          .arg("best", st.result.best_length)
+          .arg("seconds", now());
     }
     bool accepted = accept(options.acceptance, options.epsilon, length,
                            st.incumbent_len);
@@ -149,6 +161,13 @@ IlsResult run_loop(TwoOptEngine& engine, const Instance& instance,
   }
 
   st.result.wall_seconds = now();
+  obs::Log::global()
+      .event(obs::LogLevel::kInfo, "ils.finish")
+      .arg("iterations", st.result.iterations)
+      .arg("improvements", st.result.improvements)
+      .arg("best", st.result.best_length)
+      .arg("checks", st.result.checks)
+      .arg("seconds", st.result.wall_seconds);
   return std::move(st.result);
 }
 

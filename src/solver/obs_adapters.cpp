@@ -2,6 +2,10 @@
 
 #include <string>
 
+#include "obs/runinfo.hpp"
+#include "parallel/thread_pool.hpp"
+#include "solver/simd.hpp"
+
 namespace tspopt {
 
 namespace {
@@ -89,6 +93,15 @@ void report_multi_device(obs::RunReport& report,
     report.set_summary("device." + h.label + ".quarantined",
                        h.quarantined ? 1.0 : 0.0);
   }
+}
+
+void describe_environment(obs::RunReport& report) {
+  const simd::Kernels& kernels = simd::active();
+  report.set_run("simd", kernels.name);
+  report.set_run("simd_width", std::to_string(kernels.width));
+  report.set_run("threads", std::to_string(ThreadPool::shared().size()));
+  report.set_run("git", obs::git_describe());
+  report.set_run("cpu", obs::cpu_model());
 }
 
 }  // namespace tspopt

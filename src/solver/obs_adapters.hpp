@@ -41,4 +41,10 @@ void report_ils(obs::RunReport& report, const IlsResult& result);
 void report_multi_device(obs::RunReport& report,
                          const TwoOptMultiDevice& engine);
 
+// Stamp the execution environment into the "run" header: resolved SIMD
+// dispatch level and lane width, host thread count, git describe, CPU
+// model. The same fingerprint the bench pipeline uses to decide whether
+// two BENCH_*.json files are comparable.
+void describe_environment(obs::RunReport& report);
+
 }  // namespace tspopt

@@ -8,6 +8,7 @@
 
 #include "common/check.hpp"
 #include "common/timer.hpp"
+#include "obs/log.hpp"
 #include "obs/registry.hpp"
 #include "solver/twoopt_sequential.hpp"
 
@@ -149,6 +150,12 @@ void TwoOptMultiDevice::run_partition(std::size_t part, std::size_t device,
               .counter("multi.quarantines", {{"device", label}})
               .add();
           tracer.instant("multi.quarantine", "multi", {{"device", label}});
+          obs::Log::global()
+              .event(obs::LogLevel::kError, "multi.quarantine")
+              .arg("device", label)
+              .arg("part", static_cast<std::uint64_t>(part))
+              .arg("failures", health.failures)
+              .arg("consecutive", health.consecutive_failures);
           ok = false;
           return;
         }
@@ -157,6 +164,12 @@ void TwoOptMultiDevice::run_partition(std::size_t part, std::size_t device,
             .counter("multi.retries", {{"device", label}})
             .add();
         tracer.instant("multi.retry", "multi", {{"device", label}});
+        obs::Log::global()
+            .event(obs::LogLevel::kWarn, "multi.retry")
+            .arg("device", label)
+            .arg("part", static_cast<std::uint64_t>(part))
+            .arg("attempt", attempt_no)
+            .arg("backoff_ms", backoff_ms);
         if (backoff_ms > 0.0) {
           std::this_thread::sleep_for(
               std::chrono::duration<double, std::milli>(backoff_ms));
@@ -190,6 +203,10 @@ SearchResult TwoOptMultiDevice::search(const Instance& instance,
       used_host_fallback_ = true;
       obs::Registry::global().counter("multi.host_fallback_passes").add();
       obs::Tracer::global().instant("multi.host_fallback", "multi");
+      obs::Log::global()
+          .event(obs::LogLevel::kError, "multi.host_fallback")
+          .arg("devices_quarantined",
+               static_cast<std::uint64_t>(devices_.size()));
       SearchResult result = fallback_->search(instance, tour);
       result.wall_seconds = timer.seconds();
       return result;
@@ -233,6 +250,11 @@ SearchResult TwoOptMultiDevice::search(const Instance& instance,
       ++redeals_;
       obs::Registry::global().counter("multi.redeals").add();
       obs::Tracer::global().instant("multi.redeal", "multi");
+      obs::Log::global()
+          .event(obs::LogLevel::kWarn, "multi.redeal")
+          .arg("survivors",
+               static_cast<std::uint64_t>(active_device_count()))
+          .arg("redeals", static_cast<std::uint64_t>(redeals_));
       continue;
     }
 

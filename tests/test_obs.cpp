@@ -4,8 +4,12 @@
 // trace and report record the retry/quarantine story.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <limits>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -13,9 +17,13 @@
 
 #include "common/check.hpp"
 #include "obs/json.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
 #include "obs/registry.hpp"
 #include "obs/report.hpp"
+#include "obs/runinfo.hpp"
+#include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 #include "simt/device.hpp"
 #include "simt/fault.hpp"
@@ -184,6 +192,40 @@ TEST(ObsMetrics, HistogramBucketsByBound) {
   EXPECT_EQ(h.bucket_count(1), 2u);
 }
 
+TEST(ObsMetrics, HistogramQuantileMatchesKnownDistribution) {
+  // 1000 uniform observations over (0, 100] with bounds every 10: the
+  // interpolated quantile should track the exact quantile closely.
+  obs::Histogram h({10, 20, 30, 40, 50, 60, 70, 80, 90, 100});
+  for (int i = 1; i <= 1000; ++i) h.observe(i * 0.1);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.25), 25.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 1.0);
+  EXPECT_NEAR(h.quantile(1.0), 100.0, 1e-9);
+  // Degenerate cases: empty histogram reports 0; a quantile that falls in
+  // the unbounded overflow bucket clamps to the last finite bound.
+  obs::Histogram empty({1, 2});
+  EXPECT_EQ(empty.quantile(0.5), 0.0);
+  obs::Histogram over({1, 2});
+  over.observe(100.0);
+  EXPECT_EQ(over.quantile(0.5), 2.0);
+}
+
+TEST(ObsMetrics, HistogramBucketBoundariesAreInclusiveUpper) {
+  // An observation exactly on a bound lands in that bound's bucket
+  // (inclusive upper), matching the Prometheus le= semantics; just above
+  // goes to the next.
+  obs::Histogram h({1.0, 2.0});
+  h.observe(1.0);
+  h.observe(std::nextafter(1.0, 2.0));
+  h.observe(2.0);
+  h.observe(std::nextafter(2.0, 3.0));
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 1u);  // the implicit overflow bucket
+  EXPECT_EQ(h.overflow_count(), 1u);
+  EXPECT_EQ(h.count(), 4u);
+}
+
 TEST(ObsMetrics, CounterIsAtomicCompatible) {
   obs::Counter c;
   c.fetch_add(2, std::memory_order_relaxed);
@@ -276,6 +318,11 @@ TEST(ObsReport, SchemaRoundTrips) {
   EXPECT_EQ(doc.at("schema").string, "tspopt.run_report");
   EXPECT_EQ(doc.at("schema_version").number,
             static_cast<double>(obs::kRunReportSchemaVersion));
+  // v2: the run header is always present, with the process run id and an
+  // RFC 3339 UTC millisecond timestamp.
+  EXPECT_EQ(doc.at("run").at("id").string, obs::run_id());
+  EXPECT_EQ(doc.at("run").at("generated_utc").string.size(),
+            std::string("2026-01-02T03:04:05.678Z").size());
   EXPECT_EQ(doc.at("instance").at("name").string, "kroA200");
   EXPECT_EQ(doc.at("instance").at("n").number, 200.0);
   EXPECT_EQ(doc.at("engine").at("name").string, "gpu-multi");
@@ -296,10 +343,21 @@ TEST(ObsReport, EmptySectionsAreOmitted) {
   report.set_summary("only", 1.0);
   JsonValue doc = obs::json_parse(report.to_json());
   EXPECT_NE(doc.find("summary"), nullptr);
+  EXPECT_NE(doc.find("run"), nullptr);  // v2: always present
   EXPECT_EQ(doc.find("instance"), nullptr);
   EXPECT_EQ(doc.find("devices"), nullptr);
   EXPECT_EQ(doc.find("convergence"), nullptr);
+  EXPECT_EQ(doc.find("timeseries"), nullptr);
   EXPECT_EQ(doc.find("metrics"), nullptr);
+}
+
+TEST(ObsReport, RunHeaderCarriesEnvironmentKeys) {
+  obs::RunReport report;
+  report.set_run("simd", "avx2");
+  report.set_run("threads", "8");
+  JsonValue doc = obs::json_parse(report.to_json());
+  EXPECT_EQ(doc.at("run").at("simd").string, "avx2");
+  EXPECT_EQ(doc.at("run").at("threads").string, "8");
 }
 
 // --------------------------------------------- end-to-end integration --
@@ -457,6 +515,140 @@ TEST(ObsIntegration, FaultyMultiDeviceIlsProducesTraceAndReport) {
   EXPECT_TRUE(saw_latency);
 
   tracer.clear();
+}
+
+TEST(ObsIntegration, LiveTelemetryCrossCorrelatesByRunId) {
+  // The acceptance scenario, in-process: a fault-injected multi-device
+  // ILS run with the JSONL log, the time-series sampler and the
+  // Prometheus exposition all live at once — every artifact must carry
+  // the same run id, the log must record the fault-tolerance decisions
+  // with span correlation, and the report's timeseries section must show
+  // monotone counter growth.
+  obs::Registry& registry = obs::Registry::global();
+  registry.clear();
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.clear();
+  tracer.enable(true);  // spans must be live for span-id stamping
+
+  std::string log_path = testing::TempDir() + "/tspopt_obs_accept.jsonl";
+  std::string prom_path = testing::TempDir() + "/tspopt_obs_accept.prom";
+  std::remove(log_path.c_str());
+  std::remove(prom_path.c_str());
+  obs::Log::Options log_options;
+  log_options.level = obs::LogLevel::kDebug;
+  log_options.path = log_path;
+  obs::Log::global().configure(log_options);
+
+  obs::SamplerOptions sampler_options;
+  sampler_options.period_ms = 2.0;  // live sampling during the solve
+  obs::Sampler sampler(registry, sampler_options);
+
+  simt::FaultPlan plan;
+  plan.inject({"flaky", simt::FaultKind::kLaunchFailure, 1,
+               simt::FaultSpec::kForever});
+  simt::FaultInjector injector(plan);
+  std::vector<std::unique_ptr<simt::Device>> owned;
+  std::vector<simt::Device*> devices;
+  for (const char* label : {"good", "flaky"}) {
+    owned.push_back(std::make_unique<simt::Device>(simt::gtx680_cuda()));
+    owned.back()->set_label(label);
+    owned.back()->set_fault_injector(&injector);
+    devices.push_back(owned.back().get());
+  }
+  MultiDeviceOptions mopts;
+  mopts.backoff_initial_ms = 0.0;
+  TwoOptMultiDevice engine(devices, 128, mopts);
+  Instance inst = generate_clustered("obs300", 300, 4, 21);
+  Tour initial = multiple_fragment(inst);
+  IlsOptions opts;
+  opts.time_limit_seconds = -1.0;
+  opts.max_iterations = 3;
+  opts.seed = 21;
+  IlsResult result = iterated_local_search(engine, inst, initial, opts);
+  tracer.enable(false);
+
+  sampler.stop();
+  sampler.sample_now();  // final snapshot of the finished counters
+  obs::prometheus_write(registry, prom_path);
+  obs::Log::global().flush();
+  obs::Log::global().configure(obs::Log::Options{});  // back to off/stderr
+
+  // --- the log: every line parses, carries the run id, and the
+  // fault-tolerance story is machine-readable ---
+  std::ifstream log_in(log_path, std::ios::binary);
+  ASSERT_TRUE(log_in.good());
+  std::string line;
+  std::size_t log_lines = 0;
+  bool saw_retry = false, saw_quarantine = false, saw_fault = false;
+  bool saw_finish = false, saw_span = false;
+  while (std::getline(log_in, line)) {
+    if (line.empty()) continue;
+    ++log_lines;
+    JsonValue doc = obs::json_parse(line);
+    EXPECT_EQ(doc.at("run").string, obs::run_id()) << line;
+    const std::string& event = doc.at("event").string;
+    if (event == "multi.retry") {
+      saw_retry = true;
+      EXPECT_EQ(doc.at("device").string, "flaky");
+    }
+    if (event == "multi.quarantine") saw_quarantine = true;
+    if (event == "simt.fault") saw_fault = true;
+    if (event == "ils.finish") {
+      saw_finish = true;
+      EXPECT_EQ(doc.at("iterations").number, 3.0);
+    }
+    if (doc.find("span") != nullptr) {
+      saw_span = true;
+      EXPECT_GT(doc.at("span").number, 0.0);
+    }
+  }
+  EXPECT_GE(log_lines, 4u);
+  EXPECT_TRUE(saw_retry);
+  EXPECT_TRUE(saw_quarantine);
+  EXPECT_TRUE(saw_fault);
+  EXPECT_TRUE(saw_finish);
+  // Faults are injected inside launch spans, so at least one event line
+  // correlates to an enclosing trace span.
+  EXPECT_TRUE(saw_span);
+
+  // --- the exposition: same run id, same counters ---
+  std::ifstream prom_in(prom_path, std::ios::binary);
+  ASSERT_TRUE(prom_in.good());
+  std::stringstream prom_buf;
+  prom_buf << prom_in.rdbuf();
+  std::string prom = prom_buf.str();
+  EXPECT_NE(prom.find("tspopt_run_info{id=\"" + obs::run_id() + "\""),
+            std::string::npos);
+  EXPECT_NE(prom.find("tspopt_multi_retries{device=\"flaky\"} 2"),
+            std::string::npos);
+
+  // --- the report: v2 run header + timeseries with monotone counters ---
+  obs::RunReport report;
+  report.set_instance(inst.name(), inst.n(), "EUC_2D");
+  report.set_engine(engine.name());
+  report_ils(report, result);
+  report.set_metrics(registry);
+  report.set_timeseries(sampler);
+  JsonValue doc = obs::json_parse(report.to_json());
+  EXPECT_EQ(doc.at("run").at("id").string, obs::run_id());
+  const JsonValue& ts = doc.at("timeseries");
+  EXPECT_GE(ts.at("samples_taken").number, 2.0);
+  bool saw_monotone_counter = false;
+  for (const JsonValue& series : ts.at("series").array) {
+    if (series.at("kind").string != "counter") continue;
+    const JsonValue& points = series.at("points");
+    double prev = -1.0;
+    for (const JsonValue& p : points.array) {
+      EXPECT_GE(p.at("v").number, prev) << series.at("name").string;
+      prev = p.at("v").number;
+    }
+    if (points.array.size() >= 2) saw_monotone_counter = true;
+  }
+  EXPECT_TRUE(saw_monotone_counter);
+
+  tracer.clear();
+  std::remove(log_path.c_str());
+  std::remove(prom_path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,173 @@
+// The Prometheus text exposition: golden output for a known registry,
+// name sanitization, label escaping per the spec, cumulative le-buckets
+// with +Inf / _sum / _count / _overflow, the run-info correlation series,
+// the atomic (tmp + rename) file writer, and the periodic + SIGUSR1
+// exporter.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "obs/prometheus.hpp"
+#include "obs/registry.hpp"
+#include "obs/runinfo.hpp"
+
+namespace tspopt {
+namespace {
+
+using obs::PromExporter;
+using obs::Registry;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool file_exists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+TEST(ObsPrometheus, GoldenExpositionForAKnownRegistry) {
+  Registry registry;
+  registry.counter("multi.retries", {{"device", "gpu0"}}).add(3);
+  registry.gauge("best.length").set(1234.5);
+  obs::Histogram& h = registry.histogram("launch.ms", {1.0, 2.0});
+  h.observe(0.5);
+  h.observe(1.0);  // boundary: lands in the le="1" bucket
+  h.observe(1.5);
+  h.observe(9.0);  // overflow
+
+  std::string expected;
+  expected += "# TYPE tspopt_run_info gauge\n";
+  expected += "tspopt_run_info{id=\"" + obs::run_id() + "\",git=\"" +
+              obs::git_describe() + "\"} 1\n";
+  expected += "# TYPE tspopt_best_length gauge\n";
+  expected += "tspopt_best_length 1234.5\n";
+  expected += "# TYPE tspopt_launch_ms histogram\n";
+  expected += "tspopt_launch_ms_bucket{le=\"1\"} 2\n";
+  expected += "tspopt_launch_ms_bucket{le=\"2\"} 3\n";
+  expected += "tspopt_launch_ms_bucket{le=\"+Inf\"} 4\n";
+  expected += "tspopt_launch_ms_sum 12\n";
+  expected += "tspopt_launch_ms_count 4\n";
+  expected += "tspopt_launch_ms_overflow 1\n";
+  expected += "# TYPE tspopt_multi_retries counter\n";
+  expected += "tspopt_multi_retries{device=\"gpu0\"} 3\n";
+  EXPECT_EQ(obs::prometheus_text(registry), expected);
+}
+
+TEST(ObsPrometheus, RunInfoLeadsAndCorrelatesTheScrape) {
+  Registry registry;
+  std::string text = obs::prometheus_text(registry);
+  // Even an empty registry exposes the run-correlation series, first.
+  EXPECT_EQ(text.rfind("# TYPE tspopt_run_info gauge\n", 0), 0u);
+  EXPECT_NE(text.find("id=\"" + obs::run_id() + "\""), std::string::npos);
+  EXPECT_NE(text.find("git=\""), std::string::npos);
+}
+
+TEST(ObsPrometheus, NamesAreSanitizedToTheMetricAlphabet) {
+  Registry registry;
+  registry.counter("ils.moves-applied", {{"engine.kind", "cpu"}}).add(1);
+  std::string text = obs::prometheus_text(registry);
+  EXPECT_NE(text.find("tspopt_ils_moves_applied{engine_kind=\"cpu\"} 1"),
+            std::string::npos);
+}
+
+TEST(ObsPrometheus, LabelValuesEscapeBackslashQuoteAndNewline) {
+  Registry registry;
+  registry.counter("events", {{"what", "a\\b\"c\nd"}}).add(2);
+  std::string text = obs::prometheus_text(registry);
+  EXPECT_NE(text.find("tspopt_events{what=\"a\\\\b\\\"c\\nd\"} 2"),
+            std::string::npos)
+      << text;
+  // The exposition itself stays one-sample-per-line: the raw newline in
+  // the label value must not have split the line.
+  for (std::size_t pos = 0, line_start = 0; pos < text.size(); ++pos) {
+    if (text[pos] != '\n') continue;
+    std::string line = text.substr(line_start, pos - line_start);
+    EXPECT_FALSE(!line.empty() && line.back() == '\\') << line;
+    line_start = pos + 1;
+  }
+}
+
+TEST(ObsPrometheus, HistogramBucketsAreCumulative) {
+  Registry registry;
+  obs::Histogram& h = registry.histogram("d", {10.0, 20.0, 30.0});
+  for (int i = 0; i < 6; ++i) h.observe(5.0);    // le=10
+  for (int i = 0; i < 3; ++i) h.observe(15.0);   // le=20
+  h.observe(25.0);                               // le=30
+  std::string text = obs::prometheus_text(registry);
+  EXPECT_NE(text.find("tspopt_d_bucket{le=\"10\"} 6"), std::string::npos);
+  EXPECT_NE(text.find("tspopt_d_bucket{le=\"20\"} 9"), std::string::npos);
+  EXPECT_NE(text.find("tspopt_d_bucket{le=\"30\"} 10"), std::string::npos);
+  EXPECT_NE(text.find("tspopt_d_bucket{le=\"+Inf\"} 10"),
+            std::string::npos);
+  EXPECT_NE(text.find("tspopt_d_overflow 0"), std::string::npos);
+}
+
+TEST(ObsPrometheus, WriteIsAtomicViaRename) {
+  Registry registry;
+  registry.counter("written").add(1);
+  std::string path = testing::TempDir() + "/tspopt_prom_write_test.prom";
+  std::remove(path.c_str());
+  obs::prometheus_write(registry, path);
+  EXPECT_EQ(read_file(path), obs::prometheus_text(registry));
+  // The temporary sibling must not survive the rename.
+  EXPECT_FALSE(file_exists(path + ".tmp"));
+  // A second write replaces the file in place.
+  registry.counter("written").add(1);
+  obs::prometheus_write(registry, path);
+  EXPECT_NE(read_file(path).find("tspopt_written 2"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ObsPromExporter, WritesOnConstructionPeriodAndDestruction) {
+  Registry registry;
+  obs::Counter& counter = registry.counter("exported");
+  std::string path =
+      testing::TempDir() + "/tspopt_prom_exporter_test.prom";
+  std::remove(path.c_str());
+  {
+    PromExporter exporter(registry, {path, /*period_ms=*/10.0});
+    // The file exists as soon as the exporter does.
+    EXPECT_TRUE(file_exists(path));
+    EXPECT_GE(exporter.writes(), 1u);
+    counter.add(41);
+    for (int i = 0; i < 400 && exporter.writes() < 3; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_GE(exporter.writes(), 3u);
+    counter.add(1);
+  }
+  // The destructor's final write reflects the finished run.
+  EXPECT_NE(read_file(path).find("tspopt_exported 42"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ObsPromExporter, Sigusr1ForcesAWriteUnderALongPeriod) {
+  Registry registry;
+  registry.counter("on.demand").add(7);
+  std::string path =
+      testing::TempDir() + "/tspopt_prom_sigusr1_test.prom";
+  std::remove(path.c_str());
+  PromExporter exporter(registry, {path, /*period_ms=*/3600000.0});
+  std::uint64_t before = exporter.writes();
+  std::raise(SIGUSR1);
+  // The exporter polls the signal flag in <=100ms slices; give it a
+  // generous (but bounded) window.
+  for (int i = 0; i < 400 && exporter.writes() == before; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GT(exporter.writes(), before);
+  exporter.stop();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tspopt

@@ -1,0 +1,97 @@
+// Solve-service throughput: how job completion rate and queue wait scale
+// with the scheduler's worker count when many small jobs share one device
+// pool. This is the serving-layer companion to the per-pass ablations —
+// the paper's single-kernel speedups only reach a tenant if the scheduler
+// in front of the devices does not serialize or starve them.
+//
+// Environment: REPRO_SERVE_JOBS overrides the jobs-per-configuration
+// count; REPRO_FULL=1 scales it up. REPRO_ARTIFACTS exports the table as
+// CSV like every other bench.
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchsup/table.hpp"
+#include "common/env.hpp"
+#include "common/timer.hpp"
+#include "serve/scheduler.hpp"
+#include "simt/device.hpp"
+#include "simt/device_pool.hpp"
+
+int main() {
+  using namespace tspopt;
+  using namespace tspopt::benchsup;
+
+  const auto jobs = static_cast<int>(
+      env_long_or("REPRO_SERVE_JOBS", full_scale() ? 128 : 32));
+
+  std::cout << "=== Solve-service throughput vs scheduler workers ("
+            << jobs << " jobs, 4 devices, berlin52 @ 1 ILS iteration) ===\n\n";
+
+  Table table({"Workers", "Wall", "Jobs/s", "Mean wait", "Mean run",
+               "Finished", "Rejected"});
+
+  for (std::size_t workers : {1u, 2u, 4u, 8u}) {
+    std::vector<std::unique_ptr<simt::Device>> owned;
+    std::vector<simt::Device*> devices;
+    for (int d = 0; d < 4; ++d) {
+      owned.push_back(std::make_unique<simt::Device>(simt::gtx680_cuda()));
+      owned.back()->set_label("gpu" + std::to_string(d));
+      devices.push_back(owned.back().get());
+    }
+    simt::DevicePool pool(devices);
+
+    serve::SchedulerOptions options;
+    options.workers = workers;
+    options.queue_capacity = static_cast<std::size_t>(jobs);
+    serve::Scheduler scheduler(pool, options);
+
+    serve::JobSpec spec;
+    spec.catalog = "berlin52";
+    spec.engine = "gpu-small";
+    spec.max_iterations = 1;
+    spec.time_limit_seconds = 10.0;  // iteration-bounded
+
+    WallTimer timer;
+    std::vector<std::uint64_t> ids;
+    std::uint64_t rejected = 0;
+    for (int j = 0; j < jobs; ++j) {
+      spec.seed = static_cast<std::uint64_t>(j + 1);
+      serve::Scheduler::Admission a = scheduler.submit(spec);
+      if (a.accepted) {
+        ids.push_back(a.id);
+      } else {
+        ++rejected;  // capacity sized to `jobs`, so normally zero
+      }
+    }
+    scheduler.drain();
+    double wall = timer.seconds();
+
+    double wait_sum = 0.0, run_sum = 0.0;
+    for (std::uint64_t id : ids) {
+      std::shared_ptr<const serve::Job> job = scheduler.find(id);
+      wait_sum += job->wait_seconds.load();
+      run_sum += job->run_seconds.load();
+    }
+    serve::Scheduler::Stats stats = scheduler.stats();
+    double denom = ids.empty() ? 1.0 : static_cast<double>(ids.size());
+    table.add_row({std::to_string(workers), fmt_us(wall * 1e6),
+                   fmt_fixed(static_cast<double>(stats.finished) / wall, 1),
+                   fmt_us(wait_sum / denom * 1e6),
+                   fmt_us(run_sum / denom * 1e6),
+                   std::to_string(stats.finished),
+                   std::to_string(rejected)});
+    if (stats.finished != ids.size()) {
+      std::cerr << "lost jobs at workers=" << workers << ": accepted "
+                << ids.size() << ", finished " << stats.finished << "\n";
+      return 1;
+    }
+  }
+
+  table.print(std::cout);
+  std::string csv = maybe_export_csv(table, "serve_throughput");
+  if (!csv.empty()) std::cout << "\nwrote " << csv << "\n";
+  return 0;
+}

@@ -22,12 +22,14 @@
 #include <iostream>
 #include <memory>
 
+#include "obs/flush.hpp"
 #include "obs/log.hpp"
 #include "obs/prometheus.hpp"
 #include "obs/registry.hpp"
 #include "obs/report.hpp"
 #include "obs/runinfo.hpp"
 #include "obs/sampler.hpp"
+#include "serve/shutdown.hpp"
 #include "simt/device.hpp"
 #include "simt/fault.hpp"
 #include "solver/checkpoint.hpp"
@@ -51,6 +53,22 @@ int main(int argc, char** argv) {
   obs::Log::global();
   obs::Sampler* sampler = obs::Sampler::global_from_env();
   obs::PromExporter::global_from_env();
+  obs::install_flush_hooks();
+
+  // SIGINT/SIGTERM drain instead of killing the run mid-pass: the latch
+  // feeds every ILS loop's should_stop hook, so the solver stops at the
+  // next poll with the best tour so far (and the checkpoint already on
+  // disk), telemetry flushes, and the process exits 128+signo.
+  serve::ShutdownSignal& shutdown = serve::ShutdownSignal::global();
+  shutdown.install();
+  auto drain_requested = [&shutdown] { return shutdown.requested(); };
+  auto drained_exit = [&shutdown](const IlsResult& at) {
+    std::cout << "\ndrained on signal " << shutdown.signal() << " after "
+              << at.iterations << " iterations (best " << at.best_length
+              << "); telemetry flushed\n";
+    obs::flush_all_telemetry();
+    return shutdown.exit_code();
+  };
 
   Instance instance = generate_clustered("flaky" + std::to_string(n), n,
                                          std::max(4, n / 250), seed);
@@ -94,11 +112,13 @@ int main(int argc, char** argv) {
   opts.seed = seed;
   opts.checkpoint_path = ckpt;
   opts.checkpoint_every = 4;
+  opts.should_stop = drain_requested;
 
   // Leg 1: run halfway, then pretend the process was killed.
   IlsOptions half = opts;
   half.max_iterations = iterations / 2;
   IlsResult partial = iterated_local_search(engine, instance, initial, half);
+  if (partial.stopped) return drained_exit(partial);
   std::cout << "\n-- process 'killed' after " << partial.iterations
             << " iterations, best " << partial.best_length << " --\n";
 
@@ -109,6 +129,7 @@ int main(int argc, char** argv) {
             << resume_from.best_length << ")\n";
   IlsResult resumed =
       iterated_local_search_resume(engine, instance, resume_from, opts);
+  if (resumed.stopped) return drained_exit(resumed);
 
   // Reference: the same job never interrupted, on a healthy single device.
   simt::Device healthy(simt::gtx680_cuda());
@@ -117,6 +138,7 @@ int main(int argc, char** argv) {
   ref.checkpoint_path.clear();
   IlsResult straight =
       iterated_local_search(ref_engine, instance, initial, ref);
+  if (straight.stopped) return drained_exit(straight);
 
   std::cout << "\nresumed run : " << resumed.best_length << " after "
             << resumed.iterations << " iterations\n";

@@ -9,6 +9,7 @@
 //
 // Exercises the full TSPLIB substrate (parser, writer, metrics, catalog,
 // tour files, SVG) plus the engine factory.
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -43,7 +44,9 @@ int main(int argc, char** argv) {
   cli.add_option("svg", "write the tour as SVG to this path");
   cli.add_option("tour", "write the tour in TSPLIB format to this path");
   cli.add_option("report", "write a machine-readable run report (JSON)");
-  cli.add_flag("engines", "list available engines and exit");
+  cli.add_flag("engines", "list available engine names and exit");
+  cli.add_flag("list-engines",
+               "list engines with one-line descriptions and exit");
   if (!cli.parse(argc, argv)) {
     std::cerr << cli.error() << "\n" << cli.usage();
     return 2;
@@ -51,6 +54,17 @@ int main(int argc, char** argv) {
   if (cli.has("engines")) {
     for (const std::string& name : EngineFactory::available()) {
       std::cout << name << "\n";
+    }
+    return 0;
+  }
+  if (cli.has("list-engines")) {
+    std::size_t width = 0;
+    for (const auto& info : EngineFactory::roster()) {
+      width = std::max(width, info.name.size());
+    }
+    for (const auto& info : EngineFactory::roster()) {
+      std::cout << info.name << std::string(width - info.name.size() + 2, ' ')
+                << info.description << "\n";
     }
     return 0;
   }

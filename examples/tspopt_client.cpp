@@ -1,0 +1,141 @@
+// tspopt_client — command-line client for tspoptd.
+//
+//   $ ./examples/tspopt_client submit --catalog kroA200 --engine gpu-multi \
+//       --time 0.5 --wait
+//   $ ./examples/tspopt_client status --id 3
+//   $ ./examples/tspopt_client result --id 3
+//   $ ./examples/tspopt_client cancel --id 3
+//   $ ./examples/tspopt_client stats
+//   $ ./examples/tspopt_client engines
+//
+// Every invocation prints the daemon's JSON response on stdout (one
+// line, pipe it to jq/python for pretty-printing) and exits 0 when the
+// response carries "ok": true, 1 when the daemon rejected the request
+// (queue full, unknown id, invalid spec), 2 on usage/connection errors.
+// `submit --wait` polls until the job reaches a terminal state and then
+// prints the `result` response instead of the submission receipt.
+#include <cstdint>
+#include <functional>
+#include <iostream>
+#include <string>
+
+#include "common/cli.hpp"
+#include "serve/client.hpp"
+#include "tsp/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tspopt;
+
+  CliParser cli("tspopt_client", "client for the tspoptd solve daemon");
+  cli.add_positional("verb", "submit | status | result | cancel | stats | "
+                             "engines | ping");
+  cli.add_option("host", "daemon host", "127.0.0.1");
+  cli.add_option("port", "daemon port", "7878");
+  cli.add_option("id", "job id (status/result/cancel)");
+  cli.add_option("catalog", "catalog instance name to solve");
+  cli.add_option("random", "solve a random uniform instance of this size");
+  cli.add_option("engine", "engine name (see the engines verb)",
+                 "cpu-parallel");
+  cli.add_option("time", "ILS time budget, seconds", "1.0");
+  cli.add_option("iterations", "ILS iteration cap (-1 = by time)", "-1");
+  cli.add_option("priority", "0 (most urgent) .. 9", "1");
+  cli.add_option("deadline-ms", "wall deadline from acceptance (-1 = none)",
+                 "-1");
+  cli.add_option("seed", "ILS seed", "1");
+  cli.add_option("devices", "device-lease size for gpu engines", "1");
+  cli.add_flag("wait", "submit only: poll to completion, print the result");
+  cli.add_option("wait-seconds", "--wait poll budget", "30");
+  if (!cli.parse(argc, argv) || !cli.positional(0).has_value()) {
+    std::cerr << (cli.error().empty() ? "missing verb" : cli.error()) << "\n"
+              << cli.usage();
+    return 2;
+  }
+  const std::string verb = *cli.positional(0);
+
+  try {
+    serve::Client client(cli.get("host"),
+                         static_cast<std::uint16_t>(cli.get_int("port", 7878)));
+
+    obs::JsonValue response;
+    if (verb == "submit") {
+      serve::JobSpec spec;
+      if (cli.has("random")) {
+        auto n = static_cast<std::int32_t>(cli.get_int("random", 100));
+        Instance instance = generate_uniform(
+            "random" + std::to_string(n), n, cli.get_int("seed", 1));
+        spec.instance_name = instance.name();
+        spec.points.assign(instance.points().begin(),
+                           instance.points().end());
+      } else {
+        spec.catalog = cli.get("catalog", "berlin52");
+      }
+      spec.engine = cli.get("engine");
+      spec.time_limit_seconds = cli.get_double("time", 1.0);
+      spec.max_iterations = cli.get_int("iterations", -1);
+      spec.priority = static_cast<std::int32_t>(cli.get_int("priority", 1));
+      spec.deadline_ms = cli.get_double("deadline-ms", -1.0);
+      spec.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+      spec.devices = static_cast<std::int32_t>(cli.get_int("devices", 1));
+
+      response = client.submit(spec);
+      const obs::JsonValue* ok = response.find("ok");
+      if (cli.has("wait") && ok != nullptr && ok->boolean) {
+        auto id = static_cast<std::uint64_t>(response.at("id").number);
+        client.wait(id, cli.get_double("wait-seconds", 30.0));
+        response = client.result(id);
+      }
+    } else if (verb == "status" || verb == "result" || verb == "cancel") {
+      if (!cli.has("id")) {
+        std::cerr << verb << " needs --id\n";
+        return 2;
+      }
+      auto id = static_cast<std::uint64_t>(cli.get_int("id", 0));
+      response = verb == "status"   ? client.status(id)
+                 : verb == "result" ? client.result(id)
+                                    : client.cancel(id);
+    } else if (verb == "stats") {
+      response = client.stats();
+    } else if (verb == "engines") {
+      response = client.engines();
+    } else if (verb == "ping") {
+      response = client.request("{\"verb\":\"ping\"}");
+    } else {
+      std::cerr << "unknown verb \"" << verb << "\"\n" << cli.usage();
+      return 2;
+    }
+
+    // Round-trip the parsed value back out so the output is exactly one
+    // canonical line regardless of daemon formatting.
+    obs::JsonWriter w;
+    std::function<void(const obs::JsonValue&)> emit =
+        [&](const obs::JsonValue& v) {
+          switch (v.kind) {
+            case obs::JsonValue::Kind::kNull: w.null_value(); break;
+            case obs::JsonValue::Kind::kBool: w.value(v.boolean); break;
+            case obs::JsonValue::Kind::kNumber: w.value(v.number); break;
+            case obs::JsonValue::Kind::kString: w.value(v.string); break;
+            case obs::JsonValue::Kind::kArray:
+              w.begin_array();
+              for (const obs::JsonValue& item : v.array) emit(item);
+              w.end_array();
+              break;
+            case obs::JsonValue::Kind::kObject:
+              w.begin_object();
+              for (const auto& [key, member] : v.object) {
+                w.key(key);
+                emit(member);
+              }
+              w.end_object();
+              break;
+          }
+        };
+    emit(response);
+    std::cout << w.str() << std::endl;
+
+    const obs::JsonValue* ok = response.find("ok");
+    return ok != nullptr && ok->boolean ? 0 : 1;
+  } catch (const CheckError& e) {
+    std::cerr << "tspopt_client: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -17,6 +17,11 @@
 #         gated hard; throughput gated at 15% unless the environment
 #         fingerprint differs), plus a self-test that a synthetic 20%
 #         throughput regression is caught.
+# Pass 6: Solve-service end to end — start tspoptd on an ephemeral port,
+#         submit a job with tspopt_client and poll it to completion,
+#         assert the serve.* series appear in the Prometheus exposition
+#         and the full job lifecycle in the JSONL log, then SIGTERM the
+#         daemon and require a clean drain (exit 143).
 #
 # Usage: scripts/ci.sh [build-dir-prefix]   (default: build-ci)
 set -euo pipefail
@@ -106,6 +111,64 @@ if python3 scripts/bench_compare.py \
   echo "bench_compare failed to flag a 20% regression"; exit 1
 fi
 echo "regression gate: baselines comparable, synthetic regression caught."
+
+echo
+echo "== Pass 6: solve-service end to end (tspoptd + tspopt_client) =="
+SERVE_TMP="${OBS_TMP}/serve"
+mkdir -p "${SERVE_TMP}"
+TSPOPT_LOG="info,${SERVE_TMP}/events.jsonl" \
+TSPOPT_PROM="${SERVE_TMP}/metrics.prom" \
+    "${PREFIX}-release/examples/tspoptd" \
+    --port 0 --port-file "${SERVE_TMP}/port" \
+    --devices 2 --workers 2 --queue 8 &
+DAEMON_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "${SERVE_TMP}/port" ] && break
+  kill -0 "${DAEMON_PID}" 2>/dev/null || { echo "tspoptd died"; exit 1; }
+  sleep 0.1
+done
+[ -s "${SERVE_TMP}/port" ] || { echo "tspoptd never bound a port"; exit 1; }
+PORT="$(cat "${SERVE_TMP}/port")"
+echo "tspoptd up on port ${PORT}"
+
+"${PREFIX}-release/examples/tspopt_client" ping --port "${PORT}" >/dev/null
+RESULT="$("${PREFIX}-release/examples/tspopt_client" submit \
+    --port "${PORT}" --catalog kroA200 --engine gpu-multi --devices 2 \
+    --time 0.3 --wait)"
+python3 - "${RESULT}" <<'EOF'
+import json, sys
+r = json.loads(sys.argv[1])
+assert r["ok"], r
+assert r["job"]["state"] == "finished", r["job"]
+assert len(r["result"]["order"]) == 200, len(r["result"]["order"])
+assert r["result"]["best_length"] > 0
+print(f"job finished: best {r['result']['best_length']} "
+      f"in {r['result']['wall_seconds']:.3f}s")
+EOF
+
+# SIGTERM must drain (no live jobs here, but the path is the same) and
+# exit 143; the flush hooks leave the telemetry files complete.
+kill -TERM "${DAEMON_PID}"
+DAEMON_RC=0
+wait "${DAEMON_PID}" || DAEMON_RC=$?
+[ "${DAEMON_RC}" -eq 143 ] \
+    || { echo "tspoptd exit ${DAEMON_RC}, expected 143"; exit 1; }
+
+for series in serve_queue_depth serve_active_jobs serve_jobs_accepted \
+              serve_jobs_finished serve_job_wait_us serve_job_run_us; do
+  grep -q "tspopt_${series}" "${SERVE_TMP}/metrics.prom" \
+      || { echo "missing Prometheus series tspopt_${series}"; exit 1; }
+done
+for event in job.accepted job.started job.finished daemon.start daemon.stop; do
+  grep -q "\"event\":\"${event}\"" "${SERVE_TMP}/events.jsonl" \
+      || { echo "missing JSONL event ${event}"; exit 1; }
+done
+python3 - "${SERVE_TMP}/events.jsonl" <<'EOF'
+import json, sys
+lines = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+print(f"serve telemetry: {len(lines)} JSONL events, all parseable")
+EOF
+echo "solve service: submit -> finish -> SIGTERM drain all verified."
 
 echo
 echo "CI passed."

@@ -1,0 +1,128 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/check.hpp"
+
+namespace tspopt::serve {
+
+Client::Client(const std::string& host, std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  TSPOPT_CHECK_MSG(fd_ >= 0, "socket() failed: " << std::strerror(errno));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  TSPOPT_CHECK_MSG(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+                   "invalid daemon address \"" << host << "\"");
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    TSPOPT_CHECK_MSG(false, "connect(" << host << ":" << port
+                                       << ") failed: " << std::strerror(err));
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+obs::JsonValue Client::request(const std::string& line) {
+  TSPOPT_CHECK_MSG(fd_ >= 0, "client is not connected");
+  std::string out = line;
+  out.push_back('\n');
+  const char* p = out.data();
+  std::size_t left = out.size();
+  while (left > 0) {
+    ssize_t sent = ::send(fd_, p, left, MSG_NOSIGNAL);
+    if (sent < 0 && errno == EINTR) continue;
+    TSPOPT_CHECK_MSG(sent > 0,
+                     "send() failed: " << std::strerror(errno));
+    p += sent;
+    left -= static_cast<std::size_t>(sent);
+  }
+
+  char buf[4096];
+  for (;;) {
+    std::size_t pos = pending_.find('\n');
+    if (pos != std::string::npos) {
+      std::string response = pending_.substr(0, pos);
+      pending_.erase(0, pos + 1);
+      return obs::json_parse(response);
+    }
+    ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n < 0 && errno == EINTR) continue;
+    TSPOPT_CHECK_MSG(n > 0, "connection closed while awaiting response");
+    pending_.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+obs::JsonValue Client::submit(const JobSpec& spec) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("verb").value("submit");
+  w.key("job").raw_value(job_spec_to_json(spec));
+  w.end_object();
+  return request(w.str());
+}
+
+namespace {
+
+std::string id_request(const char* verb, std::uint64_t id) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("verb").value(verb);
+  w.key("id").value(id);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace
+
+obs::JsonValue Client::status(std::uint64_t id) {
+  return request(id_request("status", id));
+}
+
+obs::JsonValue Client::result(std::uint64_t id) {
+  return request(id_request("result", id));
+}
+
+obs::JsonValue Client::cancel(std::uint64_t id) {
+  return request(id_request("cancel", id));
+}
+
+obs::JsonValue Client::stats() { return request("{\"verb\":\"stats\"}"); }
+
+obs::JsonValue Client::engines() { return request("{\"verb\":\"engines\"}"); }
+
+obs::JsonValue Client::wait(std::uint64_t id, double timeout_seconds,
+                            double poll_interval_ms) {
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration<double>(timeout_seconds);
+  for (;;) {
+    obs::JsonValue response = status(id);
+    const obs::JsonValue* ok = response.find("ok");
+    if (ok == nullptr || !ok->boolean) return response;
+    const obs::JsonValue* job = response.find("job");
+    if (job != nullptr) {
+      const obs::JsonValue* state = job->find("state");
+      if (state != nullptr && state->string != "queued" &&
+          state->string != "running") {
+        return response;
+      }
+    }
+    if (std::chrono::steady_clock::now() >= deadline) return response;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(poll_interval_ms));
+  }
+}
+
+}  // namespace tspopt::serve

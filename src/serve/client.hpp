@@ -1,0 +1,54 @@
+// Blocking TCP client for the tspoptd protocol.
+//
+// One Client is one connection; request() writes one line and reads one
+// response line, so the call pattern mirrors the protocol exactly. The
+// verb helpers (submit/status/result/cancel/stats/engines) build the
+// request JSON and parse the response into an obs::JsonValue — the
+// tspopt_client CLI, the stress test and ci.sh all drive the daemon
+// through this one class.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/json.hpp"
+#include "serve/job.hpp"
+
+namespace tspopt::serve {
+
+class Client {
+ public:
+  // Connect immediately; CheckError when the daemon is unreachable.
+  Client(const std::string& host, std::uint16_t port);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Raw round trip: send `line` (newline appended), block for the
+  // response line, parse it. CheckError on connection loss or malformed
+  // response JSON.
+  obs::JsonValue request(const std::string& line);
+
+  // Verb helpers. Responses are returned as parsed objects; "ok" is NOT
+  // checked here — rejection responses (queue full, invalid spec) are
+  // data the caller inspects, not errors.
+  obs::JsonValue submit(const JobSpec& spec);
+  obs::JsonValue status(std::uint64_t id);
+  obs::JsonValue result(std::uint64_t id);
+  obs::JsonValue cancel(std::uint64_t id);
+  obs::JsonValue stats();
+  obs::JsonValue engines();
+
+  // Poll status until the job reaches a terminal state or
+  // `timeout_seconds` elapses; returns the last status response. The
+  // response's job.state tells the caller which of the two happened.
+  obs::JsonValue wait(std::uint64_t id, double timeout_seconds,
+                      double poll_interval_ms = 20.0);
+
+ private:
+  int fd_ = -1;
+  std::string pending_;  // bytes received past the last response line
+};
+
+}  // namespace tspopt::serve

@@ -1,0 +1,317 @@
+#include "serve/daemon.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "obs/log.hpp"
+#include "obs/runinfo.hpp"
+#include "solver/engine_factory.hpp"
+
+namespace tspopt::serve {
+
+namespace {
+
+// A request line longer than this is a protocol error, not a big job:
+// the largest legitimate payload (a 100k-point inline instance) stays
+// well under it, and the cap keeps a misbehaving client from growing the
+// connection buffer without bound.
+constexpr std::size_t kMaxLineBytes = 16u << 20;
+
+std::string error_response(const std::string& message,
+                           double retry_after_ms = 0.0) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("ok").value(false);
+  w.key("error").value(message);
+  if (retry_after_ms > 0.0) w.key("retry_after_ms").value(retry_after_ms);
+  w.end_object();
+  return w.str();
+}
+
+std::uint64_t id_field(const obs::JsonValue& request) {
+  const obs::JsonValue& id = request.at("id");
+  TSPOPT_CHECK_MSG(id.kind == obs::JsonValue::Kind::kNumber && id.number >= 1,
+                   "\"id\" must be a positive number");
+  return static_cast<std::uint64_t>(id.number);
+}
+
+void write_result(obs::JsonWriter& w, const JobResult& result) {
+  w.begin_object();
+  w.key("constructive_length").value(result.constructive_length);
+  w.key("best_length").value(result.best_length);
+  w.key("iterations").value(result.iterations);
+  w.key("improvements").value(result.improvements);
+  w.key("checks").value(result.checks);
+  w.key("wall_seconds").value(result.wall_seconds);
+  w.key("stopped").value(result.stopped);
+  w.key("order").begin_array();
+  for (std::int32_t city : result.order) w.value(city);
+  w.end_array();
+  if (!result.report_json.empty()) {
+    w.key("report").raw_value(result.report_json);
+  }
+  w.end_object();
+}
+
+void write_stats(obs::JsonWriter& w, const Scheduler::Stats& s) {
+  w.begin_object();
+  w.key("accepted").value(s.accepted);
+  w.key("rejected_full").value(s.rejected_full);
+  w.key("rejected_invalid").value(s.rejected_invalid);
+  w.key("finished").value(s.finished);
+  w.key("failed").value(s.failed);
+  w.key("cancelled").value(s.cancelled);
+  w.key("expired").value(s.expired);
+  w.key("retries").value(s.retries);
+  w.key("queue_depth").value(static_cast<std::uint64_t>(s.queue_depth));
+  w.key("active_jobs").value(static_cast<std::uint64_t>(s.active_jobs));
+  w.key("workers").value(static_cast<std::uint64_t>(s.workers));
+  w.key("devices").value(static_cast<std::uint64_t>(s.devices));
+  w.key("devices_available")
+      .value(static_cast<std::uint64_t>(s.devices_available));
+  w.end_object();
+}
+
+}  // namespace
+
+std::string handle_request(Scheduler& scheduler, const std::string& line) {
+  try {
+    obs::JsonValue request = obs::json_parse(line);
+    TSPOPT_CHECK_MSG(request.is_object(), "request must be a JSON object");
+    const obs::JsonValue& verb_value = request.at("verb");
+    TSPOPT_CHECK_MSG(verb_value.kind == obs::JsonValue::Kind::kString,
+                     "\"verb\" must be a string");
+    const std::string& verb = verb_value.string;
+
+    if (verb == "ping") {
+      obs::JsonWriter w;
+      w.begin_object();
+      w.key("ok").value(true);
+      w.key("run").value(obs::run_id());
+      w.end_object();
+      return w.str();
+    }
+    if (verb == "submit") {
+      JobSpec spec = job_spec_from_json(request.at("job"));
+      Scheduler::Admission admission = scheduler.submit(std::move(spec));
+      if (!admission.accepted) {
+        return error_response(admission.error, admission.retry_after_ms);
+      }
+      obs::JsonWriter w;
+      w.begin_object();
+      w.key("ok").value(true);
+      w.key("id").value(admission.id);
+      w.end_object();
+      return w.str();
+    }
+    if (verb == "status" || verb == "result") {
+      std::uint64_t id = id_field(request);
+      std::shared_ptr<const Job> job = scheduler.find(id);
+      if (job == nullptr) {
+        return error_response("unknown job id " + std::to_string(id));
+      }
+      obs::JsonWriter w;
+      w.begin_object();
+      w.key("ok").value(true);
+      w.key("job");
+      write_job_status(w, *job);
+      if (verb == "result") {
+        if (!is_terminal(job->state())) {
+          return error_response("job " + std::to_string(id) +
+                                " is not finished (state " +
+                                to_string(job->state()) + ")");
+        }
+        JobResult result = job->result();
+        if (!result.order.empty()) {
+          w.key("result");
+          write_result(w, result);
+        }
+      }
+      w.end_object();
+      return w.str();
+    }
+    if (verb == "cancel") {
+      std::uint64_t id = id_field(request);
+      bool cancelled = scheduler.cancel(id);
+      obs::JsonWriter w;
+      w.begin_object();
+      w.key("ok").value(true);
+      w.key("cancelled").value(cancelled);
+      w.end_object();
+      return w.str();
+    }
+    if (verb == "stats") {
+      obs::JsonWriter w;
+      w.begin_object();
+      w.key("ok").value(true);
+      w.key("run").value(obs::run_id());
+      w.key("stats");
+      write_stats(w, scheduler.stats());
+      w.end_object();
+      return w.str();
+    }
+    if (verb == "engines") {
+      obs::JsonWriter w;
+      w.begin_object();
+      w.key("ok").value(true);
+      w.key("engines").begin_array();
+      for (const EngineFactory::EngineInfo& info : EngineFactory::roster()) {
+        w.begin_object();
+        w.key("name").value(info.name);
+        w.key("description").value(info.description);
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+      return w.str();
+    }
+    return error_response("unknown verb \"" + verb + "\"");
+  } catch (const std::exception& e) {
+    return error_response(e.what());
+  }
+}
+
+Daemon::Daemon(simt::DevicePool& pool, DaemonOptions options)
+    : options_(std::move(options)),
+      scheduler_(std::make_unique<Scheduler>(pool, options_.scheduler)) {}
+
+Daemon::~Daemon() { stop(/*drain_first=*/false); }
+
+void Daemon::start() {
+  if (running_.load(std::memory_order_acquire)) return;
+  TSPOPT_CHECK_MSG(!stopped_.load(), "Daemon cannot be restarted");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  TSPOPT_CHECK_MSG(listen_fd_ >= 0,
+                   "socket() failed: " << std::strerror(errno));
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  TSPOPT_CHECK_MSG(
+      ::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) == 1,
+      "invalid listen address \"" << options_.host << "\"");
+  TSPOPT_CHECK_MSG(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                          sizeof addr) == 0,
+                   "bind(" << options_.host << ":" << options_.port
+                           << ") failed: " << std::strerror(errno));
+  TSPOPT_CHECK_MSG(::listen(listen_fd_, options_.listen_backlog) == 0,
+                   "listen() failed: " << std::strerror(errno));
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  TSPOPT_CHECK(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                             &bound_len) == 0);
+  port_ = ntohs(bound.sin_port);
+
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::jthread([this] { accept_loop(); });
+  obs::Log::global()
+      .event(obs::LogLevel::kInfo, "daemon.start")
+      .arg("host", options_.host)
+      .arg("port", static_cast<std::int64_t>(port_))
+      .arg("workers",
+           static_cast<std::uint64_t>(options_.scheduler.workers));
+}
+
+void Daemon::accept_loop() {
+  for (;;) {
+    if (stopping_.load(std::memory_order_acquire)) return;
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;  // timeout, EINTR: re-check the stop flag
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard lock(conns_mu_);
+    conns_.emplace_back();
+    Connection& conn = conns_.back();
+    conn.fd = fd;
+    conn.thread = std::jthread([this, fd] { serve_connection(fd); });
+  }
+}
+
+void Daemon::serve_connection(int fd) {
+  std::string pending;
+  char buf[4096];
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n == 0) return;  // peer closed
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    pending.append(buf, static_cast<std::size_t>(n));
+    if (pending.size() > kMaxLineBytes) return;  // protocol abuse
+
+    std::size_t pos;
+    while ((pos = pending.find('\n')) != std::string::npos) {
+      std::string line = pending.substr(0, pos);
+      pending.erase(0, pos + 1);
+      if (line.empty()) continue;
+      std::string response = handle_request(*scheduler_, line);
+      response.push_back('\n');
+      const char* p = response.data();
+      std::size_t left = response.size();
+      while (left > 0) {
+        ssize_t sent = ::send(fd, p, left, MSG_NOSIGNAL);
+        if (sent < 0) {
+          if (errno == EINTR) continue;
+          return;
+        }
+        p += sent;
+        left -= static_cast<std::size_t>(sent);
+      }
+    }
+  }
+}
+
+void Daemon::close_listener() {
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void Daemon::stop(bool drain_first) {
+  if (stopped_.exchange(true)) return;
+  stopping_.store(true, std::memory_order_release);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  close_listener();
+
+  // Scheduler first: during a drain, established connections stay usable
+  // so clients can keep polling status while the backlog finishes.
+  if (scheduler_) scheduler_->shutdown(drain_first);
+
+  std::vector<int> fds;
+  {
+    std::lock_guard lock(conns_mu_);
+    for (Connection& conn : conns_) {
+      fds.push_back(conn.fd);
+      ::shutdown(conn.fd, SHUT_RDWR);  // wake blocking recv()
+    }
+  }
+  conns_.clear();  // joins every connection jthread
+  for (int fd : fds) ::close(fd);
+
+  bool was_running = running_.exchange(false);
+  if (was_running) {
+    obs::Log::global()
+        .event(obs::LogLevel::kInfo, "daemon.stop")
+        .arg("drained", drain_first)
+        .arg("connections", connections_.load(std::memory_order_relaxed));
+  }
+}
+
+}  // namespace tspopt::serve

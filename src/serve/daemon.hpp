@@ -1,0 +1,104 @@
+// tspoptd — the solve-service network front end.
+//
+// A Daemon owns a Scheduler and exposes it over a line-delimited-JSON TCP
+// protocol: each request is one JSON object on one line, each response is
+// one JSON object on one line, connections are full-duplex and may issue
+// any number of requests. The verb set:
+//
+//   {"verb":"submit","job":{...tspopt.job v1...}}
+//       -> {"ok":true,"id":N} | {"ok":false,"error":...,"retry_after_ms":N}
+//   {"verb":"status","id":N}   -> {"ok":true,"job":{...}}
+//   {"verb":"result","id":N}   -> {"ok":true,"job":{...},"result":{...}}
+//   {"verb":"cancel","id":N}   -> {"ok":true,"cancelled":bool}
+//   {"verb":"stats"}           -> {"ok":true,"stats":{...}}
+//   {"verb":"engines"}         -> {"ok":true,"engines":[{name,description}]}
+//   {"verb":"ping"}            -> {"ok":true}
+//
+// Every response carries "ok"; failures carry "error" (and, for capacity
+// rejections, the scheduler's "retry_after_ms" backpressure hint).
+// handle_request() is a pure string->string function so the protocol is
+// unit-testable without sockets.
+//
+// The daemon binds 127.0.0.1 only (this is a solver, not an internet
+// service); port 0 requests an ephemeral port, readable via port() — the
+// tests' and ci.sh's race-free startup path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "serve/scheduler.hpp"
+#include "simt/device_pool.hpp"
+
+namespace tspopt::serve {
+
+struct DaemonOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = ephemeral; bound port via Daemon::port()
+  SchedulerOptions scheduler;
+  int listen_backlog = 16;
+};
+
+class Daemon {
+ public:
+  // `pool` must outlive the daemon. The destructor performs
+  // stop(/*drain_first=*/false).
+  Daemon(simt::DevicePool& pool, DaemonOptions options = {});
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  // Bind, listen and spawn the accept loop. CheckError when the socket
+  // cannot be bound. Idempotent once running.
+  void start();
+
+  // The bound port (resolves option port 0 to the kernel's choice).
+  std::uint16_t port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  // Stop accepting, unblock every connection, shut the scheduler down.
+  // drain_first=true is the SIGTERM path: queued and running jobs finish
+  // before the call returns. Idempotent.
+  void stop(bool drain_first);
+
+  Scheduler& scheduler() { return *scheduler_; }
+  std::uint64_t connections_accepted() const {
+    return connections_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+  void close_listener();
+
+  DaemonOptions options_;
+  std::unique_ptr<Scheduler> scheduler_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> stopped_{false};
+  std::atomic<std::uint64_t> connections_{0};
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+
+  std::mutex conns_mu_;
+  struct Connection {
+    int fd = -1;
+    std::jthread thread;
+  };
+  std::list<Connection> conns_;
+
+  std::jthread accept_thread_;
+};
+
+// One protocol request -> one response (no trailing newline). Never
+// throws: malformed JSON, unknown verbs and scheduler rejections all
+// render as {"ok":false,...} responses.
+std::string handle_request(Scheduler& scheduler, const std::string& line);
+
+}  // namespace tspopt::serve

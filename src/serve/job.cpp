@@ -1,0 +1,177 @@
+#include "serve/job.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace tspopt::serve {
+
+const char* to_string(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kFinished: return "finished";
+    case JobState::kCancelled: return "cancelled";
+    case JobState::kExpired: return "expired";
+    case JobState::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+bool is_terminal(JobState state) {
+  return state != JobState::kQueued && state != JobState::kRunning;
+}
+
+double Job::deadline_remaining_ms() const {
+  if (!has_deadline()) return std::numeric_limits<double>::infinity();
+  auto elapsed = std::chrono::duration<double, std::milli>(
+      std::chrono::steady_clock::now() - accepted_at_);
+  return spec_.deadline_ms - elapsed.count();
+}
+
+std::string job_spec_to_json(const JobSpec& spec) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("tspopt.job");
+  w.key("schema_version").value(static_cast<std::int64_t>(kJobSchemaVersion));
+  if (!spec.catalog.empty()) {
+    w.key("catalog").value(spec.catalog);
+  } else {
+    w.key("name").value(spec.instance_name);
+    w.key("points").begin_array();
+    for (const Point& p : spec.points) {
+      w.begin_array();
+      w.value(static_cast<double>(p.x));
+      w.value(static_cast<double>(p.y));
+      w.end_array();
+    }
+    w.end_array();
+  }
+  w.key("engine").value(spec.engine);
+  w.key("priority").value(spec.priority);
+  w.key("time_limit_seconds").value(spec.time_limit_seconds);
+  w.key("max_iterations").value(spec.max_iterations);
+  w.key("deadline_ms").value(spec.deadline_ms);
+  w.key("seed").value(spec.seed);
+  w.key("devices").value(spec.devices);
+  w.end_object();
+  return w.str();
+}
+
+namespace {
+
+double number_field(const obs::JsonValue& v, const char* key, double fallback) {
+  const obs::JsonValue* f = v.find(key);
+  if (f == nullptr) return fallback;
+  TSPOPT_CHECK_MSG(f->kind == obs::JsonValue::Kind::kNumber,
+                   "job field \"" << key << "\" must be a number");
+  return f->number;
+}
+
+}  // namespace
+
+JobSpec job_spec_from_json(const obs::JsonValue& value) {
+  TSPOPT_CHECK_MSG(value.is_object(), "job payload must be a JSON object");
+  const obs::JsonValue& schema = value.at("schema");
+  TSPOPT_CHECK_MSG(schema.string == "tspopt.job",
+                   "unexpected schema \"" << schema.string << "\"");
+  auto version =
+      static_cast<int>(number_field(value, "schema_version", -1));
+  TSPOPT_CHECK_MSG(version == kJobSchemaVersion,
+                   "unsupported job schema_version " << version << " (want "
+                                                     << kJobSchemaVersion
+                                                     << ")");
+
+  // Reject unknown members: a typoed field silently taking its default is
+  // how deadline_ms ends up unenforced in production.
+  static constexpr const char* kKnown[] = {
+      "schema", "schema_version", "catalog", "name", "points",
+      "engine", "priority",       "time_limit_seconds", "max_iterations",
+      "deadline_ms", "seed", "devices"};
+  for (const auto& [key, member] : value.object) {
+    (void)member;
+    bool known = false;
+    for (const char* k : kKnown) known = known || key == k;
+    TSPOPT_CHECK_MSG(known, "unknown job field \"" << key << "\"");
+  }
+
+  JobSpec spec;
+  if (const obs::JsonValue* catalog = value.find("catalog")) {
+    TSPOPT_CHECK_MSG(catalog->kind == obs::JsonValue::Kind::kString,
+                     "\"catalog\" must be a string");
+    spec.catalog = catalog->string;
+    TSPOPT_CHECK_MSG(value.find("points") == nullptr,
+                     "a job names a catalog instance OR inline points");
+  } else {
+    const obs::JsonValue& points = value.at("points");
+    TSPOPT_CHECK_MSG(points.is_array() && points.array.size() >= 3,
+                     "inline \"points\" must be an array of >= 3 [x,y] pairs");
+    spec.points.reserve(points.array.size());
+    for (const obs::JsonValue& p : points.array) {
+      TSPOPT_CHECK_MSG(p.is_array() && p.array.size() == 2 &&
+                           p.array[0].kind == obs::JsonValue::Kind::kNumber &&
+                           p.array[1].kind == obs::JsonValue::Kind::kNumber,
+                       "each point must be an [x, y] number pair");
+      spec.points.push_back({static_cast<float>(p.array[0].number),
+                             static_cast<float>(p.array[1].number)});
+      TSPOPT_CHECK_MSG(std::isfinite(spec.points.back().x) &&
+                           std::isfinite(spec.points.back().y),
+                       "point coordinates must be finite");
+    }
+    if (const obs::JsonValue* name = value.find("name")) {
+      spec.instance_name = name->string;
+    } else {
+      spec.instance_name = "inline" + std::to_string(spec.points.size());
+    }
+  }
+
+  if (const obs::JsonValue* engine = value.find("engine")) {
+    TSPOPT_CHECK_MSG(engine->kind == obs::JsonValue::Kind::kString,
+                     "\"engine\" must be a string");
+    spec.engine = engine->string;
+  }
+  spec.priority = static_cast<std::int32_t>(
+      number_field(value, "priority", spec.priority));
+  TSPOPT_CHECK_MSG(spec.priority >= 0 && spec.priority <= 9,
+                   "priority must be in [0, 9], got " << spec.priority);
+  spec.time_limit_seconds =
+      number_field(value, "time_limit_seconds", spec.time_limit_seconds);
+  TSPOPT_CHECK_MSG(spec.time_limit_seconds > 0.0,
+                   "time_limit_seconds must be positive");
+  spec.max_iterations = static_cast<std::int64_t>(
+      number_field(value, "max_iterations",
+                   static_cast<double>(spec.max_iterations)));
+  spec.deadline_ms = number_field(value, "deadline_ms", spec.deadline_ms);
+  spec.seed = static_cast<std::uint64_t>(
+      number_field(value, "seed", static_cast<double>(spec.seed)));
+  spec.devices = static_cast<std::int32_t>(
+      number_field(value, "devices", spec.devices));
+  TSPOPT_CHECK_MSG(spec.devices >= 1 && spec.devices <= 64,
+                   "devices must be in [1, 64]");
+  return spec;
+}
+
+void write_job_status(obs::JsonWriter& w, const Job& job) {
+  w.begin_object();
+  w.key("id").value(job.id());
+  w.key("state").value(to_string(job.state()));
+  w.key("instance").value(job.spec().inline_payload() ? job.spec().instance_name
+                                                      : job.spec().catalog);
+  w.key("engine").value(job.spec().engine);
+  w.key("priority").value(job.spec().priority);
+  std::int64_t best = job.best_length.load(std::memory_order_relaxed);
+  if (best >= 0) w.key("best_length").value(best);
+  w.key("iteration").value(job.iteration.load(std::memory_order_relaxed));
+  w.key("attempts").value(job.attempts.load(std::memory_order_relaxed));
+  double wait = job.wait_seconds.load(std::memory_order_relaxed);
+  if (wait >= 0.0) w.key("wait_seconds").value(wait);
+  double run = job.run_seconds.load(std::memory_order_relaxed);
+  if (run >= 0.0) w.key("run_seconds").value(run);
+  if (job.has_deadline()) w.key("deadline_ms").value(job.spec().deadline_ms);
+  std::string error = job.error();
+  if (!error.empty()) w.key("error").value(error);
+  w.end_object();
+}
+
+}  // namespace tspopt::serve

@@ -1,0 +1,169 @@
+// The solve-service job model and its versioned JSON wire schema.
+//
+// A JobSpec is everything a client says about one solve request: the
+// instance (a catalog/TSPLIB reference or an inline EUC_2D coordinate
+// payload), the engine to run it on, a time/iteration budget, a priority
+// class and an optional wall-clock deadline. The wire form is one JSON
+// object (schema "tspopt.job", version 1) built on obs/json, so the
+// daemon, the client CLI and the tests all share one
+// serializer/deserializer pair and malformed submissions fail with a
+// line-numbered CheckError instead of undefined behaviour.
+//
+// A Job is the server-side record: the spec plus the full lifecycle state
+// machine (queued -> running -> finished/cancelled/expired/failed), live
+// progress the scheduler streams from the ILS hooks, and the terminal
+// result including a per-job RunReport. Jobs are shared_ptr-held and
+// internally synchronized: the submitter, the worker thread and any
+// number of status readers touch one concurrently.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "tsp/point.hpp"
+
+namespace tspopt::serve {
+
+inline constexpr int kJobSchemaVersion = 1;
+
+enum class JobState : int {
+  kQueued = 0,
+  kRunning = 1,
+  kFinished = 2,   // ran to its budget (or stop) and produced a result
+  kCancelled = 3,  // client cancel, while queued or mid-run
+  kExpired = 4,    // deadline passed while queued or mid-run
+  kFailed = 5,     // engine raised a fatal error after all retries
+};
+
+const char* to_string(JobState state);
+bool is_terminal(JobState state);
+
+struct JobSpec {
+  // Exactly one instance source: a catalog name ("kroA200", "berlin52",
+  // any paper_catalog() entry) or an inline coordinate payload.
+  std::string catalog;
+  std::string instance_name;  // name for the inline payload
+  std::vector<Point> points;  // inline EUC_2D coordinates
+
+  std::string engine = "cpu-parallel";  // EngineFactory roster name
+  std::int32_t priority = 1;            // 0 = most urgent; FIFO within
+  double time_limit_seconds = 1.0;      // ILS budget
+  std::int64_t max_iterations = -1;     // -1 = until the time budget
+  double deadline_ms = -1.0;  // wall deadline from acceptance; <0 = none
+  std::uint64_t seed = 1;
+  std::int32_t devices = 1;  // device-lease size for the gpu-* engines
+
+  bool inline_payload() const { return catalog.empty(); }
+};
+
+// Wire schema v1:
+//   { "schema": "tspopt.job", "schema_version": 1,
+//     "catalog": "kroA200" | "name": "...", "points": [[x,y],...],
+//     "engine": "...", "priority": 1, "time_limit_seconds": 1.0,
+//     "max_iterations": -1, "deadline_ms": -1, "seed": 1, "devices": 1 }
+// Optional fields take the JobSpec defaults; unknown fields are rejected
+// so schema-version mistakes surface at the boundary.
+std::string job_spec_to_json(const JobSpec& spec);
+JobSpec job_spec_from_json(const obs::JsonValue& value);  // throws CheckError
+
+struct JobResult {
+  std::int64_t constructive_length = 0;
+  std::int64_t best_length = 0;
+  std::int64_t iterations = 0;
+  std::int64_t improvements = 0;
+  std::uint64_t checks = 0;
+  double wall_seconds = 0.0;
+  bool stopped = false;               // cut short by cancel/deadline/drain
+  std::vector<std::int32_t> order;    // best tour found
+  std::string report_json;            // per-job obs::RunReport document
+};
+
+class Job {
+ public:
+  Job(std::uint64_t id, JobSpec spec)
+      : id_(id),
+        spec_(std::move(spec)),
+        accepted_at_(std::chrono::steady_clock::now()) {}
+
+  std::uint64_t id() const { return id_; }
+  const JobSpec& spec() const { return spec_; }
+
+  JobState state() const {
+    return static_cast<JobState>(state_.load(std::memory_order_acquire));
+  }
+  // Atomically move `from` -> `to`; false when another thread got there
+  // first (e.g. cancel racing the worker's start).
+  bool try_transition(JobState from, JobState to) {
+    int expected = static_cast<int>(from);
+    return state_.compare_exchange_strong(expected, static_cast<int>(to),
+                                          std::memory_order_acq_rel);
+  }
+
+  // Cooperative cancellation: flips the flag the worker's should_stop hook
+  // polls. The state transition happens at the next poll (running jobs) or
+  // at dequeue (queued jobs are marked by cancel() in the scheduler).
+  void request_cancel() {
+    cancel_requested_.store(true, std::memory_order_release);
+  }
+  bool cancel_requested() const {
+    return cancel_requested_.load(std::memory_order_acquire);
+  }
+
+  std::chrono::steady_clock::time_point accepted_at() const {
+    return accepted_at_;
+  }
+  bool has_deadline() const { return spec_.deadline_ms >= 0.0; }
+  // Milliseconds until the deadline (negative = already past).
+  double deadline_remaining_ms() const;
+  bool deadline_passed() const {
+    return has_deadline() && deadline_remaining_ms() <= 0.0;
+  }
+
+  // Live progress, streamed by the scheduler's ILS hooks.
+  std::atomic<std::int64_t> best_length{-1};
+  std::atomic<std::int64_t> iteration{0};
+  std::atomic<std::int32_t> attempts{0};  // run attempts (retries = n-1)
+
+  // Wait/run durations, recorded by the scheduler at start/finish.
+  std::atomic<double> wait_seconds{-1.0};
+  std::atomic<double> run_seconds{-1.0};
+
+  void set_result(JobResult result) {
+    std::lock_guard lock(mu_);
+    result_ = std::move(result);
+  }
+  JobResult result() const {
+    std::lock_guard lock(mu_);
+    return result_;
+  }
+  void set_error(std::string error) {
+    std::lock_guard lock(mu_);
+    error_ = std::move(error);
+  }
+  std::string error() const {
+    std::lock_guard lock(mu_);
+    return error_;
+  }
+
+ private:
+  const std::uint64_t id_;
+  const JobSpec spec_;
+  const std::chrono::steady_clock::time_point accepted_at_;
+  std::atomic<int> state_{static_cast<int>(JobState::kQueued)};
+  std::atomic<bool> cancel_requested_{false};
+  mutable std::mutex mu_;
+  JobResult result_;
+  std::string error_;
+};
+
+// Append the job's status object (id, state, instance, engine, priority,
+// live progress, wait/run times, error when failed) to `w` — the payload
+// of the daemon's "status" verb and of test assertions.
+void write_job_status(obs::JsonWriter& w, const Job& job);
+
+}  // namespace tspopt::serve

@@ -1,0 +1,79 @@
+#include "serve/queue.hpp"
+
+#include "common/check.hpp"
+
+namespace tspopt::serve {
+
+JobQueue::JobQueue(std::size_t capacity) : capacity_(capacity) {
+  TSPOPT_CHECK_MSG(capacity_ >= 1, "JobQueue capacity must be >= 1");
+}
+
+bool JobQueue::push(const std::shared_ptr<Job>& job) {
+  TSPOPT_CHECK(job != nullptr);
+  {
+    std::lock_guard lock(mu_);
+    if (closed_ || depth_ >= capacity_) return false;
+    buckets_[job->spec().priority].push_back(job);
+    ++depth_;
+  }
+  cv_.notify_one();
+  return true;
+}
+
+JobQueue::PopOutcome JobQueue::pop() {
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [&] { return depth_ > 0 || closed_; });
+  while (depth_ > 0) {
+    auto it = buckets_.begin();
+    while (it->second.empty()) it = buckets_.erase(it);
+    std::shared_ptr<Job> job = std::move(it->second.front());
+    it->second.pop_front();
+    --depth_;
+
+    // Lazily resolve jobs that died while queued. The CAS means a racing
+    // cancel()/worker transition is honored exactly once.
+    if (job->cancel_requested() &&
+        job->try_transition(JobState::kQueued, JobState::kCancelled)) {
+      return {nullptr, std::move(job)};
+    }
+    if (job->deadline_passed() &&
+        job->try_transition(JobState::kQueued, JobState::kExpired)) {
+      return {nullptr, std::move(job)};
+    }
+    if (job->state() != JobState::kQueued) continue;  // already resolved
+    return {std::move(job), nullptr};
+  }
+  return {};  // closed and drained
+}
+
+void JobQueue::close() {
+  {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+void JobQueue::close_now() {
+  {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+    for (auto& [priority, bucket] : buckets_) {
+      (void)priority;
+      for (const std::shared_ptr<Job>& job : bucket) job->request_cancel();
+    }
+  }
+  cv_.notify_all();
+}
+
+std::size_t JobQueue::depth() const {
+  std::lock_guard lock(mu_);
+  return depth_;
+}
+
+bool JobQueue::closed() const {
+  std::lock_guard lock(mu_);
+  return closed_;
+}
+
+}  // namespace tspopt::serve

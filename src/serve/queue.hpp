@@ -1,0 +1,72 @@
+// Bounded, priority-aware job queue with admission control.
+//
+// The queue is the backpressure point of the solve service: capacity is
+// fixed at construction, and a push against a full queue is *rejected*
+// (the daemon turns that into a retry-after response) instead of blocking
+// the submitting connection or growing without bound. Within the queue,
+// strict priority order (0 before 1 before 2, ...) with FIFO inside each
+// priority class — a starving low-priority job is the operator's policy
+// decision, not the queue's.
+//
+// Lifecycle interplay: cancellation and deadline expiry mark the Job;
+// pop() discards marked jobs (reporting them via the PopOutcome) so
+// workers never spend a device lease on a job nobody wants. close()
+// stops admission while letting pop() drain what is already queued —
+// the SIGTERM drain path — and close_now() additionally discards the
+// backlog for fast teardown.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "serve/job.hpp"
+
+namespace tspopt::serve {
+
+class JobQueue {
+ public:
+  explicit JobQueue(std::size_t capacity);
+
+  // Admission control: false when the queue is full or closed (the job is
+  // NOT queued; callers own the rejection response). FIFO within the
+  // job's priority class otherwise.
+  bool push(const std::shared_ptr<Job>& job);
+
+  // Dequeue outcome: either a job to run, a discarded job (cancelled /
+  // expired while queued — already transitioned, caller only accounts for
+  // it), or queue-closed-and-empty (job == nullptr, discarded == nullptr).
+  struct PopOutcome {
+    std::shared_ptr<Job> job;        // run this
+    std::shared_ptr<Job> discarded;  // or account for this and pop again
+  };
+
+  // Block until a job, a discard, or drained-after-close. Discards are
+  // returned one at a time so the scheduler can log/count each.
+  PopOutcome pop();
+
+  // Stop admission; pop() keeps draining the backlog, then reports empty.
+  void close();
+  // Stop admission AND drop the backlog: every queued job transitions to
+  // kCancelled and is handed out as a discard before pop() reports empty.
+  void close_now();
+
+  std::size_t depth() const;
+  std::size_t capacity() const { return capacity_; }
+  bool closed() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  // priority -> FIFO of jobs. Entries stay until popped; cancelled jobs
+  // are lazily discarded at pop so cancel() stays O(1).
+  std::map<std::int32_t, std::deque<std::shared_ptr<Job>>> buckets_;
+  std::size_t depth_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace tspopt::serve

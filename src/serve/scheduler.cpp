@@ -1,0 +1,483 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "common/timer.hpp"
+#include "obs/log.hpp"
+#include "obs/registry.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "solver/constructive.hpp"
+#include "solver/engine_factory.hpp"
+#include "solver/ils.hpp"
+#include "solver/obs_adapters.hpp"
+#include "tsp/catalog.hpp"
+
+namespace tspopt::serve {
+
+namespace {
+
+// One shared bucket layout for both serve latency histograms: queue waits
+// are sub-millisecond under light load, job runs are seconds under heavy.
+const std::vector<double> kLatencyBucketsUs = {
+    100,    250,    500,     1000,    2500,    5000,     10000,    25000,
+    50000,  100000, 250000,  500000,  1000000, 2500000,  5000000,  10000000};
+
+bool is_gpu_engine(const std::string& name) {
+  return name.rfind("gpu", 0) == 0;
+}
+
+}  // namespace
+
+struct Scheduler::Instruments {
+  obs::Gauge& queue_depth;
+  obs::Gauge& active_jobs;
+  obs::Histogram& job_wait_us;
+  obs::Histogram& job_run_us;
+  obs::Counter& accepted;
+  obs::Counter& rejected_full;
+  obs::Counter& rejected_invalid;
+  obs::Counter& started;
+  obs::Counter& finished;
+  obs::Counter& failed;
+  obs::Counter& cancelled;
+  obs::Counter& expired;
+  obs::Counter& retries;
+
+  explicit Instruments(obs::Registry& r)
+      : queue_depth(r.gauge("serve.queue_depth")),
+        active_jobs(r.gauge("serve.active_jobs")),
+        job_wait_us(r.histogram("serve.job_wait_us", kLatencyBucketsUs)),
+        job_run_us(r.histogram("serve.job_run_us", kLatencyBucketsUs)),
+        accepted(r.counter("serve.jobs_accepted")),
+        rejected_full(r.counter("serve.jobs_rejected", {{"reason", "full"}})),
+        rejected_invalid(
+            r.counter("serve.jobs_rejected", {{"reason", "invalid"}})),
+        started(r.counter("serve.jobs_started")),
+        finished(r.counter("serve.jobs_finished")),
+        failed(r.counter("serve.jobs_failed")),
+        cancelled(r.counter("serve.jobs_cancelled")),
+        expired(r.counter("serve.jobs_expired")),
+        retries(r.counter("serve.job_retries")) {}
+};
+
+Scheduler::Scheduler(simt::DevicePool& pool, SchedulerOptions options)
+    : pool_(pool),
+      options_(options),
+      queue_(std::max<std::size_t>(1, options.queue_capacity)),
+      m_(std::make_unique<Instruments>(obs::Registry::global())) {
+  TSPOPT_CHECK_MSG(options_.workers >= 1, "Scheduler needs >= 1 worker");
+  TSPOPT_CHECK(options_.max_attempts >= 1);
+  workers_.reserve(options_.workers);
+  for (std::size_t w = 0; w < options_.workers; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+Scheduler::~Scheduler() { shutdown(/*drain_first=*/false); }
+
+Scheduler::Admission Scheduler::submit(JobSpec spec) {
+  auto reject_invalid = [&](const std::string& why) {
+    n_rejected_invalid_.fetch_add(1, std::memory_order_relaxed);
+    m_->rejected_invalid.add();
+    obs::Log::global()
+        .event(obs::LogLevel::kWarn, "job.rejected")
+        .arg("reason", "invalid")
+        .arg("error", why)
+        .arg("engine", spec.engine);
+    return Admission{false, 0, 0.0, why};
+  };
+
+  const auto& names = EngineFactory::available();
+  if (std::find(names.begin(), names.end(), spec.engine) == names.end()) {
+    return reject_invalid("unknown engine \"" + spec.engine + "\"");
+  }
+  if (!spec.inline_payload()) {
+    if (!find_catalog_entry(spec.catalog)) {
+      return reject_invalid("unknown catalog instance \"" + spec.catalog +
+                            "\"");
+    }
+  } else if (spec.points.size() < 3) {
+    return reject_invalid("inline payload needs >= 3 points");
+  }
+  if (spec.devices < 1) return reject_invalid("devices must be >= 1");
+  if (spec.time_limit_seconds <= 0.0) {
+    return reject_invalid("time_limit_seconds must be positive");
+  }
+
+  auto job = std::make_shared<Job>(
+      next_id_.fetch_add(1, std::memory_order_relaxed), std::move(spec));
+  {
+    std::lock_guard lock(drain_mu_);
+    if (queue_.closed()) {
+      return Admission{false, 0, estimate_retry_after_ms(),
+                       "service draining"};
+    }
+    ++live_jobs_;
+  }
+  if (!queue_.push(job)) {
+    {
+      std::lock_guard lock(drain_mu_);
+      --live_jobs_;
+    }
+    double retry_after = estimate_retry_after_ms();
+    n_rejected_full_.fetch_add(1, std::memory_order_relaxed);
+    m_->rejected_full.add();
+    obs::Log::global()
+        .event(obs::LogLevel::kInfo, "job.rejected")
+        .arg("reason", "full")
+        .arg("retry_after_ms", retry_after)
+        .arg("queue_depth", static_cast<std::uint64_t>(queue_.depth()));
+    return Admission{false, 0, retry_after, "queue full"};
+  }
+  {
+    std::lock_guard lock(jobs_mu_);
+    jobs_[job->id()] = job;
+  }
+  n_accepted_.fetch_add(1, std::memory_order_relaxed);
+  m_->accepted.add();
+  m_->queue_depth.set(static_cast<double>(queue_.depth()));
+  obs::Log::global()
+      .event(obs::LogLevel::kInfo, "job.accepted")
+      .arg("id", job->id())
+      .arg("engine", job->spec().engine)
+      .arg("instance", job->spec().inline_payload()
+                           ? job->spec().instance_name
+                           : job->spec().catalog)
+      .arg("priority", job->spec().priority)
+      .arg("deadline_ms", job->spec().deadline_ms);
+  return Admission{true, job->id(), 0.0, ""};
+}
+
+std::shared_ptr<const Job> Scheduler::find(std::uint64_t id) const {
+  std::lock_guard lock(jobs_mu_);
+  auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : it->second;
+}
+
+bool Scheduler::forget(std::uint64_t id) {
+  std::lock_guard lock(jobs_mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end() || !is_terminal(it->second->state())) return false;
+  jobs_.erase(it);
+  return true;
+}
+
+bool Scheduler::cancel(std::uint64_t id) {
+  std::shared_ptr<Job> job;
+  {
+    std::lock_guard lock(jobs_mu_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) return false;
+    job = it->second;
+  }
+  job->request_cancel();
+  // Queued jobs resolve here; running jobs resolve at the worker's next
+  // should_stop poll. Either way the request landed.
+  if (job->try_transition(JobState::kQueued, JobState::kCancelled)) {
+    settle(job, JobState::kCancelled);
+    return true;
+  }
+  return !is_terminal(job->state()) || job->state() == JobState::kCancelled;
+}
+
+double Scheduler::estimate_retry_after_ms() const {
+  double ema = ema_run_ms_.load(std::memory_order_relaxed);
+  double per_slot = ema > 0.0 ? ema : options_.min_retry_after_ms;
+  double backlog = static_cast<double>(queue_.depth()) + 1.0;
+  double estimate = per_slot * backlog / static_cast<double>(options_.workers);
+  return std::max(options_.min_retry_after_ms, estimate);
+}
+
+void Scheduler::note_run_seconds(double seconds) {
+  double ms = seconds * 1e3;
+  double prev = ema_run_ms_.load(std::memory_order_relaxed);
+  ema_run_ms_.store(prev <= 0.0 ? ms : 0.8 * prev + 0.2 * ms,
+                    std::memory_order_relaxed);
+}
+
+void Scheduler::settle(const std::shared_ptr<Job>& job, JobState terminal) {
+  const char* event = "job.finished";
+  switch (terminal) {
+    case JobState::kFinished:
+      n_finished_.fetch_add(1, std::memory_order_relaxed);
+      m_->finished.add();
+      event = "job.finished";
+      break;
+    case JobState::kCancelled:
+      n_cancelled_.fetch_add(1, std::memory_order_relaxed);
+      m_->cancelled.add();
+      event = "job.cancelled";
+      break;
+    case JobState::kExpired:
+      n_expired_.fetch_add(1, std::memory_order_relaxed);
+      m_->expired.add();
+      event = "job.expired";
+      break;
+    case JobState::kFailed:
+      n_failed_.fetch_add(1, std::memory_order_relaxed);
+      m_->failed.add();
+      event = "job.failed";
+      break;
+    default:
+      break;
+  }
+  m_->queue_depth.set(static_cast<double>(queue_.depth()));
+  {
+    obs::LogEvent e = obs::Log::global().event(
+        terminal == JobState::kFailed ? obs::LogLevel::kWarn
+                                      : obs::LogLevel::kInfo,
+        event);
+    if (e) {
+      e.arg("id", job->id()).arg("state", to_string(terminal));
+      std::int64_t best = job->best_length.load(std::memory_order_relaxed);
+      if (best >= 0) e.arg("best", best);
+      e.arg("iterations", job->iteration.load(std::memory_order_relaxed));
+      double run = job->run_seconds.load(std::memory_order_relaxed);
+      if (run >= 0.0) e.arg("run_seconds", run);
+      std::string error = job->error();
+      if (!error.empty()) e.arg("error", error);
+    }
+  }
+  {
+    std::lock_guard lock(drain_mu_);
+    TSPOPT_CHECK(live_jobs_ > 0);
+    --live_jobs_;
+  }
+  drain_cv_.notify_all();
+}
+
+void Scheduler::worker_loop(std::size_t worker_index) {
+  (void)worker_index;
+  for (;;) {
+    JobQueue::PopOutcome out = queue_.pop();
+    if (out.discarded != nullptr) {
+      m_->queue_depth.set(static_cast<double>(queue_.depth()));
+      settle(out.discarded, out.discarded->state());
+      continue;
+    }
+    if (out.job == nullptr) return;  // closed and drained
+    run_job(out.job);
+  }
+}
+
+void Scheduler::run_job(const std::shared_ptr<Job>& job) {
+  m_->queue_depth.set(static_cast<double>(queue_.depth()));
+
+  double wait_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() -
+                            job->accepted_at())
+                            .count();
+  job->wait_seconds.store(wait_seconds, std::memory_order_relaxed);
+
+  // Resolve races that landed between dequeue and start.
+  if (job->cancel_requested() &&
+      job->try_transition(JobState::kQueued, JobState::kCancelled)) {
+    settle(job, JobState::kCancelled);
+    return;
+  }
+  if (job->deadline_passed() &&
+      job->try_transition(JobState::kQueued, JobState::kExpired)) {
+    settle(job, JobState::kExpired);
+    return;
+  }
+  if (!job->try_transition(JobState::kQueued, JobState::kRunning)) {
+    return;  // someone else already resolved it
+  }
+
+  m_->job_wait_us.observe(wait_seconds * 1e6);
+  m_->started.add();
+  active_.fetch_add(1, std::memory_order_relaxed);
+  m_->active_jobs.set(static_cast<double>(active_.load()));
+  obs::Log::global()
+      .event(obs::LogLevel::kInfo, "job.started")
+      .arg("id", job->id())
+      .arg("engine", job->spec().engine)
+      .arg("wait_seconds", wait_seconds);
+
+  obs::Span span = obs::Tracer::global().span("serve.job", "serve");
+  if (span) {
+    span.arg("id", job->id());
+    span.arg("engine", job->spec().engine);
+    span.arg("priority", job->spec().priority);
+  }
+
+  WallTimer run_timer;
+  JobState terminal = JobState::kFailed;
+  for (std::int32_t attempt = 1;; ++attempt) {
+    job->attempts.store(attempt, std::memory_order_relaxed);
+    try {
+      terminal = execute_attempt(job, attempt);
+      break;
+    } catch (const std::exception& e) {
+      bool stop = job->cancel_requested() ||
+                  stop_all_.load(std::memory_order_relaxed);
+      if (attempt >= options_.max_attempts || stop) {
+        job->set_error(e.what());
+        terminal = JobState::kFailed;
+        break;
+      }
+      n_retries_.fetch_add(1, std::memory_order_relaxed);
+      m_->retries.add();
+      obs::Log::global()
+          .event(obs::LogLevel::kWarn, "job.retry")
+          .arg("id", job->id())
+          .arg("attempt", attempt)
+          .arg("error", e.what());
+    }
+  }
+  double run_seconds = run_timer.seconds();
+  job->run_seconds.store(run_seconds, std::memory_order_relaxed);
+  m_->job_run_us.observe(run_seconds * 1e6);
+  note_run_seconds(run_seconds);
+
+  active_.fetch_sub(1, std::memory_order_relaxed);
+  m_->active_jobs.set(static_cast<double>(active_.load()));
+  job->try_transition(JobState::kRunning, terminal);
+  settle(job, terminal);
+}
+
+JobState Scheduler::execute_attempt(const std::shared_ptr<Job>& job,
+                                    std::int32_t attempt) {
+  const JobSpec& spec = job->spec();
+
+  Instance instance =
+      spec.inline_payload()
+          ? Instance(spec.instance_name, Metric::kEuc2D, spec.points)
+          : make_catalog_instance(*find_catalog_entry(spec.catalog));
+
+  // Per-job engine. GPU engine classes execute behind TwoOptMultiDevice
+  // over a fresh device lease, so fault retry/quarantine state is scoped
+  // to this job (and this attempt) — a card that faults here re-enters the
+  // pool healthy for the next job.
+  simt::DevicePool::Lease lease;
+  std::unique_ptr<TwoOptMultiDevice> multi;
+  EngineFactory factory(&instance);
+  std::unique_ptr<TwoOptEngine> engine;
+  if (is_gpu_engine(spec.engine)) {
+    std::size_t want = spec.engine == "gpu-multi"
+                           ? std::max<std::size_t>(
+                                 2, static_cast<std::size_t>(spec.devices))
+                           : static_cast<std::size_t>(spec.devices);
+    lease = pool_.acquire(want);
+    TSPOPT_CHECK_MSG(lease, "device pool closed");
+    std::vector<simt::Device*> devices(lease.devices().begin(),
+                                       lease.devices().end());
+    multi = std::make_unique<TwoOptMultiDevice>(devices, 0, options_.multi);
+  } else {
+    engine = factory.create(spec.engine);
+  }
+  TwoOptEngine& active_engine = multi ? *multi : *engine;
+
+  Tour tour = instance.metric() == Metric::kExplicit
+                  ? nearest_neighbor(instance)
+                  : multiple_fragment(instance);
+  job->best_length.store(tour.length(instance), std::memory_order_relaxed);
+  std::int64_t constructive_length = tour.length(instance);
+
+  IlsOptions opts;
+  opts.seed = spec.seed;
+  opts.max_iterations = spec.max_iterations;
+  opts.time_limit_seconds = spec.time_limit_seconds;
+  // Clamp the budget to the deadline so an over-deadline job never holds
+  // its device lease past the wall. A clamped run that then consumes the
+  // whole remainder ended because of the deadline, not its own budget —
+  // remember that for the terminal-state classification below.
+  bool deadline_clamped = false;
+  if (job->has_deadline()) {
+    double remaining_s = job->deadline_remaining_ms() / 1e3;
+    if (remaining_s < opts.time_limit_seconds) {
+      opts.time_limit_seconds = std::max(0.0, remaining_s);
+      deadline_clamped = true;
+    }
+  }
+  opts.should_stop = [this, &job] {
+    return job->cancel_requested() ||
+           stop_all_.load(std::memory_order_relaxed) || job->deadline_passed();
+  };
+  opts.on_progress = [&job](const IlsProgress& p) {
+    job->best_length.store(p.best_length, std::memory_order_relaxed);
+    job->iteration.store(p.iteration, std::memory_order_relaxed);
+  };
+
+  IlsResult ils = iterated_local_search(active_engine, instance, tour, opts);
+  job->best_length.store(ils.best_length, std::memory_order_relaxed);
+  job->iteration.store(ils.iterations, std::memory_order_relaxed);
+
+  JobResult result;
+  result.constructive_length = constructive_length;
+  result.best_length = ils.best_length;
+  result.iterations = ils.iterations;
+  result.improvements = ils.improvements;
+  result.checks = ils.checks;
+  result.wall_seconds = ils.wall_seconds;
+  result.stopped = ils.stopped;
+  result.order.assign(ils.best.order().begin(), ils.best.order().end());
+
+  obs::RunReport report;
+  describe_environment(report);
+  report.set_run("job_id", std::to_string(job->id()));
+  report.set_instance(instance.name(), instance.n(),
+                      to_string(instance.metric()));
+  report.set_engine(active_engine.name());
+  report.set_config("requested_engine", spec.engine);
+  report.set_config("priority", std::to_string(spec.priority));
+  report.set_config("seed", std::to_string(spec.seed));
+  report.set_config("attempt", std::to_string(attempt));
+  report_ils(report, ils);
+  if (multi) report_multi_device(report, *multi);
+  result.report_json = report.to_json();
+  job->set_result(std::move(result));
+
+  // Classify the ending: a cancel or an over-deadline stop is not a
+  // completed job even though a best tour exists.
+  if (job->cancel_requested()) return JobState::kCancelled;
+  // Expired: the stop hook fired on the deadline, or the deadline-clamped
+  // budget ran dry (an iteration-capped run can still finish early inside
+  // the clamp — then the deadline has not passed and the job completed).
+  if ((ils.stopped || deadline_clamped) && job->deadline_passed()) {
+    return JobState::kExpired;
+  }
+  return JobState::kFinished;
+}
+
+Scheduler::Stats Scheduler::stats() const {
+  Stats s;
+  s.accepted = n_accepted_.load(std::memory_order_relaxed);
+  s.rejected_full = n_rejected_full_.load(std::memory_order_relaxed);
+  s.rejected_invalid = n_rejected_invalid_.load(std::memory_order_relaxed);
+  s.finished = n_finished_.load(std::memory_order_relaxed);
+  s.failed = n_failed_.load(std::memory_order_relaxed);
+  s.cancelled = n_cancelled_.load(std::memory_order_relaxed);
+  s.expired = n_expired_.load(std::memory_order_relaxed);
+  s.retries = n_retries_.load(std::memory_order_relaxed);
+  s.queue_depth = queue_.depth();
+  s.active_jobs = active_.load(std::memory_order_relaxed);
+  s.workers = options_.workers;
+  s.devices = pool_.size();
+  s.devices_available = pool_.available();
+  return s;
+}
+
+void Scheduler::drain() {
+  queue_.close();
+  std::unique_lock lock(drain_mu_);
+  drain_cv_.wait(lock, [&] { return live_jobs_ == 0; });
+}
+
+void Scheduler::shutdown(bool drain_first) {
+  if (shut_down_.exchange(true)) return;
+  if (drain_first) {
+    drain();
+  } else {
+    stop_all_.store(true, std::memory_order_relaxed);
+    queue_.close_now();
+    std::unique_lock lock(drain_mu_);
+    drain_cv_.wait(lock, [&] { return live_jobs_ == 0; });
+  }
+  workers_.clear();  // jthread join
+}
+
+}  // namespace tspopt::serve

@@ -1,0 +1,152 @@
+// The multi-tenant solve scheduler — the embeddable solve service.
+//
+// A Scheduler multiplexes concurrent solve jobs over a shared
+// simt::DevicePool: admission control and priority ordering come from the
+// bounded JobQueue, execution from a fixed pool of worker jthreads. Each
+// worker leases devices per job, builds a *per-job* engine (gpu engines
+// run behind TwoOptMultiDevice, so fault quarantine/retry state is scoped
+// to the job, never the process), runs the ILS driver with cooperative
+// stop hooks (cancellation, deadline, drain), and streams per-round
+// progress into the Job record plus a per-job RunReport.
+//
+// Observability: the scheduler publishes serve.queue_depth /
+// serve.active_jobs gauges, serve.job_wait_us / serve.job_run_us
+// histograms and per-outcome counters to the global registry (visible via
+// the existing Prometheus exposition), and emits job.accepted /
+// job.started / job.finished / job.rejected / job.cancelled / job.expired
+// JSONL lifecycle events.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "serve/job.hpp"
+#include "serve/queue.hpp"
+#include "simt/device_pool.hpp"
+#include "solver/twoopt_multi.hpp"
+
+namespace tspopt::serve {
+
+struct SchedulerOptions {
+  std::size_t workers = 2;          // worker jthreads (>= 1)
+  std::size_t queue_capacity = 16;  // queued (not yet running) jobs
+  // Floor for the retry-after hint on rejection; the estimate scales with
+  // the observed job runtime and the backlog.
+  double min_retry_after_ms = 100.0;
+  // Fault policy for the per-job multi-device engines.
+  MultiDeviceOptions multi;
+  // A job whose engine raises a fatal error is re-run (with a fresh
+  // device lease) up to this many attempts before it is marked failed.
+  std::int32_t max_attempts = 2;
+};
+
+class Scheduler {
+ public:
+  // `pool` must outlive the scheduler. The destructor performs
+  // shutdown(/*drain=*/false): running jobs are stopped cooperatively and
+  // the backlog is cancelled.
+  Scheduler(simt::DevicePool& pool, SchedulerOptions options = {});
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  struct Admission {
+    bool accepted = false;
+    std::uint64_t id = 0;          // valid when accepted
+    double retry_after_ms = 0.0;   // > 0 when rejected for capacity
+    std::string error;             // non-empty when rejected as invalid
+  };
+
+  // Validate and enqueue. Rejections are immediate: invalid specs (unknown
+  // engine, unknown catalog name, bad payload) carry `error`; a full queue
+  // carries `retry_after_ms` backpressure.
+  Admission submit(JobSpec spec);
+
+  // nullptr for unknown ids. Jobs are retained until forget().
+  std::shared_ptr<const Job> find(std::uint64_t id) const;
+  // Drop a terminal job from the table; false if unknown or still live.
+  bool forget(std::uint64_t id);
+
+  // Cooperative cancel. True if the job was queued or running (the
+  // transition to kCancelled may land asynchronously for running jobs).
+  bool cancel(std::uint64_t id);
+
+  struct Stats {
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected_full = 0;
+    std::uint64_t rejected_invalid = 0;
+    std::uint64_t finished = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t expired = 0;
+    std::uint64_t retries = 0;
+    std::size_t queue_depth = 0;
+    std::size_t active_jobs = 0;
+    std::size_t workers = 0;
+    std::size_t devices = 0;
+    std::size_t devices_available = 0;
+  };
+  Stats stats() const;
+
+  // Stop admission and block until every queued and running job reached a
+  // terminal state — the SIGTERM path. Idempotent.
+  void drain();
+
+  // drain=true: as drain(), then stop workers. drain=false: cancel the
+  // backlog, stop running jobs at their next hook poll, stop workers.
+  void shutdown(bool drain_first);
+
+  const SchedulerOptions& options() const { return options_; }
+
+ private:
+  void worker_loop(std::size_t worker_index);
+  void run_job(const std::shared_ptr<Job>& job);
+  // One solve attempt: lease devices, build the engine, run ILS. Throws on
+  // fatal engine errors (the retry loop in run_job catches); returns the
+  // terminal state the job should settle into.
+  JobState execute_attempt(const std::shared_ptr<Job>& job,
+                           std::int32_t attempt);
+  // Account a job that reached `terminal` (log event, counters, drain cv).
+  void settle(const std::shared_ptr<Job>& job, JobState terminal);
+  double estimate_retry_after_ms() const;
+  void note_run_seconds(double seconds);
+
+  simt::DevicePool& pool_;
+  SchedulerOptions options_;
+  JobQueue queue_;
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<bool> stop_all_{false};
+  std::atomic<bool> shut_down_{false};
+
+  mutable std::mutex jobs_mu_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Job>> jobs_;
+
+  mutable std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  std::size_t live_jobs_ = 0;  // queued + running (accepted, not terminal)
+
+  // EMA of completed-job run time, feeding the retry-after estimate.
+  std::atomic<double> ema_run_ms_{0.0};
+
+  // Counters/gauges/histograms resolved once; hot paths touch atomics.
+  struct Instruments;
+  std::unique_ptr<Instruments> m_;
+
+  std::atomic<std::uint64_t> n_accepted_{0}, n_rejected_full_{0},
+      n_rejected_invalid_{0}, n_finished_{0}, n_failed_{0}, n_cancelled_{0},
+      n_expired_{0}, n_retries_{0};
+  std::atomic<std::size_t> active_{0};
+
+  std::vector<std::jthread> workers_;  // last member: joins before teardown
+};
+
+}  // namespace tspopt::serve

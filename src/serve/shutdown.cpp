@@ -1,0 +1,48 @@
+#include "serve/shutdown.hpp"
+
+#include <csignal>
+
+#include <atomic>
+
+namespace tspopt::serve {
+
+namespace {
+
+// The handler may run on any thread at any instruction; a lock-free
+// atomic int is the only state it touches.
+std::atomic<int> g_signal{0};
+
+extern "C" void latch_signal(int signo) {
+  int expected = 0;
+  g_signal.compare_exchange_strong(expected, signo,
+                                   std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void ShutdownSignal::install() {
+  struct sigaction action {};
+  action.sa_handler = latch_signal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: blocking syscalls wake with EINTR
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
+
+int ShutdownSignal::signal() const {
+  return g_signal.load(std::memory_order_relaxed);
+}
+
+int ShutdownSignal::exit_code() const {
+  int signo = signal();
+  return signo == 0 ? 0 : 128 + signo;
+}
+
+void ShutdownSignal::reset() { g_signal.store(0, std::memory_order_relaxed); }
+
+ShutdownSignal& ShutdownSignal::global() {
+  static ShutdownSignal instance;
+  return instance;
+}
+
+}  // namespace tspopt::serve

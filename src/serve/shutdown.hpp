@@ -1,0 +1,38 @@
+// Process shutdown signal latch for long-lived hosts.
+//
+// `tspoptd` and the long-running example drivers share one convention:
+// SIGINT/SIGTERM do not kill the process mid-solve — they latch into an
+// async-signal-safe flag, the host drains (running jobs stop at their
+// next cooperative hook poll, telemetry sinks flush via obs/flush), and
+// the process exits with the shell convention 128+signo (130 for SIGINT,
+// 143 for SIGTERM) so supervisors can tell a clean drain from a crash.
+//
+// The latch is a process-wide singleton because signal dispositions are:
+// install() is idempotent and the first delivered signal wins (a second
+// SIGINT while draining does not re-trigger anything; operators who want
+// a hard kill escalate to SIGKILL).
+#pragma once
+
+namespace tspopt::serve {
+
+class ShutdownSignal {
+ public:
+  // Install SIGINT + SIGTERM handlers (sigaction, no SA_RESTART so
+  // blocking accept()/poll() wake with EINTR). Idempotent.
+  void install();
+
+  // The first latched signal number, 0 when none arrived yet. Safe to
+  // poll from any thread (and from ILS should_stop hooks).
+  int signal() const;
+  bool requested() const { return signal() != 0; }
+
+  // 128 + signo (130 = SIGINT, 143 = SIGTERM); 0 when no signal latched.
+  int exit_code() const;
+
+  // Forget a latched signal — tests only.
+  void reset();
+
+  static ShutdownSignal& global();
+};
+
+}  // namespace tspopt::serve

@@ -1,0 +1,107 @@
+#include "simt/device_pool.hpp"
+
+#include <algorithm>
+
+#include "obs/registry.hpp"
+
+namespace tspopt::simt {
+
+DevicePool::DevicePool(std::vector<Device*> devices)
+    : devices_(std::move(devices)),
+      leased_(devices_.size(), false),
+      free_(devices_.size()) {
+  TSPOPT_CHECK_MSG(!devices_.empty(), "DevicePool needs at least one device");
+  for (Device* d : devices_) TSPOPT_CHECK(d != nullptr);
+  leased_gauge_ = &obs::Registry::global().gauge("simt.pool_leased");
+  lease_counter_ = &obs::Registry::global().counter("simt.pool_leases");
+}
+
+DevicePool::Lease::Lease(Lease&& o) noexcept
+    : pool_(o.pool_), devices_(std::move(o.devices_)) {
+  o.pool_ = nullptr;
+  o.devices_.clear();
+}
+
+DevicePool::Lease& DevicePool::Lease::operator=(Lease&& o) noexcept {
+  if (this != &o) {
+    release();
+    pool_ = o.pool_;
+    devices_ = std::move(o.devices_);
+    o.pool_ = nullptr;
+    o.devices_.clear();
+  }
+  return *this;
+}
+
+void DevicePool::Lease::release() {
+  if (pool_ != nullptr && !devices_.empty()) pool_->give_back(devices_);
+  pool_ = nullptr;
+  devices_.clear();
+}
+
+std::vector<Device*> DevicePool::take_locked(std::size_t count) {
+  std::vector<Device*> taken;
+  taken.reserve(count);
+  for (std::size_t i = 0; i < devices_.size() && taken.size() < count; ++i) {
+    if (!leased_[i]) {
+      leased_[i] = true;
+      taken.push_back(devices_[i]);
+    }
+  }
+  free_ -= taken.size();
+  ++granted_;
+  lease_counter_->add();
+  leased_gauge_->set(static_cast<double>(devices_.size() - free_));
+  return taken;
+}
+
+DevicePool::Lease DevicePool::acquire(std::size_t count) {
+  count = std::clamp<std::size_t>(count, 1, devices_.size());
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [&] { return closed_ || free_ >= count; });
+  if (closed_) return {};
+  return Lease(this, take_locked(count));
+}
+
+DevicePool::Lease DevicePool::try_acquire(std::size_t count) {
+  count = std::clamp<std::size_t>(count, 1, devices_.size());
+  std::lock_guard lock(mu_);
+  if (closed_ || free_ < count) return {};
+  return Lease(this, take_locked(count));
+}
+
+void DevicePool::close() {
+  {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+void DevicePool::give_back(const std::vector<Device*>& devices) {
+  {
+    std::lock_guard lock(mu_);
+    for (Device* d : devices) {
+      auto it = std::find(devices_.begin(), devices_.end(), d);
+      TSPOPT_CHECK(it != devices_.end());
+      auto idx = static_cast<std::size_t>(it - devices_.begin());
+      TSPOPT_CHECK(leased_[idx]);
+      leased_[idx] = false;
+      ++free_;
+    }
+    leased_gauge_->set(static_cast<double>(devices_.size() - free_));
+  }
+  cv_.notify_all();
+}
+
+std::size_t DevicePool::available() const {
+  std::lock_guard lock(mu_);
+  return free_;
+}
+
+std::uint64_t DevicePool::leases_granted() const {
+  std::lock_guard lock(mu_);
+  return granted_;
+}
+
+}  // namespace tspopt::simt

@@ -1,0 +1,89 @@
+// Device leasing for multi-tenant hosts.
+//
+// A DevicePool multiplexes a fixed set of simulated devices across
+// concurrent solve jobs (the paper's §V multi-GPU work distribution,
+// turned sideways: instead of one solve spanning all cards, many solves
+// time-share the card set). A job acquires an exclusive Lease on k
+// devices, builds its own engine over them — fault policy (quarantine,
+// retry state) therefore lives in the per-job engine, not in the pool —
+// and the lease's destruction returns the devices for the next job.
+//
+// acquire() blocks until enough devices are free, which is the natural
+// backpressure point between the serve scheduler's worker threads and the
+// hardware: queue admission bounds *jobs*, the pool bounds *devices*.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "simt/device.hpp"
+
+namespace tspopt::simt {
+
+class DevicePool {
+ public:
+  // The devices are borrowed and must outlive the pool (and every lease).
+  explicit DevicePool(std::vector<Device*> devices);
+
+  DevicePool(const DevicePool&) = delete;
+  DevicePool& operator=(const DevicePool&) = delete;
+
+  // An exclusive hold on 1..k devices. Movable; releasing (destruction or
+  // release()) returns the devices to the pool and wakes blocked
+  // acquirers. A default-constructed or closed-pool lease is empty.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& o) noexcept;
+    Lease& operator=(Lease&& o) noexcept;
+    ~Lease() { release(); }
+
+    explicit operator bool() const { return !devices_.empty(); }
+    std::span<Device* const> devices() const { return devices_; }
+    void release();
+
+   private:
+    friend class DevicePool;
+    Lease(DevicePool* pool, std::vector<Device*> devices)
+        : pool_(pool), devices_(std::move(devices)) {}
+
+    DevicePool* pool_ = nullptr;
+    std::vector<Device*> devices_;
+  };
+
+  // Block until `count` devices are free and lease them. `count` is
+  // clamped to the pool size (a job asking for more cards than the host
+  // has gets the whole host, as TwoOptMultiDevice degrades gracefully).
+  // Returns an empty lease once the pool is closed.
+  Lease acquire(std::size_t count);
+
+  // Non-blocking acquire; empty lease when not enough devices are free.
+  Lease try_acquire(std::size_t count);
+
+  // Wake every blocked acquirer with an empty lease and refuse future
+  // acquisitions. Outstanding leases stay valid and still release.
+  void close();
+
+  std::size_t size() const { return devices_.size(); }
+  std::size_t available() const;
+  std::uint64_t leases_granted() const;
+
+ private:
+  std::vector<Device*> take_locked(std::size_t count);
+  void give_back(const std::vector<Device*>& devices);
+
+  std::vector<Device*> devices_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<bool> leased_;  // parallel to devices_
+  std::size_t free_ = 0;
+  bool closed_ = false;
+  std::uint64_t granted_ = 0;
+  obs::Gauge* leased_gauge_ = nullptr;    // simt.pool_leased
+  obs::Counter* lease_counter_ = nullptr; // simt.pool_leases
+};
+
+}  // namespace tspopt::simt

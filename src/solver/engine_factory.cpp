@@ -18,15 +18,40 @@ EngineFactory::EngineFactory(const Instance* instance, std::int32_t k)
       device_(simt::gtx680_cuda()),
       second_device_(simt::gtx680_cuda()) {}
 
-const std::vector<std::string>& EngineFactory::available() {
-  static const std::vector<std::string> names = {
-      "cpu-sequential", "cpu-sequential-indirect",
-      "cpu-generic",    "cpu-simd",
-      "cpu-parallel",   "cpu-lut",
-      "cpu-pruned",     "gpu-small",
-      "gpu-small-indirect", "gpu-tiled",
-      "gpu-multi",
+const std::vector<EngineFactory::EngineInfo>& EngineFactory::roster() {
+  static const std::vector<EngineInfo> infos = {
+      {"cpu-sequential",
+       "single-threaded array-form 2-opt (the paper's CPU baseline)"},
+      {"cpu-sequential-indirect",
+       "single-threaded 2-opt reading coordinates through the tour order"},
+      {"cpu-generic",
+       "single-threaded 2-opt for any TSPLIB metric (incl. EXPLICIT)"},
+      {"cpu-simd",
+       "single-threaded 2-opt over SoA staging with AVX2/FMA row kernels"},
+      {"cpu-parallel",
+       "thread-pool 2-opt with SIMD rows (the paper's multi-core CPU run)"},
+      {"cpu-lut",
+       "single-threaded 2-opt over a precomputed n^2 distance matrix"},
+      {"cpu-pruned",
+       "k-nearest-neighbor pruned 2-opt (inexact: restricted move set)"},
+      {"gpu-small",
+       "one-kernel GPU 2-opt, whole instance staged in shared memory"},
+      {"gpu-small-indirect",
+       "gpu-small variant reading coordinates through the device tour"},
+      {"gpu-tiled",
+       "tiled GPU 2-opt for arbitrary n (paper SIV-B problem division)"},
+      {"gpu-multi",
+       "fault-tolerant tiled 2-opt across several devices (paper SVI)"},
   };
+  return infos;
+}
+
+const std::vector<std::string>& EngineFactory::available() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const EngineInfo& info : roster()) out.push_back(info.name);
+    return out;
+  }();
   return names;
 }
 

@@ -32,6 +32,16 @@ class EngineFactory {
   //   gpu-multi
   static const std::vector<std::string>& available();
 
+  // One-line description per engine, same order as available(). This is
+  // the roster tsplib_tool --list-engines prints and the serve daemon's
+  // "engines" verb returns, so wire clients can discover valid `engine`
+  // values without reading the source.
+  struct EngineInfo {
+    std::string name;
+    std::string description;
+  };
+  static const std::vector<EngineInfo>& roster();
+
   // Throws CheckError for unknown names or when a required resource is
   // missing (e.g. cpu-lut without an instance).
   std::unique_ptr<TwoOptEngine> create(const std::string& name);

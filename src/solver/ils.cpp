@@ -94,10 +94,25 @@ IlsResult run_loop(TwoOptEngine& engine, const Instance& instance,
        500000, 1000000, 5000000});
   m_best.set(static_cast<double>(st.result.best_length));
 
+  // Cooperative stop: polled once per round here and between the passes of
+  // the round's local search below (so a cancellation lands mid-descent,
+  // not after it).
+  auto stop_requested = [&] {
+    return options.should_stop && options.should_stop();
+  };
+  LocalSearchObserver stop_observer;
+  if (options.should_stop) {
+    stop_observer = [&](const LocalSearchStats&) { return !stop_requested(); };
+  }
+
   while ((options.max_iterations < 0 ||
           st.result.iterations < options.max_iterations) &&
          (options.time_limit_seconds < 0.0 ||
           now() < options.time_limit_seconds)) {
+    if (stop_requested()) {
+      st.result.stopped = true;
+      break;
+    }
     obs::Span iter_span = obs::Tracer::global().span("ils.iteration", "ils");
     WallTimer iter_timer;
 
@@ -114,7 +129,8 @@ IlsResult run_loop(TwoOptEngine& engine, const Instance& instance,
       if (round.time_limit_seconds < 0.0 || round.time_limit_seconds > remaining)
         round.time_limit_seconds = remaining;
     }
-    LocalSearchStats stats = local_search(engine, instance, candidate, round);
+    LocalSearchStats stats =
+        local_search(engine, instance, candidate, round, stop_observer);
     st.result.checks += stats.checks;
     st.passes += stats.passes;
     ++st.result.iterations;
@@ -153,6 +169,10 @@ IlsResult run_loop(TwoOptEngine& engine, const Instance& instance,
       iter_span.arg("improved", improved);
     }
     m_iteration_us.observe(iter_timer.micros());
+    if (options.on_progress) {
+      options.on_progress(
+          {st.result.iterations, st.result.best_length, now(), improved});
+    }
 
     if (!options.checkpoint_path.empty() && options.checkpoint_every > 0 &&
         st.result.iterations % options.checkpoint_every == 0) {
@@ -167,7 +187,8 @@ IlsResult run_loop(TwoOptEngine& engine, const Instance& instance,
       .arg("improvements", st.result.improvements)
       .arg("best", st.result.best_length)
       .arg("checks", st.result.checks)
-      .arg("seconds", st.result.wall_seconds);
+      .arg("seconds", st.result.wall_seconds)
+      .arg("stopped", st.result.stopped);
   return std::move(st.result);
 }
 
@@ -184,13 +205,20 @@ IlsResult iterated_local_search(TwoOptEngine& engine, const Instance& instance,
   if (options.time_limit_seconds >= 0.0 && ls.time_limit_seconds < 0.0) {
     ls.time_limit_seconds = options.time_limit_seconds;
   }
+  LocalSearchObserver descent_observer;
+  if (options.should_stop) {
+    descent_observer = [&](const LocalSearchStats&) {
+      return !options.should_stop();
+    };
+  }
   obs::Span descent_span =
       obs::Tracer::global().span("ils.initial_descent", "ils");
-  LocalSearchStats descent = local_search(engine, instance, incumbent, ls);
+  LocalSearchStats descent =
+      local_search(engine, instance, incumbent, ls, descent_observer);
   descent_span.finish();
 
   LoopState st(incumbent, Pcg32(options.seed),
-               IlsResult{incumbent, 0, 0, 0, 0, 0.0, {}});
+               IlsResult{incumbent, 0, 0, 0, 0, 0.0, false, {}});
   st.result.checks = descent.checks;
   st.passes = descent.passes;
   st.incumbent_len = incumbent.length(instance);
@@ -219,7 +247,7 @@ IlsResult iterated_local_search_resume(TwoOptEngine& engine,
                IlsResult{Tour(checkpoint.best_order),
                          checkpoint.best_length, checkpoint.iterations,
                          checkpoint.improvements, checkpoint.checks, 0.0,
-                         checkpoint.trace});
+                         false, checkpoint.trace});
   st.rng.restore(checkpoint.rng);  // seed is irrelevant; position restored
   st.incumbent_len = checkpoint.incumbent_length;
   st.passes = checkpoint.passes;

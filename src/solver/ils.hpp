@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "solver/engine.hpp"
@@ -29,6 +30,15 @@ enum class IlsAcceptance {
   kRandomWalk,    // always accept the new local minimum
 };
 
+// Per-round progress snapshot handed to IlsOptions::on_progress. The
+// serve scheduler streams these into per-job status/RunReport state.
+struct IlsProgress {
+  std::int64_t iteration = 0;
+  std::int64_t best_length = 0;
+  double seconds = 0.0;    // wall time, including any checkpointed portion
+  bool improved = false;   // this round found a new best
+};
+
 struct IlsOptions {
   double time_limit_seconds = 1.0;
   std::int64_t max_iterations = -1;  // perturbation rounds; -1 = unlimited
@@ -43,6 +53,15 @@ struct IlsOptions {
   // bit-identically via iterated_local_search_resume. Empty path = off.
   std::string checkpoint_path;
   std::int64_t checkpoint_every = 16;
+
+  // Cooperative control hooks for embedding the loop in long-lived hosts
+  // (the serve scheduler, signal-driven drains). `should_stop` is polled
+  // before every perturbation round and between the local-search passes
+  // inside a round; returning true ends the run cleanly with the best tour
+  // so far (IlsResult::stopped is set). `on_progress` fires after every
+  // completed round. Both run on the solver thread and must be cheap.
+  std::function<bool()> should_stop;
+  std::function<void(const IlsProgress&)> on_progress;
 };
 
 struct IlsTracePoint {
@@ -63,6 +82,7 @@ struct IlsResult {
   std::int64_t improvements = 0;    // accepted (better) rounds
   std::uint64_t checks = 0;         // total pair evaluations
   double wall_seconds = 0.0;
+  bool stopped = false;             // ended early by should_stop
   std::vector<IlsTracePoint> trace;
 };
 

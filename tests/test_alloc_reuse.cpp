@@ -54,7 +54,9 @@ void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
 }
 
 #include "common/rng.hpp"
+#include "parallel/thread_pool.hpp"
 #include "simt/device.hpp"
+#include "simt/shared_memory.hpp"
 #include "solver/twoopt_parallel.hpp"
 #include "solver/twoopt_sequential.hpp"
 #include "solver/twoopt_simd.hpp"
@@ -125,6 +127,75 @@ TEST(AllocReuse, TiledEngineSteadyStateCountIsStable) {
   // passes pay only the fixed ThreadPool launch overhead.
   EXPECT_EQ(second, third);
   EXPECT_LT(third, first);
+}
+
+// --- launch-arena bounds (ISSUE satellite) -----------------------------
+//
+// The per-worker thread_local launch arenas (simt::SharedMemory) are
+// grow-mostly but must stay *bounded*: retargeting between devices with
+// different shared-memory limits must not thrash or ratchet, and the
+// process-wide storage accounting must reconcile, so a long-lived solve
+// server's arena fleet cannot grow without bound.
+
+TEST(AllocReuse, ArenaAlternatingDeviceLimitsDoesNotThrash) {
+  constexpr std::uint32_t kGeForce = 48u * 1024u;
+  constexpr std::uint32_t kRadeon = 64u * 1024u;
+  simt::SharedMemory arena(kGeForce);
+  arena.set_capacity(kRadeon);  // one growth to the larger limit
+  EXPECT_EQ(arena.storage_bytes(), kRadeon);
+
+  // Alternating between the two limits is the mixed-device reuse pattern;
+  // the 2x hysteresis keeps the 64 kB buffer, so zero (re)allocations.
+  std::uint64_t churn = allocations_during([&] {
+    for (int i = 0; i < 100; ++i) {
+      arena.set_capacity(i % 2 == 0 ? kGeForce : kRadeon);
+      arena.alloc<float>(1024);
+      arena.reset();
+    }
+  });
+  EXPECT_EQ(churn, 0u);
+  EXPECT_EQ(arena.storage_bytes(), kRadeon);
+}
+
+TEST(AllocReuse, ArenaShrinksWhenRetargetedFarSmaller) {
+  simt::SharedMemory arena(1u << 20);  // 1 MB high-water mark
+  arena.set_capacity(48u * 1024u);     // > 2x smaller: excess is released
+  EXPECT_EQ(arena.storage_bytes(), 48u * 1024u);
+  EXPECT_EQ(arena.capacity(), 48u * 1024u);
+}
+
+TEST(AllocReuse, LiveStorageAccountingTracksArenas) {
+  const std::uint64_t baseline = simt::SharedMemory::live_storage_bytes();
+  {
+    simt::SharedMemory arena(48u * 1024u);
+    EXPECT_EQ(simt::SharedMemory::live_storage_bytes(),
+              baseline + 48u * 1024u);
+    arena.set_capacity(256u * 1024u);
+    EXPECT_EQ(simt::SharedMemory::live_storage_bytes(),
+              baseline + 256u * 1024u);
+  }
+  EXPECT_EQ(simt::SharedMemory::live_storage_bytes(), baseline);
+}
+
+TEST(AllocReuse, ServerWorkloadWorkerArenasStayBounded) {
+  // A solve-server-shaped workload: many passes of the pool-backed device
+  // engine. Each pool worker owns one thread_local arena; the fleet's
+  // total backing storage must reach a plateau after warm-up, bounded by
+  // (workers + main thread) x 2x the device's shared-memory limit.
+  Fixture f(600, 7);
+  simt::Device device(simt::gtx680_cuda());
+  TwoOptGpuTiled engine(device, 128);
+  engine.search(f.inst, f.tour);  // warm-up: arenas come into existence
+
+  const std::uint64_t plateau = simt::SharedMemory::live_storage_bytes();
+  for (int pass = 0; pass < 5; ++pass) {
+    engine.search(f.inst, f.tour);
+    EXPECT_EQ(simt::SharedMemory::live_storage_bytes(), plateau)
+        << "arena fleet grew on pass " << pass;
+  }
+  const std::uint64_t per_arena_bound = 2u * device.spec().shared_mem_bytes;
+  EXPECT_LE(plateau,
+            (ThreadPool::shared().size() + 1) * per_arena_bound);
 }
 
 TEST(AllocReuse, ParallelEngineSteadyStateCountIsStable) {

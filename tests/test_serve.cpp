@@ -1,0 +1,572 @@
+// Solve-service suite: job wire schema, queue admission/priority,
+// scheduler lifecycle (finish, cancel, expire, retry-on-fault, drain),
+// the line-JSON protocol, and the ISSUE's end-to-end acceptance demo
+// (tspoptd serving >= 8 concurrent jobs from >= 4 client threads on a
+// 1000+ city instance, with backpressure and an injected device fault).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/daemon.hpp"
+#include "serve/job.hpp"
+#include "serve/queue.hpp"
+#include "serve/scheduler.hpp"
+#include "simt/device.hpp"
+#include "simt/device_pool.hpp"
+#include "simt/fault.hpp"
+#include "tsp/catalog.hpp"
+#include "tsp/generator.hpp"
+
+namespace tspopt::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::shared_ptr<Job> make_job(std::uint64_t id, std::int32_t priority,
+                              double deadline_ms = -1.0) {
+  JobSpec spec;
+  spec.catalog = "berlin52";
+  spec.priority = priority;
+  spec.deadline_ms = deadline_ms;
+  return std::make_shared<Job>(id, std::move(spec));
+}
+
+// Poll until the job is terminal (the scheduler settles asynchronously).
+JobState wait_terminal(const Scheduler& scheduler, std::uint64_t id,
+                       double timeout_seconds = 10.0) {
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration<double>(timeout_seconds);
+  for (;;) {
+    std::shared_ptr<const Job> job = scheduler.find(id);
+    if (job == nullptr) return JobState::kFailed;
+    if (is_terminal(job->state())) return job->state();
+    if (std::chrono::steady_clock::now() >= deadline) return job->state();
+    std::this_thread::sleep_for(2ms);
+  }
+}
+
+struct PoolFixture {
+  std::vector<std::unique_ptr<simt::Device>> owned;
+  std::vector<simt::Device*> devices;
+  std::unique_ptr<simt::DevicePool> pool;
+
+  explicit PoolFixture(std::size_t count,
+                       simt::FaultInjector* injector = nullptr) {
+    for (std::size_t d = 0; d < count; ++d) {
+      owned.push_back(std::make_unique<simt::Device>(simt::gtx680_cuda()));
+      owned.back()->set_label("gpu" + std::to_string(d));
+      if (injector != nullptr) owned.back()->set_fault_injector(injector);
+      devices.push_back(owned.back().get());
+    }
+    pool = std::make_unique<simt::DevicePool>(devices);
+  }
+};
+
+// ---------------------------------------------------------------- wire --
+
+TEST(ServeJob, WireRoundTripCatalog) {
+  JobSpec spec;
+  spec.catalog = "kroA200";
+  spec.engine = "gpu-tiled";
+  spec.priority = 0;
+  spec.time_limit_seconds = 0.25;
+  spec.max_iterations = 42;
+  spec.deadline_ms = 1500.0;
+  spec.seed = 9;
+  spec.devices = 2;
+
+  JobSpec back = job_spec_from_json(obs::json_parse(job_spec_to_json(spec)));
+  EXPECT_EQ(back.catalog, "kroA200");
+  EXPECT_TRUE(back.points.empty());
+  EXPECT_EQ(back.engine, "gpu-tiled");
+  EXPECT_EQ(back.priority, 0);
+  EXPECT_DOUBLE_EQ(back.time_limit_seconds, 0.25);
+  EXPECT_EQ(back.max_iterations, 42);
+  EXPECT_DOUBLE_EQ(back.deadline_ms, 1500.0);
+  EXPECT_EQ(back.seed, 9u);
+  EXPECT_EQ(back.devices, 2);
+}
+
+TEST(ServeJob, WireRoundTripInlinePayload) {
+  JobSpec spec;
+  spec.instance_name = "tiny";
+  spec.points = {{0.0f, 0.0f}, {3.0f, 0.0f}, {3.0f, 4.0f}, {0.0f, 4.0f}};
+
+  JobSpec back = job_spec_from_json(obs::json_parse(job_spec_to_json(spec)));
+  EXPECT_TRUE(back.inline_payload());
+  EXPECT_EQ(back.instance_name, "tiny");
+  ASSERT_EQ(back.points.size(), 4u);
+  EXPECT_FLOAT_EQ(back.points[2].x, 3.0f);
+  EXPECT_FLOAT_EQ(back.points[2].y, 4.0f);
+}
+
+TEST(ServeJob, WireRejectsMalformedSpecs) {
+  auto parse = [](const std::string& text) {
+    return job_spec_from_json(obs::json_parse(text));
+  };
+  // Unknown field (typo of deadline_ms) must not silently default.
+  EXPECT_THROW(
+      parse("{\"schema\":\"tspopt.job\",\"schema_version\":1,"
+            "\"catalog\":\"berlin52\",\"dedline_ms\":5}"),
+      CheckError);
+  // Wrong schema version.
+  EXPECT_THROW(parse("{\"schema\":\"tspopt.job\",\"schema_version\":2,"
+                     "\"catalog\":\"berlin52\"}"),
+               CheckError);
+  // Catalog AND inline points.
+  EXPECT_THROW(
+      parse("{\"schema\":\"tspopt.job\",\"schema_version\":1,"
+            "\"catalog\":\"berlin52\",\"points\":[[0,0],[1,0],[0,1]]}"),
+      CheckError);
+  // Too few points.
+  EXPECT_THROW(parse("{\"schema\":\"tspopt.job\",\"schema_version\":1,"
+                     "\"points\":[[0,0],[1,0]]}"),
+               CheckError);
+  // Priority out of range.
+  EXPECT_THROW(parse("{\"schema\":\"tspopt.job\",\"schema_version\":1,"
+                     "\"catalog\":\"berlin52\",\"priority\":11}"),
+               CheckError);
+}
+
+// --------------------------------------------------------------- queue --
+
+TEST(ServeQueue, StrictPriorityThenFifo) {
+  JobQueue queue(8);
+  EXPECT_TRUE(queue.push(make_job(1, 2)));
+  EXPECT_TRUE(queue.push(make_job(2, 0)));
+  EXPECT_TRUE(queue.push(make_job(3, 2)));
+  EXPECT_TRUE(queue.push(make_job(4, 1)));
+  EXPECT_TRUE(queue.push(make_job(5, 0)));
+
+  std::vector<std::uint64_t> order;
+  for (int i = 0; i < 5; ++i) order.push_back(queue.pop().job->id());
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{2, 5, 4, 1, 3}));
+}
+
+TEST(ServeQueue, RejectsWhenFullOrClosed) {
+  JobQueue queue(2);
+  EXPECT_TRUE(queue.push(make_job(1, 1)));
+  EXPECT_TRUE(queue.push(make_job(2, 1)));
+  EXPECT_FALSE(queue.push(make_job(3, 1)));  // full
+  EXPECT_EQ(queue.depth(), 2u);
+
+  queue.close();
+  EXPECT_FALSE(queue.push(make_job(4, 1)));  // closed
+  // close() still drains the backlog...
+  EXPECT_EQ(queue.pop().job->id(), 1u);
+  EXPECT_EQ(queue.pop().job->id(), 2u);
+  // ...then reports empty.
+  JobQueue::PopOutcome end = queue.pop();
+  EXPECT_EQ(end.job, nullptr);
+  EXPECT_EQ(end.discarded, nullptr);
+}
+
+TEST(ServeQueue, PopDiscardsCancelledAndExpiredJobs) {
+  JobQueue queue(8);
+  std::shared_ptr<Job> cancelled = make_job(1, 1);
+  std::shared_ptr<Job> expired = make_job(2, 1, /*deadline_ms=*/0.0);
+  std::shared_ptr<Job> live = make_job(3, 1);
+  ASSERT_TRUE(queue.push(cancelled));
+  ASSERT_TRUE(queue.push(expired));
+  ASSERT_TRUE(queue.push(live));
+  cancelled->request_cancel();
+  std::this_thread::sleep_for(1ms);  // let the deadline pass
+
+  JobQueue::PopOutcome first = queue.pop();
+  EXPECT_EQ(first.job, nullptr);
+  ASSERT_NE(first.discarded, nullptr);
+  EXPECT_EQ(first.discarded->id(), 1u);
+  EXPECT_EQ(first.discarded->state(), JobState::kCancelled);
+
+  JobQueue::PopOutcome second = queue.pop();
+  EXPECT_EQ(second.job, nullptr);
+  ASSERT_NE(second.discarded, nullptr);
+  EXPECT_EQ(second.discarded->state(), JobState::kExpired);
+
+  JobQueue::PopOutcome third = queue.pop();
+  ASSERT_NE(third.job, nullptr);
+  EXPECT_EQ(third.job->id(), 3u);
+}
+
+// ----------------------------------------------------------- scheduler --
+
+TEST(ServeScheduler, FinishesCpuJobWithReport) {
+  PoolFixture fixture(1);
+  SchedulerOptions options;
+  options.workers = 2;
+  Scheduler scheduler(*fixture.pool, options);
+
+  JobSpec spec;
+  spec.catalog = "berlin52";
+  spec.engine = "cpu-parallel";
+  spec.time_limit_seconds = 0.05;
+  Scheduler::Admission admission = scheduler.submit(spec);
+  ASSERT_TRUE(admission.accepted) << admission.error;
+
+  EXPECT_EQ(wait_terminal(scheduler, admission.id), JobState::kFinished);
+  std::shared_ptr<const Job> job = scheduler.find(admission.id);
+  ASSERT_NE(job, nullptr);
+  JobResult result = job->result();
+  EXPECT_EQ(result.order.size(), 52u);
+  EXPECT_GT(result.best_length, 0);
+  EXPECT_LE(result.best_length, result.constructive_length);
+  EXPECT_FALSE(result.report_json.empty());
+  // The per-job report is a parseable run-report document.
+  obs::JsonValue report = obs::json_parse(result.report_json);
+  EXPECT_EQ(report.at("run").at("job_id").string,
+            std::to_string(admission.id));
+
+  Scheduler::Stats stats = scheduler.stats();
+  EXPECT_EQ(stats.finished, 1u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_GE(job->wait_seconds.load(), 0.0);
+  EXPECT_GT(job->run_seconds.load(), 0.0);
+
+  EXPECT_TRUE(scheduler.forget(admission.id));
+  EXPECT_EQ(scheduler.find(admission.id), nullptr);
+}
+
+TEST(ServeScheduler, RejectsInvalidSpecs) {
+  PoolFixture fixture(1);
+  Scheduler scheduler(*fixture.pool);
+
+  JobSpec bad_engine;
+  bad_engine.catalog = "berlin52";
+  bad_engine.engine = "tpu-warp";
+  Scheduler::Admission a = scheduler.submit(bad_engine);
+  EXPECT_FALSE(a.accepted);
+  EXPECT_NE(a.error.find("tpu-warp"), std::string::npos);
+
+  JobSpec bad_catalog;
+  bad_catalog.catalog = "atlantis9000";
+  Scheduler::Admission b = scheduler.submit(bad_catalog);
+  EXPECT_FALSE(b.accepted);
+  EXPECT_NE(b.error.find("atlantis9000"), std::string::npos);
+
+  EXPECT_EQ(scheduler.stats().rejected_invalid, 2u);
+  EXPECT_EQ(scheduler.stats().accepted, 0u);
+}
+
+TEST(ServeScheduler, FullQueueRejectsWithRetryAfter) {
+  PoolFixture fixture(1);
+  SchedulerOptions options;
+  options.workers = 1;
+  options.queue_capacity = 1;
+  Scheduler scheduler(*fixture.pool, options);
+
+  JobSpec slow;
+  slow.catalog = "berlin52";
+  slow.engine = "cpu-sequential";
+  slow.time_limit_seconds = 0.5;
+
+  Scheduler::Admission running = scheduler.submit(slow);
+  ASSERT_TRUE(running.accepted);
+  // Queue one more behind the running job, then overflow.
+  Scheduler::Admission queued;
+  Scheduler::Admission rejected;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    Scheduler::Admission a = scheduler.submit(slow);
+    if (a.accepted && queued.id == 0) {
+      queued = a;
+    } else if (!a.accepted) {
+      rejected = a;
+      break;
+    }
+  }
+  ASSERT_FALSE(rejected.accepted);
+  EXPECT_GT(rejected.retry_after_ms, 0.0);
+  EXPECT_GE(scheduler.stats().rejected_full, 1u);
+
+  scheduler.cancel(running.id);
+  if (queued.id != 0) scheduler.cancel(queued.id);
+  scheduler.drain();
+}
+
+TEST(ServeScheduler, CancelsQueuedAndRunningJobs) {
+  PoolFixture fixture(1);
+  SchedulerOptions options;
+  options.workers = 1;
+  options.queue_capacity = 8;
+  Scheduler scheduler(*fixture.pool, options);
+
+  JobSpec slow;
+  slow.catalog = "berlin52";
+  slow.engine = "cpu-sequential";
+  slow.time_limit_seconds = 5.0;  // cancel will cut this short
+
+  Scheduler::Admission running = scheduler.submit(slow);
+  Scheduler::Admission queued = scheduler.submit(slow);
+  ASSERT_TRUE(running.accepted);
+  ASSERT_TRUE(queued.accepted);
+
+  // The queued job cancels synchronously (it never starts).
+  EXPECT_TRUE(scheduler.cancel(queued.id));
+  EXPECT_EQ(wait_terminal(scheduler, queued.id), JobState::kCancelled);
+
+  // The running job stops at its next should_stop poll.
+  std::this_thread::sleep_for(20ms);
+  EXPECT_TRUE(scheduler.cancel(running.id));
+  EXPECT_EQ(wait_terminal(scheduler, running.id), JobState::kCancelled);
+  std::shared_ptr<const Job> job = scheduler.find(running.id);
+  ASSERT_NE(job, nullptr);
+  EXPECT_LT(job->run_seconds.load(), 5.0);
+
+  EXPECT_FALSE(scheduler.cancel(999999));  // unknown id
+}
+
+TEST(ServeScheduler, DeadlineExpiresARunningJob) {
+  PoolFixture fixture(1);
+  Scheduler scheduler(*fixture.pool);
+
+  JobSpec spec;
+  spec.catalog = "berlin52";
+  spec.engine = "cpu-sequential";
+  spec.time_limit_seconds = 10.0;
+  spec.deadline_ms = 60.0;  // far shorter than the time budget
+  Scheduler::Admission admission = scheduler.submit(spec);
+  ASSERT_TRUE(admission.accepted);
+
+  EXPECT_EQ(wait_terminal(scheduler, admission.id), JobState::kExpired);
+  std::shared_ptr<const Job> job = scheduler.find(admission.id);
+  ASSERT_NE(job, nullptr);
+  EXPECT_LT(job->run_seconds.load(), 2.0);
+  EXPECT_EQ(scheduler.stats().expired, 1u);
+}
+
+TEST(ServeScheduler, SurvivesInjectedDeviceFault) {
+  // gpu0 permanently fails from its 3rd launch on. The per-job
+  // TwoOptMultiDevice quarantines it and re-deals to gpu1, so the job
+  // finishes; the fault is absorbed inside the job, not the process.
+  simt::FaultPlan plan(7);
+  plan.inject({.device = "gpu0",
+               .kind = simt::FaultKind::kLaunchFailure,
+               .first_launch = 3,
+               .count = simt::FaultSpec::kForever});
+  simt::FaultInjector injector(plan);
+  PoolFixture fixture(2, &injector);
+
+  SchedulerOptions options;
+  options.workers = 1;
+  options.multi.backoff_initial_ms = 0.1;
+  Scheduler scheduler(*fixture.pool, options);
+
+  JobSpec spec;
+  spec.catalog = "berlin52";
+  spec.engine = "gpu-multi";
+  spec.devices = 2;
+  spec.time_limit_seconds = 0.2;
+  Scheduler::Admission admission = scheduler.submit(spec);
+  ASSERT_TRUE(admission.accepted);
+
+  EXPECT_EQ(wait_terminal(scheduler, admission.id), JobState::kFinished);
+  std::shared_ptr<const Job> job = scheduler.find(admission.id);
+  ASSERT_NE(job, nullptr);
+  EXPECT_GT(job->result().best_length, 0);
+  EXPECT_EQ(scheduler.stats().failed, 0u);
+  // The fault genuinely fired.
+  EXPECT_GE(
+      fixture.devices[0]->counters().snapshot().launch_failures, 1u);
+}
+
+TEST(ServeScheduler, DrainFinishesEveryAcceptedJob) {
+  PoolFixture fixture(2);
+  SchedulerOptions options;
+  options.workers = 2;
+  options.queue_capacity = 16;
+  Scheduler scheduler(*fixture.pool, options);
+
+  std::vector<std::uint64_t> ids;
+  JobSpec spec;
+  spec.catalog = "berlin52";
+  spec.engine = "cpu-parallel";
+  spec.time_limit_seconds = 0.02;
+  for (int j = 0; j < 6; ++j) {
+    Scheduler::Admission a = scheduler.submit(spec);
+    ASSERT_TRUE(a.accepted);
+    ids.push_back(a.id);
+  }
+  scheduler.drain();
+
+  Scheduler::Stats stats = scheduler.stats();
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.active_jobs, 0u);
+  EXPECT_EQ(stats.finished, 6u);
+  for (std::uint64_t id : ids) {
+    EXPECT_EQ(scheduler.find(id)->state(), JobState::kFinished);
+  }
+  // New submissions are refused while drained.
+  EXPECT_FALSE(scheduler.submit(spec).accepted);
+}
+
+// ------------------------------------------------------------ protocol --
+
+TEST(ServeProtocol, HandleRequestCoversTheVerbSet) {
+  PoolFixture fixture(1);
+  Scheduler scheduler(*fixture.pool);
+
+  auto parse = [&](const std::string& line) {
+    return obs::json_parse(handle_request(scheduler, line));
+  };
+
+  EXPECT_TRUE(parse("{\"verb\":\"ping\"}").at("ok").boolean);
+  EXPECT_FALSE(parse("not json at all").at("ok").boolean);
+  EXPECT_FALSE(parse("{\"verb\":\"warp\"}").at("ok").boolean);
+  EXPECT_FALSE(parse("{\"no_verb\":1}").at("ok").boolean);
+
+  obs::JsonValue engines = parse("{\"verb\":\"engines\"}");
+  EXPECT_TRUE(engines.at("ok").boolean);
+  EXPECT_GE(engines.at("engines").array.size(), 10u);
+  EXPECT_FALSE(
+      engines.at("engines").array[0].at("description").string.empty());
+
+  obs::JsonValue submit = parse(
+      "{\"verb\":\"submit\",\"job\":{\"schema\":\"tspopt.job\","
+      "\"schema_version\":1,\"catalog\":\"berlin52\","
+      "\"engine\":\"cpu-sequential\",\"time_limit_seconds\":0.02}}");
+  ASSERT_TRUE(submit.at("ok").boolean)
+      << handle_request(scheduler, "{\"verb\":\"stats\"}");
+  auto id = static_cast<std::uint64_t>(submit.at("id").number);
+
+  obs::JsonValue status =
+      parse("{\"verb\":\"status\",\"id\":" + std::to_string(id) + "}");
+  EXPECT_TRUE(status.at("ok").boolean);
+  EXPECT_EQ(status.at("job").at("instance").string, "berlin52");
+
+  wait_terminal(scheduler, id);
+  obs::JsonValue result =
+      parse("{\"verb\":\"result\",\"id\":" + std::to_string(id) + "}");
+  EXPECT_TRUE(result.at("ok").boolean);
+  EXPECT_EQ(result.at("result").at("order").array.size(), 52u);
+
+  EXPECT_FALSE(parse("{\"verb\":\"status\",\"id\":424242}").at("ok").boolean);
+  // Submit rejections surface the scheduler's error.
+  obs::JsonValue bad = parse(
+      "{\"verb\":\"submit\",\"job\":{\"schema\":\"tspopt.job\","
+      "\"schema_version\":1,\"catalog\":\"nowhere\"}}");
+  EXPECT_FALSE(bad.at("ok").boolean);
+  EXPECT_FALSE(bad.at("error").string.empty());
+
+  obs::JsonValue stats = parse("{\"verb\":\"stats\"}");
+  EXPECT_TRUE(stats.at("ok").boolean);
+  EXPECT_EQ(static_cast<std::uint64_t>(
+                stats.at("stats").at("accepted").number),
+            scheduler.stats().accepted);
+}
+
+// ---------------------------------------------------- acceptance demo --
+
+// The ISSUE's E2E demo: a daemon accepting >= 8 concurrent jobs from
+// >= 4 client threads, completing within deadlines on a 1000+ city
+// instance (vm1084), rejecting over-capacity submissions with a
+// retry-after hint, and surviving an injected device fault (absorbed by
+// the per-job engine, never failing the job).
+TEST(ServeDaemon, EndToEndAcceptance) {
+  simt::FaultPlan plan(11);
+  plan.inject({.device = "gpu0",
+               .kind = simt::FaultKind::kLaunchFailure,
+               .first_launch = 4,
+               .count = 2});
+  simt::FaultInjector injector(plan);
+  PoolFixture fixture(3, &injector);
+
+  DaemonOptions options;
+  options.port = 0;  // ephemeral
+  options.scheduler.workers = 4;
+  options.scheduler.queue_capacity = 8;
+  options.scheduler.multi.backoff_initial_ms = 0.1;
+  Daemon daemon(*fixture.pool, options);
+  daemon.start();
+  ASSERT_GT(daemon.port(), 0);
+
+  // Phase A: 4 client threads, 2 jobs each, mixed engines, real deadline.
+  constexpr int kThreads = 4;
+  constexpr int kJobsPerThread = 2;
+  std::atomic<int> finished{0};
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      Client client("127.0.0.1", daemon.port());
+      for (int j = 0; j < kJobsPerThread; ++j) {
+        JobSpec spec;
+        spec.catalog = "vm1084";  // 1084 cities
+        spec.engine = t % 2 == 0 ? "gpu-multi" : "cpu-parallel";
+        spec.devices = 2;
+        spec.time_limit_seconds = 0.15;
+        spec.priority = t % 3;
+        spec.deadline_ms = 30000.0;
+        spec.seed = static_cast<std::uint64_t>(t * 10 + j + 1);
+
+        obs::JsonValue submitted = client.submit(spec);
+        if (!submitted.at("ok").boolean) {
+          ++wrong;
+          continue;
+        }
+        auto id = static_cast<std::uint64_t>(submitted.at("id").number);
+        obs::JsonValue last = client.wait(id, 25.0);
+        const obs::JsonValue& state = last.at("job").at("state");
+        if (state.string != "finished") {
+          ++wrong;
+          continue;
+        }
+        obs::JsonValue result = client.result(id);
+        if (result.at("result").at("order").array.size() == 1084 &&
+            result.at("result").at("best_length").number > 0) {
+          ++finished;
+        } else {
+          ++wrong;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_EQ(finished.load(), kThreads * kJobsPerThread);
+
+  // Phase B: burst past capacity — the daemon must reject with a
+  // retry-after hint rather than queue without bound.
+  Client burst("127.0.0.1", daemon.port());
+  double retry_after = 0.0;
+  std::vector<std::uint64_t> burst_ids;
+  for (int j = 0; j < 40 && retry_after == 0.0; ++j) {
+    JobSpec spec;
+    spec.catalog = "berlin52";
+    spec.engine = "cpu-sequential";
+    spec.time_limit_seconds = 1.0;
+    obs::JsonValue response = burst.submit(spec);
+    if (response.at("ok").boolean) {
+      burst_ids.push_back(
+          static_cast<std::uint64_t>(response.at("id").number));
+    } else {
+      retry_after = response.at("retry_after_ms").number;
+    }
+  }
+  EXPECT_GT(retry_after, 0.0);
+  for (std::uint64_t id : burst_ids) burst.cancel(id);
+
+  // The injected fault fired and no job failed because of it.
+  EXPECT_GE(fixture.devices[0]->counters().snapshot().launch_failures, 1u);
+  obs::JsonValue stats = burst.stats();
+  EXPECT_EQ(stats.at("stats").at("failed").number, 0.0);
+  EXPECT_GE(stats.at("stats").at("finished").number, 8.0);
+  EXPECT_GE(stats.at("stats").at("rejected_full").number, 1.0);
+
+  // Graceful drain: every accepted job reaches a terminal state.
+  daemon.stop(/*drain_first=*/true);
+  Scheduler::Stats final_stats = daemon.scheduler().stats();
+  EXPECT_EQ(final_stats.queue_depth, 0u);
+  EXPECT_EQ(final_stats.active_jobs, 0u);
+  EXPECT_EQ(final_stats.accepted,
+            final_stats.finished + final_stats.failed +
+                final_stats.cancelled + final_stats.expired);
+  EXPECT_EQ(final_stats.failed, 0u);
+}
+
+}  // namespace
+}  // namespace tspopt::serve

@@ -5,6 +5,7 @@
 //   $ ./examples/tspopt_client status --id 3
 //   $ ./examples/tspopt_client result --id 3
 //   $ ./examples/tspopt_client cancel --id 3
+//   $ ./examples/tspopt_client forget --id 3
 //   $ ./examples/tspopt_client stats
 //   $ ./examples/tspopt_client engines
 //
@@ -27,11 +28,11 @@ int main(int argc, char** argv) {
   using namespace tspopt;
 
   CliParser cli("tspopt_client", "client for the tspoptd solve daemon");
-  cli.add_positional("verb", "submit | status | result | cancel | stats | "
-                             "engines | ping");
+  cli.add_positional("verb", "submit | status | result | cancel | forget | "
+                             "stats | engines | ping");
   cli.add_option("host", "daemon host", "127.0.0.1");
   cli.add_option("port", "daemon port", "7878");
-  cli.add_option("id", "job id (status/result/cancel)");
+  cli.add_option("id", "job id (status/result/cancel/forget)");
   cli.add_option("catalog", "catalog instance name to solve");
   cli.add_option("random", "solve a random uniform instance of this size");
   cli.add_option("engine", "engine name (see the engines verb)",
@@ -84,7 +85,8 @@ int main(int argc, char** argv) {
         client.wait(id, cli.get_double("wait-seconds", 30.0));
         response = client.result(id);
       }
-    } else if (verb == "status" || verb == "result" || verb == "cancel") {
+    } else if (verb == "status" || verb == "result" || verb == "cancel" ||
+               verb == "forget") {
       if (!cli.has("id")) {
         std::cerr << verb << " needs --id\n";
         return 2;
@@ -92,7 +94,8 @@ int main(int argc, char** argv) {
       auto id = static_cast<std::uint64_t>(cli.get_int("id", 0));
       response = verb == "status"   ? client.status(id)
                  : verb == "result" ? client.result(id)
-                                    : client.cancel(id);
+                 : verb == "cancel" ? client.cancel(id)
+                                    : client.forget(id);
     } else if (verb == "stats") {
       response = client.stats();
     } else if (verb == "engines") {

@@ -99,6 +99,10 @@ obs::JsonValue Client::cancel(std::uint64_t id) {
   return request(id_request("cancel", id));
 }
 
+obs::JsonValue Client::forget(std::uint64_t id) {
+  return request(id_request("forget", id));
+}
+
 obs::JsonValue Client::stats() { return request("{\"verb\":\"stats\"}"); }
 
 obs::JsonValue Client::engines() { return request("{\"verb\":\"engines\"}"); }

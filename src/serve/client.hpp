@@ -2,7 +2,7 @@
 //
 // One Client is one connection; request() writes one line and reads one
 // response line, so the call pattern mirrors the protocol exactly. The
-// verb helpers (submit/status/result/cancel/stats/engines) build the
+// verb helpers (submit/status/result/cancel/forget/stats/engines) build the
 // request JSON and parse the response into an obs::JsonValue — the
 // tspopt_client CLI, the stress test and ci.sh all drive the daemon
 // through this one class.
@@ -37,6 +37,7 @@ class Client {
   obs::JsonValue status(std::uint64_t id);
   obs::JsonValue result(std::uint64_t id);
   obs::JsonValue cancel(std::uint64_t id);
+  obs::JsonValue forget(std::uint64_t id);  // drop a terminal job's result
   obs::JsonValue stats();
   obs::JsonValue engines();
 

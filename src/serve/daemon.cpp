@@ -9,7 +9,6 @@
 #include <cerrno>
 #include <cstring>
 #include <utility>
-#include <vector>
 
 #include "common/check.hpp"
 #include "obs/log.hpp"
@@ -149,6 +148,16 @@ std::string handle_request(Scheduler& scheduler, const std::string& line) {
       w.end_object();
       return w.str();
     }
+    if (verb == "forget") {
+      std::uint64_t id = id_field(request);
+      bool forgotten = scheduler.forget(id);
+      obs::JsonWriter w;
+      w.begin_object();
+      w.key("ok").value(true);
+      w.key("forgotten").value(forgotten);
+      w.end_object();
+      return w.str();
+    }
     if (verb == "stats") {
       obs::JsonWriter w;
       w.begin_object();
@@ -235,14 +244,24 @@ void Daemon::accept_loop() {
     if (fd < 0) continue;
     connections_.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard lock(conns_mu_);
+    // Reap connections whose handler already exited (and closed its fd),
+    // so conns_ tracks live clients only. The joins are instant: `done`
+    // flips as the handler's last statement.
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      it = it->done.load(std::memory_order_acquire) ? conns_.erase(it) : ++it;
+    }
     conns_.emplace_back();
     Connection& conn = conns_.back();
     conn.fd = fd;
-    conn.thread = std::jthread([this, fd] { serve_connection(fd); });
+    conn.thread = std::jthread([this, &conn] { serve_connection(conn); });
   }
 }
 
-void Daemon::serve_connection(int fd) {
+namespace {
+
+// One connection's request/response loop. Returns when the peer closes,
+// on any socket error, or on protocol abuse; the caller owns fd cleanup.
+void serve_fd(Scheduler& scheduler, int fd) {
   std::string pending;
   char buf[4096];
   for (;;) {
@@ -260,7 +279,7 @@ void Daemon::serve_connection(int fd) {
       std::string line = pending.substr(0, pos);
       pending.erase(0, pos + 1);
       if (line.empty()) continue;
-      std::string response = handle_request(*scheduler_, line);
+      std::string response = handle_request(scheduler, line);
       response.push_back('\n');
       const char* p = response.data();
       std::size_t left = response.size();
@@ -275,6 +294,17 @@ void Daemon::serve_connection(int fd) {
       }
     }
   }
+}
+
+}  // namespace
+
+void Daemon::serve_connection(Connection& conn) {
+  serve_fd(*scheduler_, conn.fd);
+  // Close under conns_mu_ so stop() never shutdown()s a recycled fd
+  // number: while it holds the lock, no handler can release one.
+  std::lock_guard lock(conns_mu_);
+  ::close(conn.fd);
+  conn.done.store(true, std::memory_order_release);
 }
 
 void Daemon::close_listener() {
@@ -294,16 +324,15 @@ void Daemon::stop(bool drain_first) {
   // so clients can keep polling status while the backlog finishes.
   if (scheduler_) scheduler_->shutdown(drain_first);
 
-  std::vector<int> fds;
   {
     std::lock_guard lock(conns_mu_);
     for (Connection& conn : conns_) {
-      fds.push_back(conn.fd);
-      ::shutdown(conn.fd, SHUT_RDWR);  // wake blocking recv()
+      if (!conn.done.load(std::memory_order_acquire)) {
+        ::shutdown(conn.fd, SHUT_RDWR);  // wake blocking recv()
+      }
     }
   }
-  conns_.clear();  // joins every connection jthread
-  for (int fd : fds) ::close(fd);
+  conns_.clear();  // joins every handler; each closed its own fd on exit
 
   bool was_running = running_.exchange(false);
   if (was_running) {

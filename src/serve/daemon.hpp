@@ -10,6 +10,9 @@
 //   {"verb":"status","id":N}   -> {"ok":true,"job":{...}}
 //   {"verb":"result","id":N}   -> {"ok":true,"job":{...},"result":{...}}
 //   {"verb":"cancel","id":N}   -> {"ok":true,"cancelled":bool}
+//   {"verb":"forget","id":N}   -> {"ok":true,"forgotten":bool}
+//       (drop a terminal job's retained result; the scheduler also
+//       evicts oldest-settled jobs beyond max_retained_jobs)
 //   {"verb":"stats"}           -> {"ok":true,"stats":{...}}
 //   {"verb":"engines"}         -> {"ok":true,"engines":[{name,description}]}
 //   {"verb":"ping"}            -> {"ok":true}
@@ -73,8 +76,10 @@ class Daemon {
   }
 
  private:
+  struct Connection;
+
   void accept_loop();
-  void serve_connection(int fd);
+  void serve_connection(Connection& conn);
   void close_listener();
 
   DaemonOptions options_;
@@ -87,8 +92,14 @@ class Daemon {
   std::uint16_t port_ = 0;
 
   std::mutex conns_mu_;
+  // The handler thread owns the fd: it closes it and flips `done` on every
+  // exit path (peer close, recv/send error, oversize line, shutdown()).
+  // accept_loop() reaps done entries, so a long-running daemon holds one
+  // Connection per *live* client, not per client ever seen. `thread` is
+  // the last member: ~Connection joins it before `done`/`fd` are destroyed.
   struct Connection {
     int fd = -1;
+    std::atomic<bool> done{false};
     std::jthread thread;
   };
   std::list<Connection> conns_;

@@ -69,12 +69,29 @@ double number_field(const obs::JsonValue& v, const char* key, double fallback) {
   return f->number;
 }
 
+// Integer fields round-trip through JSON's double; beyond 2^53 that
+// truncates silently, so values outside the exactly-representable range
+// (or non-integral values) are rejected instead of mangled.
+constexpr double kMaxExactInteger = 9007199254740992.0;  // 2^53
+
+std::int64_t integer_field(const obs::JsonValue& v, const char* key,
+                           std::int64_t fallback) {
+  double d = number_field(v, key, static_cast<double>(fallback));
+  TSPOPT_CHECK_MSG(d == std::floor(d) && std::abs(d) <= kMaxExactInteger,
+                   "job field \"" << key
+                                  << "\" must be an integer with |value| <= "
+                                     "2^53, got "
+                                  << d);
+  return static_cast<std::int64_t>(d);
+}
+
 }  // namespace
 
 JobSpec job_spec_from_json(const obs::JsonValue& value) {
   TSPOPT_CHECK_MSG(value.is_object(), "job payload must be a JSON object");
   const obs::JsonValue& schema = value.at("schema");
-  TSPOPT_CHECK_MSG(schema.string == "tspopt.job",
+  TSPOPT_CHECK_MSG(schema.kind == obs::JsonValue::Kind::kString &&
+                       schema.string == "tspopt.job",
                    "unexpected schema \"" << schema.string << "\"");
   auto version =
       static_cast<int>(number_field(value, "schema_version", -1));
@@ -120,6 +137,8 @@ JobSpec job_spec_from_json(const obs::JsonValue& value) {
                        "point coordinates must be finite");
     }
     if (const obs::JsonValue* name = value.find("name")) {
+      TSPOPT_CHECK_MSG(name->kind == obs::JsonValue::Kind::kString,
+                       "\"name\" must be a string");
       spec.instance_name = name->string;
     } else {
       spec.instance_name = "inline" + std::to_string(spec.points.size());
@@ -132,21 +151,22 @@ JobSpec job_spec_from_json(const obs::JsonValue& value) {
     spec.engine = engine->string;
   }
   spec.priority = static_cast<std::int32_t>(
-      number_field(value, "priority", spec.priority));
+      integer_field(value, "priority", spec.priority));
   TSPOPT_CHECK_MSG(spec.priority >= 0 && spec.priority <= 9,
                    "priority must be in [0, 9], got " << spec.priority);
   spec.time_limit_seconds =
       number_field(value, "time_limit_seconds", spec.time_limit_seconds);
   TSPOPT_CHECK_MSG(spec.time_limit_seconds > 0.0,
                    "time_limit_seconds must be positive");
-  spec.max_iterations = static_cast<std::int64_t>(
-      number_field(value, "max_iterations",
-                   static_cast<double>(spec.max_iterations)));
+  spec.max_iterations =
+      integer_field(value, "max_iterations", spec.max_iterations);
   spec.deadline_ms = number_field(value, "deadline_ms", spec.deadline_ms);
-  spec.seed = static_cast<std::uint64_t>(
-      number_field(value, "seed", static_cast<double>(spec.seed)));
-  spec.devices = static_cast<std::int32_t>(
-      number_field(value, "devices", spec.devices));
+  std::int64_t seed = integer_field(
+      value, "seed", static_cast<std::int64_t>(spec.seed));
+  TSPOPT_CHECK_MSG(seed >= 0, "seed must be non-negative");
+  spec.seed = static_cast<std::uint64_t>(seed);
+  spec.devices =
+      static_cast<std::int32_t>(integer_field(value, "devices", spec.devices));
   TSPOPT_CHECK_MSG(spec.devices >= 1 && spec.devices <= 64,
                    "devices must be in [1, 64]");
   return spec;

@@ -8,16 +8,17 @@ JobQueue::JobQueue(std::size_t capacity) : capacity_(capacity) {
   TSPOPT_CHECK_MSG(capacity_ >= 1, "JobQueue capacity must be >= 1");
 }
 
-bool JobQueue::push(const std::shared_ptr<Job>& job) {
+JobQueue::PushResult JobQueue::push(const std::shared_ptr<Job>& job) {
   TSPOPT_CHECK(job != nullptr);
   {
     std::lock_guard lock(mu_);
-    if (closed_ || depth_ >= capacity_) return false;
+    if (closed_) return PushResult::kClosed;
+    if (depth_ >= capacity_) return PushResult::kFull;
     buckets_[job->spec().priority].push_back(job);
     ++depth_;
   }
   cv_.notify_one();
-  return true;
+  return PushResult::kOk;
 }
 
 JobQueue::PopOutcome JobQueue::pop() {

@@ -31,10 +31,13 @@ class JobQueue {
  public:
   explicit JobQueue(std::size_t capacity);
 
-  // Admission control: false when the queue is full or closed (the job is
-  // NOT queued; callers own the rejection response). FIFO within the
-  // job's priority class otherwise.
-  bool push(const std::shared_ptr<Job>& job);
+  // Admission control: a full or closed queue rejects (the job is NOT
+  // queued; callers own the rejection response) — the two are
+  // distinguished so a submit racing a drain reads "service draining",
+  // not "queue full, retry later". FIFO within the job's priority class
+  // on acceptance.
+  enum class PushResult { kOk, kFull, kClosed };
+  PushResult push(const std::shared_ptr<Job>& job);
 
   // Dequeue outcome: either a job to run, a discarded job (cancelled /
   // expired while queued — already transitioned, caller only accounts for

@@ -12,6 +12,8 @@
 #include "solver/constructive.hpp"
 #include "solver/engine_factory.hpp"
 #include "solver/ils.hpp"
+#include "solver/twoopt_gpu.hpp"
+#include "solver/twoopt_tiled.hpp"
 #include "solver/obs_adapters.hpp"
 #include "tsp/catalog.hpp"
 
@@ -27,6 +29,14 @@ const std::vector<double> kLatencyBucketsUs = {
 
 bool is_gpu_engine(const std::string& name) {
   return name.rfind("gpu", 0) == 0;
+}
+
+// gpu-multi is the only engine class that spans a multi-device lease; the
+// other gpu-* classes are honored exactly as requested on a one-device
+// lease (fault tolerance for those comes from the scheduler's attempt
+// retry on a fresh lease, not from an engine substitution).
+bool is_multi_device_engine(const std::string& name) {
+  return name == "gpu-multi";
 }
 
 }  // namespace
@@ -103,24 +113,49 @@ Scheduler::Admission Scheduler::submit(JobSpec spec) {
     return reject_invalid("inline payload needs >= 3 points");
   }
   if (spec.devices < 1) return reject_invalid("devices must be >= 1");
+  if (spec.devices > 1 && is_gpu_engine(spec.engine) &&
+      !is_multi_device_engine(spec.engine)) {
+    return reject_invalid("engine \"" + spec.engine +
+                          "\" is single-device; use gpu-multi for a "
+                          "multi-device lease");
+  }
   if (spec.time_limit_seconds <= 0.0) {
     return reject_invalid("time_limit_seconds must be positive");
   }
 
   auto job = std::make_shared<Job>(
       next_id_.fetch_add(1, std::memory_order_relaxed), std::move(spec));
+  // Account the job and make it findable/cancellable *before* it becomes
+  // poppable: a worker may otherwise run and settle a job whose id a
+  // racing status/cancel cannot yet resolve. Rolled back on rejection.
   {
     std::lock_guard lock(drain_mu_);
-    if (queue_.closed()) {
-      return Admission{false, 0, estimate_retry_after_ms(),
-                       "service draining"};
-    }
     ++live_jobs_;
   }
-  if (!queue_.push(job)) {
-    {
-      std::lock_guard lock(drain_mu_);
-      --live_jobs_;
+  {
+    std::lock_guard lock(jobs_mu_);
+    jobs_[job->id()] = job;
+  }
+  JobQueue::PushResult pushed = queue_.push(job);
+  if (pushed != JobQueue::PushResult::kOk) {
+    // Claim the rollback via the state machine: a cancel() that raced in
+    // through the jobs_ window has already settled (and accounted) the
+    // job, in which case only the rejection response remains to be sent.
+    if (job->try_transition(JobState::kQueued, JobState::kFailed)) {
+      {
+        std::lock_guard lock(jobs_mu_);
+        jobs_.erase(job->id());
+      }
+      {
+        std::lock_guard lock(drain_mu_);
+        TSPOPT_CHECK(live_jobs_ > 0);
+        --live_jobs_;
+      }
+      drain_cv_.notify_all();  // a concurrent drain() may be waiting on 0
+    }
+    if (pushed == JobQueue::PushResult::kClosed) {
+      return Admission{false, 0, estimate_retry_after_ms(),
+                       "service draining"};
     }
     double retry_after = estimate_retry_after_ms();
     n_rejected_full_.fetch_add(1, std::memory_order_relaxed);
@@ -131,10 +166,6 @@ Scheduler::Admission Scheduler::submit(JobSpec spec) {
         .arg("retry_after_ms", retry_after)
         .arg("queue_depth", static_cast<std::uint64_t>(queue_.depth()));
     return Admission{false, 0, retry_after, "queue full"};
-  }
-  {
-    std::lock_guard lock(jobs_mu_);
-    jobs_[job->id()] = job;
   }
   n_accepted_.fetch_add(1, std::memory_order_relaxed);
   m_->accepted.add();
@@ -225,6 +256,22 @@ void Scheduler::settle(const std::shared_ptr<Job>& job, JobState terminal) {
       break;
   }
   m_->queue_depth.set(static_cast<double>(queue_.depth()));
+  {
+    // Enter the job into the retention queue and evict beyond the cap, so
+    // results stay retrievable for a while but never accumulate without
+    // bound. Ids already forget()ten are skipped.
+    std::lock_guard lock(jobs_mu_);
+    terminal_order_.push_back(job->id());
+    const std::size_t cap = std::max<std::size_t>(1, options_.max_retained_jobs);
+    while (terminal_order_.size() > cap) {
+      std::uint64_t oldest = terminal_order_.front();
+      terminal_order_.pop_front();
+      auto it = jobs_.find(oldest);
+      if (it != jobs_.end() && is_terminal(it->second->state())) {
+        jobs_.erase(it);
+      }
+    }
+  }
   {
     obs::LogEvent e = obs::Log::global().event(
         terminal == JobState::kFailed ? obs::LogLevel::kWarn
@@ -348,24 +395,39 @@ JobState Scheduler::execute_attempt(const std::shared_ptr<Job>& job,
           ? Instance(spec.instance_name, Metric::kEuc2D, spec.points)
           : make_catalog_instance(*find_catalog_entry(spec.catalog));
 
-  // Per-job engine. GPU engine classes execute behind TwoOptMultiDevice
-  // over a fresh device lease, so fault retry/quarantine state is scoped
-  // to this job (and this attempt) — a card that faults here re-enters the
-  // pool healthy for the next job.
+  // Per-job engine, honoring the requested engine class. gpu-multi runs
+  // behind a per-job TwoOptMultiDevice over a fresh multi-device lease,
+  // so fault retry/quarantine state is scoped to this job (and this
+  // attempt) — a card that faults here re-enters the pool healthy for
+  // the next job. The single-device gpu classes build exactly the engine
+  // the client asked for on a one-device lease; their fault tolerance is
+  // the scheduler's attempt retry on a fresh lease.
   simt::DevicePool::Lease lease;
   std::unique_ptr<TwoOptMultiDevice> multi;
   EngineFactory factory(&instance);
   std::unique_ptr<TwoOptEngine> engine;
-  if (is_gpu_engine(spec.engine)) {
-    std::size_t want = spec.engine == "gpu-multi"
-                           ? std::max<std::size_t>(
-                                 2, static_cast<std::size_t>(spec.devices))
-                           : static_cast<std::size_t>(spec.devices);
+  if (is_multi_device_engine(spec.engine)) {
+    std::size_t want =
+        std::max<std::size_t>(2, static_cast<std::size_t>(spec.devices));
     lease = pool_.acquire(want);
     TSPOPT_CHECK_MSG(lease, "device pool closed");
     std::vector<simt::Device*> devices(lease.devices().begin(),
                                        lease.devices().end());
     multi = std::make_unique<TwoOptMultiDevice>(devices, 0, options_.multi);
+  } else if (is_gpu_engine(spec.engine)) {
+    lease = pool_.acquire(1);
+    TSPOPT_CHECK_MSG(lease, "device pool closed");
+    simt::Device& device = *lease.devices().front();
+    if (spec.engine == "gpu-small") {
+      engine = std::make_unique<TwoOptGpuSmall>(device);
+    } else if (spec.engine == "gpu-small-indirect") {
+      engine = std::make_unique<TwoOptGpuSmall>(device, simt::LaunchConfig{},
+                                                false);
+    } else if (spec.engine == "gpu-tiled") {
+      engine = std::make_unique<TwoOptGpuTiled>(device);
+    } else {
+      TSPOPT_CHECK_MSG(false, "unknown gpu engine \"" << spec.engine << "\"");
+    }
   } else {
     engine = factory.create(spec.engine);
   }

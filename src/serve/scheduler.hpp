@@ -3,9 +3,12 @@
 // A Scheduler multiplexes concurrent solve jobs over a shared
 // simt::DevicePool: admission control and priority ordering come from the
 // bounded JobQueue, execution from a fixed pool of worker jthreads. Each
-// worker leases devices per job, builds a *per-job* engine (gpu engines
-// run behind TwoOptMultiDevice, so fault quarantine/retry state is scoped
-// to the job, never the process), runs the ILS driver with cooperative
+// worker leases devices per job and builds a *per-job* engine of exactly
+// the class the client requested: gpu-multi runs behind TwoOptMultiDevice
+// (fault quarantine/retry state scoped to the job, never the process),
+// the single-device gpu classes run as-is on a one-device lease (a fatal
+// fault re-runs the attempt on a fresh lease). The worker then runs the
+// ILS driver with cooperative
 // stop hooks (cancellation, deadline, drain), and streams per-round
 // progress into the Job record plus a per-job RunReport.
 //
@@ -20,6 +23,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -46,6 +50,11 @@ struct SchedulerOptions {
   // A job whose engine raises a fatal error is re-run (with a fresh
   // device lease) up to this many attempts before it is marked failed.
   std::int32_t max_attempts = 2;
+  // Terminal jobs (holding the full tour + report) are retained for
+  // result retrieval until forget(), but at most this many: beyond the
+  // cap the oldest-settled jobs are evicted, so daemon memory does not
+  // grow with every job ever submitted. Minimum 1.
+  std::size_t max_retained_jobs = 1024;
 };
 
 class Scheduler {
@@ -71,7 +80,8 @@ class Scheduler {
   // carries `retry_after_ms` backpressure.
   Admission submit(JobSpec spec);
 
-  // nullptr for unknown ids. Jobs are retained until forget().
+  // nullptr for unknown ids. Terminal jobs are retained until forget()
+  // or eviction under options().max_retained_jobs, oldest-settled first.
   std::shared_ptr<const Job> find(std::uint64_t id) const;
   // Drop a terminal job from the table; false if unknown or still live.
   bool forget(std::uint64_t id);
@@ -129,6 +139,10 @@ class Scheduler {
 
   mutable std::mutex jobs_mu_;
   std::unordered_map<std::uint64_t, std::shared_ptr<Job>> jobs_;
+  // Settle order of terminal jobs, oldest first — the eviction queue that
+  // enforces options_.max_retained_jobs. May hold ids already removed by
+  // forget(); eviction skips those.
+  std::deque<std::uint64_t> terminal_order_;
 
   mutable std::mutex drain_mu_;
   std::condition_variable drain_cv_;

@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
@@ -132,17 +133,33 @@ TEST(ServeJob, WireRejectsMalformedSpecs) {
   EXPECT_THROW(parse("{\"schema\":\"tspopt.job\",\"schema_version\":1,"
                      "\"catalog\":\"berlin52\",\"priority\":11}"),
                CheckError);
+  // Non-string inline instance name must not silently yield a garbage name.
+  EXPECT_THROW(parse("{\"schema\":\"tspopt.job\",\"schema_version\":1,"
+                     "\"points\":[[0,0],[1,0],[0,1]],\"name\":7}"),
+               CheckError);
+  // Integer fields that do not survive the JSON double round-trip are
+  // rejected instead of silently truncated.
+  EXPECT_THROW(
+      parse("{\"schema\":\"tspopt.job\",\"schema_version\":1,"
+            "\"catalog\":\"berlin52\",\"seed\":18446744073709551615}"),
+      CheckError);
+  EXPECT_THROW(parse("{\"schema\":\"tspopt.job\",\"schema_version\":1,"
+                     "\"catalog\":\"berlin52\",\"seed\":-3}"),
+               CheckError);
+  EXPECT_THROW(parse("{\"schema\":\"tspopt.job\",\"schema_version\":1,"
+                     "\"catalog\":\"berlin52\",\"max_iterations\":1.5}"),
+               CheckError);
 }
 
 // --------------------------------------------------------------- queue --
 
 TEST(ServeQueue, StrictPriorityThenFifo) {
   JobQueue queue(8);
-  EXPECT_TRUE(queue.push(make_job(1, 2)));
-  EXPECT_TRUE(queue.push(make_job(2, 0)));
-  EXPECT_TRUE(queue.push(make_job(3, 2)));
-  EXPECT_TRUE(queue.push(make_job(4, 1)));
-  EXPECT_TRUE(queue.push(make_job(5, 0)));
+  EXPECT_EQ(queue.push(make_job(1, 2)), JobQueue::PushResult::kOk);
+  EXPECT_EQ(queue.push(make_job(2, 0)), JobQueue::PushResult::kOk);
+  EXPECT_EQ(queue.push(make_job(3, 2)), JobQueue::PushResult::kOk);
+  EXPECT_EQ(queue.push(make_job(4, 1)), JobQueue::PushResult::kOk);
+  EXPECT_EQ(queue.push(make_job(5, 0)), JobQueue::PushResult::kOk);
 
   std::vector<std::uint64_t> order;
   for (int i = 0; i < 5; ++i) order.push_back(queue.pop().job->id());
@@ -151,13 +168,13 @@ TEST(ServeQueue, StrictPriorityThenFifo) {
 
 TEST(ServeQueue, RejectsWhenFullOrClosed) {
   JobQueue queue(2);
-  EXPECT_TRUE(queue.push(make_job(1, 1)));
-  EXPECT_TRUE(queue.push(make_job(2, 1)));
-  EXPECT_FALSE(queue.push(make_job(3, 1)));  // full
+  EXPECT_EQ(queue.push(make_job(1, 1)), JobQueue::PushResult::kOk);
+  EXPECT_EQ(queue.push(make_job(2, 1)), JobQueue::PushResult::kOk);
+  EXPECT_EQ(queue.push(make_job(3, 1)), JobQueue::PushResult::kFull);
   EXPECT_EQ(queue.depth(), 2u);
 
   queue.close();
-  EXPECT_FALSE(queue.push(make_job(4, 1)));  // closed
+  EXPECT_EQ(queue.push(make_job(4, 1)), JobQueue::PushResult::kClosed);
   // close() still drains the backlog...
   EXPECT_EQ(queue.pop().job->id(), 1u);
   EXPECT_EQ(queue.pop().job->id(), 2u);
@@ -172,9 +189,9 @@ TEST(ServeQueue, PopDiscardsCancelledAndExpiredJobs) {
   std::shared_ptr<Job> cancelled = make_job(1, 1);
   std::shared_ptr<Job> expired = make_job(2, 1, /*deadline_ms=*/0.0);
   std::shared_ptr<Job> live = make_job(3, 1);
-  ASSERT_TRUE(queue.push(cancelled));
-  ASSERT_TRUE(queue.push(expired));
-  ASSERT_TRUE(queue.push(live));
+  ASSERT_EQ(queue.push(cancelled), JobQueue::PushResult::kOk);
+  ASSERT_EQ(queue.push(expired), JobQueue::PushResult::kOk);
+  ASSERT_EQ(queue.push(live), JobQueue::PushResult::kOk);
   cancelled->request_cancel();
   std::this_thread::sleep_for(1ms);  // let the deadline pass
 
@@ -404,6 +421,65 @@ TEST(ServeScheduler, DrainFinishesEveryAcceptedJob) {
   EXPECT_FALSE(scheduler.submit(spec).accepted);
 }
 
+TEST(ServeScheduler, EvictsOldestTerminalJobsBeyondRetentionCap) {
+  PoolFixture fixture(1);
+  SchedulerOptions options;
+  options.workers = 1;
+  options.max_retained_jobs = 3;
+  Scheduler scheduler(*fixture.pool, options);
+
+  JobSpec spec;
+  spec.catalog = "berlin52";
+  spec.engine = "cpu-sequential";
+  spec.time_limit_seconds = 0.01;
+  std::vector<std::uint64_t> ids;
+  for (int j = 0; j < 5; ++j) {
+    Scheduler::Admission a = scheduler.submit(spec);
+    ASSERT_TRUE(a.accepted);
+    ids.push_back(a.id);
+  }
+  scheduler.drain();
+
+  // One worker settles in submit order, so the two oldest-settled jobs
+  // were evicted and the newest three remain retrievable.
+  EXPECT_EQ(scheduler.find(ids[0]), nullptr);
+  EXPECT_EQ(scheduler.find(ids[1]), nullptr);
+  for (int j = 2; j < 5; ++j) EXPECT_NE(scheduler.find(ids[j]), nullptr);
+
+  // forget() drops a retained terminal job exactly once.
+  EXPECT_TRUE(scheduler.forget(ids[4]));
+  EXPECT_EQ(scheduler.find(ids[4]), nullptr);
+  EXPECT_FALSE(scheduler.forget(ids[4]));
+}
+
+TEST(ServeScheduler, HonorsRequestedGpuEngineClass) {
+  PoolFixture fixture(1);
+  SchedulerOptions options;
+  options.workers = 1;
+  Scheduler scheduler(*fixture.pool, options);
+
+  JobSpec spec;
+  spec.catalog = "berlin52";
+  spec.engine = "gpu-small";
+  spec.time_limit_seconds = 0.05;
+  Scheduler::Admission a = scheduler.submit(spec);
+  ASSERT_TRUE(a.accepted);
+  EXPECT_EQ(wait_terminal(scheduler, a.id), JobState::kFinished);
+  std::shared_ptr<const Job> job = scheduler.find(a.id);
+  ASSERT_NE(job, nullptr);
+  // The engine that actually ran is the one the client requested, not a
+  // multi-device substitution.
+  obs::JsonValue report = obs::json_parse(job->result().report_json);
+  EXPECT_EQ(report.at("engine").at("name").string, "gpu-small");
+
+  // A single-device engine class cannot span a multi-device lease.
+  spec.engine = "gpu-tiled";
+  spec.devices = 2;
+  Scheduler::Admission rejected = scheduler.submit(spec);
+  EXPECT_FALSE(rejected.accepted);
+  EXPECT_FALSE(rejected.error.empty());
+}
+
 // ------------------------------------------------------------ protocol --
 
 TEST(ServeProtocol, HandleRequestCoversTheVerbSet) {
@@ -443,6 +519,18 @@ TEST(ServeProtocol, HandleRequestCoversTheVerbSet) {
       parse("{\"verb\":\"result\",\"id\":" + std::to_string(id) + "}");
   EXPECT_TRUE(result.at("ok").boolean);
   EXPECT_EQ(result.at("result").at("order").array.size(), 52u);
+
+  // forget drops the retained result exactly once.
+  obs::JsonValue forgotten =
+      parse("{\"verb\":\"forget\",\"id\":" + std::to_string(id) + "}");
+  EXPECT_TRUE(forgotten.at("ok").boolean);
+  EXPECT_TRUE(forgotten.at("forgotten").boolean);
+  EXPECT_FALSE(parse("{\"verb\":\"status\",\"id\":" + std::to_string(id) + "}")
+                   .at("ok")
+                   .boolean);
+  EXPECT_FALSE(parse("{\"verb\":\"forget\",\"id\":" + std::to_string(id) + "}")
+                   .at("forgotten")
+                   .boolean);
 
   EXPECT_FALSE(parse("{\"verb\":\"status\",\"id\":424242}").at("ok").boolean);
   // Submit rejections surface the scheduler's error.
@@ -566,6 +654,43 @@ TEST(ServeDaemon, EndToEndAcceptance) {
             final_stats.finished + final_stats.failed +
                 final_stats.cancelled + final_stats.expired);
   EXPECT_EQ(final_stats.failed, 0u);
+}
+
+// A long-running daemon must not leak one fd per client ever connected:
+// the handler closes its fd on every exit path and the accept loop reaps
+// finished Connection entries. Asserted via the process fd table.
+TEST(ServeDaemon, ClosesConnectionFdsWhenClientsDisconnect) {
+  PoolFixture fixture(1);
+  DaemonOptions options;
+  options.scheduler.workers = 1;
+  Daemon daemon(*fixture.pool, options);
+  daemon.start();
+
+  auto open_fds = [] {
+    std::size_t count = 0;
+    for ([[maybe_unused]] const auto& entry :
+         std::filesystem::directory_iterator("/proc/self/fd")) {
+      ++count;
+    }
+    return count;
+  };
+  const std::size_t baseline = open_fds();
+
+  for (int c = 0; c < 16; ++c) {
+    Client client("127.0.0.1", daemon.port());
+    EXPECT_TRUE(client.request("{\"verb\":\"ping\"}").at("ok").boolean);
+  }
+  EXPECT_EQ(daemon.connections_accepted(), 16u);
+
+  // The daemon-side fd closes when each handler observes the client's
+  // close; poll for the table to return to baseline.
+  auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (open_fds() > baseline &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_LE(open_fds(), baseline);
+  daemon.stop(/*drain_first=*/true);
 }
 
 }  // namespace

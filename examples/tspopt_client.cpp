@@ -1,7 +1,7 @@
 // tspopt_client — command-line client for tspoptd.
 //
-//   $ ./examples/tspopt_client submit --catalog kroA200 --engine gpu-multi \
-//       --time 0.5 --wait
+//   $ ./examples/tspopt_client submit --catalog kroA200
+//         --engine gpu-multi --time 0.5 --wait
 //   $ ./examples/tspopt_client status --id 3
 //   $ ./examples/tspopt_client result --id 3
 //   $ ./examples/tspopt_client cancel --id 3
@@ -12,12 +12,19 @@
 // Every invocation prints the daemon's JSON response on stdout (one
 // line, pipe it to jq/python for pretty-printing) and exits 0 when the
 // response carries "ok": true, 1 when the daemon rejected the request
-// (queue full, unknown id, invalid spec), 2 on usage/connection errors.
+// (queue full, unknown id, invalid spec), 2 on usage/connection errors,
+// 3 when a request timed out against a stalled daemon (--io-timeout /
+// --connect-timeout bound every socket operation).
 // `submit --wait` polls until the job reaches a terminal state and then
 // prints the `result` response instead of the submission receipt.
+// `submit --deadline N` keeps retrying capacity rejections and transport
+// failures (jittered exponential backoff, honoring the daemon's
+// retry_after_ms hint) for up to N seconds; an idempotency key
+// (--idempotency-key, auto-generated under --deadline) makes those
+// retries dedup server-side instead of double-submitting.
 #include <cstdint>
-#include <functional>
 #include <iostream>
+#include <random>
 #include <string>
 
 #include "common/cli.hpp"
@@ -46,6 +53,14 @@ int main(int argc, char** argv) {
   cli.add_option("devices", "device-lease size for gpu engines", "1");
   cli.add_flag("wait", "submit only: poll to completion, print the result");
   cli.add_option("wait-seconds", "--wait poll budget", "30");
+  cli.add_option("deadline",
+                 "submit only: total retry budget, seconds (0 = one try)",
+                 "0");
+  cli.add_option("idempotency-key",
+                 "dedup token for submit retries (auto-generated when "
+                 "--deadline > 0)");
+  cli.add_option("io-timeout", "per-request I/O timeout, ms", "30000");
+  cli.add_option("connect-timeout", "connect timeout, ms", "5000");
   if (!cli.parse(argc, argv) || !cli.positional(0).has_value()) {
     std::cerr << (cli.error().empty() ? "missing verb" : cli.error()) << "\n"
               << cli.usage();
@@ -54,8 +69,13 @@ int main(int argc, char** argv) {
   const std::string verb = *cli.positional(0);
 
   try {
+    serve::ClientOptions client_options;
+    client_options.io_timeout_ms = cli.get_double("io-timeout", 30000.0);
+    client_options.connect_timeout_ms =
+        cli.get_double("connect-timeout", 5000.0);
     serve::Client client(cli.get("host"),
-                         static_cast<std::uint16_t>(cli.get_int("port", 7878)));
+                         static_cast<std::uint16_t>(cli.get_int("port", 7878)),
+                         client_options);
 
     obs::JsonValue response;
     if (verb == "submit") {
@@ -77,8 +97,21 @@ int main(int argc, char** argv) {
       spec.deadline_ms = cli.get_double("deadline-ms", -1.0);
       spec.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
       spec.devices = static_cast<std::int32_t>(cli.get_int("devices", 1));
+      spec.idempotency_key = cli.get("idempotency-key", "");
 
-      response = client.submit(spec);
+      double deadline_seconds = cli.get_double("deadline", 0.0);
+      if (deadline_seconds > 0.0) {
+        // Retried submits must dedup server-side: without a key, a retry
+        // after an ambiguous failure could double-run the job.
+        if (spec.idempotency_key.empty()) {
+          std::random_device rd;
+          spec.idempotency_key = "cli-" + std::to_string(rd()) + "-" +
+                                 std::to_string(rd());
+        }
+        response = client.submit_with_retry(spec, deadline_seconds);
+      } else {
+        response = client.submit(spec);
+      }
       const obs::JsonValue* ok = response.find("ok");
       if (cli.has("wait") && ok != nullptr && ok->boolean) {
         auto id = static_cast<std::uint64_t>(response.at("id").number);
@@ -110,33 +143,14 @@ int main(int argc, char** argv) {
     // Round-trip the parsed value back out so the output is exactly one
     // canonical line regardless of daemon formatting.
     obs::JsonWriter w;
-    std::function<void(const obs::JsonValue&)> emit =
-        [&](const obs::JsonValue& v) {
-          switch (v.kind) {
-            case obs::JsonValue::Kind::kNull: w.null_value(); break;
-            case obs::JsonValue::Kind::kBool: w.value(v.boolean); break;
-            case obs::JsonValue::Kind::kNumber: w.value(v.number); break;
-            case obs::JsonValue::Kind::kString: w.value(v.string); break;
-            case obs::JsonValue::Kind::kArray:
-              w.begin_array();
-              for (const obs::JsonValue& item : v.array) emit(item);
-              w.end_array();
-              break;
-            case obs::JsonValue::Kind::kObject:
-              w.begin_object();
-              for (const auto& [key, member] : v.object) {
-                w.key(key);
-                emit(member);
-              }
-              w.end_object();
-              break;
-          }
-        };
-    emit(response);
+    obs::write_json_value(w, response);
     std::cout << w.str() << std::endl;
 
     const obs::JsonValue* ok = response.find("ok");
     return ok != nullptr && ok->boolean ? 0 : 1;
+  } catch (const serve::ClientTimeout& e) {
+    std::cerr << "tspopt_client: " << e.what() << "\n";
+    return 3;
   } catch (const CheckError& e) {
     std::cerr << "tspopt_client: " << e.what() << "\n";
     return 2;

@@ -47,6 +47,13 @@ int main(int argc, char** argv) {
   cli.add_option("devices", "simulated devices in the pool", "2");
   cli.add_option("workers", "scheduler worker threads", "2");
   cli.add_option("queue", "queued-job capacity (backpressure bound)", "16");
+  cli.add_option("journal-dir",
+                 "write-ahead job journal directory (crash-safe restart "
+                 "recovery; empty = in-memory only)");
+  cli.add_option("checkpoint-every",
+                 "ILS iterations between per-job spool checkpoints "
+                 "(needs --journal-dir; 0 = off)",
+                 "64");
   cli.add_flag("flaky", "inject transient launch faults on one device");
   if (!cli.parse(argc, argv)) {
     std::cerr << cli.error() << "\n" << cli.usage();
@@ -83,6 +90,11 @@ int main(int argc, char** argv) {
       std::max<std::int64_t>(1, cli.get_int("workers", 2)));
   options.scheduler.queue_capacity = static_cast<std::size_t>(
       std::max<std::int64_t>(1, cli.get_int("queue", 16)));
+  if (cli.has("journal-dir")) {
+    options.scheduler.journal_dir = cli.get("journal-dir");
+    options.scheduler.checkpoint_every_iterations =
+        cli.get_int("checkpoint-every", 64);
+  }
 
   serve::Daemon daemon(pool, options);
   try {
@@ -94,6 +106,11 @@ int main(int argc, char** argv) {
   std::cout << "tspoptd listening on 127.0.0.1:" << daemon.port() << " ("
             << options.scheduler.workers << " workers, " << device_count
             << " devices) run " << obs::run_id() << std::endl;
+  if (!options.scheduler.journal_dir.empty()) {
+    std::cout << "tspoptd: journal " << options.scheduler.journal_dir
+              << ", recovered " << daemon.scheduler().stats().recovered
+              << " job(s)" << std::endl;
+  }
   if (cli.has("port-file")) {
     std::ofstream out(cli.get("port-file"));
     out << daemon.port() << "\n";

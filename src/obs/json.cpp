@@ -371,4 +371,34 @@ JsonValue json_parse(std::string_view text) {
   return Parser(text).parse_document();
 }
 
+void write_json_value(JsonWriter& w, const JsonValue& value) {
+  switch (value.kind) {
+    case JsonValue::Kind::kNull:
+      w.null_value();
+      break;
+    case JsonValue::Kind::kBool:
+      w.value(value.boolean);
+      break;
+    case JsonValue::Kind::kNumber:
+      w.value(value.number);
+      break;
+    case JsonValue::Kind::kString:
+      w.value(value.string);
+      break;
+    case JsonValue::Kind::kArray:
+      w.begin_array();
+      for (const JsonValue& item : value.array) write_json_value(w, item);
+      w.end_array();
+      break;
+    case JsonValue::Kind::kObject:
+      w.begin_object();
+      for (const auto& [key, member] : value.object) {
+        w.key(key);
+        write_json_value(w, member);
+      }
+      w.end_object();
+      break;
+  }
+}
+
 }  // namespace tspopt::obs

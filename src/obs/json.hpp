@@ -81,4 +81,10 @@ struct JsonValue {
 // error raises CheckError with the byte offset.
 JsonValue json_parse(std::string_view text);
 
+// Re-emit a parsed value through a writer (canonical round trip: member
+// order preserved, numbers via the writer's double formatting). Used to
+// splice parsed fragments back into documents — journal snapshots, the
+// client CLI's one-line canonical output.
+void write_json_value(JsonWriter& w, const JsonValue& value);
+
 }  // namespace tspopt::obs

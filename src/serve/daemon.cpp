@@ -19,12 +19,6 @@ namespace tspopt::serve {
 
 namespace {
 
-// A request line longer than this is a protocol error, not a big job:
-// the largest legitimate payload (a 100k-point inline instance) stays
-// well under it, and the cap keeps a misbehaving client from growing the
-// connection buffer without bound.
-constexpr std::size_t kMaxLineBytes = 16u << 20;
-
 std::string error_response(const std::string& message,
                            double retry_after_ms = 0.0) {
   obs::JsonWriter w;
@@ -43,24 +37,6 @@ std::uint64_t id_field(const obs::JsonValue& request) {
   return static_cast<std::uint64_t>(id.number);
 }
 
-void write_result(obs::JsonWriter& w, const JobResult& result) {
-  w.begin_object();
-  w.key("constructive_length").value(result.constructive_length);
-  w.key("best_length").value(result.best_length);
-  w.key("iterations").value(result.iterations);
-  w.key("improvements").value(result.improvements);
-  w.key("checks").value(result.checks);
-  w.key("wall_seconds").value(result.wall_seconds);
-  w.key("stopped").value(result.stopped);
-  w.key("order").begin_array();
-  for (std::int32_t city : result.order) w.value(city);
-  w.end_array();
-  if (!result.report_json.empty()) {
-    w.key("report").raw_value(result.report_json);
-  }
-  w.end_object();
-}
-
 void write_stats(obs::JsonWriter& w, const Scheduler::Stats& s) {
   w.begin_object();
   w.key("accepted").value(s.accepted);
@@ -71,6 +47,7 @@ void write_stats(obs::JsonWriter& w, const Scheduler::Stats& s) {
   w.key("cancelled").value(s.cancelled);
   w.key("expired").value(s.expired);
   w.key("retries").value(s.retries);
+  w.key("recovered").value(s.recovered);
   w.key("queue_depth").value(static_cast<std::uint64_t>(s.queue_depth));
   w.key("active_jobs").value(static_cast<std::uint64_t>(s.active_jobs));
   w.key("workers").value(static_cast<std::uint64_t>(s.workers));
@@ -109,6 +86,7 @@ std::string handle_request(Scheduler& scheduler, const std::string& line) {
       w.begin_object();
       w.key("ok").value(true);
       w.key("id").value(admission.id);
+      if (admission.deduped) w.key("deduped").value(true);
       w.end_object();
       return w.str();
     }
@@ -132,7 +110,7 @@ std::string handle_request(Scheduler& scheduler, const std::string& line) {
         JobResult result = job->result();
         if (!result.order.empty()) {
           w.key("result");
-          write_result(w, result);
+          write_job_result(w, result);
         }
       }
       w.end_object();
@@ -165,6 +143,21 @@ std::string handle_request(Scheduler& scheduler, const std::string& line) {
       w.key("run").value(obs::run_id());
       w.key("stats");
       write_stats(w, scheduler.stats());
+      if (const Journal* journal = scheduler.journal()) {
+        Journal::Stats js = journal->stats();
+        w.key("journal").begin_object();
+        w.key("dir").value(journal->dir());
+        w.key("appends").value(js.appends);
+        w.key("append_errors").value(js.append_errors);
+        w.key("bytes").value(js.bytes);
+        w.key("fsyncs").value(js.fsyncs);
+        w.key("fsync_errors").value(js.fsync_errors);
+        w.key("rotations").value(js.rotations);
+        w.key("torn_tails").value(js.torn_tails);
+        w.key("live_jobs").value(js.live_jobs);
+        w.key("settled_jobs").value(js.settled_jobs);
+        w.end_object();
+      }
       w.end_object();
       return w.str();
     }
@@ -259,9 +252,25 @@ void Daemon::accept_loop() {
 
 namespace {
 
+// Best-effort blocking send of a full buffer; false on any socket error.
+bool send_all(int fd, const std::string& data) {
+  const char* p = data.data();
+  std::size_t left = data.size();
+  while (left > 0) {
+    ssize_t sent = ::send(fd, p, left, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += sent;
+    left -= static_cast<std::size_t>(sent);
+  }
+  return true;
+}
+
 // One connection's request/response loop. Returns when the peer closes,
 // on any socket error, or on protocol abuse; the caller owns fd cleanup.
-void serve_fd(Scheduler& scheduler, int fd) {
+void serve_fd(Scheduler& scheduler, int fd, std::size_t max_line_bytes) {
   std::string pending;
   char buf[4096];
   for (;;) {
@@ -272,7 +281,16 @@ void serve_fd(Scheduler& scheduler, int fd) {
       return;
     }
     pending.append(buf, static_cast<std::size_t>(n));
-    if (pending.size() > kMaxLineBytes) return;  // protocol abuse
+    if (pending.size() > max_line_bytes) {
+      // Protocol abuse: tell the client why before hanging up, so the
+      // failure is diagnosable instead of a silent disconnect.
+      std::string reply = error_response(
+          "request line exceeds " + std::to_string(max_line_bytes) +
+          " bytes");
+      reply.push_back('\n');
+      send_all(fd, reply);
+      return;
+    }
 
     std::size_t pos;
     while ((pos = pending.find('\n')) != std::string::npos) {
@@ -281,17 +299,7 @@ void serve_fd(Scheduler& scheduler, int fd) {
       if (line.empty()) continue;
       std::string response = handle_request(scheduler, line);
       response.push_back('\n');
-      const char* p = response.data();
-      std::size_t left = response.size();
-      while (left > 0) {
-        ssize_t sent = ::send(fd, p, left, MSG_NOSIGNAL);
-        if (sent < 0) {
-          if (errno == EINTR) continue;
-          return;
-        }
-        p += sent;
-        left -= static_cast<std::size_t>(sent);
-      }
+      if (!send_all(fd, response)) return;
     }
   }
 }
@@ -299,7 +307,7 @@ void serve_fd(Scheduler& scheduler, int fd) {
 }  // namespace
 
 void Daemon::serve_connection(Connection& conn) {
-  serve_fd(*scheduler_, conn.fd);
+  serve_fd(*scheduler_, conn.fd, options_.max_line_bytes);
   // Close under conns_mu_ so stop() never shutdown()s a recycled fd
   // number: while it holds the lock, no handler can release one.
   std::lock_guard lock(conns_mu_);

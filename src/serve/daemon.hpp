@@ -45,6 +45,12 @@ struct DaemonOptions {
   std::uint16_t port = 0;  // 0 = ephemeral; bound port via Daemon::port()
   SchedulerOptions scheduler;
   int listen_backlog = 16;
+  // A request line longer than this is a protocol error, not a big job:
+  // the largest legitimate payload (a 100k-point inline instance) stays
+  // well under the default, and the cap keeps a misbehaving client from
+  // growing the connection buffer without bound. The offender gets one
+  // {"ok":false,...} error reply, then the connection is closed.
+  std::size_t max_line_bytes = 16u << 20;
 };
 
 class Daemon {

@@ -1,0 +1,85 @@
+// Fault injection for the serve durability plane.
+//
+// PR 1 proved device fallback by injecting launch faults and watching the
+// recovery ladder run; this header extends the same philosophy up into
+// the serve layer's persistence path. A serve::FaultPlan is attached to a
+// Journal (JournalOptions::faults) and can make individual journal
+// appends or fsyncs fail, tear the final record mid-write (the classic
+// power-loss artifact a replay must tolerate), or SIGKILL the process at
+// a named journal phase — which is how the kill-and-restart recovery
+// tests place a crash *exactly* between two lifecycle transitions
+// instead of hoping a timer races well.
+//
+// All triggers are counted in terms of the journal's lifetime append /
+// fsync ordinals (1-based), so a plan is deterministic for a given
+// request sequence, matching simt::FaultPlan's launch-ordinal windows.
+#pragma once
+
+#include <atomic>
+#include <csignal>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace tspopt::serve {
+
+struct FaultPlan {
+  // The Nth append's write() reports failure (nothing reaches the file).
+  // The journal counts the record as an append error and stays usable.
+  std::int64_t fail_write_at = -1;
+
+  // The Nth fsync reports failure. Counted, logged, non-fatal: the data
+  // was written, only the durability barrier is lost.
+  std::int64_t fail_fsync_at = -1;
+
+  // The Nth append writes only `tear_keep_bytes` of the record and then
+  // behaves as if the process died mid-write: the journal wedges (drops
+  // all further appends) so the torn bytes stay the final record on
+  // disk, exactly what a crash between write() and completion leaves.
+  std::int64_t tear_append_at = -1;
+  std::size_t tear_keep_bytes = 7;
+
+  // Raise SIGKILL when the journal reaches this phase. Phases:
+  //   "append:accepted", "append:started", "append:settled",
+  //   "append:rejected", "append:forgotten", "rotate", "open".
+  // The crash fires *before* the phase's bytes are written, so the
+  // journal state on disk is "everything up to but excluding" the phase.
+  std::string crash_at_phase;
+
+  // Test observer, called with every phase string as it is reached (after
+  // the crash check). Must be cheap and thread-safe.
+  std::function<void(const std::string& phase)> on_phase;
+
+  // --- runtime state (the journal drives these) ---
+  std::atomic<std::int64_t> appends_seen{0};
+  std::atomic<std::int64_t> fsyncs_seen{0};
+
+  void reach_phase(const std::string& phase) {
+    if (!crash_at_phase.empty() && phase == crash_at_phase) {
+      std::raise(SIGKILL);
+    }
+    if (on_phase) on_phase(phase);
+  }
+
+  // Decide this append's fate. Exactly one of the returned pair is set.
+  struct AppendFate {
+    bool fail_write = false;
+    bool tear = false;
+  };
+  AppendFate next_append() {
+    std::int64_t ordinal =
+        appends_seen.fetch_add(1, std::memory_order_relaxed) + 1;
+    AppendFate fate;
+    fate.fail_write = ordinal == fail_write_at;
+    fate.tear = ordinal == tear_append_at;
+    return fate;
+  }
+
+  bool next_fsync_fails() {
+    std::int64_t ordinal =
+        fsyncs_seen.fetch_add(1, std::memory_order_relaxed) + 1;
+    return ordinal == fail_fsync_at;
+  }
+};
+
+}  // namespace tspopt::serve

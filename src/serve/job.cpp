@@ -55,6 +55,9 @@ std::string job_spec_to_json(const JobSpec& spec) {
   w.key("deadline_ms").value(spec.deadline_ms);
   w.key("seed").value(spec.seed);
   w.key("devices").value(spec.devices);
+  if (!spec.idempotency_key.empty()) {
+    w.key("idempotency_key").value(spec.idempotency_key);
+  }
   w.end_object();
   return w.str();
 }
@@ -105,7 +108,7 @@ JobSpec job_spec_from_json(const obs::JsonValue& value) {
   static constexpr const char* kKnown[] = {
       "schema", "schema_version", "catalog", "name", "points",
       "engine", "priority",       "time_limit_seconds", "max_iterations",
-      "deadline_ms", "seed", "devices"};
+      "deadline_ms", "seed", "devices", "idempotency_key"};
   for (const auto& [key, member] : value.object) {
     (void)member;
     bool known = false;
@@ -169,7 +172,67 @@ JobSpec job_spec_from_json(const obs::JsonValue& value) {
       static_cast<std::int32_t>(integer_field(value, "devices", spec.devices));
   TSPOPT_CHECK_MSG(spec.devices >= 1 && spec.devices <= 64,
                    "devices must be in [1, 64]");
+  if (const obs::JsonValue* key = value.find("idempotency_key")) {
+    TSPOPT_CHECK_MSG(key->kind == obs::JsonValue::Kind::kString,
+                     "\"idempotency_key\" must be a string");
+    TSPOPT_CHECK_MSG(key->string.size() <= 256,
+                     "\"idempotency_key\" must be <= 256 bytes");
+    spec.idempotency_key = key->string;
+  }
   return spec;
+}
+
+void write_job_result(obs::JsonWriter& w, const JobResult& result) {
+  w.begin_object();
+  w.key("constructive_length").value(result.constructive_length);
+  w.key("best_length").value(result.best_length);
+  w.key("iterations").value(result.iterations);
+  w.key("improvements").value(result.improvements);
+  w.key("checks").value(result.checks);
+  w.key("wall_seconds").value(result.wall_seconds);
+  w.key("stopped").value(result.stopped);
+  w.key("order").begin_array();
+  for (std::int32_t city : result.order) w.value(city);
+  w.end_array();
+  if (!result.report_json.empty()) {
+    w.key("report").raw_value(result.report_json);
+  }
+  w.end_object();
+}
+
+JobResult job_result_from_json(const obs::JsonValue& value) {
+  TSPOPT_CHECK_MSG(value.is_object(), "job result must be a JSON object");
+  JobResult result;
+  result.constructive_length =
+      integer_field(value, "constructive_length", 0);
+  result.best_length = integer_field(value, "best_length", 0);
+  result.iterations = integer_field(value, "iterations", 0);
+  result.improvements = integer_field(value, "improvements", 0);
+  result.checks =
+      static_cast<std::uint64_t>(integer_field(value, "checks", 0));
+  result.wall_seconds = number_field(value, "wall_seconds", 0.0);
+  if (const obs::JsonValue* stopped = value.find("stopped")) {
+    TSPOPT_CHECK_MSG(stopped->kind == obs::JsonValue::Kind::kBool,
+                     "\"stopped\" must be a boolean");
+    result.stopped = stopped->boolean;
+  }
+  if (const obs::JsonValue* order = value.find("order")) {
+    TSPOPT_CHECK_MSG(order->is_array(), "\"order\" must be an array");
+    result.order.reserve(order->array.size());
+    for (const obs::JsonValue& city : order->array) {
+      TSPOPT_CHECK_MSG(city.kind == obs::JsonValue::Kind::kNumber,
+                       "\"order\" entries must be numbers");
+      result.order.push_back(static_cast<std::int32_t>(city.number));
+    }
+  }
+  if (const obs::JsonValue* report = value.find("report")) {
+    // Re-render the embedded report verbatim so the journaled bytes and a
+    // freshly produced result are indistinguishable to clients.
+    obs::JsonWriter w;
+    obs::write_json_value(w, *report);
+    result.report_json = w.str();
+  }
+  return result;
 }
 
 void write_job_status(obs::JsonWriter& w, const Job& job) {

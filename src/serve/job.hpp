@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "common/check.hpp"
 #include "obs/json.hpp"
 #include "tsp/point.hpp"
 
@@ -58,6 +59,12 @@ struct JobSpec {
   std::uint64_t seed = 1;
   std::int32_t devices = 1;  // device-lease size for the gpu-* engines
 
+  // Client-chosen dedup token: a resubmit carrying the same key (after an
+  // ambiguous failure — timeout, dropped connection, daemon restart) is
+  // answered with the already-accepted job's id instead of double-running
+  // the work. Empty = no dedup. Keys live as long as the job is retained.
+  std::string idempotency_key;
+
   bool inline_payload() const { return catalog.empty(); }
 };
 
@@ -65,7 +72,8 @@ struct JobSpec {
 //   { "schema": "tspopt.job", "schema_version": 1,
 //     "catalog": "kroA200" | "name": "...", "points": [[x,y],...],
 //     "engine": "...", "priority": 1, "time_limit_seconds": 1.0,
-//     "max_iterations": -1, "deadline_ms": -1, "seed": 1, "devices": 1 }
+//     "max_iterations": -1, "deadline_ms": -1, "seed": 1, "devices": 1,
+//     "idempotency_key": "..." }
 // Optional fields take the JobSpec defaults; unknown fields are rejected
 // so schema-version mistakes surface at the boundary.
 std::string job_spec_to_json(const JobSpec& spec);
@@ -82,6 +90,12 @@ struct JobResult {
   std::vector<std::int32_t> order;    // best tour found
   std::string report_json;            // per-job obs::RunReport document
 };
+
+// JobResult <-> JSON: the daemon's "result" verb payload and the form the
+// journal persists for settled jobs, so a restarted daemon serves the
+// same result bytes the crashed one would have.
+void write_job_result(obs::JsonWriter& w, const JobResult& result);
+JobResult job_result_from_json(const obs::JsonValue& value);  // CheckError
 
 class Job {
  public:
@@ -112,6 +126,39 @@ class Job {
   }
   bool cancel_requested() const {
     return cancel_requested_.load(std::memory_order_acquire);
+  }
+
+  // Journal-recovery support. mark_recovered() flags a job re-queued
+  // after a daemon restart; `was_running` additionally asks the worker to
+  // resume from the job's spool checkpoint instead of restarting the
+  // search. restore_terminal() rebuilds a settled job (state + retained
+  // result/error) from its journal record; recovery-time only, before the
+  // job is shared.
+  void mark_recovered(bool was_running, std::int32_t prior_attempts) {
+    recovered_.store(true, std::memory_order_release);
+    resume_.store(was_running, std::memory_order_release);
+    attempts.store(prior_attempts, std::memory_order_relaxed);
+  }
+  bool recovered() const { return recovered_.load(std::memory_order_acquire); }
+  bool resume_requested() const {
+    return resume_.load(std::memory_order_acquire);
+  }
+  // Consume the resume request (one-shot: only the first attempt after a
+  // restart resumes; a retry after an engine fault runs fresh).
+  bool take_resume() {
+    return resume_.exchange(false, std::memory_order_acq_rel);
+  }
+  void restore_terminal(JobState state, JobResult result, std::string error) {
+    TSPOPT_CHECK_MSG(is_terminal(state),
+                     "restore_terminal needs a terminal state");
+    recovered_.store(true, std::memory_order_release);
+    if (result.best_length > 0) {
+      best_length.store(result.best_length, std::memory_order_relaxed);
+      iteration.store(result.iterations, std::memory_order_relaxed);
+    }
+    set_result(std::move(result));
+    if (!error.empty()) set_error(std::move(error));
+    state_.store(static_cast<int>(state), std::memory_order_release);
   }
 
   std::chrono::steady_clock::time_point accepted_at() const {
@@ -156,6 +203,8 @@ class Job {
   const std::chrono::steady_clock::time_point accepted_at_;
   std::atomic<int> state_{static_cast<int>(JobState::kQueued)};
   std::atomic<bool> cancel_requested_{false};
+  std::atomic<bool> recovered_{false};
+  std::atomic<bool> resume_{false};
   mutable std::mutex mu_;
   JobResult result_;
   std::string error_;

@@ -1,0 +1,658 @@
+#include "serve/journal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <functional>
+#include <string_view>
+#include <utility>
+
+#include "common/check.hpp"
+#include "obs/log.hpp"
+#include "obs/registry.hpp"
+
+namespace tspopt::serve {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::size_t kRecordHeaderBytes = 12;  // u32 len + u64 fnv1a
+// A single record larger than this is a corrupt length field, not a big
+// job: the largest legitimate payload (an inline 100k-point spec or a
+// 744k-city result order) stays well under it.
+constexpr std::uint32_t kMaxRecordBytes = 256u << 20;
+
+std::uint64_t fnv1a(std::string_view bytes) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+std::string encode_record(const std::string& payload) {
+  std::string rec;
+  rec.reserve(kRecordHeaderBytes + payload.size());
+  auto len = static_cast<std::uint32_t>(payload.size());
+  std::uint64_t sum = fnv1a(payload);
+  rec.append(reinterpret_cast<const char*>(&len), sizeof(len));
+  rec.append(reinterpret_cast<const char*>(&sum), sizeof(sum));
+  rec += payload;
+  return rec;
+}
+
+bool write_fully(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool parse_job_state(const std::string& name, JobState* out) {
+  for (JobState s : {JobState::kQueued, JobState::kRunning,
+                     JobState::kFinished, JobState::kCancelled,
+                     JobState::kExpired, JobState::kFailed}) {
+    if (name == to_string(s)) {
+      *out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+// Re-render a parsed member verbatim (the journal keeps raw fragments so
+// snapshots never pass through the wire schema again).
+std::string raw_fragment(const obs::JsonValue& value) {
+  obs::JsonWriter w;
+  obs::write_json_value(w, value);
+  return w.str();
+}
+
+void fsync_directory(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+struct Journal::Metrics {
+  obs::Counter& appends;
+  obs::Counter& append_errors;
+  obs::Counter& fsyncs;
+  obs::Counter& fsync_errors;
+  obs::Counter& rotations;
+  obs::Counter& torn_tails;
+
+  explicit Metrics(obs::Registry& r)
+      : appends(r.counter("serve.journal_appends")),
+        append_errors(r.counter("serve.journal_append_errors")),
+        fsyncs(r.counter("serve.journal_fsyncs")),
+        fsync_errors(r.counter("serve.journal_fsync_errors")),
+        rotations(r.counter("serve.journal_rotations")),
+        torn_tails(r.counter("serve.journal_torn_tails")) {}
+};
+
+Journal::Journal(std::string dir, JournalOptions options)
+    : dir_(std::move(dir)),
+      options_(options),
+      m_(std::make_unique<Metrics>(obs::Registry::global())) {
+  TSPOPT_CHECK_MSG(!dir_.empty(), "journal directory must be non-empty");
+  std::error_code ec;
+  fs::create_directories(spool_dir(), ec);
+  TSPOPT_CHECK_MSG(!ec, "cannot create journal directory " << dir_ << ": "
+                                                           << ec.message());
+}
+
+Journal::~Journal() {
+  std::lock_guard lock(mu_);
+  if (fd_ >= 0) {
+    fsync_active_locked(/*force=*/true);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::string Journal::spool_dir() const { return dir_ + "/spool"; }
+
+std::string Journal::checkpoint_path(std::uint64_t id) const {
+  return spool_dir() + "/job-" + std::to_string(id) + ".ckpt";
+}
+
+std::string Journal::segment_path(std::uint64_t seq) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "segment-%06llu.wal",
+                static_cast<unsigned long long>(seq));
+  return dir_ + "/" + name;
+}
+
+Journal::ReplayResult Journal::open_and_replay() {
+  std::lock_guard lock(mu_);
+  TSPOPT_CHECK_MSG(!opened_, "journal already opened");
+  if (options_.faults) options_.faults->reach_phase("open");
+
+  // Discover segments, ascending sequence order.
+  std::vector<std::pair<std::uint64_t, std::string>> segments;
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir_, ec)) {
+    std::string name = entry.path().filename().string();
+    unsigned long long seq = 0;
+    if (std::sscanf(name.c_str(), "segment-%6llu.wal", &seq) == 1 &&
+        name.size() == std::strlen("segment-000000.wal")) {
+      segments.emplace_back(seq, entry.path().string());
+    }
+  }
+  std::sort(segments.begin(), segments.end());
+
+  ReplayResult rep;
+  std::uint64_t max_seq = 0;
+  for (std::size_t s = 0; s < segments.size(); ++s) {
+    const bool last_segment = s + 1 == segments.size();
+    max_seq = std::max(max_seq, segments[s].first);
+    std::string bytes;
+    {
+      std::FILE* f = std::fopen(segments[s].second.c_str(), "rb");
+      if (f == nullptr) continue;
+      char buf[1u << 16];
+      std::size_t n;
+      while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+      std::fclose(f);
+    }
+
+    std::size_t pos = 0;
+    while (pos < bytes.size()) {
+      auto fail = [&](bool truncated) {
+        // A bad record that runs to end-of-file in the final segment is
+        // the expected crash artifact (torn tail): drop it quietly-but-
+        // loudly. Anything else is corruption: skip the segment's rest.
+        bool reaches_eof = truncated;
+        if (last_segment && reaches_eof) {
+          ++n_torn_tails_;
+          m_->torn_tails.add();
+          rep.torn_tail = true;
+          obs::Log::global()
+              .event(obs::LogLevel::kWarn, "journal.torn_tail")
+              .arg("segment", segments[s].second)
+              .arg("offset", static_cast<std::uint64_t>(pos))
+              .arg("trailing_bytes",
+                   static_cast<std::uint64_t>(bytes.size() - pos));
+        } else {
+          rep.corrupt = true;
+          obs::Log::global()
+              .event(obs::LogLevel::kWarn, "journal.corrupt")
+              .arg("segment", segments[s].second)
+              .arg("offset", static_cast<std::uint64_t>(pos));
+        }
+      };
+
+      if (bytes.size() - pos < kRecordHeaderBytes) {
+        fail(/*truncated=*/true);
+        break;
+      }
+      std::uint32_t len = 0;
+      std::uint64_t sum = 0;
+      std::memcpy(&len, bytes.data() + pos, sizeof(len));
+      std::memcpy(&sum, bytes.data() + pos + sizeof(len), sizeof(sum));
+      if (len > kMaxRecordBytes) {
+        fail(/*truncated=*/false);
+        break;
+      }
+      if (bytes.size() - pos - kRecordHeaderBytes < len) {
+        fail(/*truncated=*/true);
+        break;
+      }
+      std::string_view payload(bytes.data() + pos + kRecordHeaderBytes, len);
+      bool final_record = pos + kRecordHeaderBytes + len == bytes.size();
+      if (fnv1a(payload) != sum) {
+        // A checksum mismatch on the very last record is a torn write
+        // (the length landed, the tail did not); earlier it is rot.
+        fail(/*truncated=*/final_record);
+        break;
+      }
+      try {
+        apply_to_digest(obs::json_parse(payload));
+        ++rep.records_read;
+      } catch (const CheckError&) {
+        fail(/*truncated=*/final_record);
+        break;
+      }
+      pos += kRecordHeaderBytes + len;
+    }
+    ++rep.segments_read;
+  }
+
+  // Fold the digest into the caller's recovery view.
+  for (const auto& [id, entry] : digest_) {
+    RecoveredJob job;
+    job.id = id;
+    try {
+      job.spec = job_spec_from_json(obs::json_parse(entry.job_json));
+    } catch (const CheckError& e) {
+      obs::Log::global()
+          .event(obs::LogLevel::kWarn, "journal.bad_spec")
+          .arg("id", id)
+          .arg("error", e.what());
+      continue;
+    }
+    JobState state = JobState::kQueued;
+    if (!parse_job_state(entry.state, &state)) continue;
+    job.state = state;
+    job.attempts = entry.attempts;
+    job.error = entry.error;
+    if (!entry.result_json.empty()) {
+      try {
+        job.result = job_result_from_json(obs::json_parse(entry.result_json));
+      } catch (const CheckError& e) {
+        obs::Log::global()
+            .event(obs::LogLevel::kWarn, "journal.bad_result")
+            .arg("id", id)
+            .arg("error", e.what());
+      }
+    }
+    rep.jobs.push_back(std::move(job));
+  }
+  rep.next_id = max_id_ + 1;
+
+  // Every restart is a compaction: snapshot the digest into a fresh
+  // segment, make it the active one, drop the history.
+  std::uint64_t next_seq = max_seq + 1;
+  TSPOPT_CHECK_MSG(write_snapshot_segment(next_seq),
+                   "cannot write journal snapshot segment in " << dir_);
+  fd_ = ::open(segment_path(next_seq).c_str(), O_WRONLY | O_APPEND);
+  TSPOPT_CHECK_MSG(fd_ >= 0, "cannot open journal segment "
+                                 << segment_path(next_seq) << ": "
+                                 << std::strerror(errno));
+  active_seq_ = next_seq;
+  std::error_code size_ec;
+  active_bytes_ = static_cast<std::size_t>(
+      fs::file_size(segment_path(next_seq), size_ec));
+  for (const auto& [seq, path] : segments) {
+    std::error_code rm;
+    fs::remove(path, rm);
+  }
+  last_fsync_ = std::chrono::steady_clock::now();
+  opened_ = true;
+
+  obs::Log::global()
+      .event(obs::LogLevel::kInfo, "journal.open")
+      .arg("dir", dir_)
+      .arg("segments", static_cast<std::uint64_t>(rep.segments_read))
+      .arg("records", static_cast<std::uint64_t>(rep.records_read))
+      .arg("jobs", static_cast<std::uint64_t>(rep.jobs.size()))
+      .arg("torn_tail", rep.torn_tail)
+      .arg("corrupt", rep.corrupt);
+  return rep;
+}
+
+void Journal::apply_to_digest(const obs::JsonValue& record) {
+  const obs::JsonValue& type = record.at("type");
+  TSPOPT_CHECK_MSG(type.kind == obs::JsonValue::Kind::kString,
+                   "journal record \"type\" must be a string");
+  const obs::JsonValue& id_value = record.at("id");
+  TSPOPT_CHECK_MSG(id_value.kind == obs::JsonValue::Kind::kNumber &&
+                       id_value.number >= 1,
+                   "journal record \"id\" must be a positive number");
+  auto id = static_cast<std::uint64_t>(id_value.number);
+  max_id_ = std::max(max_id_, id);
+
+  if (type.string == "accepted" || type.string == "job") {
+    DigestEntry entry;
+    entry.job_json = raw_fragment(record.at("job"));
+    if (const obs::JsonValue* state = record.find("state")) {
+      entry.state = state->string;
+    }
+    if (const obs::JsonValue* attempts = record.find("attempts")) {
+      entry.attempts = static_cast<std::int32_t>(attempts->number);
+    }
+    if (const obs::JsonValue* result = record.find("result")) {
+      entry.result_json = raw_fragment(*result);
+    }
+    if (const obs::JsonValue* error = record.find("error")) {
+      entry.error = error->string;
+    }
+    digest_[id] = std::move(entry);
+    return;
+  }
+
+  auto it = digest_.find(id);
+  if (it == digest_.end()) return;  // transition for a compacted-away job
+  if (type.string == "started") {
+    it->second.state = "running";
+    if (const obs::JsonValue* attempts = record.find("attempts")) {
+      it->second.attempts = static_cast<std::int32_t>(attempts->number);
+    }
+  } else if (type.string == "settled") {
+    it->second.state = record.at("state").string;
+    if (const obs::JsonValue* result = record.find("result")) {
+      it->second.result_json = raw_fragment(*result);
+    }
+    if (const obs::JsonValue* error = record.find("error")) {
+      it->second.error = error->string;
+    }
+  } else if (type.string == "rejected" || type.string == "forgotten") {
+    digest_.erase(it);
+  }
+  // Unknown types are skipped: a newer daemon's records must not brick an
+  // older one replaying the same directory.
+}
+
+bool Journal::append_record(const char* phase, const std::string& payload) {
+  // mu_ held by caller (append()).
+  if (options_.faults) options_.faults->reach_phase(phase);
+  if (wedged_) {
+    ++n_append_errors_;
+    m_->append_errors.add();
+    return false;
+  }
+  FaultPlan::AppendFate fate;
+  if (options_.faults) fate = options_.faults->next_append();
+
+  std::string record = encode_record(payload);
+  if (fate.fail_write) {
+    ++n_append_errors_;
+    m_->append_errors.add();
+    obs::Log::global()
+        .event(obs::LogLevel::kWarn, "journal.append_error")
+        .arg("phase", phase)
+        .arg("error", "injected write failure");
+    return false;
+  }
+  if (fate.tear) {
+    std::size_t keep =
+        std::min(options_.faults->tear_keep_bytes, record.size());
+    write_fully(fd_, record.data(), keep);
+    ::fsync(fd_);
+    wedged_ = true;
+    ++n_append_errors_;
+    ++n_torn_tails_;
+    m_->append_errors.add();
+    m_->torn_tails.add();
+    obs::Log::global()
+        .event(obs::LogLevel::kWarn, "journal.append_error")
+        .arg("phase", phase)
+        .arg("error", "injected torn write; journal wedged");
+    return false;
+  }
+  if (!write_fully(fd_, record.data(), record.size())) {
+    ++n_append_errors_;
+    m_->append_errors.add();
+    obs::Log::global()
+        .event(obs::LogLevel::kWarn, "journal.append_error")
+        .arg("phase", phase)
+        .arg("error", std::strerror(errno));
+    return false;
+  }
+  ++n_appends_;
+  m_->appends.add();
+  n_bytes_ += record.size();
+  active_bytes_ += record.size();
+  return true;
+}
+
+bool Journal::fsync_active_locked(bool force) {
+  if (fd_ < 0) return true;
+  if (!force) {
+    if (options_.fsync_interval_ms < 0.0) return true;
+    auto now = std::chrono::steady_clock::now();
+    if (options_.fsync_interval_ms > 0.0 &&
+        std::chrono::duration<double, std::milli>(now - last_fsync_).count() <
+            options_.fsync_interval_ms) {
+      return true;
+    }
+  }
+  last_fsync_ = std::chrono::steady_clock::now();
+  if (options_.faults && options_.faults->next_fsync_fails()) {
+    ++n_fsync_errors_;
+    m_->fsync_errors.add();
+    obs::Log::global()
+        .event(obs::LogLevel::kWarn, "journal.fsync_error")
+        .arg("error", "injected fsync failure");
+    return false;
+  }
+  if (::fsync(fd_) != 0) {
+    ++n_fsync_errors_;
+    m_->fsync_errors.add();
+    obs::Log::global()
+        .event(obs::LogLevel::kWarn, "journal.fsync_error")
+        .arg("error", std::strerror(errno));
+    return false;
+  }
+  ++n_fsyncs_;
+  m_->fsyncs.add();
+  return true;
+}
+
+std::string Journal::snapshot_payload(std::uint64_t id,
+                                      const DigestEntry& e) const {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("type").value("job");
+  w.key("id").value(id);
+  w.key("state").value(e.state);
+  if (e.attempts > 0) w.key("attempts").value(e.attempts);
+  w.key("job").raw_value(e.job_json);
+  if (!e.result_json.empty()) w.key("result").raw_value(e.result_json);
+  if (!e.error.empty()) w.key("error").value(e.error);
+  w.end_object();
+  return w.str();
+}
+
+bool Journal::write_snapshot_segment(std::uint64_t seq) {
+  std::string path = segment_path(seq);
+  std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) return false;
+  bool ok = true;
+  for (const auto& [id, entry] : digest_) {
+    std::string record = encode_record(snapshot_payload(id, entry));
+    if (!write_fully(fd, record.data(), record.size())) {
+      ok = false;
+      break;
+    }
+  }
+  ok = ok && ::fsync(fd) == 0;
+  ::close(fd);
+  if (!ok) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  fsync_directory(dir_);
+  return true;
+}
+
+bool Journal::maybe_rotate_locked() {
+  if (active_bytes_ <= options_.max_segment_bytes &&
+      settled_since_rotate_ < std::max<std::size_t>(1,
+                                                    options_.compact_min_settled)) {
+    return true;
+  }
+  if (options_.faults) options_.faults->reach_phase("rotate");
+  std::uint64_t next_seq = active_seq_ + 1;
+  if (!write_snapshot_segment(next_seq)) {
+    obs::Log::global()
+        .event(obs::LogLevel::kWarn, "journal.rotate_error")
+        .arg("segment", segment_path(next_seq));
+    return false;
+  }
+  int fd = ::open(segment_path(next_seq).c_str(), O_WRONLY | O_APPEND);
+  if (fd < 0) {
+    std::error_code rm;
+    fs::remove(segment_path(next_seq), rm);
+    return false;
+  }
+  ::close(fd_);
+  fd_ = fd;
+  std::error_code rm;
+  fs::remove(segment_path(active_seq_), rm);
+  std::error_code size_ec;
+  active_bytes_ = static_cast<std::size_t>(
+      fs::file_size(segment_path(next_seq), size_ec));
+  active_seq_ = next_seq;
+  settled_since_rotate_ = 0;
+  ++n_rotations_;
+  m_->rotations.add();
+  obs::Log::global()
+      .event(obs::LogLevel::kInfo, "journal.rotate")
+      .arg("segment", segment_path(next_seq))
+      .arg("bytes", static_cast<std::uint64_t>(active_bytes_))
+      .arg("jobs", static_cast<std::uint64_t>(digest_.size()));
+  return true;
+}
+
+bool Journal::append_accepted(const Job& job) {
+  std::string job_json = job_spec_to_json(job.spec());
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("type").value("accepted");
+  w.key("id").value(job.id());
+  w.key("job").raw_value(job_json);
+  w.end_object();
+
+  std::lock_guard lock(mu_);
+  TSPOPT_CHECK_MSG(opened_, "journal not opened");
+  if (!append_record("append:accepted", w.str())) return false;
+  DigestEntry entry;
+  entry.job_json = std::move(job_json);
+  digest_[job.id()] = std::move(entry);
+  max_id_ = std::max(max_id_, job.id());
+  fsync_active_locked(/*force=*/false);
+  maybe_rotate_locked();
+  return true;
+}
+
+bool Journal::append_started(std::uint64_t id, std::int32_t attempt) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("type").value("started");
+  w.key("id").value(id);
+  w.key("attempts").value(attempt);
+  w.end_object();
+
+  std::lock_guard lock(mu_);
+  TSPOPT_CHECK_MSG(opened_, "journal not opened");
+  if (!append_record("append:started", w.str())) return false;
+  auto it = digest_.find(id);
+  if (it != digest_.end()) {
+    it->second.state = "running";
+    it->second.attempts = attempt;
+  }
+  fsync_active_locked(/*force=*/false);
+  maybe_rotate_locked();
+  return true;
+}
+
+bool Journal::append_settled(const Job& job, JobState state) {
+  std::string result_json;
+  if (state == JobState::kFinished) {
+    obs::JsonWriter rw;
+    write_job_result(rw, job.result());
+    result_json = rw.str();
+  }
+  std::string error = job.error();
+
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("type").value("settled");
+  w.key("id").value(job.id());
+  w.key("state").value(to_string(state));
+  if (!result_json.empty()) w.key("result").raw_value(result_json);
+  if (!error.empty()) w.key("error").value(error);
+  w.end_object();
+
+  std::lock_guard lock(mu_);
+  TSPOPT_CHECK_MSG(opened_, "journal not opened");
+  if (!append_record("append:settled", w.str())) return false;
+  auto it = digest_.find(job.id());
+  if (it != digest_.end()) {
+    it->second.state = to_string(state);
+    it->second.result_json = std::move(result_json);
+    it->second.error = std::move(error);
+  }
+  ++settled_since_rotate_;
+  fsync_active_locked(/*force=*/false);
+  maybe_rotate_locked();
+  return true;
+}
+
+bool Journal::append_rejected(std::uint64_t id) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("type").value("rejected");
+  w.key("id").value(id);
+  w.end_object();
+
+  std::lock_guard lock(mu_);
+  TSPOPT_CHECK_MSG(opened_, "journal not opened");
+  if (!append_record("append:rejected", w.str())) return false;
+  digest_.erase(id);
+  fsync_active_locked(/*force=*/false);
+  maybe_rotate_locked();
+  return true;
+}
+
+bool Journal::append_forgotten(std::uint64_t id) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("type").value("forgotten");
+  w.key("id").value(id);
+  w.end_object();
+
+  std::lock_guard lock(mu_);
+  TSPOPT_CHECK_MSG(opened_, "journal not opened");
+  if (!append_record("append:forgotten", w.str())) return false;
+  digest_.erase(id);
+  ++settled_since_rotate_;
+  fsync_active_locked(/*force=*/false);
+  maybe_rotate_locked();
+  return true;
+}
+
+void Journal::flush() {
+  std::lock_guard lock(mu_);
+  fsync_active_locked(/*force=*/true);
+}
+
+Journal::Stats Journal::stats() const {
+  std::lock_guard lock(mu_);
+  Stats s;
+  s.appends = n_appends_;
+  s.append_errors = n_append_errors_;
+  s.bytes = n_bytes_;
+  s.fsyncs = n_fsyncs_;
+  s.fsync_errors = n_fsync_errors_;
+  s.rotations = n_rotations_;
+  s.torn_tails = n_torn_tails_;
+  for (const auto& [id, entry] : digest_) {
+    (void)id;
+    JobState state = JobState::kQueued;
+    bool settled =
+        parse_job_state(entry.state, &state) && is_terminal(state);
+    if (settled) {
+      ++s.settled_jobs;
+    } else {
+      ++s.live_jobs;
+    }
+  }
+  return s;
+}
+
+}  // namespace tspopt::serve

@@ -8,12 +8,13 @@ JobQueue::JobQueue(std::size_t capacity) : capacity_(capacity) {
   TSPOPT_CHECK_MSG(capacity_ >= 1, "JobQueue capacity must be >= 1");
 }
 
-JobQueue::PushResult JobQueue::push(const std::shared_ptr<Job>& job) {
+JobQueue::PushResult JobQueue::push(const std::shared_ptr<Job>& job,
+                                    bool force) {
   TSPOPT_CHECK(job != nullptr);
   {
     std::lock_guard lock(mu_);
     if (closed_) return PushResult::kClosed;
-    if (depth_ >= capacity_) return PushResult::kFull;
+    if (!force && depth_ >= capacity_) return PushResult::kFull;
     buckets_[job->spec().priority].push_back(job);
     ++depth_;
   }

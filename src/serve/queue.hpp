@@ -35,9 +35,12 @@ class JobQueue {
   // queued; callers own the rejection response) — the two are
   // distinguished so a submit racing a drain reads "service draining",
   // not "queue full, retry later". FIFO within the job's priority class
-  // on acceptance.
+  // on acceptance. `force` bypasses the capacity check (never the closed
+  // check): journal recovery must re-queue every previously accepted job
+  // even when there are more of them than the configured capacity —
+  // rejecting at restart would turn a crash into silent job loss.
   enum class PushResult { kOk, kFull, kClosed };
-  PushResult push(const std::shared_ptr<Job>& job);
+  PushResult push(const std::shared_ptr<Job>& job, bool force = false);
 
   // Dequeue outcome: either a job to run, a discarded job (cancelled /
   // expired while queued — already transitioned, caller only accounts for

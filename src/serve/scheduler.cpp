@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <exception>
+#include <filesystem>
+#include <optional>
 #include <utility>
 
 #include "common/timer.hpp"
@@ -9,6 +11,7 @@
 #include "obs/registry.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "solver/checkpoint.hpp"
 #include "solver/constructive.hpp"
 #include "solver/engine_factory.hpp"
 #include "solver/ils.hpp"
@@ -55,6 +58,7 @@ struct Scheduler::Instruments {
   obs::Counter& cancelled;
   obs::Counter& expired;
   obs::Counter& retries;
+  obs::Counter& recovered;
 
   explicit Instruments(obs::Registry& r)
       : queue_depth(r.gauge("serve.queue_depth")),
@@ -70,7 +74,8 @@ struct Scheduler::Instruments {
         failed(r.counter("serve.jobs_failed")),
         cancelled(r.counter("serve.jobs_cancelled")),
         expired(r.counter("serve.jobs_expired")),
-        retries(r.counter("serve.job_retries")) {}
+        retries(r.counter("serve.job_retries")),
+        recovered(r.counter("serve.recovered_jobs")) {}
 };
 
 Scheduler::Scheduler(simt::DevicePool& pool, SchedulerOptions options)
@@ -80,6 +85,13 @@ Scheduler::Scheduler(simt::DevicePool& pool, SchedulerOptions options)
       m_(std::make_unique<Instruments>(obs::Registry::global())) {
   TSPOPT_CHECK_MSG(options_.workers >= 1, "Scheduler needs >= 1 worker");
   TSPOPT_CHECK(options_.max_attempts >= 1);
+  // Recovery runs to completion before the first worker exists, so a
+  // replayed backlog is fully re-queued before anything can pop it.
+  if (!options_.journal_dir.empty()) {
+    journal_ =
+        std::make_unique<Journal>(options_.journal_dir, options_.journal);
+    recover_from_journal();
+  }
   workers_.reserve(options_.workers);
   for (std::size_t w = 0; w < options_.workers; ++w) {
     workers_.emplace_back([this, w] { worker_loop(w); });
@@ -87,6 +99,56 @@ Scheduler::Scheduler(simt::DevicePool& pool, SchedulerOptions options)
 }
 
 Scheduler::~Scheduler() { shutdown(/*drain_first=*/false); }
+
+void Scheduler::recover_from_journal() {
+  Journal::ReplayResult rep = journal_->open_and_replay();
+  next_id_.store(rep.next_id, std::memory_order_relaxed);
+  for (Journal::RecoveredJob& rj : rep.jobs) {
+    bool resume = rj.state == JobState::kRunning;
+    auto job = std::make_shared<Job>(rj.id, std::move(rj.spec));
+    if (is_terminal(rj.state)) {
+      // Settled before the crash: restore the retained result so clients
+      // polling for it get the same bytes the crashed daemon would have
+      // served. Re-enters the retention queue (oldest-first eviction).
+      job->restore_terminal(rj.state, std::move(rj.result),
+                            std::move(rj.error));
+      std::lock_guard lock(jobs_mu_);
+      jobs_[rj.id] = job;
+      terminal_order_.push_back(rj.id);
+      if (!job->spec().idempotency_key.empty()) {
+        idempotency_[job->spec().idempotency_key] = rj.id;
+      }
+      continue;
+    }
+    // Queued or running at the crash: re-queue. `force` bypasses the
+    // capacity check — every one of these was already accepted once, and
+    // a restart must never lose an accepted job. Running jobs resume
+    // from their spool checkpoint; the accepted_at clock (and so any
+    // deadline) restarts at recovery time, the lenient choice.
+    job->mark_recovered(resume, rj.attempts);
+    {
+      std::lock_guard lock(jobs_mu_);
+      jobs_[rj.id] = job;
+      if (!job->spec().idempotency_key.empty()) {
+        idempotency_[job->spec().idempotency_key] = rj.id;
+      }
+    }
+    {
+      std::lock_guard lock(drain_mu_);
+      ++live_jobs_;
+    }
+    queue_.push(job, /*force=*/true);
+    n_recovered_.fetch_add(1, std::memory_order_relaxed);
+    m_->recovered.add();
+    obs::Log::global()
+        .event(obs::LogLevel::kInfo, "job.recovered")
+        .arg("id", rj.id)
+        .arg("engine", job->spec().engine)
+        .arg("resume", resume)
+        .arg("attempts", rj.attempts);
+  }
+  m_->queue_depth.set(static_cast<double>(queue_.depth()));
+}
 
 Scheduler::Admission Scheduler::submit(JobSpec spec) {
   auto reject_invalid = [&](const std::string& why) {
@@ -123,6 +185,19 @@ Scheduler::Admission Scheduler::submit(JobSpec spec) {
     return reject_invalid("time_limit_seconds must be positive");
   }
 
+  // Idempotent resubmit: a key matching a retained job (live or settled)
+  // is answered with that job's id — the dedup path a client takes after
+  // an ambiguous failure (timeout, dropped connection, daemon restart).
+  if (!spec.idempotency_key.empty()) {
+    std::lock_guard lock(jobs_mu_);
+    auto it = idempotency_.find(spec.idempotency_key);
+    if (it != idempotency_.end() && jobs_.count(it->second) != 0) {
+      Admission dup{true, it->second, 0.0, ""};
+      dup.deduped = true;
+      return dup;
+    }
+  }
+
   auto job = std::make_shared<Job>(
       next_id_.fetch_add(1, std::memory_order_relaxed), std::move(spec));
   // Account the job and make it findable/cancellable *before* it becomes
@@ -132,19 +207,50 @@ Scheduler::Admission Scheduler::submit(JobSpec spec) {
     std::lock_guard lock(drain_mu_);
     ++live_jobs_;
   }
+  std::uint64_t dup_id = 0;
   {
     std::lock_guard lock(jobs_mu_);
-    jobs_[job->id()] = job;
+    if (!job->spec().idempotency_key.empty()) {
+      // emplace resolves the race two same-key submits lost above: the
+      // second one finds the first's id already mapped (a mapping to an
+      // evicted job is stale — reclaim it).
+      auto [it, inserted] =
+          idempotency_.emplace(job->spec().idempotency_key, job->id());
+      if (!inserted) {
+        if (jobs_.count(it->second) != 0) {
+          dup_id = it->second;
+        } else {
+          it->second = job->id();
+        }
+      }
+    }
+    if (dup_id == 0) jobs_[job->id()] = job;
   }
-  JobQueue::PushResult pushed = queue_.push(job);
-  if (pushed != JobQueue::PushResult::kOk) {
-    // Claim the rollback via the state machine: a cancel() that raced in
-    // through the jobs_ window has already settled (and accounted) the
-    // job, in which case only the rejection response remains to be sent.
+  if (dup_id != 0) {
+    {
+      std::lock_guard lock(drain_mu_);
+      TSPOPT_CHECK(live_jobs_ > 0);
+      --live_jobs_;
+    }
+    drain_cv_.notify_all();
+    Admission dup{true, dup_id, 0.0, ""};
+    dup.deduped = true;
+    return dup;
+  }
+
+  // The rejection rollback, claimed via the state machine: a cancel()
+  // that raced in through the jobs_ window has already settled (and
+  // accounted) the job, in which case only the response remains.
+  auto rollback = [&] {
     if (job->try_transition(JobState::kQueued, JobState::kFailed)) {
       {
         std::lock_guard lock(jobs_mu_);
         jobs_.erase(job->id());
+        const std::string& key = job->spec().idempotency_key;
+        auto it = key.empty() ? idempotency_.end() : idempotency_.find(key);
+        if (it != idempotency_.end() && it->second == job->id()) {
+          idempotency_.erase(it);
+        }
       }
       {
         std::lock_guard lock(drain_mu_);
@@ -153,6 +259,25 @@ Scheduler::Admission Scheduler::submit(JobSpec spec) {
       }
       drain_cv_.notify_all();  // a concurrent drain() may be waiting on 0
     }
+  };
+
+  // Durability barrier: the job is only "accepted" once its record is in
+  // the journal — a job we cannot make durable must not run, or a crash
+  // would silently lose work the client was promised.
+  if (journal_ != nullptr && !journal_->append_accepted(*job)) {
+    rollback();
+    n_rejected_invalid_.fetch_add(1, std::memory_order_relaxed);
+    m_->rejected_invalid.add();
+    obs::Log::global()
+        .event(obs::LogLevel::kWarn, "job.rejected")
+        .arg("reason", "journal")
+        .arg("id", job->id());
+    return Admission{false, 0, 0.0, "journal write failed"};
+  }
+  JobQueue::PushResult pushed = queue_.push(job);
+  if (pushed != JobQueue::PushResult::kOk) {
+    if (journal_ != nullptr) journal_->append_rejected(job->id());
+    rollback();
     if (pushed == JobQueue::PushResult::kClosed) {
       return Admission{false, 0, estimate_retry_after_ms(),
                        "service draining"};
@@ -189,10 +314,20 @@ std::shared_ptr<const Job> Scheduler::find(std::uint64_t id) const {
 }
 
 bool Scheduler::forget(std::uint64_t id) {
-  std::lock_guard lock(jobs_mu_);
-  auto it = jobs_.find(id);
-  if (it == jobs_.end() || !is_terminal(it->second->state())) return false;
-  jobs_.erase(it);
+  {
+    std::lock_guard lock(jobs_mu_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end() || !is_terminal(it->second->state())) return false;
+    const std::string& key = it->second->spec().idempotency_key;
+    if (!key.empty()) {
+      auto kit = idempotency_.find(key);
+      if (kit != idempotency_.end() && kit->second == id) {
+        idempotency_.erase(kit);
+      }
+    }
+    jobs_.erase(it);
+  }
+  if (journal_ != nullptr) journal_->append_forgotten(id);
   return true;
 }
 
@@ -256,6 +391,16 @@ void Scheduler::settle(const std::shared_ptr<Job>& job, JobState terminal) {
       break;
   }
   m_->queue_depth.set(static_cast<double>(queue_.depth()));
+  if (journal_ != nullptr) {
+    // Persist the terminal state (best-effort: the job already settled in
+    // memory; a missed settle record re-runs the job after a crash, which
+    // at-least-once semantics permit), and drop the spool checkpoint —
+    // nothing will ever resume this job.
+    journal_->append_settled(*job, terminal);
+    std::error_code ec;
+    std::filesystem::remove(journal_->checkpoint_path(job->id()), ec);
+  }
+  std::vector<std::uint64_t> evicted;
   {
     // Enter the job into the retention queue and evict beyond the cap, so
     // results stay retrievable for a while but never accumulate without
@@ -268,9 +413,20 @@ void Scheduler::settle(const std::shared_ptr<Job>& job, JobState terminal) {
       terminal_order_.pop_front();
       auto it = jobs_.find(oldest);
       if (it != jobs_.end() && is_terminal(it->second->state())) {
+        const std::string& key = it->second->spec().idempotency_key;
+        if (!key.empty()) {
+          auto kit = idempotency_.find(key);
+          if (kit != idempotency_.end() && kit->second == oldest) {
+            idempotency_.erase(kit);
+          }
+        }
         jobs_.erase(it);
+        evicted.push_back(oldest);
       }
     }
+  }
+  if (journal_ != nullptr) {
+    for (std::uint64_t id : evicted) journal_->append_forgotten(id);
   }
   {
     obs::LogEvent e = obs::Log::global().event(
@@ -353,8 +509,14 @@ void Scheduler::run_job(const std::shared_ptr<Job>& job) {
 
   WallTimer run_timer;
   JobState terminal = JobState::kFailed;
-  for (std::int32_t attempt = 1;; ++attempt) {
+  // Recovered running jobs continue their attempt count so max_attempts
+  // bounds total tries across restarts, not per incarnation.
+  std::int32_t first_attempt =
+      std::max<std::int32_t>(1, job->resume_requested()
+                                    ? job->attempts.load() : 1);
+  for (std::int32_t attempt = first_attempt;; ++attempt) {
     job->attempts.store(attempt, std::memory_order_relaxed);
+    if (journal_ != nullptr) journal_->append_started(job->id(), attempt);
     try {
       terminal = execute_attempt(job, attempt);
       break;
@@ -433,12 +595,6 @@ JobState Scheduler::execute_attempt(const std::shared_ptr<Job>& job,
   }
   TwoOptEngine& active_engine = multi ? *multi : *engine;
 
-  Tour tour = instance.metric() == Metric::kExplicit
-                  ? nearest_neighbor(instance)
-                  : multiple_fragment(instance);
-  job->best_length.store(tour.length(instance), std::memory_order_relaxed);
-  std::int64_t constructive_length = tour.length(instance);
-
   IlsOptions opts;
   opts.seed = spec.seed;
   opts.max_iterations = spec.max_iterations;
@@ -463,8 +619,52 @@ JobState Scheduler::execute_attempt(const std::shared_ptr<Job>& job,
     job->best_length.store(p.best_length, std::memory_order_relaxed);
     job->iteration.store(p.iteration, std::memory_order_relaxed);
   };
+  // With a journal, the ILS loop state spools into dir/spool/job-<id>.ckpt
+  // so a crashed daemon's restart resumes this job instead of redoing it.
+  if (journal_ != nullptr && options_.checkpoint_every_iterations > 0) {
+    opts.checkpoint_path = journal_->checkpoint_path(job->id());
+    opts.checkpoint_every = options_.checkpoint_every_iterations;
+  }
 
-  IlsResult ils = iterated_local_search(active_engine, instance, tour, opts);
+  // A job journaled as running resumes from its latest spool checkpoint:
+  // same RNG position, same incumbent — under an iteration budget the
+  // continuation is bit-identical to the run that was never killed. No
+  // checkpoint on disk (crash before the first write) or a checkpoint
+  // that fails validation means a fresh run; attempt retries after an
+  // engine fault also run fresh (the checkpoint may embed the fault).
+  std::optional<IlsResult> run;
+  std::int64_t constructive_length = 0;
+  if (journal_ != nullptr && job->take_resume() &&
+      std::filesystem::exists(journal_->checkpoint_path(job->id()))) {
+    try {
+      IlsCheckpoint ckpt =
+          load_ils_checkpoint(journal_->checkpoint_path(job->id()));
+      constructive_length =
+          ckpt.trace.empty() ? ckpt.best_length : ckpt.trace.front().length;
+      job->best_length.store(ckpt.best_length, std::memory_order_relaxed);
+      job->iteration.store(ckpt.iterations, std::memory_order_relaxed);
+      obs::Log::global()
+          .event(obs::LogLevel::kInfo, "job.resumed")
+          .arg("id", job->id())
+          .arg("iteration", ckpt.iterations)
+          .arg("best", ckpt.best_length);
+      run = iterated_local_search_resume(active_engine, instance, ckpt, opts);
+    } catch (const CheckError& e) {
+      obs::Log::global()
+          .event(obs::LogLevel::kWarn, "job.checkpoint_invalid")
+          .arg("id", job->id())
+          .arg("error", e.what());
+    }
+  }
+  if (!run.has_value()) {
+    Tour tour = instance.metric() == Metric::kExplicit
+                    ? nearest_neighbor(instance)
+                    : multiple_fragment(instance);
+    constructive_length = tour.length(instance);
+    job->best_length.store(constructive_length, std::memory_order_relaxed);
+    run = iterated_local_search(active_engine, instance, tour, opts);
+  }
+  IlsResult& ils = *run;
   job->best_length.store(ils.best_length, std::memory_order_relaxed);
   job->iteration.store(ils.iterations, std::memory_order_relaxed);
 
@@ -515,6 +715,7 @@ Scheduler::Stats Scheduler::stats() const {
   s.cancelled = n_cancelled_.load(std::memory_order_relaxed);
   s.expired = n_expired_.load(std::memory_order_relaxed);
   s.retries = n_retries_.load(std::memory_order_relaxed);
+  s.recovered = n_recovered_.load(std::memory_order_relaxed);
   s.queue_depth = queue_.depth();
   s.active_jobs = active_.load(std::memory_order_relaxed);
   s.workers = options_.workers;

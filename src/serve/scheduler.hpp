@@ -33,6 +33,7 @@
 
 #include "obs/metrics.hpp"
 #include "serve/job.hpp"
+#include "serve/journal.hpp"
 #include "serve/queue.hpp"
 #include "simt/device_pool.hpp"
 #include "solver/twoopt_multi.hpp"
@@ -55,6 +56,18 @@ struct SchedulerOptions {
   // cap the oldest-settled jobs are evicted, so daemon memory does not
   // grow with every job ever submitted. Minimum 1.
   std::size_t max_retained_jobs = 1024;
+
+  // Durability: non-empty enables the write-ahead job journal in this
+  // directory. On construction the scheduler replays it — settled jobs
+  // come back with their retained results, queued/running jobs are
+  // re-queued (running ones resume from their spool checkpoint) — before
+  // any worker starts. Empty = in-memory only (PR 5 behaviour).
+  std::string journal_dir;
+  JournalOptions journal;
+  // How often running jobs checkpoint their ILS loop state into the
+  // journal's spool (iterations between checkpoint writes). Only
+  // meaningful with a journal; <= 0 disables per-job checkpointing.
+  std::int64_t checkpoint_every_iterations = 64;
 };
 
 class Scheduler {
@@ -73,6 +86,9 @@ class Scheduler {
     std::uint64_t id = 0;          // valid when accepted
     double retry_after_ms = 0.0;   // > 0 when rejected for capacity
     std::string error;             // non-empty when rejected as invalid
+    // True when the spec's idempotency_key matched an already-accepted
+    // job: `id` is that job's id and nothing new was enqueued.
+    bool deduped = false;
   };
 
   // Validate and enqueue. Rejections are immediate: invalid specs (unknown
@@ -99,6 +115,7 @@ class Scheduler {
     std::uint64_t cancelled = 0;
     std::uint64_t expired = 0;
     std::uint64_t retries = 0;
+    std::uint64_t recovered = 0;  // jobs re-queued by journal replay
     std::size_t queue_depth = 0;
     std::size_t active_jobs = 0;
     std::size_t workers = 0;
@@ -116,6 +133,8 @@ class Scheduler {
   void shutdown(bool drain_first);
 
   const SchedulerOptions& options() const { return options_; }
+  // The journal, when durability is enabled; nullptr otherwise.
+  const Journal* journal() const { return journal_.get(); }
 
  private:
   void worker_loop(std::size_t worker_index);
@@ -129,16 +148,23 @@ class Scheduler {
   void settle(const std::shared_ptr<Job>& job, JobState terminal);
   double estimate_retry_after_ms() const;
   void note_run_seconds(double seconds);
+  // Replay the journal into jobs_/queue_ (ctor only, before workers).
+  void recover_from_journal();
 
   simt::DevicePool& pool_;
   SchedulerOptions options_;
   JobQueue queue_;
+  std::unique_ptr<Journal> journal_;  // nullptr = durability off
   std::atomic<std::uint64_t> next_id_{1};
   std::atomic<bool> stop_all_{false};
   std::atomic<bool> shut_down_{false};
 
   mutable std::mutex jobs_mu_;
   std::unordered_map<std::uint64_t, std::shared_ptr<Job>> jobs_;
+  // idempotency_key -> job id, for submit() dedup. Entries live exactly
+  // as long as the job is retained (erased on forget/evict) and are
+  // rebuilt from the journal on recovery.
+  std::unordered_map<std::string, std::uint64_t> idempotency_;
   // Settle order of terminal jobs, oldest first — the eviction queue that
   // enforces options_.max_retained_jobs. May hold ids already removed by
   // forget(); eviction skips those.
@@ -157,7 +183,7 @@ class Scheduler {
 
   std::atomic<std::uint64_t> n_accepted_{0}, n_rejected_full_{0},
       n_rejected_invalid_{0}, n_finished_{0}, n_failed_{0}, n_cancelled_{0},
-      n_expired_{0}, n_retries_{0};
+      n_expired_{0}, n_retries_{0}, n_recovered_{0};
   std::atomic<std::size_t> active_{0};
 
   std::vector<std::jthread> workers_;  // last member: joins before teardown

@@ -12,7 +12,11 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "obs/json.hpp"
+#include "serve/daemon.hpp"
+#include "serve/scheduler.hpp"
 #include "simt/device.hpp"
+#include "simt/device_pool.hpp"
 #include "solver/delta.hpp"
 #include "solver/ordering.hpp"
 #include "solver/twoopt_gpu.hpp"
@@ -300,6 +304,72 @@ TEST(Fuzz, ParallelEngineStableAcrossPoolSizes) {
     SearchResult got = engine.search(inst, tour);
     ASSERT_EQ(got.best.delta, expect.best.delta) << workers << " workers";
     ASSERT_EQ(got.best.index, expect.best.index) << workers << " workers";
+  }
+}
+
+// The serve protocol boundary: whatever bytes arrive as a request line,
+// handle_request must return a parseable JSON object carrying "ok" —
+// never throw, never crash the daemon thread. Random garbage, mutated
+// valid requests, truncations and NUL injection all included.
+TEST(Fuzz, ServeProtocolNeverThrowsOnGarbageLines) {
+  auto device = std::make_unique<simt::Device>(simt::gtx680_cuda());
+  std::vector<simt::Device*> devices = {device.get()};
+  simt::DevicePool pool(devices);
+  serve::SchedulerOptions options;
+  options.workers = 1;
+  serve::Scheduler scheduler(pool, options);
+
+  const std::vector<std::string> seeds = {
+      "{\"verb\":\"ping\"}",
+      "{\"verb\":\"status\",\"id\":1}",
+      "{\"verb\":\"stats\"}",
+      "{\"verb\":\"submit\",\"job\":{\"schema\":\"tspopt.job\","
+      "\"schema_version\":1,\"catalog\":\"berlin52\","
+      "\"engine\":\"cpu-sequential\",\"time_limit_seconds\":0.01,"
+      "\"max_iterations\":1}}",
+  };
+
+  Pcg32 rng(20260808);
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string line;
+    switch (rng.next_below(4)) {
+      case 0: {  // pure random bytes
+        auto len = rng.next_below(200);
+        for (std::uint32_t i = 0; i < len; ++i) {
+          line.push_back(static_cast<char>(rng.next_below(256)));
+        }
+        break;
+      }
+      case 1: {  // mutated valid request: flip random bytes
+        line = seeds[rng.next_below(seeds.size())];
+        auto flips = 1 + rng.next_below(8);
+        for (std::uint32_t i = 0; i < flips && !line.empty(); ++i) {
+          line[rng.next_below(line.size())] =
+              static_cast<char>(rng.next_below(256));
+        }
+        break;
+      }
+      case 2: {  // truncated valid request
+        line = seeds[rng.next_below(seeds.size())];
+        line.resize(rng.next_below(line.size() + 1));
+        break;
+      }
+      default: {  // NUL injection into a valid request
+        line = seeds[rng.next_below(seeds.size())];
+        auto count = 1 + rng.next_below(4);
+        for (std::uint32_t i = 0; i < count; ++i) {
+          line.insert(rng.next_below(line.size() + 1), 1, '\0');
+        }
+        break;
+      }
+    }
+
+    std::string response;
+    ASSERT_NO_THROW(response = serve::handle_request(scheduler, line))
+        << "trial " << trial;
+    obs::JsonValue parsed;
+    ASSERT_NO_THROW(parsed = obs::json_parse(response)) << "trial " << trial;
+    ASSERT_NE(parsed.find("ok"), nullptr) << "trial " << trial;
   }
 }
 

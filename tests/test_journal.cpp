@@ -1,0 +1,410 @@
+// The crash-safe job journal: record round trip, torn-tail drop,
+// mid-file corruption, rotation/compaction, snapshot-on-open, injected
+// write/fsync faults, fsync batching, and the scheduler-level durability
+// contract (settled results survive a restart, idempotency keys dedup,
+// admission fails closed when the journal cannot be written).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/fault.hpp"
+#include "serve/journal.hpp"
+#include "serve/scheduler.hpp"
+#include "simt/device.hpp"
+#include "simt/device_pool.hpp"
+
+namespace tspopt::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const char* name) {
+  std::string dir = testing::TempDir() + "/tspopt_journal_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+JobSpec quick_spec(const std::string& key = "") {
+  JobSpec spec;
+  spec.catalog = "berlin52";
+  spec.engine = "cpu-sequential";
+  spec.time_limit_seconds = 5.0;
+  spec.max_iterations = 4;
+  spec.seed = 7;
+  spec.idempotency_key = key;
+  return spec;
+}
+
+std::shared_ptr<Job> make_settled_job(std::uint64_t id, const JobSpec& spec) {
+  auto job = std::make_shared<Job>(id, spec);
+  JobResult result;
+  result.constructive_length = 9000;
+  result.best_length = 7542;
+  result.iterations = 4;
+  result.improvements = 2;
+  result.checks = 1234;
+  result.wall_seconds = 0.01;
+  result.order = {0, 2, 1, 3};
+  job->set_result(std::move(result));
+  return job;
+}
+
+std::vector<fs::path> segment_files(const std::string& dir) {
+  std::vector<fs::path> out;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".wal") out.push_back(entry.path());
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ replay --
+
+TEST(Journal, EmptyDirectoryOpensClean) {
+  std::string dir = fresh_dir("empty");
+  Journal journal(dir);
+  Journal::ReplayResult rep = journal.open_and_replay();
+  EXPECT_TRUE(rep.jobs.empty());
+  EXPECT_EQ(rep.next_id, 1u);
+  EXPECT_FALSE(rep.torn_tail);
+  EXPECT_FALSE(rep.corrupt);
+  EXPECT_TRUE(fs::exists(dir + "/spool"));
+}
+
+TEST(Journal, LifecycleRoundTripAcrossReopen) {
+  std::string dir = fresh_dir("roundtrip");
+  {
+    Journal journal(dir);
+    journal.open_and_replay();
+    std::shared_ptr<Job> finished = make_settled_job(1, quick_spec("key-1"));
+    ASSERT_TRUE(journal.append_accepted(*finished));
+    ASSERT_TRUE(journal.append_started(1, 1));
+    ASSERT_TRUE(journal.append_settled(*finished, JobState::kFinished));
+
+    Job running(2, quick_spec());
+    ASSERT_TRUE(journal.append_accepted(running));
+    ASSERT_TRUE(journal.append_started(2, 1));
+
+    Job queued(5, quick_spec());
+    ASSERT_TRUE(journal.append_accepted(queued));
+
+    Job failed(3, quick_spec());
+    failed.set_error("engine exploded");
+    ASSERT_TRUE(journal.append_accepted(failed));
+    ASSERT_TRUE(journal.append_settled(failed, JobState::kFailed));
+
+    Job dropped(4, quick_spec());
+    ASSERT_TRUE(journal.append_accepted(dropped));
+    ASSERT_TRUE(journal.append_forgotten(4));
+  }
+
+  Journal reopened(dir);
+  Journal::ReplayResult rep = reopened.open_and_replay();
+  EXPECT_FALSE(rep.torn_tail);
+  EXPECT_FALSE(rep.corrupt);
+  EXPECT_EQ(rep.next_id, 6u);  // forgotten id 4 still advances the clock
+  ASSERT_EQ(rep.jobs.size(), 4u);
+
+  // std::map digest => ascending id.
+  EXPECT_EQ(rep.jobs[0].id, 1u);
+  EXPECT_EQ(rep.jobs[0].state, JobState::kFinished);
+  EXPECT_EQ(rep.jobs[0].spec.idempotency_key, "key-1");
+  EXPECT_EQ(rep.jobs[0].result.best_length, 7542);
+  ASSERT_EQ(rep.jobs[0].result.order.size(), 4u);
+  EXPECT_EQ(rep.jobs[0].result.order[1], 2);
+
+  EXPECT_EQ(rep.jobs[1].id, 2u);
+  EXPECT_EQ(rep.jobs[1].state, JobState::kRunning);
+  EXPECT_EQ(rep.jobs[1].attempts, 1);
+
+  EXPECT_EQ(rep.jobs[2].id, 3u);
+  EXPECT_EQ(rep.jobs[2].state, JobState::kFailed);
+  EXPECT_EQ(rep.jobs[2].error, "engine exploded");
+
+  EXPECT_EQ(rep.jobs[3].id, 5u);
+  EXPECT_EQ(rep.jobs[3].state, JobState::kQueued);
+}
+
+TEST(Journal, ReplayCompactsToOneSegment) {
+  std::string dir = fresh_dir("compact_on_open");
+  {
+    Journal journal(dir);
+    journal.open_and_replay();
+    for (std::uint64_t id = 1; id <= 5; ++id) {
+      std::shared_ptr<Job> job = make_settled_job(id, quick_spec());
+      ASSERT_TRUE(journal.append_accepted(*job));
+      ASSERT_TRUE(journal.append_settled(*job, JobState::kFinished));
+    }
+  }
+  {
+    Journal reopened(dir);
+    Journal::ReplayResult rep = reopened.open_and_replay();
+    EXPECT_EQ(rep.jobs.size(), 5u);
+  }
+  // After the reopen's snapshot, exactly one segment remains (the new
+  // active one), holding one record per retained job.
+  EXPECT_EQ(segment_files(dir).size(), 1u);
+  Journal third(dir);
+  Journal::ReplayResult rep = third.open_and_replay();
+  EXPECT_EQ(rep.jobs.size(), 5u);
+  EXPECT_EQ(rep.records_read, 5u);
+}
+
+// ------------------------------------------------- torn tail / corrupt --
+
+TEST(Journal, TornFinalRecordIsDroppedNotFatal) {
+  std::string dir = fresh_dir("torn");
+  FaultPlan faults;
+  faults.tear_append_at = 3;  // accepted(1), accepted(2), then the tear
+  JournalOptions options;
+  options.faults = &faults;
+  {
+    Journal journal(dir, options);
+    journal.open_and_replay();
+    Job a(1, quick_spec());
+    Job b(2, quick_spec());
+    ASSERT_TRUE(journal.append_accepted(a));
+    ASSERT_TRUE(journal.append_accepted(b));
+    // The torn write: a few bytes land, then the journal wedges as if
+    // the process died mid-write.
+    EXPECT_FALSE(journal.append_started(1, 1));
+    // Wedged: nothing further lands.
+    EXPECT_FALSE(journal.append_started(2, 1));
+    EXPECT_EQ(journal.stats().torn_tails, 1u);
+  }
+
+  Journal reopened(dir);
+  Journal::ReplayResult rep = reopened.open_and_replay();
+  EXPECT_TRUE(rep.torn_tail);
+  EXPECT_FALSE(rep.corrupt);
+  ASSERT_EQ(rep.jobs.size(), 2u);  // both accepted records survive
+  EXPECT_EQ(rep.jobs[0].state, JobState::kQueued);
+  EXPECT_EQ(rep.jobs[1].state, JobState::kQueued);
+  EXPECT_EQ(reopened.stats().torn_tails, 1u);
+}
+
+TEST(Journal, MidFileCorruptionSkipsSegmentTail) {
+  std::string dir = fresh_dir("corrupt");
+  {
+    Journal journal(dir);
+    journal.open_and_replay();
+    for (std::uint64_t id = 1; id <= 3; ++id) {
+      Job job(id, quick_spec());
+      ASSERT_TRUE(journal.append_accepted(job));
+    }
+  }
+  // Flip one payload byte of the middle record on disk.
+  std::vector<fs::path> segments = segment_files(dir);
+  ASSERT_EQ(segments.size(), 1u);
+  std::string bytes;
+  {
+    std::ifstream in(segments[0], std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  ASSERT_GT(bytes.size(), 100u);
+  bytes[bytes.size() / 2] ^= 0x40;
+  {
+    std::ofstream out(segments[0], std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  Journal reopened(dir);
+  Journal::ReplayResult rep = reopened.open_and_replay();
+  // The bad record is mid-file with valid data after it: corruption, not
+  // a torn tail. Everything before it replays.
+  EXPECT_TRUE(rep.corrupt);
+  EXPECT_GE(rep.jobs.size(), 1u);
+  EXPECT_LT(rep.jobs.size(), 3u);
+}
+
+// ------------------------------------------------ rotation & faults --
+
+TEST(Journal, RotationCompactsSettledJobs) {
+  std::string dir = fresh_dir("rotate");
+  JournalOptions options;
+  options.max_segment_bytes = 2048;  // force frequent rotation
+  Journal journal(dir, options);
+  journal.open_and_replay();
+  for (std::uint64_t id = 1; id <= 40; ++id) {
+    std::shared_ptr<Job> job = make_settled_job(id, quick_spec());
+    ASSERT_TRUE(journal.append_accepted(*job));
+    ASSERT_TRUE(journal.append_started(id, 1));
+    ASSERT_TRUE(journal.append_settled(*job, JobState::kFinished));
+    ASSERT_TRUE(journal.append_forgotten(id));
+  }
+  Journal::Stats stats = journal.stats();
+  EXPECT_GT(stats.rotations, 0u);
+  EXPECT_EQ(stats.live_jobs, 0u);
+  EXPECT_EQ(stats.settled_jobs, 0u);  // all forgotten
+  // Rotation deletes older segments: only the active one remains.
+  EXPECT_EQ(segment_files(dir).size(), 1u);
+  journal.flush();
+}
+
+TEST(Journal, InjectedWriteFailureIsCountedAndSurvivable) {
+  std::string dir = fresh_dir("failwrite");
+  FaultPlan faults;
+  faults.fail_write_at = 2;
+  JournalOptions options;
+  options.faults = &faults;
+  Journal journal(dir, options);
+  journal.open_and_replay();
+  Job a(1, quick_spec());
+  Job b(2, quick_spec());
+  EXPECT_TRUE(journal.append_accepted(a));
+  EXPECT_FALSE(journal.append_accepted(b));  // injected failure
+  Job c(3, quick_spec());
+  EXPECT_TRUE(journal.append_accepted(c));  // journal stays usable
+  Journal::Stats stats = journal.stats();
+  EXPECT_EQ(stats.append_errors, 1u);
+  EXPECT_EQ(stats.appends, 2u);
+}
+
+TEST(Journal, FsyncPolicyAndInjectedFsyncFailure) {
+  std::string dir = fresh_dir("fsync");
+  FaultPlan faults;
+  faults.fail_fsync_at = 2;
+  JournalOptions options;
+  options.fsync_interval_ms = 0.0;  // fsync on every append
+  options.faults = &faults;
+  Journal journal(dir, options);
+  journal.open_and_replay();
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    Job job(id, quick_spec());
+    ASSERT_TRUE(journal.append_accepted(job));
+  }
+  Journal::Stats stats = journal.stats();
+  EXPECT_EQ(stats.fsync_errors, 1u);
+  EXPECT_EQ(stats.fsyncs, 2u);
+
+  // Batched mode: a large interval means appends alone do not fsync;
+  // flush() forces one.
+  std::string dir2 = fresh_dir("fsync_batched");
+  JournalOptions batched;
+  batched.fsync_interval_ms = 60000.0;
+  Journal journal2(dir2, batched);
+  journal2.open_and_replay();
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    Job job(id, quick_spec());
+    ASSERT_TRUE(journal2.append_accepted(job));
+  }
+  EXPECT_EQ(journal2.stats().fsyncs, 0u);
+  journal2.flush();
+  EXPECT_EQ(journal2.stats().fsyncs, 1u);
+}
+
+// ------------------------------------------- scheduler-level durability --
+
+struct PoolFixture {
+  std::vector<std::unique_ptr<simt::Device>> owned;
+  std::vector<simt::Device*> devices;
+  std::unique_ptr<simt::DevicePool> pool;
+
+  explicit PoolFixture(std::size_t count) {
+    for (std::size_t d = 0; d < count; ++d) {
+      owned.push_back(std::make_unique<simt::Device>(simt::gtx680_cuda()));
+      owned.back()->set_label("gpu" + std::to_string(d));
+      devices.push_back(owned.back().get());
+    }
+    pool = std::make_unique<simt::DevicePool>(devices);
+  }
+};
+
+JobState wait_terminal(const Scheduler& scheduler, std::uint64_t id,
+                       double timeout_seconds = 20.0) {
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration<double>(timeout_seconds);
+  for (;;) {
+    std::shared_ptr<const Job> job = scheduler.find(id);
+    if (job == nullptr) return JobState::kFailed;
+    if (is_terminal(job->state())) return job->state();
+    if (std::chrono::steady_clock::now() >= deadline) return job->state();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+TEST(SchedulerJournal, SettledResultsSurviveRestartAndKeysDedup) {
+  std::string dir = fresh_dir("scheduler_restart");
+  PoolFixture fixture(1);
+  SchedulerOptions options;
+  options.workers = 1;
+  options.journal_dir = dir;
+
+  std::uint64_t id = 0;
+  JobResult original;
+  {
+    Scheduler scheduler(*fixture.pool, options);
+    Scheduler::Admission admission =
+        scheduler.submit(quick_spec("durable-key"));
+    ASSERT_TRUE(admission.accepted);
+    EXPECT_FALSE(admission.deduped);
+    id = admission.id;
+    ASSERT_EQ(wait_terminal(scheduler, id), JobState::kFinished);
+    original = scheduler.find(id)->result();
+
+    // Same key while retained: deduped to the same id, even settled.
+    Scheduler::Admission dup = scheduler.submit(quick_spec("durable-key"));
+    EXPECT_TRUE(dup.accepted);
+    EXPECT_TRUE(dup.deduped);
+    EXPECT_EQ(dup.id, id);
+  }
+
+  Scheduler restarted(*fixture.pool, options);
+  std::shared_ptr<const Job> job = restarted.find(id);
+  ASSERT_NE(job, nullptr);
+  EXPECT_EQ(job->state(), JobState::kFinished);
+  JobResult recovered = job->result();
+  EXPECT_EQ(recovered.best_length, original.best_length);
+  EXPECT_EQ(recovered.iterations, original.iterations);
+  EXPECT_EQ(recovered.order, original.order);
+  EXPECT_EQ(recovered.constructive_length, original.constructive_length);
+
+  // The idempotency map was rebuilt from the journal: resubmitting after
+  // the "restart" still dedupes instead of re-running.
+  Scheduler::Admission dup = restarted.submit(quick_spec("durable-key"));
+  EXPECT_TRUE(dup.accepted);
+  EXPECT_TRUE(dup.deduped);
+  EXPECT_EQ(dup.id, id);
+  // Settled recoveries do not count as re-queued recovered jobs.
+  EXPECT_EQ(restarted.stats().recovered, 0u);
+
+  // forget() drops the retained result AND the key: the next submit with
+  // the key is a fresh job.
+  EXPECT_TRUE(restarted.forget(id));
+  Scheduler::Admission fresh = restarted.submit(quick_spec("durable-key"));
+  ASSERT_TRUE(fresh.accepted);
+  EXPECT_FALSE(fresh.deduped);
+  EXPECT_NE(fresh.id, id);
+  wait_terminal(restarted, fresh.id);
+}
+
+TEST(SchedulerJournal, AdmissionFailsClosedWhenJournalWriteFails) {
+  std::string dir = fresh_dir("scheduler_failclosed");
+  PoolFixture fixture(1);
+  FaultPlan faults;
+  faults.fail_write_at = 1;  // the first accepted append fails
+  SchedulerOptions options;
+  options.workers = 1;
+  options.journal_dir = dir;
+  options.journal.faults = &faults;
+
+  Scheduler scheduler(*fixture.pool, options);
+  Scheduler::Admission first = scheduler.submit(quick_spec());
+  EXPECT_FALSE(first.accepted);
+  EXPECT_EQ(first.error, "journal write failed");
+  // The failed admission left no residue: the next submit succeeds and
+  // runs normally.
+  Scheduler::Admission second = scheduler.submit(quick_spec());
+  ASSERT_TRUE(second.accepted);
+  EXPECT_EQ(wait_terminal(scheduler, second.id), JobState::kFinished);
+  EXPECT_EQ(scheduler.stats().rejected_invalid, 1u);
+}
+
+}  // namespace
+}  // namespace tspopt::serve

@@ -5,6 +5,10 @@
 // 1000+ city instance, with backpressure and an injected device fault).
 #include <gtest/gtest.h>
 
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <filesystem>
@@ -545,6 +549,142 @@ TEST(ServeProtocol, HandleRequestCoversTheVerbSet) {
   EXPECT_EQ(static_cast<std::uint64_t>(
                 stats.at("stats").at("accepted").number),
             scheduler.stats().accepted);
+}
+
+TEST(ServeProtocol, IdempotencyKeyDedupesResubmits) {
+  PoolFixture fixture(1);
+  Scheduler scheduler(*fixture.pool);
+  auto parse = [&](const std::string& line) {
+    return obs::json_parse(handle_request(scheduler, line));
+  };
+
+  const std::string submit =
+      "{\"verb\":\"submit\",\"job\":{\"schema\":\"tspopt.job\","
+      "\"schema_version\":1,\"catalog\":\"berlin52\","
+      "\"engine\":\"cpu-sequential\",\"time_limit_seconds\":0.02,"
+      "\"idempotency_key\":\"proto-key\"}}";
+  obs::JsonValue first = parse(submit);
+  ASSERT_TRUE(first.at("ok").boolean);
+  EXPECT_EQ(first.find("deduped"), nullptr);
+  auto id = static_cast<std::uint64_t>(first.at("id").number);
+
+  // Byte-identical resubmit (a client retry after an ambiguous failure):
+  // same id back, flagged deduped, no second job admitted.
+  obs::JsonValue second = parse(submit);
+  ASSERT_TRUE(second.at("ok").boolean);
+  EXPECT_TRUE(second.at("deduped").boolean);
+  EXPECT_EQ(static_cast<std::uint64_t>(second.at("id").number), id);
+  EXPECT_EQ(scheduler.stats().accepted, 1u);
+  wait_terminal(scheduler, id);
+}
+
+TEST(ServeProtocol, MalformedLinesGetErrorRepliesNotCrashes) {
+  PoolFixture fixture(1);
+  Scheduler scheduler(*fixture.pool);
+
+  // NUL bytes, truncated JSON, binary garbage: every line must produce a
+  // parseable {"ok":false,"error":...} reply, never a throw.
+  std::vector<std::string> lines = {
+      std::string("{\"verb\":\"pi\0ng\"}", 16),
+      "{\"verb\":\"submit\",\"job\":{\"catalog\":",
+      std::string("\0\0\0\0", 4),
+      "\x01\x02garbage\x7f\x1b[31m",
+      "[1,2,3]",
+      "\"just a string\"",
+  };
+  for (const std::string& line : lines) {
+    obs::JsonValue reply = obs::json_parse(handle_request(scheduler, line));
+    EXPECT_FALSE(reply.at("ok").boolean) << line;
+    EXPECT_FALSE(reply.at("error").string.empty()) << line;
+  }
+}
+
+// ----------------------------------------------- daemon input hygiene --
+
+namespace {
+
+int connect_loopback(std::uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            0);
+  return fd;
+}
+
+// Read until '\n' or EOF; returns the line without the newline.
+std::string recv_line(int fd) {
+  std::string line;
+  char c;
+  while (::recv(fd, &c, 1, 0) == 1) {
+    if (c == '\n') break;
+    line.push_back(c);
+  }
+  return line;
+}
+
+}  // namespace
+
+TEST(ServeDaemon, OversizedLineGetsOneErrorReplyThenClose) {
+  PoolFixture fixture(1);
+  DaemonOptions options;
+  options.port = 0;
+  options.max_line_bytes = 64;
+  Daemon daemon(*fixture.pool, options);
+  daemon.start();
+
+  int fd = connect_loopback(daemon.port());
+  std::string flood(1000, 'x');  // no newline: an unbounded-line abuse
+  ASSERT_EQ(::send(fd, flood.data(), flood.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(flood.size()));
+  std::string reply = recv_line(fd);
+  obs::JsonValue parsed = obs::json_parse(reply);
+  EXPECT_FALSE(parsed.at("ok").boolean);
+  EXPECT_NE(parsed.at("error").string.find("exceeds"), std::string::npos)
+      << reply;
+  // After the diagnostic the daemon hangs up.
+  char c;
+  EXPECT_EQ(::recv(fd, &c, 1, 0), 0);
+  ::close(fd);
+  daemon.stop(false);
+}
+
+TEST(ServeDaemon, SurvivesTruncatedRequestAndMidLineDisconnect) {
+  PoolFixture fixture(1);
+  DaemonOptions options;
+  options.port = 0;
+  Daemon daemon(*fixture.pool, options);
+  daemon.start();
+
+  // A client that sends half a request and vanishes must not take the
+  // daemon (or any other connection) down with it.
+  {
+    int fd = connect_loopback(daemon.port());
+    std::string partial = "{\"verb\":\"submit\",\"job\":{\"cat";
+    ASSERT_GT(::send(fd, partial.data(), partial.size(), MSG_NOSIGNAL), 0);
+    ::close(fd);
+  }
+  // NUL bytes on the wire get a structured error reply on a connection
+  // that stays usable for the next (valid) request.
+  {
+    int fd = connect_loopback(daemon.port());
+    std::string nul_line = std::string("{\"verb\":\"pi\0ng\"}", 16) + "\n";
+    ASSERT_GT(::send(fd, nul_line.data(), nul_line.size(), MSG_NOSIGNAL),
+              0);
+    obs::JsonValue reply = obs::json_parse(recv_line(fd));
+    EXPECT_FALSE(reply.at("ok").boolean);
+    std::string ping = "{\"verb\":\"ping\"}\n";
+    ASSERT_GT(::send(fd, ping.data(), ping.size(), MSG_NOSIGNAL), 0);
+    EXPECT_TRUE(obs::json_parse(recv_line(fd)).at("ok").boolean);
+    ::close(fd);
+  }
+  // The daemon still serves fresh connections normally.
+  Client client("127.0.0.1", daemon.port());
+  EXPECT_TRUE(client.request("{\"verb\":\"ping\"}").at("ok").boolean);
+  daemon.stop(false);
 }
 
 // ---------------------------------------------------- acceptance demo --

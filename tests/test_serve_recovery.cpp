@@ -1,0 +1,302 @@
+// End-to-end crash recovery for the durable serve plane.
+//
+// The headline test SIGKILLs a live scheduler mid-run (fork + re-exec of
+// this binary, the test_log.cpp death-test pattern) and asserts the
+// restart contract from the journal: no accepted job is lost, settled
+// results survive verbatim, the idempotency key of the in-flight victim
+// dedupes instead of double-running, and the interrupted ILS job resumes
+// from its spool checkpoint to a result bit-identical to an
+// uninterrupted run with the same seed and iteration budget.
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/fault.hpp"
+#include "serve/journal.hpp"
+#include "serve/scheduler.hpp"
+#include "simt/device.hpp"
+#include "simt/device_pool.hpp"
+
+namespace tspopt::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct PoolFixture {
+  std::vector<std::unique_ptr<simt::Device>> owned;
+  std::vector<simt::Device*> devices;
+  std::unique_ptr<simt::DevicePool> pool;
+
+  explicit PoolFixture(std::size_t count) {
+    for (std::size_t d = 0; d < count; ++d) {
+      owned.push_back(std::make_unique<simt::Device>(simt::gtx680_cuda()));
+      owned.back()->set_label("gpu" + std::to_string(d));
+      devices.push_back(owned.back().get());
+    }
+    pool = std::make_unique<simt::DevicePool>(devices);
+  }
+};
+
+JobState wait_terminal(const Scheduler& scheduler, std::uint64_t id,
+                       double timeout_seconds = 60.0) {
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration<double>(timeout_seconds);
+  for (;;) {
+    std::shared_ptr<const Job> job = scheduler.find(id);
+    if (job == nullptr) return JobState::kFailed;
+    if (is_terminal(job->state())) return job->state();
+    if (std::chrono::steady_clock::now() >= deadline) return job->state();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+JobSpec quick_spec() {
+  JobSpec spec;
+  spec.catalog = "berlin52";
+  spec.engine = "cpu-sequential";
+  spec.time_limit_seconds = 30.0;
+  spec.max_iterations = 4;
+  spec.seed = 7;
+  return spec;
+}
+
+// The long-running victim: enough total iterations that the kill lands
+// long before completion, a fixed seed so the uninterrupted reference is
+// reproducible.
+JobSpec victim_spec() {
+  JobSpec spec;
+  spec.catalog = "kroA200";
+  spec.engine = "cpu-sequential";
+  spec.time_limit_seconds = 120.0;
+  spec.max_iterations = 400;
+  spec.seed = 11;
+  spec.idempotency_key = "victim";
+  return spec;
+}
+
+constexpr const char* kDirEnv = "TSPOPT_SERVE_RECOVERY_DIR";
+
+// Driver-only child body: builds a journaled scheduler, gets one job
+// settled, one running (with a spool checkpoint on disk), two queued,
+// records the ids, then SIGKILLs itself mid-run. Replayed by the parent
+// test below via fork + re-exec of this binary.
+TEST(ServeRecoveryDeathChild, Worker) {
+  const char* dir = std::getenv(kDirEnv);
+  if (dir == nullptr) GTEST_SKIP() << "driver-only child body";
+
+  PoolFixture fixture(1);
+  SchedulerOptions options;
+  options.workers = 1;
+  options.journal_dir = dir;
+  // Checkpoint aggressively so the spool file appears moments after the
+  // victim's initial descent.
+  options.checkpoint_every_iterations = 4;
+  Scheduler scheduler(*fixture.pool, options);
+
+  Scheduler::Admission settled = scheduler.submit(quick_spec());
+  ASSERT_TRUE(settled.accepted);
+  ASSERT_EQ(wait_terminal(scheduler, settled.id), JobState::kFinished);
+  std::int64_t settled_best =
+      scheduler.find(settled.id)->result().best_length;
+
+  Scheduler::Admission victim = scheduler.submit(victim_spec());
+  ASSERT_TRUE(victim.accepted);
+  Scheduler::Admission queued_a = scheduler.submit(quick_spec());
+  Scheduler::Admission queued_b = scheduler.submit(quick_spec());
+  ASSERT_TRUE(queued_a.accepted);
+  ASSERT_TRUE(queued_b.accepted);
+
+  // Wait for the victim's checkpoint to exist — proof the kill lands
+  // mid-run with resumable state on disk.
+  std::string ckpt = scheduler.journal()->checkpoint_path(victim.id);
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (!fs::exists(ckpt)) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "victim checkpoint never appeared";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  {
+    std::ofstream out(std::string(dir) + "/ids.txt");
+    out << settled.id << " " << victim.id << " " << queued_a.id << " "
+        << queued_b.id << " " << settled_best << "\n";
+  }
+  std::raise(SIGKILL);
+  FAIL() << "unreachable";
+}
+
+TEST(ServeRecovery, KillAndRestartRecoversAllJobs) {
+  std::string dir =
+      testing::TempDir() + "/tspopt_serve_recovery_kill";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  std::string filter = "--gtest_filter=ServeRecoveryDeathChild.Worker";
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    ::setenv(kDirEnv, dir.c_str(), 1);
+    ::execl("/proc/self/exe", "/proc/self/exe", filter.c_str(),
+            static_cast<char*>(nullptr));
+    _exit(127);
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status))
+      << "child exited " << (WIFEXITED(status) ? WEXITSTATUS(status) : -1)
+      << " instead of dying by signal";
+  EXPECT_EQ(WTERMSIG(status), SIGKILL);
+
+  std::uint64_t settled_id = 0, victim_id = 0, queued_a = 0, queued_b = 0;
+  std::int64_t settled_best = 0;
+  {
+    std::ifstream in(dir + "/ids.txt");
+    ASSERT_TRUE(in >> settled_id >> victim_id >> queued_a >> queued_b >>
+                settled_best)
+        << "child died before reaching the kill point";
+  }
+
+  PoolFixture fixture(1);
+  SchedulerOptions options;
+  options.workers = 1;
+  options.journal_dir = dir;
+  options.checkpoint_every_iterations = 4;
+  Scheduler scheduler(*fixture.pool, options);
+
+  // One running + two queued jobs were re-queued; the settled one was
+  // restored terminal, not re-run.
+  EXPECT_EQ(scheduler.stats().recovered, 3u);
+  std::shared_ptr<const Job> settled = scheduler.find(settled_id);
+  ASSERT_NE(settled, nullptr);
+  EXPECT_EQ(settled->state(), JobState::kFinished);
+  EXPECT_EQ(settled->result().best_length, settled_best);
+
+  EXPECT_EQ(wait_terminal(scheduler, victim_id), JobState::kFinished);
+  EXPECT_EQ(wait_terminal(scheduler, queued_a), JobState::kFinished);
+  EXPECT_EQ(wait_terminal(scheduler, queued_b), JobState::kFinished);
+  JobResult resumed = scheduler.find(victim_id)->result();
+
+  // The resumed victim continued from its checkpoint: attempts stayed at
+  // 1 (a continuation, not a retry) and the search trajectory matches an
+  // uninterrupted run bit for bit.
+  EXPECT_EQ(scheduler.find(victim_id)->attempts.load(), 1);
+  {
+    PoolFixture reference_fixture(1);
+    SchedulerOptions reference_options;
+    reference_options.workers = 1;  // no journal: in-memory reference
+    Scheduler reference(*reference_fixture.pool, reference_options);
+    Scheduler::Admission admission = reference.submit(victim_spec());
+    ASSERT_TRUE(admission.accepted);
+    ASSERT_EQ(wait_terminal(reference, admission.id), JobState::kFinished);
+    JobResult uninterrupted = reference.find(admission.id)->result();
+    EXPECT_EQ(resumed.best_length, uninterrupted.best_length);
+    EXPECT_EQ(resumed.iterations, uninterrupted.iterations);
+    EXPECT_EQ(resumed.order, uninterrupted.order);
+  }
+
+  // The in-flight job's idempotency key survived the crash: resubmitting
+  // it dedupes to the recovered job instead of double-running.
+  Scheduler::Admission dup = scheduler.submit(victim_spec());
+  EXPECT_TRUE(dup.accepted);
+  EXPECT_TRUE(dup.deduped);
+  EXPECT_EQ(dup.id, victim_id);
+}
+
+TEST(ServeRecovery, TornTailIsDroppedAndSurvivorsRequeued) {
+  std::string dir = testing::TempDir() + "/tspopt_serve_recovery_torn";
+  fs::remove_all(dir);
+
+  // Seed a journal whose final record is torn mid-write, as if the
+  // process died between write() and completion.
+  FaultPlan faults;
+  faults.tear_append_at = 2;
+  JournalOptions journal_options;
+  journal_options.faults = &faults;
+  {
+    Journal journal(dir, journal_options);
+    journal.open_and_replay();
+    Job survivor(1, quick_spec());
+    ASSERT_TRUE(journal.append_accepted(survivor));
+    Job torn(2, quick_spec());
+    EXPECT_FALSE(journal.append_accepted(torn));  // the torn write
+  }
+
+  PoolFixture fixture(1);
+  SchedulerOptions options;
+  options.workers = 1;
+  options.journal_dir = dir;
+  Scheduler scheduler(*fixture.pool, options);
+
+  // The torn accepted record was dropped by checksum (job 2 was never
+  // acknowledged, so it is not lost work); the intact job re-queued and
+  // runs to completion.
+  EXPECT_EQ(scheduler.stats().recovered, 1u);
+  EXPECT_EQ(scheduler.find(2), nullptr);
+  EXPECT_EQ(wait_terminal(scheduler, 1), JobState::kFinished);
+}
+
+// Satellite (a): a stalled daemon costs the client a typed ClientTimeout
+// at the configured bound, never an indefinite blocking-recv hang. A
+// listening socket that never accepts gives a completed TCP handshake
+// (kernel backlog) and then total silence — the worst-case stall.
+TEST(ServeRecovery, ClientTimeoutBoundsStalledDaemon) {
+  int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof addr),
+            0);
+  ASSERT_EQ(::listen(listener, 4), 0);
+  socklen_t len = sizeof addr;
+  ASSERT_EQ(::getsockname(listener, reinterpret_cast<sockaddr*>(&addr),
+                          &len),
+            0);
+  std::uint16_t port = ntohs(addr.sin_port);
+
+  ClientOptions options;
+  options.connect_timeout_ms = 2000.0;
+  options.io_timeout_ms = 200.0;
+  Client client("127.0.0.1", port, options);
+  EXPECT_TRUE(client.connected());
+
+  auto start = std::chrono::steady_clock::now();
+  try {
+    client.request("{\"verb\":\"ping\"}");
+    FAIL() << "request against a stalled daemon returned";
+  } catch (const ClientTimeout& e) {
+    EXPECT_EQ(e.phase(), "recv");
+  }
+  double elapsed_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  EXPECT_GE(elapsed_ms, 150.0);
+  EXPECT_LT(elapsed_ms, 5000.0);
+  // The timed-out connection was dropped (a late response must not
+  // answer the next request); reconnect() restores service.
+  EXPECT_FALSE(client.connected());
+  client.reconnect();
+  EXPECT_TRUE(client.connected());
+  ::close(listener);
+}
+
+}  // namespace
+}  // namespace tspopt::serve

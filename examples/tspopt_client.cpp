@@ -22,12 +22,19 @@
 // retry_after_ms hint) for up to N seconds; an idempotency key
 // (--idempotency-key, auto-generated under --deadline) makes those
 // retries dedup server-side instead of double-submitting.
+//
+// Every submit carries a distributed trace id (--trace-id to supply one,
+// otherwise minted), printed to stderr as `trace <id>` — grep the
+// daemon's TSPOPT_LOG/TSPOPT_TRACE output for that id to see the job's
+// queue/lease/run spans; a timeout message names it too, so a lost
+// response is still findable server-side.
 #include <cstdint>
 #include <iostream>
 #include <random>
 #include <string>
 
 #include "common/cli.hpp"
+#include "obs/trace.hpp"
 #include "serve/client.hpp"
 #include "tsp/generator.hpp"
 
@@ -59,6 +66,9 @@ int main(int argc, char** argv) {
   cli.add_option("idempotency-key",
                  "dedup token for submit retries (auto-generated when "
                  "--deadline > 0)");
+  cli.add_option("trace-id",
+                 "distributed trace id to stamp on the submit (<= 64 "
+                 "printable chars; minted when omitted)");
   cli.add_option("io-timeout", "per-request I/O timeout, ms", "30000");
   cli.add_option("connect-timeout", "connect timeout, ms", "5000");
   if (!cli.parse(argc, argv) || !cli.positional(0).has_value()) {
@@ -67,7 +77,11 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string verb = *cli.positional(0);
+  obs::Tracer::global().set_process_name("tspopt_client");
 
+  // Lifted out of the try so the timeout handler can name the trace of a
+  // submit whose response never arrived.
+  std::string trace_id;
   try {
     serve::ClientOptions client_options;
     client_options.io_timeout_ms = cli.get_double("io-timeout", 30000.0);
@@ -98,6 +112,12 @@ int main(int argc, char** argv) {
       spec.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
       spec.devices = static_cast<std::int32_t>(cli.get_int("devices", 1));
       spec.idempotency_key = cli.get("idempotency-key", "");
+      // Mint the trace id here (not in Client::submit) so the timeout
+      // handler below can name it even when the request never came back.
+      spec.trace_id =
+          cli.has("trace-id") ? cli.get("trace-id") : obs::new_trace_id();
+      trace_id = spec.trace_id;
+      std::cerr << "tspopt_client: trace " << trace_id << "\n";
 
       double deadline_seconds = cli.get_double("deadline", 0.0);
       if (deadline_seconds > 0.0) {
@@ -149,7 +169,13 @@ int main(int argc, char** argv) {
     const obs::JsonValue* ok = response.find("ok");
     return ok != nullptr && ok->boolean ? 0 : 1;
   } catch (const serve::ClientTimeout& e) {
-    std::cerr << "tspopt_client: " << e.what() << "\n";
+    std::cerr << "tspopt_client: " << e.what();
+    if (!trace_id.empty()) {
+      // The submit may still have landed server-side; the trace id is how
+      // the operator finds out (daemon JSONL / trace export carry it).
+      std::cerr << " (trace " << trace_id << ")";
+    }
+    std::cerr << "\n";
     return 3;
   } catch (const CheckError& e) {
     std::cerr << "tspopt_client: " << e.what() << "\n";

@@ -12,6 +12,12 @@
 // the per-job fault quarantine/retry machinery is observable in the
 // telemetry of a live server.
 //
+// `--admin-port N` (0 = ephemeral, `--admin-port-file` for the handshake)
+// additionally serves the HTTP admin plane on 127.0.0.1: /metrics
+// (Prometheus text), /healthz, /readyz (503 while draining or when the
+// journal is unhealthy), /statusz and /tracez. The admin listener stays
+// up through a SIGTERM drain so probes observe the drain.
+//
 // Signals: SIGTERM drains (stops admission, finishes every queued and
 // running job, then exits 143); SIGINT cancels the backlog and stops
 // running jobs at their next hook poll (exits 130). Both paths flush all
@@ -32,6 +38,7 @@
 #include "obs/prometheus.hpp"
 #include "obs/runinfo.hpp"
 #include "obs/sampler.hpp"
+#include "obs/trace.hpp"
 #include "serve/daemon.hpp"
 #include "serve/shutdown.hpp"
 #include "simt/device.hpp"
@@ -44,6 +51,10 @@ int main(int argc, char** argv) {
   CliParser cli("tspoptd", "TSP solve-service daemon (line-delimited JSON)");
   cli.add_option("port", "TCP port on 127.0.0.1 (0 = ephemeral)", "7878");
   cli.add_option("port-file", "write the bound port to this file");
+  cli.add_option("admin-port",
+                 "HTTP admin plane port: /metrics /healthz /readyz /statusz "
+                 "/tracez (0 = ephemeral; omit to disable)");
+  cli.add_option("admin-port-file", "write the bound admin port to this file");
   cli.add_option("devices", "simulated devices in the pool", "2");
   cli.add_option("workers", "scheduler worker threads", "2");
   cli.add_option("queue", "queued-job capacity (backpressure bound)", "16");
@@ -63,6 +74,9 @@ int main(int argc, char** argv) {
   obs::Log::global();
   obs::Sampler::global_from_env();
   obs::PromExporter::global_from_env();
+  // Label this process's track in the Chrome trace export, so a client
+  // export concatenated with ours reads as two named process lanes.
+  obs::Tracer::global().set_process_name("tspoptd");
   obs::install_flush_hooks();
   serve::ShutdownSignal& shutdown = serve::ShutdownSignal::global();
   shutdown.install();
@@ -95,6 +109,9 @@ int main(int argc, char** argv) {
     options.scheduler.checkpoint_every_iterations =
         cli.get_int("checkpoint-every", 64);
   }
+  if (cli.has("admin-port")) {
+    options.admin_port = static_cast<int>(cli.get_int("admin-port", 0));
+  }
 
   serve::Daemon daemon(pool, options);
   try {
@@ -111,9 +128,17 @@ int main(int argc, char** argv) {
               << ", recovered " << daemon.scheduler().stats().recovered
               << " job(s)" << std::endl;
   }
+  if (daemon.admin_port() != 0) {
+    std::cout << "tspoptd: admin on 127.0.0.1:" << daemon.admin_port()
+              << " (/metrics /healthz /readyz /statusz /tracez)" << std::endl;
+  }
   if (cli.has("port-file")) {
     std::ofstream out(cli.get("port-file"));
     out << daemon.port() << "\n";
+  }
+  if (cli.has("admin-port-file") && daemon.admin_port() != 0) {
+    std::ofstream out(cli.get("admin-port-file"));
+    out << daemon.admin_port() << "\n";
   }
 
   while (!shutdown.requested()) {

@@ -28,6 +28,14 @@
 #         finish (idempotent resubmit dedupes to the same id, journal
 #         counters in the stats verb, SIGTERM drain still exits 143);
 #         then the serve/journal/recovery suites under ASan and TSan.
+# Pass 8: Admin plane + distributed trace — start tspoptd with
+#         --admin-port and TSPOPT_TRACE, probe /healthz /readyz /metrics
+#         /statusz /tracez (asserting the tspopt_serve_* series and the
+#         job-phase breakdown), submit a traced job and require the
+#         client-minted trace id in the daemon JSONL, /tracez, and BOTH
+#         Chrome trace exports (which must merge into one multi-process
+#         timeline), then SIGTERM with a job in flight and require
+#         /readyz to answer 503 "draining" until the drain exits 143.
 #
 # Usage: scripts/ci.sh [build-dir-prefix]   (default: build-ci)
 set -euo pipefail
@@ -300,6 +308,154 @@ cmake --build "${PREFIX}-tsan" -j "${JOBS}" \
 # timing-sensitive case is excluded from this leg only.
 ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}" \
       -R 'Serve|Journal' -E 'SurvivesInjectedDeviceFault'
+
+echo
+echo "== Pass 8: admin plane + distributed trace (tspoptd --admin-port) =="
+ADMIN_TMP="${OBS_TMP}/admin"
+mkdir -p "${ADMIN_TMP}"
+TSPOPT_LOG="info,${ADMIN_TMP}/events.jsonl" \
+TSPOPT_TRACE="${ADMIN_TMP}/daemon-trace.json" \
+    "${PREFIX}-release/examples/tspoptd" \
+    --port 0 --port-file "${ADMIN_TMP}/port" \
+    --admin-port 0 --admin-port-file "${ADMIN_TMP}/admin-port" \
+    --devices 2 --workers 2 > "${ADMIN_TMP}/daemon.log" &
+ADMIN_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "${ADMIN_TMP}/port" ] && [ -s "${ADMIN_TMP}/admin-port" ] && break
+  kill -0 "${ADMIN_PID}" 2>/dev/null || { echo "tspoptd died"; exit 1; }
+  sleep 0.1
+done
+[ -s "${ADMIN_TMP}/admin-port" ] \
+    || { echo "tspoptd never bound an admin port"; exit 1; }
+PORT="$(cat "${ADMIN_TMP}/port")"
+ADMIN_PORT="$(cat "${ADMIN_TMP}/admin-port")"
+echo "tspoptd up: serve port ${PORT}, admin port ${ADMIN_PORT}"
+
+python3 - "${ADMIN_PORT}" <<'EOF'
+import http.client, json, sys
+port = int(sys.argv[1])
+def get(path):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=5)
+    conn.request("GET", path)
+    r = conn.getresponse()
+    return r.status, r.getheader("Content-Type", ""), r.read().decode()
+
+status, _, body = get("/healthz")
+assert status == 200 and body == "ok\n", (status, body)
+status, _, body = get("/readyz")
+assert status == 200, (status, body)
+status, ctype, body = get("/metrics")
+assert status == 200 and "version=0.0.4" in ctype, (status, ctype)
+for series in ("tspopt_serve_queue_depth", "tspopt_serve_queue_oldest_age_ms",
+               "tspopt_serve_job_phase_us", "tspopt_run_info"):
+    assert series in body, f"missing Prometheus series {series}"
+status, _, body = get("/statusz")
+s = json.loads(body)
+assert s["ready"] and s["run_id"], s
+assert s["stats"]["workers"] == 2, s["stats"]
+status, _, _ = get("/nope")
+assert status == 404, status
+print("admin endpoints: /healthz /readyz /metrics /statusz healthy, 404 clean")
+EOF
+
+# A traced job: the client mints (here: pins) the trace id, prints it on
+# stderr, and the daemon must carry it end to end.
+TRACE_ID="c0ffee0123456789"
+RESULT="$(TSPOPT_TRACE="${ADMIN_TMP}/client-trace.json" \
+    "${PREFIX}-release/examples/tspopt_client" submit \
+    --port "${PORT}" --catalog kroA200 --engine cpu-parallel \
+    --time 0.2 --trace-id "${TRACE_ID}" --wait \
+    2> "${ADMIN_TMP}/client.err")"
+grep -q "trace ${TRACE_ID}" "${ADMIN_TMP}/client.err" \
+    || { echo "client did not print its trace id"; exit 1; }
+python3 - "${RESULT}" <<'EOF'
+import json, sys
+r = json.loads(sys.argv[1])
+assert r["ok"], r
+assert r["job"]["state"] == "finished", r["job"]
+EOF
+
+# /tracez shows the settled job's phase breakdown under that trace id
+# (settling is asynchronous after the terminal state, so poll briefly).
+python3 - "${ADMIN_PORT}" "${TRACE_ID}" <<'EOF'
+import http.client, json, sys, time
+port, trace_id = int(sys.argv[1]), sys.argv[2]
+deadline = time.monotonic() + 10.0
+while True:
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=5)
+    conn.request("GET", "/tracez")
+    t = json.loads(conn.getresponse().read().decode())
+    jobs = [s for s in t["slowest"] if s.get("trace_id") == trace_id]
+    if jobs:
+        break
+    assert time.monotonic() < deadline, f"trace {trace_id} never in /tracez: {t}"
+    time.sleep(0.05)
+j = jobs[0]
+assert j["state"] == "finished", j
+assert j["run_ms"] > 0 and j["total_ms"] >= j["run_ms"], j
+print(f"/tracez: job {j['id']} trace {trace_id} wait {j['wait_ms']:.2f}ms "
+      f"lease {j['lease_ms']:.2f}ms run {j['run_ms']:.2f}ms "
+      f"settle {j['settle_ms']:.2f}ms")
+EOF
+
+# Drain cycle: with a job in flight, SIGTERM must flip /readyz to 503
+# "draining" (the admin listener stays up through the drain) and still
+# exit 143 once the job completes.
+"${PREFIX}-release/examples/tspopt_client" submit \
+    --port "${PORT}" --catalog kroA200 --engine cpu-sequential \
+    --time 1.0 >/dev/null
+kill -TERM "${ADMIN_PID}"
+python3 - "${ADMIN_PORT}" <<'EOF'
+import http.client, sys, time
+port = int(sys.argv[1])
+deadline = time.monotonic() + 10.0
+while True:
+    try:
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=2)
+        conn.request("GET", "/readyz")
+        r = conn.getresponse()
+        body = r.read().decode()
+        if r.status == 503:
+            assert "draining" in body, body
+            print(f"/readyz during drain: 503 {body.strip()!r}")
+            break
+    except OSError:
+        sys.exit("admin listener gone before 503 was observed")
+    assert time.monotonic() < deadline, "never saw 503 during drain"
+    time.sleep(0.02)
+EOF
+ADMIN_RC=0
+wait "${ADMIN_PID}" || ADMIN_RC=$?
+[ "${ADMIN_RC}" -eq 143 ] \
+    || { echo "tspoptd exit ${ADMIN_RC}, expected 143"; exit 1; }
+
+# The trace id is in the daemon's JSONL lifecycle events and in BOTH
+# Chrome exports, which merge into one valid multi-process timeline.
+grep -q "\"trace_id\":\"${TRACE_ID}\"" "${ADMIN_TMP}/events.jsonl" \
+    || { echo "trace id missing from daemon JSONL"; exit 1; }
+python3 - "${ADMIN_TMP}" "${TRACE_ID}" <<'EOF'
+import json, sys
+d, trace_id = sys.argv[1], sys.argv[2]
+daemon = json.load(open(f"{d}/daemon-trace.json"))["traceEvents"]
+client = json.load(open(f"{d}/client-trace.json"))["traceEvents"]
+def traced(events):
+    return [e for e in events
+            if e.get("args", {}).get("trace_id") == trace_id]
+assert traced(daemon), "trace id missing from daemon trace export"
+assert traced(client), "trace id missing from client trace export"
+names = {e["args"]["name"] for e in daemon + client
+         if e.get("ph") == "M" and e.get("name") == "process_name"}
+assert {"tspoptd", "tspopt_client"} <= names, names
+merged = {"traceEvents": daemon + client}
+pids = {e["pid"] for e in merged["traceEvents"] if e.get("ph") == "X"}
+assert len(pids) >= 2, pids
+json.dump(merged, open(f"{d}/merged-trace.json", "w"))
+json.load(open(f"{d}/merged-trace.json"))  # round-trips as valid JSON
+print(f"distributed trace: {len(traced(daemon))} daemon + "
+      f"{len(traced(client))} client events share trace {trace_id}; "
+      f"merged timeline spans {len(pids)} processes")
+EOF
+echo "admin plane + distributed trace verified."
 
 echo
 echo "CI passed."

@@ -1,7 +1,10 @@
 #include "obs/trace.hpp"
 
+#include <unistd.h>
+
 #include <cstdlib>
 #include <fstream>
+#include <random>
 
 #include "common/check.hpp"
 #include "obs/json.hpp"
@@ -45,6 +48,18 @@ std::uint32_t current_thread_ordinal() {
 
 std::uint64_t current_span_id() {
   return t_span_stack.empty() ? 0 : t_span_stack.back();
+}
+
+std::string new_trace_id() {
+  static std::atomic<std::uint64_t> salt{0};
+  std::random_device rd;
+  std::uint64_t bits = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+  bits ^= salt.fetch_add(0x9E3779B97F4A7C15ULL, std::memory_order_relaxed);
+  char out[17];
+  static const char* hex = "0123456789abcdef";
+  for (int i = 0; i < 16; ++i) out[i] = hex[(bits >> (60 - 4 * i)) & 0xF];
+  out[16] = '\0';
+  return out;
 }
 
 Span::Span(Tracer* tracer, const char* name, const char* category)
@@ -158,10 +173,29 @@ std::int64_t Tracer::now_ns() const {
 
 std::string Tracer::chrome_trace_json() const {
   std::vector<TraceEvent> snapshot = events();
+  std::string process_name;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    process_name = process_name_;
+  }
+  const std::int64_t pid = static_cast<std::int64_t>(::getpid());
   JsonWriter w;
   w.begin_object();
   w.key("displayTimeUnit").value("ns");
   w.key("traceEvents").begin_array();
+  if (!process_name.empty()) {
+    // Chrome metadata event naming this process's track group, so two
+    // concatenated exports (client + daemon) stay distinguishable.
+    w.begin_object();
+    w.key("name").value("process_name");
+    w.key("ph").value("M");
+    w.key("pid").value(pid);
+    w.key("tid").value(std::int64_t{0});
+    w.key("args").begin_object();
+    w.key("name").value(process_name);
+    w.end_object();
+    w.end_object();
+  }
   for (const TraceEvent& e : snapshot) {
     w.begin_object();
     w.key("name").value(e.name);
@@ -174,7 +208,7 @@ std::string Tracer::chrome_trace_json() const {
       w.key("dur").value(static_cast<double>(e.duration_ns) / 1e3);
     }
     w.key("ts").value(static_cast<double>(e.start_ns) / 1e3);
-    w.key("pid").value(std::int64_t{1});
+    w.key("pid").value(pid);
     w.key("tid").value(e.tid);
     if (e.id != 0 || !e.args.empty()) {
       w.key("args").begin_object();
@@ -196,6 +230,11 @@ void Tracer::write_chrome_trace(const std::string& path) const {
   TSPOPT_CHECK_MSG(out.good(), "cannot open trace output " << path);
   out << chrome_trace_json() << '\n';
   TSPOPT_CHECK_MSG(out.good(), "failed writing trace to " << path);
+}
+
+void Tracer::set_process_name(std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  process_name_ = std::move(name);
 }
 
 void Tracer::set_flush_path(std::string path) {

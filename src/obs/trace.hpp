@@ -35,6 +35,13 @@ namespace tspopt::obs {
 // use, in first-use order). This is the "tid" of exported trace events.
 std::uint32_t current_thread_ordinal();
 
+// A fresh 16-lowercase-hex distributed-trace correlation id. Unlike span
+// ids (process-local ordinals), a trace id travels on the wire: the
+// client stamps it into the job spec, and every span/log/journal record
+// either side emits for that job carries the same value — which is what
+// lets the two processes' Chrome exports merge into one timeline.
+std::string new_trace_id();
+
 // The id of the innermost live Span on the calling thread, or 0 when no
 // span is open (or tracing is disabled). Structured log events stamp this
 // so JSONL lines correlate to trace spans.
@@ -136,6 +143,12 @@ class Tracer {
   std::string chrome_trace_json() const;
   void write_chrome_trace(const std::string& path) const;
 
+  // Name this process in the export (a Chrome "process_name" metadata
+  // event). Events already carry the real pid, so two processes' exports
+  // concatenate into one distinguishable multi-process timeline; the name
+  // labels the tracks. Empty (the default) emits no metadata event.
+  void set_process_name(std::string name);
+
   // Where flush() writes; the global tracer sets this from TSPOPT_TRACE.
   void set_flush_path(std::string path);
   const std::string& flush_path() const { return flush_path_; }
@@ -156,6 +169,7 @@ class Tracer {
   mutable std::mutex mu_;
   std::vector<TraceEvent> events_;
   std::string flush_path_;
+  std::string process_name_;
   std::chrono::steady_clock::time_point epoch_ =
       std::chrono::steady_clock::now();
 };

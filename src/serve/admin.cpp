@@ -1,0 +1,183 @@
+#include "serve/admin.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "common/check.hpp"
+#include "obs/json.hpp"
+#include "obs/prometheus.hpp"
+#include "obs/registry.hpp"
+#include "obs/runinfo.hpp"
+
+namespace tspopt::serve {
+
+namespace {
+
+constexpr const char* kJsonContentType = "application/json; charset=utf-8";
+// Version suffix per the Prometheus exposition-format spec; scrapers use
+// it for content negotiation.
+constexpr const char* kMetricsContentType =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+obs::HttpResponse json_response(const obs::JsonWriter& w) {
+  obs::HttpResponse response;
+  response.content_type = kJsonContentType;
+  response.body = w.str();
+  response.body += '\n';
+  return response;
+}
+
+void write_stats(obs::JsonWriter& w, const Scheduler::Stats& stats) {
+  w.begin_object();
+  w.key("accepted").value(stats.accepted);
+  w.key("rejected_full").value(stats.rejected_full);
+  w.key("rejected_invalid").value(stats.rejected_invalid);
+  w.key("finished").value(stats.finished);
+  w.key("failed").value(stats.failed);
+  w.key("cancelled").value(stats.cancelled);
+  w.key("expired").value(stats.expired);
+  w.key("retries").value(stats.retries);
+  w.key("recovered").value(stats.recovered);
+  w.key("queue_depth").value(static_cast<std::uint64_t>(stats.queue_depth));
+  w.key("active_jobs").value(static_cast<std::uint64_t>(stats.active_jobs));
+  w.key("workers").value(static_cast<std::uint64_t>(stats.workers));
+  w.key("devices").value(static_cast<std::uint64_t>(stats.devices));
+  w.key("devices_available")
+      .value(static_cast<std::uint64_t>(stats.devices_available));
+  w.end_object();
+}
+
+void write_journal_stats(obs::JsonWriter& w, const Journal& journal) {
+  Journal::Stats stats = journal.stats();
+  w.begin_object();
+  w.key("dir").value(journal.dir());
+  w.key("appends").value(stats.appends);
+  w.key("append_errors").value(stats.append_errors);
+  w.key("bytes").value(stats.bytes);
+  w.key("fsyncs").value(stats.fsyncs);
+  w.key("fsync_errors").value(stats.fsync_errors);
+  w.key("rotations").value(stats.rotations);
+  w.key("torn_tails").value(stats.torn_tails);
+  w.key("live_jobs").value(stats.live_jobs);
+  w.key("settled_jobs").value(stats.settled_jobs);
+  w.key("active_segment").value(stats.active_segment);
+  w.key("active_bytes").value(stats.active_bytes);
+  w.key("healthy").value(journal.healthy());
+  w.end_object();
+}
+
+}  // namespace
+
+void mount_admin(obs::HttpServer& server, AdminContext context) {
+  TSPOPT_CHECK_MSG(context.scheduler != nullptr,
+                   "mount_admin needs a scheduler");
+  // One shared copy of the context, captured by every handler.
+  auto ctx = std::make_shared<AdminContext>(std::move(context));
+
+  auto not_ready_reason = [ctx]() -> std::string {
+    if (ctx->draining && ctx->draining()) return "draining";
+    Scheduler::Readiness readiness = ctx->scheduler->readiness();
+    return readiness.ready ? std::string() : readiness.reason;
+  };
+
+  server.route("/healthz", [](const obs::HttpRequest&) {
+    obs::HttpResponse response;
+    response.body = "ok\n";
+    return response;
+  });
+
+  server.route("/readyz", [not_ready_reason](const obs::HttpRequest&) {
+    obs::HttpResponse response;
+    std::string reason = not_ready_reason();
+    if (reason.empty()) {
+      response.body = "ok\n";
+    } else {
+      response.status = 503;
+      response.body = "not ready: " + reason + "\n";
+    }
+    return response;
+  });
+
+  server.route("/metrics", [ctx](const obs::HttpRequest&) {
+    // Pull-refresh the sampled queue gauges so a scrape sees the queue as
+    // it is now, not as it was at the last submit/settle.
+    obs::Registry& registry = obs::Registry::global();
+    Scheduler::Stats stats = ctx->scheduler->stats();
+    registry.gauge("serve.queue_depth")
+        .set(static_cast<double>(stats.queue_depth));
+    registry.gauge("serve.queue_oldest_age_ms")
+        .set(ctx->scheduler->queue_oldest_age_ms());
+    obs::HttpResponse response;
+    response.content_type = kMetricsContentType;
+    response.body = obs::prometheus_text(registry);
+    return response;
+  });
+
+  server.route("/statusz", [ctx, not_ready_reason](const obs::HttpRequest&) {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.key("run_id").value(obs::run_id());
+    w.key("git").value(obs::git_describe());
+    w.key("started_at").value(obs::rfc3339_utc_ms(ctx->started_at));
+    w.key("uptime_seconds")
+        .value(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             ctx->started_steady)
+                   .count());
+    w.key("serve_port").value(static_cast<std::uint64_t>(ctx->serve_port));
+    std::string reason = not_ready_reason();
+    w.key("ready").value(reason.empty());
+    if (!reason.empty()) w.key("not_ready_reason").value(reason);
+    w.key("queue_oldest_age_ms").value(ctx->scheduler->queue_oldest_age_ms());
+    w.key("stats");
+    write_stats(w, ctx->scheduler->stats());
+    if (const Journal* journal = ctx->scheduler->journal()) {
+      w.key("journal");
+      write_journal_stats(w, *journal);
+    }
+    w.key("active");
+    w.begin_array();
+    for (const std::shared_ptr<const Job>& job :
+         ctx->scheduler->active_snapshot()) {
+      write_job_status(w, *job);
+    }
+    w.end_array();
+    w.end_object();
+    return json_response(w);
+  });
+
+  server.route("/tracez", [ctx](const obs::HttpRequest& request) {
+    std::vector<Scheduler::JobTraceSummary> slowest =
+        ctx->scheduler->slowest_settled();
+    auto limit = static_cast<std::size_t>(std::clamp<std::int64_t>(
+        obs::query_int(request.query, "n",
+                       static_cast<std::int64_t>(slowest.size())),
+        0, static_cast<std::int64_t>(slowest.size())));
+    obs::JsonWriter w;
+    w.begin_object();
+    w.key("capacity")
+        .value(static_cast<std::uint64_t>(Scheduler::kTracezCapacity));
+    w.key("slowest");
+    w.begin_array();
+    for (std::size_t i = 0; i < limit; ++i) {
+      const Scheduler::JobTraceSummary& s = slowest[i];
+      w.begin_object();
+      w.key("id").value(s.id);
+      if (!s.trace_id.empty()) w.key("trace_id").value(s.trace_id);
+      w.key("engine").value(s.engine);
+      w.key("state").value(to_string(s.state));
+      w.key("wait_ms").value(s.wait_ms);
+      w.key("lease_ms").value(s.lease_ms);
+      w.key("run_ms").value(s.run_ms);
+      w.key("settle_ms").value(s.settle_ms);
+      w.key("total_ms").value(s.total_ms());
+      if (s.best_length >= 0) w.key("best").value(s.best_length);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    return json_response(w);
+  });
+}
+
+}  // namespace tspopt::serve

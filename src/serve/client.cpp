@@ -14,6 +14,8 @@
 #include <random>
 #include <thread>
 
+#include "obs/trace.hpp"
+
 namespace tspopt::serve {
 
 namespace {
@@ -178,12 +180,36 @@ obs::JsonValue Client::request(const std::string& line) {
 }
 
 obs::JsonValue Client::submit(const JobSpec& spec) {
+  // Trace origin: mint the correlation id here when the caller did not.
+  // The copy keeps the caller's spec untouched (a retry loop passing the
+  // same spec reuses the id only if it carries one — submit_with_retry
+  // pins it so every attempt of one logical submit shares one trace).
+  JobSpec traced = spec;
+  if (traced.trace_id.empty()) traced.trace_id = obs::new_trace_id();
+  last_trace_id_ = traced.trace_id;
+
+  obs::Span span = obs::Tracer::global().span("client.submit", "serve");
+  if (span) {
+    span.arg("engine", traced.engine);
+    span.arg("trace_id", traced.trace_id);
+  }
+  // The submit span (when tracing is on) is the daemon-side parent; with
+  // tracing off, any enclosing span on this thread still stitches.
+  if (traced.parent_span == 0) traced.parent_span = obs::current_span_id();
+
   obs::JsonWriter w;
   w.begin_object();
   w.key("verb").value("submit");
-  w.key("job").raw_value(job_spec_to_json(spec));
+  w.key("job").raw_value(job_spec_to_json(traced));
   w.end_object();
-  return request(w.str());
+  obs::JsonValue response = request(w.str());
+  if (span) {
+    const obs::JsonValue* id = response.find("id");
+    if (id != nullptr && id->kind == obs::JsonValue::Kind::kNumber) {
+      span.arg("id", static_cast<std::uint64_t>(id->number));
+    }
+  }
+  return response;
 }
 
 namespace {
@@ -221,6 +247,12 @@ obs::JsonValue Client::engines() { return request("{\"verb\":\"engines\"}"); }
 
 obs::JsonValue Client::submit_with_retry(const JobSpec& spec,
                                          double deadline_seconds) {
+  // Pin the trace id across attempts: every retry of this one logical
+  // submit (including a dedup answered by an earlier accept) shares one
+  // trace, not one per network attempt.
+  JobSpec traced = spec;
+  if (traced.trace_id.empty()) traced.trace_id = obs::new_trace_id();
+
   auto deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
                                      std::chrono::duration<double>(
                                          std::max(0.0, deadline_seconds)));
@@ -234,7 +266,7 @@ obs::JsonValue Client::submit_with_retry(const JobSpec& spec,
     double hint_ms = 0.0;
     try {
       if (!connected()) reconnect();
-      obs::JsonValue response = submit(spec);
+      obs::JsonValue response = submit(traced);
       const obs::JsonValue* ok = response.find("ok");
       if (ok != nullptr && ok->kind == obs::JsonValue::Kind::kBool &&
           ok->boolean) {

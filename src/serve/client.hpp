@@ -80,6 +80,13 @@ class Client {
   // Verb helpers. Responses are returned as parsed objects; "ok" is NOT
   // checked here — rejection responses (queue full, invalid spec) are
   // data the caller inspects, not errors.
+  //
+  // submit() is the distributed-trace origin: a spec with an empty
+  // trace_id gets a fresh obs::new_trace_id() (and, when a span is open
+  // on this thread, its id as parent_span) before serialization, so the
+  // daemon's spans and JSONL events correlate back to this client. The
+  // id actually sent — minted or caller-supplied — is readable via
+  // last_trace_id() after the call.
   obs::JsonValue submit(const JobSpec& spec);
   obs::JsonValue status(std::uint64_t id);
   obs::JsonValue result(std::uint64_t id);
@@ -106,6 +113,12 @@ class Client {
   obs::JsonValue wait(std::uint64_t id, double timeout_seconds,
                       double poll_interval_ms = 20.0);
 
+  // Trace id of the most recent submit()/submit_with_retry() call (the
+  // minted one when the spec carried none). Empty before the first
+  // submit. Error paths still set it first, so a caller reporting a
+  // timeout can name the trace to look for in the daemon's telemetry.
+  const std::string& last_trace_id() const { return last_trace_id_; }
+
  private:
   void connect_now();
   void disconnect();
@@ -115,6 +128,7 @@ class Client {
   ClientOptions options_;
   int fd_ = -1;
   std::string pending_;  // bytes received past the last response line
+  std::string last_trace_id_;
 };
 
 }  // namespace tspopt::serve

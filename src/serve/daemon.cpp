@@ -13,6 +13,7 @@
 #include "common/check.hpp"
 #include "obs/log.hpp"
 #include "obs/runinfo.hpp"
+#include "serve/admin.hpp"
 #include "solver/engine_factory.hpp"
 
 namespace tspopt::serve {
@@ -78,6 +79,10 @@ std::string handle_request(Scheduler& scheduler, const std::string& line) {
     }
     if (verb == "submit") {
       JobSpec spec = job_spec_from_json(request.at("job"));
+      // Echo the trace id so the submitting side's printed acceptance
+      // carries the correlation handle even when the daemon minted
+      // nothing (the id is client-minted; the echo is confirmation).
+      std::string trace_id = spec.trace_id;
       Scheduler::Admission admission = scheduler.submit(std::move(spec));
       if (!admission.accepted) {
         return error_response(admission.error, admission.retry_after_ms);
@@ -86,6 +91,7 @@ std::string handle_request(Scheduler& scheduler, const std::string& line) {
       w.begin_object();
       w.key("ok").value(true);
       w.key("id").value(admission.id);
+      if (!trace_id.empty()) w.key("trace_id").value(trace_id);
       if (admission.deduped) w.key("deduped").value(true);
       w.end_object();
       return w.str();
@@ -219,6 +225,30 @@ void Daemon::start() {
 
   running_.store(true, std::memory_order_release);
   accept_thread_ = std::jthread([this] { accept_loop(); });
+
+  if (options_.admin_port >= 0) {
+    obs::HttpServer::Options admin_options;
+    admin_options.host = options_.host;
+    admin_options.port = static_cast<std::uint16_t>(options_.admin_port);
+    admin_ = std::make_unique<obs::HttpServer>(admin_options);
+    AdminContext admin_context;
+    admin_context.scheduler = scheduler_.get();
+    // stopping_ flips at the very top of stop(), before the queue closes,
+    // so /readyz reports the drain with no ready->gone window.
+    admin_context.draining = [this] {
+      return stopping_.load(std::memory_order_acquire);
+    };
+    admin_context.started_at = std::chrono::system_clock::now();
+    admin_context.started_steady = std::chrono::steady_clock::now();
+    admin_context.serve_port = port_;
+    mount_admin(*admin_, std::move(admin_context));
+    admin_->start();
+    obs::Log::global()
+        .event(obs::LogLevel::kInfo, "daemon.admin")
+        .arg("host", options_.host)
+        .arg("port", static_cast<std::int64_t>(admin_->port()));
+  }
+
   obs::Log::global()
       .event(obs::LogLevel::kInfo, "daemon.start")
       .arg("host", options_.host)
@@ -341,6 +371,11 @@ void Daemon::stop(bool drain_first) {
     }
   }
   conns_.clear();  // joins every handler; each closed its own fd on exit
+
+  // The admin plane goes down last: /healthz and /readyz stayed probeable
+  // through the whole drain above (answering 503 not-ready, which is the
+  // orchestration contract for a draining instance).
+  if (admin_) admin_->stop();
 
   bool was_running = running_.exchange(false);
   if (was_running) {

@@ -25,6 +25,13 @@
 // The daemon binds 127.0.0.1 only (this is a solver, not an internet
 // service); port 0 requests an ephemeral port, readable via port() — the
 // tests' and ci.sh's race-free startup path.
+//
+// With admin_port >= 0 the daemon additionally mounts the HTTP admin
+// plane (serve/admin.hpp: /metrics, /healthz, /readyz, /statusz,
+// /tracez) on its own listener. The admin server outlives the protocol
+// listener during stop(): /readyz flips 503 the moment stop() begins and
+// stays probeable through the whole drain, so an orchestrator watching
+// the probe sees the drain instead of a vanished endpoint.
 #pragma once
 
 #include <atomic>
@@ -35,6 +42,7 @@
 #include <string>
 #include <thread>
 
+#include "obs/http.hpp"
 #include "serve/scheduler.hpp"
 #include "simt/device_pool.hpp"
 
@@ -51,6 +59,9 @@ struct DaemonOptions {
   // growing the connection buffer without bound. The offender gets one
   // {"ok":false,...} error reply, then the connection is closed.
   std::size_t max_line_bytes = 16u << 20;
+  // HTTP admin plane port: -1 = disabled, 0 = ephemeral (bound port via
+  // admin_port()), otherwise the port to bind. Binds `host`.
+  int admin_port = -1;
 };
 
 class Daemon {
@@ -69,6 +80,8 @@ class Daemon {
 
   // The bound port (resolves option port 0 to the kernel's choice).
   std::uint16_t port() const { return port_; }
+  // The admin plane's bound port; 0 when the admin plane is disabled.
+  std::uint16_t admin_port() const { return admin_ ? admin_->port() : 0; }
   bool running() const { return running_.load(std::memory_order_acquire); }
 
   // Stop accepting, unblock every connection, shut the scheduler down.
@@ -90,6 +103,7 @@ class Daemon {
 
   DaemonOptions options_;
   std::unique_ptr<Scheduler> scheduler_;
+  std::unique_ptr<obs::HttpServer> admin_;  // nullptr = admin plane off
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
   std::atomic<bool> stopped_{false};

@@ -58,6 +58,8 @@ std::string job_spec_to_json(const JobSpec& spec) {
   if (!spec.idempotency_key.empty()) {
     w.key("idempotency_key").value(spec.idempotency_key);
   }
+  if (!spec.trace_id.empty()) w.key("trace_id").value(spec.trace_id);
+  if (spec.parent_span != 0) w.key("parent_span").value(spec.parent_span);
   w.end_object();
   return w.str();
 }
@@ -108,7 +110,8 @@ JobSpec job_spec_from_json(const obs::JsonValue& value) {
   static constexpr const char* kKnown[] = {
       "schema", "schema_version", "catalog", "name", "points",
       "engine", "priority",       "time_limit_seconds", "max_iterations",
-      "deadline_ms", "seed", "devices", "idempotency_key"};
+      "deadline_ms", "seed", "devices", "idempotency_key", "trace_id",
+      "parent_span"};
   for (const auto& [key, member] : value.object) {
     (void)member;
     bool known = false;
@@ -179,6 +182,23 @@ JobSpec job_spec_from_json(const obs::JsonValue& value) {
                      "\"idempotency_key\" must be <= 256 bytes");
     spec.idempotency_key = key->string;
   }
+  if (const obs::JsonValue* trace = value.find("trace_id")) {
+    TSPOPT_CHECK_MSG(trace->kind == obs::JsonValue::Kind::kString,
+                     "\"trace_id\" must be a string");
+    TSPOPT_CHECK_MSG(trace->string.size() <= 64,
+                     "\"trace_id\" must be <= 64 bytes");
+    for (char c : trace->string) {
+      // Trace ids are stamped verbatim into log lines, trace args and
+      // journal records; keep them printable and quote-free.
+      TSPOPT_CHECK_MSG(c > 0x20 && c < 0x7F && c != '"' && c != '\\',
+                       "\"trace_id\" must be printable ASCII without "
+                       "quotes or backslashes");
+    }
+    spec.trace_id = trace->string;
+  }
+  std::int64_t parent_span = integer_field(value, "parent_span", 0);
+  TSPOPT_CHECK_MSG(parent_span >= 0, "parent_span must be non-negative");
+  spec.parent_span = static_cast<std::uint64_t>(parent_span);
   return spec;
 }
 
@@ -247,10 +267,17 @@ void write_job_status(obs::JsonWriter& w, const Job& job) {
   if (best >= 0) w.key("best_length").value(best);
   w.key("iteration").value(job.iteration.load(std::memory_order_relaxed));
   w.key("attempts").value(job.attempts.load(std::memory_order_relaxed));
+  if (!job.spec().trace_id.empty()) {
+    w.key("trace_id").value(job.spec().trace_id);
+  }
   double wait = job.wait_seconds.load(std::memory_order_relaxed);
   if (wait >= 0.0) w.key("wait_seconds").value(wait);
+  double lease = job.lease_seconds.load(std::memory_order_relaxed);
+  if (lease >= 0.0) w.key("lease_seconds").value(lease);
   double run = job.run_seconds.load(std::memory_order_relaxed);
   if (run >= 0.0) w.key("run_seconds").value(run);
+  double settle = job.settle_seconds.load(std::memory_order_relaxed);
+  if (settle >= 0.0) w.key("settle_seconds").value(settle);
   if (job.has_deadline()) w.key("deadline_ms").value(job.spec().deadline_ms);
   std::string error = job.error();
   if (!error.empty()) w.key("error").value(error);

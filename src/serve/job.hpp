@@ -65,6 +65,17 @@ struct JobSpec {
   // the work. Empty = no dedup. Keys live as long as the job is retained.
   std::string idempotency_key;
 
+  // Distributed-trace context. The trace id is minted by the submitting
+  // client (serve::Client fills it when empty; tspopt_client accepts
+  // --trace-id for caller-supplied correlation) and rides the wire, the
+  // journal and every span/log event either process emits for this job —
+  // so the client's submit span and the daemon's queue/lease/run spans
+  // share one id and their Chrome exports merge into one timeline.
+  // parent_span is the client-side span id that issued the submit (a
+  // process-local ordinal, carried for span-graph stitching only).
+  std::string trace_id;
+  std::uint64_t parent_span = 0;
+
   bool inline_payload() const { return catalog.empty(); }
 };
 
@@ -73,7 +84,7 @@ struct JobSpec {
 //     "catalog": "kroA200" | "name": "...", "points": [[x,y],...],
 //     "engine": "...", "priority": 1, "time_limit_seconds": 1.0,
 //     "max_iterations": -1, "deadline_ms": -1, "seed": 1, "devices": 1,
-//     "idempotency_key": "..." }
+//     "idempotency_key": "...", "trace_id": "...", "parent_span": N }
 // Optional fields take the JobSpec defaults; unknown fields are rejected
 // so schema-version mistakes surface at the boundary.
 std::string job_spec_to_json(const JobSpec& spec);
@@ -176,9 +187,14 @@ class Job {
   std::atomic<std::int64_t> iteration{0};
   std::atomic<std::int32_t> attempts{0};  // run attempts (retries = n-1)
 
-  // Wait/run durations, recorded by the scheduler at start/finish.
+  // Per-phase durations, recorded by the scheduler as the job moves
+  // through its pipeline: queue wait, device-lease acquisition, the run
+  // itself, and settle (journal append + accounting). -1 = not reached.
+  // These feed the serve.job_phase_us histograms and the /tracez ring.
   std::atomic<double> wait_seconds{-1.0};
+  std::atomic<double> lease_seconds{-1.0};
   std::atomic<double> run_seconds{-1.0};
+  std::atomic<double> settle_seconds{-1.0};
 
   void set_result(JobResult result) {
     std::lock_guard lock(mu_);

@@ -357,6 +357,7 @@ bool Journal::append_record(const char* phase, const std::string& payload) {
   if (wedged_) {
     ++n_append_errors_;
     m_->append_errors.add();
+    last_append_ok_ = false;
     return false;
   }
   FaultPlan::AppendFate fate;
@@ -366,6 +367,7 @@ bool Journal::append_record(const char* phase, const std::string& payload) {
   if (fate.fail_write) {
     ++n_append_errors_;
     m_->append_errors.add();
+    last_append_ok_ = false;
     obs::Log::global()
         .event(obs::LogLevel::kWarn, "journal.append_error")
         .arg("phase", phase)
@@ -380,6 +382,7 @@ bool Journal::append_record(const char* phase, const std::string& payload) {
     wedged_ = true;
     ++n_append_errors_;
     ++n_torn_tails_;
+    last_append_ok_ = false;
     m_->append_errors.add();
     m_->torn_tails.add();
     obs::Log::global()
@@ -391,12 +394,14 @@ bool Journal::append_record(const char* phase, const std::string& payload) {
   if (!write_fully(fd_, record.data(), record.size())) {
     ++n_append_errors_;
     m_->append_errors.add();
+    last_append_ok_ = false;
     obs::Log::global()
         .event(obs::LogLevel::kWarn, "journal.append_error")
         .arg("phase", phase)
         .arg("error", std::strerror(errno));
     return false;
   }
+  last_append_ok_ = true;
   ++n_appends_;
   m_->appends.add();
   n_bytes_ += record.size();
@@ -419,6 +424,7 @@ bool Journal::fsync_active_locked(bool force) {
   if (options_.faults && options_.faults->next_fsync_fails()) {
     ++n_fsync_errors_;
     m_->fsync_errors.add();
+    last_fsync_ok_ = false;
     obs::Log::global()
         .event(obs::LogLevel::kWarn, "journal.fsync_error")
         .arg("error", "injected fsync failure");
@@ -427,11 +433,13 @@ bool Journal::fsync_active_locked(bool force) {
   if (::fsync(fd_) != 0) {
     ++n_fsync_errors_;
     m_->fsync_errors.add();
+    last_fsync_ok_ = false;
     obs::Log::global()
         .event(obs::LogLevel::kWarn, "journal.fsync_error")
         .arg("error", std::strerror(errno));
     return false;
   }
+  last_fsync_ok_ = true;
   ++n_fsyncs_;
   m_->fsyncs.add();
   return true;
@@ -641,6 +649,10 @@ Journal::Stats Journal::stats() const {
   s.fsync_errors = n_fsync_errors_;
   s.rotations = n_rotations_;
   s.torn_tails = n_torn_tails_;
+  s.last_append_ok = last_append_ok_;
+  s.last_fsync_ok = last_fsync_ok_;
+  s.active_segment = active_seq_;
+  s.active_bytes = active_bytes_;
   for (const auto& [id, entry] : digest_) {
     (void)id;
     JobState state = JobState::kQueued;
@@ -653,6 +665,11 @@ Journal::Stats Journal::stats() const {
     }
   }
   return s;
+}
+
+bool Journal::healthy() const {
+  std::lock_guard lock(mu_);
+  return !wedged_ && last_append_ok_ && last_fsync_ok_;
 }
 
 }  // namespace tspopt::serve

@@ -101,6 +101,10 @@ class Journal {
     std::uint64_t torn_tails = 0;
     std::uint64_t live_jobs = 0;     // digest entries not yet settled
     std::uint64_t settled_jobs = 0;  // digest entries retained settled
+    bool last_append_ok = true;      // most recent append landed
+    bool last_fsync_ok = true;       // most recent fsync attempt succeeded
+    std::uint64_t active_segment = 0;
+    std::uint64_t active_bytes = 0;
   };
 
   // Creates `dir` (and `dir/spool/`) if needed. Does NOT touch existing
@@ -135,6 +139,12 @@ class Journal {
 
   Stats stats() const;
 
+  // Readiness signal for /readyz: the journal is healthy when it is not
+  // wedged and the most recent append and fsync both succeeded. A single
+  // failed fsync flips this false until a later fsync lands — durability
+  // is degraded, so the daemon should stop admitting work it may lose.
+  bool healthy() const;
+
  private:
   // The journal's own fold of the record stream — what a snapshot writes
   // and what replay returns. Raw JSON fragments are kept verbatim so
@@ -165,6 +175,8 @@ class Journal {
   std::size_t settled_since_rotate_ = 0;
   bool opened_ = false;
   bool wedged_ = false;  // torn append injected: drop everything after
+  bool last_append_ok_ = true;
+  bool last_fsync_ok_ = true;
   std::chrono::steady_clock::time_point last_fsync_{};
   std::map<std::uint64_t, DigestEntry> digest_;
   std::uint64_t max_id_ = 0;

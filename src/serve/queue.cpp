@@ -73,6 +73,26 @@ std::size_t JobQueue::depth() const {
   return depth_;
 }
 
+double JobQueue::oldest_age_ms() const {
+  std::lock_guard lock(mu_);
+  bool any = false;
+  auto oldest = std::chrono::steady_clock::time_point::max();
+  for (const auto& [priority, bucket] : buckets_) {
+    (void)priority;
+    for (const std::shared_ptr<Job>& job : bucket) {
+      if (job->state() != JobState::kQueued) continue;  // lazy discard
+      if (job->accepted_at() < oldest) {
+        oldest = job->accepted_at();
+        any = true;
+      }
+    }
+  }
+  if (!any) return 0.0;
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - oldest)
+      .count();
+}
+
 bool JobQueue::closed() const {
   std::lock_guard lock(mu_);
   return closed_;

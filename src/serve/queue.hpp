@@ -64,6 +64,12 @@ class JobQueue {
   std::size_t capacity() const { return capacity_; }
   bool closed() const;
 
+  // Age of the oldest still-queued job in milliseconds (0 when empty) —
+  // the queue-pressure signal behind the serve.queue_oldest_age_ms gauge
+  // and the /statusz "oldest_age_ms" field. O(depth) scan; the queue is
+  // capacity-bounded, so this stays cheap even from a scrape handler.
+  double oldest_age_ms() const;
+
  private:
   const std::size_t capacity_;
   mutable std::mutex mu_;

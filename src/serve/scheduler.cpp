@@ -47,8 +47,15 @@ bool is_multi_device_engine(const std::string& name) {
 struct Scheduler::Instruments {
   obs::Gauge& queue_depth;
   obs::Gauge& active_jobs;
+  obs::Gauge& queue_oldest_age_ms;
   obs::Histogram& job_wait_us;
   obs::Histogram& job_run_us;
+  // Per-phase pipeline latency, one labeled series per phase — the
+  // Prometheus-side mirror of the /tracez per-job breakdown.
+  obs::Histogram& phase_wait_us;
+  obs::Histogram& phase_lease_us;
+  obs::Histogram& phase_run_us;
+  obs::Histogram& phase_settle_us;
   obs::Counter& accepted;
   obs::Counter& rejected_full;
   obs::Counter& rejected_invalid;
@@ -63,8 +70,17 @@ struct Scheduler::Instruments {
   explicit Instruments(obs::Registry& r)
       : queue_depth(r.gauge("serve.queue_depth")),
         active_jobs(r.gauge("serve.active_jobs")),
+        queue_oldest_age_ms(r.gauge("serve.queue_oldest_age_ms")),
         job_wait_us(r.histogram("serve.job_wait_us", kLatencyBucketsUs)),
         job_run_us(r.histogram("serve.job_run_us", kLatencyBucketsUs)),
+        phase_wait_us(r.histogram("serve.job_phase_us", kLatencyBucketsUs,
+                                  {{"phase", "wait"}})),
+        phase_lease_us(r.histogram("serve.job_phase_us", kLatencyBucketsUs,
+                                   {{"phase", "lease"}})),
+        phase_run_us(r.histogram("serve.job_phase_us", kLatencyBucketsUs,
+                                 {{"phase", "run"}})),
+        phase_settle_us(r.histogram("serve.job_phase_us", kLatencyBucketsUs,
+                                    {{"phase", "settle"}})),
         accepted(r.counter("serve.jobs_accepted")),
         rejected_full(r.counter("serve.jobs_rejected", {{"reason", "full"}})),
         rejected_invalid(
@@ -295,15 +311,23 @@ Scheduler::Admission Scheduler::submit(JobSpec spec) {
   n_accepted_.fetch_add(1, std::memory_order_relaxed);
   m_->accepted.add();
   m_->queue_depth.set(static_cast<double>(queue_.depth()));
-  obs::Log::global()
-      .event(obs::LogLevel::kInfo, "job.accepted")
-      .arg("id", job->id())
-      .arg("engine", job->spec().engine)
-      .arg("instance", job->spec().inline_payload()
-                           ? job->spec().instance_name
-                           : job->spec().catalog)
-      .arg("priority", job->spec().priority)
-      .arg("deadline_ms", job->spec().deadline_ms);
+  m_->queue_oldest_age_ms.set(queue_.oldest_age_ms());
+  {
+    obs::LogEvent e =
+        obs::Log::global().event(obs::LogLevel::kInfo, "job.accepted");
+    if (e) {
+      e.arg("id", job->id())
+          .arg("engine", job->spec().engine)
+          .arg("instance", job->spec().inline_payload()
+                               ? job->spec().instance_name
+                               : job->spec().catalog)
+          .arg("priority", job->spec().priority)
+          .arg("deadline_ms", job->spec().deadline_ms);
+      if (!job->spec().trace_id.empty()) {
+        e.arg("trace_id", job->spec().trace_id);
+      }
+    }
+  }
   return Admission{true, job->id(), 0.0, ""};
 }
 
@@ -365,6 +389,7 @@ void Scheduler::note_run_seconds(double seconds) {
 }
 
 void Scheduler::settle(const std::shared_ptr<Job>& job, JobState terminal) {
+  WallTimer settle_timer;
   const char* event = "job.finished";
   switch (terminal) {
     case JobState::kFinished:
@@ -428,6 +453,43 @@ void Scheduler::settle(const std::shared_ptr<Job>& job, JobState terminal) {
   if (journal_ != nullptr) {
     for (std::uint64_t id : evicted) journal_->append_forgotten(id);
   }
+
+  // Settle phase ends here: everything after is reporting, not work the
+  // next job waits on.
+  double settle_seconds = settle_timer.seconds();
+  job->settle_seconds.store(settle_seconds, std::memory_order_relaxed);
+  m_->phase_settle_us.observe(settle_seconds * 1e6);
+  m_->queue_oldest_age_ms.set(queue_.oldest_age_ms());
+
+  // Feed the /tracez ring: keep this job if the ring has room or it is
+  // slower than the current fastest entry.
+  {
+    auto phase_ms = [](double seconds) {
+      return seconds > 0.0 ? seconds * 1e3 : 0.0;
+    };
+    JobTraceSummary summary;
+    summary.id = job->id();
+    summary.trace_id = job->spec().trace_id;
+    summary.engine = job->spec().engine;
+    summary.state = terminal;
+    summary.wait_ms = phase_ms(job->wait_seconds.load(std::memory_order_relaxed));
+    summary.lease_ms =
+        phase_ms(job->lease_seconds.load(std::memory_order_relaxed));
+    summary.run_ms = phase_ms(job->run_seconds.load(std::memory_order_relaxed));
+    summary.settle_ms = phase_ms(settle_seconds);
+    summary.best_length = job->best_length.load(std::memory_order_relaxed);
+    std::lock_guard lock(tracez_mu_);
+    tracez_.push_back(std::move(summary));
+    if (tracez_.size() > kTracezCapacity) {
+      auto fastest = std::min_element(
+          tracez_.begin(), tracez_.end(),
+          [](const JobTraceSummary& a, const JobTraceSummary& b) {
+            return a.total_ms() < b.total_ms();
+          });
+      tracez_.erase(fastest);
+    }
+  }
+
   {
     obs::LogEvent e = obs::Log::global().event(
         terminal == JobState::kFailed ? obs::LogLevel::kWarn
@@ -435,11 +497,16 @@ void Scheduler::settle(const std::shared_ptr<Job>& job, JobState terminal) {
         event);
     if (e) {
       e.arg("id", job->id()).arg("state", to_string(terminal));
+      if (!job->spec().trace_id.empty()) {
+        e.arg("trace_id", job->spec().trace_id);
+      }
       std::int64_t best = job->best_length.load(std::memory_order_relaxed);
       if (best >= 0) e.arg("best", best);
       e.arg("iterations", job->iteration.load(std::memory_order_relaxed));
       double run = job->run_seconds.load(std::memory_order_relaxed);
       if (run >= 0.0) e.arg("run_seconds", run);
+      double settle = job->settle_seconds.load(std::memory_order_relaxed);
+      if (settle >= 0.0) e.arg("settle_seconds", settle);
       std::string error = job->error();
       if (!error.empty()) e.arg("error", error);
     }
@@ -468,6 +535,7 @@ void Scheduler::worker_loop(std::size_t worker_index) {
 
 void Scheduler::run_job(const std::shared_ptr<Job>& job) {
   m_->queue_depth.set(static_cast<double>(queue_.depth()));
+  m_->queue_oldest_age_ms.set(queue_.oldest_age_ms());
 
   double wait_seconds = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() -
@@ -491,20 +559,53 @@ void Scheduler::run_job(const std::shared_ptr<Job>& job) {
   }
 
   m_->job_wait_us.observe(wait_seconds * 1e6);
+  m_->phase_wait_us.observe(wait_seconds * 1e6);
   m_->started.add();
   active_.fetch_add(1, std::memory_order_relaxed);
   m_->active_jobs.set(static_cast<double>(active_.load()));
-  obs::Log::global()
-      .event(obs::LogLevel::kInfo, "job.started")
-      .arg("id", job->id())
-      .arg("engine", job->spec().engine)
-      .arg("wait_seconds", wait_seconds);
+  {
+    obs::LogEvent e =
+        obs::Log::global().event(obs::LogLevel::kInfo, "job.started");
+    if (e) {
+      e.arg("id", job->id())
+          .arg("engine", job->spec().engine)
+          .arg("wait_seconds", wait_seconds);
+      if (!job->spec().trace_id.empty()) {
+        e.arg("trace_id", job->spec().trace_id);
+      }
+    }
+  }
 
-  obs::Span span = obs::Tracer::global().span("serve.job", "serve");
+  obs::Tracer& tracer = obs::Tracer::global();
+  // The queue wait already happened by the time a worker sees the job, so
+  // it cannot be an RAII span — record it retroactively, ending now, so
+  // the merged timeline shows wait -> lease -> run back to back.
+  if (tracer.enabled() && wait_seconds > 0.0) {
+    obs::TraceEvent wait_event;
+    wait_event.name = "serve.job.wait";
+    wait_event.category = "serve";
+    wait_event.duration_ns = static_cast<std::int64_t>(wait_seconds * 1e9);
+    wait_event.start_ns = tracer.now_ns() - wait_event.duration_ns;
+    wait_event.tid = obs::current_thread_ordinal();
+    wait_event.args.emplace_back("id", std::to_string(job->id()));
+    if (!job->spec().trace_id.empty()) {
+      wait_event.args.emplace_back(
+          "trace_id", "\"" + obs::json_escape(job->spec().trace_id) + "\"");
+    }
+    tracer.record(std::move(wait_event));
+  }
+
+  obs::Span span = tracer.span("serve.job", "serve");
   if (span) {
     span.arg("id", job->id());
     span.arg("engine", job->spec().engine);
     span.arg("priority", job->spec().priority);
+    if (!job->spec().trace_id.empty()) {
+      span.arg("trace_id", job->spec().trace_id);
+    }
+    if (job->spec().parent_span != 0) {
+      span.arg("parent_span", job->spec().parent_span);
+    }
   }
 
   WallTimer run_timer;
@@ -540,6 +641,7 @@ void Scheduler::run_job(const std::shared_ptr<Job>& job) {
   double run_seconds = run_timer.seconds();
   job->run_seconds.store(run_seconds, std::memory_order_relaxed);
   m_->job_run_us.observe(run_seconds * 1e6);
+  m_->phase_run_us.observe(run_seconds * 1e6);
   note_run_seconds(run_seconds);
 
   active_.fetch_sub(1, std::memory_order_relaxed);
@@ -568,16 +670,35 @@ JobState Scheduler::execute_attempt(const std::shared_ptr<Job>& job,
   std::unique_ptr<TwoOptMultiDevice> multi;
   EngineFactory factory(&instance);
   std::unique_ptr<TwoOptEngine> engine;
+  // Lease acquisition is its own traced/timed phase: under device
+  // contention this is where jobs stall, and the wait histogram alone
+  // cannot tell queue pressure from device pressure apart.
+  auto acquire_lease = [&](std::size_t count) {
+    WallTimer lease_timer;
+    obs::Span lease_span =
+        obs::Tracer::global().span("serve.job.lease", "serve");
+    if (lease_span) {
+      lease_span.arg("id", job->id());
+      lease_span.arg("devices", static_cast<std::uint64_t>(count));
+      if (!spec.trace_id.empty()) lease_span.arg("trace_id", spec.trace_id);
+    }
+    simt::DevicePool::Lease acquired = pool_.acquire(count);
+    lease_span.finish();
+    double lease_seconds = lease_timer.seconds();
+    job->lease_seconds.store(lease_seconds, std::memory_order_relaxed);
+    m_->phase_lease_us.observe(lease_seconds * 1e6);
+    return acquired;
+  };
   if (is_multi_device_engine(spec.engine)) {
     std::size_t want =
         std::max<std::size_t>(2, static_cast<std::size_t>(spec.devices));
-    lease = pool_.acquire(want);
+    lease = acquire_lease(want);
     TSPOPT_CHECK_MSG(lease, "device pool closed");
     std::vector<simt::Device*> devices(lease.devices().begin(),
                                        lease.devices().end());
     multi = std::make_unique<TwoOptMultiDevice>(devices, 0, options_.multi);
   } else if (is_gpu_engine(spec.engine)) {
-    lease = pool_.acquire(1);
+    lease = acquire_lease(1);
     TSPOPT_CHECK_MSG(lease, "device pool closed");
     simt::Device& device = *lease.devices().front();
     if (spec.engine == "gpu-small") {
@@ -722,6 +843,48 @@ Scheduler::Stats Scheduler::stats() const {
   s.devices = pool_.size();
   s.devices_available = pool_.available();
   return s;
+}
+
+std::vector<Scheduler::JobTraceSummary> Scheduler::slowest_settled() const {
+  std::vector<JobTraceSummary> ring;
+  {
+    std::lock_guard lock(tracez_mu_);
+    ring = tracez_;
+  }
+  std::sort(ring.begin(), ring.end(),
+            [](const JobTraceSummary& a, const JobTraceSummary& b) {
+              if (a.total_ms() != b.total_ms()) {
+                return a.total_ms() > b.total_ms();
+              }
+              return a.id < b.id;
+            });
+  return ring;
+}
+
+std::vector<std::shared_ptr<const Job>> Scheduler::active_snapshot() const {
+  std::vector<std::shared_ptr<const Job>> live;
+  {
+    std::lock_guard lock(jobs_mu_);
+    for (const auto& [id, job] : jobs_) {
+      (void)id;
+      if (!is_terminal(job->state())) live.push_back(job);
+    }
+  }
+  std::sort(live.begin(), live.end(),
+            [](const std::shared_ptr<const Job>& a,
+               const std::shared_ptr<const Job>& b) { return a->id() < b->id(); });
+  return live;
+}
+
+Scheduler::Readiness Scheduler::readiness() const {
+  // Order matters for the reason string: a draining daemon with a wedged
+  // journal should say "draining" — that is the operator-visible intent.
+  if (queue_.closed()) return {false, "draining"};
+  if (journal_ != nullptr && !journal_->healthy()) {
+    return {false, "journal unhealthy"};
+  }
+  if (pool_.closed()) return {false, "device pool closed"};
+  return {true, ""};
 }
 
 void Scheduler::drain() {

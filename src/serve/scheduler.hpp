@@ -13,11 +13,18 @@
 // progress into the Job record plus a per-job RunReport.
 //
 // Observability: the scheduler publishes serve.queue_depth /
-// serve.active_jobs gauges, serve.job_wait_us / serve.job_run_us
-// histograms and per-outcome counters to the global registry (visible via
-// the existing Prometheus exposition), and emits job.accepted /
+// serve.active_jobs / serve.queue_oldest_age_ms gauges, the
+// serve.job_wait_us / serve.job_run_us histograms plus the per-phase
+// serve.job_phase_us{phase=wait|lease|run|settle} family, and per-outcome
+// counters to the global registry (visible via the existing Prometheus
+// exposition and the /metrics admin endpoint). It emits job.accepted /
 // job.started / job.finished / job.rejected / job.cancelled / job.expired
-// JSONL lifecycle events.
+// JSONL lifecycle events — each stamped with the job's distributed trace
+// id when the client supplied one — and, when tracing is on, per-phase
+// spans (serve.job.wait / serve.job.lease / serve.job) that share the
+// client's trace id so both processes' exports merge into one timeline.
+// The /tracez ring (slowest_settled()) retains the slowest settled jobs
+// with their per-phase breakdown; readiness() is the /readyz signal.
 #pragma once
 
 #include <atomic>
@@ -124,6 +131,41 @@ class Scheduler {
   };
   Stats stats() const;
 
+  // One settled job's per-phase pipeline timing, retained for /tracez.
+  // Phases a job never reached (e.g. lease for a CPU engine, or run for a
+  // job cancelled while queued) read 0.
+  struct JobTraceSummary {
+    std::uint64_t id = 0;
+    std::string trace_id;  // empty when the client sent none
+    std::string engine;
+    JobState state = JobState::kFinished;
+    double wait_ms = 0.0;
+    double lease_ms = 0.0;
+    double run_ms = 0.0;
+    double settle_ms = 0.0;
+    std::int64_t best_length = -1;
+    double total_ms() const { return wait_ms + lease_ms + run_ms + settle_ms; }
+  };
+  // The slowest settled jobs by total pipeline time, slowest first (ring
+  // of at most kTracezCapacity entries — slow outliers stay visible even
+  // after thousands of fast jobs settle behind them).
+  static constexpr std::size_t kTracezCapacity = 32;
+  std::vector<JobTraceSummary> slowest_settled() const;
+
+  // Every retained non-terminal job (queued + running), ascending id —
+  // the /statusz "active jobs" table.
+  std::vector<std::shared_ptr<const Job>> active_snapshot() const;
+
+  // Readiness for /readyz: ready means the service can accept AND durably
+  // record AND eventually run a job. `reason` names the failing leg.
+  struct Readiness {
+    bool ready = true;
+    std::string reason;  // "draining" | "journal unhealthy" | ...
+  };
+  Readiness readiness() const;
+
+  double queue_oldest_age_ms() const { return queue_.oldest_age_ms(); }
+
   // Stop admission and block until every queued and running job reached a
   // terminal state — the SIGTERM path. Idempotent.
   void drain();
@@ -173,6 +215,11 @@ class Scheduler {
   mutable std::mutex drain_mu_;
   std::condition_variable drain_cv_;
   std::size_t live_jobs_ = 0;  // queued + running (accepted, not terminal)
+
+  // /tracez ring: the kTracezCapacity slowest settled jobs. Unordered in
+  // storage; slowest_settled() sorts on read (reads are rare scrapes).
+  mutable std::mutex tracez_mu_;
+  std::vector<JobTraceSummary> tracez_;
 
   // EMA of completed-job run time, feeding the retry-after estimate.
   std::atomic<double> ema_run_ms_{0.0};

@@ -104,4 +104,9 @@ std::uint64_t DevicePool::leases_granted() const {
   return granted_;
 }
 
+bool DevicePool::closed() const {
+  std::lock_guard lock(mu_);
+  return closed_;
+}
+
 }  // namespace tspopt::simt

@@ -70,6 +70,9 @@ class DevicePool {
   std::size_t size() const { return devices_.size(); }
   std::size_t available() const;
   std::uint64_t leases_granted() const;
+  // True once close() ran — surfaced by /readyz: a closed pool can never
+  // grant another lease, so the daemon is no longer ready for work.
+  bool closed() const;
 
  private:
   std::vector<Device*> take_locked(std::size_t count);

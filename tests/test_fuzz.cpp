@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "obs/http.hpp"
 #include "obs/json.hpp"
 #include "serve/daemon.hpp"
 #include "serve/scheduler.hpp"
@@ -370,6 +371,72 @@ TEST(Fuzz, ServeProtocolNeverThrowsOnGarbageLines) {
     obs::JsonValue parsed;
     ASSERT_NO_THROW(parsed = obs::json_parse(response)) << "trial " << trial;
     ASSERT_NE(parsed.find("ok"), nullptr) << "trial " << trial;
+  }
+}
+
+// The admin-plane HTTP boundary, same discipline as the daemon protocol:
+// whatever bytes arrive as a request head, parse_http_request must
+// either fill the request or return false with an error — never throw.
+// Random garbage, mutated valid heads, truncations and NUL injection.
+TEST(Fuzz, HttpRequestParserNeverThrowsOnGarbageHeads) {
+  const std::vector<std::string> seeds = {
+      "GET / HTTP/1.0\r\n\r\n",
+      "GET /metrics HTTP/1.1\r\nHost: localhost\r\nAccept: */*\r\n\r\n",
+      "HEAD /tracez?n=5 HTTP/1.0\r\n\r\n",
+      "POST /statusz HTTP/1.0\r\nContent-Length: 12\r\n\r\n",
+  };
+
+  Pcg32 rng(20260808);
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string head;
+    switch (rng.next_below(4)) {
+      case 0: {  // pure random bytes
+        auto len = rng.next_below(200);
+        for (std::uint32_t i = 0; i < len; ++i) {
+          head.push_back(static_cast<char>(rng.next_below(256)));
+        }
+        break;
+      }
+      case 1: {  // mutated valid head: flip random bytes
+        head = seeds[rng.next_below(seeds.size())];
+        auto flips = 1 + rng.next_below(8);
+        for (std::uint32_t i = 0; i < flips && !head.empty(); ++i) {
+          head[rng.next_below(head.size())] =
+              static_cast<char>(rng.next_below(256));
+        }
+        break;
+      }
+      case 2: {  // truncated valid head
+        head = seeds[rng.next_below(seeds.size())];
+        head.resize(rng.next_below(head.size() + 1));
+        break;
+      }
+      default: {  // NUL injection into a valid head
+        head = seeds[rng.next_below(seeds.size())];
+        auto count = 1 + rng.next_below(4);
+        for (std::uint32_t i = 0; i < count; ++i) {
+          head.insert(rng.next_below(head.size() + 1), 1, '\0');
+        }
+        break;
+      }
+    }
+
+    obs::HttpRequest request;
+    std::string error;
+    bool ok = false;
+    ASSERT_NO_THROW(ok = obs::parse_http_request(head, &request, &error))
+        << "trial " << trial;
+    if (ok) {
+      // A parse that succeeds must yield a dispatchable request.
+      ASSERT_FALSE(request.method.empty()) << "trial " << trial;
+      ASSERT_FALSE(request.path.empty()) << "trial " << trial;
+      ASSERT_EQ(request.path.front(), '/') << "trial " << trial;
+      // And its query must be safe to probe for limits.
+      ASSERT_NO_THROW(obs::query_int(request.query, "n", 1))
+          << "trial " << trial;
+    } else {
+      ASSERT_FALSE(error.empty()) << "trial " << trial;
+    }
   }
 }
 

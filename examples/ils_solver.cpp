@@ -3,9 +3,13 @@
 // pass. This is the "downstream user" workload the paper motivates —
 // solve a large instance to good quality, fast.
 //
-//   $ ./examples/ils_solver [n] [seconds] [seed]
+//   $ ./examples/ils_solver [n] [seconds] [seed] [engine] [iters]
 //
-// Defaults: n=2000 clustered cities, 10 s budget, seed 1.
+// Defaults: n=2000 clustered cities, 10 s budget, seed 1, the
+// cpu-parallel engine, unbounded iterations. `engine` is any
+// EngineFactory roster name — the pruned engines (cpu-pruned,
+// cpu-simd-pruned, gpu-pruned) make n >= 100k runs routine; `iters`
+// bounds the ILS perturbation loop (-1 = until the time budget).
 //
 // Observability: set TSPOPT_TRACE=<file> for a Chrome/Perfetto trace of
 // the run, TSPOPT_REPORT=<file> for a machine-readable run report
@@ -27,8 +31,8 @@
 #include "solver/obs_adapters.hpp"
 #include "solver/constructive.hpp"
 #include "solver/ils.hpp"
+#include "solver/engine_factory.hpp"
 #include "solver/or_opt.hpp"
-#include "solver/twoopt_parallel.hpp"
 #include "tsp/generator.hpp"
 #include "tsp/neighbor_lists.hpp"
 #include "tsp/svg.hpp"
@@ -40,8 +44,11 @@ int main(int argc, char** argv) {
   std::int32_t n = argc > 1 ? std::atoi(argv[1]) : 2000;
   double seconds = argc > 2 ? std::atof(argv[2]) : 10.0;
   std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+  std::string engine_name = argc > 4 ? argv[4] : "cpu-parallel";
+  std::int64_t iters = argc > 5 ? std::atoll(argv[5]) : -1;
   if (n < 8) {
-    std::cerr << "usage: ils_solver [n>=8] [seconds] [seed]\n";
+    std::cerr << "usage: ils_solver [n>=8] [seconds] [seed] [engine] "
+                 "[iters]\n";
     return 2;
   }
 
@@ -60,13 +67,17 @@ int main(int argc, char** argv) {
   std::cout << "multiple-fragment start: " << initial.length(instance)
             << "\n";
 
-  // The parallel-CPU engine is this host's accelerated 2-opt; swap in
-  // TwoOptGpuSmall/TwoOptGpuTiled to run on the SIMT simulator instead.
-  TwoOptCpuParallel engine;
+  // Any roster engine by name: the parallel-CPU 2-opt by default, the
+  // candidate-list engines for large n, the gpu-* classes to run on the
+  // SIMT simulator.
+  EngineFactory factory(&instance);
+  std::unique_ptr<TwoOptEngine> engine = factory.create(engine_name);
+  std::cout << "engine: " << engine->name() << "\n";
   IlsOptions opts;
   opts.time_limit_seconds = seconds;
+  opts.max_iterations = iters;
   opts.seed = seed;
-  IlsResult result = iterated_local_search(engine, instance, initial, opts);
+  IlsResult result = iterated_local_search(*engine, instance, initial, opts);
 
   std::cout << "ILS: " << result.best_length << " after "
             << result.iterations << " iterations ("
@@ -80,8 +91,8 @@ int main(int argc, char** argv) {
 
   // Finishing pass: Or-opt segment relocation (paper §VII).
   Tour best = result.best;
-  NeighborLists nl(instance, 10);
-  OrOptStats or_stats = or_opt_descend(instance, best, nl);
+  OrOptStats or_stats =
+      or_opt_descend(instance, best, factory.neighbor_lists());
   std::cout << "after Or-opt finishing: " << best.length(instance) << "  (-"
             << or_stats.improvement << " from " << or_stats.moves_applied
             << " relocations)\n";
@@ -90,7 +101,7 @@ int main(int argc, char** argv) {
   obs::RunReport report;
   describe_environment(report);
   report.set_instance(instance.name(), n, "EUC_2D");
-  report.set_engine(engine.name());
+  report.set_engine(engine->name());
   report.set_config("seed", std::to_string(seed));
   report.set_config("time_limit_seconds", std::to_string(seconds));
   report_ils(report, result);

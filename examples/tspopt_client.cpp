@@ -58,6 +58,8 @@ int main(int argc, char** argv) {
                  "-1");
   cli.add_option("seed", "ILS seed", "1");
   cli.add_option("devices", "device-lease size for gpu engines", "1");
+  cli.add_option("k", "neighbor-list size for the pruned engines "
+                      "(0 = engine default)", "0");
   cli.add_flag("wait", "submit only: poll to completion, print the result");
   cli.add_option("wait-seconds", "--wait poll budget", "30");
   cli.add_option("deadline",
@@ -111,6 +113,7 @@ int main(int argc, char** argv) {
       spec.deadline_ms = cli.get_double("deadline-ms", -1.0);
       spec.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
       spec.devices = static_cast<std::int32_t>(cli.get_int("devices", 1));
+      spec.k = static_cast<std::int32_t>(cli.get_int("k", 0));
       spec.idempotency_key = cli.get("idempotency-key", "");
       // Mint the trace id here (not in Client::submit) so the timeout
       // handler below can name it even when the request never came back.

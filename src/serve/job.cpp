@@ -55,6 +55,7 @@ std::string job_spec_to_json(const JobSpec& spec) {
   w.key("deadline_ms").value(spec.deadline_ms);
   w.key("seed").value(spec.seed);
   w.key("devices").value(spec.devices);
+  if (spec.k != 0) w.key("k").value(spec.k);
   if (!spec.idempotency_key.empty()) {
     w.key("idempotency_key").value(spec.idempotency_key);
   }
@@ -110,7 +111,7 @@ JobSpec job_spec_from_json(const obs::JsonValue& value) {
   static constexpr const char* kKnown[] = {
       "schema", "schema_version", "catalog", "name", "points",
       "engine", "priority",       "time_limit_seconds", "max_iterations",
-      "deadline_ms", "seed", "devices", "idempotency_key", "trace_id",
+      "deadline_ms", "seed", "devices", "k", "idempotency_key", "trace_id",
       "parent_span"};
   for (const auto& [key, member] : value.object) {
     (void)member;
@@ -175,6 +176,11 @@ JobSpec job_spec_from_json(const obs::JsonValue& value) {
       static_cast<std::int32_t>(integer_field(value, "devices", spec.devices));
   TSPOPT_CHECK_MSG(spec.devices >= 1 && spec.devices <= 64,
                    "devices must be in [1, 64]");
+  spec.k = static_cast<std::int32_t>(integer_field(value, "k", spec.k));
+  // Full validation (pruned engines only, k < n) happens at submit, where
+  // the instance size is known; the wire layer rejects what it can.
+  TSPOPT_CHECK_MSG(spec.k == 0 || spec.k >= 1,
+                   "k must be >= 1 when present, got " << spec.k);
   if (const obs::JsonValue* key = value.find("idempotency_key")) {
     TSPOPT_CHECK_MSG(key->kind == obs::JsonValue::Kind::kString,
                      "\"idempotency_key\" must be a string");

@@ -59,6 +59,11 @@ struct JobSpec {
   std::uint64_t seed = 1;
   std::int32_t devices = 1;  // device-lease size for the gpu-* engines
 
+  // Neighbor-list size for the pruned engines (cpu-pruned,
+  // cpu-simd-pruned, gpu-pruned). 0 = engine default. Rejected for
+  // non-pruned engines and when k >= the instance's city count.
+  std::int32_t k = 0;
+
   // Client-chosen dedup token: a resubmit carrying the same key (after an
   // ambiguous failure — timeout, dropped connection, daemon restart) is
   // answered with the already-accepted job's id instead of double-running
@@ -84,7 +89,8 @@ struct JobSpec {
 //     "catalog": "kroA200" | "name": "...", "points": [[x,y],...],
 //     "engine": "...", "priority": 1, "time_limit_seconds": 1.0,
 //     "max_iterations": -1, "deadline_ms": -1, "seed": 1, "devices": 1,
-//     "idempotency_key": "...", "trace_id": "...", "parent_span": N }
+//     "k": 10, "idempotency_key": "...", "trace_id": "...",
+//     "parent_span": N }
 // Optional fields take the JobSpec defaults; unknown fields are rejected
 // so schema-version mistakes surface at the boundary.
 std::string job_spec_to_json(const JobSpec& spec);

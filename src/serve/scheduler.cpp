@@ -16,6 +16,7 @@
 #include "solver/engine_factory.hpp"
 #include "solver/ils.hpp"
 #include "solver/twoopt_gpu.hpp"
+#include "solver/twoopt_gpu_pruned.hpp"
 #include "solver/twoopt_tiled.hpp"
 #include "solver/obs_adapters.hpp"
 #include "tsp/catalog.hpp"
@@ -40,6 +41,12 @@ bool is_gpu_engine(const std::string& name) {
 // retry on a fresh lease, not from an engine substitution).
 bool is_multi_device_engine(const std::string& name) {
   return name == "gpu-multi";
+}
+
+// The engines that restrict 2-opt to k-nearest-neighbor candidate lists
+// and therefore honor the job's optional `k` field.
+bool is_pruned_engine(const std::string& name) {
+  return name.find("pruned") != std::string::npos;
 }
 
 }  // namespace
@@ -199,6 +206,21 @@ Scheduler::Admission Scheduler::submit(JobSpec spec) {
   }
   if (spec.time_limit_seconds <= 0.0) {
     return reject_invalid("time_limit_seconds must be positive");
+  }
+  if (spec.k != 0) {
+    if (!is_pruned_engine(spec.engine)) {
+      return reject_invalid("k applies only to the pruned engines, not \"" +
+                            spec.engine + "\"");
+    }
+    if (spec.k < 1) return reject_invalid("k must be >= 1");
+    // A candidate list cannot include the city itself, so k caps at n-1.
+    std::int32_t n = spec.inline_payload()
+                         ? static_cast<std::int32_t>(spec.points.size())
+                         : find_catalog_entry(spec.catalog)->n;
+    if (spec.k >= n) {
+      return reject_invalid("k must be < the instance size (" +
+                            std::to_string(n) + ")");
+    }
   }
 
   // Idempotent resubmit: a key matching a retained job (live or settled)
@@ -668,7 +690,9 @@ JobState Scheduler::execute_attempt(const std::shared_ptr<Job>& job,
   // the scheduler's attempt retry on a fresh lease.
   simt::DevicePool::Lease lease;
   std::unique_ptr<TwoOptMultiDevice> multi;
-  EngineFactory factory(&instance);
+  EngineFactory factory(&instance, spec.k != 0
+                                       ? spec.k
+                                       : EngineFactory::kDefaultNeighbors);
   std::unique_ptr<TwoOptEngine> engine;
   // Lease acquisition is its own traced/timed phase: under device
   // contention this is where jobs stall, and the wait histogram alone
@@ -708,6 +732,11 @@ JobState Scheduler::execute_attempt(const std::shared_ptr<Job>& job,
                                                 false);
     } else if (spec.engine == "gpu-tiled") {
       engine = std::make_unique<TwoOptGpuTiled>(device);
+    } else if (spec.engine == "gpu-pruned") {
+      // Candidate lists come from the factory (sized by the job's k) but
+      // the engine runs on the leased device, like the other gpu classes.
+      engine =
+          std::make_unique<TwoOptGpuPruned>(device, factory.neighbor_lists());
     } else {
       TSPOPT_CHECK_MSG(false, "unknown gpu engine \"" << spec.engine << "\"");
     }

@@ -1,6 +1,7 @@
 #include "solver/constructive.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <numeric>
 #include <vector>
@@ -121,30 +122,136 @@ Tour multiple_fragment(const Instance& instance, std::int32_t k) {
     ++links;
   }
 
-  // Stitch remaining fragments: greedily connect the closest pair of
-  // endpoints from different fragments until one Hamiltonian path remains.
-  while (links < n - 1) {
+  // Stitch remaining fragments into one Hamiltonian path by greedy
+  // nearest-endpoint chaining: one growing chain links its free end to a
+  // near-nearest free endpoint of another fragment, found by ring search
+  // over a uniform grid of the endpoint set (same bucket scheme as
+  // tsp/neighbor_lists). The previous closest-global-pair rule rescanned
+  // every endpoint pair per link — O(fragments * endpoints^2), minutes
+  // of wall time at n=100k on clustered inputs — where the chain is
+  // near-linear and starts the descent from the same quality
+  // neighborhood.
+  if (links < n - 1) {
     std::vector<std::int32_t> endpoints;
+    std::vector<std::int32_t> partner(static_cast<std::size_t>(n), -1);
     for (std::int32_t c = 0; c < n; ++c) {
       if (degree[static_cast<std::size_t>(c)] < 2) endpoints.push_back(c);
     }
-    std::int64_t best_d = std::numeric_limits<std::int64_t>::max();
-    std::int32_t best_a = -1, best_b = -1;
-    for (std::size_t x = 0; x < endpoints.size(); ++x) {
-      for (std::size_t y = x + 1; y < endpoints.size(); ++y) {
-        std::int32_t a = endpoints[x], b = endpoints[y];
-        if (sets.find(a) == sets.find(b)) continue;
-        std::int64_t d = instance.dist(a, b);
-        if (d < best_d) {
-          best_d = d;
-          best_a = a;
-          best_b = b;
+    // Pair each endpoint with its fragment's other end (itself for an
+    // isolated city) by walking each fragment once.
+    for (std::int32_t e : endpoints) {
+      if (partner[static_cast<std::size_t>(e)] != -1) continue;
+      std::int32_t prev = -1;
+      std::int32_t cur = e;
+      for (;;) {
+        std::int32_t next = -1;
+        for (std::int32_t nb : adj[static_cast<std::size_t>(cur)]) {
+          if (nb != -1 && nb != prev) {
+            next = nb;
+            break;
+          }
+        }
+        if (next == -1) break;
+        prev = cur;
+        cur = next;
+      }
+      partner[static_cast<std::size_t>(e)] = cur;
+      partner[static_cast<std::size_t>(cur)] = e;
+    }
+
+    float lo_x = std::numeric_limits<float>::max(), lo_y = lo_x;
+    float hi_x = std::numeric_limits<float>::lowest(), hi_y = hi_x;
+    for (std::int32_t e : endpoints) {
+      const Point& p = instance.point(e);
+      lo_x = std::min(lo_x, p.x);
+      lo_y = std::min(lo_y, p.y);
+      hi_x = std::max(hi_x, p.x);
+      hi_y = std::max(hi_y, p.y);
+    }
+    const float w = std::max(hi_x - lo_x, 1.0f);
+    const float h = std::max(hi_y - lo_y, 1.0f);
+    const auto target = static_cast<float>(
+        std::sqrt(static_cast<double>(endpoints.size())));
+    float cell = std::max(w, h) / std::max(1.0f, target);
+    if (!(cell > 0.0f) || !std::isfinite(cell)) cell = 1.0f;
+    const std::int32_t cells_x =
+        std::max(1, static_cast<std::int32_t>(w / cell) + 1);
+    const std::int32_t cells_y =
+        std::max(1, static_cast<std::int32_t>(h / cell) + 1);
+    auto clampi = [](std::int32_t v, std::int32_t hi) {
+      return std::clamp(v, 0, hi - 1);
+    };
+    auto cell_x = [&](float x) {
+      return clampi(static_cast<std::int32_t>((x - lo_x) / cell), cells_x);
+    };
+    auto cell_y = [&](float y) {
+      return clampi(static_cast<std::int32_t>((y - lo_y) / cell), cells_y);
+    };
+    std::vector<std::vector<std::int32_t>> buckets(
+        static_cast<std::size_t>(cells_x) * static_cast<std::size_t>(cells_y));
+    auto bucket = [&](std::int32_t gx, std::int32_t gy)
+        -> std::vector<std::int32_t>& {
+      return buckets[static_cast<std::size_t>(gy) *
+                         static_cast<std::size_t>(cells_x) +
+                     static_cast<std::size_t>(gx)];
+    };
+    std::vector<char> alive(static_cast<std::size_t>(n), 0);
+    for (std::int32_t e : endpoints) {
+      const Point& p = instance.point(e);
+      bucket(cell_x(p.x), cell_y(p.y)).push_back(e);
+      alive[static_cast<std::size_t>(e)] = 1;
+    }
+
+    std::int32_t tail = endpoints[0];
+    alive[static_cast<std::size_t>(tail)] = 0;
+    const std::int32_t max_ring = cells_x + cells_y;
+    while (links < n - 1) {
+      const Point& tp = instance.point(tail);
+      const std::int32_t cx = cell_x(tp.x);
+      const std::int32_t cy = cell_y(tp.y);
+      std::int32_t best = -1;
+      std::int64_t best_d = std::numeric_limits<std::int64_t>::max();
+      std::int32_t found_ring = -1;
+      for (std::int32_t ring = 0; ring <= max_ring; ++ring) {
+        std::int32_t x0 = clampi(cx - ring, cells_x);
+        std::int32_t x1 = clampi(cx + ring, cells_x);
+        std::int32_t y0 = clampi(cy - ring, cells_y);
+        std::int32_t y1 = clampi(cy + ring, cells_y);
+        for (std::int32_t gy = y0; gy <= y1; ++gy) {
+          for (std::int32_t gx = x0; gx <= x1; ++gx) {
+            bool on_ring = (gx == cx - ring || gx == cx + ring ||
+                            gy == cy - ring || gy == cy + ring);
+            if (ring > 0 && !on_ring) continue;  // interior already visited
+            for (std::int32_t c : bucket(gx, gy)) {
+              if (alive[static_cast<std::size_t>(c)] == 0) continue;
+              if (sets.find(c) == sets.find(tail)) continue;
+              std::int64_t d = instance.dist(tail, c);
+              if (d < best_d || (d == best_d && c < best)) {
+                best_d = d;
+                best = c;
+              }
+            }
+          }
+        }
+        if (best != -1 && found_ring < 0) found_ring = ring;
+        bool covers_whole_grid = x0 == 0 && y0 == 0 && x1 == cells_x - 1 &&
+                                 y1 == cells_y - 1;
+        // One extra ring past the first hit: a heuristic stitch edge, so
+        // near-nearest is enough — the descent repairs the rest.
+        if ((found_ring >= 0 && ring > found_ring) || covers_whole_grid) {
+          break;
         }
       }
+      TSPOPT_CHECK_MSG(best >= 0, "fragment stitching found no joinable pair");
+      link(tail, best);
+      ++links;
+      alive[static_cast<std::size_t>(best)] = 0;
+      // The consumed fragment's other end is the chain's new free end and
+      // leaves the search pool (an isolated city is its own partner).
+      std::int32_t next_tail = partner[static_cast<std::size_t>(best)];
+      alive[static_cast<std::size_t>(next_tail)] = 0;
+      tail = next_tail;
     }
-    TSPOPT_CHECK_MSG(best_a >= 0, "fragment stitching found no joinable pair");
-    link(best_a, best_b);
-    ++links;
   }
 
   // Walk the path into a tour order. The two remaining degree-1 cities are

@@ -2,12 +2,14 @@
 
 #include "solver/twoopt_generic.hpp"
 #include "solver/twoopt_gpu.hpp"
+#include "solver/twoopt_gpu_pruned.hpp"
 #include "solver/twoopt_lut.hpp"
 #include "solver/twoopt_multi.hpp"
 #include "solver/twoopt_parallel.hpp"
 #include "solver/twoopt_pruned.hpp"
 #include "solver/twoopt_sequential.hpp"
 #include "solver/twoopt_simd.hpp"
+#include "solver/twoopt_simd_pruned.hpp"
 #include "solver/twoopt_tiled.hpp"
 
 namespace tspopt {
@@ -34,12 +36,18 @@ const std::vector<EngineFactory::EngineInfo>& EngineFactory::roster() {
        "single-threaded 2-opt over a precomputed n^2 distance matrix"},
       {"cpu-pruned",
        "k-nearest-neighbor pruned 2-opt (inexact: restricted move set)"},
+      {"cpu-simd-pruned",
+       "k-NN pruned 2-opt with SIMD candidate rows + don't-look bits "
+       "(inexact: restricted move set)"},
       {"gpu-small",
        "one-kernel GPU 2-opt, whole instance staged in shared memory"},
       {"gpu-small-indirect",
        "gpu-small variant reading coordinates through the device tour"},
       {"gpu-tiled",
        "tiled GPU 2-opt for arbitrary n (paper SIV-B problem division)"},
+      {"gpu-pruned",
+       "k-NN pruned 2-opt staging NN lists in shared memory + don't-look "
+       "bits (inexact: restricted move set)"},
       {"gpu-multi",
        "fault-tolerant tiled 2-opt across several devices (paper SVI)"},
   };
@@ -80,10 +88,13 @@ std::unique_ptr<TwoOptEngine> EngineFactory::create(const std::string& name) {
   if (name == "cpu-pruned") {
     TSPOPT_CHECK_MSG(instance_ != nullptr,
                      "cpu-pruned needs the factory's instance");
-    if (!neighbors_) {
-      neighbors_ = std::make_unique<NeighborLists>(*instance_, k_);
-    }
-    return std::make_unique<TwoOptPruned>(*neighbors_);
+    return std::make_unique<TwoOptPruned>(neighbor_lists());
+  }
+  if (name == "cpu-simd-pruned") {
+    TSPOPT_CHECK_MSG(instance_ != nullptr,
+                     "cpu-simd-pruned needs the factory's instance for its "
+                     "neighbor lists");
+    return std::make_unique<TwoOptSimdPruned>(neighbor_lists());
   }
   if (name == "gpu-small") {
     return std::make_unique<TwoOptGpuSmall>(device_);
@@ -95,12 +106,27 @@ std::unique_ptr<TwoOptEngine> EngineFactory::create(const std::string& name) {
   if (name == "gpu-tiled") {
     return std::make_unique<TwoOptGpuTiled>(device_);
   }
+  if (name == "gpu-pruned") {
+    TSPOPT_CHECK_MSG(instance_ != nullptr,
+                     "gpu-pruned needs the factory's instance for its "
+                     "neighbor lists");
+    return std::make_unique<TwoOptGpuPruned>(device_, neighbor_lists());
+  }
   if (name == "gpu-multi") {
     return std::make_unique<TwoOptMultiDevice>(
         std::vector<simt::Device*>{&device_, &second_device_});
   }
   TSPOPT_CHECK_MSG(false, "unknown engine: " << name);
   return nullptr;  // unreachable
+}
+
+const NeighborLists& EngineFactory::neighbor_lists() {
+  TSPOPT_CHECK_MSG(instance_ != nullptr,
+                   "neighbor lists need the factory's instance");
+  if (!neighbors_) {
+    neighbors_ = std::make_unique<NeighborLists>(*instance_, k_);
+  }
+  return *neighbors_;
 }
 
 }  // namespace tspopt

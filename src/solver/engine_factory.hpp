@@ -20,16 +20,22 @@ namespace tspopt {
 
 class EngineFactory {
  public:
+  // Default neighbor-list size for the pruned engines: two full AVX2
+  // lane-groups, so the vectorized sweep runs no partially-useful
+  // iterations — a candidate count between 9 and 16 costs exactly the
+  // same vector work, so take the full move set the hardware pays for.
+  static constexpr std::int32_t kDefaultNeighbors = 16;
+
   // `instance` is needed only for the instance-bound engines (cpu-lut,
   // cpu-pruned); pass nullptr when those are not used. `k` sizes the
-  // pruned engine's neighbor lists.
+  // pruned engines' neighbor lists.
   explicit EngineFactory(const Instance* instance = nullptr,
-                         std::int32_t k = 10);
+                         std::int32_t k = kDefaultNeighbors);
 
   // Known names, in the order they print in help text:
   //   cpu-sequential, cpu-sequential-indirect, cpu-generic, cpu-parallel,
-  //   cpu-lut, cpu-pruned, gpu-small, gpu-small-indirect, gpu-tiled,
-  //   gpu-multi
+  //   cpu-lut, cpu-pruned, cpu-simd-pruned, gpu-small, gpu-small-indirect,
+  //   gpu-tiled, gpu-pruned, gpu-multi
   static const std::vector<std::string>& available();
 
   // One-line description per engine, same order as available(). This is
@@ -48,6 +54,13 @@ class EngineFactory {
 
   // The simulated device behind the gpu-* engines (for counters/models).
   simt::Device& device() { return device_; }
+
+  // The factory's k-NN candidate lists, built lazily from the factory's
+  // instance with list size k (CheckError without an instance). Shared by
+  // every pruned engine the factory creates, and by callers that build a
+  // pruned engine on a different device (the serve scheduler's leased
+  // gpu-pruned path).
+  const NeighborLists& neighbor_lists();
 
  private:
   const Instance* instance_;

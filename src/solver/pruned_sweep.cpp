@@ -1,0 +1,59 @@
+#include "solver/pruned_sweep.hpp"
+
+#include <algorithm>
+
+namespace tspopt {
+
+void PrunedSweep::begin_pass(const Tour& tour) {
+  const std::int32_t n = tour.n();
+  std::span<const std::int32_t> route = tour.order();
+
+  positions_.resize(static_cast<std::size_t>(n));
+  for (std::int32_t p = 0; p < n; ++p) {
+    positions_[static_cast<std::size_t>(route[static_cast<std::size_t>(p)])] =
+        p;
+  }
+
+  const bool fresh = n != n_;
+  n_ = n;
+  if (fresh) {
+    adj_lo_.assign(static_cast<std::size_t>(n), -1);
+    adj_hi_.assign(static_cast<std::size_t>(n), -1);
+    dont_look_.assign(static_cast<std::size_t>(n), 0);
+  }
+
+  // Diff the unordered tour adjacency against the previous pass and
+  // re-activate exactly the cities whose edges changed. On the first pass
+  // every adjacency differs from the -1 sentinel, so every row activates.
+  std::int32_t changed = 0;
+  for (std::int32_t p = 0; p < n; ++p) {
+    std::int32_t city = route[static_cast<std::size_t>(p)];
+    std::int32_t prev = route[static_cast<std::size_t>(p == 0 ? n - 1 : p - 1)];
+    std::int32_t next = route[static_cast<std::size_t>(p == n - 1 ? 0 : p + 1)];
+    std::int32_t lo = prev < next ? prev : next;
+    std::int32_t hi = prev < next ? next : prev;
+    auto c = static_cast<std::size_t>(city);
+    if (lo != adj_lo_[c] || hi != adj_hi_[c]) {
+      adj_lo_[c] = lo;
+      adj_hi_[c] = hi;
+      dont_look_[c] = 0;
+      ++changed;
+    }
+  }
+  // Unchanged tour: a re-search of the same tour must return the same
+  // move, so re-arm every row and sweep in full (idempotence, and
+  // bit-equality with the DLB-free cpu-pruned engine on such passes).
+  if (!fresh && changed == 0) {
+    std::fill(dont_look_.begin(), dont_look_.end(), std::uint8_t{0});
+  }
+
+  active_rows_.clear();
+  for (std::int32_t p = 0; p < n; ++p) {
+    if (dont_look_[static_cast<std::size_t>(
+            route[static_cast<std::size_t>(p)])] == 0) {
+      active_rows_.push_back(p);
+    }
+  }
+}
+
+}  // namespace tspopt

@@ -1,0 +1,92 @@
+// Don't-look-bit sweep state shared by the pruned candidate-list engines.
+//
+// Classic don't-look bits (Bentley; the `dontLook` array in SNIPPETS.md
+// Snippet 3's opt2 kernel): a city whose candidate row produced no
+// improving move is marked quiescent and skipped on later passes, until
+// one of its own tour edges changes. Under ILS steady state almost every
+// row is quiescent, so a pass costs O(changed-rows * k) instead of
+// O(n * k).
+//
+// The reset policy is deliberately exact rather than heuristic, because
+// both pruned backends (cpu-simd-pruned and gpu-pruned) share this one
+// component and must select identical moves pass after pass:
+//
+//   - first pass (or n changed): every row active — a full candidate
+//     sweep, bit-equal to the DLB-free cpu-pruned engine.
+//   - tour unchanged since the previous pass (re-searching the same tour,
+//     e.g. repeated benchmark calls): every bit is re-armed, so the pass
+//     is again a full sweep and search() is idempotent.
+//   - otherwise: exactly the cities whose unordered tour-neighbor pair
+//     {prev, succ} changed are re-activated (4 for an applied 2-opt move,
+//     8 for a double-bridge kick). This is the `positions_` maintenance
+//     across applied moves: the engine detects the applied move from the
+//     tour itself, so no apply-callback wiring is needed.
+//
+// Skipping a quiescent row can miss moves whose deltas changed only via
+// segment orientation — the standard don't-look approximation; the pruned
+// engines are documented as inexact already, and the equivalence suite
+// pins all backends to the same approximation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tsp/soa.hpp"
+#include "tsp/metric.hpp"
+#include "tsp/tour.hpp"
+
+namespace tspopt {
+
+class PrunedSweep {
+ public:
+  // Rebuilds the position/adjacency state for `tour` and applies the reset
+  // policy above. Afterwards active_rows() lists the tour positions to
+  // sweep this pass, in ascending order. Reuses capacity: steady-state
+  // calls allocate nothing.
+  void begin_pass(const Tour& tour);
+
+  // positions()[city] == tour position of `city` (valid after begin_pass).
+  std::span<const std::int32_t> positions() const { return positions_; }
+
+  std::span<const std::int32_t> active_rows() const { return active_rows_; }
+
+  std::uint64_t rows_skipped() const {
+    return static_cast<std::uint64_t>(n_) - active_rows_.size();
+  }
+
+  // Marks `city`'s row quiescent: skipped on later passes until one of its
+  // tour edges changes. Called by the engine when the row's sweep found no
+  // improving candidate.
+  void set_dont_look(std::int32_t city) {
+    dont_look_[static_cast<std::size_t>(city)] = 1;
+  }
+
+ private:
+  std::int32_t n_ = 0;
+  std::vector<std::int32_t> positions_;
+  // Unordered tour-neighbor pair per city, as (min, max); -1 = unset.
+  std::vector<std::int32_t> adj_lo_;
+  std::vector<std::int32_t> adj_hi_;
+  std::vector<std::uint8_t> dont_look_;
+  std::vector<std::int32_t> active_rows_;
+};
+
+// Per-position successor-edge lengths over route-ordered SoA coordinates:
+// out[p] = dist_euc2d(position p, position p + 1), p in [0, n). Computed
+// once per pass, these are the two removed-edge terms of every candidate
+// delta (see simd::CandRowArgs). Both pruned engines share this fill so
+// their delta inputs are bit-identical.
+inline void fill_succ_len(const SoaCoords& soa,
+                          std::vector<std::int32_t>& out) {
+  const std::int32_t n = soa.n();
+  const float* xs = soa.xs();
+  const float* ys = soa.ys();
+  out.resize(static_cast<std::size_t>(n));
+  for (std::int32_t p = 0; p < n; ++p) {
+    out[static_cast<std::size_t>(p)] =
+        dist_euc2d(Point{xs[p], ys[p]}, Point{xs[p + 1], ys[p + 1]});
+  }
+}
+
+}  // namespace tspopt

@@ -1,7 +1,9 @@
 #include "solver/simd.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <limits>
 
 #include "common/check.hpp"
 
@@ -41,6 +43,55 @@ RowBest row_scalar(const RowArgs& a) {
     if (d < best.delta) best = {d, i};
   }
   return best;
+}
+
+void cand_row_scalar(const CandRowArgs& a) {
+  // The row's city contributes two row-constant terms: its successor
+  // coordinate (the added edge's second endpoint) and its removed
+  // successor-edge length.
+  const float xp1 = a.xs[a.p + 1];
+  const float yp1 = a.ys[a.p + 1];
+  const std::int32_t slp = a.succ_len[a.p];
+  std::int32_t row_min = std::numeric_limits<std::int32_t>::max();
+  for (std::int32_t c = 0; c < a.k; ++c) {
+    std::int32_t q = a.positions[a.nbr_ids[c]];
+    std::int32_t d =
+        (a.cand_dist[c] + dist_f(xp1, yp1, a.xs[q + 1], a.ys[q + 1])) -
+        (slp + a.succ_len[q]);
+    a.out_delta[c] = d;
+    a.out_q[c] = q;
+    row_min = std::min(row_min, d);
+  }
+  *a.out_min = row_min;
+}
+
+void succ_len_scalar(const float* xs, const float* ys, std::int32_t n,
+                     std::int32_t* out) {
+  for (std::int32_t p = 0; p < n; ++p) {
+    out[p] = dist_f(xs[p], ys[p], xs[p + 1], ys[p + 1]);
+  }
+}
+
+void cand_sweep_scalar(const CandSweepArgs& a) {
+  for (std::int32_t r = 0; r < a.num_rows; ++r) {
+    const std::int32_t p = a.rows[r];
+    const CandRecord& own = a.recs[a.route[p]];
+    const std::int32_t* ids =
+        a.ids + static_cast<std::size_t>(a.route[p]) *
+                    static_cast<std::size_t>(a.k_pad);
+    const std::int32_t* cds =
+        a.cand_dist + static_cast<std::size_t>(a.route[p]) *
+                          static_cast<std::size_t>(a.k_pad);
+    std::int32_t row_min = std::numeric_limits<std::int32_t>::max();
+    for (std::int32_t c = 0; c < a.k_pad; ++c) {
+      const CandRecord& rec = a.recs[ids[c]];
+      std::int32_t d =
+          (cds[c] + dist_f(own.x_succ, own.y_succ, rec.x_succ, rec.y_succ)) -
+          (own.succ_len + rec.succ_len);
+      row_min = std::min(row_min, d);
+    }
+    a.out_min[r] = row_min;
+  }
 }
 
 #if TSPOPT_SIMD_X86
@@ -119,11 +170,160 @@ __attribute__((target("avx2,fma"))) RowBest row_avx2(const RowArgs& a) {
   return best;
 }
 
+// Candidate rows vectorize the gather-heavy side: 8 candidates load their
+// neighbor ids contiguously, gather their tour positions, successor
+// coordinates and removed-edge lengths, and evaluate one 8-lane distance.
+// Results are stored, not reduced — the delta arithmetic (int adds around
+// one dist_v call) matches cand_row_scalar bit-for-bit.
+__attribute__((target("avx2,fma"))) void cand_row_avx2(const CandRowArgs& a) {
+  constexpr std::int32_t kW = 8;
+  const float xp1 = a.xs[a.p + 1];
+  const float yp1 = a.ys[a.p + 1];
+  const std::int32_t slp = a.succ_len[a.p];
+
+  const __m256 xp1v = _mm256_set1_ps(xp1);
+  const __m256 yp1v = _mm256_set1_ps(yp1);
+  const __m256i slpv = _mm256_set1_epi32(slp);
+  const __m256i one = _mm256_set1_epi32(1);
+  __m256i mnv = _mm256_set1_epi32(std::numeric_limits<std::int32_t>::max());
+
+  std::int32_t c = 0;
+  for (; c + kW <= a.k; c += kW) {
+    __m256i ids = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(a.nbr_ids + c));
+    __m256i q = _mm256_i32gather_epi32(a.positions, ids, 4);
+    __m256i q1 = _mm256_add_epi32(q, one);
+    __m256 xq1 = _mm256_i32gather_ps(a.xs, q1, 4);
+    __m256 yq1 = _mm256_i32gather_ps(a.ys, q1, 4);
+    __m256i slq = _mm256_i32gather_epi32(a.succ_len, q, 4);
+    __m256i cd = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(a.cand_dist + c));
+
+    __m256i d = _mm256_sub_epi32(
+        _mm256_add_epi32(cd, dist_v(xp1v, yp1v, xq1, yq1)),
+        _mm256_add_epi32(slpv, slq));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(a.out_delta + c), d);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(a.out_q + c), q);
+    mnv = _mm256_min_epi32(mnv, d);
+  }
+
+  // Lane-reduce the vectorized minimum, then fold the k % W scalar-tail
+  // candidates into it (padded callers have no tail).
+  alignas(32) std::int32_t lanes[kW];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), mnv);
+  std::int32_t row_min = std::numeric_limits<std::int32_t>::max();
+  for (std::int32_t l = 0; l < kW; ++l) row_min = std::min(row_min, lanes[l]);
+  for (; c < a.k; ++c) {
+    std::int32_t q = a.positions[a.nbr_ids[c]];
+    std::int32_t d =
+        (a.cand_dist[c] + dist_f(xp1, yp1, a.xs[q + 1], a.ys[q + 1])) -
+        (slp + a.succ_len[q]);
+    a.out_delta[c] = d;
+    a.out_q[c] = q;
+    row_min = std::min(row_min, d);
+  }
+  *a.out_min = row_min;
+}
+
+// The whole-pass minimum sweep. Per 8-candidate group: 8 record loads
+// (one 16-byte slot each) transpose in registers to x/y/succ_len lanes —
+// no gather instructions, which on older cores cost several times a
+// plain load per lane. The row loop stays inside the kernel so the
+// out-of-order core overlaps the independent rows' L2 traffic.
+__attribute__((target("avx2,fma"))) void cand_sweep_avx2(
+    const CandSweepArgs& a) {
+  constexpr std::int32_t kW = 8;
+  const CandRecord* recs = a.recs;
+  for (std::int32_t r = 0; r < a.num_rows; ++r) {
+    const std::int32_t p = a.rows[r];
+    const std::int32_t city = a.route[p];
+    const CandRecord& own = recs[city];
+    const std::int32_t* ids = a.ids + static_cast<std::size_t>(city) *
+                                          static_cast<std::size_t>(a.k_pad);
+    const std::int32_t* cds =
+        a.cand_dist + static_cast<std::size_t>(city) *
+                          static_cast<std::size_t>(a.k_pad);
+    const __m256 xp1 = _mm256_set1_ps(own.x_succ);
+    const __m256 yp1 = _mm256_set1_ps(own.y_succ);
+    const __m256i slp = _mm256_set1_epi32(own.succ_len);
+    __m256i mn = _mm256_set1_epi32(std::numeric_limits<std::int32_t>::max());
+    for (std::int32_t c = 0; c < a.k_pad; c += kW) {
+      __m128 r0 = _mm_load_ps(reinterpret_cast<const float*>(recs + ids[c]));
+      __m128 r1 =
+          _mm_load_ps(reinterpret_cast<const float*>(recs + ids[c + 1]));
+      __m128 r2 =
+          _mm_load_ps(reinterpret_cast<const float*>(recs + ids[c + 2]));
+      __m128 r3 =
+          _mm_load_ps(reinterpret_cast<const float*>(recs + ids[c + 3]));
+      __m128 r4 =
+          _mm_load_ps(reinterpret_cast<const float*>(recs + ids[c + 4]));
+      __m128 r5 =
+          _mm_load_ps(reinterpret_cast<const float*>(recs + ids[c + 5]));
+      __m128 r6 =
+          _mm_load_ps(reinterpret_cast<const float*>(recs + ids[c + 6]));
+      __m128 r7 =
+          _mm_load_ps(reinterpret_cast<const float*>(recs + ids[c + 7]));
+      // 8x4 transpose of {x, y, sl, pos} records into SoA lanes (pos is
+      // not needed for the minimum and falls out of the shuffles).
+      __m256 g04 = _mm256_set_m128(r4, r0);
+      __m256 g15 = _mm256_set_m128(r5, r1);
+      __m256 g26 = _mm256_set_m128(r6, r2);
+      __m256 g37 = _mm256_set_m128(r7, r3);
+      __m256 lo01 = _mm256_unpacklo_ps(g04, g15);  // x0 x1 y0 y1 | x4 x5 ..
+      __m256 lo23 = _mm256_unpacklo_ps(g26, g37);  // x2 x3 y2 y3 | x6 x7 ..
+      __m256 hi01 = _mm256_unpackhi_ps(g04, g15);  // sl0 sl1 .. | sl4 sl5 ..
+      __m256 hi23 = _mm256_unpackhi_ps(g26, g37);
+      __m256 xq = _mm256_shuffle_ps(lo01, lo23, 0x44);
+      __m256 yq = _mm256_shuffle_ps(lo01, lo23, 0xEE);
+      __m256i slq =
+          _mm256_castps_si256(_mm256_shuffle_ps(hi01, hi23, 0x44));
+      __m256i cd =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cds + c));
+      __m256i d = _mm256_sub_epi32(
+          _mm256_add_epi32(cd, dist_v(xp1, yp1, xq, yq)),
+          _mm256_add_epi32(slp, slq));
+      mn = _mm256_min_epi32(mn, d);
+    }
+    alignas(32) std::int32_t lanes[kW];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), mn);
+    std::int32_t row_min = lanes[0];
+    for (std::int32_t l = 1; l < kW; ++l) {
+      row_min = std::min(row_min, lanes[l]);
+    }
+    a.out_min[r] = row_min;
+  }
+}
+
+__attribute__((target("avx2,fma"))) void succ_len_avx2(const float* xs,
+                                                       const float* ys,
+                                                       std::int32_t n,
+                                                       std::int32_t* out) {
+  constexpr std::int32_t kW = 8;
+  std::int32_t p = 0;
+  // Both endpoints load contiguously: positions p..p+7 and p+1..p+8 (the
+  // staged wrap entry at position n covers the last successor).
+  for (; p + kW <= n; p += kW) {
+    __m256 ax = _mm256_loadu_ps(xs + p);
+    __m256 ay = _mm256_loadu_ps(ys + p);
+    __m256 bx = _mm256_loadu_ps(xs + p + 1);
+    __m256 by = _mm256_loadu_ps(ys + p + 1);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + p),
+                        dist_v(ax, ay, bx, by));
+  }
+  for (; p < n; ++p) {
+    out[p] = dist_f(xs[p], ys[p], xs[p + 1], ys[p + 1]);
+  }
+}
+
 #endif  // TSPOPT_SIMD_X86
 
-const Kernels kScalarKernels{Level::kScalar, "scalar", 1, &row_scalar};
+const Kernels kScalarKernels{Level::kScalar, "scalar", 1, &row_scalar,
+                             &cand_row_scalar, &cand_sweep_scalar,
+                             &succ_len_scalar};
 #if TSPOPT_SIMD_X86
-const Kernels kAvx2Kernels{Level::kAvx2, "avx2", 8, &row_avx2};
+const Kernels kAvx2Kernels{Level::kAvx2, "avx2", 8, &row_avx2,
+                           &cand_row_avx2, &cand_sweep_avx2,
+                           &succ_len_avx2};
 #endif
 
 }  // namespace

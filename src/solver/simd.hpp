@@ -64,6 +64,86 @@ struct RowBest {
 
 using RowKernelFn = RowBest (*)(const RowArgs&);
 
+// One pruned candidate row: the k neighbor-list candidates of the city at
+// tour position p (solver/twoopt_simd_pruned.hpp). Unlike the triangle row
+// kernel this one writes per-candidate results instead of reducing:
+// out_delta[c] is the exact 2-opt delta of the pair {p, out_q[c]} and
+// out_q[c] the candidate neighbor's tour position. The caller folds the k
+// buffered results through consider_move, which preserves the engines'
+// (delta, pair-index) tie-break without tracking 64-bit pair indices in
+// lanes (pair_index exceeds 32 bits past n ~ 65k). out_min receives the
+// row's minimum delta, so the caller can skip that scalar fold whenever
+// the row cannot beat or tie the incumbent best, and derive the
+// don't-look decision (any delta < 0?) from the sign alone.
+//
+// The delta uses the symmetric rearrangement
+//
+//   delta = cand_dist[c] + |(p+1)->(q+1)| - succ_len[p] - succ_len[q]
+//
+// which needs no min/max on (p, q): integer adds are exact and every
+// distance term is the same dist_euc2d value the full formula computes, so
+// the result is bit-identical to two_opt_delta(min(p,q), max(p,q)) — the
+// degenerate adjacent pairs and the wraparound pair {0, n-1} evaluate to
+// exactly 0, as everywhere else.
+struct CandRowArgs {
+  const float* xs = nullptr;  // position-indexed SoA coords, n + 1 entries
+  const float* ys = nullptr;
+  const std::int32_t* succ_len = nullptr;   // n: |pos -> pos+1| per position
+  const std::int32_t* positions = nullptr;  // n: city id -> tour position
+  const std::int32_t* nbr_ids = nullptr;    // k: neighbor city ids
+  const std::int32_t* cand_dist = nullptr;  // k: |city -> neighbor|
+  std::int32_t k = 0;
+  std::int32_t p = 0;                 // tour position of the row's city
+  std::int32_t* out_delta = nullptr;  // k results
+  std::int32_t* out_q = nullptr;      // k neighbor tour positions
+  std::int32_t* out_min = nullptr;    // 1: min of out_delta[0..k)
+};
+
+using CandRowKernelFn = void (*)(const CandRowArgs&);
+
+// Per-city candidate record, staged once per pass (engine host code):
+// everything a candidate contributes to the symmetric delta besides its
+// precomputed edge length, packed so one candidate touches one 16-byte
+// slot — a single cache line — instead of four position-indexed arrays.
+// On gather-slow CPUs this is what makes the sweep kernel fast: eight
+// records load as eight 128-bit vectors and transpose to SoA lanes in
+// registers, no gather instructions at all.
+struct alignas(16) CandRecord {
+  float x_succ = 0.0f;           // xs[pos + 1]
+  float y_succ = 0.0f;           // ys[pos + 1]
+  std::int32_t succ_len = 0;     // |pos -> pos + 1|
+  std::int32_t pos = 0;          // the city's tour position
+};
+
+// Whole-pass minimum sweep: for every active row, the minimum candidate
+// delta — nothing else. The engine gates the exact consider_move fold
+// (via cand_row) on this minimum, so the expensive full-delta pass only
+// runs for rows that can beat or tie the incumbent best; the don't-look
+// decision is its sign. Keeping the row loop inside the kernel lets the
+// core overlap independent rows' memory traffic, which a per-row
+// indirect call defeats. Deltas are the same arithmetic as cand_row on
+// the same values (records are copies of the position-indexed arrays),
+// so the minima are bit-identical to cand_row's out_min.
+struct CandSweepArgs {
+  const CandRecord* recs = nullptr;         // n records, city-id indexed
+  const std::int32_t* ids = nullptr;        // n x k_pad padded ids, city-major
+  const std::int32_t* cand_dist = nullptr;  // n x k_pad edge lengths
+  std::int32_t k_pad = 0;                   // row stride, multiple of width
+  const std::int32_t* rows = nullptr;       // active tour positions
+  const std::int32_t* route = nullptr;      // n: tour position -> city id
+  std::int32_t num_rows = 0;
+  std::int32_t* out_min = nullptr;          // num_rows minima
+};
+
+using CandSweepFn = void (*)(const CandSweepArgs&);
+
+// Successor-edge lengths over route-ordered SoA coordinates: out[p] =
+// dist(pos p, pos p+1) for p in [0, n), using the staged wrap entry at
+// position n. Same Listing-1 arithmetic as the row kernels, so the
+// vector path is bit-identical to a scalar dist_euc2d loop.
+using SuccLenFn = void (*)(const float* xs, const float* ys, std::int32_t n,
+                           std::int32_t* out);
+
 // A resolved kernel set. `width` is the lane count W; rows shorter than W
 // (and the final len % W positions of longer rows) run in the scalar tail.
 struct Kernels {
@@ -71,6 +151,9 @@ struct Kernels {
   const char* name = "scalar";
   std::int32_t width = 1;
   RowKernelFn row = nullptr;
+  CandRowKernelFn cand_row = nullptr;
+  CandSweepFn cand_sweep = nullptr;
+  SuccLenFn succ_len = nullptr;
 
   std::int64_t vector_pairs(std::int64_t row_len) const {
     return row_len - row_len % width;

@@ -1,0 +1,94 @@
+// Candidate-list 2-opt with SIMD candidate rows and don't-look bits — the
+// paper's §VII neighborhood restriction at full vector speed.
+//
+// Where cpu-pruned walks each city's k-NN candidates scalar-wise through
+// the full two_opt_delta (4 distance evaluations per candidate), this
+// engine precomputes everything a candidate shares: the per-position
+// successor-edge lengths (one O(n) fill per pass) and the candidate-edge
+// lengths (NeighborLists' SoA export, computed once per instance). Each
+// candidate then costs a single distance, and a pass runs in two phases:
+//
+//   1. One batched simd::Kernels::cand_sweep call computes every active
+//      row's minimum candidate delta from per-city 16-byte candidate
+//      records (staged once per pass) — 8 candidates per AVX2 lane-group
+//      via register transposes, no gathers, row loop inside the kernel so
+//      independent rows' memory traffic overlaps.
+//   2. A host loop gates on that minimum: only rows that can beat or tie
+//      the incumbent best re-evaluate their deltas (cand_row) and fold
+//      through consider_move, preserving the full-sweep engines' exact
+//      (delta, pair-index) tie-break; the minimum's sign is the
+//      don't-look decision.
+//
+// Candidate rows are padded to the kernel width at construction time
+// (duplicating each row's first candidate), so neither kernel runs a
+// scalar tail; the duplicate deltas lose consider_move's pair-index
+// tie-break against their originals, leaving selection unchanged.
+//
+// Don't-look bits (solver/pruned_sweep.hpp) drive which city rows are
+// swept: quiescent regions of the tour cost nothing, which is what makes
+// the ILS steady state O(changed-rows * k) per pass. Like cpu-pruned the
+// move set is restricted to the candidate lists (inexact), and like every
+// engine the same (instance, tour) input yields the same best move at
+// every SIMD dispatch level — the pruned equivalence suite enforces
+// bit-identical selection against cpu-pruned and gpu-pruned.
+#pragma once
+
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "solver/engine.hpp"
+#include "solver/pruned_sweep.hpp"
+#include "solver/simd.hpp"
+#include "tsp/neighbor_lists.hpp"
+#include "tsp/soa.hpp"
+
+namespace tspopt {
+
+class TwoOptSimdPruned : public TwoOptEngine {
+ public:
+  // `neighbors` must outlive the engine and match the instances searched.
+  // `kernels == nullptr` uses the process-wide dispatch (simd::active());
+  // tests pin explicit levels to compare them on one host.
+  explicit TwoOptSimdPruned(const NeighborLists& neighbors,
+                            const simd::Kernels* kernels = nullptr);
+
+  std::string name() const override { return "cpu-simd-pruned"; }
+
+  SearchResult search(const Instance& instance, const Tour& tour) override;
+
+  const simd::Kernels& kernels() const { return kernels_; }
+
+  // The persistent don't-look sweep state (diagnostics / the pruned
+  // equivalence suite, which asserts the backends' states stay in
+  // lockstep across a descent).
+  const PrunedSweep& sweep() const { return sweep_; }
+
+ private:
+  const NeighborLists& neighbors_;
+  const simd::Kernels& kernels_;
+  // Width-padded copy of the NeighborLists SoA export: row `city` occupies
+  // [city * k_pad_, (city + 1) * k_pad_), entries past k duplicate the
+  // row's first candidate. Built once per engine.
+  std::int32_t k_pad_ = 0;
+  std::vector<std::int32_t> ids_pad_;
+  std::vector<std::int32_t> cand_dist_pad_;
+  SoaCoords soa_;
+  PrunedSweep sweep_;
+  std::vector<std::int32_t> succ_len_;
+  // Per-pass candidate records (city-indexed) and the sweep kernel's
+  // per-active-row minimum deltas — the fold/don't-look gate.
+  std::vector<simd::CandRecord> recs_;
+  std::vector<std::int32_t> row_mins_;
+  // k_pad_-sized per-row result buffers the cand_row fold kernel writes
+  // into, plus its in-kernel row-minimum delta.
+  std::vector<std::int32_t> out_delta_;
+  std::vector<std::int32_t> out_q_;
+  std::int32_t row_min_ = 0;
+  // Registry instruments, resolved lazily so steady-state passes are
+  // allocation-free.
+  obs::Counter* pairs_vectorized_ = nullptr;
+  obs::Counter* pairs_scalar_tail_ = nullptr;
+  obs::Counter* rows_skipped_ = nullptr;
+};
+
+}  // namespace tspopt

@@ -232,8 +232,12 @@ SearchResult TwoOptGpuTiled::search(const Instance& instance,
   // overflows 32 bits (n = 744710, tile = 2 -> ~6.9e10 tiles).
   for (std::uint64_t first = 0; first < tiles_.size();
        first += config_.grid_dim) {
-    TiledKernel kernel(coords_.device_view(), tiles_, first,
-                       results_.device_view_mutable(), kernels_);
+    // coords_ is grow-only across searches; truncate the view to this
+    // instance's n + 1 staged entries so the kernel's wrap arithmetic
+    // (which derives n from the span) never sees a stale larger size
+    // after a smaller instance follows a bigger one.
+    TiledKernel kernel(coords_.device_view().first(ordered_.size()), tiles_,
+                       first, results_.device_view_mutable(), kernels_);
     device_.launch(config_, kernel);
     host_results_.resize(config_.grid_dim);
     results_.copy_to_host(host_results_);

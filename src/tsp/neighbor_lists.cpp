@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "common/check.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+#include "tsp/metric.hpp"
 
 namespace tspopt {
 
@@ -30,6 +34,12 @@ struct Grid {
   std::int32_t cell_of_y(float y) const {
     return clamp_y(static_cast<std::int32_t>((y - lo.y) / cell));
   }
+  const std::vector<std::int32_t>& bucket(std::int32_t cx,
+                                          std::int32_t cy) const {
+    return buckets[static_cast<std::size_t>(cy) *
+                       static_cast<std::size_t>(cells_x) +
+                   static_cast<std::size_t>(cx)];
+  }
   std::vector<std::int32_t>& bucket(std::int32_t cx, std::int32_t cy) {
     return buckets[static_cast<std::size_t>(cy) *
                        static_cast<std::size_t>(cells_x) +
@@ -40,13 +50,21 @@ struct Grid {
 Grid build_grid(const Instance& instance) {
   Grid g;
   auto [lo, hi] = instance.bounding_box();
+  TSPOPT_CHECK_MSG(std::isfinite(lo.x) && std::isfinite(lo.y) &&
+                       std::isfinite(hi.x) && std::isfinite(hi.y),
+                   "NeighborLists requires finite coordinates");
   g.lo = lo;
+  // Degenerate extents (all-identical points, collinear sets, zero-area
+  // bounding boxes) clamp to a 1x1 span: every point then lands in a small
+  // grid and the ring search degenerates to a near-exhaustive scan, which
+  // is still correct and still terminates.
   float w = std::max(hi.x - lo.x, 1.0f);
   float h = std::max(hi.y - lo.y, 1.0f);
   // Aim for ~1-2 points per cell.
   auto target = static_cast<float>(
       std::sqrt(static_cast<double>(instance.n())));
   g.cell = std::max(w, h) / std::max(1.0f, target);
+  if (!(g.cell > 0.0f) || !std::isfinite(g.cell)) g.cell = 1.0f;
   g.cells_x = std::max(1, static_cast<std::int32_t>(w / g.cell) + 1);
   g.cells_y = std::max(1, static_cast<std::int32_t>(h / g.cell) + 1);
   g.buckets.resize(static_cast<std::size_t>(g.cells_x) *
@@ -58,61 +76,97 @@ Grid build_grid(const Instance& instance) {
   return g;
 }
 
+// Collects the k nearest neighbors of `city` by expanding grid rings.
+// `candidates` is caller-owned scratch so parallel workers reuse capacity.
+void build_row(const Instance& instance, const Grid& grid, std::int32_t city,
+               std::int32_t k,
+               std::vector<std::pair<std::int64_t, std::int32_t>>& candidates) {
+  const Point& p = instance.point(city);
+  std::int32_t cx = grid.cell_of_x(p.x);
+  std::int32_t cy = grid.cell_of_y(p.y);
+  candidates.clear();
+  // Expand the search ring until we have enough candidates AND the ring
+  // distance already exceeds the k-th best, guaranteeing correctness. The
+  // ring index is bounded: once it spans the clamped grid the
+  // covers_whole_grid break fires, so the loop terminates for any input
+  // the grid accepted (the fuzz test drives the degenerate shapes).
+  const std::int32_t max_ring = grid.cells_x + grid.cells_y;
+  for (std::int32_t ring = 0;; ++ring) {
+    TSPOPT_CHECK_MSG(ring <= max_ring,
+                     "NeighborLists ring expansion failed to terminate");
+    std::int32_t x0 = grid.clamp_x(cx - ring), x1 = grid.clamp_x(cx + ring);
+    std::int32_t y0 = grid.clamp_y(cy - ring), y1 = grid.clamp_y(cy + ring);
+    for (std::int32_t gy = y0; gy <= y1; ++gy) {
+      for (std::int32_t gx = x0; gx <= x1; ++gx) {
+        bool on_ring = (gx == cx - ring || gx == cx + ring ||
+                        gy == cy - ring || gy == cy + ring);
+        if (ring > 0 && !on_ring) continue;  // interior already visited
+        for (std::int32_t other : grid.bucket(gx, gy)) {
+          if (other == city) continue;
+          candidates.emplace_back(instance.dist(city, other), other);
+        }
+      }
+    }
+    bool covers_whole_grid =
+        x0 == 0 && y0 == 0 && x1 == grid.cells_x - 1 && y1 == grid.cells_y - 1;
+    if (static_cast<std::int32_t>(candidates.size()) >= k) {
+      // Points further than `ring * cell` from the query cannot beat the
+      // current k-th candidate once the ring radius passes it.
+      std::nth_element(candidates.begin(),
+                       candidates.begin() + (k - 1), candidates.end());
+      double kth = static_cast<double>(candidates[static_cast<std::size_t>(k - 1)].first);
+      double ring_guarantee = static_cast<double>(ring) * grid.cell;
+      if (ring_guarantee >= kth || covers_whole_grid) break;
+    } else if (covers_whole_grid) {
+      break;
+    }
+  }
+  TSPOPT_CHECK(static_cast<std::int32_t>(candidates.size()) >= k);
+  std::partial_sort(candidates.begin(), candidates.begin() + k,
+                    candidates.end());
+}
+
 }  // namespace
 
 NeighborLists::NeighborLists(const Instance& instance, std::int32_t k)
-    : n_(instance.n()), k_(std::min(k, instance.n() - 1)) {
+    : n_(instance.n()),
+      k_(std::clamp(k, 1, std::max(1, instance.n() - 1))) {
   TSPOPT_CHECK(k >= 1);
   TSPOPT_CHECK_MSG(instance.has_coordinates(),
                    "NeighborLists requires coordinates");
-  Grid grid = build_grid(instance);
+  const Grid grid = build_grid(instance);
   flat_.resize(static_cast<std::size_t>(n_) * static_cast<std::size_t>(k_));
+  cand_dist_.resize(static_cast<std::size_t>(n_) *
+                    static_cast<std::size_t>(k_));
 
-  std::vector<std::pair<std::int64_t, std::int32_t>> candidates;
-  for (std::int32_t city = 0; city < n_; ++city) {
-    const Point& p = instance.point(city);
-    std::int32_t cx = grid.cell_of_x(p.x);
-    std::int32_t cy = grid.cell_of_y(p.y);
-    candidates.clear();
-    // Expand the search ring until we have enough candidates AND the ring
-    // distance already exceeds the k-th best, guaranteeing correctness.
-    for (std::int32_t ring = 0;; ++ring) {
-      std::int32_t x0 = grid.clamp_x(cx - ring), x1 = grid.clamp_x(cx + ring);
-      std::int32_t y0 = grid.clamp_y(cy - ring), y1 = grid.clamp_y(cy + ring);
-      for (std::int32_t gy = y0; gy <= y1; ++gy) {
-        for (std::int32_t gx = x0; gx <= x1; ++gx) {
-          bool on_ring = (gx == cx - ring || gx == cx + ring ||
-                          gy == cy - ring || gy == cy + ring);
-          if (ring > 0 && !on_ring) continue;  // interior already visited
-          for (std::int32_t other : grid.bucket(gx, gy)) {
-            if (other == city) continue;
-            candidates.emplace_back(instance.dist(city, other), other);
+  // Rows are independent and the ring-expansion cost varies with local
+  // density, so workers pull dynamic city chunks; each keeps its own
+  // candidate scratch. Per-row output is deterministic regardless of the
+  // worker that computed it (bucket contents and visit order are fixed by
+  // the serial grid build).
+  ThreadPool& pool = ThreadPool::shared();
+  std::vector<std::vector<std::pair<std::int64_t, std::int32_t>>> scratch(
+      pool.size());
+  parallel_for_dynamic(
+      pool, 0, n_, 512,
+      [&](std::int64_t lo, std::int64_t hi, std::size_t worker) {
+        auto& candidates = scratch[worker];
+        for (std::int64_t city = lo; city < hi; ++city) {
+          build_row(instance, grid, static_cast<std::int32_t>(city), k_,
+                    candidates);
+          const Point& a = instance.point(static_cast<std::int32_t>(city));
+          std::size_t base = static_cast<std::size_t>(city) *
+                             static_cast<std::size_t>(k_);
+          for (std::int32_t j = 0; j < k_; ++j) {
+            std::int32_t id = candidates[static_cast<std::size_t>(j)].second;
+            flat_[base + static_cast<std::size_t>(j)] = id;
+            // Recomputed with dist_euc2d (not instance.dist) so the export
+            // matches the coordinate engines' arithmetic bit-for-bit.
+            cand_dist_[base + static_cast<std::size_t>(j)] =
+                dist_euc2d(a, instance.point(id));
           }
         }
-      }
-      bool covers_whole_grid =
-          x0 == 0 && y0 == 0 && x1 == grid.cells_x - 1 && y1 == grid.cells_y - 1;
-      if (static_cast<std::int32_t>(candidates.size()) >= k_) {
-        // Points further than `ring * cell` from the query cannot beat the
-        // current k-th candidate once the ring radius passes it.
-        std::nth_element(candidates.begin(),
-                         candidates.begin() + (k_ - 1), candidates.end());
-        double kth = static_cast<double>(candidates[static_cast<std::size_t>(k_ - 1)].first);
-        double ring_guarantee = static_cast<double>(ring) * grid.cell;
-        if (ring_guarantee >= kth || covers_whole_grid) break;
-      } else if (covers_whole_grid) {
-        break;
-      }
-    }
-    TSPOPT_CHECK(static_cast<std::int32_t>(candidates.size()) >= k_);
-    std::partial_sort(candidates.begin(), candidates.begin() + k_,
-                      candidates.end());
-    for (std::int32_t j = 0; j < k_; ++j) {
-      flat_[static_cast<std::size_t>(city) * static_cast<std::size_t>(k_) +
-            static_cast<std::size_t>(j)] =
-          candidates[static_cast<std::size_t>(j)].second;
-    }
-  }
+      });
 }
 
 }  // namespace tspopt

@@ -4,7 +4,9 @@
 // work (§VII): restricting 2-opt candidates to each city's k nearest
 // neighbors trades a little tour quality for a large reduction in checks.
 // Built with a uniform spatial grid, so construction is O(n * k) expected
-// for non-degenerate point sets rather than O(n^2).
+// for non-degenerate point sets rather than O(n^2); rows are independent,
+// so the build parallelizes over the shared thread pool and stays
+// negligible next to even a single pruned pass at n = 100k+.
 #pragma once
 
 #include <cstdint>
@@ -32,10 +34,30 @@ class NeighborLists {
             static_cast<std::size_t>(k_)};
   }
 
+  // The candidate-edge lengths matching neighbors(city): cand_dists(c)[j]
+  // is the rounded euclidean length of the edge (c, neighbors(c)[j]),
+  // computed with dist_euc2d — the same float arithmetic the 2-opt
+  // kernels use — so pruned kernels add it into their delta without
+  // re-touching the first edge's coordinates and stay bit-identical to
+  // the full-sweep engines.
+  std::span<const std::int32_t> cand_dists(std::int32_t city) const {
+    TSPOPT_DCHECK(city >= 0 && city < n_);
+    return {cand_dist_.data() + static_cast<std::size_t>(city) *
+                                    static_cast<std::size_t>(k_),
+            static_cast<std::size_t>(k_)};
+  }
+
+  // Flat row-major n x k SoA export (Buffer-friendly): neighbor city ids
+  // and the matching candidate-edge lengths. Row `city` occupies entries
+  // [city * k, city * k + k).
+  std::span<const std::int32_t> ids_flat() const { return flat_; }
+  std::span<const std::int32_t> cand_dist_flat() const { return cand_dist_; }
+
  private:
   std::int32_t n_;
   std::int32_t k_;
-  std::vector<std::int32_t> flat_;  // n * k, row per city
+  std::vector<std::int32_t> flat_;       // n * k, row per city
+  std::vector<std::int32_t> cand_dist_;  // n * k, dist_euc2d per candidate
 };
 
 }  // namespace tspopt

@@ -57,11 +57,14 @@ void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
 #include "parallel/thread_pool.hpp"
 #include "simt/device.hpp"
 #include "simt/shared_memory.hpp"
+#include "solver/twoopt_gpu_pruned.hpp"
 #include "solver/twoopt_parallel.hpp"
 #include "solver/twoopt_sequential.hpp"
 #include "solver/twoopt_simd.hpp"
+#include "solver/twoopt_simd_pruned.hpp"
 #include "solver/twoopt_tiled.hpp"
 #include "tsp/generator.hpp"
+#include "tsp/neighbor_lists.hpp"
 
 namespace tspopt {
 namespace {
@@ -111,6 +114,50 @@ TEST(AllocReuse, SimdEngineReusesCapacityAcrossShrinkingInstances) {
   engine.search(big.inst, big.tour);
   EXPECT_EQ(allocations_during([&] { engine.search(small.inst, small.tour); }),
             0u);
+}
+
+TEST(AllocReuse, SimdPrunedEngineSteadyStateAllocatesNothing) {
+  // The pruned ILS inner loop: candidate records, row minima, and the
+  // per-row fold buffers must all come out of engine-owned capacity.
+  Fixture f(500, 8);
+  NeighborLists neighbors(f.inst, 16);
+  TwoOptSimdPruned engine(neighbors);
+  engine.search(f.inst, f.tour);
+  engine.search(f.inst, f.tour);
+  EXPECT_EQ(allocations_during([&] { engine.search(f.inst, f.tour); }), 0u);
+}
+
+TEST(AllocReuse, SimdPrunedEngineStaysWarmAcrossAppliedMoves) {
+  // Applying the selected move between passes (the descent loop) changes
+  // the active-row set pass to pass; none of those shapes may reallocate.
+  Fixture f(500, 9);
+  NeighborLists neighbors(f.inst, 16);
+  TwoOptSimdPruned engine(neighbors);
+  SearchResult r = engine.search(f.inst, f.tour);
+  engine.search(f.inst, f.tour);
+  for (int pass = 0; pass < 5 && r.best.improves(); ++pass) {
+    f.tour.apply_two_opt(r.best.i, r.best.j);
+    std::uint64_t allocs =
+        allocations_during([&] { r = engine.search(f.inst, f.tour); });
+    EXPECT_EQ(allocs, 0u) << "pass " << pass;
+  }
+}
+
+TEST(AllocReuse, GpuPrunedEngineSteadyStateCountIsStable) {
+  Fixture f(800, 10);
+  NeighborLists neighbors(f.inst, 16);
+  simt::Device device(simt::gtx680_cuda());
+  TwoOptGpuPruned engine(device, neighbors);
+  std::uint64_t first =
+      allocations_during([&] { engine.search(f.inst, f.tour); });
+  std::uint64_t second =
+      allocations_during([&] { engine.search(f.inst, f.tour); });
+  std::uint64_t third =
+      allocations_during([&] { engine.search(f.inst, f.tour); });
+  // Cold pass grows the staging; warm passes pay at most the fixed
+  // per-launch overhead of the simulated device.
+  EXPECT_EQ(second, third);
+  EXPECT_LE(third, first);
 }
 
 TEST(AllocReuse, TiledEngineSteadyStateCountIsStable) {

@@ -15,15 +15,25 @@ TEST(EngineFactory, EveryAdvertisedEngineAgreesOnTheBestMove) {
 
   EngineFactory factory(&inst);
   SearchResult reference;
+  SearchResult pruned_reference;
   bool first = true;
+  bool pruned_first = true;
   for (const std::string& name : EngineFactory::available()) {
     auto engine = factory.create(name);
     ASSERT_NE(engine, nullptr) << name;
     EXPECT_EQ(engine->name(), name);
     SearchResult r = engine->search(inst, tour);
-    if (name == "cpu-pruned") {
-      // Subset engine: only weaker-or-equal guarantees.
-      EXPECT_GE(r.best.delta, reference.best.delta);
+    if (name.find("pruned") != std::string::npos) {
+      // Subset engines: weaker-or-equal vs the full sweep, but all pruned
+      // backends share one candidate set and must agree with each other.
+      EXPECT_GE(r.best.delta, reference.best.delta) << name;
+      if (pruned_first) {
+        pruned_reference = r;
+        pruned_first = false;
+      } else {
+        EXPECT_EQ(r.best.delta, pruned_reference.best.delta) << name;
+        EXPECT_EQ(r.best.index, pruned_reference.best.index) << name;
+      }
       continue;
     }
     if (first) {
@@ -34,6 +44,7 @@ TEST(EngineFactory, EveryAdvertisedEngineAgreesOnTheBestMove) {
       EXPECT_EQ(r.best.index, reference.best.index) << name;
     }
   }
+  EXPECT_FALSE(pruned_first);  // the roster advertises pruned engines
 }
 
 TEST(EngineFactory, UnknownNameThrows) {
@@ -45,6 +56,8 @@ TEST(EngineFactory, InstanceBoundEnginesNeedAnInstance) {
   EngineFactory factory;  // no instance
   EXPECT_THROW(factory.create("cpu-lut"), CheckError);
   EXPECT_THROW(factory.create("cpu-pruned"), CheckError);
+  EXPECT_THROW(factory.create("cpu-simd-pruned"), CheckError);
+  EXPECT_THROW(factory.create("gpu-pruned"), CheckError);
   EXPECT_NO_THROW(factory.create("cpu-sequential"));
   EXPECT_NO_THROW(factory.create("gpu-tiled"));
 }

@@ -4,6 +4,7 @@
 #include <set>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "tsp/catalog.hpp"
 #include "tsp/generator.hpp"
 #include "tsp/neighbor_lists.hpp"
@@ -100,6 +101,67 @@ TEST(NeighborLists, HandlesCoincidentPoints) {
   NeighborLists nl(inst, 3);
   for (std::int32_t nb : nl.neighbors(0)) {
     EXPECT_EQ(inst.dist(0, nb), 0);
+  }
+}
+
+TEST(NeighborLists, FuzzDegenerateLayoutsKeepFullInvariants) {
+  // Property fuzz over layouts chosen to break spatial-grid construction:
+  // mass-coincident points (zero-area bounding box), axis-aligned lines
+  // (zero extent in one dimension), far-offset clusters (nearly all grid
+  // cells empty), and mixtures. Whatever the layout, the lists must hold
+  // the full contract: k entries, no self, no duplicates, sorted, and
+  // rank-for-rank brute-force distances.
+  Pcg32 rng(97);
+  for (int trial = 0; trial < 24; ++trial) {
+    std::vector<Point> pts;
+    std::int32_t n = 8 + static_cast<std::int32_t>(rng.next() % 120);
+    std::uint32_t shape = rng.next() % 4;
+    float offset = static_cast<float>(rng.next() % 1000000);
+    for (std::int32_t i = 0; i < n; ++i) {
+      switch (shape) {
+        case 0:  // all coincident
+          pts.push_back({offset, offset});
+          break;
+        case 1:  // vertical line (zero x-extent)
+          pts.push_back({offset, offset + static_cast<float>(i)});
+          break;
+        case 2:  // two distant point-clusters
+          pts.push_back(i % 2 == 0 ? Point{0.0f, 0.0f}
+                                   : Point{offset + 1.0f, 0.0f});
+          break;
+        default:  // mostly coincident with a few scattered outliers
+          if (rng.next() % 4 == 0) {
+            pts.push_back({static_cast<float>(rng.next() % 1000),
+                           static_cast<float>(rng.next() % 1000)});
+          } else {
+            pts.push_back({offset, offset});
+          }
+          break;
+      }
+    }
+    Instance inst("fuzz" + std::to_string(trial), Metric::kEuc2D,
+                  std::move(pts));
+    std::int32_t k = 1 + static_cast<std::int32_t>(rng.next() % 16);
+    NeighborLists nl(inst, k);
+    ASSERT_EQ(nl.k(), std::min(k, n - 1)) << "trial " << trial;
+    for (std::int32_t city = 0; city < n; ++city) {
+      auto nbrs = nl.neighbors(city);
+      auto expect = brute_knn(inst, city, nl.k());
+      ASSERT_EQ(static_cast<std::int32_t>(nbrs.size()), nl.k());
+      std::set<std::int32_t> seen;
+      for (std::size_t idx = 0; idx < nbrs.size(); ++idx) {
+        ASSERT_NE(nbrs[idx], city) << "trial " << trial << " city " << city;
+        ASSERT_TRUE(seen.insert(nbrs[idx]).second)
+            << "trial " << trial << " city " << city;
+        if (idx > 0) {
+          ASSERT_LE(inst.dist(city, nbrs[idx - 1]),
+                    inst.dist(city, nbrs[idx]));
+        }
+        ASSERT_EQ(inst.dist(city, nbrs[idx]),
+                  inst.dist(city, expect[idx]))
+            << "trial " << trial << " city " << city << " rank " << idx;
+      }
+    }
   }
 }
 

@@ -1,0 +1,171 @@
+// Bit-identical move selection across the pruned backends.
+//
+// cpu-pruned, cpu-simd-pruned (scalar and AVX2 dispatch), and gpu-pruned
+// all restrict 2-opt to the same candidate lists; the contract is that on
+// the same (instance, tour, sweep state) they pick the same (delta,
+// pair-index) best move — not merely moves of equal quality. Two state
+// regimes exist: cpu-pruned always sweeps every row, while the SIMD and
+// GPU engines carry don't-look bits across passes. So the suite checks
+// both: full-sweep selection (fresh engines, all rows armed) must match
+// cpu-pruned at every step of a descent trajectory, and the three
+// don't-look backends must agree with each other pass for pass when
+// their persistent sweep state evolves through a descent.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "simt/device.hpp"
+#include "solver/simd.hpp"
+#include "solver/twoopt_gpu_pruned.hpp"
+#include "solver/twoopt_pruned.hpp"
+#include "solver/twoopt_simd_pruned.hpp"
+#include "tsp/generator.hpp"
+#include "tsp/neighbor_lists.hpp"
+
+namespace tspopt {
+namespace {
+
+void expect_moves_equal(const SearchResult& got, const SearchResult& want,
+                        const std::string& what) {
+  EXPECT_EQ(got.best.delta, want.best.delta) << what;
+  EXPECT_EQ(got.best.index, want.best.index) << what;
+  EXPECT_EQ(got.best.i, want.best.i) << what;
+  EXPECT_EQ(got.best.j, want.best.j) << what;
+}
+
+// Drives a full descent with cpu-pruned (which sweeps every row each
+// pass); at every step, freshly constructed SIMD and GPU engines — all
+// don't-look bits armed, i.e. the same full-sweep state — must select the
+// identical move.
+void expect_full_sweep_equivalence(const Instance& inst, std::int32_t k,
+                                   std::uint64_t tour_seed) {
+  NeighborLists neighbors(inst, k);
+  TwoOptPruned reference(neighbors);
+  simt::Device device(simt::gtx680_cuda());
+  Pcg32 rng(tour_seed);
+  Tour tour = Tour::random(inst.n(), rng);
+
+  for (std::int32_t pass = 0; pass < 5000; ++pass) {
+    SearchResult want = reference.search(inst, tour);
+    for (simd::Level level : simd::supported_levels()) {
+      TwoOptSimdPruned engine(neighbors, &simd::kernels(level));
+      expect_moves_equal(engine.search(inst, tour), want,
+                         "cpu-simd-pruned/" + simd::to_string(level) +
+                             " pass " + std::to_string(pass));
+    }
+    {
+      TwoOptGpuPruned engine(device, neighbors);
+      expect_moves_equal(engine.search(inst, tour), want,
+                         "gpu-pruned pass " + std::to_string(pass));
+    }
+    if (!want.best.improves()) return;
+    tour.apply_two_opt(want.best.i, want.best.j);
+  }
+  FAIL() << "descent did not converge within 5000 passes on " << inst.name();
+}
+
+// Runs the three don't-look backends to local convergence, each with its
+// own persistent engine and tour copy, asserting identical selection at
+// every pass — the sweep-state bookkeeping (adjacency diffing, don't-look
+// arming) must evolve in lockstep too.
+void expect_dlb_descent_equivalence(const Instance& inst, std::int32_t k,
+                                    std::uint64_t tour_seed) {
+  NeighborLists neighbors(inst, k);
+  simt::Device device(simt::gtx680_cuda());
+  std::vector<std::unique_ptr<TwoOptEngine>> engines;
+  std::vector<std::string> labels;
+  for (simd::Level level : simd::supported_levels()) {
+    engines.push_back(
+        std::make_unique<TwoOptSimdPruned>(neighbors, &simd::kernels(level)));
+    labels.push_back("cpu-simd-pruned/" + simd::to_string(level));
+  }
+  engines.push_back(std::make_unique<TwoOptGpuPruned>(device, neighbors));
+  labels.push_back("gpu-pruned");
+
+  Pcg32 rng(tour_seed);
+  Tour start = Tour::random(inst.n(), rng);
+  std::vector<Tour> tours(engines.size(), start);
+
+  for (std::int32_t pass = 0; pass < 5000; ++pass) {
+    SearchResult want = engines[0]->search(inst, tours[0]);
+    for (std::size_t e = 1; e < engines.size(); ++e) {
+      expect_moves_equal(engines[e]->search(inst, tours[e]), want,
+                         labels[e] + " pass " + std::to_string(pass));
+    }
+    if (!want.best.improves()) return;
+    for (Tour& t : tours) t.apply_two_opt(want.best.i, want.best.j);
+  }
+  FAIL() << "descent did not converge within 5000 passes on " << inst.name();
+}
+
+TEST(PrunedEquivalence, RandomUniformFullSweep) {
+  Instance inst = generate_uniform("u220", 220, 11);
+  expect_full_sweep_equivalence(inst, 16, 12);
+}
+
+TEST(PrunedEquivalence, RandomUniformDlbDescent) {
+  Instance inst = generate_uniform("u220", 220, 11);
+  expect_dlb_descent_equivalence(inst, 16, 12);
+}
+
+TEST(PrunedEquivalence, ClusteredFullSweep) {
+  Instance inst = generate_clustered("c300", 300, 6, 13);
+  expect_full_sweep_equivalence(inst, 10, 14);
+}
+
+TEST(PrunedEquivalence, ClusteredDlbDescent) {
+  Instance inst = generate_clustered("c300", 300, 6, 13);
+  expect_dlb_descent_equivalence(inst, 10, 14);
+}
+
+TEST(PrunedEquivalence, TieHeavyExactGridFullSweep) {
+  // Zero jitter: every grid edge length repeats, so candidate deltas tie
+  // constantly and selection is decided by the pair-index tie-break.
+  Instance inst = generate_grid("grid196", 196, 15, 100.0f, 0.0f);
+  expect_full_sweep_equivalence(inst, 12, 16);
+}
+
+TEST(PrunedEquivalence, TieHeavyExactGridDlbDescent) {
+  Instance inst = generate_grid("grid196", 196, 15, 100.0f, 0.0f);
+  expect_dlb_descent_equivalence(inst, 12, 16);
+}
+
+TEST(PrunedEquivalence, NarrowListsBelowVectorWidth) {
+  // k < 8 forces the AVX2 path through a fully padded lane-group.
+  Instance inst = generate_uniform("u150", 150, 17);
+  expect_full_sweep_equivalence(inst, 4, 18);
+  expect_dlb_descent_equivalence(inst, 4, 18);
+}
+
+TEST(PrunedEquivalence, FullListsClampToNMinusOne) {
+  // k >= n-1 clamps: the candidate set is the whole city set.
+  Instance inst = generate_uniform("u48", 48, 19);
+  expect_full_sweep_equivalence(inst, 64, 20);
+  expect_dlb_descent_equivalence(inst, 64, 20);
+}
+
+TEST(PrunedEquivalence, SingleSweepAtTenThousand) {
+  // One full-size pass (no descent: keep runtime bounded) at the bench
+  // smoke scale, the size the BENCH baselines record.
+  Instance inst = generate_clustered("c10k", 10000, 32, 21);
+  NeighborLists neighbors(inst, 16);
+  TwoOptPruned reference(neighbors);
+  simt::Device device(simt::gtx680_cuda());
+  Pcg32 rng(22);
+  Tour tour = Tour::random(inst.n(), rng);
+  SearchResult want = reference.search(inst, tour);
+  EXPECT_TRUE(want.best.improves());
+  for (simd::Level level : simd::supported_levels()) {
+    TwoOptSimdPruned engine(neighbors, &simd::kernels(level));
+    expect_moves_equal(engine.search(inst, tour), want,
+                       "cpu-simd-pruned/" + simd::to_string(level));
+  }
+  TwoOptGpuPruned engine(device, neighbors);
+  expect_moves_equal(engine.search(inst, tour), want, "gpu-pruned");
+}
+
+}  // namespace
+}  // namespace tspopt

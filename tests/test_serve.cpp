@@ -274,6 +274,73 @@ TEST(ServeScheduler, RejectsInvalidSpecs) {
   EXPECT_EQ(scheduler.stats().accepted, 0u);
 }
 
+TEST(ServeJob, WireRoundTripPrunedK) {
+  JobSpec spec;
+  spec.catalog = "berlin52";
+  spec.engine = "cpu-simd-pruned";
+  spec.k = 12;
+  JobSpec back = job_spec_from_json(obs::json_parse(job_spec_to_json(spec)));
+  EXPECT_EQ(back.engine, "cpu-simd-pruned");
+  EXPECT_EQ(back.k, 12);
+
+  // k == 0 means "engine default" and stays off the wire entirely.
+  JobSpec defaulted;
+  defaulted.catalog = "berlin52";
+  defaulted.engine = "gpu-pruned";
+  EXPECT_EQ(job_spec_to_json(defaulted).find("\"k\""), std::string::npos);
+  EXPECT_EQ(job_spec_from_json(obs::json_parse(job_spec_to_json(defaulted))).k,
+            0);
+
+  // Parsing enforces k >= 1 when the field is present.
+  EXPECT_THROW(
+      job_spec_from_json(obs::json_parse(
+          "{\"schema\":\"tspopt.job\",\"schema_version\":1,"
+          "\"catalog\":\"berlin52\",\"engine\":\"cpu-pruned\",\"k\":-3}")),
+      CheckError);
+}
+
+TEST(ServeScheduler, PrunedKAdmissionRules) {
+  PoolFixture fixture(1);
+  Scheduler scheduler(*fixture.pool);
+
+  // k on a non-pruned engine is a spec error, not a silent ignore.
+  JobSpec full_sweep;
+  full_sweep.catalog = "berlin52";
+  full_sweep.engine = "cpu-parallel";
+  full_sweep.k = 8;
+  Scheduler::Admission a = scheduler.submit(full_sweep);
+  EXPECT_FALSE(a.accepted);
+  EXPECT_NE(a.error.find("pruned"), std::string::npos);
+
+  // k below 1 (a hand-built spec can carry what the wire parser rejects).
+  JobSpec negative;
+  negative.catalog = "berlin52";
+  negative.engine = "cpu-pruned";
+  negative.k = -2;
+  Scheduler::Admission b = scheduler.submit(negative);
+  EXPECT_FALSE(b.accepted);
+  EXPECT_NE(b.error.find(">= 1"), std::string::npos);
+
+  // A candidate list cannot reach the instance size (berlin52: n = 52).
+  JobSpec too_wide;
+  too_wide.catalog = "berlin52";
+  too_wide.engine = "cpu-simd-pruned";
+  too_wide.k = 52;
+  Scheduler::Admission c = scheduler.submit(too_wide);
+  EXPECT_FALSE(c.accepted);
+  EXPECT_NE(c.error.find("52"), std::string::npos);
+
+  // A valid k on a pruned engine runs to completion.
+  JobSpec good;
+  good.catalog = "berlin52";
+  good.engine = "cpu-simd-pruned";
+  good.k = 8;
+  good.time_limit_seconds = 0.05;
+  Scheduler::Admission d = scheduler.submit(good);
+  ASSERT_TRUE(d.accepted) << d.error;
+  EXPECT_EQ(wait_terminal(scheduler, d.id), JobState::kFinished);
+}
+
 TEST(ServeScheduler, FullQueueRejectsWithRetryAfter) {
   PoolFixture fixture(1);
   SchedulerOptions options;

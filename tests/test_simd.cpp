@@ -7,6 +7,7 @@
 // layouts, and every remainder-tail shape (row_len % W != 0).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <initializer_list>
 #include <string>
 #include <vector>
@@ -23,6 +24,7 @@
 #include "solver/twoopt_simd.hpp"
 #include "solver/twoopt_tiled.hpp"
 #include "tsp/generator.hpp"
+#include "tsp/neighbor_lists.hpp"
 
 namespace tspopt {
 namespace {
@@ -274,6 +276,175 @@ TEST(SimdEngines, PassCoverageCountersSplitEveryPair) {
     } else {
       EXPECT_GT(dv, 0u);
       EXPECT_GT(dt, 0u);
+    }
+  }
+}
+
+// Shared staging for the candidate-kernel tests: route-ordered SoA
+// coordinates, positions (city -> position), successor-edge lengths, and
+// width-padded candidate rows, mirroring TwoOptSimdPruned's setup.
+struct CandFixture {
+  CandFixture(const Instance& inst, const Tour& tour, std::int32_t k,
+              std::int32_t k_pad)
+      : neighbors(inst, k), k(neighbors.k()), k_pad(k_pad) {
+    n = inst.n();
+    order_coordinates_soa(inst, tour, soa);
+    route.assign(tour.order().begin(), tour.order().end());
+    positions.resize(static_cast<std::size_t>(n));
+    for (std::int32_t p = 0; p < n; ++p)
+      positions[static_cast<std::size_t>(route[static_cast<std::size_t>(p)])] =
+          p;
+    succ_len.resize(static_cast<std::size_t>(n));
+    simd::kernels(simd::Level::kScalar)
+        .succ_len(soa.xs(), soa.ys(), n, succ_len.data());
+    ordered.resize(static_cast<std::size_t>(n));
+    for (std::int32_t p = 0; p < n; ++p)
+      ordered[static_cast<std::size_t>(p)] =
+          inst.point(route[static_cast<std::size_t>(p)]);
+    // Width-padded rows, first-candidate duplication — the engine's rule.
+    ids_pad.resize(static_cast<std::size_t>(n) *
+                   static_cast<std::size_t>(k_pad));
+    cd_pad.resize(ids_pad.size());
+    for (std::int32_t city = 0; city < n; ++city) {
+      auto ids = neighbors.neighbors(city);
+      auto cds = neighbors.cand_dists(city);
+      for (std::int32_t c = 0; c < k_pad; ++c) {
+        std::size_t at = static_cast<std::size_t>(city) *
+                             static_cast<std::size_t>(k_pad) +
+                         static_cast<std::size_t>(c);
+        ids_pad[at] = ids[static_cast<std::size_t>(c < this->k ? c : 0)];
+        cd_pad[at] = cds[static_cast<std::size_t>(c < this->k ? c : 0)];
+      }
+    }
+    recs.resize(static_cast<std::size_t>(n));
+    for (std::int32_t q = 0; q < n; ++q)
+      recs[static_cast<std::size_t>(route[static_cast<std::size_t>(q)])] =
+          simd::CandRecord{soa.xs()[q + 1], soa.ys()[q + 1],
+                           succ_len[static_cast<std::size_t>(q)], q};
+  }
+
+  simd::CandRowArgs row_args(std::int32_t p, std::int32_t* out_delta,
+                             std::int32_t* out_q, std::int32_t* out_min) {
+    std::int32_t city = route[static_cast<std::size_t>(p)];
+    return simd::CandRowArgs{
+        soa.xs(),
+        soa.ys(),
+        succ_len.data(),
+        positions.data(),
+        ids_pad.data() + static_cast<std::size_t>(city) *
+                             static_cast<std::size_t>(k_pad),
+        cd_pad.data() + static_cast<std::size_t>(city) *
+                            static_cast<std::size_t>(k_pad),
+        k_pad,
+        p,
+        out_delta,
+        out_q,
+        out_min};
+  }
+
+  NeighborLists neighbors;
+  std::int32_t n = 0;
+  std::int32_t k = 0;
+  std::int32_t k_pad = 0;
+  SoaCoords soa;
+  std::vector<std::int32_t> route;
+  std::vector<std::int32_t> positions;
+  std::vector<std::int32_t> succ_len;
+  std::vector<Point> ordered;
+  std::vector<std::int32_t> ids_pad;
+  std::vector<std::int32_t> cd_pad;
+  std::vector<simd::CandRecord> recs;
+};
+
+TEST(SimdCandKernels, SuccLenBitIdenticalAcrossLevelsAndSizes) {
+  Pcg32 rng(31);
+  for (std::int32_t n : {3, 7, 8, 9, 16, 17, 64, 65, 257}) {
+    Instance inst = generate_uniform(ctx({"sl", std::to_string(n)}), n, 500 + n);
+    Tour tour = Tour::random(n, rng);
+    SoaCoords soa;
+    order_coordinates_soa(inst, tour, soa);
+    std::span<const std::int32_t> route = tour.order();
+    std::vector<std::int32_t> want(static_cast<std::size_t>(n));
+    for (std::int32_t p = 0; p < n; ++p) {
+      // The published distance on the same cities, wrap included.
+      want[static_cast<std::size_t>(p)] =
+          inst.dist(route[static_cast<std::size_t>(p)],
+                    route[static_cast<std::size_t>((p + 1) % n)]);
+    }
+    for (simd::Level level : simd::supported_levels()) {
+      std::vector<std::int32_t> got(static_cast<std::size_t>(n), -1);
+      simd::kernels(level).succ_len(soa.xs(), soa.ys(), n, got.data());
+      EXPECT_EQ(got, want) << ctx({simd::to_string(level), " n=",
+                                   std::to_string(n)});
+    }
+  }
+}
+
+TEST(SimdCandKernels, CandRowMatchesPublishedDeltaAndScalarAcrossLevels) {
+  Pcg32 rng(37);
+  Instance inst = generate_grid("cg169", 169, 9);  // tie-heavy
+  Tour tour = Tour::random(169, rng);
+  CandFixture fx(inst, tour, 10, 16);  // k=10 padded to two lane-groups
+  std::vector<std::int32_t> want_delta(16), want_q(16), got_delta(16),
+      got_q(16);
+  for (std::int32_t p = 0; p < fx.n; ++p) {
+    std::int32_t want_min = 0x7fffffff;
+    simd::kernels(simd::Level::kScalar)
+        .cand_row(fx.row_args(p, want_delta.data(), want_q.data(), &want_min));
+    // The scalar kernel agrees with the published two-range formula.
+    for (std::int32_t c = 0; c < fx.k_pad; ++c) {
+      std::int32_t q = want_q[static_cast<std::size_t>(c)];
+      std::int32_t lo = p < q ? p : q;
+      std::int32_t hi = p < q ? q : p;
+      EXPECT_EQ(want_delta[static_cast<std::size_t>(c)],
+                two_opt_delta(fx.ordered, lo, hi))
+          << ctx({"p=", std::to_string(p), " c=", std::to_string(c)});
+    }
+    EXPECT_EQ(want_min,
+              *std::min_element(want_delta.begin(), want_delta.end()));
+    for (simd::Level level : simd::supported_levels()) {
+      std::int32_t got_min = 0x7fffffff;
+      simd::kernels(level).cand_row(
+          fx.row_args(p, got_delta.data(), got_q.data(), &got_min));
+      EXPECT_EQ(got_delta, want_delta)
+          << ctx({simd::to_string(level), " p=", std::to_string(p)});
+      EXPECT_EQ(got_q, want_q)
+          << ctx({simd::to_string(level), " p=", std::to_string(p)});
+      EXPECT_EQ(got_min, want_min)
+          << ctx({simd::to_string(level), " p=", std::to_string(p)});
+    }
+  }
+}
+
+TEST(SimdCandKernels, CandSweepMinimaMatchCandRowAcrossLevels) {
+  Pcg32 rng(41);
+  Instance inst = generate_clustered("cs500", 500, 8, 23);
+  Tour tour = Tour::random(500, rng);
+  CandFixture fx(inst, tour, 12, 16);
+  // All rows active, in tour-position order (the engine sweeps whatever
+  // PrunedSweep left armed; the kernel only sees the position list).
+  std::vector<std::int32_t> active(static_cast<std::size_t>(fx.n));
+  for (std::int32_t p = 0; p < fx.n; ++p)
+    active[static_cast<std::size_t>(p)] = p;
+  std::vector<std::int32_t> delta_buf(static_cast<std::size_t>(fx.k_pad));
+  std::vector<std::int32_t> q_buf(static_cast<std::size_t>(fx.k_pad));
+  for (simd::Level level : simd::supported_levels()) {
+    std::vector<std::int32_t> minima(active.size(), 0x7fffffff);
+    simd::CandSweepArgs args{fx.recs.data(),
+                             fx.ids_pad.data(),
+                             fx.cd_pad.data(),
+                             fx.k_pad,
+                             active.data(),
+                             fx.route.data(),
+                             static_cast<std::int32_t>(active.size()),
+                             minima.data()};
+    simd::kernels(level).cand_sweep(args);
+    for (std::int32_t p = 0; p < fx.n; ++p) {
+      std::int32_t row_min = 0x7fffffff;
+      simd::kernels(simd::Level::kScalar)
+          .cand_row(fx.row_args(p, delta_buf.data(), q_buf.data(), &row_min));
+      EXPECT_EQ(minima[static_cast<std::size_t>(p)], row_min)
+          << ctx({simd::to_string(level), " p=", std::to_string(p)});
     }
   }
 }

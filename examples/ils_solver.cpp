@@ -13,15 +13,18 @@
 //
 // Observability: set TSPOPT_TRACE=<file> for a Chrome/Perfetto trace of
 // the run, TSPOPT_REPORT=<file> for a machine-readable run report
-// (summary, convergence curve, metrics snapshot, time series),
-// TSPOPT_LOG=<level>[,path] for the structured JSONL event log,
-// TSPOPT_SAMPLE_MS=<ms> for registry time-series sampling, and
-// TSPOPT_PROM=<file>[,ms] for a Prometheus exposition file (refreshed on
-// SIGUSR1 too). See README "Observability" and "Live telemetry".
+// (summary, convergence curve, metrics snapshot, time series, CPU
+// profile attribution), TSPOPT_LOG=<level>[,path] for the structured
+// JSONL event log, TSPOPT_SAMPLE_MS=<ms> for registry time-series
+// sampling, TSPOPT_PROM=<file>[,ms] for a Prometheus exposition file
+// (refreshed on SIGUSR1 too), and TSPOPT_PROFILE=<file>[,hz] for a
+// span-attributed sampling CPU profile written as collapsed stacks. See
+// README "Observability", "Live telemetry" and "Profiling".
 #include <cstdlib>
 #include <iostream>
 
 #include "obs/log.hpp"
+#include "obs/profiler.hpp"
 #include "obs/prometheus.hpp"
 #include "obs/registry.hpp"
 #include "obs/report.hpp"
@@ -56,6 +59,7 @@ int main(int argc, char** argv) {
   obs::Log::global();
   obs::Sampler* sampler = obs::Sampler::global_from_env();
   obs::PromExporter::global_from_env();
+  obs::Profiler* profiler = obs::Profiler::global_from_env();
 
   Instance instance =
       generate_clustered("demo" + std::to_string(n), n,
@@ -115,6 +119,13 @@ int main(int argc, char** argv) {
     sampler->stop();
     sampler->sample_now();  // final state closes every series
     report.set_timeseries(*sampler);
+  }
+  if (profiler != nullptr) {
+    // Stop before reading: the final drain folds the last ring contents,
+    // so the attribution table covers the whole solve. The flush hooks
+    // write the collapsed stacks and the Chrome sampler track at exit.
+    profiler->stop();
+    report.set_profile(*profiler);
   }
   report.set_metrics(obs::Registry::global());
   std::string report_path = report.write_if_requested();

@@ -23,7 +23,9 @@
 // running jobs at their next hook poll (exits 130). Both paths flush all
 // telemetry sinks (JSONL log, Prometheus exposition, trace, sampler
 // dump) before exiting. Telemetry is env-driven as everywhere else:
-// TSPOPT_LOG, TSPOPT_PROM, TSPOPT_SAMPLE_MS, TSPOPT_TRACE.
+// TSPOPT_LOG, TSPOPT_PROM, TSPOPT_SAMPLE_MS, TSPOPT_TRACE,
+// TSPOPT_PROFILE (whole-lifetime CPU profile; for an on-demand window on
+// a live daemon use GET /profilez?seconds=N instead).
 #include <chrono>
 #include <csignal>
 #include <fstream>
@@ -35,6 +37,7 @@
 #include "common/cli.hpp"
 #include "obs/flush.hpp"
 #include "obs/log.hpp"
+#include "obs/profiler.hpp"
 #include "obs/prometheus.hpp"
 #include "obs/runinfo.hpp"
 #include "obs/sampler.hpp"
@@ -53,8 +56,12 @@ int main(int argc, char** argv) {
   cli.add_option("port-file", "write the bound port to this file");
   cli.add_option("admin-port",
                  "HTTP admin plane port: /metrics /healthz /readyz /statusz "
-                 "/tracez (0 = ephemeral; omit to disable)");
+                 "/tracez /profilez (0 = ephemeral; omit to disable)");
   cli.add_option("admin-port-file", "write the bound admin port to this file");
+  cli.add_option("profilez-max-seconds",
+                 "longest /profilez capture honored (0 = disable the "
+                 "endpoint)",
+                 "60");
   cli.add_option("devices", "simulated devices in the pool", "2");
   cli.add_option("workers", "scheduler worker threads", "2");
   cli.add_option("queue", "queued-job capacity (backpressure bound)", "16");
@@ -74,6 +81,7 @@ int main(int argc, char** argv) {
   obs::Log::global();
   obs::Sampler::global_from_env();
   obs::PromExporter::global_from_env();
+  obs::Profiler::global_from_env();
   // Label this process's track in the Chrome trace export, so a client
   // export concatenated with ours reads as two named process lanes.
   obs::Tracer::global().set_process_name("tspoptd");
@@ -112,6 +120,8 @@ int main(int argc, char** argv) {
   if (cli.has("admin-port")) {
     options.admin_port = static_cast<int>(cli.get_int("admin-port", 0));
   }
+  options.profilez_max_seconds =
+      static_cast<double>(cli.get_int("profilez-max-seconds", 60));
 
   serve::Daemon daemon(pool, options);
   try {
@@ -130,7 +140,8 @@ int main(int argc, char** argv) {
   }
   if (daemon.admin_port() != 0) {
     std::cout << "tspoptd: admin on 127.0.0.1:" << daemon.admin_port()
-              << " (/metrics /healthz /readyz /statusz /tracez)" << std::endl;
+              << " (/metrics /healthz /readyz /statusz /tracez /profilez)"
+              << std::endl;
   }
   if (cli.has("port-file")) {
     std::ofstream out(cli.get("port-file"));

@@ -90,13 +90,16 @@ def main():
     base_benchmarks = benchmarks_by_name(base)
     curr_benchmarks = benchmarks_by_name(curr)
 
-    failures = 0
+    # Every tripped gate is recorded as (benchmark, metric, delta) and
+    # echoed in a closing summary block, so a CI log tail names the exact
+    # metric and percentage that failed the run without scrolling back.
+    failed_gates = []
     warnings = 0
 
     for name in sorted(set(base_benchmarks) | set(curr_benchmarks)):
         if name not in curr_benchmarks:
             print(f"FAIL {name}: present in baseline, missing from current")
-            failures += 1
+            failed_gates.append((name, "<benchmark>", "missing from current"))
             continue
         if name not in base_benchmarks:
             print(f"WARN {name}: new benchmark, no baseline")
@@ -107,21 +110,25 @@ def main():
             b, c = base_metrics[metric], curr_metrics[metric]
             if metric in EXACT_METRICS:
                 if b != c:
+                    try:
+                        delta = f"{(c - b) / b * 100.0:+.2f}%" if b else "n/a"
+                    except TypeError:
+                        delta = "n/a"
                     print(f"FAIL {name} {metric}: exact metric changed "
-                          f"{b} -> {c}")
-                    failures += 1
+                          f"{b} -> {c} ({delta})")
+                    failed_gates.append((name, metric, f"changed {delta}"))
                 continue
             if metric.endswith("_per_sec"):
                 if b <= 0:
                     continue
                 ratio = c / b
                 if ratio < 1.0 - args.threshold:
-                    line = (f"{name} {metric}: {b:.3g} -> {c:.3g} "
-                            f"({(1.0 - ratio) * 100.0:.1f}% slower, "
-                            f"threshold {args.threshold * 100.0:.0f}%)")
+                    delta = (f"{(1.0 - ratio) * 100.0:.1f}% slower "
+                             f"(threshold {args.threshold * 100.0:.1f}%)")
+                    line = f"{name} {metric}: {b:.3g} -> {c:.3g} ({delta})"
                     if gate_throughput:
                         print(f"FAIL {line}")
-                        failures += 1
+                        failed_gates.append((name, metric, delta))
                     else:
                         print(f"WARN {line}")
                         warnings += 1
@@ -132,11 +139,15 @@ def main():
     compared = len(set(base_benchmarks) & set(curr_benchmarks))
     if compared == 0:
         print("FAIL no common benchmarks between baseline and current")
-        failures += 1
+        failed_gates.append(("<report>", "<benchmarks>", "no common names"))
+    if failed_gates:
+        print("failed gates:")
+        for name, metric, delta in failed_gates:
+            print(f"  {name} :: {metric} — {delta}")
     summary = (f"bench_compare: {compared} benchmarks compared, "
-               f"{failures} failures, {warnings} warnings")
+               f"{len(failed_gates)} failures, {warnings} warnings")
     print(summary)
-    return 1 if failures else 0
+    return 1 if failed_gates else 0
 
 
 if __name__ == "__main__":

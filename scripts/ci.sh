@@ -43,6 +43,19 @@
 #         pruned.rows_skipped_dlb counters are nonzero in each emitted
 #         run report — the proof the vector kernels and don't-look bits
 #         actually engaged at scale.
+# Pass 10: Sampling profiler — capture a span-attributed CPU profile
+#         during an n=10k cpu-simd-pruned ILS run and assert the folded
+#         export is non-empty, the run report carries the schema-v3
+#         profile section, >= 90% of samples are span-attributed,
+#         engine.pass has samples and its profile share agrees with its
+#         trace-duration share within 10 points; probe /profilez on a
+#         live tspoptd (200 with a collapsed body, then SIGTERM during a
+#         capture must still drain to exit 143); run the Profiler and
+#         Profilez suites under ASan and TSan; finally the overhead
+#         gate: the same bench_report ILS benchmark with and without
+#         TSPOPT_PROFILE at the default 97 Hz must agree within 2%
+#         (exact metrics must match bit-for-bit — sampling must not
+#         perturb the search).
 #
 # Usage: scripts/ci.sh [build-dir-prefix]   (default: build-ci)
 set -euo pipefail
@@ -510,6 +523,153 @@ TSPOPT_REPORT="${PRUNED_TMP}/report-gpu.json" \
     gpu-pruned 1 >/dev/null
 check_pruned_report "${PRUNED_TMP}/report-gpu.json"
 echo "pruned scaling smoke: n=100k ILS runs + counters verified."
+
+echo
+echo "== Pass 10: sampling profiler (span attribution + /profilez + overhead) =="
+PROF_TMP="${OBS_TMP}/profile"
+mkdir -p "${PROF_TMP}"
+
+# (a) Span-attributed capture on the reference ILS run. iters=-1 runs to
+# the 2s wall budget, so the profiler (default 97 Hz) collects ~200
+# samples with engine.pass dominating — enough signal for the share
+# comparison below to be meaningful.
+echo "profiled ILS run: n=10000, cpu-simd-pruned, 2s budget"
+TSPOPT_PROFILE="${PROF_TMP}/ils.folded" \
+TSPOPT_TRACE="${PROF_TMP}/ils-trace.json" \
+TSPOPT_REPORT="${PROF_TMP}/ils-report.json" \
+    "${PREFIX}-release/examples/ils_solver" 10000 2.0 1 \
+    cpu-simd-pruned -1 >/dev/null
+python3 - "${PROF_TMP}" <<'EOF'
+import json, sys
+d = sys.argv[1]
+
+# The collapsed export: non-empty, every line "<stack> <count>".
+lines = [l for l in open(f"{d}/ils.folded").read().splitlines() if l]
+assert lines, "collapsed profile is empty"
+for l in lines:
+    stack, _, count = l.rpartition(" ")
+    assert stack and int(count) > 0, f"malformed collapsed line: {l!r}"
+
+r = json.load(open(f"{d}/ils-report.json"))
+assert r["schema_version"] == 3, r["schema_version"]
+p = r["profile"]
+assert p["samples"] > 0, p
+attributed = p["attributed"] / p["samples"]
+assert attributed >= 0.90, f"only {attributed:.1%} of samples span-attributed"
+table = {row["span"]: row for row in p["attribution"]}
+assert "engine.pass" in table and table["engine.pass"]["samples"] > 0, table
+
+# Cross-check the profile against the trace: engine.pass's share of
+# profiled CPU time must agree with its share of traced span time
+# within 10 points, or the attribution is lying about where time went.
+profile_share = table["engine.pass"]["samples"] / p["samples"]
+events = json.load(open(f"{d}/ils-trace.json"))["traceEvents"]
+span_us = sum(e.get("dur", 0) for e in events
+              if e.get("ph") == "X" and e.get("name") == "engine.pass")
+profiled_us = p["samples"] / p["hz"] * 1e6
+trace_share = span_us / profiled_us
+assert abs(profile_share - trace_share) <= 0.10, \
+    f"engine.pass share: profile {profile_share:.3f} vs trace {trace_share:.3f}"
+print(f"  {len(lines)} folded stacks, {p['samples']} samples "
+      f"({p['dropped']} dropped), {attributed:.1%} attributed; "
+      f"engine.pass share {profile_share:.3f} (trace {trace_share:.3f})")
+EOF
+
+# (b) /profilez on a live daemon: a capture during a running job returns
+# a non-empty collapsed profile, and SIGTERM in the middle of a capture
+# must still drain cleanly to exit 143.
+TSPOPT_LOG="warn,${PROF_TMP}/events.jsonl" \
+    "${PREFIX}-release/examples/tspoptd" \
+    --port 0 --port-file "${PROF_TMP}/port" \
+    --admin-port 0 --admin-port-file "${PROF_TMP}/admin-port" \
+    --devices 2 --workers 2 > "${PROF_TMP}/daemon.log" &
+PROF_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "${PROF_TMP}/port" ] && [ -s "${PROF_TMP}/admin-port" ] && break
+  kill -0 "${PROF_PID}" 2>/dev/null || { echo "tspoptd died"; exit 1; }
+  sleep 0.1
+done
+PORT="$(cat "${PROF_TMP}/port")"
+ADMIN_PORT="$(cat "${PROF_TMP}/admin-port")"
+"${PREFIX}-release/examples/tspopt_client" submit \
+    --port "${PORT}" --catalog kroA200 --engine cpu-parallel \
+    --time 3.0 >/dev/null
+python3 - "${ADMIN_PORT}" <<'EOF'
+import http.client, sys
+port = int(sys.argv[1])
+conn = http.client.HTTPConnection("127.0.0.1", port, timeout=15)
+conn.request("GET", "/profilez?seconds=1&hz=500")
+r = conn.getresponse()
+body = r.read().decode()
+assert r.status == 200, (r.status, body)
+lines = [l for l in body.splitlines() if l]
+assert lines, "/profilez returned an empty profile during a running job"
+for l in lines:
+    stack, _, count = l.rpartition(" ")
+    assert stack and int(count) > 0, f"malformed collapsed line: {l!r}"
+print(f"  /profilez: {len(lines)} folded stacks from the live daemon")
+EOF
+# SIGTERM lands while this capture is still sampling.
+python3 - "${ADMIN_PORT}" <<'EOF' &
+import http.client, sys
+try:
+    conn = http.client.HTTPConnection("127.0.0.1", int(sys.argv[1]), timeout=15)
+    conn.request("GET", "/profilez?seconds=5")
+    conn.getresponse().read()
+except OSError:
+    pass  # the drain may cut the connection; only the exit code matters
+EOF
+CAPTURE_PID=$!
+sleep 0.5
+kill -TERM "${PROF_PID}"
+PROF_RC=0
+wait "${PROF_PID}" || PROF_RC=$?
+[ "${PROF_RC}" -eq 143 ] \
+    || { echo "tspoptd exit ${PROF_RC} with capture in flight, expected 143"; exit 1; }
+wait "${CAPTURE_PID}" || true
+echo "  SIGTERM during capture: drained to exit 143"
+
+# (c) The profiler suites under both sanitizers. The signal handler,
+# per-thread rings, and drain thread are exactly where ASan/TSan earn
+# their keep.
+cmake --build "${PREFIX}-asan" -j "${JOBS}" --target test_profiler test_admin
+ctest --test-dir "${PREFIX}-asan" --output-on-failure -j "${JOBS}" \
+      -R 'Profiler|Profilez'
+cmake --build "${PREFIX}-tsan" -j "${JOBS}" --target test_profiler test_admin
+ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}" \
+      -R 'Profiler|Profilez'
+
+# (d) Overhead gate: the same stretched bench_report ILS benchmark with
+# and without the profiler at the default 97 Hz, diffed by
+# bench_compare at a 2% throughput threshold. Exact metrics (best
+# length / improvements) must match bit-for-bit — sampling must not
+# perturb the search. The shared CI box swings more than 2% on its own,
+# so a failed attempt re-runs the whole pair (genuine overhead fails
+# every attempt; noise does not repeat three times).
+OVERHEAD_OK=0
+for attempt in 1 2 3; do
+  rm -rf "${PROF_TMP}/base" "${PROF_TMP}/prof"
+  mkdir -p "${PROF_TMP}/base" "${PROF_TMP}/prof"
+  "${PREFIX}-release/bench/bench_report" --only "ils/cpu-simd-pruned" \
+      --ils-n 2000 --ils-iters 4000 --reps 5 \
+      --out-dir "${PROF_TMP}/base" >/dev/null
+  TSPOPT_PROFILE="${PROF_TMP}/prof/bench.folded" \
+      "${PREFIX}-release/bench/bench_report" --only "ils/cpu-simd-pruned" \
+      --ils-n 2000 --ils-iters 4000 --reps 5 \
+      --out-dir "${PROF_TMP}/prof" >/dev/null
+  [ -s "${PROF_TMP}/prof/bench.folded" ] \
+      || { echo "profiled bench run wrote no folded profile"; exit 1; }
+  if python3 scripts/bench_compare.py --threshold 0.02 --strict \
+      "${PROF_TMP}/base/BENCH_solver.json" \
+      "${PROF_TMP}/prof/BENCH_solver.json"; then
+    OVERHEAD_OK=1
+    break
+  fi
+  echo "overhead gate attempt ${attempt} tripped (box noise?); retrying"
+done
+[ "${OVERHEAD_OK}" -eq 1 ] \
+    || { echo "profiler overhead exceeds 2% at 97 Hz"; exit 1; }
+echo "sampling profiler: attribution, /profilez, sanitizers, overhead verified."
 
 echo
 echo "CI passed."

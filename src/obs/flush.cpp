@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "obs/log.hpp"
+#include "obs/profiler.hpp"
 #include "obs/prometheus.hpp"
 #include "obs/sampler.hpp"
 #include "obs/trace.hpp"
@@ -41,6 +42,21 @@ void flush_all_telemetry() noexcept {
   try {
     if (PromExporter* exporter = PromExporter::global_if_started()) {
       exporter->write_now();
+    }
+  } catch (...) {}
+  // The profiler must settle *before* the tracer flushes: stop() disarms
+  // SIGPROF and folds the last ring contents, the collapsed stacks go to
+  // TSPOPT_PROFILE's path, and the retained samples merge into the trace
+  // buffer as the "profiler.sample" track the flush below then writes.
+  try {
+    if (Profiler* profiler = Profiler::global_if_started()) {
+      profiler->stop();
+      if (!profiler->flush_path().empty()) {
+        profiler->write_collapsed(profiler->flush_path());
+      }
+      if (Tracer::global().enabled()) {
+        profiler->append_chrome_samples(Tracer::global());
+      }
     }
   } catch (...) {}
   try {

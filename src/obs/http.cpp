@@ -132,7 +132,12 @@ HttpServer::~HttpServer() { stop(); }
 
 void HttpServer::route(std::string path, Handler handler) {
   TSPOPT_CHECK_MSG(!running(), "register routes before start()");
-  routes_.emplace_back(std::move(path), std::move(handler));
+  routes_.push_back({std::move(path), std::move(handler), nullptr});
+}
+
+void HttpServer::route_deferred(std::string path, DeferredHandler handler) {
+  TSPOPT_CHECK_MSG(!running(), "register routes before start()");
+  routes_.push_back({std::move(path), nullptr, std::move(handler)});
 }
 
 void HttpServer::start() {
@@ -190,12 +195,28 @@ std::string HttpServer::render_error(int status, const std::string& message,
   return head_only ? head : head + body;
 }
 
-std::string HttpServer::render(const HttpRequest& request, bool head_only) {
-  for (const auto& [path, handler] : routes_) {
-    if (path != request.path) continue;
-    HttpResponse response;
+std::string HttpServer::render_response(const HttpResponse& response,
+                                        bool head_only) {
+  std::string head = "HTTP/1.0 " + std::to_string(response.status) + " " +
+                     http_status_reason(response.status) +
+                     "\r\nContent-Type: " + response.content_type +
+                     "\r\nContent-Length: " +
+                     std::to_string(response.body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  return head_only ? head : head + response.body;
+}
+
+std::string HttpServer::render(const HttpRequest& request, Conn& conn) {
+  for (const Route& route : routes_) {
+    if (route.path != request.path) continue;
     try {
-      response = handler(request);
+      if (route.deferred != nullptr) {
+        conn.pending = route.deferred(request);
+        if (conn.pending != nullptr) return std::string();  // poll later
+        return render_error(500, "deferred handler returned no poller",
+                            conn.head_only);
+      }
+      return render_response(route.sync(request), conn.head_only);
     } catch (const std::exception& e) {
       // A throwing handler is a bug, but the admin plane must stay up;
       // surface the failure to the client and the log, keep serving.
@@ -204,20 +225,14 @@ std::string HttpServer::render(const HttpRequest& request, bool head_only) {
           .arg("path", request.path)
           .arg("error", e.what());
       return render_error(500, std::string("handler failed: ") + e.what(),
-                          head_only);
+                          conn.head_only);
     }
-    std::string head = "HTTP/1.0 " + std::to_string(response.status) + " " +
-                       http_status_reason(response.status) +
-                       "\r\nContent-Type: " + response.content_type +
-                       "\r\nContent-Length: " +
-                       std::to_string(response.body.size()) +
-                       "\r\nConnection: close\r\n\r\n";
-    return head_only ? head : head + response.body;
   }
-  return render_error(404, "no route for " + request.path, head_only);
+  return render_error(404, "no route for " + request.path, conn.head_only);
 }
 
 void HttpServer::handle_head(Conn& conn) {
+  conn.handled = true;
   requests_.fetch_add(1, std::memory_order_relaxed);
   HttpRequest request;
   std::string error;
@@ -229,7 +244,27 @@ void HttpServer::handle_head(Conn& conn) {
     conn.out = render_error(405, "only GET is served here");
     return;
   }
-  conn.out = render(request, request.method == "HEAD");
+  conn.head_only = request.method == "HEAD";
+  conn.out = render(request, conn);
+}
+
+void HttpServer::poll_pending(Conn& conn) {
+  HttpResponse response;
+  bool ready = false;
+  try {
+    ready = conn.pending(&response);
+  } catch (const std::exception& e) {
+    obs::Log::global()
+        .event(obs::LogLevel::kWarn, "admin.poller_error")
+        .arg("error", e.what());
+    conn.pending = nullptr;
+    conn.out = render_error(500, std::string("poller failed: ") + e.what(),
+                            conn.head_only);
+    return;
+  }
+  if (!ready) return;
+  conn.pending = nullptr;
+  conn.out = render_response(response, conn.head_only);
 }
 
 void HttpServer::loop() {
@@ -270,15 +305,21 @@ void HttpServer::loop() {
           close_conn(i);
           continue;
         }
-        if (n > 0) {
+        if (n > 0 && !conn.handled) {
           conn.in.append(buf, static_cast<std::size_t>(n));
           if (conn.in.size() > options_.max_request_bytes) {
+            conn.handled = true;
             requests_.fetch_add(1, std::memory_order_relaxed);
             conn.out = render_error(431, "request head too large");
           } else if (head_end(conn.in) != std::string::npos) {
             handle_head(conn);
           }
         }
+      }
+      // A deferred response in flight: ask its poller whether the result
+      // is ready yet (each loop tick, so ~drain-period latency).
+      if (conn.pending != nullptr && conn.out.empty()) {
+        poll_pending(conn);
       }
       if (!conn.out.empty() && conn.sent < conn.out.size()) {
         ssize_t n = ::send(conn.fd, conn.out.data() + conn.sent,
@@ -294,7 +335,11 @@ void HttpServer::loop() {
         close_conn(i);  // one response per connection (HTTP/1.0)
         continue;
       }
-      if (conn.out.empty() && idle_ns > 0 &&
+      // The idle timeout exists to drop clients that never finish a
+      // request; a connection waiting on a deferred response has finished
+      // its request and may legitimately wait longer than the timeout
+      // (e.g. a /profilez capture window).
+      if (conn.out.empty() && conn.pending == nullptr && idle_ns > 0 &&
           steady_ns() - conn.opened_ns > idle_ns) {
         close_conn(i);
       }

@@ -73,6 +73,16 @@ struct HttpServerOptions {
 class HttpServer {
  public:
   using Handler = std::function<HttpResponse(const HttpRequest&)>;
+  // Deferred responses: a deferred handler returns a poller instead of a
+  // response. The server calls the poller on every loop tick (~50 ms);
+  // it returns false while the result is still brewing and true once it
+  // has filled in the response. The poller is destroyed when the
+  // connection dies (client gone, server stopping) — RAII state captured
+  // in it (e.g. a running profiler capture) must cancel cleanly in its
+  // destructor. This is how /profilez waits out a capture without ever
+  // blocking /healthz on the same loop.
+  using DeferredPoll = std::function<bool(HttpResponse*)>;
+  using DeferredHandler = std::function<DeferredPoll(const HttpRequest&)>;
   using Options = HttpServerOptions;
 
   explicit HttpServer(Options options = {});
@@ -85,6 +95,13 @@ class HttpServer {
   // dispatch to `handler` on the server thread — handlers must be cheap
   // and thread-safe against the rest of the process. Call before start().
   void route(std::string path, Handler handler);
+
+  // Register an exact-match route whose response may take many loop
+  // ticks to produce (see DeferredHandler above). The handler itself
+  // still runs synchronously on the server thread and must be cheap; the
+  // waiting happens in the returned poller. A connection waiting on a
+  // poller is exempt from the idle timeout.
+  void route_deferred(std::string path, DeferredHandler handler);
 
   // Bind + listen + spawn the poll loop. CheckError when the port cannot
   // be bound. Idempotent once running.
@@ -105,16 +122,28 @@ class HttpServer {
     std::string out;       // rendered response, drained by POLLOUT
     std::size_t sent = 0;  // bytes of `out` already written
     std::int64_t opened_ns = 0;
+    bool handled = false;   // request dispatched (sync or deferred)
+    bool head_only = false;
+    DeferredPoll pending;   // non-null: waiting on a deferred response
+  };
+
+  struct Route {
+    std::string path;
+    Handler sync;              // exactly one of sync/deferred is set
+    DeferredHandler deferred;
   };
 
   void loop();
   void handle_head(Conn& conn);
-  std::string render(const HttpRequest& request, bool head_only);
+  void poll_pending(Conn& conn);
+  std::string render(const HttpRequest& request, Conn& conn);
+  static std::string render_response(const HttpResponse& response,
+                                     bool head_only);
   static std::string render_error(int status, const std::string& message,
                                   bool head_only = false);
 
   Options options_;
-  std::vector<std::pair<std::string, Handler>> routes_;
+  std::vector<Route> routes_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> requests_{0};

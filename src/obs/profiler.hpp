@@ -1,0 +1,215 @@
+// In-process sampling CPU profiler with trace-span attribution.
+//
+// The paper's performance story is a timing decomposition; the trace layer
+// says which *phase* is slow, this profiler says where the time goes
+// *inside* it. A POSIX interval timer (setitimer ITIMER_PROF) delivers
+// SIGPROF to whichever thread is burning CPU; the handler captures a raw
+// `backtrace()` plus the thread's live span-name stack
+// (obs::current_span_names — engine.pass, ils.iteration, serve.job, ...)
+// into a lock-free per-thread ring. A background drain jthread symbolizes
+// frames via dladdr + __cxa_demangle and folds samples into:
+//
+//   - collapsed-stack text (flamegraph.pl-compatible):
+//       engine.pass;tspopt::SimdPrunedEngine::search;... 1234
+//   - a per-span attribution table (samples whose stack contains each
+//     span, and samples whose *innermost* span it is) — the RunReport v3
+//     "profile" section,
+//   - instant events on the Chrome trace export (a "profiler.sample"
+//     track riding next to the spans themselves).
+//
+// Async-signal-safety: the handler touches only preallocated memory,
+// lock-free atomics, clock_gettime and backtrace() (primed once at
+// start() so its lazy libgcc initialization happens outside the handler —
+// the gperftools discipline). Symbolization, demangling and every
+// allocation happen on the drain thread. When a ring is full the sample
+// is dropped and counted (surfaced as the obs.profiler.dropped counter) —
+// the profiler never blocks the profiled thread.
+//
+// At most one profiler samples a process at a time: start() claims a
+// process-global slot (SIGPROF + ITIMER_PROF are process-wide resources)
+// and returns false when another instance holds it. The previous SIGPROF
+// disposition and timer are restored by stop().
+//
+// Env driving mirrors the other sinks: TSPOPT_PROFILE=<path>[,hz] starts
+// a global profiler at `hz` (default 97 — prime, so sampling cannot
+// phase-lock with millisecond-periodic work) whose collapsed stacks are
+// written to <path> by the exit flush hooks (obs/flush), ordered before
+// the Chrome trace flush so the sampler track makes it into the export.
+#pragma once
+
+#include <atomic>
+#include <csignal>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <sys/time.h>
+#include <thread>
+#include <vector>
+
+namespace tspopt::obs {
+
+class Tracer;
+
+// Best-effort symbol name for a code address: demangled function name
+// when dladdr resolves one (the executables link -rdynamic for exactly
+// this), "module+0xoff" when only the object is known, "0x..." otherwise.
+// Never throws, tolerates arbitrary garbage addresses (dladdr walks the
+// link map; it does not dereference `pc`).
+std::string symbolize_pc(void* pc);
+
+// Render one raw sample as a collapsed-stack line body (no trailing
+// count): span names outermost first, then symbolized frames root-first,
+// ';'-joined. `frames` is leaf-first as backtrace() fills it. Tolerates
+// garbage frames, null span entries and nonsense counts — fuzz-tested.
+std::string collapse_sample(void* const* frames, int num_frames,
+                            const char* const* spans, int num_spans);
+
+struct ProfilerOptions {
+  double hz = 97.0;              // sampling rate (clamped to [1, 1000])
+  std::size_t max_threads = 32;  // per-thread ring slots (pool bound)
+  std::size_t ring_capacity = 256;  // samples buffered per thread
+  double drain_period_ms = 50.0;
+  bool start_drain_thread = true;  // false: tests call drain_now()
+  // Samples retained for the Chrome "profiler.sample" track; folding is
+  // unbounded (it aggregates), the per-sample event list is not.
+  std::size_t max_chrome_samples = 1 << 16;
+};
+
+class Profiler {
+ public:
+  static constexpr int kMaxFrames = 32;
+  static constexpr int kMaxSpans = 16;  // == trace kMaxSpanNameDepth
+
+  // One captured sample, written by the SIGPROF handler, consumed by the
+  // drain thread. Fixed-size POD: the handler never allocates.
+  struct RawSample {
+    std::int64_t t_ns = 0;  // CLOCK_MONOTONIC
+    std::uint32_t tid = 0;  // obs::current_thread_ordinal()
+    std::int32_t num_frames = 0;
+    std::int32_t num_spans = 0;
+    void* frames[kMaxFrames];        // leaf-first (backtrace order)
+    const char* spans[kMaxSpans];    // outermost-first (string literals)
+  };
+
+  // SPSC ring: the owning thread's handler produces at head, the drain
+  // thread consumes at tail. Claimed from a preallocated pool by the
+  // first SIGPROF a thread takes (CAS on `owner`, no allocation).
+  struct ThreadRing {
+    std::atomic<std::uint32_t> owner{0};  // thread ordinal; 0 = free
+    std::atomic<std::uint64_t> head{0};
+    std::atomic<std::uint64_t> tail{0};
+    std::atomic<std::uint64_t> dropped{0};  // ring-full samples
+    std::vector<RawSample> slots;
+  };
+
+  explicit Profiler(ProfilerOptions options = {});
+  ~Profiler();  // stop()
+
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  // Arm SIGPROF + the interval timer and start the drain thread. Returns
+  // false (and samples nothing) when another Profiler is already active
+  // in this process. Idempotent while running.
+  bool start();
+  // Disarm the timer, restore the previous SIGPROF disposition, wait out
+  // any in-flight handler, join the drain thread, take a final drain.
+  // Idempotent; results stay readable after stopping.
+  void stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  // Consume every ring now (also what the drain thread does each period).
+  void drain_now();
+
+  const ProfilerOptions& options() const { return options_; }
+  double hz() const { return options_.hz; }
+
+  std::uint64_t samples() const;     // drained into the fold
+  std::uint64_t dropped() const;     // ring-full + thread-pool-exhausted
+  std::uint64_t attributed() const;  // samples with >= 1 span name
+
+  // Per-span attribution: `samples` counts samples whose span stack
+  // contains the name anywhere, `leaf_samples` only those where it is the
+  // innermost span. `share` is samples / total drained samples.
+  struct SpanAttribution {
+    std::string span;
+    std::uint64_t samples = 0;
+    std::uint64_t leaf_samples = 0;
+    double share = 0.0;
+  };
+  // Sorted by samples, descending.
+  std::vector<SpanAttribution> span_table() const;
+
+  // The folded profile as collapsed-stack text ("stack count" lines).
+  std::string collapsed() const;
+  void write_collapsed(const std::string& path) const;
+
+  // Merge retained samples into `tracer` as "profiler.sample" instant
+  // events (timestamps converted from CLOCK_MONOTONIC to the tracer's
+  // epoch), giving the Chrome export a sampler track. Idempotent per
+  // profiler: the second call is a no-op.
+  void append_chrome_samples(Tracer& tracer);
+
+  // Where the exit flush hooks write collapsed stacks ("" = don't).
+  void set_flush_path(std::string path) { flush_path_ = std::move(path); }
+  const std::string& flush_path() const { return flush_path_; }
+
+  // Handler entry point — called from the SIGPROF handler on the sampled
+  // thread; async-signal-safe. Public only for the signal trampoline.
+  // `pc` is the interrupted program counter from the signal context (may
+  // be nullptr): when it appears in the backtrace, the sampler's own
+  // frames above it are trimmed so the stored leaf is the sampled code.
+  void sample_current_thread(void* pc = nullptr);
+
+  // TSPOPT_PROFILE=<path>[,hz]-driven profiler (started, flush hooks
+  // installed); nullptr when the variable is unset. Created and leaked on
+  // first call, like the other env-driven sinks.
+  static Profiler* global_from_env();
+  // The profiler global_from_env() created, or nullptr — never creates.
+  static Profiler* global_if_started();
+
+ private:
+  struct ChromeSample {
+    std::int64_t t_ns = 0;
+    std::uint32_t tid = 0;
+    const char* span = nullptr;  // innermost span (literal) or null
+    std::string func;            // symbolized leaf frame
+  };
+
+  void consume(const RawSample& sample);
+  const std::string& symbolize_cached(void* pc);
+
+  ProfilerOptions options_;
+  std::uint64_t instance_id_ = 0;  // process-unique, never reused
+  std::vector<std::unique_ptr<ThreadRing>> rings_;
+  std::atomic<std::uint64_t> pool_exhausted_{0};
+  std::atomic<bool> running_{false};
+
+  struct sigaction old_action_ {};
+  struct itimerval old_timer_ {};
+
+  // Everything below drain_mu_ is drain-side state (drain thread, stop()
+  // and readers).
+  mutable std::mutex drain_mu_;
+  std::map<void*, std::string> symbol_cache_;
+  std::map<std::string, std::uint64_t> folded_;
+  struct SpanCounts {
+    std::uint64_t stack = 0;
+    std::uint64_t leaf = 0;
+  };
+  std::map<std::string, SpanCounts> span_counts_;
+  std::vector<ChromeSample> chrome_;
+  std::uint64_t samples_ = 0;
+  std::uint64_t attributed_ = 0;
+  std::uint64_t counters_pushed_samples_ = 0;
+  std::uint64_t counters_pushed_dropped_ = 0;
+
+  std::string flush_path_;
+  bool chrome_appended_ = false;
+
+  std::jthread drain_thread_;  // last member: joined first
+};
+
+}  // namespace tspopt::obs

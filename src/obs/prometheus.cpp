@@ -1,6 +1,7 @@
 #include "obs/prometheus.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <csignal>
@@ -19,10 +20,17 @@ namespace tspopt::obs {
 namespace {
 
 // Set by the SIGUSR1 handler; consumed by whichever exporter thread sees
-// it first (in practice there is one exporter per process).
-volatile std::sig_atomic_t g_usr1_pending = 0;
+// it first (in practice there is one exporter per process). Atomic, not
+// sig_atomic_t: the handler may run on any thread while an exporter
+// thread reads the flag, so this is cross-thread communication, not just
+// handler-vs-interrupted-code.
+std::atomic<int> g_usr1_pending{0};
+static_assert(std::atomic<int>::is_always_lock_free,
+              "SIGUSR1 latch must be async-signal-safe");
 
-extern "C" void usr1_handler(int) { g_usr1_pending = 1; }
+extern "C" void usr1_handler(int) {
+  g_usr1_pending.store(1, std::memory_order_relaxed);
+}
 
 std::string sanitize_name(std::string_view name) {
   std::string out = "tspopt_";
@@ -190,8 +198,8 @@ PromExporter::PromExporter(Registry& registry, Options options)
       cv.wait_for(lock, st, slice, [] { return false; });
       if (st.stop_requested()) break;
       since_write_ms += slice.count();
-      bool on_signal = g_usr1_pending != 0;
-      if (on_signal) g_usr1_pending = 0;
+      bool on_signal = g_usr1_pending.exchange(0,
+          std::memory_order_relaxed) != 0;
       if (on_signal || since_write_ms >= options_.period_ms) {
         write_now();
         since_write_ms = 0.0;

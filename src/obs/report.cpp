@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "obs/json.hpp"
+#include "obs/profiler.hpp"
 #include "obs/registry.hpp"
 #include "obs/runinfo.hpp"
 #include "obs/sampler.hpp"
@@ -55,6 +56,28 @@ void RunReport::set_timeseries(const Sampler& sampler) {
   sampler.write_json(w);
   timeseries_json_ = w.str();
   has_timeseries_ = true;
+}
+
+void RunReport::set_profile(const Profiler& profiler) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("hz").value(profiler.hz());
+  w.key("samples").value(profiler.samples());
+  w.key("dropped").value(profiler.dropped());
+  w.key("attributed").value(profiler.attributed());
+  w.key("attribution").begin_array();
+  for (const Profiler::SpanAttribution& row : profiler.span_table()) {
+    w.begin_object();
+    w.key("span").value(row.span);
+    w.key("samples").value(row.samples);
+    w.key("leaf_samples").value(row.leaf_samples);
+    w.key("share").value(row.share);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  profile_json_ = w.str();
+  has_profile_ = true;
 }
 
 std::string RunReport::to_json() const {
@@ -123,6 +146,9 @@ std::string RunReport::to_json() const {
   }
   if (has_metrics_) {
     w.key("metrics").raw_value(metrics_json_);
+  }
+  if (has_profile_) {
+    w.key("profile").raw_value(profile_json_);
   }
   w.end_object();
   return w.str();

@@ -8,9 +8,9 @@
 // adapters in solver/obs_adapters.hpp populate it, which keeps obs below
 // every other layer in the dependency order.
 //
-// Schema v2, top level (sections appear only when populated; "run" is
+// Schema v3, top level (sections appear only when populated; "run" is
 // always present):
-//   { "schema": "tspopt.run_report", "schema_version": 2,
+//   { "schema": "tspopt.run_report", "schema_version": 3,
 //     "run": {"id", "generated_utc", "<key>": "<value>", ...},
 //     "instance": {"name", "n", "metric"},
 //     "engine": {"name"},
@@ -20,12 +20,21 @@
 //                   "derived": {...}} ],
 //     "convergence": [ {"seconds","length","iteration","checks","passes"} ],
 //     "timeseries": { <Sampler::write_json section> },
-//     "metrics": [ <registry instrument objects> ] }
+//     "metrics": [ <registry instrument objects> ],
+//     "profile": { "hz", "samples", "dropped", "attributed",
+//                  "attribution": [ {"span", "samples", "leaf_samples",
+//                                    "share"} ] } }
 //
 // v2 over v1: the "run" header (process run id for cross-correlation with
 // the JSONL log and Prometheus exposition, RFC 3339 UTC generation time,
 // free-form environment key/values) and the optional "timeseries" section
 // carrying the Sampler's retained window.
+//
+// v3 over v2: the optional "profile" section — the sampling profiler's
+// per-span time-attribution table (obs/profiler.hpp), which is the
+// machine-readable form of the paper's timing-decomposition figures:
+// `share` is the fraction of CPU samples whose span stack contains that
+// phase, `leaf_samples` the samples where it is the innermost phase.
 #pragma once
 
 #include <cstdint>
@@ -35,10 +44,11 @@
 
 namespace tspopt::obs {
 
+class Profiler;
 class Registry;
 class Sampler;
 
-inline constexpr int kRunReportSchemaVersion = 2;
+inline constexpr int kRunReportSchemaVersion = 3;
 
 class RunReport {
  public:
@@ -83,6 +93,11 @@ class RunReport {
   // Attach the sampler's retained window as the "timeseries" section.
   void set_timeseries(const Sampler& sampler);
 
+  // Attach the sampling profiler's attribution table as the "profile"
+  // section (schema v3). Call after Profiler::stop() so the final drain
+  // is included.
+  void set_profile(const Profiler& profiler);
+
   std::string to_json() const;
   void write(const std::string& path) const;
 
@@ -107,6 +122,8 @@ class RunReport {
   std::string timeseries_json_;  // pre-rendered sampler window
   bool has_metrics_ = false;
   std::string metrics_json_;  // pre-rendered registry snapshot
+  bool has_profile_ = false;
+  std::string profile_json_;  // pre-rendered profiler attribution
 };
 
 }  // namespace tspopt::obs

@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <random>
@@ -22,6 +23,38 @@ thread_local std::int32_t t_depth = 0;
 // innermost last. Log events and instants read the top to correlate with
 // the span they happened inside.
 thread_local std::vector<std::uint64_t> t_span_stack;
+
+// The *names* of the live spans, outermost first — the async-signal-safe
+// mirror of the stacks above that the sampling profiler reads from its
+// SIGPROF handler. Fixed-size array plus an atomic depth: the handler
+// runs on the owning thread, so the release store on depth is only there
+// to stop the compiler reordering the name store past it. `depth` keeps
+// counting past kMaxSpanNameDepth so deep nests stay balanced; the
+// overflowed names are simply not recorded.
+struct ThreadSpanNames {
+  const char* names[kMaxSpanNameDepth] = {};
+  std::atomic<int> depth{0};
+};
+thread_local ThreadSpanNames t_span_names;
+
+// Capture refcount: >0 while at least one profiler wants span names.
+std::atomic<int> g_span_name_capture{0};
+
+// Push/pop are only called from Span construction/destruction on the
+// span's own thread (the RAII idiom everywhere in this codebase); a span
+// moved across threads would unbalance the *name* stack of both threads,
+// which is why Span is move-only within one scope, not a cross-thread
+// handle.
+inline void push_span_name(const char* name) {
+  int d = t_span_names.depth.load(std::memory_order_relaxed);
+  if (d >= 0 && d < kMaxSpanNameDepth) t_span_names.names[d] = name;
+  t_span_names.depth.store(d + 1, std::memory_order_release);
+}
+
+inline void pop_span_name() {
+  int d = t_span_names.depth.load(std::memory_order_relaxed);
+  if (d > 0) t_span_names.depth.store(d - 1, std::memory_order_release);
+}
 
 std::uint64_t next_span_id() {
   static std::atomic<std::uint64_t> next{1};
@@ -50,6 +83,49 @@ std::uint64_t current_span_id() {
   return t_span_stack.empty() ? 0 : t_span_stack.back();
 }
 
+void set_span_name_capture(bool on) {
+  g_span_name_capture.fetch_add(on ? 1 : -1, std::memory_order_relaxed);
+}
+
+bool span_name_capture_enabled() {
+  return g_span_name_capture.load(std::memory_order_relaxed) > 0;
+}
+
+int current_span_names(const char** out, int max) {
+  int depth = t_span_names.depth.load(std::memory_order_acquire);
+  int n = std::min({depth, max, kMaxSpanNameDepth});
+  for (int i = 0; i < n; ++i) out[i] = t_span_names.names[i];
+  return n < 0 ? 0 : n;
+}
+
+SpanNameSnapshot capture_span_names() {
+  SpanNameSnapshot snapshot;
+  if (span_name_capture_enabled()) {
+    snapshot.depth =
+        current_span_names(snapshot.names, kMaxSpanNameDepth);
+  }
+  return snapshot;
+}
+
+SpanNameScope::SpanNameScope(const SpanNameSnapshot& snapshot) {
+  if (snapshot.depth <= 0 || !span_name_capture_enabled()) return;
+  active_ = true;
+  saved_.depth = t_span_names.depth.load(std::memory_order_relaxed);
+  int saved_n = std::min(saved_.depth, kMaxSpanNameDepth);
+  for (int i = 0; i < saved_n; ++i) saved_.names[i] = t_span_names.names[i];
+  for (int i = 0; i < snapshot.depth; ++i) {
+    t_span_names.names[i] = snapshot.names[i];
+  }
+  t_span_names.depth.store(snapshot.depth, std::memory_order_release);
+}
+
+SpanNameScope::~SpanNameScope() {
+  if (!active_) return;
+  int saved_n = std::min(saved_.depth, kMaxSpanNameDepth);
+  for (int i = 0; i < saved_n; ++i) t_span_names.names[i] = saved_.names[i];
+  t_span_names.depth.store(saved_.depth, std::memory_order_release);
+}
+
 std::string new_trace_id() {
   static std::atomic<std::uint64_t> salt{0};
   std::random_device rd;
@@ -63,15 +139,21 @@ std::string new_trace_id() {
 }
 
 Span::Span(Tracer* tracer, const char* name, const char* category)
-    : tracer_(tracer) {
+    : tracer_(tracer), named_(true) {
   event_.name = name;
   event_.category = category;
   event_.tid = current_thread_ordinal();
   event_.depth = t_depth++;
   event_.id = next_span_id();
   t_span_stack.push_back(event_.id);
+  // Traced spans always maintain the name stack (two stores — noise next
+  // to the event bookkeeping above), so a profiler started mid-run sees
+  // complete attribution whenever tracing is on.
+  push_span_name(name);
   event_.start_ns = tracer_->now_ns();
 }
+
+Span::Span(const char* name) : named_(true) { push_span_name(name); }
 
 void Span::arg(const char* key, std::string_view value) {
   if (tracer_ == nullptr) return;
@@ -105,6 +187,10 @@ void Span::arg(const char* key, bool value) {
 }
 
 void Span::finish() {
+  if (named_) {
+    pop_span_name();
+    named_ = false;
+  }
   if (tracer_ == nullptr) return;
   event_.duration_ns = tracer_->now_ns() - event_.start_ns;
   --t_depth;

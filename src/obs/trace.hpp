@@ -47,6 +47,62 @@ std::string new_trace_id();
 // so JSONL lines correlate to trace spans.
 std::uint64_t current_span_id();
 
+// ---- Span-name stack (sampling-profiler support) -------------------------
+//
+// The profiler attributes CPU samples to the phase they landed in, which
+// needs the *names* of the live spans on the sampled thread — readable
+// from a SIGPROF handler. The id stack above is a std::vector (not
+// async-signal-safe), so Span additionally maintains a fixed-size
+// per-thread array of name pointers. It is only maintained while capture
+// is switched on (the profiler flips it around start/stop), keeping the
+// common disabled path at one extra relaxed atomic load per span.
+
+// Deepest nesting the name stack records; deeper spans still balance
+// (depth keeps counting) but their names are not visible to the profiler.
+inline constexpr int kMaxSpanNameDepth = 16;
+
+// Turn per-thread span-name maintenance on/off process-wide (profiler
+// start/stop). Nesting-safe: this is a counter, not a flag — concurrent
+// captures each call (true) once and (false) once.
+void set_span_name_capture(bool on);
+bool span_name_capture_enabled();
+
+// Copy up to `max` live span names of the calling thread into `out`,
+// outermost first; returns the number copied. Async-signal-safe on the
+// owning thread (plain array reads + one atomic depth load), which is the
+// only place the profiler calls it from (SIGPROF runs on the sampled
+// thread). Names are string literals and never dangle: a Span pops its
+// name before its storage dies.
+int current_span_names(const char** out, int max);
+
+// Snapshot of the calling thread's live span names, adoptable on another
+// thread. ThreadPool::submit captures one and installs it (SpanNameScope)
+// around each task, so profiler samples landing on pool workers attribute
+// to the phase that *submitted* the work (engine.pass, tsp.neighbor_lists,
+// ...) instead of showing up unattributed. Both calls are no-ops (depth 0)
+// while no profiler capture is on.
+struct SpanNameSnapshot {
+  const char* names[kMaxSpanNameDepth] = {};
+  int depth = 0;
+};
+SpanNameSnapshot capture_span_names();
+
+// RAII: overlay `snapshot` as the calling thread's span-name stack;
+// restores the previous stack on destruction. Spans opened inside the
+// scope nest on top of the adopted names, exactly as if they had been
+// opened on the submitting thread.
+class SpanNameScope {
+ public:
+  explicit SpanNameScope(const SpanNameSnapshot& snapshot);
+  ~SpanNameScope();
+  SpanNameScope(const SpanNameScope&) = delete;
+  SpanNameScope& operator=(const SpanNameScope&) = delete;
+
+ private:
+  SpanNameSnapshot saved_;
+  bool active_ = false;
+};
+
 struct TraceEvent {
   // Name/category point at string literals (the only call-site idiom);
   // they are not copied.
@@ -73,15 +129,18 @@ class Span {
  public:
   Span() = default;
   Span(Span&& o) noexcept
-      : tracer_(o.tracer_), event_(std::move(o.event_)) {
+      : tracer_(o.tracer_), named_(o.named_), event_(std::move(o.event_)) {
     o.tracer_ = nullptr;
+    o.named_ = false;
   }
   Span& operator=(Span&& o) noexcept {
     if (this != &o) {
       finish();
       tracer_ = o.tracer_;
+      named_ = o.named_;
       event_ = std::move(o.event_);
       o.tracer_ = nullptr;
+      o.named_ = false;
     }
     return *this;
   }
@@ -109,8 +168,12 @@ class Span {
  private:
   friend class Tracer;
   Span(Tracer* tracer, const char* name, const char* category);
+  // Name-only span: pushes onto the span-name stack for profiler
+  // attribution but records no trace event (tracing disabled, capture on).
+  explicit Span(const char* name);
 
   Tracer* tracer_ = nullptr;
+  bool named_ = false;  // this span pushed onto the span-name stack
   TraceEvent event_;
 };
 
@@ -121,9 +184,13 @@ class Tracer {
   void enable(bool on);
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
-  // Open a span. Inert (no allocation, no clock read) when disabled.
+  // Open a span. Inert (no allocation, no clock read) when disabled —
+  // unless a profiler capture wants span names, in which case the span
+  // still maintains the name stack (two pointer stores, no clock read).
   Span span(const char* name, const char* category = "app") {
-    return enabled() ? Span(this, name, category) : Span();
+    if (enabled()) return Span(this, name, category);
+    if (span_name_capture_enabled()) return Span(name);
+    return Span();
   }
 
   // Record a zero-duration instant event (retry decisions, fault hits).

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "obs/trace.hpp"
 
 namespace tspopt {
 
@@ -26,7 +27,15 @@ ThreadPool::~ThreadPool() {
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
-  std::packaged_task<void()> packaged(std::move(task));
+  // Carry the submitter's live span names into the task, so a sampling
+  // profiler attributes worker-thread CPU to the submitting phase
+  // (engine.pass and friends). Free when no capture is on: the snapshot
+  // is empty and the scope a no-op.
+  std::packaged_task<void()> packaged(
+      [task = std::move(task), names = obs::capture_span_names()] {
+        obs::SpanNameScope scope(names);
+        task();
+      });
   std::future<void> fut = packaged.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);

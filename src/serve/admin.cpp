@@ -1,11 +1,14 @@
 #include "serve/admin.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <memory>
 #include <utility>
 
 #include "common/check.hpp"
 #include "obs/json.hpp"
+#include "obs/profiler.hpp"
 #include "obs/prometheus.hpp"
 #include "obs/registry.hpp"
 #include "obs/runinfo.hpp"
@@ -65,6 +68,36 @@ void write_journal_stats(obs::JsonWriter& w, const Journal& journal) {
   w.key("active_bytes").value(stats.active_bytes);
   w.key("healthy").value(journal.healthy());
   w.end_object();
+}
+
+// /profilez admission: SIGPROF and ITIMER_PROF are process-wide, so the
+// at-most-one-capture discipline is process-wide too, not per-daemon.
+std::atomic<bool> g_profilez_busy{false};
+
+// One live capture, owned by the connection's deferred poller. The
+// destructor runs on every exit path — response sent, client gone, admin
+// server stopping — so the timer is always disarmed and the busy flag
+// always released.
+struct ProfilezCapture {
+  obs::Profiler profiler;
+  std::chrono::steady_clock::time_point deadline{};
+  bool started = false;
+
+  explicit ProfilezCapture(obs::ProfilerOptions options)
+      : profiler(options) {}
+  ~ProfilezCapture() {
+    if (started) profiler.stop();
+    g_profilez_busy.store(false, std::memory_order_release);
+  }
+};
+
+// A deferred poller that answers immediately (error paths).
+obs::HttpServer::DeferredPoll immediate(int status, std::string body) {
+  return [status, body = std::move(body)](obs::HttpResponse* response) {
+    response->status = status;
+    response->body = body;
+    return true;
+  };
 }
 
 }  // namespace
@@ -131,6 +164,22 @@ void mount_admin(obs::HttpServer& server, AdminContext context) {
     w.key("queue_oldest_age_ms").value(ctx->scheduler->queue_oldest_age_ms());
     w.key("stats");
     write_stats(w, ctx->scheduler->stats());
+    // Per-phase pipeline latency quantiles from the serve.job_phase_us
+    // histograms (linear interpolation inside the hit bucket — see
+    // Histogram::quantile). Same bucket layout the scheduler registered,
+    // so this lookup returns the live instruments, never fresh ones.
+    w.key("phases").begin_object();
+    for (const char* phase : {"wait", "lease", "run", "settle"}) {
+      obs::Histogram& h = obs::Registry::global().histogram(
+          "serve.job_phase_us", Scheduler::latency_buckets_us(),
+          {{"phase", phase}});
+      w.key(phase).begin_object();
+      w.key("count").value(h.count());
+      w.key("p50_us").value(h.count() > 0 ? h.quantile(0.5) : 0.0);
+      w.key("p99_us").value(h.count() > 0 ? h.quantile(0.99) : 0.0);
+      w.end_object();
+    }
+    w.end_object();
     if (const Journal* journal = ctx->scheduler->journal()) {
       w.key("journal");
       write_journal_stats(w, *journal);
@@ -178,6 +227,64 @@ void mount_admin(obs::HttpServer& server, AdminContext context) {
     w.end_object();
     return json_response(w);
   });
+
+  // Live CPU capture. The handler only *starts* the capture; the returned
+  // poller waits out the window on the admin loop's tick, so every other
+  // endpoint (readiness above all) keeps answering while the profiler
+  // runs. The capture object rides in the poller: if the client
+  // disconnects mid-capture, the poller is destroyed and the capture
+  // cancels via RAII.
+  server.route_deferred(
+      "/profilez",
+      [ctx](const obs::HttpRequest& request)
+          -> obs::HttpServer::DeferredPoll {
+        if (ctx->profilez_max_seconds <= 0.0) {
+          return immediate(404, "profilez disabled\n");
+        }
+        const auto max_seconds =
+            static_cast<std::int64_t>(ctx->profilez_max_seconds);
+        std::int64_t seconds = std::clamp<std::int64_t>(
+            obs::query_int(request.query, "seconds", 2), 1,
+            std::max<std::int64_t>(1, max_seconds));
+        std::int64_t hz = std::clamp<std::int64_t>(
+            obs::query_int(request.query, "hz", 97), 1, 1000);
+
+        bool expected = false;
+        if (!g_profilez_busy.compare_exchange_strong(expected, true)) {
+          return immediate(503, "a profile capture is already in flight; "
+                                "retry when it finishes\n");
+        }
+        obs::ProfilerOptions options;
+        options.hz = static_cast<double>(hz);
+        auto capture = std::make_shared<ProfilezCapture>(options);
+        capture->started = capture->profiler.start();
+        if (!capture->started) {
+          // Keep `capture` alive into the poller: its destructor releases
+          // the busy flag.
+          return [capture](obs::HttpResponse* response) {
+            response->status = 503;
+            response->body =
+                "another profiler owns SIGPROF in this process "
+                "(TSPOPT_PROFILE capture?)\n";
+            return true;
+          };
+        }
+        capture->deadline = std::chrono::steady_clock::now() +
+                            std::chrono::seconds(seconds);
+        return [capture](obs::HttpResponse* response) {
+          if (std::chrono::steady_clock::now() < capture->deadline) {
+            return false;  // still sampling; poll again next tick
+          }
+          capture->profiler.stop();
+          response->status = 200;
+          response->body = capture->profiler.collapsed();
+          if (response->body.empty()) {
+            // No CPU burned during the window — still a valid capture.
+            response->body = "[idle] 0\n";
+          }
+          return true;
+        };
+      });
 }
 
 }  // namespace tspopt::serve

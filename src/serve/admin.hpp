@@ -13,15 +13,23 @@
 //               journal's last append/fsync failed, or the device pool is
 //               closed. A load balancer stops routing here first.
 //   /statusz  — the human/debug view: run identity, uptime, queue depth
-//               and oldest-age, scheduler counters, journal segment
-//               stats, and every active job (with its distributed trace
-//               id) as JSON.
+//               and oldest-age, scheduler counters, per-phase latency
+//               quantiles (count/p50/p99 from the serve.job_phase_us
+//               histograms), journal segment stats, and every active job
+//               (with its distributed trace id) as JSON.
 //   /tracez   — the slowest settled jobs (the scheduler's tracez ring)
 //               with their per-phase wait/lease/run/settle breakdown;
 //               `?n=` limits the count.
 //   /metrics  — the live Prometheus text exposition of the global
 //               registry (same bytes a TSPOPT_PROM file scrape gets, but
 //               pull-based and always current).
+//   /profilez — on-demand CPU profile of the live daemon:
+//               `?seconds=N[&hz=H]` runs a sampling-profiler capture
+//               (obs/profiler) and answers with collapsed stacks,
+//               flamegraph.pl-ready. Deferred on the admin loop, so
+//               /healthz and /readyz stay live during the capture; at
+//               most one capture runs at a time (the second asks get
+//               503); a dropped connection cancels the capture.
 //
 // Handlers run on the HTTP server's thread and only read scheduler state
 // through its thread-safe accessors; everything referenced by the
@@ -50,6 +58,10 @@ struct AdminContext {
   std::chrono::steady_clock::time_point started_steady{};
 
   std::uint16_t serve_port = 0;  // the JSON protocol port, for /statusz
+
+  // Longest capture /profilez?seconds=N will honor (requests are clamped
+  // to it); <= 0 disables the endpoint entirely (it answers 404).
+  double profilez_max_seconds = 60.0;
 };
 
 void mount_admin(obs::HttpServer& server, AdminContext context);

@@ -241,6 +241,7 @@ void Daemon::start() {
     admin_context.started_at = std::chrono::system_clock::now();
     admin_context.started_steady = std::chrono::steady_clock::now();
     admin_context.serve_port = port_;
+    admin_context.profilez_max_seconds = options_.profilez_max_seconds;
     mount_admin(*admin_, std::move(admin_context));
     admin_->start();
     obs::Log::global()

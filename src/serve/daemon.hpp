@@ -62,6 +62,9 @@ struct DaemonOptions {
   // HTTP admin plane port: -1 = disabled, 0 = ephemeral (bound port via
   // admin_port()), otherwise the port to bind. Binds `host`.
   int admin_port = -1;
+  // Longest /profilez capture the admin plane honors (seconds); <= 0
+  // disables the endpoint. See serve/admin.hpp.
+  double profilez_max_seconds = 60.0;
 };
 
 class Daemon {

@@ -51,6 +51,10 @@ bool is_pruned_engine(const std::string& name) {
 
 }  // namespace
 
+const std::vector<double>& Scheduler::latency_buckets_us() {
+  return kLatencyBucketsUs;
+}
+
 struct Scheduler::Instruments {
   obs::Gauge& queue_depth;
   obs::Gauge& active_jobs;

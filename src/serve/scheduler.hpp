@@ -152,6 +152,11 @@ class Scheduler {
   static constexpr std::size_t kTracezCapacity = 32;
   std::vector<JobTraceSummary> slowest_settled() const;
 
+  // The bucket layout of the serve.job_wait_us / serve.job_run_us /
+  // serve.job_phase_us histograms, for callers (the /statusz phase table)
+  // that need to look the instruments up in the global registry.
+  static const std::vector<double>& latency_buckets_us();
+
   // Every retained non-terminal job (queued + running), ascending id —
   // the /statusz "active jobs" table.
   std::vector<std::shared_ptr<const Job>> active_snapshot() const;

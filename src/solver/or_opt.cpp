@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "obs/trace.hpp"
 
 namespace tspopt {
 
@@ -35,6 +36,7 @@ OrOptStats or_opt_pass(const Instance& instance, Tour& tour,
                        const NeighborLists& neighbors,
                        std::int32_t max_segment) {
   TSPOPT_CHECK(max_segment >= 1);
+  obs::Span span = obs::Tracer::global().span("or_opt.pass", "solver");
   const std::int32_t n = tour.n();
   OrOptStats stats;
   std::vector<std::int32_t> positions = tour.positions();
@@ -74,6 +76,7 @@ OrOptStats or_opt_pass(const Instance& instance, Tour& tour,
 OrOptStats or_opt_descend(const Instance& instance, Tour& tour,
                           const NeighborLists& neighbors,
                           std::int32_t max_segment, std::int64_t max_passes) {
+  obs::Span span = obs::Tracer::global().span("or_opt.descend", "solver");
   OrOptStats total;
   for (std::int64_t pass = 0; pass < max_passes; ++pass) {
     OrOptStats s = or_opt_pass(instance, tour, neighbors, max_segment);

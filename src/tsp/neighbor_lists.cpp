@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "obs/trace.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
 #include "tsp/metric.hpp"
@@ -134,6 +135,9 @@ NeighborLists::NeighborLists(const Instance& instance, std::int32_t k)
   TSPOPT_CHECK(k >= 1);
   TSPOPT_CHECK_MSG(instance.has_coordinates(),
                    "NeighborLists requires coordinates");
+  // Pool workers inherit this span's name via ThreadPool::submit's
+  // snapshot, so profiler samples in build_row attribute here too.
+  obs::Span span = obs::Tracer::global().span("tsp.neighbor_lists", "tsp");
   const Grid grid = build_grid(instance);
   flat_.resize(static_cast<std::size_t>(n_) * static_cast<std::size_t>(k_));
   cand_dist_.resize(static_cast<std::size_t>(n_) *

@@ -424,5 +424,120 @@ TEST(AdminTrace, ClientTraceIdReachesDaemonSpans) {
   tracer.clear();
 }
 
+TEST(AdminDaemon, StatuszReportsPhaseQuantiles) {
+  PoolFixture fixture(1);
+  DaemonOptions options;
+  options.port = 0;
+  options.admin_port = 0;
+  options.scheduler.workers = 1;
+  Daemon daemon(*fixture.pool, options);
+  daemon.start();
+  ASSERT_GT(daemon.admin_port(), 0);
+
+  // The phases object is present (with zeroed quantiles) before any job.
+  obs::JsonValue statusz =
+      obs::json_parse(http_get(daemon.admin_port(), "/statusz").body);
+  const obs::JsonValue& phases = statusz.at("phases");
+  for (const char* phase : {"wait", "lease", "run", "settle"}) {
+    const obs::JsonValue& entry = phases.at(phase);
+    EXPECT_GE(entry.at("count").number, 0.0);
+    EXPECT_GE(entry.at("p50_us").number, 0.0);
+    EXPECT_GE(entry.at("p99_us").number, 0.0);
+  }
+
+  // After a job settles, the run phase has a nonzero count and ordered
+  // quantiles. The histograms are process-global, so assert growth, not
+  // absolute counts (other tests in this binary also run jobs).
+  Client client("127.0.0.1", daemon.port());
+  obs::JsonValue submitted = client.submit(quick_spec());
+  ASSERT_TRUE(submitted.at("ok").boolean);
+  client.wait(static_cast<std::uint64_t>(submitted.at("id").number), 10.0);
+
+  auto deadline = std::chrono::steady_clock::now() + 5s;
+  double run_count = 0.0;
+  for (;;) {
+    statusz =
+        obs::json_parse(http_get(daemon.admin_port(), "/statusz").body);
+    run_count = statusz.at("phases").at("run").at("count").number;
+    if (run_count > 0.0) break;
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    std::this_thread::sleep_for(5ms);
+  }
+  const obs::JsonValue& run = statusz.at("phases").at("run");
+  EXPECT_GT(run.at("p50_us").number, 0.0);
+  EXPECT_GE(run.at("p99_us").number, run.at("p50_us").number);
+
+  daemon.stop(true);
+}
+
+TEST(AdminDaemon, ProfilezCapturesLiveProfile) {
+  PoolFixture fixture(1);
+  DaemonOptions options;
+  options.port = 0;
+  options.admin_port = 0;
+  options.scheduler.workers = 1;
+  options.profilez_max_seconds = 30.0;
+  Daemon daemon(*fixture.pool, options);
+  daemon.start();
+  ASSERT_GT(daemon.admin_port(), 0);
+
+  // Keep the process busy so the capture window sees CPU.
+  std::atomic<bool> stop_burn{false};
+  std::thread burner([&] {
+    volatile double x = 1.0;
+    while (!stop_burn.load(std::memory_order_relaxed)) {
+      for (int i = 0; i < 100000; ++i) x = x * 1.0000001 + 0.5;
+    }
+  });
+
+  // A second capture request during the window gets 503; the first
+  // returns a non-empty collapsed profile. The 1 s capture answers other
+  // endpoints throughout (the poller runs on the admin tick).
+  std::atomic<int> second_status{0};
+  std::thread second([&] {
+    std::this_thread::sleep_for(200ms);
+    EXPECT_EQ(http_get(daemon.admin_port(), "/healthz").status, 200);
+    second_status.store(
+        http_get(daemon.admin_port(), "/profilez?seconds=1").status);
+  });
+  HttpReply reply =
+      http_get(daemon.admin_port(), "/profilez?seconds=1&hz=200");
+  second.join();
+  stop_burn.store(true);
+  burner.join();
+
+  EXPECT_EQ(reply.status, 200);
+  EXPECT_FALSE(reply.body.empty());
+  // Well-formed collapsed stacks: every line ends in " <count>".
+  std::istringstream lines(reply.body);
+  std::string line;
+  while (std::getline(lines, line)) {
+    std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_GT(std::stoull(line.substr(space + 1)), 0u) << line;
+  }
+  EXPECT_EQ(second_status.load(), 503);
+
+  // The busy latch released with the first capture: a fresh one starts.
+  HttpReply again = http_get(daemon.admin_port(), "/profilez?seconds=1");
+  EXPECT_EQ(again.status, 200);
+
+  daemon.stop(true);
+}
+
+TEST(AdminDaemon, ProfilezDisabledReturns404) {
+  PoolFixture fixture(1);
+  DaemonOptions options;
+  options.port = 0;
+  options.admin_port = 0;
+  options.scheduler.workers = 1;
+  options.profilez_max_seconds = 0.0;
+  Daemon daemon(*fixture.pool, options);
+  daemon.start();
+  ASSERT_GT(daemon.admin_port(), 0);
+  EXPECT_EQ(http_get(daemon.admin_port(), "/profilez?seconds=1").status, 404);
+  daemon.stop(true);
+}
+
 }  // namespace
 }  // namespace tspopt::serve

@@ -20,21 +20,17 @@
 // downgrades throughput failures to warnings when the fingerprint does
 // not match, since cross-machine numbers are not comparable.
 #include <algorithm>
-#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
-#include "common/check.hpp"
+#include "benchsup/report.hpp"
 #include "common/cli.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
-#include "obs/json.hpp"
 #include "obs/profiler.hpp"
-#include "obs/runinfo.hpp"
-#include "parallel/thread_pool.hpp"
 #include "solver/constructive.hpp"
 #include "solver/engine_factory.hpp"
 #include "solver/ils.hpp"
@@ -44,54 +40,8 @@
 namespace {
 
 using namespace tspopt;
-
-struct Metric {
-  std::string name;
-  double value = 0.0;
-};
-
-struct BenchResult {
-  std::string name;
-  std::vector<Metric> metrics;
-};
-
-void write_report(const std::string& path, const std::string& kind,
-                  bool smoke, const std::vector<BenchResult>& results) {
-  obs::JsonWriter w;
-  w.begin_object();
-  w.key("schema").value("tspopt.bench_report");
-  w.key("schema_version").value(std::int64_t{1});
-  w.key("kind").value(kind);
-  w.key("generated_utc").value(obs::rfc3339_utc_now_ms());
-  w.key("run").begin_object();
-  w.key("id").value(obs::run_id());
-  w.key("cpu").value(obs::cpu_model());
-  w.key("simd").value(simd::active().name);
-  w.key("simd_width").value(
-      static_cast<std::int64_t>(simd::active().width));
-  w.key("threads").value(
-      static_cast<std::uint64_t>(ThreadPool::shared().size()));
-  w.key("git").value(obs::git_describe());
-  w.key("smoke").value(smoke);
-  w.end_object();
-  w.key("benchmarks").begin_array();
-  for (const BenchResult& r : results) {
-    w.begin_object();
-    w.key("name").value(r.name);
-    w.key("metrics").begin_object();
-    for (const Metric& m : r.metrics) w.key(m.name).value(m.value);
-    w.end_object();
-    w.end_object();
-  }
-  w.end_array();
-  w.end_object();
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  TSPOPT_CHECK_MSG(out.good(), "cannot open bench report " << path);
-  out << w.str() << '\n';
-  TSPOPT_CHECK_MSG(out.good(), "failed writing bench report " << path);
-  std::cout << "wrote " << path << " (" << results.size()
-            << " benchmarks)\n";
-}
+using benchsup::BenchResult;
+using benchsup::write_report;
 
 // One engine benchmark: `calls` full best-move searches over a fixed tour
 // per repetition; throughput from the fastest repetition, plus the

@@ -22,6 +22,12 @@
 // retry_after_ms hint) for up to N seconds; an idempotency key
 // (--idempotency-key, auto-generated under --deadline) makes those
 // retries dedup server-side instead of double-submitting.
+// `submit --batch <manifest>` submits a whole JSON-lines manifest of job
+// specs as one burst (each line a tspopt.job object; jobs default to
+// batchable so the daemon's micro-batcher can coalesce them) and prints
+// one response carrying every job's id. All jobs share one idempotency
+// key prefix (--idempotency-key or minted), keyed "<prefix>-<line>", so
+// re-running the same manifest dedups job-for-job.
 //
 // Every submit carries a distributed trace id (--trace-id to supply one,
 // otherwise minted), printed to stderr as `trace <id>` — grep the
@@ -29,6 +35,7 @@
 // queue/lease/run spans; a timeout message names it too, so a lost
 // response is still findable server-side.
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <random>
 #include <string>
@@ -60,6 +67,14 @@ int main(int argc, char** argv) {
   cli.add_option("devices", "device-lease size for gpu engines", "1");
   cli.add_option("k", "neighbor-list size for the pruned engines "
                       "(0 = engine default)", "0");
+  cli.add_flag("batchable",
+               "opt this job into the daemon's micro-batcher (batch-simd / "
+               "batch-gpu engine classes only)");
+  cli.add_option("batch",
+                 "submit only: JSON-lines manifest of job specs, submitted "
+                 "as one burst for the daemon's micro-batcher (each line is "
+                 "a tspopt.job object; schema fields optional; jobs default "
+                 "to batchable)");
   cli.add_flag("wait", "submit only: poll to completion, print the result");
   cli.add_option("wait-seconds", "--wait poll budget", "30");
   cli.add_option("deadline",
@@ -94,6 +109,79 @@ int main(int argc, char** argv) {
                          client_options);
 
     obs::JsonValue response;
+    if (verb == "submit" && cli.has("batch")) {
+      // Manifest submit: one burst of specs for the daemon's micro-batcher.
+      // Every line is a tspopt.job wire object (the schema fields may be
+      // omitted — they are injected here); jobs that do not say otherwise
+      // are marked batchable, and every job's idempotency key shares one
+      // prefix so a whole-burst retry dedups job-for-job.
+      std::ifstream manifest(cli.get("batch"));
+      if (!manifest) {
+        std::cerr << "tspopt_client: cannot open manifest "
+                  << cli.get("batch") << "\n";
+        return 2;
+      }
+      std::string prefix = cli.get("idempotency-key", "");
+      if (prefix.empty()) prefix = "batch-" + obs::new_trace_id();
+      double deadline_seconds = cli.get_double("deadline", 0.0);
+
+      obs::JsonWriter out;
+      out.begin_object();
+      out.key("idempotency_prefix").value(prefix);
+      out.key("jobs").begin_array();
+      bool all_ok = true;
+      std::size_t index = 0;
+      std::string line;
+      while (std::getline(manifest, line)) {
+        if (line.empty() || line[0] == '#') continue;
+        obs::JsonValue parsed = obs::json_parse(line);
+        TSPOPT_CHECK_MSG(parsed.is_object(),
+                         "manifest line " << index << " is not an object");
+        if (parsed.find("schema") == nullptr) {
+          obs::JsonValue schema;
+          schema.kind = obs::JsonValue::Kind::kString;
+          schema.string = "tspopt.job";
+          parsed.object.emplace_back("schema", std::move(schema));
+        }
+        if (parsed.find("schema_version") == nullptr) {
+          obs::JsonValue version;
+          version.kind = obs::JsonValue::Kind::kNumber;
+          version.number = 1;
+          parsed.object.emplace_back("schema_version", std::move(version));
+        }
+        bool line_sets_batchable = parsed.find("batchable") != nullptr;
+        serve::JobSpec spec = serve::job_spec_from_json(parsed);
+        if (!line_sets_batchable) spec.batchable = true;
+        if (spec.idempotency_key.empty()) {
+          spec.idempotency_key = prefix + "-" + std::to_string(index);
+        }
+        obs::JsonValue reply = deadline_seconds > 0.0
+                                   ? client.submit_with_retry(
+                                         spec, deadline_seconds)
+                                   : client.submit(spec);
+        const obs::JsonValue* ok = reply.find("ok");
+        all_ok = all_ok && ok != nullptr && ok->boolean;
+        out.begin_object();
+        out.key("index").value(static_cast<std::uint64_t>(index));
+        const obs::JsonValue* id = reply.find("id");
+        if (id != nullptr) {
+          out.key("id").value(static_cast<std::uint64_t>(id->number));
+        }
+        out.key("ok").value(ok != nullptr && ok->boolean);
+        if (const obs::JsonValue* error = reply.find("error")) {
+          out.key("error").value(error->string);
+        }
+        out.key("trace_id").value(client.last_trace_id());
+        out.end_object();
+        ++index;
+      }
+      out.end_array();
+      out.key("submitted").value(static_cast<std::uint64_t>(index));
+      out.key("ok").value(all_ok);
+      out.end_object();
+      std::cout << out.str() << std::endl;
+      return all_ok ? 0 : 1;
+    }
     if (verb == "submit") {
       serve::JobSpec spec;
       if (cli.has("random")) {
@@ -114,6 +202,7 @@ int main(int argc, char** argv) {
       spec.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
       spec.devices = static_cast<std::int32_t>(cli.get_int("devices", 1));
       spec.k = static_cast<std::int32_t>(cli.get_int("k", 0));
+      spec.batchable = cli.has("batchable");
       spec.idempotency_key = cli.get("idempotency-key", "");
       // Mint the trace id here (not in Client::submit) so the timeout
       // handler below can name it even when the request never came back.

@@ -72,6 +72,14 @@ int main(int argc, char** argv) {
                  "ILS iterations between per-job spool checkpoints "
                  "(needs --journal-dir; 0 = off)",
                  "64");
+  cli.add_option("max-batch",
+                 "micro-batcher: most batchable same-key jobs one worker "
+                 "coalesces into a single batch pass (1 = off)",
+                 "8");
+  cli.add_option("batch-wait-ms",
+                 "micro-batcher: how long a batchable lead job lingers for "
+                 "followers (0 = take only what is already queued)",
+                 "2");
   cli.add_flag("flaky", "inject transient launch faults on one device");
   if (!cli.parse(argc, argv)) {
     std::cerr << cli.error() << "\n" << cli.usage();
@@ -117,6 +125,10 @@ int main(int argc, char** argv) {
     options.scheduler.checkpoint_every_iterations =
         cli.get_int("checkpoint-every", 64);
   }
+  options.scheduler.batcher.max_batch = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, cli.get_int("max-batch", 8)));
+  options.scheduler.batcher.max_wait_ms =
+      std::max(0.0, cli.get_double("batch-wait-ms", 2.0));
   if (cli.has("admin-port")) {
     options.admin_port = static_cast<int>(cli.get_int("admin-port", 0));
   }

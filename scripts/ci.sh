@@ -56,6 +56,16 @@
 #         TSPOPT_PROFILE at the default 97 Hz must agree within 2%
 #         (exact metrics must match bit-for-bit — sampling must not
 #         perturb the search).
+# Pass 11: Micro-batcher end to end — start tspoptd with --max-batch,
+#         burst 32 identical-shape jobs at it via `tspopt_client submit
+#         --batch <manifest>`, require the burst to coalesce (serve.batch
+#         spans in the trace export, batch lifecycle events in the JSONL
+#         log, nonzero batch occupancy in /statusz, batch membership in
+#         /tracez), require a batched job's result to equal the same spec
+#         run solo, then the bench_serve gate: a smoke run (burst
+#         equivalence, modeled >=3x batched speedup, and population-vs-
+#         single-start are all asserted inside the binary) diffed against
+#         the committed BENCH_serve.json baseline.
 #
 # Usage: scripts/ci.sh [build-dir-prefix]   (default: build-ci)
 set -euo pipefail
@@ -551,7 +561,7 @@ for l in lines:
     assert stack and int(count) > 0, f"malformed collapsed line: {l!r}"
 
 r = json.load(open(f"{d}/ils-report.json"))
-assert r["schema_version"] == 3, r["schema_version"]
+assert r["schema_version"] == 4, r["schema_version"]
 p = r["profile"]
 assert p["samples"] > 0, p
 attributed = p["attributed"] / p["samples"]
@@ -670,6 +680,150 @@ done
 [ "${OVERHEAD_OK}" -eq 1 ] \
     || { echo "profiler overhead exceeds 2% at 97 Hz"; exit 1; }
 echo "sampling profiler: attribution, /profilez, sanitizers, overhead verified."
+
+echo
+echo "== Pass 11: micro-batcher end to end (burst -> serve.batch -> bench gate) =="
+BATCH_TMP="${OBS_TMP}/batch"
+mkdir -p "${BATCH_TMP}"
+
+# One worker + a 250ms linger: the lead job waits for the rest of the
+# burst, so the whole manifest coalesces into very few batches.
+TSPOPT_LOG="info,${BATCH_TMP}/events.jsonl" \
+TSPOPT_TRACE="${BATCH_TMP}/trace.json" \
+    "${PREFIX}-release/examples/tspoptd" \
+    --port 0 --port-file "${BATCH_TMP}/port" \
+    --admin-port 0 --admin-port-file "${BATCH_TMP}/admin-port" \
+    --devices 1 --workers 1 --queue 64 \
+    --max-batch 32 --batch-wait-ms 250 > "${BATCH_TMP}/daemon.log" &
+BATCH_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "${BATCH_TMP}/port" ] && [ -s "${BATCH_TMP}/admin-port" ] && break
+  kill -0 "${BATCH_PID}" 2>/dev/null || { echo "tspoptd died"; exit 1; }
+  sleep 0.1
+done
+PORT="$(cat "${BATCH_TMP}/port")"
+ADMIN_PORT="$(cat "${BATCH_TMP}/admin-port")"
+echo "tspoptd up: serve port ${PORT}, admin port ${ADMIN_PORT}, max-batch 32"
+
+# 32 identical-shape jobs (same instance + engine class + k, distinct
+# seeds): exactly what the micro-batcher coalesces. Iteration-bounded so
+# every result is deterministic.
+python3 - > "${BATCH_TMP}/manifest.jsonl" <<'EOF'
+import json
+for seed in range(1, 33):
+    print(json.dumps({"catalog": "berlin52", "engine": "gpu-small",
+                      "time_limit_seconds": 30.0, "max_iterations": 4,
+                      "seed": seed}))
+EOF
+BURST="$("${PREFIX}-release/examples/tspopt_client" submit \
+    --port "${PORT}" --batch "${BATCH_TMP}/manifest.jsonl" \
+    --idempotency-key ci-burst 2>/dev/null)"
+mapfile -t JOB_IDS < <(python3 - "${BURST}" <<'EOF'
+import json, sys
+r = json.loads(sys.argv[1])
+assert r["ok"], r
+assert r["submitted"] == 32, r["submitted"]
+for j in r["jobs"]:
+    assert j["ok"], j
+    print(j["id"])
+EOF
+)
+[ "${#JOB_IDS[@]}" -eq 32 ] || { echo "expected 32 job ids"; exit 1; }
+
+# Every burst job finishes with a full berlin52 result; remember seed 1's
+# answer for the solo comparison below.
+BATCHED_BEST=""
+for id in "${JOB_IDS[@]}"; do
+  for _ in $(seq 1 600); do
+    STATE="$("${PREFIX}-release/examples/tspopt_client" status \
+        --id "${id}" --port "${PORT}" \
+        | python3 -c 'import json,sys; \
+print(json.load(sys.stdin).get("job",{}).get("state",""))')"
+    [ "${STATE}" = "finished" ] && break
+    [ "${STATE}" = "failed" ] && { echo "burst job ${id} failed"; exit 1; }
+    sleep 0.05
+  done
+  [ "${STATE}" = "finished" ] \
+      || { echo "burst job ${id} never finished (state ${STATE})"; exit 1; }
+  BEST="$("${PREFIX}-release/examples/tspopt_client" result \
+      --id "${id}" --port "${PORT}" | python3 -c 'import json,sys
+r = json.load(sys.stdin)
+assert r["ok"], r
+assert len(r["result"]["order"]) == 52, len(r["result"]["order"])
+assert r["result"]["best_length"] > 0
+print(r["result"]["best_length"])')"
+  [ -n "${BATCHED_BEST}" ] || BATCHED_BEST="${BEST}"
+done
+echo "all 32 burst jobs finished (seed-1 best ${BATCHED_BEST})"
+
+# A batched job must answer exactly like the same spec run solo (the
+# batch engines are bit-identical to their single-tour counterparts).
+SOLO="$("${PREFIX}-release/examples/tspopt_client" submit \
+    --port "${PORT}" --catalog berlin52 --engine gpu-small \
+    --time 30 --iterations 4 --seed 1 --wait 2>/dev/null)"
+python3 - "${SOLO}" "${BATCHED_BEST}" <<'EOF'
+import json, sys
+r = json.loads(sys.argv[1])
+assert r["ok"] and r["job"]["state"] == "finished", r
+solo_best = r["result"]["best_length"]
+assert solo_best == int(sys.argv[2]), \
+    f"solo best {solo_best} != batched best {sys.argv[2]}"
+print(f"solo rerun of seed 1 matches the batched result: {solo_best}")
+EOF
+
+# /statusz reports the coalescing, /tracez the batch membership.
+python3 - "${ADMIN_PORT}" <<'EOF'
+import http.client, json, sys
+port = int(sys.argv[1])
+def get(path):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=5)
+    conn.request("GET", path)
+    return json.loads(conn.getresponse().read().decode())
+s = get("/statusz")
+b = s["batcher"]
+assert b["max_batch"] == 32, b
+assert b["batches"] >= 1 and b["batched_jobs"] >= 16, b
+assert b["mean_occupancy"] >= 2.0, b
+assert s["stats"]["batches"] >= 1, s["stats"]
+t = get("/tracez")
+members = [e for e in t["slowest"] if e.get("batch_id")]
+assert members, "no /tracez entry carries a batch_id"
+occ = {e["batch_occupancy"] for e in members}
+assert max(occ) >= 2, occ
+print(f"/statusz: {b['batches']} batch(es), {b['batched_jobs']} jobs, "
+      f"mean occupancy {b['mean_occupancy']:.1f}; /tracez: {len(members)} "
+      f"member(s), occupancy up to {max(occ)}")
+EOF
+
+kill -TERM "${BATCH_PID}"
+BATCH_RC=0
+wait "${BATCH_PID}" || BATCH_RC=$?
+[ "${BATCH_RC}" -eq 143 ] \
+    || { echo "tspoptd exit ${BATCH_RC}, expected 143"; exit 1; }
+
+# The flushed telemetry shows the batch lifecycle: serve.batch spans in
+# the Chrome export, batch.started events in the JSONL log.
+grep -q "\"event\":\"batch.started\"" "${BATCH_TMP}/events.jsonl" \
+    || { echo "no batch.started event in the JSONL log"; exit 1; }
+python3 - "${BATCH_TMP}/trace.json" <<'EOF'
+import json, sys
+events = json.load(open(sys.argv[1]))["traceEvents"]
+spans = [e for e in events
+         if e.get("ph") == "X" and e.get("name") == "serve.batch"]
+assert spans, "no serve.batch span in the trace export"
+occ = max(int(e["args"]["occupancy"]) for e in spans)
+assert occ >= 2, f"serve.batch occupancy never exceeded 1: {occ}"
+print(f"trace export: {len(spans)} serve.batch span(s), occupancy up to {occ}")
+EOF
+
+# The bench gate: bench_serve asserts batched-vs-per-job equivalence, the
+# modeled >=3x aggregate speedup, and population-vs-single-start inside
+# the binary; the committed BENCH_serve.json baseline pins the exact
+# best-length metrics and the modeled throughput.
+"${PREFIX}-release/bench/bench_serve" --smoke --out-dir "${BATCH_TMP}"
+python3 scripts/bench_compare.py --threshold 0.25 \
+    "BENCH_serve.json" "${BATCH_TMP}/BENCH_serve.json"
+echo "micro-batcher end to end: burst, spans, occupancy, bench gate verified."
 
 echo
 echo "CI passed."

@@ -1,0 +1,52 @@
+#include "benchsup/report.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+
+#include "common/check.hpp"
+#include "obs/json.hpp"
+#include "obs/runinfo.hpp"
+#include "parallel/thread_pool.hpp"
+#include "solver/simd.hpp"
+
+namespace tspopt::benchsup {
+
+void write_report(const std::string& path, const std::string& kind,
+                  bool smoke, const std::vector<BenchResult>& results) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("tspopt.bench_report");
+  w.key("schema_version").value(std::int64_t{1});
+  w.key("kind").value(kind);
+  w.key("generated_utc").value(obs::rfc3339_utc_now_ms());
+  w.key("run").begin_object();
+  w.key("id").value(obs::run_id());
+  w.key("cpu").value(obs::cpu_model());
+  w.key("simd").value(simd::active().name);
+  w.key("simd_width").value(static_cast<std::int64_t>(simd::active().width));
+  w.key("threads").value(
+      static_cast<std::uint64_t>(ThreadPool::shared().size()));
+  w.key("git").value(obs::git_describe());
+  w.key("smoke").value(smoke);
+  w.end_object();
+  w.key("benchmarks").begin_array();
+  for (const BenchResult& r : results) {
+    w.begin_object();
+    w.key("name").value(r.name);
+    w.key("metrics").begin_object();
+    for (const Metric& m : r.metrics) w.key(m.name).value(m.value);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  TSPOPT_CHECK_MSG(out.good(), "cannot open bench report " << path);
+  out << w.str() << '\n';
+  TSPOPT_CHECK_MSG(out.good(), "failed writing bench report " << path);
+  std::cout << "wrote " << path << " (" << results.size()
+            << " benchmarks)\n";
+}
+
+}  // namespace tspopt::benchsup

@@ -1,0 +1,40 @@
+// Versioned benchmark-report emission (tspopt.bench_report v1).
+//
+// Shared by every bench binary that writes a BENCH_*.json for
+// scripts/bench_compare.py to diff against a committed baseline. The
+// comparator's contract lives in the metric names:
+//   - best_length / best_delta / best_index / improvements are EXACT:
+//     they must be bit-deterministic for the fixed workload, and the
+//     comparator requires baseline equality (a mismatch is an
+//     algorithmic change, not noise);
+//   - *_per_sec metrics are THROUGHPUT: gated with a relative threshold,
+//     and downgraded to warnings when the run fingerprint (CPU, SIMD
+//     level, thread count) does not match the baseline's;
+//   - everything else is informational.
+// Reports that derive *_per_sec from the analytic device model (counted
+// work priced by simt::PerfModel) are deterministic too and pass the
+// threshold gate on any machine.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tspopt::benchsup {
+
+struct Metric {
+  std::string name;
+  double value = 0.0;
+};
+
+struct BenchResult {
+  std::string name;
+  std::vector<Metric> metrics;
+};
+
+// Writes `<path>` as one tspopt.bench_report v1 document: the run
+// fingerprint (run id, CPU model, resolved SIMD level, thread count, git
+// describe, smoke flag) plus one {name, metrics} object per benchmark.
+void write_report(const std::string& path, const std::string& kind,
+                  bool smoke, const std::vector<BenchResult>& results);
+
+}  // namespace tspopt::benchsup

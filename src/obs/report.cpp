@@ -44,6 +44,13 @@ void RunReport::add_convergence_point(const ConvergencePoint& point) {
   convergence_.push_back(point);
 }
 
+RunReport::PopulationMemberSection& RunReport::add_population_member(
+    std::int32_t member) {
+  population_.push_back({});
+  population_.back().member = member;
+  return population_.back();
+}
+
 void RunReport::set_metrics(const Registry& registry) {
   JsonWriter w;
   registry.write_json(w);
@@ -137,6 +144,32 @@ std::string RunReport::to_json() const {
       w.key("iteration").value(p.iteration);
       w.key("checks").value(p.checks);
       w.key("passes").value(p.passes);
+      w.end_object();
+    }
+    w.end_array();
+  }
+  if (!population_.empty()) {
+    w.key("population").begin_array();
+    for (const PopulationMemberSection& m : population_) {
+      w.begin_object();
+      w.key("member").value(std::int64_t{m.member});
+      w.key("best_length").value(m.best_length);
+      w.key("iterations").value(m.iterations);
+      w.key("improvements").value(m.improvements);
+      w.key("checks").value(m.checks);
+      w.key("wall_seconds").value(m.wall_seconds);
+      w.key("stopped").value(m.stopped);
+      w.key("convergence").begin_array();
+      for (const ConvergencePoint& p : m.convergence) {
+        w.begin_object();
+        w.key("seconds").value(p.seconds);
+        w.key("length").value(p.length);
+        w.key("iteration").value(p.iteration);
+        w.key("checks").value(p.checks);
+        w.key("passes").value(p.passes);
+        w.end_object();
+      }
+      w.end_array();
       w.end_object();
     }
     w.end_array();

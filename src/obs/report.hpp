@@ -35,6 +35,13 @@
 // machine-readable form of the paper's timing-decomposition figures:
 // `share` is the fraction of CPU samples whose span stack contains that
 // phase, `leaf_samples` the samples where it is the innermost phase.
+//
+// v4 over v3: the optional "population" section — one entry per
+// PopulationIls member ({"member", "best_length", "iterations",
+// "improvements", "checks", "wall_seconds", "stopped", "convergence":
+// [...]}), carrying the per-tour convergence curves of a batched
+// multi-start run; the top-level "convergence" section stays the best
+// member's curve so single-run consumers keep working unchanged.
 #pragma once
 
 #include <cstdint>
@@ -48,7 +55,7 @@ class Profiler;
 class Registry;
 class Sampler;
 
-inline constexpr int kRunReportSchemaVersion = 3;
+inline constexpr int kRunReportSchemaVersion = 4;
 
 class RunReport {
  public:
@@ -86,6 +93,21 @@ class RunReport {
   };
   void add_convergence_point(const ConvergencePoint& point);
 
+  // One PopulationIls member's outcome and per-tour convergence curve
+  // (schema v4's "population" section). Fill `convergence` on the
+  // returned reference.
+  struct PopulationMemberSection {
+    std::int32_t member = 0;
+    std::int64_t best_length = 0;
+    std::int64_t iterations = 0;
+    std::int64_t improvements = 0;
+    std::uint64_t checks = 0;
+    double wall_seconds = 0.0;
+    bool stopped = false;
+    std::vector<ConvergencePoint> convergence;
+  };
+  PopulationMemberSection& add_population_member(std::int32_t member);
+
   // Attach a snapshot of `registry` (defaults used by callers: the global
   // registry) as the "metrics" section.
   void set_metrics(const Registry& registry);
@@ -118,6 +140,7 @@ class RunReport {
   std::vector<std::pair<std::string, double>> summary_;
   std::vector<DeviceSection> devices_;
   std::vector<ConvergencePoint> convergence_;
+  std::vector<PopulationMemberSection> population_;
   bool has_timeseries_ = false;
   std::string timeseries_json_;  // pre-rendered sampler window
   bool has_metrics_ = false;

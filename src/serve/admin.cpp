@@ -42,6 +42,8 @@ void write_stats(obs::JsonWriter& w, const Scheduler::Stats& stats) {
   w.key("expired").value(stats.expired);
   w.key("retries").value(stats.retries);
   w.key("recovered").value(stats.recovered);
+  w.key("batches").value(stats.batches);
+  w.key("batched_jobs").value(stats.batched_jobs);
   w.key("queue_depth").value(static_cast<std::uint64_t>(stats.queue_depth));
   w.key("active_jobs").value(static_cast<std::uint64_t>(stats.active_jobs));
   w.key("workers").value(static_cast<std::uint64_t>(stats.workers));
@@ -164,6 +166,24 @@ void mount_admin(obs::HttpServer& server, AdminContext context) {
     w.key("queue_oldest_age_ms").value(ctx->scheduler->queue_oldest_age_ms());
     w.key("stats");
     write_stats(w, ctx->scheduler->stats());
+    // Micro-batcher occupancy: lifetime coalesced batches plus the mean
+    // members per batch, so an operator can tell whether the linger window
+    // is actually catching the traffic it was sized for.
+    {
+      const Batcher& batcher = ctx->scheduler->batcher();
+      w.key("batcher").begin_object();
+      w.key("max_batch")
+          .value(static_cast<std::uint64_t>(batcher.options().max_batch));
+      w.key("max_wait_ms").value(batcher.options().max_wait_ms);
+      w.key("batches").value(batcher.batches());
+      w.key("batched_jobs").value(batcher.batched_jobs());
+      w.key("mean_occupancy")
+          .value(batcher.batches() > 0
+                     ? static_cast<double>(batcher.batched_jobs()) /
+                           static_cast<double>(batcher.batches())
+                     : 0.0);
+      w.end_object();
+    }
     // Per-phase pipeline latency quantiles from the serve.job_phase_us
     // histograms (linear interpolation inside the hit bucket — see
     // Histogram::quantile). Same bucket layout the scheduler registered,
@@ -221,6 +241,13 @@ void mount_admin(obs::HttpServer& server, AdminContext context) {
       w.key("settle_ms").value(s.settle_ms);
       w.key("total_ms").value(s.total_ms());
       if (s.best_length >= 0) w.key("best").value(s.best_length);
+      // Batch membership: which coalesced pass this job rode in and how
+      // many members shared it. Absent for jobs that ran solo.
+      if (s.batch_id != 0) {
+        w.key("batch_id").value(s.batch_id);
+        w.key("batch_occupancy")
+            .value(static_cast<std::int64_t>(s.batch_occupancy));
+      }
       w.end_object();
     }
     w.end_array();

@@ -1,0 +1,102 @@
+#include "serve/batcher.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/timer.hpp"
+
+namespace tspopt::serve {
+
+namespace {
+
+std::uint64_t fnv1a(const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+bool batchable_engine(const std::string& engine) {
+  return !batch_engine_for(engine).empty();
+}
+
+std::string batch_engine_for(const std::string& engine) {
+  // Pairings are bit-identical by construction: BatchTwoOptSimd runs
+  // TwoOptSimd's exact row sweep per slot, and BatchTwoOptGpu's
+  // block-per-tour reduction computes the same lexicographic-min BestMove
+  // as gpu-small's grid-stride kernel (the equivalence tests pin both).
+  if (engine == "batch-simd" || engine == "cpu-simd") return "batch-simd";
+  if (engine == "batch-gpu" || engine == "gpu-small") return "batch-gpu";
+  return "";
+}
+
+bool spec_batchable(const JobSpec& spec) {
+  return spec.batchable && batchable_engine(spec.engine);
+}
+
+std::string batch_key(const JobSpec& spec) {
+  std::string key = batch_engine_for(spec.engine);
+  key += "|k=";
+  key += std::to_string(spec.k);
+  if (!spec.inline_payload()) {
+    key += "|catalog=";
+    key += spec.catalog;
+    return key;
+  }
+  // Inline payloads coalesce on the exact coordinate bytes, not the
+  // client-chosen name: Point is two floats, so hashing the contiguous
+  // vector storage covers every coordinate bit.
+  static_assert(sizeof(Point) == 2 * sizeof(float));
+  key += "|n=";
+  key += std::to_string(spec.points.size());
+  key += "|pts=";
+  key += std::to_string(
+      fnv1a(spec.points.data(), spec.points.size() * sizeof(Point)));
+  return key;
+}
+
+Batcher::Batcher(JobQueue& queue, BatcherOptions options)
+    : queue_(queue), options_(options) {}
+
+std::vector<std::shared_ptr<Job>> Batcher::collect(
+    std::shared_ptr<Job> lead) {
+  std::vector<std::shared_ptr<Job>> batch;
+  batch.push_back(std::move(lead));
+  const JobSpec& spec = batch.front()->spec();
+  if (options_.max_batch <= 1 || !spec_batchable(spec)) return batch;
+
+  const std::string key = batch_key(spec);
+  auto matches = [&](const Job& job) {
+    return spec_batchable(job.spec()) && batch_key(job.spec()) == key;
+  };
+
+  WallTimer timer;
+  for (;;) {
+    std::vector<std::shared_ptr<Job>> more =
+        queue_.try_pop_matching(matches, options_.max_batch - batch.size());
+    for (std::shared_ptr<Job>& job : more) batch.push_back(std::move(job));
+    if (batch.size() >= options_.max_batch) break;
+    double remaining_ms = options_.max_wait_ms - timer.millis();
+    if (remaining_ms <= 0.0) break;
+    // The queue has no "wait for a matching push" primitive; the linger
+    // window is small (single-digit ms), so a short poll keeps the lead
+    // job's added latency bounded without threading a condition variable
+    // through the scheduler's hot path.
+    std::this_thread::sleep_for(std::chrono::microseconds(
+        static_cast<std::int64_t>(std::min(remaining_ms, 0.25) * 1e3)));
+  }
+  if (batch.size() > 1) {
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    batched_jobs_.fetch_add(batch.size(), std::memory_order_relaxed);
+  }
+  return batch;
+}
+
+}  // namespace tspopt::serve

@@ -49,6 +49,8 @@ void write_stats(obs::JsonWriter& w, const Scheduler::Stats& s) {
   w.key("expired").value(s.expired);
   w.key("retries").value(s.retries);
   w.key("recovered").value(s.recovered);
+  w.key("batches").value(s.batches);
+  w.key("batched_jobs").value(s.batched_jobs);
   w.key("queue_depth").value(static_cast<std::uint64_t>(s.queue_depth));
   w.key("active_jobs").value(static_cast<std::uint64_t>(s.active_jobs));
   w.key("workers").value(static_cast<std::uint64_t>(s.workers));

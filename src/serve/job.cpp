@@ -56,6 +56,7 @@ std::string job_spec_to_json(const JobSpec& spec) {
   w.key("seed").value(spec.seed);
   w.key("devices").value(spec.devices);
   if (spec.k != 0) w.key("k").value(spec.k);
+  if (spec.batchable) w.key("batchable").value(true);
   if (!spec.idempotency_key.empty()) {
     w.key("idempotency_key").value(spec.idempotency_key);
   }
@@ -111,8 +112,8 @@ JobSpec job_spec_from_json(const obs::JsonValue& value) {
   static constexpr const char* kKnown[] = {
       "schema", "schema_version", "catalog", "name", "points",
       "engine", "priority",       "time_limit_seconds", "max_iterations",
-      "deadline_ms", "seed", "devices", "k", "idempotency_key", "trace_id",
-      "parent_span"};
+      "deadline_ms", "seed", "devices", "k", "batchable", "idempotency_key",
+      "trace_id", "parent_span"};
   for (const auto& [key, member] : value.object) {
     (void)member;
     bool known = false;
@@ -181,6 +182,11 @@ JobSpec job_spec_from_json(const obs::JsonValue& value) {
   // the instance size is known; the wire layer rejects what it can.
   TSPOPT_CHECK_MSG(spec.k == 0 || spec.k >= 1,
                    "k must be >= 1 when present, got " << spec.k);
+  if (const obs::JsonValue* batchable = value.find("batchable")) {
+    TSPOPT_CHECK_MSG(batchable->kind == obs::JsonValue::Kind::kBool,
+                     "\"batchable\" must be a boolean");
+    spec.batchable = batchable->boolean;
+  }
   if (const obs::JsonValue* key = value.find("idempotency_key")) {
     TSPOPT_CHECK_MSG(key->kind == obs::JsonValue::Kind::kString,
                      "\"idempotency_key\" must be a string");
@@ -273,6 +279,12 @@ void write_job_status(obs::JsonWriter& w, const Job& job) {
   if (best >= 0) w.key("best_length").value(best);
   w.key("iteration").value(job.iteration.load(std::memory_order_relaxed));
   w.key("attempts").value(job.attempts.load(std::memory_order_relaxed));
+  std::uint64_t batch = job.batch_id.load(std::memory_order_relaxed);
+  if (batch != 0) {
+    w.key("batch_id").value(batch);
+    w.key("batch_occupancy")
+        .value(job.batch_occupancy.load(std::memory_order_relaxed));
+  }
   if (!job.spec().trace_id.empty()) {
     w.key("trace_id").value(job.spec().trace_id);
   }

@@ -64,6 +64,15 @@ struct JobSpec {
   // non-pruned engines and when k >= the instance's city count.
   std::int32_t k = 0;
 
+  // Opt-in to the serve-side micro-batcher: the daemon may coalesce this
+  // job with other queued batchable jobs sharing its (instance, engine
+  // class, k) batch key into one batch engine pass. Each coalesced job is
+  // still settled individually (own result, report, journal record);
+  // results are bit-identical to a solo run of the same spec. Only the
+  // batchable engine classes accept it (rejected otherwise with a typed
+  // "batch shape" error).
+  bool batchable = false;
+
   // Client-chosen dedup token: a resubmit carrying the same key (after an
   // ambiguous failure — timeout, dropped connection, daemon restart) is
   // answered with the already-accepted job's id instead of double-running
@@ -89,8 +98,8 @@ struct JobSpec {
 //     "catalog": "kroA200" | "name": "...", "points": [[x,y],...],
 //     "engine": "...", "priority": 1, "time_limit_seconds": 1.0,
 //     "max_iterations": -1, "deadline_ms": -1, "seed": 1, "devices": 1,
-//     "k": 10, "idempotency_key": "...", "trace_id": "...",
-//     "parent_span": N }
+//     "k": 10, "batchable": true, "idempotency_key": "...",
+//     "trace_id": "...", "parent_span": N }
 // Optional fields take the JobSpec defaults; unknown fields are rejected
 // so schema-version mistakes surface at the boundary.
 std::string job_spec_to_json(const JobSpec& spec);
@@ -192,6 +201,12 @@ class Job {
   std::atomic<std::int64_t> best_length{-1};
   std::atomic<std::int64_t> iteration{0};
   std::atomic<std::int32_t> attempts{0};  // run attempts (retries = n-1)
+
+  // Micro-batch membership, stamped by the scheduler when this job ran
+  // inside a coalesced batch pass. 0 = ran solo. Occupancy is the member
+  // count of the batch this job joined.
+  std::atomic<std::uint64_t> batch_id{0};
+  std::atomic<std::int32_t> batch_occupancy{0};
 
   // Per-phase durations, recorded by the scheduler as the job moves
   // through its pipeline: queue wait, device-lease acquisition, the run

@@ -48,6 +48,31 @@ JobQueue::PopOutcome JobQueue::pop() {
   return {};  // closed and drained
 }
 
+std::vector<std::shared_ptr<Job>> JobQueue::try_pop_matching(
+    const std::function<bool(const Job&)>& pred, std::size_t max) {
+  std::vector<std::shared_ptr<Job>> out;
+  if (max == 0) return out;
+  std::lock_guard lock(mu_);
+  for (auto& [priority, bucket] : buckets_) {
+    (void)priority;
+    for (auto it = bucket.begin(); it != bucket.end() && out.size() < max;) {
+      const std::shared_ptr<Job>& job = *it;
+      // Dead-while-queued jobs stay for pop()'s discard path, so every
+      // cancellation/expiry is still accounted exactly once.
+      if (job->state() != JobState::kQueued || job->cancel_requested() ||
+          job->deadline_passed() || !pred(*job)) {
+        ++it;
+        continue;
+      }
+      out.push_back(std::move(*it));
+      it = bucket.erase(it);
+      --depth_;
+    }
+    if (out.size() >= max) break;
+  }
+  return out;
+}
+
 void JobQueue::close() {
   {
     std::lock_guard lock(mu_);

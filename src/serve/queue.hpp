@@ -19,9 +19,11 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <vector>
 
 #include "serve/job.hpp"
 
@@ -53,6 +55,15 @@ class JobQueue {
   // Block until a job, a discard, or drained-after-close. Discards are
   // returned one at a time so the scheduler can log/count each.
   PopOutcome pop();
+
+  // Non-blocking selective dequeue for the micro-batcher: remove and
+  // return up to `max` still-queued jobs satisfying `pred`, scanning in
+  // priority-then-FIFO order. Jobs already marked cancelled/expired are
+  // left in place for pop()'s lazy-discard accounting; a matching job may
+  // jump ahead of a non-matching higher-priority one — that is the
+  // batching trade (it was going to run in the same engine pass anyway).
+  std::vector<std::shared_ptr<Job>> try_pop_matching(
+      const std::function<bool(const Job&)>& pred, std::size_t max);
 
   // Stop admission; pop() keeps draining the backlog, then reports empty.
   void close();

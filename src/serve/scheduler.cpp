@@ -11,6 +11,9 @@
 #include "obs/registry.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "solver/batch/batch_twoopt_gpu.hpp"
+#include "solver/batch/batch_twoopt_simd.hpp"
+#include "solver/batch/population_ils.hpp"
 #include "solver/checkpoint.hpp"
 #include "solver/constructive.hpp"
 #include "solver/engine_factory.hpp"
@@ -49,6 +52,25 @@ bool is_pruned_engine(const std::string& name) {
   return name.find("pruned") != std::string::npos;
 }
 
+// Admission-time cap for batchable inline payloads: the TourBatch slab is
+// max_batch padded tours of n+1 floats per coordinate axis, and a spec
+// that cannot be staged at full occupancy must be rejected at the door,
+// not when a batch happens to fill up. 2^24 floats (64 MiB per axis)
+// comfortably covers the paper's largest instances at max_batch = 1 while
+// bounding what one coalesced pass may pin.
+constexpr std::size_t kMaxBatchSlabFloats = std::size_t{1} << 24;
+
+// batch-gpu stages one tour per block in shared memory; its n cap is a
+// device property. Admission validates against the pool's device model
+// (one simulated device class per process today).
+std::int32_t batch_gpu_city_cap() {
+  static const std::int32_t cap = [] {
+    simt::Device probe(simt::gtx680_cuda());
+    return BatchTwoOptGpu::max_cities(probe);
+  }();
+  return cap;
+}
+
 }  // namespace
 
 const std::vector<double>& Scheduler::latency_buckets_us() {
@@ -77,6 +99,9 @@ struct Scheduler::Instruments {
   obs::Counter& expired;
   obs::Counter& retries;
   obs::Counter& recovered;
+  obs::Counter& batches;
+  obs::Counter& batched_jobs;
+  obs::Histogram& batch_occupancy;
 
   explicit Instruments(obs::Registry& r)
       : queue_depth(r.gauge("serve.queue_depth")),
@@ -102,13 +127,18 @@ struct Scheduler::Instruments {
         cancelled(r.counter("serve.jobs_cancelled")),
         expired(r.counter("serve.jobs_expired")),
         retries(r.counter("serve.job_retries")),
-        recovered(r.counter("serve.recovered_jobs")) {}
+        recovered(r.counter("serve.recovered_jobs")),
+        batches(r.counter("serve.batches")),
+        batched_jobs(r.counter("serve.batched_jobs")),
+        batch_occupancy(r.histogram("serve.batch_occupancy",
+                                    {1, 2, 4, 8, 16, 32, 64})) {}
 };
 
 Scheduler::Scheduler(simt::DevicePool& pool, SchedulerOptions options)
     : pool_(pool),
       options_(options),
       queue_(std::max<std::size_t>(1, options.queue_capacity)),
+      batcher_(queue_, options.batcher),
       m_(std::make_unique<Instruments>(obs::Registry::global())) {
   TSPOPT_CHECK_MSG(options_.workers >= 1, "Scheduler needs >= 1 worker");
   TSPOPT_CHECK(options_.max_attempts >= 1);
@@ -224,6 +254,40 @@ Scheduler::Admission Scheduler::submit(JobSpec spec) {
     if (spec.k >= n) {
       return reject_invalid("k must be < the instance size (" +
                             std::to_string(n) + ")");
+    }
+  }
+  if (spec.batchable) {
+    // Batch-shape admission: everything that could make this job
+    // un-stageable inside a full coalesced batch is rejected here with a
+    // typed "batch shape" error, so a queued batchable job can always
+    // join any batch its key admits it to.
+    if (!batchable_engine(spec.engine)) {
+      return reject_invalid(
+          "batch shape: engine \"" + spec.engine +
+          "\" has no batch implementation (batchable engines: cpu-simd, "
+          "gpu-small, batch-simd, batch-gpu)");
+    }
+    std::size_t n = spec.inline_payload()
+                        ? spec.points.size()
+                        : static_cast<std::size_t>(
+                              find_catalog_entry(spec.catalog)->n);
+    if (batch_engine_for(spec.engine) == "batch-gpu" &&
+        n > static_cast<std::size_t>(batch_gpu_city_cap())) {
+      return reject_invalid(
+          "batch shape: n=" + std::to_string(n) +
+          " exceeds batch-gpu's shared-memory tour capacity (" +
+          std::to_string(batch_gpu_city_cap()) + " cities)");
+    }
+    std::size_t max_batch = std::max<std::size_t>(1, options_.batcher.max_batch);
+    // TourBatch pads every tour slice to a 16-float boundary with a +1
+    // wrap entry; mirror that here so admission matches staging exactly.
+    std::size_t stride = ((n + 1 + 15) / 16) * 16;
+    if (stride * max_batch > kMaxBatchSlabFloats) {
+      return reject_invalid(
+          "batch shape: n=" + std::to_string(n) + " at max_batch=" +
+          std::to_string(max_batch) +
+          " exceeds the batch staging limit of " +
+          std::to_string(kMaxBatchSlabFloats) + " floats per axis");
     }
   }
 
@@ -504,6 +568,9 @@ void Scheduler::settle(const std::shared_ptr<Job>& job, JobState terminal) {
     summary.run_ms = phase_ms(job->run_seconds.load(std::memory_order_relaxed));
     summary.settle_ms = phase_ms(settle_seconds);
     summary.best_length = job->best_length.load(std::memory_order_relaxed);
+    summary.batch_id = job->batch_id.load(std::memory_order_relaxed);
+    summary.batch_occupancy =
+        job->batch_occupancy.load(std::memory_order_relaxed);
     std::lock_guard lock(tracez_mu_);
     tracez_.push_back(std::move(summary));
     if (tracez_.size() > kTracezCapacity) {
@@ -555,11 +622,15 @@ void Scheduler::worker_loop(std::size_t worker_index) {
       continue;
     }
     if (out.job == nullptr) return;  // closed and drained
+    if (options_.batcher.max_batch > 1 && spec_batchable(out.job->spec())) {
+      run_batch(batcher_.collect(std::move(out.job)));
+      continue;
+    }
     run_job(out.job);
   }
 }
 
-void Scheduler::run_job(const std::shared_ptr<Job>& job) {
+bool Scheduler::begin_running(const std::shared_ptr<Job>& job) {
   m_->queue_depth.set(static_cast<double>(queue_.depth()));
   m_->queue_oldest_age_ms.set(queue_.oldest_age_ms());
 
@@ -573,15 +644,15 @@ void Scheduler::run_job(const std::shared_ptr<Job>& job) {
   if (job->cancel_requested() &&
       job->try_transition(JobState::kQueued, JobState::kCancelled)) {
     settle(job, JobState::kCancelled);
-    return;
+    return false;
   }
   if (job->deadline_passed() &&
       job->try_transition(JobState::kQueued, JobState::kExpired)) {
     settle(job, JobState::kExpired);
-    return;
+    return false;
   }
   if (!job->try_transition(JobState::kQueued, JobState::kRunning)) {
-    return;  // someone else already resolved it
+    return false;  // someone else already resolved it
   }
 
   m_->job_wait_us.observe(wait_seconds * 1e6);
@@ -620,8 +691,13 @@ void Scheduler::run_job(const std::shared_ptr<Job>& job) {
     }
     tracer.record(std::move(wait_event));
   }
+  return true;
+}
 
-  obs::Span span = tracer.span("serve.job", "serve");
+void Scheduler::run_job(const std::shared_ptr<Job>& job) {
+  if (!begin_running(job)) return;
+
+  obs::Span span = obs::Tracer::global().span("serve.job", "serve");
   if (span) {
     span.arg("id", job->id());
     span.arg("engine", job->spec().engine);
@@ -674,6 +750,258 @@ void Scheduler::run_job(const std::shared_ptr<Job>& job) {
   m_->active_jobs.set(static_cast<double>(active_.load()));
   job->try_transition(JobState::kRunning, terminal);
   settle(job, terminal);
+}
+
+void Scheduler::run_batch(std::vector<std::shared_ptr<Job>> batch) {
+  if (batch.size() == 1) {
+    // Nothing coalesced inside the linger window; the solo path is the
+    // exact per-job pipeline the client would have gotten pre-batching.
+    run_job(batch.front());
+    return;
+  }
+
+  // Claim every member. Jobs that lost a cancel/deadline race settled
+  // inside begin_running and drop out of the batch here.
+  std::vector<std::shared_ptr<Job>> members;
+  members.reserve(batch.size());
+  for (std::shared_ptr<Job>& job : batch) {
+    if (begin_running(job)) members.push_back(std::move(job));
+  }
+  if (members.empty()) return;
+
+  const std::uint64_t batch_id =
+      next_batch_id_.fetch_add(1, std::memory_order_relaxed);
+  for (const std::shared_ptr<Job>& job : members) {
+    job->batch_id.store(batch_id, std::memory_order_relaxed);
+    job->batch_occupancy.store(static_cast<std::int32_t>(members.size()),
+                               std::memory_order_relaxed);
+  }
+  n_batches_.fetch_add(1, std::memory_order_relaxed);
+  n_batched_jobs_.fetch_add(members.size(), std::memory_order_relaxed);
+  m_->batches.add();
+  m_->batched_jobs.add(members.size());
+  m_->batch_occupancy.observe(static_cast<double>(members.size()));
+
+  // The parent span every member's work nests under: job-level trace
+  // events carry the member ids; this one carries the batch identity.
+  obs::Span span = obs::Tracer::global().span("serve.batch", "serve");
+  if (span) {
+    span.arg("batch_id", batch_id);
+    span.arg("occupancy", static_cast<std::uint64_t>(members.size()));
+    span.arg("key", batch_key(members.front()->spec()));
+    span.arg("engine", members.front()->spec().engine);
+  }
+  {
+    obs::LogEvent e =
+        obs::Log::global().event(obs::LogLevel::kInfo, "batch.started");
+    if (e) {
+      e.arg("batch_id", batch_id)
+          .arg("occupancy", static_cast<std::uint64_t>(members.size()))
+          .arg("engine", members.front()->spec().engine);
+    }
+  }
+
+  WallTimer run_timer;
+  std::vector<JobState> terminals;
+  try {
+    terminals = execute_batch(members, batch_id);
+  } catch (const std::exception& e) {
+    // No batch-level retry: a fatal error fails every unsettled member in
+    // one stroke (re-running B jobs to probe which member is poisonous
+    // holds the lease B times longer than the client signed up for). The
+    // journal still has each member as running, so at-least-once recovery
+    // semantics are unchanged.
+    terminals.assign(members.size(), JobState::kFailed);
+    for (const std::shared_ptr<Job>& job : members) {
+      if (job->error().empty()) job->set_error(e.what());
+    }
+    obs::Log::global()
+        .event(obs::LogLevel::kWarn, "batch.failed")
+        .arg("batch_id", batch_id)
+        .arg("occupancy", static_cast<std::uint64_t>(members.size()))
+        .arg("error", e.what());
+  }
+  double run_seconds = run_timer.seconds();
+  // The EMA feeds per-job retry-after hints; a batch completes
+  // members.size() jobs in one run, so amortize before averaging in.
+  note_run_seconds(run_seconds / static_cast<double>(members.size()));
+
+  for (std::size_t b = 0; b < members.size(); ++b) {
+    const std::shared_ptr<Job>& job = members[b];
+    double member_run = job->run_seconds.load(std::memory_order_relaxed);
+    if (member_run < 0.0) {
+      member_run = run_seconds;
+      job->run_seconds.store(member_run, std::memory_order_relaxed);
+    }
+    m_->job_run_us.observe(member_run * 1e6);
+    m_->phase_run_us.observe(member_run * 1e6);
+    active_.fetch_sub(1, std::memory_order_relaxed);
+    m_->active_jobs.set(static_cast<double>(active_.load()));
+    job->try_transition(JobState::kRunning, terminals[b]);
+    settle(job, terminals[b]);
+  }
+}
+
+std::vector<JobState> Scheduler::execute_batch(
+    const std::vector<std::shared_ptr<Job>>& members,
+    std::uint64_t batch_id) {
+  const JobSpec& lead = members.front()->spec();
+  const std::string key = batch_key(lead);
+  std::vector<JobState> terminals(members.size(), JobState::kFailed);
+
+  // Defense in depth against a collection bug: a member whose shape
+  // diverges from the lead's batch key fails individually with a typed
+  // error; the rest of the batch still runs.
+  std::vector<std::size_t> live;
+  live.reserve(members.size());
+  for (std::size_t b = 0; b < members.size(); ++b) {
+    if (batch_key(members[b]->spec()) == key) {
+      live.push_back(b);
+      continue;
+    }
+    members[b]->set_error(
+        "batch shape: member diverges from the batch key \"" + key + "\"");
+    members[b]->run_seconds.store(0.0, std::memory_order_relaxed);
+  }
+  if (live.empty()) return terminals;
+
+  Instance instance =
+      lead.inline_payload()
+          ? Instance(lead.instance_name, Metric::kEuc2D, lead.points)
+          : make_catalog_instance(*find_catalog_entry(lead.catalog));
+
+  for (std::size_t b : live) {
+    std::int32_t attempt = members[b]->attempts.load() + 1;
+    members[b]->attempts.store(attempt, std::memory_order_relaxed);
+    if (journal_ != nullptr) {
+      journal_->append_started(members[b]->id(), attempt);
+    }
+  }
+
+  // One lease for the whole batch: that is the point — B gpu jobs on one
+  // launch sequence instead of B serialized leases.
+  const std::string batch_class = batch_engine_for(lead.engine);
+  simt::DevicePool::Lease lease;
+  std::unique_ptr<BatchTwoOptEngine> engine;
+  if (batch_class == "batch-gpu") {
+    WallTimer lease_timer;
+    obs::Span lease_span =
+        obs::Tracer::global().span("serve.batch.lease", "serve");
+    if (lease_span) lease_span.arg("batch_id", batch_id);
+    lease = pool_.acquire(1);
+    lease_span.finish();
+    TSPOPT_CHECK_MSG(lease, "device pool closed");
+    double lease_seconds = lease_timer.seconds();
+    for (std::size_t b : live) {
+      members[b]->lease_seconds.store(lease_seconds,
+                                      std::memory_order_relaxed);
+    }
+    m_->phase_lease_us.observe(lease_seconds * 1e6);
+    simt::Device& device = *lease.devices().front();
+    TSPOPT_CHECK_MSG(instance.n() <= BatchTwoOptGpu::max_cities(device),
+                     "batch shape: n=" << instance.n()
+                                       << " exceeds batch-gpu capacity on "
+                                       << device.label());
+    engine = std::make_unique<BatchTwoOptGpu>(device);
+  } else {
+    engine = std::make_unique<BatchTwoOptSimd>();
+  }
+
+  // Same constructive start as the solo path, shared by every member (it
+  // is deterministic per instance); the seeds diverge the perturbations.
+  Tour tour = instance.metric() == Metric::kExplicit
+                  ? nearest_neighbor(instance)
+                  : multiple_fragment(instance);
+  std::int64_t constructive_length = tour.length(instance);
+  std::vector<Tour> initial(live.size(), tour);
+
+  // One PopulationIls member per job, carrying exactly the solo run's
+  // budget and hooks. migrate_every = 0 keeps members independent, which
+  // is what makes a member bit-identical to its solo run.
+  std::vector<PopulationMemberOptions> mopts(live.size());
+  std::vector<bool> deadline_clamped(live.size(), false);
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    const std::shared_ptr<Job>& job = members[live[i]];
+    const JobSpec& spec = job->spec();
+    PopulationMemberOptions& mo = mopts[i];
+    mo.seed = spec.seed;
+    mo.max_iterations = spec.max_iterations;
+    mo.time_limit_seconds = spec.time_limit_seconds;
+    if (job->has_deadline()) {
+      double remaining_s = job->deadline_remaining_ms() / 1e3;
+      if (remaining_s < mo.time_limit_seconds) {
+        mo.time_limit_seconds = std::max(0.0, remaining_s);
+        deadline_clamped[i] = true;
+      }
+    }
+    mo.should_stop = [this, job] {
+      return job->cancel_requested() ||
+             stop_all_.load(std::memory_order_relaxed) ||
+             job->deadline_passed();
+    };
+    mo.on_progress = [job](const IlsProgress& p) {
+      job->best_length.store(p.best_length, std::memory_order_relaxed);
+      job->iteration.store(p.iteration, std::memory_order_relaxed);
+    };
+    job->best_length.store(constructive_length, std::memory_order_relaxed);
+  }
+  PopulationIlsOptions popts;
+  popts.time_limit_seconds = -1.0;  // member budgets retire each member
+  popts.migrate_every = 0;
+  // Batches do not spool checkpoints: a crash re-runs the members fresh
+  // from the journal (at-least-once), the same as a solo job that died
+  // before its first checkpoint write.
+  popts.checkpoint_path.clear();
+
+  PopulationIlsResult result =
+      population_ils(*engine, instance, std::move(initial), mopts, popts);
+
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    const std::shared_ptr<Job>& job = members[live[i]];
+    const JobSpec& spec = job->spec();
+    const IlsResult& ils = result.members[i];
+    job->best_length.store(ils.best_length, std::memory_order_relaxed);
+    job->iteration.store(ils.iterations, std::memory_order_relaxed);
+    job->run_seconds.store(ils.wall_seconds, std::memory_order_relaxed);
+
+    JobResult jr;
+    jr.constructive_length = constructive_length;
+    jr.best_length = ils.best_length;
+    jr.iterations = ils.iterations;
+    jr.improvements = ils.improvements;
+    jr.checks = ils.checks;
+    jr.wall_seconds = ils.wall_seconds;
+    jr.stopped = ils.stopped;
+    jr.order.assign(ils.best.order().begin(), ils.best.order().end());
+
+    obs::RunReport report;
+    describe_environment(report);
+    report.set_run("job_id", std::to_string(job->id()));
+    report.set_instance(instance.name(), instance.n(),
+                        to_string(instance.metric()));
+    report.set_engine(engine->name());
+    report.set_config("requested_engine", spec.engine);
+    report.set_config("priority", std::to_string(spec.priority));
+    report.set_config("seed", std::to_string(spec.seed));
+    report.set_config("attempt", std::to_string(job->attempts.load()));
+    report.set_config("batch_id", std::to_string(batch_id));
+    report.set_config("batch_occupancy",
+                      std::to_string(job->batch_occupancy.load()));
+    report_ils(report, ils);
+    jr.report_json = report.to_json();
+    job->set_result(std::move(jr));
+
+    // Same terminal classification as the solo path, per member.
+    if (job->cancel_requested()) {
+      terminals[live[i]] = JobState::kCancelled;
+    } else if ((ils.stopped || deadline_clamped[i]) &&
+               job->deadline_passed()) {
+      terminals[live[i]] = JobState::kExpired;
+    } else {
+      terminals[live[i]] = JobState::kFinished;
+    }
+  }
+  return terminals;
 }
 
 JobState Scheduler::execute_attempt(const std::shared_ptr<Job>& job,
@@ -870,6 +1198,8 @@ Scheduler::Stats Scheduler::stats() const {
   s.expired = n_expired_.load(std::memory_order_relaxed);
   s.retries = n_retries_.load(std::memory_order_relaxed);
   s.recovered = n_recovered_.load(std::memory_order_relaxed);
+  s.batches = n_batches_.load(std::memory_order_relaxed);
+  s.batched_jobs = n_batched_jobs_.load(std::memory_order_relaxed);
   s.queue_depth = queue_.depth();
   s.active_jobs = active_.load(std::memory_order_relaxed);
   s.workers = options_.workers;

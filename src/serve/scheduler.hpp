@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "serve/batcher.hpp"
 #include "serve/job.hpp"
 #include "serve/journal.hpp"
 #include "serve/queue.hpp"
@@ -75,6 +76,12 @@ struct SchedulerOptions {
   // journal's spool (iterations between checkpoint writes). Only
   // meaningful with a journal; <= 0 disables per-job checkpointing.
   std::int64_t checkpoint_every_iterations = 64;
+
+  // Micro-batcher policy: batchable jobs sharing a batch key coalesce
+  // into one batch engine pass, up to batcher.max_batch members, after a
+  // linger of at most batcher.max_wait_ms. max_batch = 1 disables
+  // coalescing entirely (every job runs the solo path).
+  BatcherOptions batcher;
 };
 
 class Scheduler {
@@ -123,6 +130,8 @@ class Scheduler {
     std::uint64_t expired = 0;
     std::uint64_t retries = 0;
     std::uint64_t recovered = 0;  // jobs re-queued by journal replay
+    std::uint64_t batches = 0;       // coalesced (>= 2 member) batch passes
+    std::uint64_t batched_jobs = 0;  // jobs that ran inside those batches
     std::size_t queue_depth = 0;
     std::size_t active_jobs = 0;
     std::size_t workers = 0;
@@ -144,6 +153,10 @@ class Scheduler {
     double run_ms = 0.0;
     double settle_ms = 0.0;
     std::int64_t best_length = -1;
+    // Micro-batch membership: 0 = ran solo, otherwise the coalesced batch
+    // this job was a member of and how many members it carried.
+    std::uint64_t batch_id = 0;
+    std::int32_t batch_occupancy = 0;
     double total_ms() const { return wait_ms + lease_ms + run_ms + settle_ms; }
   };
   // The slowest settled jobs by total pipeline time, slowest first (ring
@@ -182,15 +195,34 @@ class Scheduler {
   const SchedulerOptions& options() const { return options_; }
   // The journal, when durability is enabled; nullptr otherwise.
   const Journal* journal() const { return journal_.get(); }
+  // The micro-batcher (always present; max_batch = 1 makes it inert).
+  const Batcher& batcher() const { return batcher_; }
 
  private:
   void worker_loop(std::size_t worker_index);
   void run_job(const std::shared_ptr<Job>& job);
+  // Run a coalesced batch: one PopulationIls pass sequence with one
+  // member per job, settling every member individually. Falls back to
+  // run_job for a batch of one.
+  void run_batch(std::vector<std::shared_ptr<Job>> batch);
+  // Claim the start of a popped job (wait accounting + the queued ->
+  // running transition, resolving cancel/deadline races). False when the
+  // job settled here instead of starting.
+  bool begin_running(const std::shared_ptr<Job>& job);
   // One solve attempt: lease devices, build the engine, run ILS. Throws on
   // fatal engine errors (the retry loop in run_job catches); returns the
   // terminal state the job should settle into.
   JobState execute_attempt(const std::shared_ptr<Job>& job,
                            std::int32_t attempt);
+  // One coalesced attempt over the whole batch: one lease, one batch
+  // engine, one PopulationIls run with a member per job. Returns each
+  // member's terminal state (aligned with `members`); throws on fatal
+  // engine errors — there is no batch-level retry, run_batch fails the
+  // unsettled members (at-least-once semantics still hold through the
+  // journal, like any other failed attempt).
+  std::vector<JobState> execute_batch(
+      const std::vector<std::shared_ptr<Job>>& members,
+      std::uint64_t batch_id);
   // Account a job that reached `terminal` (log event, counters, drain cv).
   void settle(const std::shared_ptr<Job>& job, JobState terminal);
   double estimate_retry_after_ms() const;
@@ -201,8 +233,10 @@ class Scheduler {
   simt::DevicePool& pool_;
   SchedulerOptions options_;
   JobQueue queue_;
+  Batcher batcher_;
   std::unique_ptr<Journal> journal_;  // nullptr = durability off
   std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::uint64_t> next_batch_id_{1};
   std::atomic<bool> stop_all_{false};
   std::atomic<bool> shut_down_{false};
 
@@ -235,7 +269,8 @@ class Scheduler {
 
   std::atomic<std::uint64_t> n_accepted_{0}, n_rejected_full_{0},
       n_rejected_invalid_{0}, n_finished_{0}, n_failed_{0}, n_cancelled_{0},
-      n_expired_{0}, n_retries_{0}, n_recovered_{0};
+      n_expired_{0}, n_retries_{0}, n_recovered_{0}, n_batches_{0},
+      n_batched_jobs_{0};
   std::atomic<std::size_t> active_{0};
 
   std::vector<std::jthread> workers_;  // last member: joins before teardown

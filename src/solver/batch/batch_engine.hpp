@@ -1,0 +1,85 @@
+// The many-tour 2-opt engine interface.
+//
+// A batch engine performs one full 2-opt pass over EVERY active tour of a
+// TourBatch in a single sweep/launch — the `two_opt_kernel(tours,
+// num_tours, n)` shape (block index = tour id) that amortizes per-launch
+// overhead across B tours. Per-tour results must be bit-identical to the
+// corresponding single-tour engine run on the same tour (the batch
+// equivalence suite enforces this), which is what lets the serve-side
+// micro-batcher coalesce independent jobs without changing their answers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "solver/batch/tour_batch.hpp"
+#include "solver/engine.hpp"
+
+namespace tspopt {
+
+struct BatchSearchResult {
+  // Indexed by batch slot; inactive slots keep a default SearchResult
+  // (no pair examined, zero checks).
+  std::vector<SearchResult> per_tour;
+  std::uint64_t checks = 0;     // total pairs evaluated across the batch
+  double wall_seconds = 0.0;    // host wall-clock for the whole pass
+};
+
+class BatchTwoOptEngine {
+ public:
+  virtual ~BatchTwoOptEngine() = default;
+
+  virtual std::string name() const = 0;
+
+  // One full pass per active tour. Engines restage each active tour's
+  // coordinates from its current order before sweeping (the per-pass host
+  // work of the paper's Optimization 2, done per slice).
+  virtual BatchSearchResult search(TourBatch& batch) = 0;
+};
+
+// The batched "engine.pass" span: same name and args as the single-tour
+// pass_span so trace tooling sees one span family, plus `batch_size` (the
+// number of active tours this pass sweeps).
+inline obs::Span batch_pass_span(const BatchTwoOptEngine& engine,
+                                 const TourBatch& batch,
+                                 std::int32_t simd_width = 1) {
+  obs::Span span = obs::Tracer::global().span("engine.pass", "engine");
+  if (span) {
+    span.arg("engine", engine.name());
+    span.arg("n", batch.n());
+    span.arg("simd_width", static_cast<std::int64_t>(simd_width));
+    span.arg("batch_size", static_cast<std::int64_t>(batch.active_count()));
+  }
+  return span;
+}
+
+// Adapts a batch engine to the single-tour TwoOptEngine interface by
+// running batches of one. This is how the factory's `batch-*` names plug
+// into the existing local-search/ILS drivers and the equivalence tests;
+// hosts that actually hold many tours should use the batch interface
+// directly.
+class BatchSingleTourAdapter : public TwoOptEngine {
+ public:
+  explicit BatchSingleTourAdapter(std::unique_ptr<BatchTwoOptEngine> engine)
+      : engine_(std::move(engine)) {}
+
+  std::string name() const override { return engine_->name(); }
+
+  SearchResult search(const Instance& instance, const Tour& tour) override {
+    TourBatch batch(instance, {tour});
+    BatchSearchResult result = engine_->search(batch);
+    SearchResult out = result.per_tour[0];
+    out.wall_seconds = result.wall_seconds;
+    return out;
+  }
+
+  BatchTwoOptEngine& batch_engine() { return *engine_; }
+
+ private:
+  std::unique_ptr<BatchTwoOptEngine> engine_;
+};
+
+}  // namespace tspopt

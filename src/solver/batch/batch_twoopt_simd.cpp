@@ -1,0 +1,62 @@
+#include "solver/batch/batch_twoopt_simd.hpp"
+
+#include "common/timer.hpp"
+#include "solver/pair_index.hpp"
+
+namespace tspopt {
+
+BatchSearchResult BatchTwoOptSimd::search(TourBatch& batch) {
+  WallTimer timer;
+  obs::Span span = batch_pass_span(*this, batch, kernels_.width);
+  const std::int32_t n = batch.n();
+
+  BatchSearchResult out;
+  out.per_tour.resize(static_cast<std::size_t>(batch.size()));
+  std::uint64_t vectorized = 0;
+  std::uint64_t scalar_tail = 0;
+  for (std::int32_t b = 0; b < batch.size(); ++b) {
+    if (!batch.active(b)) continue;
+    batch.stage(b);
+    const float* xs = batch.xs(b);
+    const float* ys = batch.ys(b);
+
+    // Per slice this is TwoOptSimd::search verbatim — same row kernels in
+    // the same order, so the slot result is bit-identical to a solo pass.
+    BestMove best;
+    for (std::int32_t j = 1; j < n; ++j) {
+      simd::RowArgs row{xs,
+                        ys,
+                        0,
+                        j,
+                        xs[j],
+                        ys[j],
+                        xs[j + 1],
+                        ys[j + 1]};
+      simd::RowBest rb = kernels_.row(row);
+      if (rb.found()) {
+        consider_move(best, rb.delta, pair_index(rb.i, j), rb.i, j);
+      }
+      vectorized += static_cast<std::uint64_t>(kernels_.vector_pairs(j));
+      scalar_tail += static_cast<std::uint64_t>(kernels_.tail_pairs(j));
+    }
+
+    SearchResult& slot = out.per_tour[static_cast<std::size_t>(b)];
+    slot.best = best;
+    slot.checks = static_cast<std::uint64_t>(pair_count(n));
+    out.checks += slot.checks;
+  }
+
+  if (pairs_vectorized_ == nullptr) {
+    pairs_vectorized_ =
+        &obs::Registry::global().counter("twoopt.pairs_vectorized");
+    pairs_scalar_tail_ =
+        &obs::Registry::global().counter("twoopt.pairs_scalar_tail");
+  }
+  pairs_vectorized_->add(vectorized);
+  pairs_scalar_tail_->add(scalar_tail);
+
+  out.wall_seconds = timer.seconds();
+  return out;
+}
+
+}  // namespace tspopt

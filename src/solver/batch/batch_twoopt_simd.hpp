@@ -1,0 +1,38 @@
+// Batched vectorized 2-opt: one SIMD sweep walks every tour in the batch.
+//
+// Per tour slice this is exactly TwoOptSimd's row sweep (same kernels,
+// same row order, same consider_move fold), so each slot's result is
+// bit-identical to a solo cpu-simd pass on that tour — the property the
+// batch equivalence suite pins. What the batching buys is amortization:
+// one pass_span, one staging walk over a contiguous slab, and no
+// per-tour driver round trips when hundreds of small tours ride one call.
+#pragma once
+
+#include "obs/registry.hpp"
+#include "solver/batch/batch_engine.hpp"
+#include "solver/simd.hpp"
+
+namespace tspopt {
+
+class BatchTwoOptSimd : public BatchTwoOptEngine {
+ public:
+  // `kernels == nullptr` uses the process-wide dispatch (simd::active());
+  // tests pin explicit levels to compare them on one host.
+  explicit BatchTwoOptSimd(const simd::Kernels* kernels = nullptr)
+      : kernels_(kernels != nullptr ? *kernels : simd::active()) {}
+
+  std::string name() const override { return "batch-simd"; }
+
+  BatchSearchResult search(TourBatch& batch) override;
+
+  const simd::Kernels& kernels() const { return kernels_; }
+
+ private:
+  const simd::Kernels& kernels_;
+  // Registry instruments, resolved lazily so steady-state passes are
+  // allocation-free (same pattern as TwoOptSimd).
+  obs::Counter* pairs_vectorized_ = nullptr;
+  obs::Counter* pairs_scalar_tail_ = nullptr;
+};
+
+}  // namespace tspopt

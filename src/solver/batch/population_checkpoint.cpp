@@ -1,0 +1,249 @@
+#include "solver/batch/population_checkpoint.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <type_traits>
+
+#include "common/check.hpp"
+
+namespace tspopt {
+
+namespace {
+
+constexpr char kMagic[8] = {'T', 'S', 'P', 'P', 'O', 'P', 'C', '\0'};
+
+std::uint64_t fnv1a(const std::string& bytes) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+// Same little-endian memcpy scalar framing as solver/checkpoint.cpp; the
+// double bit patterns and RNG state round-trip exactly.
+class Writer {
+ public:
+  template <typename T>
+  void put(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    char raw[sizeof(T)];
+    std::memcpy(raw, &v, sizeof(T));
+    bytes_.append(raw, sizeof(T));
+  }
+
+  void put_orders(const std::vector<std::int32_t>& order) {
+    put(static_cast<std::uint32_t>(order.size()));
+    for (std::int32_t c : order) put(c);
+  }
+
+  const std::string& bytes() const { return bytes_; }
+
+ private:
+  std::string bytes_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::string& bytes) : bytes_(bytes) {}
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    TSPOPT_CHECK_MSG(pos_ + sizeof(T) <= bytes_.size(),
+                     "population checkpoint payload truncated at byte "
+                         << pos_);
+    T v;
+    std::memcpy(&v, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::vector<std::int32_t> get_orders() {
+    auto count = get<std::uint32_t>();
+    TSPOPT_CHECK_MSG(static_cast<std::size_t>(count) * sizeof(std::int32_t) <=
+                         bytes_.size() - pos_,
+                     "population checkpoint tour length "
+                         << count << " exceeds payload size");
+    std::vector<std::int32_t> order(count);
+    for (std::uint32_t i = 0; i < count; ++i) order[i] = get<std::int32_t>();
+    return order;
+  }
+
+  bool exhausted() const { return pos_ == bytes_.size(); }
+
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  const std::string& bytes_;
+  std::size_t pos_ = 0;
+};
+
+void put_member(Writer& w, const IlsCheckpoint& m) {
+  w.put(m.iterations);
+  w.put(m.improvements);
+  w.put(m.checks);
+  w.put(m.passes);
+  w.put(m.elapsed_seconds);
+  w.put_orders(m.best_order);
+  w.put(m.best_length);
+  w.put_orders(m.incumbent_order);
+  w.put(m.incumbent_length);
+  w.put(m.rng.state);
+  w.put(m.rng.inc);
+  w.put(static_cast<std::uint64_t>(m.trace.size()));
+  for (const IlsTracePoint& p : m.trace) {
+    w.put(p.seconds);
+    w.put(p.length);
+    w.put(p.iteration);
+    w.put(p.checks);
+    w.put(p.passes);
+  }
+}
+
+IlsCheckpoint get_member(Reader& r) {
+  IlsCheckpoint m;
+  m.iterations = r.get<std::int64_t>();
+  m.improvements = r.get<std::int64_t>();
+  m.checks = r.get<std::uint64_t>();
+  m.passes = r.get<std::int64_t>();
+  m.elapsed_seconds = r.get<double>();
+  m.best_order = r.get_orders();
+  m.best_length = r.get<std::int64_t>();
+  m.incumbent_order = r.get_orders();
+  m.incumbent_length = r.get<std::int64_t>();
+  m.rng.state = r.get<std::uint64_t>();
+  m.rng.inc = r.get<std::uint64_t>();
+  auto points = r.get<std::uint64_t>();
+  TSPOPT_CHECK_MSG(points <= r.remaining(),
+                   "population checkpoint trace count " << points
+                                                        << " implausible");
+  m.trace.reserve(points);
+  for (std::uint64_t i = 0; i < points; ++i) {
+    IlsTracePoint p;
+    p.seconds = r.get<double>();
+    p.length = r.get<std::int64_t>();
+    p.iteration = r.get<std::int64_t>();
+    p.checks = r.get<std::uint64_t>();
+    p.passes = r.get<std::int64_t>();
+    m.trace.push_back(p);
+  }
+  return m;
+}
+
+}  // namespace
+
+void save_population_checkpoint(const std::string& path,
+                                const PopulationCheckpoint& ck) {
+  TSPOPT_CHECK_MSG(ck.finished.size() == ck.members.size() &&
+                       ck.stopped.size() == ck.members.size(),
+                   "population checkpoint flag vectors out of step with "
+                   "members");
+  Writer w;
+  w.put(ck.rounds);
+  w.put(ck.migrations);
+  w.put(ck.elapsed_seconds);
+  w.put(static_cast<std::uint32_t>(ck.members.size()));
+  for (std::size_t b = 0; b < ck.members.size(); ++b) {
+    put_member(w, ck.members[b]);
+    w.put(ck.finished[b]);
+    w.put(ck.stopped[b]);
+  }
+
+  const std::string& payload = w.bytes();
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    TSPOPT_CHECK_MSG(out.good(), "cannot write population checkpoint: " << tmp);
+    out.write(kMagic, sizeof(kMagic));
+    std::uint32_t version = PopulationCheckpoint::kVersion;
+    out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+    auto size = static_cast<std::uint64_t>(payload.size());
+    out.write(reinterpret_cast<const char*>(&size), sizeof(size));
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    std::uint64_t checksum = fnv1a(payload);
+    out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+    out.flush();
+    TSPOPT_CHECK_MSG(out.good(), "population checkpoint write failed: " << tmp);
+  }
+  TSPOPT_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
+                   "cannot move population checkpoint into place: " << path);
+}
+
+PopulationCheckpoint load_population_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  TSPOPT_CHECK_MSG(in.good(), "cannot open population checkpoint: " << path);
+
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  TSPOPT_CHECK_MSG(in.gcount() == sizeof(magic) &&
+                       std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+                   "not a population checkpoint file: " << path);
+  std::uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  TSPOPT_CHECK_MSG(in.gcount() == sizeof(version) &&
+                       version == PopulationCheckpoint::kVersion,
+                   "unsupported population checkpoint version "
+                       << version << " in " << path);
+  std::uint64_t size = 0;
+  in.read(reinterpret_cast<char*>(&size), sizeof(size));
+  TSPOPT_CHECK_MSG(in.gcount() == sizeof(size),
+                   "population checkpoint header truncated");
+  TSPOPT_CHECK_MSG(size <= (1ULL << 32),
+                   "population checkpoint payload length " << size
+                                                           << " is implausible");
+
+  std::string payload(size, '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(size));
+  TSPOPT_CHECK_MSG(static_cast<std::uint64_t>(in.gcount()) == size,
+                   "population checkpoint payload truncated: expected "
+                       << size << " bytes, got " << in.gcount());
+  std::uint64_t checksum = 0;
+  in.read(reinterpret_cast<char*>(&checksum), sizeof(checksum));
+  TSPOPT_CHECK_MSG(in.gcount() == sizeof(checksum),
+                   "population checkpoint checksum missing (truncated file)");
+  TSPOPT_CHECK_MSG(checksum == fnv1a(payload),
+                   "population checkpoint checksum mismatch (corrupt file): "
+                       << path);
+
+  Reader r(payload);
+  PopulationCheckpoint ck;
+  ck.rounds = r.get<std::int64_t>();
+  ck.migrations = r.get<std::int64_t>();
+  ck.elapsed_seconds = r.get<double>();
+  auto count = r.get<std::uint32_t>();
+  TSPOPT_CHECK_MSG(count >= 1 && count <= (1U << 20),
+                   "population checkpoint member count " << count
+                                                         << " implausible");
+  ck.members.reserve(count);
+  ck.finished.reserve(count);
+  ck.stopped.reserve(count);
+  for (std::uint32_t b = 0; b < count; ++b) {
+    ck.members.push_back(get_member(r));
+    ck.finished.push_back(r.get<std::uint8_t>());
+    ck.stopped.push_back(r.get<std::uint8_t>());
+  }
+  TSPOPT_CHECK_MSG(
+      r.exhausted(),
+      "population checkpoint payload has trailing bytes (corrupt file)");
+  return ck;
+}
+
+void validate_population_checkpoint(const PopulationCheckpoint& ck,
+                                    const Instance& instance) {
+  TSPOPT_CHECK_MSG(!ck.members.empty(),
+                   "population checkpoint has no members");
+  TSPOPT_CHECK_MSG(ck.finished.size() == ck.members.size() &&
+                       ck.stopped.size() == ck.members.size(),
+                   "population checkpoint flag vectors out of step with "
+                   "members");
+  TSPOPT_CHECK_MSG(ck.rounds >= 0 && ck.migrations >= 0,
+                   "population checkpoint counters are negative");
+  for (const IlsCheckpoint& m : ck.members) {
+    validate_ils_checkpoint(m, instance);
+  }
+}
+
+}  // namespace tspopt

@@ -1,0 +1,48 @@
+// Durable snapshots of a whole PopulationIls run.
+//
+// The population checkpoint is the ILS checkpoint generalized to B
+// members: every member's full loop state (the same IlsCheckpoint record
+// the single-start driver journals) plus the population-level counters
+// (rounds, migrations) and per-member finished/stopped flags. Binary
+// format v1 mirrors solver/checkpoint.hpp:
+//
+//   [magic "TSPPOPC\0"][u32 version][u64 payload size][payload]
+//   [u64 FNV-1a checksum of payload]
+//
+// with the payload fields in struct declaration order and each member
+// serialized with the same field order as the single-run checkpoint.
+// Writes are atomic (tmp + rename); loads verify magic, version, size and
+// checksum before any field is trusted.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "solver/checkpoint.hpp"
+#include "tsp/instance.hpp"
+
+namespace tspopt {
+
+struct PopulationCheckpoint {
+  static constexpr std::uint32_t kVersion = 1;
+
+  std::int64_t rounds = 0;       // completed population rounds
+  std::int64_t migrations = 0;
+  double elapsed_seconds = 0.0;  // wall time consumed before the snapshot
+  std::vector<IlsCheckpoint> members;
+  std::vector<std::uint8_t> finished;  // member hit its own budget
+  std::vector<std::uint8_t> stopped;   // member ended via its stop hook
+};
+
+void save_population_checkpoint(const std::string& path,
+                                const PopulationCheckpoint& ck);
+PopulationCheckpoint load_population_checkpoint(const std::string& path);
+
+// Structural validation against the instance the run will continue on:
+// member counts consistent, every member tour a valid permutation with a
+// matching recorded length. CheckError on any mismatch.
+void validate_population_checkpoint(const PopulationCheckpoint& ck,
+                                    const Instance& instance);
+
+}  // namespace tspopt

@@ -1,0 +1,93 @@
+// A batch of tours over one instance, laid out for many-tour engines.
+//
+// The paper's engines are one-tour-per-launch; at small/medium n that
+// shape starves the hardware (a single n=1000 pass cannot fill a device
+// or even keep the AVX2 lanes busy). TourBatch is the container the
+// batched engines (batch_twoopt_simd.hpp, batch_twoopt_gpu.hpp) sweep in
+// one launch: B tours over a single instance, each with its own SoA
+// coordinate slice in a common padded slab (stride = n + 1 rounded up to
+// a lane multiple, so slice starts stay cache-line friendly and every
+// slice carries the +1 wraparound entry the row kernels expect), plus
+// per-tour cached lengths and an active flag (the batch analogue of a
+// don't-look bit: a tour at a local minimum drops out of subsequent
+// passes without shrinking the batch).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+#include "tsp/instance.hpp"
+#include "tsp/tour.hpp"
+
+namespace tspopt {
+
+class TourBatch {
+ public:
+  // All tours must have the instance's n. The slab is sized once here;
+  // steady-state restaging allocates nothing.
+  TourBatch(const Instance& instance, std::vector<Tour> tours);
+
+  // B independent copies of one tour (the equivalence suite's shape).
+  static TourBatch replicated(const Instance& instance, const Tour& tour,
+                              std::int32_t copies);
+
+  const Instance& instance() const { return *instance_; }
+  std::int32_t size() const { return static_cast<std::int32_t>(tours_.size()); }
+  std::int32_t n() const { return n_; }
+  // Slice stride in floats: n + 1 (wrap entry) padded up to kPad.
+  std::int32_t stride() const { return stride_; }
+
+  const Tour& tour(std::int32_t b) const { return tours_[check_slot(b)]; }
+  // Mutating a tour invalidates its cached length; call refresh_length().
+  Tour& tour_mut(std::int32_t b) { return tours_[check_slot(b)]; }
+  // Replace slot b's tour outright (population migration, perturbation).
+  void set_tour(std::int32_t b, const Tour& tour);
+
+  // Cached closed-tour length of slot b (refresh_length to recompute
+  // after a mutation through tour_mut).
+  std::int64_t length(std::int32_t b) const { return lengths_[check_slot(b)]; }
+  std::int64_t refresh_length(std::int32_t b);
+
+  // Active flag: inactive tours are skipped by batch engine passes (the
+  // per-tour don't-look state — a converged or budget-exhausted tour
+  // stays in its slot but costs nothing).
+  bool active(std::int32_t b) const { return active_[check_slot(b)] != 0; }
+  void set_active(std::int32_t b, bool on) { active_[check_slot(b)] = on ? 1 : 0; }
+  void set_all_active(bool on);
+  std::int32_t active_count() const;
+
+  // Restage slot b's SoA slice from its current tour order (the per-pass
+  // host work of the paper's Optimization 2, one slice at a time) and
+  // seal the +1 wrap entry.
+  void stage(std::int32_t b);
+
+  // Slice views into the staged slab (stride() floats apart).
+  const float* xs(std::int32_t b) const {
+    return xs_.data() + static_cast<std::size_t>(check_slot(b)) * stride_;
+  }
+  const float* ys(std::int32_t b) const {
+    return ys_.data() + static_cast<std::size_t>(check_slot(b)) * stride_;
+  }
+
+ private:
+  // Slice padding in floats; keeps slice starts 64-byte aligned when the
+  // slab base is.
+  static constexpr std::int32_t kPad = 16;
+
+  std::int32_t check_slot(std::int32_t b) const {
+    TSPOPT_DCHECK(b >= 0 && b < size());
+    return b;
+  }
+
+  const Instance* instance_;
+  std::int32_t n_ = 0;
+  std::int32_t stride_ = 0;
+  std::vector<Tour> tours_;
+  std::vector<std::int64_t> lengths_;
+  std::vector<std::uint8_t> active_;
+  std::vector<float> xs_;  // size() * stride() floats
+  std::vector<float> ys_;
+};
+
+}  // namespace tspopt

@@ -1,5 +1,8 @@
 #include "solver/engine_factory.hpp"
 
+#include "solver/batch/batch_engine.hpp"
+#include "solver/batch/batch_twoopt_gpu.hpp"
+#include "solver/batch/batch_twoopt_simd.hpp"
 #include "solver/twoopt_generic.hpp"
 #include "solver/twoopt_gpu.hpp"
 #include "solver/twoopt_gpu_pruned.hpp"
@@ -50,6 +53,11 @@ const std::vector<EngineFactory::EngineInfo>& EngineFactory::roster() {
        "bits (inexact: restricted move set)"},
       {"gpu-multi",
        "fault-tolerant tiled 2-opt across several devices (paper SVI)"},
+      {"batch-simd",
+       "many-tour 2-opt: one SIMD sweep walks every tour in a TourBatch"},
+      {"batch-gpu",
+       "many-tour GPU 2-opt, one block per tour with coords in shared "
+       "memory"},
   };
   return infos;
 }
@@ -116,7 +124,27 @@ std::unique_ptr<TwoOptEngine> EngineFactory::create(const std::string& name) {
     return std::make_unique<TwoOptMultiDevice>(
         std::vector<simt::Device*>{&device_, &second_device_});
   }
+  if (is_batch_engine(name)) {
+    return std::make_unique<BatchSingleTourAdapter>(create_batch(name));
+  }
   TSPOPT_CHECK_MSG(false, "unknown engine: " << name);
+  return nullptr;  // unreachable
+}
+
+bool EngineFactory::is_batch_engine(const std::string& name) {
+  return name == "batch-simd" || name == "batch-gpu";
+}
+
+std::unique_ptr<BatchTwoOptEngine> EngineFactory::create_batch(
+    const std::string& name, simt::Device* device) {
+  if (name == "batch-simd") {
+    return std::make_unique<BatchTwoOptSimd>();
+  }
+  if (name == "batch-gpu") {
+    return std::make_unique<BatchTwoOptGpu>(device != nullptr ? *device
+                                                              : device_);
+  }
+  TSPOPT_CHECK_MSG(false, "unknown batch engine: " << name);
   return nullptr;  // unreachable
 }
 

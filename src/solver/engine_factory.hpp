@@ -18,6 +18,8 @@
 
 namespace tspopt {
 
+class BatchTwoOptEngine;
+
 class EngineFactory {
  public:
   // Default neighbor-list size for the pruned engines: two full AVX2
@@ -49,8 +51,22 @@ class EngineFactory {
   static const std::vector<EngineInfo>& roster();
 
   // Throws CheckError for unknown names or when a required resource is
-  // missing (e.g. cpu-lut without an instance).
+  // missing (e.g. cpu-lut without an instance). The batch-* names resolve
+  // to a BatchSingleTourAdapter, so batch engines slot into single-tour
+  // call sites (examples, the per-job serve path) unchanged.
   std::unique_ptr<TwoOptEngine> create(const std::string& name);
+
+  // True when `name` belongs to the batch-* family (usable via
+  // create_batch and eligible for serve-side micro-batching).
+  static bool is_batch_engine(const std::string& name);
+
+  // Many-tour engines for TourBatch users (PopulationIls, the serve
+  // micro-batcher). Throws CheckError for names outside the batch-*
+  // family. `device` overrides the factory's simulated GPU for batch-gpu
+  // (the serve scheduler passes its leased device); nullptr = factory's.
+  std::unique_ptr<BatchTwoOptEngine> create_batch(const std::string& name,
+                                                  simt::Device* device =
+                                                      nullptr);
 
   // The simulated device behind the gpu-* engines (for counters/models).
   simt::Device& device() { return device_; }

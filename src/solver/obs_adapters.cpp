@@ -76,6 +76,34 @@ void report_ils(obs::RunReport& report, const IlsResult& result) {
   }
 }
 
+void report_population_ils(obs::RunReport& report,
+                           const PopulationIlsResult& result) {
+  // The headline summary and top-level convergence curve are the best
+  // member's, so single-run report consumers read a population run the
+  // same way they read a solo ILS run.
+  report_ils(report, result.best());
+  report.set_summary("population", static_cast<double>(result.members.size()));
+  report.set_summary("rounds", static_cast<double>(result.rounds));
+  report.set_summary("migrations", static_cast<double>(result.migrations));
+  report.set_summary("best_member", static_cast<double>(result.best_member));
+  for (std::size_t b = 0; b < result.members.size(); ++b) {
+    const IlsResult& m = result.members[b];
+    obs::RunReport::PopulationMemberSection& section =
+        report.add_population_member(static_cast<std::int32_t>(b));
+    section.best_length = m.best_length;
+    section.iterations = m.iterations;
+    section.improvements = m.improvements;
+    section.checks = m.checks;
+    section.wall_seconds = m.wall_seconds;
+    section.stopped = m.stopped;
+    section.convergence.reserve(m.trace.size());
+    for (const IlsTracePoint& p : m.trace) {
+      section.convergence.push_back(
+          {p.seconds, p.length, p.iteration, p.checks, p.passes});
+    }
+  }
+}
+
 void report_multi_device(obs::RunReport& report,
                          const TwoOptMultiDevice& engine) {
   report.set_summary("devices", static_cast<double>(engine.device_count()));

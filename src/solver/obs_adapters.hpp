@@ -10,6 +10,7 @@
 
 #include "obs/report.hpp"
 #include "simt/device.hpp"
+#include "solver/batch/population_ils.hpp"
 #include "solver/ils.hpp"
 #include "solver/twoopt_multi.hpp"
 
@@ -34,6 +35,13 @@ obs::RunReport::DeviceSection& describe_device_interval(
 // the summary section and the full convergence trace (Fig 10/11's curves)
 // into the convergence section.
 void report_ils(obs::RunReport& report, const IlsResult& result);
+
+// Summarize a PopulationIls run: the best member fills the summary and
+// top-level convergence sections (so the report reads like a solo run),
+// plus population-level keys (members, rounds, migrations, best_member)
+// and the per-tour "population" section with every member's curve.
+void report_population_ils(obs::RunReport& report,
+                           const PopulationIlsResult& result);
 
 // Record the fault-tolerance story of a multi-device engine: per-device
 // failures/retries/quarantine flags as summary keys, plus re-deal and

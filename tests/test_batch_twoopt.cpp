@@ -1,0 +1,247 @@
+// Batch-vs-sequential equivalence for the many-tour engines.
+//
+// The contract the serve-side micro-batcher rests on: running B tours
+// through one BatchTwoOpt* pass is bit-identical — per slot, pass for
+// pass, through whole descents — to B solo runs of the corresponding
+// single-tour engine (batch-simd vs cpu-simd at every SIMD level,
+// batch-gpu vs gpu-small). Also pins TourBatch's layout/staging
+// invariants and batch_local_search's stats-for-stats match with the solo
+// descent driver.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "simt/device.hpp"
+#include "solver/batch/batch_local_search.hpp"
+#include "solver/batch/batch_twoopt_gpu.hpp"
+#include "solver/batch/batch_twoopt_simd.hpp"
+#include "solver/engine_factory.hpp"
+#include "solver/local_search.hpp"
+#include "solver/simd.hpp"
+#include "solver/twoopt_gpu.hpp"
+#include "solver/twoopt_simd.hpp"
+#include "tsp/generator.hpp"
+
+namespace tspopt {
+namespace {
+
+std::vector<std::int32_t> order_of(const Tour& tour) {
+  return {tour.order().begin(), tour.order().end()};
+}
+
+std::vector<Tour> random_tours(const Instance& instance, std::int32_t count,
+                               std::uint64_t seed) {
+  std::vector<Tour> tours;
+  Pcg32 rng(seed);
+  for (std::int32_t b = 0; b < count; ++b) {
+    tours.push_back(Tour::random(instance.n(), rng));
+  }
+  return tours;
+}
+
+void expect_moves_equal(const SearchResult& got, const SearchResult& want,
+                        const std::string& what) {
+  EXPECT_EQ(got.best.delta, want.best.delta) << what;
+  EXPECT_EQ(got.best.index, want.best.index) << what;
+  EXPECT_EQ(got.best.i, want.best.i) << what;
+  EXPECT_EQ(got.best.j, want.best.j) << what;
+  EXPECT_EQ(got.checks, want.checks) << what;
+}
+
+TEST(TourBatch, LayoutAndStaging) {
+  Instance instance = generate_uniform("batch-layout", 100, 7);
+  std::vector<Tour> tours = random_tours(instance, 3, 11);
+  TourBatch batch(instance, tours);
+
+  EXPECT_EQ(batch.size(), 3);
+  EXPECT_EQ(batch.n(), 100);
+  EXPECT_GE(batch.stride(), batch.n() + 1);
+  EXPECT_EQ(batch.stride() % 16, 0);
+  EXPECT_EQ(batch.active_count(), 3);
+
+  for (std::int32_t b = 0; b < batch.size(); ++b) {
+    EXPECT_EQ(batch.length(b), tours[static_cast<std::size_t>(b)].length(instance));
+    batch.stage(b);
+    const float* xs = batch.xs(b);
+    const float* ys = batch.ys(b);
+    const Tour& tour = batch.tour(b);
+    for (std::int32_t p = 0; p < batch.n(); ++p) {
+      Point city = instance.points()[static_cast<std::size_t>(tour.order()[static_cast<std::size_t>(p)])];
+      EXPECT_EQ(xs[p], city.x);
+      EXPECT_EQ(ys[p], city.y);
+    }
+    // The +1 wrap entry closes the tour for the row kernels.
+    EXPECT_EQ(xs[batch.n()], xs[0]);
+    EXPECT_EQ(ys[batch.n()], ys[0]);
+  }
+
+  batch.set_active(1, false);
+  EXPECT_EQ(batch.active_count(), 2);
+  EXPECT_FALSE(batch.active(1));
+}
+
+TEST(TourBatch, ReplicatedCopiesOneTour) {
+  Instance instance = generate_uniform("batch-repl", 60, 3);
+  Pcg32 rng(5);
+  Tour tour = Tour::random(instance.n(), rng);
+  TourBatch batch = TourBatch::replicated(instance, tour, 4);
+  ASSERT_EQ(batch.size(), 4);
+  for (std::int32_t b = 0; b < batch.size(); ++b) {
+    EXPECT_EQ(order_of(batch.tour(b)), order_of(tour));
+    EXPECT_EQ(batch.length(b), tour.length(instance));
+  }
+}
+
+// batch-simd vs cpu-simd, every supported SIMD level: B distinct tours
+// descend in the batch while B solo engines descend the same tours; the
+// selected move must match slot for slot at every pass.
+TEST(BatchTwoOptSimd, DescentMatchesSoloPerSlot) {
+  Instance instance = generate_uniform("batch-simd-eq", 150, 21);
+  constexpr std::int32_t kCopies = 5;
+  for (simd::Level level : simd::supported_levels()) {
+    const simd::Kernels& kernels = simd::kernels(level);
+    std::vector<Tour> tours = random_tours(instance, kCopies, 31);
+    TourBatch batch(instance, tours);
+    BatchTwoOptSimd batch_engine(&kernels);
+    TwoOptSimd solo(&kernels);
+
+    std::vector<bool> converged(kCopies, false);
+    for (std::int32_t pass = 0; pass < 2000; ++pass) {
+      BatchSearchResult result = batch_engine.search(batch);
+      bool any = false;
+      for (std::int32_t b = 0; b < kCopies; ++b) {
+        if (converged[static_cast<std::size_t>(b)]) continue;
+        SearchResult want = solo.search(instance, tours[static_cast<std::size_t>(b)]);
+        expect_moves_equal(result.per_tour[static_cast<std::size_t>(b)], want,
+                           simd::to_string(level) + " slot " +
+                               std::to_string(b) + " pass " +
+                               std::to_string(pass));
+        if (!want.best.improves()) {
+          converged[static_cast<std::size_t>(b)] = true;
+          batch.set_active(b, false);
+          continue;
+        }
+        any = true;
+        tours[static_cast<std::size_t>(b)].apply_two_opt(want.best.i, want.best.j);
+        batch.tour_mut(b).apply_two_opt(want.best.i, want.best.j);
+        batch.refresh_length(b);
+      }
+      if (!any && batch.active_count() == 0) return;
+    }
+    FAIL() << "batch descent did not converge at level "
+           << simd::to_string(level);
+  }
+}
+
+// batch-gpu vs gpu-small: same per-slot equivalence through a descent.
+TEST(BatchTwoOptGpu, DescentMatchesGpuSmallPerSlot) {
+  Instance instance = generate_uniform("batch-gpu-eq", 120, 13);
+  constexpr std::int32_t kCopies = 4;
+  simt::Device batch_device(simt::gtx680_cuda());
+  simt::Device solo_device(simt::gtx680_cuda());
+  ASSERT_LE(instance.n(), BatchTwoOptGpu::max_cities(batch_device));
+
+  std::vector<Tour> tours = random_tours(instance, kCopies, 17);
+  TourBatch batch(instance, tours);
+  BatchTwoOptGpu batch_engine(batch_device);
+  TwoOptGpuSmall solo(solo_device);
+
+  std::vector<bool> converged(kCopies, false);
+  for (std::int32_t pass = 0; pass < 2000; ++pass) {
+    BatchSearchResult result = batch_engine.search(batch);
+    bool any = false;
+    for (std::int32_t b = 0; b < kCopies; ++b) {
+      if (converged[static_cast<std::size_t>(b)]) continue;
+      SearchResult want = solo.search(instance, tours[static_cast<std::size_t>(b)]);
+      expect_moves_equal(result.per_tour[static_cast<std::size_t>(b)], want,
+                         "gpu slot " + std::to_string(b) + " pass " +
+                             std::to_string(pass));
+      if (!want.best.improves()) {
+        converged[static_cast<std::size_t>(b)] = true;
+        batch.set_active(b, false);
+        continue;
+      }
+      any = true;
+      tours[static_cast<std::size_t>(b)].apply_two_opt(want.best.i, want.best.j);
+      batch.tour_mut(b).apply_two_opt(want.best.i, want.best.j);
+      batch.refresh_length(b);
+    }
+    if (!any && batch.active_count() == 0) return;
+  }
+  FAIL() << "batch gpu descent did not converge";
+}
+
+// Inactive slots are skipped: their per_tour result stays default and the
+// pass's total checks cover only active tours.
+TEST(BatchTwoOptSimd, InactiveSlotsAreSkipped) {
+  Instance instance = generate_uniform("batch-inactive", 80, 9);
+  std::vector<Tour> tours = random_tours(instance, 3, 23);
+  TourBatch batch(instance, tours);
+  batch.set_active(1, false);
+
+  BatchTwoOptSimd engine;
+  BatchSearchResult result = engine.search(batch);
+  EXPECT_EQ(result.per_tour[1].checks, 0u);
+  EXPECT_FALSE(result.per_tour[1].best.improves());
+  EXPECT_GT(result.per_tour[0].checks, 0u);
+  EXPECT_GT(result.per_tour[2].checks, 0u);
+  EXPECT_EQ(result.checks, result.per_tour[0].checks + result.per_tour[2].checks);
+}
+
+// batch_local_search: per-slot stats match the solo descent driver's for
+// the same tour, and every slot ends inactive at its local minimum.
+TEST(BatchLocalSearch, MatchesSoloDriverPerSlot) {
+  Instance instance = generate_uniform("batch-ls-eq", 130, 29);
+  constexpr std::int32_t kCopies = 4;
+  std::vector<Tour> tours = random_tours(instance, kCopies, 37);
+
+  TourBatch batch(instance, tours);
+  BatchTwoOptSimd batch_engine;
+  std::vector<LocalSearchStats> stats = batch_local_search(batch_engine, batch);
+
+  for (std::int32_t b = 0; b < kCopies; ++b) {
+    TwoOptSimd solo;
+    Tour tour = tours[static_cast<std::size_t>(b)];
+    LocalSearchStats want = local_search(solo, instance, tour);
+    const LocalSearchStats& got = stats[static_cast<std::size_t>(b)];
+    EXPECT_EQ(got.passes, want.passes) << "slot " << b;
+    EXPECT_EQ(got.moves_applied, want.moves_applied) << "slot " << b;
+    EXPECT_EQ(got.improvement, want.improvement) << "slot " << b;
+    EXPECT_TRUE(got.reached_local_minimum) << "slot " << b;
+    EXPECT_EQ(order_of(batch.tour(b)), order_of(tour)) << "slot " << b;
+    EXPECT_FALSE(batch.active(b)) << "slot " << b;
+  }
+}
+
+// The factory's batch-* names behave as single-tour engines through the
+// adapter, selecting the same move as their solo counterparts.
+TEST(EngineFactory, BatchEnginesAdaptToSingleTour) {
+  Instance instance = generate_uniform("batch-factory", 90, 41);
+  Pcg32 rng(43);
+  Tour tour = Tour::random(instance.n(), rng);
+
+  EngineFactory factory(&instance);
+  EXPECT_TRUE(EngineFactory::is_batch_engine("batch-simd"));
+  EXPECT_TRUE(EngineFactory::is_batch_engine("batch-gpu"));
+  EXPECT_FALSE(EngineFactory::is_batch_engine("cpu-simd"));
+
+  {
+    std::unique_ptr<TwoOptEngine> adapted = factory.create("batch-simd");
+    TwoOptSimd solo;
+    expect_moves_equal(adapted->search(instance, tour),
+                       solo.search(instance, tour), "adapter batch-simd");
+  }
+  {
+    std::unique_ptr<TwoOptEngine> adapted = factory.create("batch-gpu");
+    simt::Device device(simt::gtx680_cuda());
+    TwoOptGpuSmall solo(device);
+    expect_moves_equal(adapted->search(instance, tour),
+                       solo.search(instance, tour), "adapter batch-gpu");
+  }
+}
+
+}  // namespace
+}  // namespace tspopt

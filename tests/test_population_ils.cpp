@@ -1,0 +1,212 @@
+// PopulationIls determinism and equivalence.
+//
+// Three properties the batched ILS mode guarantees:
+//   1. Independence: with migrate_every == 0 a member with seed S is
+//      bit-identical to the single-start ILS driver run with seed S under
+//      iteration-bounded options (the micro-batcher's correctness rests
+//      on this — a coalesced job answers exactly like a solo one).
+//   2. Determinism: migration runs (fixed seeds) reproduce bit-for-bit,
+//      and migration copies the best member's tour over the worst's.
+//   3. Durability: a checkpointed run resumed mid-flight finishes
+//      bit-identical to the run that was never interrupted.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "solver/batch/batch_twoopt_simd.hpp"
+#include "solver/batch/population_checkpoint.hpp"
+#include "solver/batch/population_ils.hpp"
+#include "solver/ils.hpp"
+#include "solver/twoopt_simd.hpp"
+#include "tsp/generator.hpp"
+
+namespace tspopt {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+void expect_results_equal(const IlsResult& got, const IlsResult& want,
+                          const std::string& what) {
+  EXPECT_EQ(got.best_length, want.best_length) << what;
+  EXPECT_EQ(got.iterations, want.iterations) << what;
+  EXPECT_EQ(got.improvements, want.improvements) << what;
+  EXPECT_EQ(got.checks, want.checks) << what;
+  EXPECT_EQ(std::vector<std::int32_t>(got.best.order().begin(),
+                                      got.best.order().end()),
+            std::vector<std::int32_t>(want.best.order().begin(),
+                                      want.best.order().end()))
+      << what;
+  ASSERT_EQ(got.trace.size(), want.trace.size()) << what;
+  for (std::size_t t = 0; t < got.trace.size(); ++t) {
+    EXPECT_EQ(got.trace[t].length, want.trace[t].length) << what << " @" << t;
+    EXPECT_EQ(got.trace[t].iteration, want.trace[t].iteration)
+        << what << " @" << t;
+    EXPECT_EQ(got.trace[t].checks, want.trace[t].checks) << what << " @" << t;
+  }
+}
+
+// Member seed S with migrate_every == 0 == single-start driver seed S.
+TEST(PopulationIls, IndependentMemberMatchesSoloIls) {
+  Instance instance = generate_uniform("pop-solo-eq", 100, 3);
+  Pcg32 rng(7);
+  Tour initial = Tour::random(instance.n(), rng);
+  constexpr std::int64_t kIterations = 12;
+  constexpr std::int32_t kMembers = 4;
+
+  BatchTwoOptSimd batch_engine;
+  std::vector<PopulationMemberOptions> members =
+      population_members(kMembers, /*seed=*/11);
+  for (PopulationMemberOptions& m : members) {
+    m.max_iterations = kIterations;
+  }
+  PopulationIlsOptions popts;
+  popts.time_limit_seconds = -1.0;
+  popts.migrate_every = 0;
+  PopulationIlsResult pop = population_ils(
+      batch_engine, instance, std::vector<Tour>(kMembers, initial), members,
+      popts);
+  ASSERT_EQ(pop.members.size(), static_cast<std::size_t>(kMembers));
+  EXPECT_EQ(pop.migrations, 0);
+
+  for (std::int32_t b = 0; b < kMembers; ++b) {
+    TwoOptSimd solo;
+    IlsOptions opts;
+    opts.seed = members[static_cast<std::size_t>(b)].seed;
+    opts.max_iterations = kIterations;
+    opts.time_limit_seconds = -1.0;
+    IlsResult want = iterated_local_search(solo, instance, initial, opts);
+    expect_results_equal(pop.members[static_cast<std::size_t>(b)], want,
+                         "member " + std::to_string(b));
+  }
+}
+
+// Fixed seeds reproduce bit-for-bit, migrations included.
+TEST(PopulationIls, MigrationRunsAreDeterministic) {
+  Instance instance = generate_uniform("pop-mig-det", 120, 5);
+  Pcg32 rng(9);
+  Tour initial = Tour::random(instance.n(), rng);
+  constexpr std::int32_t kMembers = 6;
+
+  auto run = [&] {
+    BatchTwoOptSimd engine;
+    std::vector<PopulationMemberOptions> members =
+        population_members(kMembers, /*seed=*/101);
+    for (PopulationMemberOptions& m : members) m.max_iterations = 10;
+    PopulationIlsOptions popts;
+    popts.time_limit_seconds = -1.0;
+    popts.migrate_every = 3;
+    return population_ils(engine, instance,
+                          std::vector<Tour>(kMembers, initial), members,
+                          popts);
+  };
+
+  PopulationIlsResult a = run();
+  PopulationIlsResult b = run();
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.migrations, b.migrations);
+  EXPECT_EQ(a.best_member, b.best_member);
+  ASSERT_EQ(a.members.size(), b.members.size());
+  for (std::size_t m = 0; m < a.members.size(); ++m) {
+    expect_results_equal(a.members[m], b.members[m],
+                         "member " + std::to_string(m));
+  }
+  EXPECT_GT(a.migrations, 0);
+}
+
+// A checkpointed run killed mid-flight and resumed finishes bit-identical
+// to the uninterrupted run.
+TEST(PopulationIls, CheckpointResumeIsBitIdentical) {
+  Instance instance = generate_uniform("pop-ckpt", 90, 13);
+  Pcg32 rng(17);
+  Tour initial = Tour::random(instance.n(), rng);
+  constexpr std::int32_t kMembers = 3;
+  constexpr std::int64_t kTotalRounds = 10;
+  constexpr std::int64_t kCutRounds = 4;
+  const std::string path = temp_path("tspopt_pop_ckpt_test.bin");
+
+  auto make_members = [&](std::int64_t iterations) {
+    std::vector<PopulationMemberOptions> members =
+        population_members(kMembers, /*seed=*/201);
+    for (PopulationMemberOptions& m : members) m.max_iterations = iterations;
+    return members;
+  };
+  PopulationIlsOptions base;
+  base.time_limit_seconds = -1.0;
+  base.migrate_every = 0;
+
+  // The reference: straight through, no interruption.
+  BatchTwoOptSimd engine_a;
+  PopulationIlsResult want = population_ils(
+      engine_a, instance, std::vector<Tour>(kMembers, initial),
+      make_members(kTotalRounds), base);
+
+  // The interrupted run: members retire at kCutRounds with a checkpoint
+  // written every round, then a fresh engine resumes to the full budget.
+  PopulationIlsOptions cut = base;
+  cut.checkpoint_path = path;
+  cut.checkpoint_every = 1;
+  BatchTwoOptSimd engine_b;
+  population_ils(engine_b, instance, std::vector<Tour>(kMembers, initial),
+                 make_members(kCutRounds), cut);
+
+  PopulationCheckpoint ckpt = load_population_checkpoint(path);
+  validate_population_checkpoint(ckpt, instance);
+  EXPECT_EQ(ckpt.rounds, kCutRounds);
+
+  BatchTwoOptSimd engine_c;
+  PopulationIlsResult got = population_ils_resume(
+      engine_c, instance, ckpt, make_members(kTotalRounds), base);
+
+  EXPECT_EQ(got.rounds, want.rounds);
+  EXPECT_EQ(got.best_member, want.best_member);
+  ASSERT_EQ(got.members.size(), want.members.size());
+  for (std::size_t m = 0; m < got.members.size(); ++m) {
+    expect_results_equal(got.members[m], want.members[m],
+                         "member " + std::to_string(m));
+  }
+  std::remove(path.c_str());
+}
+
+// Migration intensifies: best-replaces-worst actually copies the tour.
+TEST(PopulationIls, MigrationReplacesWorstIncumbent) {
+  Instance instance = generate_uniform("pop-mig", 110, 19);
+  Pcg32 rng(23);
+  Tour initial = Tour::random(instance.n(), rng);
+  constexpr std::int32_t kMembers = 8;
+
+  BatchTwoOptSimd engine;
+  std::vector<PopulationMemberOptions> members =
+      population_members(kMembers, /*seed=*/301);
+  for (PopulationMemberOptions& m : members) m.max_iterations = 12;
+  PopulationIlsOptions popts;
+  popts.time_limit_seconds = -1.0;
+  popts.migrate_every = 2;
+  PopulationIlsResult pop = population_ils(
+      engine, instance, std::vector<Tour>(kMembers, initial), members, popts);
+
+  EXPECT_GT(pop.migrations, 0);
+  EXPECT_EQ(pop.rounds, 12);
+  // The population best is never worse than any member's own best.
+  for (const IlsResult& m : pop.members) {
+    EXPECT_LE(pop.best().best_length, m.best_length);
+  }
+}
+
+// population_members mints consecutive seeds.
+TEST(PopulationIls, PopulationMembersHelper) {
+  std::vector<PopulationMemberOptions> members = population_members(4, 100);
+  ASSERT_EQ(members.size(), 4u);
+  for (std::size_t m = 0; m < members.size(); ++m) {
+    EXPECT_EQ(members[m].seed, 100u + m);
+    EXPECT_EQ(members[m].max_iterations, -1);
+  }
+}
+
+}  // namespace
+}  // namespace tspopt

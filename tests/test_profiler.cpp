@@ -361,7 +361,7 @@ TEST(Profiler, ReportCarriesProfileSection) {
   RunReport report;
   report.set_profile(profiler);
   std::string json = report.to_json();
-  EXPECT_NE(json.find("\"schema_version\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":4"), std::string::npos);
   EXPECT_NE(json.find("\"profile\""), std::string::npos);
   EXPECT_NE(json.find("\"attribution\""), std::string::npos);
   EXPECT_NE(json.find("test.report_phase"), std::string::npos);
